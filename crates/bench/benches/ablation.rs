@@ -1,0 +1,124 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **parallel vs sequential verification** — the verify loop dominates α
+//!   for long cascades; planning + parallel execution is our extension over
+//!   the paper's sequential AEA (expect wins only with >1 core).
+//! * **element-wise encryption fan-out** — one ciphertext + per-recipient
+//!   key wraps (our design, following XML-Enc practice) scales with the
+//!   audience size; this quantifies the per-recipient cost β pays.
+//! * **cascade breadth** — signing all predecessor signatures at an
+//!   AND-join versus a single chain link (what nonrepudiation costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_bench::chain::finished_chain_document;
+use dra4wfms_core::prelude::*;
+use dra_xml::enc::{encrypt_element, Recipient};
+use dra_xml::Element;
+
+fn bench_parallel_verify(c: &mut Criterion) {
+    let (xml, dir) = finished_chain_document(32, true);
+    let doc = DraDocument::parse(&xml).unwrap();
+    let mut g = c.benchmark_group("ablation/verify_32cers");
+    g.sample_size(15);
+    g.bench_function("sequential", |b| {
+        b.iter(|| verify_document(&doc, &dir).unwrap())
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| b.iter(|| verify_document_parallel(&doc, &dir, threads).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_encryption_fanout(c: &mut Criterion) {
+    let field = Element::new("Field").attr("name", "payload").text("x".repeat(256));
+    let mut g = c.benchmark_group("ablation/encrypt_fanout");
+    g.sample_size(15);
+    for recipients in [1usize, 4, 16] {
+        let recs: Vec<Recipient> = (0..recipients)
+            .map(|i| {
+                let c = Credentials::from_seed(format!("r{i}"), &format!("fanout-{i}"));
+                Recipient::new(c.name.clone(), c.identity().enc)
+            })
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(recipients),
+            &recs,
+            |b, recs| b.iter(|| encrypt_element(&field, recs)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_cascade_breadth(c: &mut Criterion) {
+    // diamond with k parallel branches joining: the join signature covers
+    // k branch signatures; measure the join's complete() cost vs k.
+    let mut g = c.benchmark_group("ablation/join_breadth");
+    g.sample_size(15);
+    for k in [1usize, 4, 8] {
+        let mut creds = vec![Credentials::from_seed("designer", "jb-d")];
+        creds.push(Credentials::from_seed("src", "jb-src"));
+        for i in 0..k {
+            creds.push(Credentials::from_seed(format!("b{i}"), &format!("jb-b{i}")));
+        }
+        creds.push(Credentials::from_seed("join", "jb-join"));
+        let dir = Directory::from_credentials(&creds);
+
+        let mut b_def = WorkflowDefinition::builder("join", "designer")
+            .simple_activity("src", "src", &["x"]);
+        for i in 0..k {
+            b_def = b_def
+                .simple_activity(format!("B{i}"), format!("b{i}"), &["y"])
+                .flow("src", format!("B{i}"));
+        }
+        b_def = b_def.activity(Activity {
+            id: "J".into(),
+            participant: "join".into(),
+            join: JoinKind::All,
+            requests: vec![],
+            responses: vec!["z".into()],
+        });
+        for i in 0..k {
+            b_def = b_def.flow(format!("B{i}"), "J");
+        }
+        let def = b_def.flow_end("J").build().unwrap();
+
+        // execute src + all branches
+        let doc = DraDocument::new_initial_with_pid(
+            &def,
+            &SecurityPolicy::public(),
+            &creds[0],
+            "jb",
+        )
+        .unwrap();
+        let aea_src = Aea::new(creds[1].clone(), dir.clone());
+        let recv = aea_src.receive(&doc.to_xml_string(), "src").unwrap();
+        let src_done = aea_src.complete(&recv, &[("x".into(), "1".into())]).unwrap();
+        let mut branch_docs = Vec::new();
+        for i in 0..k {
+            let aea = Aea::new(creds[2 + i].clone(), dir.clone());
+            let recv = aea
+                .receive(&src_done.document.to_xml_string(), &format!("B{i}"))
+                .unwrap();
+            branch_docs.push(
+                aea.complete(&recv, &[("y".into(), "2".into())])
+                    .unwrap()
+                    .document
+                    .to_xml_string(),
+            );
+        }
+        let aea_join = Aea::new(creds[2 + k].clone(), dir.clone());
+        let branch_refs: Vec<&str> = branch_docs.iter().map(String::as_str).collect();
+        let received = aea_join.receive_merged(&branch_refs, "J").unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, _| {
+            bch.iter(|| aea_join.complete(&received, &[("z".into(), "3".into())]).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_verify, bench_encryption_fanout, bench_cascade_breadth);
+criterion_main!(benches);

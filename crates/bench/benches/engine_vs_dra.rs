@@ -1,0 +1,117 @@
+//! Criterion bench for claim C4: per-hop cost of the engine-based baseline
+//! (plain state mutation + coherence) vs DRA4WfMS (cryptographic document
+//! routing) on the same 3-hop cross-enterprise workflow, and the cost of an
+//! engine instance migration as the instance grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra4wfms_core::prelude::*;
+use dra_engine::{DistributedWfms, WorkflowEngine};
+
+fn def3() -> WorkflowDefinition {
+    WorkflowDefinition::builder("cross-ent", "designer")
+        .simple_activity("a0", "org0", &["f"])
+        .simple_activity("a1", "org1", &["f"])
+        .simple_activity("a2", "org2", &["f"])
+        .flow("a0", "a1")
+        .flow("a1", "a2")
+        .flow_end("a2")
+        .build()
+        .unwrap()
+}
+
+fn bench_engine_vs_dra(c: &mut Criterion) {
+    let def = def3();
+    let mut g = c.benchmark_group("engine_vs_dra");
+    g.sample_size(20);
+
+    // engine: one full 3-hop instance, centralized (no migration)
+    let engine = WorkflowEngine::new("bench");
+    g.bench_function("engine_centralized_instance", |b| {
+        b.iter(|| {
+            let pid = engine.start_process(&def).unwrap();
+            for (hop, org) in ["org0", "org1", "org2"].iter().enumerate() {
+                engine
+                    .execute_activity(pid, &format!("a{hop}"), org, &[("f".into(), "v".into())])
+                    .unwrap();
+            }
+        })
+    });
+
+    // engine: distributed with a migration per hop (the coherence cost)
+    let dist = DistributedWfms::new(3);
+    g.bench_function("engine_distributed_instance", |b| {
+        b.iter(|| {
+            let (pid, _) = dist.start_process(&def).unwrap();
+            for (hop, org) in ["org0", "org1", "org2"].iter().enumerate() {
+                dist.execute_at(hop, pid, &format!("a{hop}"), org, &[("f".into(), "v".into())])
+                    .unwrap();
+            }
+        })
+    });
+
+    // DRA4WfMS: one full 3-hop instance (crypto per hop, no shared state)
+    let creds: Vec<Credentials> = ["designer", "org0", "org1", "org2"]
+        .iter()
+        .map(|n| Credentials::from_seed(*n, &format!("evd-{n}")))
+        .collect();
+    let dir = Directory::from_credentials(&creds);
+    let agents: Vec<Aea> =
+        creds[1..].iter().map(|c| Aea::new(c.clone(), dir.clone())).collect();
+    let initial = DraDocument::new_initial_with_pid(
+        &def,
+        &SecurityPolicy::public(),
+        &creds[0],
+        "evd",
+    )
+    .unwrap()
+    .to_xml_string();
+    g.bench_function("dra4wfms_instance", |b| {
+        b.iter(|| {
+            let mut xml = initial.clone();
+            for (hop, aea) in agents.iter().enumerate() {
+                let recv = aea.receive(&xml, &format!("a{hop}")).unwrap();
+                xml = aea
+                    .complete(&recv, &[("f".into(), "v".into())])
+                    .unwrap()
+                    .document
+                    .to_xml_string();
+            }
+        })
+    });
+    g.finish();
+
+    // migration cost as the stored instance grows (the paper: "process
+    // instances must be transmitted during their execution")
+    let mut g = c.benchmark_group("engine_migration_cost");
+    g.sample_size(15);
+    for steps in [1usize, 16, 64] {
+        // build an instance with `steps` recorded results on engine 0
+        let def_loop = WorkflowDefinition::builder("grow", "designer")
+            .simple_activity("s", "p", &["f"])
+            .flow_if("s", "s", Condition::field_equals("s", "f", "again"))
+            .flow_end_if("s", Condition::field_not_equals("s", "f", "again"))
+            .build()
+            .unwrap();
+        let dist = DistributedWfms::new(2);
+        let (pid, start) = dist.start_process(&def_loop).unwrap();
+        for i in 0..steps {
+            let v = if i + 1 < steps { "again" } else { "done" };
+            dist.execute_at(start, pid, "s", "p", &[("f".into(), format!("{v}-{i:04}"))])
+                .unwrap();
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
+            // ping-pong the instance between the two engines
+            let mut at = start;
+            b.iter(|| {
+                at = 1 - at;
+                // a read at the other engine forces a migration
+                dist.execute_at(at, pid, "s", "p", &[("f".into(), "again".into())])
+                    .unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_vs_dra);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for claim C1: verify time vs number of CERs (expected
+//! linear) and sign time vs number of CERs (expected constant).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dra_bench::chain::{chain_cast, finished_chain_document};
+use dra4wfms_core::prelude::*;
+use dra4wfms_core::verify::verify_document;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling/verify_vs_cers");
+    g.sample_size(15);
+    for n in [1usize, 4, 16, 48] {
+        let (xml, dir) = finished_chain_document(n, true);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let doc = DraDocument::parse(&xml).unwrap();
+                verify_document(&doc, &dir).unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // β stays constant: completing the k-th step of a chain costs the same
+    // regardless of k (one signature + field encryption).
+    let mut g = c.benchmark_group("scaling/sign_vs_cers");
+    g.sample_size(15);
+    for n in [2usize, 16, 48] {
+        // a chain with n-1 executed steps, measuring step n
+        let (creds, dir) = chain_cast(n);
+        let def = dra_bench::chain::chain_definition(n);
+        let pol = dra_bench::chain::chain_policy(n, true);
+        let mut doc =
+            DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "sc").unwrap();
+        for i in 0..n - 1 {
+            let aea = Aea::new(creds[i + 1].clone(), dir.clone());
+            let recv = aea.receive(&doc.to_xml_string(), &format!("S{i}")).unwrap();
+            doc = aea
+                .complete(&recv, &[("payload".into(), "v".into())])
+                .unwrap()
+                .document;
+        }
+        let aea = Aea::new(creds[n].clone(), dir.clone());
+        let received = aea.receive(&doc.to_xml_string(), &format!("S{}", n - 1)).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| aea.complete(&received, &[("payload".into(), "v".into())]).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for Table 1 (basic model): α (receive = parse + verify +
+//! decrypt) and β (complete = encrypt + sign + route) at the first and last
+//! steps of the Fig. 9A trace, plus a full-trace measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dra_bench::chain::finished_chain_document;
+use dra_bench::fig9;
+use dra4wfms_core::prelude::*;
+
+fn bench_table1(c: &mut Criterion) {
+    let (creds, dir) = fig9::cast();
+    let def = fig9::definition(false);
+    let pol = fig9::policy(&def, false);
+    let initial = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "bench")
+        .unwrap()
+        .to_xml_string();
+    let aea_a = Aea::new(creds.iter().find(|c| c.name == "p_a").unwrap().clone(), dir.clone());
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+
+    // α at the first step (1 signature to verify)
+    g.bench_function("alpha_first_step", |b| {
+        b.iter(|| aea_a.receive(&initial, "A").unwrap())
+    });
+
+    // β at the first step
+    let received = aea_a.receive(&initial, "A").unwrap();
+    g.bench_function("beta_first_step", |b| {
+        b.iter(|| {
+            aea_a
+                .complete(&received, &[("attachment".into(), "contract.pdf".into())])
+                .unwrap()
+        })
+    });
+
+    // α at 9 CERs (full-document verify, like the X_D(0) row)
+    let (xml9, dir9) = finished_chain_document(9, true);
+    g.bench_function("alpha_nine_cers_verify", |b| {
+        b.iter(|| {
+            let doc = DraDocument::parse(&xml9).unwrap();
+            dra4wfms_core::verify::verify_document(&doc, &dir9).unwrap()
+        })
+    });
+
+    // the entire Fig. 9A trace (9 executions)
+    g.bench_function("full_trace", |b| b.iter(|| fig9::run_fig9_trace(false)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for Table 2 (advanced model): AEA seal-to-TFC (β), TFC
+//! receive (α_TFC) and TFC finalize (γ), plus the full Fig. 9B trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dra_bench::fig9;
+use dra4wfms_core::prelude::*;
+use std::sync::Arc;
+
+fn bench_table2(c: &mut Criterion) {
+    let (creds, dir) = fig9::cast();
+    let def = fig9::definition(true);
+    let pol = fig9::policy(&def, true);
+    let initial = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "bench2")
+        .unwrap()
+        .to_xml_string();
+    let aea_a = Aea::new(creds.iter().find(|c| c.name == "p_a").unwrap().clone(), dir.clone());
+    let tfc_creds = creds.iter().find(|c| c.name == "TFC").unwrap().clone();
+    let tfc = TfcServer::with_clock(tfc_creds, dir.clone(), Arc::new(|| 1));
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(20);
+
+    let received = aea_a.receive(&initial, "A").unwrap();
+    g.bench_function("beta_seal_to_tfc", |b| {
+        b.iter(|| {
+            aea_a
+                .complete_via_tfc(&received, &[("attachment".into(), "contract.pdf".into())])
+                .unwrap()
+        })
+    });
+
+    let inter = aea_a
+        .complete_via_tfc(&received, &[("attachment".into(), "contract.pdf".into())])
+        .unwrap()
+        .document
+        .to_xml_string();
+    g.bench_function("alpha_tfc_receive", |b| b.iter(|| tfc.receive(&inter).unwrap()));
+
+    let tfc_received = tfc.receive(&inter).unwrap();
+    g.bench_function("gamma_tfc_finalize", |b| b.iter(|| tfc.finalize(&tfc_received).unwrap()));
+
+    g.bench_function("full_trace_advanced", |b| b.iter(|| fig9::run_fig9_trace(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

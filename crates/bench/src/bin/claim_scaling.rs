@@ -1,0 +1,56 @@
+//! Claim C1 (§4.1): "The size of the DRA4WfMS and the time for decrypting
+//! and verifying signatures were proportional to the numbers of CERs and
+//! signatures in the documents. However, only a constant time was needed to
+//! encrypt and embed signatures."
+//!
+//! Sweep chain workflows of length 1…64 and print α, β, Σ per step count.
+//!
+//! Run with: `cargo run --release -p dra-bench --bin claim_scaling`
+
+use dra_bench::chain::run_chain;
+
+fn main() {
+    println!("chain length sweep (element-wise encrypted payloads, 64-byte values)\n");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12}",
+        "step", "#sigs", "alpha(ms)", "beta(ms)", "size(B)"
+    );
+    let payload = "x".repeat(64);
+    // one long chain gives every intermediate point of the sweep
+    let records = run_chain(64, true, &payload);
+    for r in records.iter().filter(|r| {
+        r.step < 4 || (r.step + 1) % 8 == 0
+    }) {
+        println!(
+            "{:>6} {:>8} {:>12.3} {:>12.3} {:>12}",
+            r.step + 1,
+            r.sigs_verified,
+            r.alpha.as_secs_f64() * 1e3,
+            r.beta.as_secs_f64() * 1e3,
+            r.size
+        );
+    }
+
+    // linearity diagnostics. Σ is affine in the CER count (fixed definition
+    // base + per-CER increment), so linearity is checked on the *marginal*
+    // size per step, which must be constant.
+    let a8 = records[7].alpha.as_secs_f64();
+    let a64 = records[63].alpha.as_secs_f64();
+    let b8 = records[7].beta.as_secs_f64();
+    let b64 = records[63].beta.as_secs_f64();
+    let early_slope = (records[15].size - records[7].size) as f64 / 8.0;
+    let late_slope = (records[63].size - records[55].size) as f64 / 8.0;
+    println!("\nstep 8 → step 64 (8× more signatures to verify):");
+    println!("  alpha grows {:.1}×      (claim: ∝ #signatures, expect ≈8×)", a64 / a8);
+    println!("  beta  grows {:.2}×     (claim: ~constant, expect ≈1×)", b64 / b8);
+    println!(
+        "  size slope early {:.0} B/CER vs late {:.0} B/CER, ratio {:.2} (claim: linear in #CERs, expect ≈1)",
+        early_slope,
+        late_slope,
+        late_slope / early_slope
+    );
+
+    let slope_ratio = late_slope / early_slope;
+    let pass = a64 / a8 > 3.0 && b64 / b8 < 2.5 && (0.7..1.4).contains(&slope_ratio);
+    println!("\nC1 verdict: {}", if pass { "SHAPE REPRODUCED" } else { "SHAPE NOT REPRODUCED" });
+}

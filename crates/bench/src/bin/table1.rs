@@ -1,0 +1,57 @@
+//! Regenerate **Table 1** of the paper: per-step execution times and
+//! document sizes of the Fig. 9A workflow under the basic operational model.
+//!
+//! Run with: `cargo run --release -p dra-bench --bin table1 [runs]`
+
+use dra_bench::fig9::run_fig9_trace;
+use dra_bench::table::{average_traces, render_table1};
+
+/// Paper-reported reference values (IPDPSW 2012, Table 1), for side-by-side
+/// shape comparison: (#sigs to verify, #CERs, α s, β s, Σ bytes).
+const PAPER: &[(&str, usize, usize, f64, f64, usize)] = &[
+    ("Initial", 0, 0, 0.0, 0.0, 7_119),
+    ("X_A(0)", 1, 1, 0.0030, 0.0156, 8_667),
+    ("X_B1(0)", 2, 2, 0.0041, 0.0167, 10_184),
+    ("X_B2(0)", 2, 2, 0.0049, 0.0145, 10_184),
+    ("X_C(0)", 4, 4, 0.0055, 0.0148, 13_503),
+    ("X_A(1)", 5, 5, 0.0072, 0.0147, 15_015),
+    ("X_B1(1)", 6, 6, 0.0079, 0.0130, 16_562),
+    ("X_B2(1)", 7, 7, 0.0088, 0.0132, 18_079),
+    ("X_C(1)", 7, 7, 0.0093, 0.0116, 18_079),
+    ("X_D(0)", 9, 9, 0.0133, 0.0118, 21_398),
+];
+
+fn main() {
+    let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    eprintln!("warm-up…");
+    let _ = run_fig9_trace(false);
+    eprintln!("measuring {runs} run(s)…");
+    let traces: Vec<_> = (0..runs).map(|_| run_fig9_trace(false)).collect();
+    let avg = average_traces(&traces);
+
+    println!("{}", render_table1(&avg));
+
+    println!("paper-reported reference (2012 Java/RSA testbed; absolute numbers differ,");
+    println!("the shape — verify-cost ∝ #signatures, ~constant sign cost, Σ ∝ #CERs — holds):");
+    println!(
+        "{:<10} {:>6} {:>6} {:>10} {:>10} {:>10}",
+        "Document", "#sigs", "#CERs", "alpha(s)", "beta(s)", "size(B)"
+    );
+    for (l, s, c, a, b, z) in PAPER {
+        println!("{l:<10} {s:>6} {c:>6} {a:>10.4} {b:>10.4} {z:>10}");
+    }
+
+    // shape checks, printed so EXPERIMENTS.md can quote them
+    let alpha_first = avg[1].alpha_aea.as_secs_f64();
+    let alpha_last = avg.last().unwrap().alpha_aea.as_secs_f64();
+    let betas: Vec<f64> = avg[1..].iter().map(|r| r.beta.as_secs_f64()).collect();
+    let beta_spread = betas.iter().cloned().fold(f64::MIN, f64::max)
+        / betas.iter().cloned().fold(f64::MAX, f64::min);
+    println!("\nshape checks:");
+    println!("  alpha growth first→last step: {:.2}×  (paper: {:.2}×)", alpha_last / alpha_first, 0.0133 / 0.0030);
+    println!("  beta max/min spread: {beta_spread:.2}×  (paper: {:.2}× — 'only a constant time')", 0.0167 / 0.0116);
+    println!("  size growth initial→final: {:.2}×  (paper: {:.2}×)",
+        avg.last().unwrap().size as f64 / avg[0].size as f64,
+        22_910.0 / 7_119.0
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerate **Table 2** of the paper: per-step execution times and
+//! document sizes of the Fig. 9B workflow (the same process routed through
+//! the TFC server — the advanced operational model).
+//!
+//! Run with: `cargo run --release -p dra-bench --bin table2 [runs]`
+
+use dra_bench::fig9::run_fig9_trace;
+use dra_bench::table::{average_traces, render_table2};
+use std::time::Duration;
+
+fn main() {
+    let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    eprintln!("warm-up…");
+    let _ = run_fig9_trace(true);
+    eprintln!("measuring {runs} run(s)…");
+    let traces: Vec<_> = (0..runs).map(|_| run_fig9_trace(true)).collect();
+    let avg = average_traces(&traces);
+
+    println!("{}", render_table2(&avg));
+
+    // Paper reference rows (Table 2): 19 document rows, sizes 7119→47406 B,
+    // α 0.0021→0.0431 s, β ≈ 0.008–0.014 s, γ ≈ 0.0080–0.0123 s.
+    println!("paper-reported envelope (2012 testbed): sizes 7,119 → 47,406 bytes over 19");
+    println!("documents; alpha grows 0.0021 → 0.0431 s; beta and gamma stay ~constant");
+    println!("(0.008–0.016 s). Key claim: 'the TFC was not the bottleneck'.");
+
+    // shape checks
+    let gammas: Vec<f64> =
+        avg[1..].iter().filter_map(|r| r.gamma.map(|d| d.as_secs_f64())).collect();
+    let gamma_spread = gammas.iter().cloned().fold(f64::MIN, f64::max)
+        / gammas.iter().cloned().fold(f64::MAX, f64::min);
+    let aea_total: Duration = avg[1..].iter().map(|r| r.alpha_aea + r.beta).sum();
+    let tfc_total: Duration = avg[1..]
+        .iter()
+        .map(|r| r.alpha_tfc.unwrap_or_default() + r.gamma.unwrap_or_default())
+        .sum();
+    println!("\nshape checks:");
+    println!("  gamma max/min spread: {gamma_spread:.2}× (TFC work ~constant per step)");
+    println!(
+        "  total AEA time {:.4}s vs total TFC time {:.4}s — TFC/AEA = {:.2} (paper: 'very similar total processing times', and the TFC holds no participant session ⇒ not the bottleneck)",
+        aea_total.as_secs_f64(),
+        tfc_total.as_secs_f64(),
+        tfc_total.as_secs_f64() / aea_total.as_secs_f64()
+    );
+    println!(
+        "  advanced final size {} B vs basic final size {} B (paper: 22,910 vs 47,406)",
+        avg.last().unwrap().size,
+        dra_bench::fig9::run_fig9_trace(false).last().unwrap().size
+    );
+}

@@ -1,0 +1,125 @@
+//! Chain workloads of configurable length — for the scaling claims (C1):
+//! verify time and document size grow with the number of CERs, while
+//! encrypt+sign time stays constant.
+
+use dra4wfms_core::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Per-step measurement of a chain run.
+#[derive(Clone, Debug)]
+pub struct ChainRecord {
+    /// Step index (number of CERs before this step).
+    pub step: usize,
+    /// α: decrypt + verify on receive.
+    pub alpha: Duration,
+    /// β: encrypt + sign on complete.
+    pub beta: Duration,
+    /// Σ: document size after the step.
+    pub size: usize,
+    /// Signatures verified on receive.
+    pub sigs_verified: usize,
+}
+
+/// Deterministic cast of `n` chain participants (+ designer).
+pub fn chain_cast(n: usize) -> (Vec<Credentials>, Directory) {
+    let mut creds = vec![Credentials::from_seed("designer", "chain-designer")];
+    for i in 0..n {
+        creds.push(Credentials::from_seed(format!("p{i}"), &format!("chain-p{i}")));
+    }
+    let dir = Directory::from_credentials(&creds);
+    (creds, dir)
+}
+
+/// A linear workflow of `n` activities; each response is restricted to the
+/// next participant when `encrypted` (element-wise encryption on every hop).
+pub fn chain_definition(n: usize) -> WorkflowDefinition {
+    let mut b = WorkflowDefinition::builder("chain", "designer");
+    for i in 0..n {
+        b = b.simple_activity(format!("S{i}"), format!("p{i}"), &["payload"]);
+    }
+    for i in 0..n - 1 {
+        b = b.flow(format!("S{i}"), format!("S{}", i + 1));
+    }
+    b.flow_end(format!("S{}", n - 1)).build().expect("chain definition")
+}
+
+/// Policy for the chain.
+pub fn chain_policy(n: usize, encrypted: bool) -> SecurityPolicy {
+    if !encrypted {
+        return SecurityPolicy::public();
+    }
+    let mut pb = SecurityPolicy::builder();
+    for i in 0..n {
+        let next = format!("p{}", (i + 1).min(n - 1));
+        pb = pb.restrict(format!("S{i}"), "payload", &[&next]);
+    }
+    pb.build()
+}
+
+/// Execute the full chain, measuring each step.
+pub fn run_chain(n: usize, encrypted: bool, payload: &str) -> Vec<ChainRecord> {
+    let (creds, dir) = chain_cast(n);
+    let def = chain_definition(n);
+    let pol = chain_policy(n, encrypted);
+    let mut doc = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "chain-run")
+        .expect("initial");
+    let mut records = Vec::with_capacity(n);
+    for i in 0..n {
+        let aea = Aea::new(creds[i + 1].clone(), dir.clone());
+        let xml = doc.to_xml_string();
+        let t0 = Instant::now();
+        let received = aea.receive(&xml, &format!("S{i}")).expect("receive");
+        let alpha = t0.elapsed();
+        let sigs_verified = received.report.signatures_verified;
+        let t1 = Instant::now();
+        let done = aea
+            .complete(&received, &[("payload".into(), payload.to_string())])
+            .expect("complete");
+        let beta = t1.elapsed();
+        doc = done.document;
+        records.push(ChainRecord { step: i, alpha, beta, size: doc.size_bytes(), sigs_verified });
+    }
+    records
+}
+
+/// Build a finished chain document of `n` CERs (workload for verify benches).
+pub fn finished_chain_document(n: usize, encrypted: bool) -> (String, Directory) {
+    let (creds, dir) = chain_cast(n);
+    let def = chain_definition(n);
+    let pol = chain_policy(n, encrypted);
+    let mut doc = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "chain-doc")
+        .expect("initial");
+    for i in 0..n {
+        let aea = Aea::new(creds[i + 1].clone(), dir.clone());
+        let received = aea.receive(&doc.to_xml_string(), &format!("S{i}")).expect("receive");
+        doc = aea
+            .complete(&received, &[("payload".into(), format!("data-{i}"))])
+            .expect("complete")
+            .document;
+    }
+    (doc.to_xml_string(), dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_runs_and_scales() {
+        let records = run_chain(6, true, "x");
+        assert_eq!(records.len(), 6);
+        // sizes strictly increase
+        assert!(records.windows(2).all(|w| w[1].size > w[0].size));
+        // signature count grows by one per step
+        let sigs: Vec<usize> = records.iter().map(|r| r.sigs_verified).collect();
+        assert_eq!(sigs, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn finished_document_verifies() {
+        let (xml, dir) = finished_chain_document(4, false);
+        let doc = DraDocument::parse(&xml).unwrap();
+        let report = dra4wfms_core::verify::verify_document(&doc, &dir).unwrap();
+        assert_eq!(report.cers.len(), 4);
+    }
+}

@@ -1,0 +1,333 @@
+//! The paper's experimental workflow (Fig. 9) and its measured trace.
+
+use dra4wfms_core::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One measured step of the Fig. 9 trace (one activity execution). The
+/// initial document is represented by a pseudo-step with zero timings.
+#[derive(Clone, Debug)]
+pub struct StepRecord {
+    /// Paper-style label: `Initial`, `X_A(0)`, `X_B1(0)` …
+    pub label: String,
+    /// CERs in the document *after* this step.
+    pub cers: usize,
+    /// Signatures verified on receive (the paper's "number of signatures to
+    /// verify").
+    pub sigs_verified: usize,
+    /// Decrypt + verify time in the AEA (α).
+    pub alpha_aea: Duration,
+    /// Encrypt + embed-signature time in the AEA (β).
+    pub beta: Duration,
+    /// Decrypt + verify time in the TFC (advanced model; part of α).
+    pub alpha_tfc: Option<Duration>,
+    /// Encrypt + timestamp + sign time in the TFC (γ).
+    pub gamma: Option<Duration>,
+    /// Size of the intermediate (TFC-bound) document, advanced model.
+    pub size_intermediate: Option<usize>,
+    /// Size of the produced document in bytes (Σ).
+    pub size: usize,
+}
+
+/// The deterministic cast of Fig. 9.
+pub fn cast() -> (Vec<Credentials>, Directory) {
+    let creds: Vec<Credentials> = ["designer", "p_a", "p_b1", "p_b2", "p_c", "p_d", "TFC"]
+        .iter()
+        .map(|n| Credentials::from_seed(*n, &format!("fig9-bench-{n}")))
+        .collect();
+    let dir = Directory::from_credentials(&creds);
+    (creds, dir)
+}
+
+/// The Fig. 9 workflow definition (9A when `advanced` is false, 9B when
+/// true).
+pub fn definition(advanced: bool) -> WorkflowDefinition {
+    let b = WorkflowDefinition::builder("fig9", "designer")
+        .simple_activity("A", "p_a", &["attachment"])
+        .activity(Activity {
+            id: "B1".into(),
+            participant: "p_b1".into(),
+            join: JoinKind::Any,
+            requests: vec![FieldRef::new("A", "attachment")],
+            responses: vec!["review1".into()],
+        })
+        .activity(Activity {
+            id: "B2".into(),
+            participant: "p_b2".into(),
+            join: JoinKind::Any,
+            requests: vec![FieldRef::new("A", "attachment")],
+            responses: vec!["review2".into()],
+        })
+        .activity(Activity {
+            id: "C".into(),
+            participant: "p_c".into(),
+            join: JoinKind::All,
+            requests: vec![FieldRef::new("B1", "review1"), FieldRef::new("B2", "review2")],
+            responses: vec!["decision".into()],
+        })
+        .simple_activity("D", "p_d", &["ack"])
+        .flow("A", "B1")
+        .flow("A", "B2")
+        .flow("B1", "C")
+        .flow("B2", "C")
+        .flow_if("C", "A", Condition::field_equals("C", "decision", "insufficient"))
+        .flow_if("C", "D", Condition::field_not_equals("C", "decision", "insufficient"))
+        .flow_end("D");
+    if advanced { b.with_tfc("TFC") } else { b }.build().expect("fig9 definition")
+}
+
+/// Element-wise encryption policy used in the measurements: the attachment
+/// and the reviews are confidential, the decision is shared with every
+/// participant (it steers the loop).
+pub fn policy(def: &WorkflowDefinition, advanced: bool) -> SecurityPolicy {
+    let p = SecurityPolicy::builder()
+        .restrict("A", "attachment", &["p_b1", "p_b2", "p_c"])
+        .restrict("B1", "review1", &["p_c"])
+        .restrict("B2", "review2", &["p_c"])
+        .restrict("C", "decision", &["p_a", "p_b1", "p_b2", "p_c", "p_d"])
+        .build();
+    if advanced { p.with_tfc_access("TFC", def) } else { p }
+}
+
+struct Harness {
+    agents: HashMap<String, Aea>,
+    tfc: Option<TfcServer>,
+}
+
+impl Harness {
+    fn new(dir: &Directory, creds: &[Credentials], advanced: bool) -> Harness {
+        let agents = creds
+            .iter()
+            .map(|c| (c.name.clone(), Aea::new(c.clone(), dir.clone())))
+            .collect();
+        let tfc = advanced.then(|| {
+            let tfc_creds = creds.iter().find(|c| c.name == "TFC").expect("TFC creds");
+            TfcServer::with_clock(tfc_creds.clone(), dir.clone(), Arc::new(|| 1_700_000_000_000))
+        });
+        Harness { agents, tfc }
+    }
+
+    /// Execute one activity (basic or advanced), timing each phase.
+    fn step(
+        &self,
+        label: &str,
+        participant: &str,
+        activity: &str,
+        inputs: &[&str],
+        responses: &[(String, String)],
+    ) -> (StepRecord, String) {
+        let aea = &self.agents[participant];
+
+        let t0 = Instant::now();
+        let received = if inputs.len() == 1 {
+            aea.receive(inputs[0], activity)
+        } else {
+            aea.receive_merged(inputs, activity)
+        }
+        .unwrap_or_else(|e| panic!("receive {label}: {e}"));
+        let alpha_aea = t0.elapsed();
+        let sigs_verified = received.report.signatures_verified;
+
+        match &self.tfc {
+            None => {
+                let t1 = Instant::now();
+                let done = aea
+                    .complete(&received, responses)
+                    .unwrap_or_else(|e| panic!("complete {label}: {e}"));
+                let beta = t1.elapsed();
+                let xml = done.document.to_xml_string();
+                (
+                    StepRecord {
+                        label: label.to_string(),
+                        cers: done.document.cers().unwrap().len(),
+                        sigs_verified,
+                        alpha_aea,
+                        beta,
+                        alpha_tfc: None,
+                        gamma: None,
+                        size_intermediate: None,
+                        size: xml.len(),
+                    },
+                    xml,
+                )
+            }
+            Some(tfc) => {
+                let t1 = Instant::now();
+                let inter = aea
+                    .complete_via_tfc(&received, responses)
+                    .unwrap_or_else(|e| panic!("complete_via_tfc {label}: {e}"));
+                let beta = t1.elapsed();
+                let inter_xml = inter.document.to_xml_string();
+
+                let t2 = Instant::now();
+                let tfc_recv = tfc
+                    .receive(&inter_xml)
+                    .unwrap_or_else(|e| panic!("tfc receive {label}: {e}"));
+                let alpha_tfc = t2.elapsed();
+
+                let t3 = Instant::now();
+                let finalized = tfc
+                    .finalize(&tfc_recv)
+                    .unwrap_or_else(|e| panic!("tfc finalize {label}: {e}"));
+                let gamma = t3.elapsed();
+                let xml = finalized.document.to_xml_string();
+                (
+                    StepRecord {
+                        label: label.to_string(),
+                        cers: finalized.document.cers().unwrap().len(),
+                        sigs_verified,
+                        alpha_aea,
+                        beta,
+                        alpha_tfc: Some(alpha_tfc),
+                        gamma: Some(gamma),
+                        size_intermediate: Some(inter_xml.len()),
+                        size: xml.len(),
+                    },
+                    xml,
+                )
+            }
+        }
+    }
+}
+
+fn resp(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+    pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+}
+
+/// Execute the exact Fig. 9 trace of the paper's experiments (loop taken
+/// once): A, B1, B2, C(insufficient), A, B1, B2, C(accept), D — returning
+/// one record per document produced, with the initial document first.
+pub fn run_fig9_trace(advanced: bool) -> Vec<StepRecord> {
+    let (creds, dir) = cast();
+    let def = definition(advanced);
+    let pol = policy(&def, advanced);
+    let initial = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "fig9-bench")
+        .expect("initial document");
+    let harness = Harness::new(&dir, &creds, advanced);
+
+    let mut records = vec![StepRecord {
+        label: "Initial".into(),
+        cers: 0,
+        sigs_verified: 0,
+        alpha_aea: Duration::ZERO,
+        beta: Duration::ZERO,
+        alpha_tfc: None,
+        gamma: None,
+        size_intermediate: None,
+        size: initial.size_bytes(),
+    }];
+
+    let x0 = initial.to_xml_string();
+    let (r, a0) = harness.step("X_A(0)", "p_a", "A", &[&x0], &resp(&[("attachment", "contract-draft.pdf")]));
+    records.push(r);
+    let (r, b1_0) = harness.step("X_B1(0)", "p_b1", "B1", &[&a0], &resp(&[("review1", "figures look right")]));
+    records.push(r);
+    let (r, b2_0) = harness.step("X_B2(0)", "p_b2", "B2", &[&a0], &resp(&[("review2", "terms acceptable")]));
+    records.push(r);
+    let (r, c0) = harness.step("X_C(0)", "p_c", "C", &[&b1_0, &b2_0], &resp(&[("decision", "insufficient")]));
+    records.push(r);
+    let (r, a1) = harness.step("X_A(1)", "p_a", "A", &[&c0], &resp(&[("attachment", "contract-final.pdf")]));
+    records.push(r);
+    let (r, b1_1) = harness.step("X_B1(1)", "p_b1", "B1", &[&a1], &resp(&[("review1", "ok now")]));
+    records.push(r);
+    let (r, b2_1) = harness.step("X_B2(1)", "p_b2", "B2", &[&a1], &resp(&[("review2", "ok now")]));
+    records.push(r);
+    let (r, c1) = harness.step("X_C(1)", "p_c", "C", &[&b1_1, &b2_1], &resp(&[("decision", "accept")]));
+    records.push(r);
+    let (r, _d0) = harness.step("X_D(0)", "p_d", "D", &[&c1], &resp(&[("ack", "purchase confirmed")]));
+    records.push(r);
+    records
+}
+
+/// Produce the intermediate documents of a full Fig. 9B run (one per step)
+/// — workload for TFC throughput benches.
+pub fn fig9b_intermediate_documents() -> Vec<String> {
+    let (creds, dir) = cast();
+    let def = definition(true);
+    let pol = policy(&def, true);
+    let initial = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "fig9-tfc")
+        .expect("initial document");
+    let harness = Harness::new(&dir, &creds, true);
+    let tfc = harness.tfc.as_ref().expect("advanced");
+
+    let mut inters = Vec::new();
+    let mut advance = |participant: &str,
+                       activity: &str,
+                       inputs: &[&str],
+                       responses: &[(String, String)]|
+     -> String {
+        let aea = &harness.agents[participant];
+        let received = if inputs.len() == 1 {
+            aea.receive(inputs[0], activity)
+        } else {
+            aea.receive_merged(inputs, activity)
+        }
+        .expect("receive");
+        let inter = aea.complete_via_tfc(&received, responses).expect("complete");
+        let inter_xml = inter.document.to_xml_string();
+        inters.push(inter_xml.clone());
+        tfc.process(&inter_xml).expect("tfc").document.to_xml_string()
+    };
+
+    let x0 = initial.to_xml_string();
+    let a0 = advance("p_a", "A", &[&x0], &resp(&[("attachment", "v0")]));
+    let b1 = advance("p_b1", "B1", &[&a0], &resp(&[("review1", "r")]));
+    let b2 = advance("p_b2", "B2", &[&a0], &resp(&[("review2", "r")]));
+    let c0 = advance("p_c", "C", &[&b1, &b2], &resp(&[("decision", "insufficient")]));
+    let a1 = advance("p_a", "A", &[&c0], &resp(&[("attachment", "v1")]));
+    let b1 = advance("p_b1", "B1", &[&a1], &resp(&[("review1", "r")]));
+    let b2 = advance("p_b2", "B2", &[&a1], &resp(&[("review2", "r")]));
+    let c1 = advance("p_c", "C", &[&b1, &b2], &resp(&[("decision", "accept")]));
+    let _ = advance("p_d", "D", &[&c1], &resp(&[("ack", "done")]));
+    inters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_trace_shape() {
+        let records = run_fig9_trace(false);
+        assert_eq!(records.len(), 10, "initial + 9 steps");
+        // CER counts: 0,1,2,2,4,5,6,6,8,9
+        let cers: Vec<usize> = records.iter().map(|r| r.cers).collect();
+        assert_eq!(cers, vec![0, 1, 2, 2, 4, 5, 6, 6, 8, 9]);
+        // sizes strictly grow along a path (parallel branches may tie)
+        assert!(records.last().unwrap().size > records[0].size * 2);
+        // verify-count grows monotonically except at parallel twins
+        let sigs: Vec<usize> = records.iter().map(|r| r.sigs_verified).collect();
+        assert_eq!(sigs, vec![0, 1, 2, 2, 4, 5, 6, 6, 8, 9]);
+    }
+
+    #[test]
+    fn table2_trace_shape() {
+        let records = run_fig9_trace(true);
+        assert_eq!(records.len(), 10);
+        for r in &records[1..] {
+            assert!(r.alpha_tfc.is_some());
+            assert!(r.gamma.is_some());
+            assert!(r.size_intermediate.is_some());
+            assert!(r.size > r.size_intermediate.unwrap(), "final carries more than intermediate");
+        }
+        // advanced documents are larger than basic ones step for step
+        let basic = run_fig9_trace(false);
+        for (a, b) in records.iter().zip(basic.iter()).skip(1) {
+            assert!(a.size > b.size, "{}: {} > {}", a.label, a.size, b.size);
+        }
+    }
+
+    #[test]
+    fn intermediate_documents_produced() {
+        let inters = fig9b_intermediate_documents();
+        assert_eq!(inters.len(), 9);
+        // each ends with an intermediate CER the TFC can process
+        let (creds, dir) = cast();
+        let tfc_creds = creds.iter().find(|c| c.name == "TFC").unwrap().clone();
+        let tfc = TfcServer::with_clock(tfc_creds, dir, Arc::new(|| 7));
+        for xml in &inters {
+            tfc.process(xml).expect("every intermediate processable");
+        }
+    }
+}

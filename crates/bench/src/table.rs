@@ -1,0 +1,130 @@
+//! Plain-text table rendering for the harness binaries — mirrors the layout
+//! of the paper's Tables 1 and 2.
+
+use crate::fig9::StepRecord;
+use std::time::Duration;
+
+fn secs(d: Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+/// Render Table 1 (basic operational model): α, β, Σ per step.
+pub fn render_table1(records: &[StepRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE 1. EXECUTION TIMES FOR THE WORKFLOW OF FIG. 9A (basic model)\n");
+    out.push_str(&format!(
+        "{:<10} {:>6} {:>6} {:>10} {:>10} {:>10}\n",
+        "Document", "#sigs", "#CERs", "alpha(s)", "beta(s)", "size(B)"
+    ));
+    for r in records {
+        out.push_str(&format!(
+            "{:<10} {:>6} {:>6} {:>10} {:>10} {:>10}\n",
+            r.label,
+            r.sigs_verified,
+            r.cers,
+            secs(r.alpha_aea),
+            secs(r.beta),
+            r.size
+        ));
+    }
+    out
+}
+
+/// Render Table 2 (advanced operational model): α (AEA+TFC), β, γ, Σ per
+/// step, with the intermediate document size as its own row (as in the
+/// paper, which lists both documents of each hop).
+pub fn render_table2(records: &[StepRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE 2. EXECUTION TIMES FOR THE WORKFLOW OF FIG. 9B (advanced model)\n");
+    out.push_str(&format!(
+        "{:<14} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
+        "Document", "#sigs", "#CERs", "alpha(s)", "beta(s)", "gamma(s)", "size(B)"
+    ));
+    for r in records {
+        if let Some(inter) = r.size_intermediate {
+            // the intermediate (AEA → TFC) document row
+            out.push_str(&format!(
+                "{:<14} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
+                format!("{}~", r.label),
+                r.sigs_verified,
+                r.cers.saturating_sub(0),
+                secs(r.alpha_aea),
+                secs(r.beta),
+                "-",
+                inter
+            ));
+        }
+        let alpha_total = r.alpha_aea + r.alpha_tfc.unwrap_or(Duration::ZERO);
+        out.push_str(&format!(
+            "{:<14} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
+            r.label,
+            r.sigs_verified,
+            r.cers,
+            secs(alpha_total),
+            secs(r.beta),
+            r.gamma.map(secs).unwrap_or_else(|| "-".into()),
+            r.size
+        ));
+    }
+    out
+}
+
+/// Averages several trace runs element-wise (duration fields only; counts
+/// and sizes must agree across runs and are taken from the first).
+pub fn average_traces(runs: &[Vec<StepRecord>]) -> Vec<StepRecord> {
+    assert!(!runs.is_empty());
+    let steps = runs[0].len();
+    (0..steps)
+        .map(|i| {
+            let mut r = runs[0][i].clone();
+            let n = runs.len() as u32;
+            r.alpha_aea = runs.iter().map(|run| run[i].alpha_aea).sum::<Duration>() / n;
+            r.beta = runs.iter().map(|run| run[i].beta).sum::<Duration>() / n;
+            if r.alpha_tfc.is_some() {
+                r.alpha_tfc = Some(
+                    runs.iter().map(|run| run[i].alpha_tfc.unwrap_or_default()).sum::<Duration>()
+                        / n,
+                );
+                r.gamma = Some(
+                    runs.iter().map(|run| run[i].gamma.unwrap_or_default()).sum::<Duration>() / n,
+                );
+            }
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(label: &str, alpha_ms: u64) -> StepRecord {
+        StepRecord {
+            label: label.into(),
+            cers: 1,
+            sigs_verified: 2,
+            alpha_aea: Duration::from_millis(alpha_ms),
+            beta: Duration::from_millis(1),
+            alpha_tfc: None,
+            gamma: None,
+            size_intermediate: None,
+            size: 1000,
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let t = render_table1(&[rec("Initial", 0), rec("X_A(0)", 3)]);
+        assert!(t.contains("Initial"));
+        assert!(t.contains("X_A(0)"));
+        assert!(t.contains("1000"));
+    }
+
+    #[test]
+    fn averaging() {
+        let a = vec![rec("x", 2)];
+        let b = vec![rec("x", 4)];
+        let avg = average_traces(&[a, b]);
+        assert_eq!(avg[0].alpha_aea, Duration::from_millis(3));
+    }
+}

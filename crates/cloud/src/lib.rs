@@ -1,0 +1,30 @@
+//! # dra-cloud — DRA4WfMS in the cloud (paper §3, Fig. 7)
+//!
+//! "A user connects to one of the portal servers to access the DRA4WfMS
+//! cloud system … the portal server just simply sends a copy of the
+//! DRA4WfMS document to the user. The user employs an AEA to execute the
+//! activity … and then sends it back to the portal server. When an AEA sends
+//! the resulting document to the portal server, the portal server verifies
+//! it and … stores it in the pool of DRA4WfMS documents. By checking this
+//! document, the DRA4WfMS cloud system can inform the subsequent
+//! participant(s)."
+//!
+//! * [`netsim`] — a simulated network that accounts for message count and
+//!   bytes so routing costs can be compared analytically (virtual time),
+//! * [`portal`] — portal servers over the [`dra_docpool`] pool: store /
+//!   retrieve / search (TO-DO lists) / notify / monitor / MapReduce
+//!   statistics,
+//! * [`runner`] — an end-to-end scenario driver that pushes whole process
+//!   instances through AEAs, the TFC and the portals (including AND-split
+//!   branching and AND-join merging).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod netsim;
+pub mod portal;
+pub mod runner;
+
+pub use netsim::NetworkSim;
+pub use portal::{CloudSystem, PortalStats, TodoEntry};
+pub use runner::{run_instance, RunOutcome, Responder};

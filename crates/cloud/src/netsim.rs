@@ -1,0 +1,102 @@
+//! A simulated network: counts messages and bytes instead of sleeping, so
+//! benchmarks can compare communication costs deterministically.
+//!
+//! Virtual time = `messages · latency + bytes / bandwidth`. The paper's
+//! scalability arguments are about how much state must cross the network
+//! (whole process instances for engine migration, routed documents for
+//! DRA4WfMS) — this model exposes exactly that.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Simulated-network accounting.
+#[derive(Debug)]
+pub struct NetworkSim {
+    /// Per-message latency in microseconds.
+    pub latency_us: u64,
+    /// Bandwidth in bytes per microsecond (i.e. MB/s).
+    pub bytes_per_us: u64,
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl NetworkSim {
+    /// A WAN-ish profile: 20 ms per hop, ~12.5 MB/s (100 Mbit).
+    pub fn wan() -> NetworkSim {
+        NetworkSim::new(20_000, 12)
+    }
+
+    /// A LAN-ish profile: 200 µs per hop, ~125 MB/s.
+    pub fn lan() -> NetworkSim {
+        NetworkSim::new(200, 125)
+    }
+
+    /// Custom profile.
+    pub fn new(latency_us: u64, bytes_per_us: u64) -> NetworkSim {
+        NetworkSim {
+            latency_us,
+            bytes_per_us: bytes_per_us.max(1),
+            messages: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one message of `len` bytes.
+    pub fn transfer(&self, len: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    /// Messages sent so far.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Bytes sent so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated virtual transfer time in microseconds.
+    pub fn virtual_time_us(&self) -> u64 {
+        self.messages() * self.latency_us + self.bytes() / self.bytes_per_us
+    }
+
+    /// Reset the counters (between benchmark phases).
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let n = NetworkSim::new(1000, 10);
+        n.transfer(500);
+        n.transfer(1500);
+        assert_eq!(n.messages(), 2);
+        assert_eq!(n.bytes(), 2000);
+        assert_eq!(n.virtual_time_us(), 2 * 1000 + 2000 / 10);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let n = NetworkSim::lan();
+        n.transfer(100);
+        n.reset();
+        assert_eq!(n.messages(), 0);
+        assert_eq!(n.virtual_time_us(), 0);
+    }
+
+    #[test]
+    fn profiles_ordered() {
+        let wan = NetworkSim::wan();
+        let lan = NetworkSim::lan();
+        wan.transfer(10_000);
+        lan.transfer(10_000);
+        assert!(wan.virtual_time_us() > lan.virtual_time_us());
+    }
+}

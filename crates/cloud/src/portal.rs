@@ -1,0 +1,507 @@
+//! Portal servers and the DRA4WfMS cloud system (§3, §4.2).
+//!
+//! Portals are stateless front doors: they authenticate users, verify
+//! incoming documents, store them in the pool, maintain TO-DO indexes and
+//! notify subsequent participants. All persistent state lives in the
+//! document pool — which is why any number of portals can serve the same
+//! deployment (the scalability story of the paper).
+
+use crate::netsim::NetworkSim;
+use dra4wfms_core::prelude::*;
+use dra4wfms_core::monitor::ProcessStatus;
+use dra4wfms_core::verify::verify_document;
+use dra_docpool::{map_reduce, HTable, TableConfig};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Column family / qualifier layout of the pool.
+const FAM_DOC: &str = "doc";
+const QUAL_XML: &str = "xml";
+const FAM_META: &str = "meta";
+
+/// A pending work item for a participant (the TO-DO list of §4.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TodoEntry {
+    /// Process instance id.
+    pub process_id: String,
+    /// The activity awaiting execution.
+    pub activity: String,
+}
+
+/// Counters of one portal server.
+#[derive(Debug, Default)]
+pub struct PortalStats {
+    /// Documents stored through this portal.
+    pub stored: AtomicUsize,
+    /// Documents served to users.
+    pub retrieved: AtomicUsize,
+    /// Full verifications performed.
+    pub verifications: AtomicUsize,
+}
+
+/// The DRA4WfMS cloud system: a pool of documents behind `n` portal servers.
+pub struct CloudSystem {
+    /// The pool of DRA4WfMS documents (HBase in the paper).
+    pub pool: Arc<HTable>,
+    /// Deployment PKI.
+    pub directory: Directory,
+    /// Per-portal statistics, index = portal id.
+    pub portals: Vec<PortalStats>,
+    /// Simulated network accounting for user↔portal transfers.
+    pub network: Arc<NetworkSim>,
+}
+
+impl CloudSystem {
+    /// Create a deployment with `portals` portal servers.
+    pub fn new(directory: Directory, portals: usize, network: Arc<NetworkSim>) -> CloudSystem {
+        CloudSystem {
+            pool: Arc::new(HTable::new(TableConfig { max_versions: 4, max_region_rows: 1024 })),
+            directory,
+            portals: (0..portals.max(1)).map(|_| PortalStats::default()).collect(),
+            network,
+        }
+    }
+
+    fn doc_key(process_id: &str, seq: usize) -> String {
+        format!("doc/{process_id}/{seq:06}")
+    }
+
+    fn todo_key(participant: &str, process_id: &str, activity: &str) -> String {
+        format!("todo/{participant}/{process_id}/{activity}")
+    }
+
+    fn meta_key(process_id: &str) -> String {
+        format!("meta/{process_id}")
+    }
+
+    /// Store a verified document through portal `portal`, then notify the
+    /// participants of `route`'s target activities (steps 4–6 of Fig. 7).
+    ///
+    /// Returns the sequence number the document was stored under.
+    pub fn store_document(
+        &self,
+        portal: usize,
+        xml: &str,
+        route: &Route,
+    ) -> WfResult<usize> {
+        let stats = &self.portals[portal % self.portals.len()];
+        self.network.transfer(xml.len());
+
+        // the portal verifies before storing — a malformed or tampered
+        // document never enters the pool
+        let doc = DraDocument::parse(xml)?;
+        let report = verify_document(&doc, &self.directory)?;
+        stats.verifications.fetch_add(1, Ordering::Relaxed);
+
+        let pid = report.process_id.clone();
+        // storage sequence = number of versions already stored for this
+        // process (parallel AND-split branches have equal CER counts, so the
+        // CER count alone would collide)
+        let seq = self.pool.scan_prefix(&format!("doc/{pid}/")).len();
+        self.pool.put(&Self::doc_key(&pid, seq), FAM_DOC, QUAL_XML, xml.to_string());
+
+        // meta row: status + step counter for monitoring dashboards
+        // (amendments folded in, so dynamically added activities resolve)
+        let (def, _) = dra4wfms_core::amendment::effective_definition(&doc)?;
+        let status = if route.is_final() { "complete" } else { "running" };
+        self.pool.put(&Self::meta_key(&pid), FAM_META, "status", status);
+        self.pool.put(&Self::meta_key(&pid), FAM_META, "steps", report.cers.len().to_string());
+        self.pool.put(&Self::meta_key(&pid), FAM_META, "workflow", def.name.clone());
+
+        // notify: add TO-DO entries for each routed target's participant
+        for target in &route.targets {
+            let participant = def.activity(target)?.participant.clone();
+            self.pool.put(
+                &Self::todo_key(&participant, &pid, target),
+                FAM_META,
+                "seq",
+                seq.to_string(),
+            );
+        }
+        stats.stored.fetch_add(1, Ordering::Relaxed);
+        Ok(seq)
+    }
+
+    /// Retrieve the latest stored document of a process (step 2 of Fig. 7).
+    pub fn retrieve_latest(&self, portal: usize, process_id: &str) -> Option<String> {
+        let stats = &self.portals[portal % self.portals.len()];
+        let rows = self.pool.scan_prefix(&format!("doc/{process_id}/"));
+        let xml = rows.last()?.1.get_str(FAM_DOC, QUAL_XML)?;
+        self.network.transfer(xml.len());
+        stats.retrieved.fetch_add(1, Ordering::Relaxed);
+        Some(xml)
+    }
+
+    /// Retrieve a specific stored version.
+    pub fn retrieve_version(&self, process_id: &str, seq: usize) -> Option<String> {
+        self.pool
+            .get_str(&Self::doc_key(process_id, seq), FAM_DOC, QUAL_XML)
+    }
+
+    /// The TO-DO list of a participant ("a list of links of DRA4WfMS
+    /// documents where s/he is one of the participants of the subsequent
+    /// activities", §4.2).
+    pub fn search_todo(&self, participant: &str) -> Vec<TodoEntry> {
+        self.pool
+            .scan_prefix(&format!("todo/{participant}/"))
+            .into_iter()
+            .filter_map(|(key, _)| {
+                let rest = key.strip_prefix(&format!("todo/{participant}/"))?;
+                let (pid, activity) = rest.rsplit_once('/')?;
+                Some(TodoEntry { process_id: pid.to_string(), activity: activity.to_string() })
+            })
+            .collect()
+    }
+
+    /// Remove a consumed TO-DO entry (after the activity executed).
+    pub fn consume_todo(&self, participant: &str, process_id: &str, activity: &str) -> bool {
+        self.pool
+            .delete_row(&Self::todo_key(participant, process_id, activity))
+    }
+
+    /// Monitoring: the status of one process instance, derived from its
+    /// latest stored document.
+    pub fn process_status(&self, process_id: &str) -> WfResult<Option<ProcessStatus>> {
+        let Some(xml) = self.retrieve_version_latest_xml(process_id) else {
+            return Ok(None);
+        };
+        let doc = DraDocument::parse(&xml)?;
+        Ok(Some(ProcessStatus::from_document(&doc)?))
+    }
+
+    fn retrieve_version_latest_xml(&self, process_id: &str) -> Option<String> {
+        let rows = self.pool.scan_prefix(&format!("doc/{process_id}/"));
+        rows.last()?.1.get_str(FAM_DOC, QUAL_XML)
+    }
+
+    /// MapReduce statistics over every stored process: instance counts per
+    /// status (the paper's "statistical analyses to workflow processes or
+    /// instances stored in the DRA4WfMS cloud system").
+    pub fn statistics_by_status(&self, threads: usize) -> BTreeMap<String, usize> {
+        map_reduce(
+            &self.pool,
+            threads,
+            |key, row| {
+                if !key.starts_with("meta/") {
+                    return vec![];
+                }
+                match row.get_str(FAM_META, "status") {
+                    Some(s) => vec![(s, 1usize)],
+                    None => vec![],
+                }
+            },
+            |_, vs| vs.len(),
+        )
+    }
+
+    /// MapReduce over the stored documents themselves: per-activity count
+    /// and mean TFC-timestamp gap to the previous CER (advanced model) —
+    /// the "statistics on the performance of one or more processes" that
+    /// §2.2 says monitoring must provide. Returns
+    /// `activity -> (executions, mean gap ms)`.
+    pub fn activity_latency_stats(&self, threads: usize) -> BTreeMap<String, (usize, f64)> {
+        let sums = map_reduce(
+            &self.pool,
+            threads,
+            |key, row| {
+                if !key.starts_with("meta/") {
+                    return vec![];
+                }
+                // load the latest stored document of this process
+                let pid = key.trim_start_matches("meta/");
+                let _ = row;
+                let Some(xml) = self.retrieve_version_latest_xml(pid) else {
+                    return vec![];
+                };
+                let Ok(doc) = DraDocument::parse(&xml) else { return vec![] };
+                let Ok(cers) = doc.cers() else { return vec![] };
+                let mut out = Vec::new();
+                let mut prev_ts: Option<u64> = None;
+                for cer in cers {
+                    if let Some(ts) = cer.timestamp_millis() {
+                        if let Some(p) = prev_ts {
+                            out.push((cer.key.activity.clone(), ts.saturating_sub(p)));
+                        }
+                        prev_ts = Some(ts);
+                    }
+                }
+                out
+            },
+            |_, gaps| {
+                let n = gaps.len();
+                let mean = gaps.iter().sum::<u64>() as f64 / n as f64;
+                (n, mean)
+            },
+        );
+        sums
+    }
+
+    /// MapReduce: total executed steps per workflow name.
+    pub fn steps_per_workflow(&self, threads: usize) -> BTreeMap<String, usize> {
+        map_reduce(
+            &self.pool,
+            threads,
+            |key, row| {
+                if !key.starts_with("meta/") {
+                    return vec![];
+                }
+                let wf = row.get_str(FAM_META, "workflow");
+                let steps = row.get_str(FAM_META, "steps").and_then(|s| s.parse::<usize>().ok());
+                match (wf, steps) {
+                    (Some(w), Some(n)) => vec![(w, n)],
+                    _ => vec![],
+                }
+            },
+            |_, vs| vs.iter().sum(),
+        )
+    }
+
+    /// Total documents stored across portals.
+    pub fn total_stored(&self) -> usize {
+        self.portals.iter().map(|p| p.stored.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upload a secured initial document ("the secured initial DRA4WfMS
+    /// documents can be prepared by the system or uploaded to the system by
+    /// the user", §3). The portal verifies the designer's signature before
+    /// accepting; returns the process id.
+    pub fn upload_initial(&self, portal: usize, xml: &str) -> WfResult<String> {
+        let stats = &self.portals[portal % self.portals.len()];
+        self.network.transfer(xml.len());
+        let doc = DraDocument::parse(xml)?;
+        let report = verify_document(&doc, &self.directory)?;
+        stats.verifications.fetch_add(1, Ordering::Relaxed);
+        if !report.cers.is_empty() {
+            return Err(WfError::Malformed(
+                "initial documents must not contain execution results".into(),
+            ));
+        }
+        let pid = report.process_id;
+        self.pool.put(&format!("initial/{pid}"), FAM_DOC, QUAL_XML, xml.to_string());
+        Ok(pid)
+    }
+
+    /// List uploaded initial documents not yet started.
+    pub fn pending_initials(&self) -> Vec<String> {
+        self.pool
+            .scan_prefix("initial/")
+            .into_iter()
+            .filter_map(|(k, _)| k.strip_prefix("initial/").map(str::to_string))
+            .collect()
+    }
+
+    /// Start a previously uploaded process: move the initial document into
+    /// the document store and notify the start activity's participant.
+    pub fn start_uploaded(&self, portal: usize, process_id: &str) -> WfResult<()> {
+        let xml = self
+            .pool
+            .get_str(&format!("initial/{process_id}"), FAM_DOC, QUAL_XML)
+            .ok_or_else(|| WfError::Malformed(format!("no pending initial '{process_id}'")))?;
+        let doc = DraDocument::parse(&xml)?;
+        let (def, _) = dra4wfms_core::amendment::effective_definition(&doc)?;
+        self.store_document(
+            portal,
+            &xml,
+            &Route { targets: vec![def.start.clone()], ends: false },
+        )?;
+        self.pool.delete_row(&format!("initial/{process_id}"));
+        Ok(())
+    }
+
+    /// Snapshot the entire document pool (disaster recovery; the HDFS role
+    /// in the paper's stack).
+    pub fn snapshot_pool(&self) -> Vec<u8> {
+        self.pool.export_snapshot()
+    }
+
+    /// Rebuild a cloud system from a pool snapshot — a cold restart of the
+    /// deployment. Portal counters reset; every stored document, TO-DO
+    /// entry and meta row survives.
+    pub fn restore(
+        directory: Directory,
+        portals: usize,
+        network: Arc<NetworkSim>,
+        snapshot: &[u8],
+    ) -> WfResult<CloudSystem> {
+        let pool = dra_docpool::HTable::import_snapshot(snapshot)
+            .map_err(|e| WfError::Malformed(format!("pool snapshot: {e}")))?;
+        Ok(CloudSystem {
+            pool: Arc::new(pool),
+            directory,
+            portals: (0..portals.max(1)).map(|_| PortalStats::default()).collect(),
+            network,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CloudSystem, WorkflowDefinition, SecurityPolicy, Credentials, Credentials) {
+        let designer = Credentials::from_seed("designer", "d");
+        let alice = Credentials::from_seed("alice", "a");
+        let bob = Credentials::from_seed("bob", "b");
+        let def = WorkflowDefinition::builder("po", "designer")
+            .simple_activity("submit", "alice", &["amount"])
+            .simple_activity("approve", "bob", &["decision"])
+            .flow("submit", "approve")
+            .flow_end("approve")
+            .build()
+            .unwrap();
+        let dir = Directory::from_credentials([&designer, &alice, &bob]);
+        let sys = CloudSystem::new(dir, 2, Arc::new(NetworkSim::lan()));
+        (sys, def, SecurityPolicy::public(), designer, alice)
+    }
+
+    #[test]
+    fn store_retrieve_roundtrip() {
+        let (sys, def, pol, designer, _) = setup();
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "p-1").unwrap();
+        let route = Route { targets: vec!["submit".into()], ends: false };
+        let seq = sys.store_document(0, &doc.to_xml_string(), &route).unwrap();
+        assert_eq!(seq, 0);
+        let xml = sys.retrieve_latest(0, "p-1").unwrap();
+        assert_eq!(xml, doc.to_xml_string());
+        assert_eq!(sys.retrieve_version("p-1", 0).unwrap(), xml);
+        assert!(sys.retrieve_version("p-1", 3).is_none());
+    }
+
+    #[test]
+    fn tampered_document_never_enters_pool() {
+        let (sys, def, pol, designer, _) = setup();
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "p-2").unwrap();
+        let tampered = doc.to_xml_string().replace("alice", "mallory");
+        let route = Route::default();
+        assert!(sys.store_document(0, &tampered, &route).is_err());
+        assert!(sys.retrieve_latest(0, "p-2").is_none());
+        assert_eq!(sys.total_stored(), 0);
+    }
+
+    #[test]
+    fn todo_notification_cycle() {
+        let (sys, def, pol, designer, _) = setup();
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "p-3").unwrap();
+        sys.store_document(
+            0,
+            &doc.to_xml_string(),
+            &Route { targets: vec!["submit".into()], ends: false },
+        )
+        .unwrap();
+        // alice is notified
+        let todos = sys.search_todo("alice");
+        assert_eq!(
+            todos,
+            vec![TodoEntry { process_id: "p-3".into(), activity: "submit".into() }]
+        );
+        assert!(sys.search_todo("bob").is_empty());
+        // consumed after execution
+        assert!(sys.consume_todo("alice", "p-3", "submit"));
+        assert!(sys.search_todo("alice").is_empty());
+        assert!(!sys.consume_todo("alice", "p-3", "submit"));
+    }
+
+    #[test]
+    fn status_and_statistics() {
+        let (sys, def, pol, designer, _) = setup();
+        for i in 0..6 {
+            let doc =
+                DraDocument::new_initial_with_pid(&def, &pol, &designer, &format!("p-{i}"))
+                    .unwrap();
+            // even instances "complete", odd "running"
+            let route = if i % 2 == 0 {
+                Route { targets: vec![], ends: true }
+            } else {
+                Route { targets: vec!["submit".into()], ends: false }
+            };
+            sys.store_document(i, &doc.to_xml_string(), &route).unwrap();
+        }
+        let stats = sys.statistics_by_status(4);
+        assert_eq!(stats["complete"], 3);
+        assert_eq!(stats["running"], 3);
+        let steps = sys.steps_per_workflow(4);
+        assert_eq!(steps["po"], 0, "no CERs stored yet");
+        let status = sys.process_status("p-0").unwrap().unwrap();
+        assert_eq!(status.process_id, "p-0");
+        assert!(sys.process_status("nope").unwrap().is_none());
+    }
+
+    #[test]
+    fn upload_and_start_lifecycle() {
+        let (sys, def, pol, designer, _) = setup();
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "up-1").unwrap();
+        let pid = sys.upload_initial(0, &doc.to_xml_string()).unwrap();
+        assert_eq!(pid, "up-1");
+        assert_eq!(sys.pending_initials(), vec!["up-1"]);
+        // nobody is notified until the process is started
+        assert!(sys.search_todo("alice").is_empty());
+        sys.start_uploaded(0, "up-1").unwrap();
+        assert!(sys.pending_initials().is_empty());
+        assert_eq!(sys.search_todo("alice").len(), 1);
+        assert!(sys.retrieve_latest(0, "up-1").is_some());
+        // starting twice fails
+        assert!(sys.start_uploaded(0, "up-1").is_err());
+    }
+
+    #[test]
+    fn upload_rejects_non_initial_and_forged() {
+        let (sys, def, pol, designer, alice) = setup();
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "up-2").unwrap();
+        // forged designer signature
+        let forged = doc.to_xml_string().replace("up-2", "up-3");
+        assert!(sys.upload_initial(0, &forged).is_err());
+        // a document with executed CERs is not an initial document
+        let aea = Aea::new(alice, sys.directory.clone());
+        let recv = aea.receive(&doc.to_xml_string(), "submit").unwrap();
+        let done = aea.complete(&recv, &[("amount".into(), "1".into())]).unwrap();
+        assert!(matches!(
+            sys.upload_initial(0, &done.document.to_xml_string()),
+            Err(WfError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn cold_restart_from_snapshot() {
+        let (sys, def, pol, designer, _) = setup();
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "p-r").unwrap();
+        sys.store_document(
+            0,
+            &doc.to_xml_string(),
+            &Route { targets: vec!["submit".into()], ends: false },
+        )
+        .unwrap();
+        let snapshot = sys.snapshot_pool();
+
+        // the deployment restarts from the snapshot
+        let restored = CloudSystem::restore(
+            sys.directory.clone(),
+            3,
+            Arc::new(NetworkSim::lan()),
+            &snapshot,
+        )
+        .unwrap();
+        assert_eq!(restored.retrieve_latest(0, "p-r").unwrap(), doc.to_xml_string());
+        assert_eq!(restored.search_todo("alice").len(), 1, "TO-DO entries survive");
+        assert_eq!(restored.statistics_by_status(2)["running"], 1);
+        // corrupted snapshots are rejected
+        assert!(CloudSystem::restore(
+            sys.directory.clone(),
+            1,
+            Arc::new(NetworkSim::lan()),
+            &snapshot[..10],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn network_accounting_tracks_transfers() {
+        let (sys, def, pol, designer, _) = setup();
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "p-n").unwrap();
+        let before = sys.network.bytes();
+        sys.store_document(0, &doc.to_xml_string(), &Route::default()).unwrap();
+        sys.retrieve_latest(1, "p-n").unwrap();
+        assert_eq!(sys.network.bytes(), before + 2 * doc.to_xml_string().len() as u64);
+        assert_eq!(sys.network.messages(), 2);
+    }
+}

@@ -1,0 +1,323 @@
+//! End-to-end scenario driver: pushes whole process instances through the
+//! Fig. 7 loop — portal → AEA → (TFC →) portal → notify — handling
+//! AND-split branching, AND-join merging and loops.
+//!
+//! Participants are scripted: a [`Responder`] maps each opened activity to
+//! its response fields, standing in for the humans behind the GUIs (the
+//! experiments measure AEA/TFC processing, not think time).
+
+use crate::portal::CloudSystem;
+use dra4wfms_core::flow::merge_documents;
+use dra4wfms_core::prelude::*;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Scripted participant behaviour: given the opened activity (with its
+/// visible fields), produce the response fields.
+pub type Responder = dyn Fn(&ReceivedActivity) -> Vec<(String, String)> + Sync;
+
+/// The result of driving one process instance to completion.
+pub struct RunOutcome {
+    /// The final document.
+    pub document: DraDocument,
+    /// Total activity executions performed.
+    pub steps: usize,
+    /// The process id.
+    pub process_id: String,
+}
+
+/// Drive one process instance end to end.
+///
+/// * `system` — the cloud deployment (portals + pool + PKI),
+/// * `initial` — the secured initial document,
+/// * `agents` — one AEA per participant name,
+/// * `tfc` — the TFC server when the definition uses the advanced model,
+/// * `respond` — scripted participant behaviour,
+/// * `max_steps` — safety bound against runaway loops.
+pub fn run_instance(
+    system: &CloudSystem,
+    initial: &DraDocument,
+    agents: &HashMap<String, Arc<Aea>>,
+    tfc: Option<&TfcServer>,
+    respond: &Responder,
+    max_steps: usize,
+) -> WfResult<RunOutcome> {
+    let (def, _) = dra4wfms_core::amendment::effective_definition(initial)?;
+    def.validate()?;
+    let pid = initial.process_id()?;
+    if def.tfc.is_some() && tfc.is_none() {
+        return Err(WfError::Policy(
+            "definition uses the advanced model but no TFC server was provided".into(),
+        ));
+    }
+
+    // the initial document enters the pool; the start activity is notified
+    system.store_document(0, &initial.to_xml_string(), &Route {
+        targets: vec![def.start.clone()],
+        ends: false,
+    })?;
+
+    // inbox: per-activity branch documents awaiting execution/merge
+    let mut inbox: HashMap<String, Vec<String>> = HashMap::new();
+    inbox.entry(def.start.clone()).or_default().push(initial.to_xml_string());
+    let mut queue: VecDeque<String> = VecDeque::from([def.start.clone()]);
+
+    let mut steps = 0usize;
+    let mut last_doc = initial.clone();
+
+    while let Some(activity) = queue.pop_front() {
+        let Some(arrived) = inbox.remove(&activity) else { continue };
+        if steps >= max_steps {
+            return Err(WfError::Flow(format!(
+                "run exceeded {max_steps} steps (runaway loop?)"
+            )));
+        }
+
+        // merge branch documents (no-op for single-document arrivals)
+        let docs: Vec<DraDocument> =
+            arrived.iter().map(|x| DraDocument::parse(x)).collect::<WfResult<_>>()?;
+        let merged = merge_documents(&docs)?;
+
+        // re-fold amendments: a designer may have amended the definition
+        // mid-run, and routing must follow the rules now in force
+        let (def_now, _) = dra4wfms_core::amendment::effective_definition(&merged)?;
+        let act = def_now.activity(&activity)?.clone();
+        let aea = agents
+            .get(&act.participant)
+            .ok_or_else(|| WfError::UnknownIdentity(act.participant.clone()))?;
+
+        // AND-join: wait for the remaining branches
+        if act.join == JoinKind::All && !join_ready(&merged, &def_now, &activity)? {
+            inbox.entry(activity.clone()).or_default().extend(arrived);
+            continue;
+        }
+
+        let received = aea.receive_document(merged, &activity)?;
+        let responses = respond(&received);
+        steps += 1;
+
+        // basic vs advanced model
+        let (document, route) = match (&def_now.tfc, tfc) {
+            (Some(_), Some(server)) => {
+                let inter = aea.complete_via_tfc(&received, &responses)?;
+                system.network.transfer(inter.document.size_bytes());
+                let processed = server.receive_document(inter.document)?;
+                let finalized = server.finalize(&processed)?;
+                (finalized.document, finalized.route)
+            }
+            _ => {
+                let done = aea.complete(&received, &responses)?;
+                (done.document, done.route)
+            }
+        };
+
+        // store + notify (portal chosen round-robin by step)
+        system.store_document(steps, &document.to_xml_string(), &route)?;
+        system.consume_todo(&act.participant, &pid, &activity);
+
+        for target in &route.targets {
+            inbox
+                .entry(target.clone())
+                .or_default()
+                .push(document.to_xml_string());
+            if !queue.contains(target) {
+                queue.push_back(target.clone());
+            }
+        }
+        last_doc = document;
+    }
+
+    Ok(RunOutcome { document: last_doc, steps, process_id: pid })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netsim::NetworkSim;
+    use dra4wfms_core::monitor::ProcessStatus;
+    use dra4wfms_core::verify::verify_document;
+
+    /// The Fig. 9A workflow: A → AND-split(B1,B2) → AND-join C → (loop to A
+    /// on "insufficient" | D on accept) → end.
+    pub fn fig9a() -> WorkflowDefinition {
+        WorkflowDefinition::builder("fig9a", "designer")
+            .simple_activity("A", "p_a", &["attachment"])
+            .simple_activity("B1", "p_b1", &["review1"])
+            .simple_activity("B2", "p_b2", &["review2"])
+            .activity(Activity {
+                id: "C".into(),
+                participant: "p_c".into(),
+                join: JoinKind::All,
+                requests: vec![],
+                responses: vec!["decision".into()],
+            })
+            .simple_activity("D", "p_d", &["ack"])
+            .flow("A", "B1")
+            .flow("A", "B2")
+            .flow("B1", "C")
+            .flow("B2", "C")
+            .flow_if("C", "A", Condition::field_equals("C", "decision", "insufficient"))
+            .flow_if("C", "D", Condition::field_not_equals("C", "decision", "insufficient"))
+            .flow_end("D")
+            .build()
+            .unwrap()
+    }
+
+    fn people() -> Vec<Credentials> {
+        ["designer", "p_a", "p_b1", "p_b2", "p_c", "p_d", "TFC"]
+            .iter()
+            .map(|n| Credentials::from_seed(*n, &format!("seed-{n}")))
+            .collect()
+    }
+
+    fn agents(creds: &[Credentials], dir: &Directory) -> HashMap<String, Arc<Aea>> {
+        creds
+            .iter()
+            .map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone()))))
+            .collect()
+    }
+
+    /// Fig. 9A with the loop taken once: C rejects on its first pass
+    /// ("attachment is insufficient"), then accepts.
+    fn fig9a_responder() -> impl Fn(&ReceivedActivity) -> Vec<(String, String)> + Sync {
+        |received: &ReceivedActivity| match received.activity.as_str() {
+            "A" => vec![("attachment".into(), format!("files-v{}", received.iter))],
+            "B1" => vec![("review1".into(), "looks-good".into())],
+            "B2" => vec![("review2".into(), "fine".into())],
+            "C" => {
+                let decision = if received.iter == 0 { "insufficient" } else { "accept" };
+                vec![("decision".into(), decision.into())]
+            }
+            "D" => vec![("ack".into(), "done".into())],
+            other => panic!("unexpected activity {other}"),
+        }
+    }
+
+    #[test]
+    fn fig9a_basic_model_full_run() {
+        let creds = people();
+        let dir = Directory::from_credentials(&creds);
+        let sys = CloudSystem::new(dir.clone(), 3, Arc::new(NetworkSim::lan()));
+        let def = fig9a();
+        let initial = DraDocument::new_initial_with_pid(
+            &def,
+            &SecurityPolicy::public(),
+            &creds[0],
+            "fig9a-run",
+        )
+        .unwrap();
+        let out = run_instance(
+            &sys,
+            &initial,
+            &agents(&creds, &dir),
+            None,
+            &fig9a_responder(),
+            100,
+        )
+        .unwrap();
+        // Loop taken once: A,B1,B2,C (reject) + A,B1,B2,C (accept) + D = 9
+        assert_eq!(out.steps, 9);
+        let cers = out.document.cers().unwrap();
+        assert_eq!(cers.len(), 9);
+        let status = ProcessStatus::from_document(&out.document).unwrap();
+        assert_eq!(status.counts_per_activity()["A"], 2);
+        assert_eq!(status.counts_per_activity()["C"], 2);
+        assert_eq!(status.counts_per_activity()["D"], 1);
+        // the final document verifies end-to-end
+        let report = verify_document(&out.document, &dir).unwrap();
+        assert_eq!(report.signatures_verified, 10, "designer + 9 CERs");
+        // and the pool has every intermediate version
+        assert_eq!(sys.pool.scan_prefix("doc/fig9a-run/").len(), 10);
+    }
+
+    #[test]
+    fn fig9b_advanced_model_full_run() {
+        let creds = people();
+        let dir = Directory::from_credentials(&creds);
+        let sys = CloudSystem::new(dir.clone(), 3, Arc::new(NetworkSim::lan()));
+        let def = {
+            // same process, routed through the TFC (Fig. 9B)
+            let mut d = fig9a();
+            d.tfc = Some("TFC".into());
+            d
+        };
+        let tfc_creds = creds.iter().find(|c| c.name == "TFC").unwrap().clone();
+        let t = 1_000u64;
+        let tfc = TfcServer::with_clock(
+            tfc_creds,
+            dir.clone(),
+            Arc::new(move || t),
+        );
+        let initial = DraDocument::new_initial_with_pid(
+            &def,
+            &SecurityPolicy::public().with_tfc_access("TFC", &def),
+            &creds[0],
+            "fig9b-run",
+        )
+        .unwrap();
+        let out = run_instance(
+            &sys,
+            &initial,
+            &agents(&creds, &dir),
+            Some(&tfc),
+            &fig9a_responder(),
+            100,
+        )
+        .unwrap();
+        assert_eq!(out.steps, 9);
+        // every CER carries a TFC timestamp
+        let status = ProcessStatus::from_document(&out.document).unwrap();
+        assert!(status.executed.iter().all(|e| e.timestamp == Some(1_000)));
+        // designer + 9 participant sigs + 9 TFC sigs
+        let report = verify_document(&out.document, &dir).unwrap();
+        assert_eq!(report.signatures_verified, 19);
+    }
+
+    #[test]
+    fn missing_tfc_is_an_error() {
+        let creds = people();
+        let dir = Directory::from_credentials(&creds);
+        let sys = CloudSystem::new(dir.clone(), 1, Arc::new(NetworkSim::lan()));
+        let mut def = fig9a();
+        def.tfc = Some("TFC".into());
+        let initial = DraDocument::new_initial_with_pid(
+            &def,
+            &SecurityPolicy::public(),
+            &creds[0],
+            "x",
+        )
+        .unwrap();
+        assert!(matches!(
+            run_instance(&sys, &initial, &agents(&creds, &dir), None, &fig9a_responder(), 10),
+            Err(WfError::Policy(_))
+        ));
+    }
+
+    #[test]
+    fn runaway_loop_bounded() {
+        let creds = people();
+        let dir = Directory::from_credentials(&creds);
+        let sys = CloudSystem::new(dir.clone(), 1, Arc::new(NetworkSim::lan()));
+        let def = fig9a();
+        let initial = DraDocument::new_initial_with_pid(
+            &def,
+            &SecurityPolicy::public(),
+            &creds[0],
+            "loop-forever",
+        )
+        .unwrap();
+        // C always rejects → infinite loop → bounded by max_steps
+        let always_reject = |received: &ReceivedActivity| match received.activity.as_str() {
+            "A" => vec![("attachment".into(), "f".into())],
+            "B1" => vec![("review1".into(), "r".into())],
+            "B2" => vec![("review2".into(), "r".into())],
+            "C" => vec![("decision".into(), "insufficient".into())],
+            "D" => vec![("ack".into(), "d".into())],
+            _ => vec![],
+        };
+        assert!(matches!(
+            run_instance(&sys, &initial, &agents(&creds, &dir), None, &always_reject, 20),
+            Err(WfError::Flow(_))
+        ));
+    }
+}

@@ -1,0 +1,459 @@
+//! The Activity Execution Agent (AEA).
+//!
+//! "A software tool … to activate the execution of activities. First, the
+//! AEA parses X_Ai and verifies all the embedded digital signatures … Second,
+//! the AEA checks if the participant is the correct executor of this
+//! activity. Third, the AEA … shows them to the participant … Fourth, the AEA
+//! appends the execution result … Fifth, the AEA embeds a digital signature
+//! that signs the execution result and some of the digital signatures
+//! embedded in previous activities … Finally, the AEA checks the control
+//! flow information … and forwards X''_Ai" (§2.1).
+//!
+//! The API splits along the paper's measurement boundaries so Tables 1 and 2
+//! can be regenerated exactly:
+//!
+//! * [`Aea::receive`] — parse + verify + decrypt (the α column),
+//! * [`Aea::complete`] / [`Aea::complete_via_tfc`] — encrypt + sign
+//!   (+ route) (the β column).
+
+use crate::document::{preds_to_attr, CerKey, DraDocument, PredRef};
+use crate::error::{WfError, WfResult};
+use crate::fields::{build_plain_result_element, build_result_element};
+use crate::flow::{evaluate_route, join_ready, merge_documents, DocFieldReader, Route};
+use crate::identity::{Credentials, Directory};
+use crate::model::{FieldRef, JoinKind, WorkflowDefinition};
+use crate::policy::SecurityPolicy;
+use crate::verify::{verify_document_with_def, VerificationReport};
+use dra_xml::canon::canonicalize;
+use dra_xml::sig::sign_detached;
+use dra_xml::Element;
+
+/// An Activity Execution Agent bound to one participant's credentials.
+pub struct Aea {
+    /// The participant's secret key material.
+    pub creds: Credentials,
+    /// The deployment PKI.
+    pub directory: Directory,
+}
+
+/// The outcome of [`Aea::receive`]: a verified document opened for one
+/// activity execution, with the request fields the participant may see.
+#[derive(Debug)]
+pub struct ReceivedActivity {
+    /// The verified document.
+    pub doc: DraDocument,
+    /// Parsed workflow definition.
+    pub def: WorkflowDefinition,
+    /// Parsed security policy.
+    pub policy: SecurityPolicy,
+    /// The activity to execute.
+    pub activity: String,
+    /// Its iteration number (0-based; >0 inside loops).
+    pub iter: u32,
+    /// Cascade predecessors the new CER will sign.
+    pub preds: Vec<PredRef>,
+    /// Request fields decrypted for display to the participant.
+    pub visible: Vec<(FieldRef, String)>,
+    /// Request fields the participant's keys cannot open.
+    pub hidden: Vec<FieldRef>,
+    /// The verification report (signature counts etc.).
+    pub report: VerificationReport,
+}
+
+/// The outcome of [`Aea::complete`] in the basic model.
+#[derive(Debug)]
+pub struct CompletedActivity {
+    /// The new document `X''_Ai(k)`.
+    pub document: DraDocument,
+    /// Where to forward it.
+    pub route: Route,
+    /// The CER just appended.
+    pub key: CerKey,
+}
+
+/// The outcome of [`Aea::complete_via_tfc`]: an intermediate document whose
+/// fresh result is sealed to the TFC server.
+#[derive(Debug)]
+pub struct IntermediateActivity {
+    /// The intermediate document `X^~_Ai(k)`.
+    pub document: DraDocument,
+    /// The CER just appended (intermediate form).
+    pub key: CerKey,
+}
+
+impl Aea {
+    /// Create an AEA for a participant.
+    pub fn new(creds: Credentials, directory: Directory) -> Aea {
+        Aea { creds, directory }
+    }
+
+    /// Receive a routed document and open `activity` for execution.
+    ///
+    /// This is the paper's α phase: parse, verify every embedded signature,
+    /// check the executor, decrypt the request fields.
+    pub fn receive(&self, xml: &str, activity: &str) -> WfResult<ReceivedActivity> {
+        let doc = DraDocument::parse(xml)?;
+        self.receive_document(doc, activity)
+    }
+
+    /// AND-join variant: receive one document per incoming branch, merge
+    /// their CER sets, then open the join activity.
+    pub fn receive_merged(&self, xmls: &[&str], activity: &str) -> WfResult<ReceivedActivity> {
+        let docs: Vec<DraDocument> =
+            xmls.iter().map(|x| DraDocument::parse(x)).collect::<WfResult<_>>()?;
+        let merged = merge_documents(&docs)?;
+        self.receive_document(merged, activity)
+    }
+
+    /// Core of [`Aea::receive`] operating on an already-parsed document.
+    pub fn receive_document(
+        &self,
+        doc: DraDocument,
+        activity: &str,
+    ) -> WfResult<ReceivedActivity> {
+        let base_def = doc.workflow_definition()?;
+        base_def.validate()?;
+        let report = verify_document_with_def(&doc, &self.directory, &base_def)?;
+        if report.ends_with_intermediate {
+            return Err(WfError::Malformed(
+                "document ends with a TFC-bound intermediate CER; it must be processed by the TFC first"
+                    .into(),
+            ));
+        }
+        // dynamic flow control: fold any (already verified) amendments into
+        // the effective definition and policy
+        let (def, policy) = crate::amendment::effective_definition(&doc)?;
+
+        let act = def.activity(activity)?.clone();
+        if act.participant != self.creds.name {
+            return Err(WfError::NotParticipant {
+                expected: act.participant,
+                actual: self.creds.name.clone(),
+            });
+        }
+        if act.join == JoinKind::All && !join_ready(&doc, &def, activity)? {
+            return Err(WfError::Flow(format!(
+                "AND-join '{activity}' is not ready: not all incoming branches have arrived"
+            )));
+        }
+
+        let iter = match doc.latest_iter(activity)? {
+            Some(i) => i + 1,
+            None => 0,
+        };
+        let preds = doc.compute_preds(&def, activity)?;
+
+        // decrypt the request fields
+        let mut visible = Vec::new();
+        let mut hidden = Vec::new();
+        {
+            let reader = DocFieldReader::for_actor(&doc, &self.creds);
+            use crate::fields::FieldReader;
+            for req in &act.requests {
+                match reader.read_field(&req.activity, &req.field) {
+                    Ok(Some(v)) => visible.push((req.clone(), v)),
+                    Ok(None) => {} // not produced yet (e.g. first loop pass)
+                    Err(WfError::FieldNotReadable { .. }) => hidden.push(req.clone()),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        Ok(ReceivedActivity {
+            doc,
+            def,
+            policy,
+            activity: activity.to_string(),
+            iter,
+            preds,
+            visible,
+            hidden,
+            report,
+        })
+    }
+
+    fn check_responses(
+        received: &ReceivedActivity,
+        responses: &[(String, String)],
+    ) -> WfResult<()> {
+        let act = received.def.activity(&received.activity)?;
+        for (name, _) in responses {
+            if !act.responses.contains(name) {
+                return Err(WfError::Flow(format!(
+                    "activity '{}' does not declare response field '{name}'",
+                    received.activity
+                )));
+            }
+        }
+        for declared in &act.responses {
+            if !responses.iter().any(|(n, _)| n == declared) {
+                return Err(WfError::Flow(format!(
+                    "response field '{declared}' of activity '{}' not provided",
+                    received.activity
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Complete the activity under the **basic operational model** (§2.1):
+    /// element-wise encrypt the responses per the security policy, embed the
+    /// cascade signature, and compute the route.
+    ///
+    /// This is the paper's β phase.
+    pub fn complete(
+        &self,
+        received: &ReceivedActivity,
+        responses: &[(String, String)],
+    ) -> WfResult<CompletedActivity> {
+        Self::check_responses(received, responses)?;
+        let reader = DocFieldReader::for_actor(&received.doc, &self.creds)
+            .with_overlay(&received.activity, responses);
+        let result = build_result_element(
+            &received.activity,
+            responses,
+            &received.policy,
+            &self.directory,
+            &self.creds.name,
+            &reader,
+        )?;
+
+        let mut document = received.doc.clone();
+        let key = CerKey::new(received.activity.clone(), received.iter);
+        let cascade = document.cascade_bytes(&result, &received.preds)?;
+        let sig = sign_detached(&self.creds.sign, &cascade, &format!("{key}"));
+        let cer = Element::new("CER")
+            .attr("activity", key.activity.clone())
+            .attr("iter", key.iter.to_string())
+            .attr("participant", self.creds.name.clone())
+            .attr("preds", preds_to_attr(&received.preds))
+            .child(result)
+            .child(sig);
+        document.push_cer(cer)?;
+
+        let route = evaluate_route(&received.def, &received.activity, &reader)?;
+        Ok(CompletedActivity { document, route, key })
+    }
+
+    /// Complete the activity under the **advanced operational model** (§2.2):
+    /// seal the plaintext result to the TFC server's public key and embed the
+    /// cascade signature over the sealed blob. The TFC will re-encrypt per
+    /// policy, timestamp, attest and route.
+    ///
+    /// This is the β column of Table 2.
+    pub fn complete_via_tfc(
+        &self,
+        received: &ReceivedActivity,
+        responses: &[(String, String)],
+    ) -> WfResult<IntermediateActivity> {
+        Self::check_responses(received, responses)?;
+        let tfc_name = received.def.tfc.as_deref().ok_or_else(|| {
+            WfError::Policy("workflow definition names no TFC server".into())
+        })?;
+        let tfc_id = self.directory.get(tfc_name)?;
+
+        // {{R_Ai}}Pub(TFC): the plaintext result, sealed so only the TFC
+        // can decrypt it.
+        let plain = build_plain_result_element(responses);
+        let sealed = dra_crypto::sealed::seal(&tfc_id.enc, &canonicalize(&plain));
+        let sealed_el = Element::new("TfcSealed")
+            .attr("tfc", tfc_name)
+            .text(dra_crypto::b64::encode(&sealed));
+
+        let mut document = received.doc.clone();
+        let key = CerKey::new(received.activity.clone(), received.iter);
+        let cascade = document.cascade_bytes(&sealed_el, &received.preds)?;
+        let sig = sign_detached(&self.creds.sign, &cascade, &format!("{key}"));
+        let cer = Element::new("CER")
+            .attr("activity", key.activity.clone())
+            .attr("iter", key.iter.to_string())
+            .attr("participant", self.creds.name.clone())
+            .attr("preds", preds_to_attr(&received.preds))
+            .child(sealed_el)
+            .child(sig);
+        document.push_cer(cer)?;
+
+        Ok(IntermediateActivity { document, key })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (WorkflowDefinition, SecurityPolicy, Credentials, Vec<Credentials>, Directory)
+    {
+        let designer = Credentials::from_seed("designer", "d");
+        let peter = Credentials::from_seed("peter", "p");
+        let amy = Credentials::from_seed("amy", "a");
+        let def = WorkflowDefinition::builder("review", "designer")
+            .simple_activity("A", "peter", &["amount", "note"])
+            .activity(crate::model::Activity {
+                id: "B".into(),
+                participant: "amy".into(),
+                join: JoinKind::Any,
+                requests: vec![FieldRef::new("A", "amount"), FieldRef::new("A", "note")],
+                responses: vec!["decision".into()],
+            })
+            .flow("A", "B")
+            .flow_end("B")
+            .build()
+            .unwrap();
+        let policy = SecurityPolicy::builder().restrict("A", "amount", &["amy"]).build();
+        let dir = Directory::from_credentials([&designer, &peter, &amy]);
+        (def, policy, designer, vec![peter, amy], dir)
+    }
+
+    fn initial(def: &WorkflowDefinition, pol: &SecurityPolicy, designer: &Credentials) -> String {
+        DraDocument::new_initial_with_pid(def, pol, designer, "pid-test")
+            .unwrap()
+            .to_xml_string()
+    }
+
+    #[test]
+    fn basic_model_end_to_end() {
+        let (def, pol, designer, people, dir) = setup();
+        let aea_peter = Aea::new(people[0].clone(), dir.clone());
+        let aea_amy = Aea::new(people[1].clone(), dir.clone());
+
+        // Peter executes A.
+        let recv = aea_peter.receive(&initial(&def, &pol, &designer), "A").unwrap();
+        assert_eq!(recv.iter, 0);
+        assert_eq!(recv.preds, vec![PredRef::Def]);
+        let done = aea_peter
+            .complete(
+                &recv,
+                &[("amount".into(), "9000".into()), ("note".into(), "urgent".into())],
+            )
+            .unwrap();
+        assert_eq!(done.route.targets, vec!["B"]);
+        assert_eq!(done.key, CerKey::new("A", 0));
+
+        // Amy executes B; sees both fields (amount encrypted to her).
+        let recv = aea_amy.receive(&done.document.to_xml_string(), "B").unwrap();
+        assert_eq!(recv.report.signatures_verified, 2, "designer + peter");
+        assert_eq!(recv.visible.len(), 2);
+        assert!(recv
+            .visible
+            .iter()
+            .any(|(f, v)| f.field == "amount" && v == "9000"));
+        assert!(recv.hidden.is_empty());
+        let done = aea_amy.complete(&recv, &[("decision".into(), "approve".into())]).unwrap();
+        assert!(done.route.ends);
+        assert!(done.route.is_final());
+        assert_eq!(done.document.cers().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn wrong_participant_rejected() {
+        let (def, pol, designer, people, dir) = setup();
+        let aea_amy = Aea::new(people[1].clone(), dir);
+        let err = aea_amy.receive(&initial(&def, &pol, &designer), "A").unwrap_err();
+        assert!(matches!(err, WfError::NotParticipant { expected, .. } if expected == "peter"));
+    }
+
+    #[test]
+    fn tampered_document_rejected_on_receive() {
+        let (def, pol, designer, people, dir) = setup();
+        let aea_peter = Aea::new(people[0].clone(), dir.clone());
+        let aea_amy = Aea::new(people[1].clone(), dir);
+        let recv = aea_peter.receive(&initial(&def, &pol, &designer), "A").unwrap();
+        let done = aea_peter
+            .complete(&recv, &[("amount".into(), "9000".into()), ("note".into(), "x".into())])
+            .unwrap();
+        // Mallory intercepts the document in flight and alters the public note.
+        let tampered = done.document.to_xml_string().replace(">x<", ">y<");
+        assert_ne!(tampered, done.document.to_xml_string());
+        let err = aea_amy.receive(&tampered, "B").unwrap_err();
+        assert!(matches!(err, WfError::Verify(_)), "alteration detected: {err}");
+    }
+
+    #[test]
+    fn undeclared_response_rejected() {
+        let (def, pol, designer, people, dir) = setup();
+        let aea_peter = Aea::new(people[0].clone(), dir);
+        let recv = aea_peter.receive(&initial(&def, &pol, &designer), "A").unwrap();
+        let err = aea_peter
+            .complete(&recv, &[("bogus".into(), "1".into())])
+            .unwrap_err();
+        assert!(matches!(err, WfError::Flow(_)));
+    }
+
+    #[test]
+    fn missing_response_rejected() {
+        let (def, pol, designer, people, dir) = setup();
+        let aea_peter = Aea::new(people[0].clone(), dir);
+        let recv = aea_peter.receive(&initial(&def, &pol, &designer), "A").unwrap();
+        let err = aea_peter
+            .complete(&recv, &[("amount".into(), "1".into())])
+            .unwrap_err();
+        assert!(matches!(err, WfError::Flow(m) if m.contains("note")));
+    }
+
+    #[test]
+    fn replaying_cer_into_other_process_fails() {
+        // The cascade signature covers the header (process id): a CER copied
+        // into a different process instance must not verify.
+        let (def, pol, designer, people, dir) = setup();
+        let aea_peter = Aea::new(people[0].clone(), dir.clone());
+        let recv = aea_peter.receive(&initial(&def, &pol, &designer), "A").unwrap();
+        let done = aea_peter
+            .complete(&recv, &[("amount".into(), "1".into()), ("note".into(), "n".into())])
+            .unwrap();
+
+        // fresh instance of the same workflow, different process id
+        let mut other = DraDocument::new_initial_with_pid(&def, &pol, &designer, "pid-other")
+            .unwrap();
+        let stolen = done
+            .document
+            .cers()
+            .unwrap()
+            .first()
+            .unwrap()
+            .element
+            .clone();
+        other.push_cer(stolen).unwrap();
+        let aea_amy = Aea::new(people[1].clone(), dir);
+        let err = aea_amy.receive(&other.to_xml_string(), "B").unwrap_err();
+        assert!(matches!(err, WfError::Verify(_)), "replay detected: {err}");
+    }
+
+    #[test]
+    fn hidden_requests_reported() {
+        // amount is restricted to amy; if the designer (mis)wires it into a
+        // third participant's requests, the AEA reports it as hidden.
+        let designer = Credentials::from_seed("designer", "d");
+        let peter = Credentials::from_seed("peter", "p");
+        let tony = Credentials::from_seed("tony", "t");
+        let amy = Credentials::from_seed("amy", "a");
+        let def = WorkflowDefinition::builder("w", "designer")
+            .simple_activity("A", "peter", &["amount"])
+            .activity(crate::model::Activity {
+                id: "B".into(),
+                participant: "tony".into(),
+                join: JoinKind::Any,
+                requests: vec![FieldRef::new("A", "amount")],
+                responses: vec!["ok".into()],
+            })
+            .flow("A", "B")
+            .flow_end("B")
+            .build()
+            .unwrap();
+        let pol = SecurityPolicy::builder().restrict("A", "amount", &["amy"]).build();
+        let dir = Directory::from_credentials([&designer, &peter, &tony, &amy]);
+        let aea_peter = Aea::new(peter, dir.clone());
+        let recv = aea_peter
+            .receive(
+                &DraDocument::new_initial_with_pid(&def, &pol, &designer, "pid")
+                    .unwrap()
+                    .to_xml_string(),
+                "A",
+            )
+            .unwrap();
+        let done = aea_peter.complete(&recv, &[("amount".into(), "5".into())]).unwrap();
+        let aea_tony = Aea::new(tony, dir);
+        let recv = aea_tony.receive(&done.document.to_xml_string(), "B").unwrap();
+        assert!(recv.visible.is_empty());
+        assert_eq!(recv.hidden, vec![FieldRef::new("A", "amount")]);
+    }
+}

@@ -1,0 +1,489 @@
+//! Dynamic flow control and dynamic security policy (§1):
+//!
+//! > "It can support dynamic flow control and a dynamic security policy in
+//! > its run-time environment."
+//!
+//! A running process can be amended — activities appended, transitions
+//! added or retired, policy rules added — without any engine to coordinate
+//! the change. An amendment travels as a special CER executed by the
+//! workflow designer: its "result" is a [`DefinitionDelta`], it carries a
+//! cascade signature like any other CER (so it is bound to the process id,
+//! covered by every later signature, and cannot be removed or replayed),
+//! and every AEA/TFC computes the **effective definition** by folding the
+//! amendment CERs into the base definition before routing.
+
+use crate::document::{CerKey, DraDocument, PredRef};
+use crate::error::{WfError, WfResult};
+use crate::identity::Credentials;
+use crate::model::{
+    condition_from_xml, condition_to_xml, Activity, FieldRef, JoinKind, Target, Transition,
+    WorkflowDefinition,
+};
+use crate::policy::{FieldRule, SecurityPolicy};
+use dra_xml::sig::sign_detached;
+use dra_xml::Element;
+
+/// Pseudo-activity id prefix marking amendment CERs.
+pub const AMEND_PREFIX: &str = "__amend";
+
+/// A change to a running process: new activities, new or retired
+/// transitions, new policy rules.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DefinitionDelta {
+    /// Activities appended to the definition.
+    pub add_activities: Vec<Activity>,
+    /// Transitions appended to the definition.
+    pub add_transitions: Vec<Transition>,
+    /// Transitions removed, identified by (from, to) — used to reroute.
+    pub retire_transitions: Vec<(String, Target)>,
+    /// Field rules appended to the security policy (first match wins, so a
+    /// new rule for an existing field overrides the old one only if
+    /// prepended — see [`DefinitionDelta::apply`]).
+    pub add_policy_rules: Vec<FieldRule>,
+}
+
+impl DefinitionDelta {
+    /// True when the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.add_activities.is_empty()
+            && self.add_transitions.is_empty()
+            && self.retire_transitions.is_empty()
+            && self.add_policy_rules.is_empty()
+    }
+
+    /// Apply to a definition + policy pair, validating the result.
+    pub fn apply(
+        &self,
+        def: &WorkflowDefinition,
+        policy: &SecurityPolicy,
+    ) -> WfResult<(WorkflowDefinition, SecurityPolicy)> {
+        let mut def = def.clone();
+        def.activities.extend(self.add_activities.iter().cloned());
+        def.transitions.retain(|t| {
+            !self
+                .retire_transitions
+                .iter()
+                .any(|(from, to)| t.from == *from && t.to == *to)
+        });
+        def.transitions.extend(self.add_transitions.iter().cloned());
+        def.validate()?;
+        let mut policy = policy.clone();
+        // new rules take precedence over old ones for the same field
+        let mut rules = self.add_policy_rules.clone();
+        rules.extend(policy.rules);
+        policy.rules = rules;
+        Ok((def, policy))
+    }
+
+    // -- XML -----------------------------------------------------------------
+
+    /// Serialize as the `<Delta>` payload of an amendment CER.
+    pub fn to_xml(&self) -> Element {
+        let mut root = Element::new("Delta");
+        for a in &self.add_activities {
+            let mut el = Element::new("AddActivity")
+                .attr("id", a.id.clone())
+                .attr("participant", a.participant.clone());
+            if a.join == JoinKind::All {
+                el.set_attr("join", "all");
+            }
+            for r in &a.requests {
+                el.push_child(
+                    Element::new("Request")
+                        .attr("activity", r.activity.clone())
+                        .attr("field", r.field.clone()),
+                );
+            }
+            for f in &a.responses {
+                el.push_child(Element::new("Response").attr("field", f.clone()));
+            }
+            root.push_child(el);
+        }
+        for t in &self.add_transitions {
+            let mut el = Element::new("AddTransition").attr("from", t.from.clone());
+            match &t.to {
+                Target::Activity(a) => el.set_attr("to", a.clone()),
+                Target::End => el.set_attr("to", "#end"),
+            }
+            if let Some(c) = &t.condition {
+                el.push_child(condition_to_xml(c));
+            }
+            root.push_child(el);
+        }
+        for (from, to) in &self.retire_transitions {
+            let mut el = Element::new("RetireTransition").attr("from", from.clone());
+            match to {
+                Target::Activity(a) => el.set_attr("to", a.clone()),
+                Target::End => el.set_attr("to", "#end"),
+            }
+            root.push_child(el);
+        }
+        for r in &self.add_policy_rules {
+            let mut el = Element::new("AddRule")
+                .attr("activity", r.activity.clone())
+                .attr("field", r.field.clone());
+            el.push_child(crate::policy::readers_to_xml_pub("Readers", &r.readers));
+            root.push_child(el);
+        }
+        root
+    }
+
+    /// Parse back from XML.
+    pub fn from_xml(el: &Element) -> WfResult<DefinitionDelta> {
+        if el.name != "Delta" {
+            return Err(WfError::Malformed(format!("expected <Delta>, found <{}>", el.name)));
+        }
+        let mut delta = DefinitionDelta::default();
+        for a in el.find_children("AddActivity") {
+            let mut act = Activity {
+                id: a.get_attr("id").unwrap_or_default().to_string(),
+                participant: a.get_attr("participant").unwrap_or_default().to_string(),
+                join: if a.get_attr("join") == Some("all") { JoinKind::All } else { JoinKind::Any },
+                requests: Vec::new(),
+                responses: Vec::new(),
+            };
+            for r in a.find_children("Request") {
+                act.requests.push(FieldRef::new(
+                    r.get_attr("activity").unwrap_or_default(),
+                    r.get_attr("field").unwrap_or_default(),
+                ));
+            }
+            for f in a.find_children("Response") {
+                act.responses.push(f.get_attr("field").unwrap_or_default().to_string());
+            }
+            delta.add_activities.push(act);
+        }
+        let parse_target = |s: &str| {
+            if s == "#end" { Target::End } else { Target::Activity(s.to_string()) }
+        };
+        for t in el.find_children("AddTransition") {
+            delta.add_transitions.push(Transition {
+                from: t.get_attr("from").unwrap_or_default().to_string(),
+                to: parse_target(t.get_attr("to").unwrap_or_default()),
+                condition: match t.find_child("Condition") {
+                    Some(c) => Some(condition_from_xml(c)?),
+                    None => None,
+                },
+            });
+        }
+        for t in el.find_children("RetireTransition") {
+            delta.retire_transitions.push((
+                t.get_attr("from").unwrap_or_default().to_string(),
+                parse_target(t.get_attr("to").unwrap_or_default()),
+            ));
+        }
+        for r in el.find_children("AddRule") {
+            let readers_el = r
+                .find_child("Readers")
+                .ok_or_else(|| WfError::Malformed("AddRule missing Readers".into()))?;
+            delta.add_policy_rules.push(FieldRule {
+                activity: r.get_attr("activity").unwrap_or_default().to_string(),
+                field: r.get_attr("field").unwrap_or_default().to_string(),
+                readers: crate::policy::readers_from_xml_pub(readers_el)?,
+            });
+        }
+        Ok(delta)
+    }
+}
+
+/// True when a CER key denotes an amendment.
+pub fn is_amendment_key(key: &CerKey) -> bool {
+    key.activity.starts_with(AMEND_PREFIX)
+}
+
+/// Fold all amendment CERs of `doc` into its base definition and policy,
+/// returning the effective pair. Amendment payloads are **not** verified
+/// here — run [`crate::verify::verify_document`] first.
+pub fn effective_definition(
+    doc: &DraDocument,
+) -> WfResult<(WorkflowDefinition, SecurityPolicy)> {
+    let mut def = doc.workflow_definition()?;
+    let mut policy = doc.security_policy()?;
+    for cer in doc.cers()? {
+        if !is_amendment_key(&cer.key) {
+            continue;
+        }
+        let result = cer
+            .result()
+            .ok_or_else(|| WfError::Malformed(format!("amendment {} lacks Result", cer.key)))?;
+        let delta_el = result
+            .find_child("Delta")
+            .ok_or_else(|| WfError::Malformed(format!("amendment {} lacks Delta", cer.key)))?;
+        let delta = DefinitionDelta::from_xml(delta_el)?;
+        let (d, p) = delta.apply(&def, &policy)?;
+        def = d;
+        policy = p;
+    }
+    Ok((def, policy))
+}
+
+/// Append a signed amendment CER to `doc`. Only the workflow designer (the
+/// identity named in the base definition) may amend; the amendment's
+/// cascade signature covers the latest CER (or Def) so it is ordered and
+/// irremovable.
+pub fn amend_document(
+    doc: &DraDocument,
+    designer: &Credentials,
+    delta: &DefinitionDelta,
+) -> WfResult<DraDocument> {
+    let base = doc.workflow_definition()?;
+    if designer.name != base.designer {
+        return Err(WfError::NotParticipant {
+            expected: base.designer.clone(),
+            actual: designer.name.clone(),
+        });
+    }
+    // the amended definition must be valid
+    let (cur_def, cur_pol) = effective_definition(doc)?;
+    delta.apply(&cur_def, &cur_pol)?;
+
+    // preds: the latest CER in document order, or Def for a fresh document
+    let cers = doc.cers()?;
+    let preds = match cers.last() {
+        Some(c) => vec![PredRef::Cer(c.key.clone())],
+        None => vec![PredRef::Def],
+    };
+    let iter = cers.iter().filter(|c| is_amendment_key(&c.key)).count() as u32;
+
+    let result = Element::new("Result").child(delta.to_xml());
+    let mut document = doc.clone();
+    let key = CerKey::new(AMEND_PREFIX.to_string(), iter);
+    let cascade = document.cascade_bytes(&result, &preds)?;
+    let sig = sign_detached(&designer.sign, &cascade, &format!("{key}"));
+    let cer = Element::new("CER")
+        .attr("activity", AMEND_PREFIX)
+        .attr("iter", iter.to_string())
+        .attr("participant", designer.name.clone())
+        .attr("preds", crate::document::preds_to_attr(&preds))
+        .child(result)
+        .child(sig);
+    document.push_cer(cer)?;
+    Ok(document)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aea::Aea;
+    use crate::identity::Directory;
+    use crate::policy::Readers;
+    use crate::verify::verify_document;
+
+    fn setup() -> (WorkflowDefinition, Credentials, Vec<Credentials>, Directory) {
+        let designer = Credentials::from_seed("designer", "amd-d");
+        let alice = Credentials::from_seed("alice", "amd-a");
+        let bob = Credentials::from_seed("bob", "amd-b");
+        let carol = Credentials::from_seed("carol", "amd-c");
+        let def = WorkflowDefinition::builder("amendable", "designer")
+            .simple_activity("s1", "alice", &["x"])
+            .simple_activity("s2", "bob", &["y"])
+            .flow("s1", "s2")
+            .flow_end("s2")
+            .build()
+            .unwrap();
+        let dir = Directory::from_credentials([&designer, &alice, &bob, &carol]);
+        (def, designer, vec![alice, bob, carol], dir)
+    }
+
+    fn audit_delta() -> DefinitionDelta {
+        DefinitionDelta {
+            add_activities: vec![Activity {
+                id: "audit".into(),
+                participant: "carol".into(),
+                join: JoinKind::Any,
+                requests: vec![],
+                responses: vec!["stamp".into()],
+            }],
+            add_transitions: vec![
+                Transition { from: "s2".into(), to: Target::Activity("audit".into()), condition: None },
+                Transition { from: "audit".into(), to: Target::End, condition: None },
+            ],
+            retire_transitions: vec![("s2".into(), Target::End)],
+            add_policy_rules: vec![FieldRule {
+                activity: "audit".into(),
+                field: "stamp".into(),
+                readers: Readers::Only(vec!["alice".into()]),
+            }],
+        }
+    }
+
+    #[test]
+    fn delta_xml_roundtrip() {
+        let d = audit_delta();
+        let parsed = DefinitionDelta::from_xml(&d.to_xml()).unwrap();
+        assert_eq!(parsed, d);
+        // and over the wire
+        let wire = dra_xml::writer::to_string(&d.to_xml());
+        let parsed = DefinitionDelta::from_xml(&dra_xml::parse(&wire).unwrap()).unwrap();
+        assert_eq!(parsed, d);
+        assert!(!d.is_empty());
+        assert!(DefinitionDelta::default().is_empty());
+    }
+
+    #[test]
+    fn amendment_reroutes_a_running_process() {
+        let (def, designer, people, dir) = setup();
+        let doc = DraDocument::new_initial_with_pid(
+            &def,
+            &SecurityPolicy::public(),
+            &designer,
+            "amd-1",
+        )
+        .unwrap();
+
+        // alice executes s1
+        let aea_alice = Aea::new(people[0].clone(), dir.clone());
+        let recv = aea_alice.receive(&doc.to_xml_string(), "s1").unwrap();
+        let done = aea_alice.complete(&recv, &[("x".into(), "1".into())]).unwrap();
+
+        // designer amends mid-flight: append an audit step after s2
+        let amended = amend_document(&done.document, &designer, &audit_delta()).unwrap();
+        verify_document(&amended, &dir).expect("amended document verifies");
+
+        // bob executes s2 — the route now goes to audit, not End
+        let aea_bob = Aea::new(people[1].clone(), dir.clone());
+        let recv = aea_bob.receive(&amended.to_xml_string(), "s2").unwrap();
+        let done = aea_bob.complete(&recv, &[("y".into(), "2".into())]).unwrap();
+        assert_eq!(done.route.targets, vec!["audit"]);
+        assert!(!done.route.ends);
+
+        // carol executes the dynamically added activity
+        let aea_carol = Aea::new(people[2].clone(), dir.clone());
+        let recv = aea_carol.receive(&done.document.to_xml_string(), "audit").unwrap();
+        let done = aea_carol.complete(&recv, &[("stamp".into(), "sealed".into())]).unwrap();
+        assert!(done.route.ends);
+
+        // the final document verifies, amendment CER included
+        let report = verify_document(&done.document, &dir).unwrap();
+        assert_eq!(report.cers.len(), 4, "s1 + __amend + s2 + audit");
+        // and the dynamic policy applied: the stamp is encrypted for alice
+        let cer = done.document.find_cer(&CerKey::new("audit", 0)).unwrap().unwrap();
+        let enc = cer
+            .result()
+            .unwrap()
+            .child_elements()
+            .find(|e| e.get_attr("field") == Some("stamp"))
+            .expect("stamp encrypted");
+        assert!(dra_xml::enc::recipients_of(enc).contains(&"alice"));
+    }
+
+    #[test]
+    fn non_designer_cannot_amend() {
+        let (def, designer, people, _) = setup();
+        let doc = DraDocument::new_initial_with_pid(
+            &def,
+            &SecurityPolicy::public(),
+            &designer,
+            "amd-2",
+        )
+        .unwrap();
+        let mallory = &people[0]; // alice is a participant, not the designer
+        assert!(matches!(
+            amend_document(&doc, mallory, &audit_delta()),
+            Err(WfError::NotParticipant { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_amendment_detected() {
+        let (def, designer, _, dir) = setup();
+        let doc = DraDocument::new_initial_with_pid(
+            &def,
+            &SecurityPolicy::public(),
+            &designer,
+            "amd-3",
+        )
+        .unwrap();
+        let amended = amend_document(&doc, &designer, &audit_delta()).unwrap();
+        // attacker edits the delta in the stored document (redirect to
+        // themselves)
+        let forged = amended.to_xml_string().replace("participant=\"carol\"", "participant=\"alice\"");
+        assert_ne!(forged, amended.to_xml_string());
+        let parsed = DraDocument::parse(&forged).unwrap();
+        assert!(verify_document(&parsed, &dir).is_err(), "amendment tamper detected");
+    }
+
+    #[test]
+    fn amendment_removal_detected_when_signed_over() {
+        let (def, designer, people, dir) = setup();
+        let doc = DraDocument::new_initial_with_pid(
+            &def,
+            &SecurityPolicy::public(),
+            &designer,
+            "amd-4",
+        )
+        .unwrap();
+        let amended = amend_document(&doc, &designer, &audit_delta()).unwrap();
+        // alice executes s1 AFTER the amendment: her cascade covers it
+        let aea_alice = Aea::new(people[0].clone(), dir.clone());
+        let recv = aea_alice.receive(&amended.to_xml_string(), "s1").unwrap();
+        let done = aea_alice.complete(&recv, &[("x".into(), "1".into())]).unwrap();
+        // attacker strips the amendment CER
+        let mut stripped = done.document.clone();
+        let results = stripped.root.find_child_mut("ActivityResults").unwrap();
+        let before = results.children.len();
+        results.children.retain(|n| match n {
+            dra_xml::Node::Element(e) => e.get_attr("activity") != Some(AMEND_PREFIX),
+            _ => true,
+        });
+        assert_eq!(results.children.len(), before - 1);
+        assert!(verify_document(&stripped, &dir).is_err(), "removal breaks the cascade");
+    }
+
+    #[test]
+    fn invalid_delta_rejected() {
+        let (def, designer, _, _) = setup();
+        let doc = DraDocument::new_initial_with_pid(
+            &def,
+            &SecurityPolicy::public(),
+            &designer,
+            "amd-5",
+        )
+        .unwrap();
+        // transition to a ghost activity
+        let bad = DefinitionDelta {
+            add_transitions: vec![Transition {
+                from: "s1".into(),
+                to: Target::Activity("GHOST".into()),
+                condition: None,
+            }],
+            ..DefinitionDelta::default()
+        };
+        assert!(amend_document(&doc, &designer, &bad).is_err());
+    }
+
+    #[test]
+    fn multiple_amendments_stack() {
+        let (def, designer, _, dir) = setup();
+        let doc = DraDocument::new_initial_with_pid(
+            &def,
+            &SecurityPolicy::public(),
+            &designer,
+            "amd-6",
+        )
+        .unwrap();
+        let once = amend_document(&doc, &designer, &audit_delta()).unwrap();
+        // second amendment: add a final archive step after audit
+        let second = DefinitionDelta {
+            add_activities: vec![Activity {
+                id: "archive".into(),
+                participant: "alice".into(),
+                join: JoinKind::Any,
+                requests: vec![],
+                responses: vec!["ref".into()],
+            }],
+            add_transitions: vec![
+                Transition { from: "audit".into(), to: Target::Activity("archive".into()), condition: None },
+                Transition { from: "archive".into(), to: Target::End, condition: None },
+            ],
+            retire_transitions: vec![("audit".into(), Target::End)],
+            add_policy_rules: vec![],
+        };
+        let twice = amend_document(&once, &designer, &second).unwrap();
+        verify_document(&twice, &dir).unwrap();
+        let (eff, _) = effective_definition(&twice).unwrap();
+        assert!(eff.activity("audit").is_ok());
+        assert!(eff.activity("archive").is_ok());
+        assert_eq!(twice.latest_iter(AMEND_PREFIX).unwrap(), Some(1), "amendment iters count up");
+    }
+}

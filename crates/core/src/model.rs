@@ -1,0 +1,735 @@
+//! The workflow process definition: activities, participants, control flow
+//! (sequence, AND-split/AND-join, OR-split, loops), request/response forms.
+//!
+//! Mirrors the first part of the paper's "Def": "the starting and stopping
+//! conditions of the workflow process, the activities in the process,
+//! control and data flows among these activities, and the requests and
+//! responses of each activity" (§2). The definition serializes to XML so it
+//! can live inside the routed document and be covered by the designer's
+//! signature.
+
+use crate::error::{WfError, WfResult};
+use dra_xml::Element;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Identifier of an activity within a workflow (e.g. `"A1"`).
+pub type ActivityId = String;
+
+/// How an activity with multiple incoming transitions becomes enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum JoinKind {
+    /// Enabled by any single incoming transition (XOR-join; also the value
+    /// for activities with one predecessor).
+    #[default]
+    Any,
+    /// Enabled only when every incoming branch has delivered a document
+    /// (AND-join). The branch documents are merged before execution.
+    All,
+}
+
+/// A reference to a response field produced by an earlier activity.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FieldRef {
+    /// The producing activity.
+    pub activity: ActivityId,
+    /// The field name within that activity's response.
+    pub field: String,
+}
+
+impl FieldRef {
+    /// Convenience constructor.
+    pub fn new(activity: impl Into<String>, field: impl Into<String>) -> FieldRef {
+        FieldRef { activity: activity.into(), field: field.into() }
+    }
+}
+
+/// A logical step of the workflow, executed by one participant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Activity {
+    /// Unique id (node in the control-flow graph).
+    pub id: ActivityId,
+    /// The participant allowed to execute this activity.
+    pub participant: String,
+    /// Join behaviour when multiple transitions point here.
+    pub join: JoinKind,
+    /// Fields from earlier activities shown to the participant (the
+    /// "requests" of the paper).
+    pub requests: Vec<FieldRef>,
+    /// Field names the participant must produce (the "responses").
+    pub responses: Vec<String>,
+}
+
+/// A boolean predicate over a produced field, used on conditional
+/// transitions (OR-splits, loop back-edges) and conditional security rules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Condition {
+    /// The activity whose latest result is consulted.
+    pub activity: ActivityId,
+    /// The field within that result.
+    pub field: String,
+    /// The comparison value.
+    pub equals: String,
+    /// Negate the comparison (`!=` instead of `==`).
+    pub negate: bool,
+}
+
+impl Condition {
+    /// `activity.field == value`
+    pub fn field_equals(
+        activity: impl Into<String>,
+        field: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Condition {
+        Condition {
+            activity: activity.into(),
+            field: field.into(),
+            equals: value.into(),
+            negate: false,
+        }
+    }
+
+    /// `activity.field != value`
+    pub fn field_not_equals(
+        activity: impl Into<String>,
+        field: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Condition {
+        Condition { negate: true, ..Condition::field_equals(activity, field, value) }
+    }
+
+    /// Evaluate against a plaintext field value.
+    pub fn matches(&self, value: &str) -> bool {
+        (value == self.equals) != self.negate
+    }
+}
+
+/// Where a transition leads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// Another activity.
+    Activity(ActivityId),
+    /// The end of the workflow process.
+    End,
+}
+
+/// A directed control-flow edge. All outgoing transitions of an activity
+/// whose condition holds fire simultaneously — so several unconditional
+/// transitions form an AND-split, and mutually exclusive conditions form an
+/// OR-split.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// Source activity.
+    pub from: ActivityId,
+    /// Destination.
+    pub to: Target,
+    /// Optional guard; `None` means always taken.
+    pub condition: Option<Condition>,
+}
+
+/// The complete workflow process definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkflowDefinition {
+    /// Human-readable process name.
+    pub name: String,
+    /// The workflow designer's identity name (signs the initial document).
+    pub designer: String,
+    /// The start activity (executed first, may be re-entered by loops).
+    pub start: ActivityId,
+    /// All activities.
+    pub activities: Vec<Activity>,
+    /// All control-flow edges.
+    pub transitions: Vec<Transition>,
+    /// Name of the TFC server identity when the advanced operational model
+    /// is used; `None` selects the basic model.
+    pub tfc: Option<String>,
+}
+
+impl WorkflowDefinition {
+    /// Start building a definition.
+    pub fn builder(name: impl Into<String>, designer: impl Into<String>) -> WorkflowBuilder {
+        WorkflowBuilder {
+            def: WorkflowDefinition {
+                name: name.into(),
+                designer: designer.into(),
+                start: String::new(),
+                activities: Vec::new(),
+                transitions: Vec::new(),
+                tfc: None,
+            },
+        }
+    }
+
+    /// Look up an activity.
+    pub fn activity(&self, id: &str) -> WfResult<&Activity> {
+        self.activities
+            .iter()
+            .find(|a| a.id == id)
+            .ok_or_else(|| WfError::UnknownActivity(id.to_string()))
+    }
+
+    /// Activities with a transition into `id`.
+    pub fn incoming(&self, id: &str) -> Vec<&ActivityId> {
+        self.transitions
+            .iter()
+            .filter(|t| matches!(&t.to, Target::Activity(a) if a == id))
+            .map(|t| &t.from)
+            .collect()
+    }
+
+    /// Transitions out of `id`.
+    pub fn outgoing(&self, id: &str) -> Vec<&Transition> {
+        self.transitions.iter().filter(|t| t.from == id).collect()
+    }
+
+    /// Structural validation: unique ids, known references, reachability of
+    /// every activity from the start, and at least one path to End.
+    pub fn validate(&self) -> WfResult<()> {
+        let mut ids = BTreeSet::new();
+        for a in &self.activities {
+            if !ids.insert(a.id.as_str()) {
+                return Err(WfError::Flow(format!("duplicate activity id '{}'", a.id)));
+            }
+            if a.participant.is_empty() {
+                return Err(WfError::Flow(format!("activity '{}' has no participant", a.id)));
+            }
+        }
+        if !ids.contains(self.start.as_str()) {
+            return Err(WfError::UnknownActivity(self.start.clone()));
+        }
+        let mut reaches_end = false;
+        for t in &self.transitions {
+            if !ids.contains(t.from.as_str()) {
+                return Err(WfError::UnknownActivity(t.from.clone()));
+            }
+            match &t.to {
+                Target::Activity(a) => {
+                    if !ids.contains(a.as_str()) {
+                        return Err(WfError::UnknownActivity(a.clone()));
+                    }
+                }
+                Target::End => reaches_end = true,
+            }
+        }
+        if !reaches_end {
+            return Err(WfError::Flow("no transition reaches End".into()));
+        }
+        // reachability from start
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([self.start.as_str()]);
+        while let Some(cur) = queue.pop_front() {
+            if !seen.insert(cur) {
+                continue;
+            }
+            for t in self.outgoing(cur) {
+                if let Target::Activity(a) = &t.to {
+                    queue.push_back(a.as_str());
+                }
+            }
+        }
+        for a in &self.activities {
+            if !seen.contains(a.id.as_str()) {
+                return Err(WfError::Flow(format!(
+                    "activity '{}' unreachable from start '{}'",
+                    a.id, self.start
+                )));
+            }
+        }
+        // requests must reference known activities and declared responses
+        for a in &self.activities {
+            for r in &a.requests {
+                let src = self.activity(&r.activity)?;
+                if !src.responses.contains(&r.field) {
+                    return Err(WfError::Flow(format!(
+                        "activity '{}' requests unknown field '{}.{}'",
+                        a.id, r.activity, r.field
+                    )));
+                }
+            }
+        }
+        // conditions must reference known fields
+        for t in &self.transitions {
+            if let Some(c) = &t.condition {
+                let src = self.activity(&c.activity)?;
+                if !src.responses.contains(&c.field) {
+                    return Err(WfError::Flow(format!(
+                        "transition {} -> {:?} conditions on unknown field '{}.{}'",
+                        t.from, t.to, c.activity, c.field
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All fields referenced by any transition condition (these must be
+    /// readable by whoever evaluates routing — see
+    /// `SecurityPolicy::with_tfc_access`).
+    pub fn condition_fields(&self) -> BTreeSet<FieldRef> {
+        self.transitions
+            .iter()
+            .filter_map(|t| t.condition.as_ref())
+            .map(|c| FieldRef::new(c.activity.clone(), c.field.clone()))
+            .collect()
+    }
+
+    // -- XML serialization ---------------------------------------------------
+
+    /// Serialize to the `<WorkflowDefinition>` element embedded in documents.
+    pub fn to_xml(&self) -> Element {
+        let mut root = Element::new("WorkflowDefinition")
+            .attr("name", self.name.clone())
+            .attr("designer", self.designer.clone())
+            .attr("start", self.start.clone());
+        if let Some(tfc) = &self.tfc {
+            root.set_attr("tfc", tfc.clone());
+        }
+        for a in &self.activities {
+            let mut el = Element::new("Activity")
+                .attr("id", a.id.clone())
+                .attr("participant", a.participant.clone());
+            if a.join == JoinKind::All {
+                el.set_attr("join", "all");
+            }
+            for r in &a.requests {
+                el.push_child(
+                    Element::new("Request")
+                        .attr("activity", r.activity.clone())
+                        .attr("field", r.field.clone()),
+                );
+            }
+            for f in &a.responses {
+                el.push_child(Element::new("Response").attr("field", f.clone()));
+            }
+            root.push_child(el);
+        }
+        for t in &self.transitions {
+            let mut el = Element::new("Transition").attr("from", t.from.clone());
+            match &t.to {
+                Target::Activity(a) => el.set_attr("to", a.clone()),
+                Target::End => el.set_attr("to", "#end"),
+            }
+            if let Some(c) = &t.condition {
+                el.push_child(condition_to_xml(c));
+            }
+            root.push_child(el);
+        }
+        root
+    }
+
+    /// Parse back from XML.
+    pub fn from_xml(el: &Element) -> WfResult<WorkflowDefinition> {
+        if el.name != "WorkflowDefinition" {
+            return Err(WfError::Malformed(format!(
+                "expected <WorkflowDefinition>, found <{}>",
+                el.name
+            )));
+        }
+        let attr = |k: &str| -> WfResult<String> {
+            el.get_attr(k)
+                .map(str::to_string)
+                .ok_or_else(|| WfError::Malformed(format!("WorkflowDefinition missing @{k}")))
+        };
+        let mut def = WorkflowDefinition {
+            name: attr("name")?,
+            designer: attr("designer")?,
+            start: attr("start")?,
+            activities: Vec::new(),
+            transitions: Vec::new(),
+            tfc: el.get_attr("tfc").map(str::to_string),
+        };
+        for a in el.find_children("Activity") {
+            let id = a
+                .get_attr("id")
+                .ok_or_else(|| WfError::Malformed("Activity missing @id".into()))?;
+            let participant = a
+                .get_attr("participant")
+                .ok_or_else(|| WfError::Malformed("Activity missing @participant".into()))?;
+            let mut act = Activity {
+                id: id.to_string(),
+                participant: participant.to_string(),
+                join: if a.get_attr("join") == Some("all") { JoinKind::All } else { JoinKind::Any },
+                requests: Vec::new(),
+                responses: Vec::new(),
+            };
+            for r in a.find_children("Request") {
+                act.requests.push(FieldRef::new(
+                    r.get_attr("activity").unwrap_or_default(),
+                    r.get_attr("field").unwrap_or_default(),
+                ));
+            }
+            for r in a.find_children("Response") {
+                act.responses.push(r.get_attr("field").unwrap_or_default().to_string());
+            }
+            def.activities.push(act);
+        }
+        for t in el.find_children("Transition") {
+            let from = t
+                .get_attr("from")
+                .ok_or_else(|| WfError::Malformed("Transition missing @from".into()))?;
+            let to_attr = t
+                .get_attr("to")
+                .ok_or_else(|| WfError::Malformed("Transition missing @to".into()))?;
+            let to = if to_attr == "#end" {
+                Target::End
+            } else {
+                Target::Activity(to_attr.to_string())
+            };
+            let condition = match t.find_child("Condition") {
+                Some(c) => Some(condition_from_xml(c)?),
+                None => None,
+            };
+            def.transitions.push(Transition { from: from.to_string(), to, condition });
+        }
+        Ok(def)
+    }
+}
+
+impl WorkflowDefinition {
+    /// Render the control-flow graph in Graphviz dot format (for
+    /// documentation and debugging of process definitions).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph workflow {\n  rankdir=LR;\n");
+        out.push_str("  start [shape=circle label=\"\" style=filled fillcolor=black width=0.2];\n");
+        out.push_str("  end [shape=doublecircle label=\"\" style=filled fillcolor=black width=0.15];\n");
+        for a in &self.activities {
+            let shape = if a.join == JoinKind::All { "box3d" } else { "box" };
+            out.push_str(&format!(
+                "  \"{}\" [shape={shape} label=\"{}\\n({})\"];\n",
+                a.id, a.id, a.participant
+            ));
+        }
+        out.push_str(&format!("  start -> \"{}\";\n", self.start));
+        for t in &self.transitions {
+            let to = match &t.to {
+                Target::Activity(a) => format!("\"{a}\""),
+                Target::End => "end".to_string(),
+            };
+            let label = match &t.condition {
+                Some(c) => format!(
+                    " [label=\"{}.{} {} {}\"]",
+                    c.activity,
+                    c.field,
+                    if c.negate { "!=" } else { "==" },
+                    c.equals
+                ),
+                None => String::new(),
+            };
+            out.push_str(&format!("  \"{}\" -> {to}{label};\n", t.from));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Serialize a [`Condition`] to XML.
+pub fn condition_to_xml(c: &Condition) -> Element {
+    Element::new("Condition")
+        .attr("activity", c.activity.clone())
+        .attr("field", c.field.clone())
+        .attr("equals", c.equals.clone())
+        .attr("negate", if c.negate { "true" } else { "false" })
+}
+
+/// Parse a [`Condition`] from XML.
+pub fn condition_from_xml(el: &Element) -> WfResult<Condition> {
+    let attr = |k: &str| -> WfResult<String> {
+        el.get_attr(k)
+            .map(str::to_string)
+            .ok_or_else(|| WfError::Malformed(format!("Condition missing @{k}")))
+    };
+    Ok(Condition {
+        activity: attr("activity")?,
+        field: attr("field")?,
+        equals: attr("equals")?,
+        negate: el.get_attr("negate") == Some("true"),
+    })
+}
+
+/// Fluent builder for workflow definitions.
+pub struct WorkflowBuilder {
+    def: WorkflowDefinition,
+}
+
+impl WorkflowBuilder {
+    /// Add an activity. The first added activity becomes the start unless
+    /// [`WorkflowBuilder::start`] overrides it.
+    pub fn activity(mut self, a: Activity) -> Self {
+        if self.def.start.is_empty() {
+            self.def.start = a.id.clone();
+        }
+        self.def.activities.push(a);
+        self
+    }
+
+    /// Shorthand: activity with participant and response fields, no
+    /// requests, Any-join.
+    pub fn simple_activity(
+        self,
+        id: impl Into<String>,
+        participant: impl Into<String>,
+        responses: &[&str],
+    ) -> Self {
+        self.activity(Activity {
+            id: id.into(),
+            participant: participant.into(),
+            join: JoinKind::Any,
+            requests: Vec::new(),
+            responses: responses.iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// Set the start activity explicitly.
+    pub fn start(mut self, id: impl Into<String>) -> Self {
+        self.def.start = id.into();
+        self
+    }
+
+    /// Unconditional transition between activities.
+    pub fn flow(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.def.transitions.push(Transition {
+            from: from.into(),
+            to: Target::Activity(to.into()),
+            condition: None,
+        });
+        self
+    }
+
+    /// Conditional transition.
+    pub fn flow_if(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        condition: Condition,
+    ) -> Self {
+        self.def.transitions.push(Transition {
+            from: from.into(),
+            to: Target::Activity(to.into()),
+            condition: Some(condition),
+        });
+        self
+    }
+
+    /// Transition to the end of the workflow.
+    pub fn flow_end(mut self, from: impl Into<String>) -> Self {
+        self.def.transitions.push(Transition {
+            from: from.into(),
+            to: Target::End,
+            condition: None,
+        });
+        self
+    }
+
+    /// Conditional transition to the end.
+    pub fn flow_end_if(mut self, from: impl Into<String>, condition: Condition) -> Self {
+        self.def.transitions.push(Transition {
+            from: from.into(),
+            to: Target::End,
+            condition: Some(condition),
+        });
+        self
+    }
+
+    /// Use the advanced operational model with the given TFC identity name.
+    pub fn with_tfc(mut self, tfc: impl Into<String>) -> Self {
+        self.def.tfc = Some(tfc.into());
+        self
+    }
+
+    /// Validate and return the definition.
+    pub fn build(self) -> WfResult<WorkflowDefinition> {
+        self.def.validate()?;
+        Ok(self.def)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear() -> WorkflowDefinition {
+        WorkflowDefinition::builder("linear", "designer")
+            .simple_activity("A1", "peter", &["x"])
+            .simple_activity("A2", "amy", &["y"])
+            .flow("A1", "A2")
+            .flow_end("A2")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_sets_start() {
+        let def = linear();
+        assert_eq!(def.start, "A1");
+        assert_eq!(def.activities.len(), 2);
+    }
+
+    #[test]
+    fn incoming_outgoing() {
+        let def = linear();
+        assert_eq!(def.incoming("A2"), vec!["A1"]);
+        assert!(def.incoming("A1").is_empty());
+        assert_eq!(def.outgoing("A1").len(), 1);
+        assert_eq!(def.outgoing("A2").len(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_ids() {
+        let err = WorkflowDefinition::builder("bad", "d")
+            .simple_activity("A", "p", &[])
+            .simple_activity("A", "q", &[])
+            .flow_end("A")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WfError::Flow(_)));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_transition_target() {
+        let err = WorkflowDefinition::builder("bad", "d")
+            .simple_activity("A", "p", &[])
+            .flow("A", "GHOST")
+            .flow_end("A")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WfError::UnknownActivity(a) if a == "GHOST"));
+    }
+
+    #[test]
+    fn validate_rejects_unreachable_activity() {
+        let err = WorkflowDefinition::builder("bad", "d")
+            .simple_activity("A", "p", &[])
+            .simple_activity("ISLAND", "q", &[])
+            .flow_end("A")
+            .flow_end("ISLAND")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WfError::Flow(m) if m.contains("unreachable")));
+    }
+
+    #[test]
+    fn validate_requires_end() {
+        let err = WorkflowDefinition::builder("bad", "d")
+            .simple_activity("A", "p", &[])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WfError::Flow(m) if m.contains("End")));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_request_field() {
+        let err = WorkflowDefinition::builder("bad", "d")
+            .simple_activity("A", "p", &["x"])
+            .activity(Activity {
+                id: "B".into(),
+                participant: "q".into(),
+                join: JoinKind::Any,
+                requests: vec![FieldRef::new("A", "nope")],
+                responses: vec![],
+            })
+            .flow("A", "B")
+            .flow_end("B")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WfError::Flow(m) if m.contains("nope")));
+    }
+
+    #[test]
+    fn validate_rejects_condition_on_unknown_field() {
+        let err = WorkflowDefinition::builder("bad", "d")
+            .simple_activity("A", "p", &["x"])
+            .simple_activity("B", "q", &[])
+            .flow_if("A", "B", Condition::field_equals("A", "ghost", "1"))
+            .flow_end("B")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WfError::Flow(m) if m.contains("ghost")));
+    }
+
+    #[test]
+    fn condition_matches() {
+        let c = Condition::field_equals("A", "decision", "approve");
+        assert!(c.matches("approve"));
+        assert!(!c.matches("reject"));
+        let n = Condition::field_not_equals("A", "decision", "approve");
+        assert!(!n.matches("approve"));
+        assert!(n.matches("reject"));
+    }
+
+    #[test]
+    fn xml_roundtrip_rich_workflow() {
+        let def = WorkflowDefinition::builder("rich", "designer")
+            .simple_activity("A", "p1", &["decision", "amount"])
+            .activity(Activity {
+                id: "B1".into(),
+                participant: "p2".into(),
+                join: JoinKind::Any,
+                requests: vec![FieldRef::new("A", "amount")],
+                responses: vec!["review".into()],
+            })
+            .simple_activity("B2", "p3", &["review"])
+            .activity(Activity {
+                id: "C".into(),
+                participant: "p4".into(),
+                join: JoinKind::All,
+                requests: vec![],
+                responses: vec!["final".into()],
+            })
+            .flow("A", "B1")
+            .flow("A", "B2")
+            .flow("B1", "C")
+            .flow("B2", "C")
+            .flow_if("C", "A", Condition::field_equals("C", "final", "reject"))
+            .flow_end_if("C", Condition::field_not_equals("C", "final", "reject"))
+            .with_tfc("TFC")
+            .build()
+            .unwrap();
+        let xml = def.to_xml();
+        let parsed = WorkflowDefinition::from_xml(&xml).unwrap();
+        assert_eq!(parsed, def);
+        // And survives the wire.
+        let wire = dra_xml::writer::to_string(&xml);
+        let reparsed = WorkflowDefinition::from_xml(&dra_xml::parse(&wire).unwrap()).unwrap();
+        assert_eq!(reparsed, def);
+    }
+
+    #[test]
+    fn dot_export_mentions_everything() {
+        let def = linear();
+        let dot = def.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"A1\""));
+        assert!(dot.contains("(peter)"));
+        assert!(dot.contains("start -> \"A1\""));
+        assert!(dot.contains("-> end"));
+    }
+
+    #[test]
+    fn dot_export_labels_conditions() {
+        let def = WorkflowDefinition::builder("w", "d")
+            .simple_activity("A", "p", &["x"])
+            .simple_activity("B", "q", &[])
+            .flow_if("A", "B", Condition::field_equals("A", "x", "go"))
+            .flow_end_if("A", Condition::field_not_equals("A", "x", "go"))
+            .flow_end("B")
+            .build()
+            .unwrap();
+        let dot = def.to_dot();
+        assert!(dot.contains("A.x == go"));
+        assert!(dot.contains("A.x != go"));
+    }
+
+    #[test]
+    fn condition_fields_collected() {
+        let def = WorkflowDefinition::builder("w", "d")
+            .simple_activity("A", "p", &["x"])
+            .simple_activity("B", "q", &[])
+            .flow_if("A", "B", Condition::field_equals("A", "x", "1"))
+            .flow_end_if("A", Condition::field_not_equals("A", "x", "1"))
+            .flow_end("B")
+            .build()
+            .unwrap();
+        let fields = def.condition_fields();
+        assert_eq!(fields.len(), 1);
+        assert!(fields.contains(&FieldRef::new("A", "x")));
+    }
+}

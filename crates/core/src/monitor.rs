@@ -1,0 +1,252 @@
+//! Workflow monitoring (§2.2, §3): tracking individual process instances so
+//! "information on their state can be easily seen and statistics on the
+//! performance of one or more processes provided".
+//!
+//! Monitoring works on the document alone — no engine holds the state. The
+//! advanced model's TFC timestamps give finish times; the basic model still
+//! exposes execution order and participation.
+
+use crate::document::{CerKey, DraDocument};
+use crate::error::WfResult;
+use crate::model::{Target, WorkflowDefinition};
+use std::collections::BTreeMap;
+
+/// One executed activity iteration, as seen by a monitor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecutedEntry {
+    /// Activity + iteration.
+    pub key: CerKey,
+    /// Who executed it.
+    pub participant: String,
+    /// TFC finish timestamp in ms (advanced model only).
+    pub timestamp: Option<u64>,
+    /// True when the CER is still awaiting TFC finalization.
+    pub intermediate: bool,
+}
+
+/// A point-in-time view of one process instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessStatus {
+    /// Unique process id.
+    pub process_id: String,
+    /// Workflow name.
+    pub workflow: String,
+    /// Executions in document order.
+    pub executed: Vec<ExecutedEntry>,
+}
+
+impl ProcessStatus {
+    /// Extract the status of a document. Does not verify signatures — run
+    /// [`crate::verify::verify_document`] first when trust matters.
+    pub fn from_document(doc: &DraDocument) -> WfResult<ProcessStatus> {
+        let def = doc.workflow_definition()?;
+        let executed = doc
+            .cers()?
+            .iter()
+            .map(|c| ExecutedEntry {
+                key: c.key.clone(),
+                participant: c.participant.clone(),
+                timestamp: c.timestamp_millis(),
+                intermediate: c.tfc_sealed().is_some() && c.result().is_none(),
+            })
+            .collect();
+        Ok(ProcessStatus { process_id: doc.process_id()?, workflow: def.name, executed })
+    }
+
+    /// Number of executed activity iterations.
+    pub fn steps(&self) -> usize {
+        self.executed.len()
+    }
+
+    /// Latest execution, if any.
+    pub fn last(&self) -> Option<&ExecutedEntry> {
+        self.executed.last()
+    }
+
+    /// Execution counts per activity (loop iterations show up as counts >1).
+    pub fn counts_per_activity(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for e in &self.executed {
+            *out.entry(e.key.activity.clone()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Total elapsed time between first and last TFC timestamps, when both
+    /// exist (advanced model).
+    pub fn elapsed_millis(&self) -> Option<u64> {
+        let times: Vec<u64> = self.executed.iter().filter_map(|e| e.timestamp).collect();
+        match (times.iter().min(), times.iter().max()) {
+            (Some(a), Some(b)) => Some(b - a),
+            _ => None,
+        }
+    }
+
+    /// Human-readable audit trail, one line per execution.
+    pub fn audit_trail(&self) -> String {
+        let mut out = format!("process {} ({})\n", self.process_id, self.workflow);
+        for e in &self.executed {
+            out.push_str(&format!(
+                "  {:<8} by {:<12} {}{}\n",
+                e.key.to_string(),
+                e.participant,
+                e.timestamp.map(|t| format!("t={t}ms")).unwrap_or_else(|| "t=?".into()),
+                if e.intermediate { " [awaiting TFC]" } else { "" },
+            ));
+        }
+        out
+    }
+}
+
+/// Activities of `def` that have never executed in `doc` (coarse progress
+/// indicator for dashboards).
+pub fn unexecuted_activities(
+    doc: &DraDocument,
+    def: &WorkflowDefinition,
+) -> WfResult<Vec<String>> {
+    let mut out = Vec::new();
+    for a in &def.activities {
+        if doc.latest_iter(&a.id)?.is_none() {
+            out.push(a.id.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// True when some executed activity has a fired transition to End and no
+/// activity is pending — a heuristic completeness check usable without keys
+/// (conditions that cannot be evaluated are treated as unknown and ignored).
+pub fn appears_complete(doc: &DraDocument, def: &WorkflowDefinition) -> WfResult<bool> {
+    // A document is definitely not complete if nothing executed.
+    let cers = doc.cers()?;
+    let Some(last) = cers.last() else { return Ok(false) };
+    // If the last executed activity has an unconditional transition to End,
+    // the process is complete.
+    Ok(def
+        .outgoing(&last.key.activity)
+        .iter()
+        .any(|t| t.condition.is_none() && matches!(t.to, Target::End)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::DraDocument;
+    use crate::identity::Credentials;
+    use crate::model::WorkflowDefinition;
+    use crate::policy::SecurityPolicy;
+    use dra_xml::Element;
+
+    fn fixture_doc() -> (DraDocument, WorkflowDefinition) {
+        let designer = Credentials::from_seed("designer", "d");
+        let def = WorkflowDefinition::builder("monitored", "designer")
+            .simple_activity("A", "p", &[])
+            .simple_activity("B", "q", &[])
+            .flow("A", "B")
+            .flow_end("B")
+            .build()
+            .unwrap();
+        let mut doc = DraDocument::new_initial_with_pid(
+            &def,
+            &SecurityPolicy::public(),
+            &designer,
+            "pid-m",
+        )
+        .unwrap();
+        doc.push_cer(
+            Element::new("CER")
+                .attr("activity", "A")
+                .attr("iter", "0")
+                .attr("participant", "p")
+                .attr("preds", "Def")
+                .child(Element::new("Result"))
+                .child(Element::new("Timestamp").attr("time", "100").attr("by", "TFC")),
+        )
+        .unwrap();
+        doc.push_cer(
+            Element::new("CER")
+                .attr("activity", "A")
+                .attr("iter", "1")
+                .attr("participant", "p")
+                .attr("preds", "Def")
+                .child(Element::new("Result"))
+                .child(Element::new("Timestamp").attr("time", "250").attr("by", "TFC")),
+        )
+        .unwrap();
+        (doc, def)
+    }
+
+    #[test]
+    fn status_extraction() {
+        let (doc, _) = fixture_doc();
+        let s = ProcessStatus::from_document(&doc).unwrap();
+        assert_eq!(s.process_id, "pid-m");
+        assert_eq!(s.workflow, "monitored");
+        assert_eq!(s.steps(), 2);
+        assert_eq!(s.last().unwrap().key, CerKey::new("A", 1));
+        assert_eq!(s.last().unwrap().timestamp, Some(250));
+    }
+
+    #[test]
+    fn counts_and_elapsed() {
+        let (doc, _) = fixture_doc();
+        let s = ProcessStatus::from_document(&doc).unwrap();
+        assert_eq!(s.counts_per_activity()["A"], 2);
+        assert_eq!(s.elapsed_millis(), Some(150));
+    }
+
+    #[test]
+    fn unexecuted() {
+        let (doc, def) = fixture_doc();
+        assert_eq!(unexecuted_activities(&doc, &def).unwrap(), vec!["B"]);
+    }
+
+    #[test]
+    fn completeness_heuristic() {
+        let (mut doc, def) = fixture_doc();
+        assert!(!appears_complete(&doc, &def).unwrap());
+        doc.push_cer(
+            Element::new("CER")
+                .attr("activity", "B")
+                .attr("iter", "0")
+                .attr("participant", "q")
+                .attr("preds", "A#1")
+                .child(Element::new("Result")),
+        )
+        .unwrap();
+        assert!(appears_complete(&doc, &def).unwrap());
+    }
+
+    #[test]
+    fn audit_trail_mentions_everything() {
+        let (doc, _) = fixture_doc();
+        let s = ProcessStatus::from_document(&doc).unwrap();
+        let trail = s.audit_trail();
+        assert!(trail.contains("pid-m"));
+        assert!(trail.contains("A#0"));
+        assert!(trail.contains("A#1"));
+        assert!(trail.contains("t=250ms"));
+    }
+
+    #[test]
+    fn empty_document_status() {
+        let designer = Credentials::from_seed("designer", "d");
+        let def = WorkflowDefinition::builder("w", "designer")
+            .simple_activity("A", "p", &[])
+            .flow_end("A")
+            .build()
+            .unwrap();
+        let doc = DraDocument::new_initial_with_pid(
+            &def,
+            &SecurityPolicy::public(),
+            &designer,
+            "x",
+        )
+        .unwrap();
+        let s = ProcessStatus::from_document(&doc).unwrap();
+        assert_eq!(s.steps(), 0);
+        assert!(s.last().is_none());
+        assert_eq!(s.elapsed_millis(), None);
+        assert!(!appears_complete(&doc, &def).unwrap());
+    }
+}

@@ -1,0 +1,434 @@
+//! The security policy: who may read each response field.
+//!
+//! This is the second part of the paper's "Def": "the security policy during
+//! the execution of the workflow process, which includes how to encrypt the
+//! data in the workflow process instance" (§2). Different portions of the
+//! process instance are encrypted with different keys — element-wise
+//! encryption — because each field may have a different audience.
+//!
+//! Conditional rules reproduce the Fig. 4 scenario: variable `Y` must be
+//! encrypted for John when `Func(X)` is true and for Mary otherwise, while
+//! the forwarding participant must not see `X` at all. Resolving such a rule
+//! requires reading the condition field, which is exactly why the advanced
+//! operational model routes documents through the TFC server.
+
+use crate::error::{WfError, WfResult};
+use crate::model::{condition_from_xml, condition_to_xml, Condition, FieldRef, WorkflowDefinition};
+use dra_xml::Element;
+use std::collections::BTreeSet;
+
+/// The audience of one field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Readers {
+    /// Stored in plaintext; every document holder can read it.
+    Everyone,
+    /// Element-wise encrypted to exactly these participants (the producing
+    /// participant is always added implicitly).
+    Only(Vec<String>),
+    /// Audience depends on a condition over another field (Fig. 4).
+    Conditional {
+        /// The predicate (e.g. `Func(X)`).
+        condition: Condition,
+        /// Readers when the condition holds.
+        then_readers: Vec<String>,
+        /// Readers when it does not.
+        else_readers: Vec<String>,
+    },
+}
+
+/// One rule binding a field to its audience.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldRule {
+    /// The producing activity.
+    pub activity: String,
+    /// The field name.
+    pub field: String,
+    /// The audience.
+    pub readers: Readers,
+}
+
+/// The complete security definition of a workflow process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SecurityPolicy {
+    /// Explicit per-field rules.
+    pub rules: Vec<FieldRule>,
+    /// Audience of fields without an explicit rule.
+    pub default_readers: Readers,
+}
+
+impl Default for SecurityPolicy {
+    fn default() -> Self {
+        SecurityPolicy { rules: Vec::new(), default_readers: Readers::Everyone }
+    }
+}
+
+impl SecurityPolicy {
+    /// A policy where everything is public (useful for tests and for
+    /// workflows without confidentiality needs).
+    pub fn public() -> SecurityPolicy {
+        SecurityPolicy::default()
+    }
+
+    /// Start building a policy.
+    pub fn builder() -> PolicyBuilder {
+        PolicyBuilder { policy: SecurityPolicy::default() }
+    }
+
+    /// The audience rule for a field.
+    pub fn readers_for(&self, activity: &str, field: &str) -> &Readers {
+        self.rules
+            .iter()
+            .find(|r| r.activity == activity && r.field == field)
+            .map(|r| &r.readers)
+            .unwrap_or(&self.default_readers)
+    }
+
+    /// Fields whose audience is conditional (these force TFC routing in a
+    /// correct deployment).
+    pub fn conditional_fields(&self) -> Vec<FieldRef> {
+        self.rules
+            .iter()
+            .filter(|r| matches!(r.readers, Readers::Conditional { .. }))
+            .map(|r| FieldRef::new(r.activity.clone(), r.field.clone()))
+            .collect()
+    }
+
+    /// Fields referenced by conditional-rule predicates.
+    pub fn condition_fields(&self) -> BTreeSet<FieldRef> {
+        self.rules
+            .iter()
+            .filter_map(|r| match &r.readers {
+                Readers::Conditional { condition, .. } => {
+                    Some(FieldRef::new(condition.activity.clone(), condition.field.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Grant the TFC server read access to every field consulted during
+    /// routing or policy resolution: fields referenced by transition
+    /// conditions of `def` and by conditional audience rules. Without this,
+    /// a stateless notary could not evaluate `Func(X)` at OR-splits — the
+    /// flow-concealment problem of Fig. 4.
+    pub fn with_tfc_access(mut self, tfc: &str, def: &WorkflowDefinition) -> SecurityPolicy {
+        let mut needed: BTreeSet<FieldRef> = def.condition_fields();
+        needed.extend(self.condition_fields());
+        for fr in needed {
+            // find or create the rule and add tfc to its reader lists
+            let rule = self
+                .rules
+                .iter_mut()
+                .find(|r| r.activity == fr.activity && r.field == fr.field);
+            match rule {
+                Some(r) => add_reader(&mut r.readers, tfc),
+                None => {
+                    // Field defaults: if default is Everyone nothing to do;
+                    // otherwise materialize a rule extending the default.
+                    if !matches!(self.default_readers, Readers::Everyone) {
+                        let mut readers = self.default_readers.clone();
+                        add_reader(&mut readers, tfc);
+                        self.rules.push(FieldRule {
+                            activity: fr.activity,
+                            field: fr.field,
+                            readers,
+                        });
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    // -- XML serialization ---------------------------------------------------
+
+    /// Serialize to the `<SecurityDefinition>` element embedded in documents.
+    pub fn to_xml(&self) -> Element {
+        let mut root = Element::new("SecurityDefinition");
+        root.push_child(readers_to_xml("DefaultReaders", &self.default_readers));
+        for r in &self.rules {
+            let mut el = Element::new("FieldRule")
+                .attr("activity", r.activity.clone())
+                .attr("field", r.field.clone());
+            el.push_child(readers_to_xml("Readers", &r.readers));
+            root.push_child(el);
+        }
+        root
+    }
+
+    /// Parse back from XML.
+    pub fn from_xml(el: &Element) -> WfResult<SecurityPolicy> {
+        if el.name != "SecurityDefinition" {
+            return Err(WfError::Malformed(format!(
+                "expected <SecurityDefinition>, found <{}>",
+                el.name
+            )));
+        }
+        let default_readers = match el.find_child("DefaultReaders") {
+            Some(d) => readers_from_xml(d)?,
+            None => Readers::Everyone,
+        };
+        let mut rules = Vec::new();
+        for r in el.find_children("FieldRule") {
+            let readers_el = r
+                .find_child("Readers")
+                .ok_or_else(|| WfError::Malformed("FieldRule missing Readers".into()))?;
+            rules.push(FieldRule {
+                activity: r.get_attr("activity").unwrap_or_default().to_string(),
+                field: r.get_attr("field").unwrap_or_default().to_string(),
+                readers: readers_from_xml(readers_el)?,
+            });
+        }
+        Ok(SecurityPolicy { rules, default_readers })
+    }
+}
+
+fn add_reader(readers: &mut Readers, who: &str) {
+    match readers {
+        Readers::Everyone => {}
+        Readers::Only(list) => {
+            if !list.iter().any(|r| r == who) {
+                list.push(who.to_string());
+            }
+        }
+        Readers::Conditional { then_readers, else_readers, .. } => {
+            if !then_readers.iter().any(|r| r == who) {
+                then_readers.push(who.to_string());
+            }
+            if !else_readers.iter().any(|r| r == who) {
+                else_readers.push(who.to_string());
+            }
+        }
+    }
+}
+
+fn readers_to_xml(tag: &str, readers: &Readers) -> Element {
+    match readers {
+        Readers::Everyone => Element::new(tag).attr("kind", "everyone"),
+        Readers::Only(list) => {
+            let mut el = Element::new(tag).attr("kind", "only");
+            for r in list {
+                el.push_child(Element::new("Reader").attr("name", r.clone()));
+            }
+            el
+        }
+        Readers::Conditional { condition, then_readers, else_readers } => {
+            let mut el = Element::new(tag).attr("kind", "conditional");
+            el.push_child(condition_to_xml(condition));
+            let mut then_el = Element::new("Then");
+            for r in then_readers {
+                then_el.push_child(Element::new("Reader").attr("name", r.clone()));
+            }
+            let mut else_el = Element::new("Else");
+            for r in else_readers {
+                else_el.push_child(Element::new("Reader").attr("name", r.clone()));
+            }
+            el.push_child(then_el);
+            el.push_child(else_el);
+            el
+        }
+    }
+}
+
+fn reader_names(el: &Element) -> Vec<String> {
+    el.find_children("Reader")
+        .filter_map(|r| r.get_attr("name"))
+        .map(str::to_string)
+        .collect()
+}
+
+fn readers_from_xml(el: &Element) -> WfResult<Readers> {
+    match el.get_attr("kind") {
+        Some("everyone") => Ok(Readers::Everyone),
+        Some("only") => Ok(Readers::Only(reader_names(el))),
+        Some("conditional") => {
+            let c = el
+                .find_child("Condition")
+                .ok_or_else(|| WfError::Malformed("conditional Readers missing Condition".into()))?;
+            let then_el = el
+                .find_child("Then")
+                .ok_or_else(|| WfError::Malformed("conditional Readers missing Then".into()))?;
+            let else_el = el
+                .find_child("Else")
+                .ok_or_else(|| WfError::Malformed("conditional Readers missing Else".into()))?;
+            Ok(Readers::Conditional {
+                condition: condition_from_xml(c)?,
+                then_readers: reader_names(then_el),
+                else_readers: reader_names(else_el),
+            })
+        }
+        other => Err(WfError::Malformed(format!("bad Readers kind {other:?}"))),
+    }
+}
+
+/// Public wrapper over the readers serializer (used by dynamic
+/// amendments, which embed policy rules in their deltas).
+pub fn readers_to_xml_pub(tag: &str, readers: &Readers) -> Element {
+    readers_to_xml(tag, readers)
+}
+
+/// Public wrapper over the readers parser.
+pub fn readers_from_xml_pub(el: &Element) -> WfResult<Readers> {
+    readers_from_xml(el)
+}
+
+/// Fluent builder for security policies.
+pub struct PolicyBuilder {
+    policy: SecurityPolicy,
+}
+
+impl PolicyBuilder {
+    /// Restrict a field to named readers.
+    pub fn restrict(
+        mut self,
+        activity: impl Into<String>,
+        field: impl Into<String>,
+        readers: &[&str],
+    ) -> Self {
+        self.policy.rules.push(FieldRule {
+            activity: activity.into(),
+            field: field.into(),
+            readers: Readers::Only(readers.iter().map(|s| s.to_string()).collect()),
+        });
+        self
+    }
+
+    /// Conditionally routed audience (the Fig. 4 construct).
+    pub fn restrict_conditional(
+        mut self,
+        activity: impl Into<String>,
+        field: impl Into<String>,
+        condition: Condition,
+        then_readers: &[&str],
+        else_readers: &[&str],
+    ) -> Self {
+        self.policy.rules.push(FieldRule {
+            activity: activity.into(),
+            field: field.into(),
+            readers: Readers::Conditional {
+                condition,
+                then_readers: then_readers.iter().map(|s| s.to_string()).collect(),
+                else_readers: else_readers.iter().map(|s| s.to_string()).collect(),
+            },
+        });
+        self
+    }
+
+    /// Set the default audience for unruled fields.
+    pub fn default_readers(mut self, readers: Readers) -> Self {
+        self.policy.default_readers = readers;
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> SecurityPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::WorkflowDefinition;
+
+    fn fig4_policy() -> SecurityPolicy {
+        SecurityPolicy::builder()
+            .restrict("A1", "X", &["amy"])
+            .restrict_conditional(
+                "A2",
+                "Y",
+                Condition::field_equals("A1", "X", "true"),
+                &["john"],
+                &["mary"],
+            )
+            .build()
+    }
+
+    #[test]
+    fn readers_lookup() {
+        let p = fig4_policy();
+        assert_eq!(p.readers_for("A1", "X"), &Readers::Only(vec!["amy".into()]));
+        assert_eq!(p.readers_for("A9", "unruled"), &Readers::Everyone);
+    }
+
+    #[test]
+    fn conditional_fields_listed() {
+        let p = fig4_policy();
+        let cf = p.conditional_fields();
+        assert_eq!(cf, vec![FieldRef::new("A2", "Y")]);
+        let deps = p.condition_fields();
+        assert!(deps.contains(&FieldRef::new("A1", "X")));
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let p = fig4_policy();
+        let el = p.to_xml();
+        let parsed = SecurityPolicy::from_xml(&el).unwrap();
+        assert_eq!(parsed, p);
+        let wire = dra_xml::writer::to_string(&el);
+        let reparsed = SecurityPolicy::from_xml(&dra_xml::parse(&wire).unwrap()).unwrap();
+        assert_eq!(reparsed, p);
+    }
+
+    #[test]
+    fn xml_roundtrip_default_only() {
+        let p = SecurityPolicy::builder()
+            .default_readers(Readers::Only(vec!["boss".into()]))
+            .build();
+        let parsed = SecurityPolicy::from_xml(&p.to_xml()).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(SecurityPolicy::from_xml(&Element::new("Wrong")).is_err());
+        let bad_kind = Element::new("SecurityDefinition")
+            .child(Element::new("DefaultReaders").attr("kind", "martian"));
+        assert!(SecurityPolicy::from_xml(&bad_kind).is_err());
+    }
+
+    #[test]
+    fn tfc_access_added_to_condition_fields() {
+        let def = WorkflowDefinition::builder("w", "d")
+            .simple_activity("A1", "peter", &["X"])
+            .simple_activity("A2", "tony", &["Y"])
+            .simple_activity("A4", "john", &[])
+            .simple_activity("A5", "mary", &[])
+            .flow("A1", "A2")
+            .flow_if("A2", "A4", Condition::field_equals("A1", "X", "true"))
+            .flow_if("A2", "A5", Condition::field_not_equals("A1", "X", "true"))
+            .flow_end("A4")
+            .flow_end("A5")
+            .with_tfc("TFC")
+            .build()
+            .unwrap();
+        let p = fig4_policy().with_tfc_access("TFC", &def);
+        // A1.X is both a transition condition field and a policy condition
+        // field; TFC must now be in its audience.
+        match p.readers_for("A1", "X") {
+            Readers::Only(list) => {
+                assert!(list.contains(&"amy".to_string()));
+                assert!(list.contains(&"TFC".to_string()));
+            }
+            other => panic!("unexpected readers {other:?}"),
+        }
+        // idempotent
+        let p2 = p.clone().with_tfc_access("TFC", &def);
+        assert_eq!(p2, p);
+    }
+
+    #[test]
+    fn tfc_access_leaves_public_fields_public() {
+        let def = WorkflowDefinition::builder("w", "d")
+            .simple_activity("A", "p", &["x"])
+            .simple_activity("B", "q", &[])
+            .flow_if("A", "B", Condition::field_equals("A", "x", "1"))
+            .flow_end("A")
+            .flow_end("B")
+            .build()
+            .unwrap();
+        let p = SecurityPolicy::public().with_tfc_access("TFC", &def);
+        assert_eq!(p.readers_for("A", "x"), &Readers::Everyone);
+    }
+}

@@ -1,0 +1,282 @@
+//! Algorithm 1 of the paper: deriving the **nonrepudiation scope** of a CER.
+//!
+//! > "A nonrepudiation scope is consisted of a set of CERs. If a CER α is
+//! > with a nonrepudiation scope Γ, then the participant which generated the
+//! > CER α cannot deny having received a DRA4WfMS document containing CERs
+//! > in Γ and accordingly generates α." (§2.3.2)
+//!
+//! Because every cascade signature covers the signatures of its predecessor
+//! CERs, the scope is the transitive closure of the "signs" relation — this
+//! module computes it with the worklist fixpoint of the paper's Algorithm 1.
+
+use crate::document::{DraDocument, PredRef};
+use crate::error::{WfError, WfResult};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The "signs" edges of a document: each CER (or Def) maps to the set of
+/// cascade nodes whose signatures it directly signs.
+pub fn signature_graph(doc: &DraDocument) -> WfResult<BTreeMap<PredRef, BTreeSet<PredRef>>> {
+    let mut graph: BTreeMap<PredRef, BTreeSet<PredRef>> = BTreeMap::new();
+    graph.insert(PredRef::Def, BTreeSet::new());
+    for cer in doc.cers()? {
+        graph.insert(
+            PredRef::Cer(cer.key.clone()),
+            cer.preds.iter().cloned().collect(),
+        );
+    }
+    Ok(graph)
+}
+
+/// Algorithm 1: the nonrepudiation scope Γ of `alpha` within `doc`.
+///
+/// Γ includes `alpha` itself (the participant cannot repudiate its own
+/// execution) and transitively every CER whose signature is covered.
+pub fn nonrepudiation_scope(
+    doc: &DraDocument,
+    alpha: &PredRef,
+) -> WfResult<BTreeSet<PredRef>> {
+    let graph = signature_graph(doc)?;
+    if !graph.contains_key(alpha) {
+        return Err(WfError::Malformed(format!("{alpha} is not a CER of this document")));
+    }
+    // Γ = {α}; repeat: for each β ∈ Γ, add the CERs whose signatures β signs.
+    let mut gamma: BTreeSet<PredRef> = BTreeSet::from([alpha.clone()]);
+    let mut changes = true;
+    while changes {
+        changes = false;
+        let snapshot: Vec<PredRef> = gamma.iter().cloned().collect();
+        for beta in snapshot {
+            if let Some(delta) = graph.get(&beta) {
+                for d in delta {
+                    if gamma.insert(d.clone()) {
+                        changes = true;
+                    }
+                }
+            }
+        }
+    }
+    Ok(gamma)
+}
+
+/// Convenience: scopes of every CER in the document, keyed by CER.
+pub fn all_scopes(doc: &DraDocument) -> WfResult<BTreeMap<PredRef, BTreeSet<PredRef>>> {
+    let graph = signature_graph(doc)?;
+    let mut out = BTreeMap::new();
+    for key in graph.keys() {
+        out.insert(key.clone(), nonrepudiation_scope(doc, key)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{CerKey, DraDocument};
+    use crate::identity::Credentials;
+    use crate::model::WorkflowDefinition;
+    use crate::policy::SecurityPolicy;
+    use dra_xml::Element;
+
+    /// Build a document whose CERs carry the given preds attributes
+    /// (structure-only; scope computation does not verify signatures).
+    fn doc_with_cers(cers: &[(&str, u32, &str)]) -> DraDocument {
+        let designer = Credentials::from_seed("designer", "d");
+        let def = WorkflowDefinition::builder("w", "designer")
+            .simple_activity("A", "p", &[])
+            .flow_end("A")
+            .build()
+            .unwrap();
+        let mut doc = DraDocument::new_initial_with_pid(
+            &def,
+            &SecurityPolicy::public(),
+            &designer,
+            "pid",
+        )
+        .unwrap();
+        for (act, iter, preds) in cers {
+            doc.push_cer(
+                Element::new("CER")
+                    .attr("activity", *act)
+                    .attr("iter", iter.to_string())
+                    .attr("participant", "p")
+                    .attr("preds", *preds),
+            )
+            .unwrap();
+        }
+        doc
+    }
+
+    fn cer(a: &str, i: u32) -> PredRef {
+        PredRef::Cer(CerKey::new(a, i))
+    }
+
+    #[test]
+    fn scope_of_def_is_itself() {
+        let doc = doc_with_cers(&[]);
+        let s = nonrepudiation_scope(&doc, &PredRef::Def).unwrap();
+        assert_eq!(s, BTreeSet::from([PredRef::Def]));
+    }
+
+    #[test]
+    fn linear_chain_scope_is_prefix() {
+        // Def <- A#0 <- B#0 <- C#0
+        let doc = doc_with_cers(&[("A", 0, "Def"), ("B", 0, "A#0"), ("C", 0, "B#0")]);
+        let s = nonrepudiation_scope(&doc, &cer("C", 0)).unwrap();
+        assert_eq!(
+            s,
+            BTreeSet::from([PredRef::Def, cer("A", 0), cer("B", 0), cer("C", 0)])
+        );
+        let s = nonrepudiation_scope(&doc, &cer("B", 0)).unwrap();
+        assert_eq!(s, BTreeSet::from([PredRef::Def, cer("A", 0), cer("B", 0)]));
+        // A#0's scope does NOT include its successors.
+        let s = nonrepudiation_scope(&doc, &cer("A", 0)).unwrap();
+        assert!(!s.contains(&cer("B", 0)));
+    }
+
+    #[test]
+    fn and_join_scope_covers_both_branches() {
+        // Def <- A#0 <- {B1#0, B2#0} <- C#0 (joins both)
+        let doc = doc_with_cers(&[
+            ("A", 0, "Def"),
+            ("B1", 0, "A#0"),
+            ("B2", 0, "A#0"),
+            ("C", 0, "B1#0,B2#0"),
+        ]);
+        let s = nonrepudiation_scope(&doc, &cer("C", 0)).unwrap();
+        assert!(s.contains(&cer("B1", 0)));
+        assert!(s.contains(&cer("B2", 0)));
+        assert!(s.contains(&cer("A", 0)));
+        assert!(s.contains(&PredRef::Def));
+        // Parallel branches do not cover each other.
+        let s1 = nonrepudiation_scope(&doc, &cer("B1", 0)).unwrap();
+        assert!(!s1.contains(&cer("B2", 0)));
+    }
+
+    #[test]
+    fn loop_iterations_chain() {
+        // A#0 <- B#0 <- A#1 <- B#1 (Fig. 3B style loop)
+        let doc = doc_with_cers(&[
+            ("A", 0, "Def"),
+            ("B", 0, "A#0"),
+            ("A", 1, "B#0"),
+            ("B", 1, "A#1"),
+        ]);
+        let s = nonrepudiation_scope(&doc, &cer("B", 1)).unwrap();
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(&cer("A", 0)));
+        assert!(s.contains(&cer("A", 1)));
+    }
+
+    #[test]
+    fn unknown_cer_rejected() {
+        let doc = doc_with_cers(&[("A", 0, "Def")]);
+        assert!(nonrepudiation_scope(&doc, &cer("GHOST", 0)).is_err());
+    }
+
+    #[test]
+    fn all_scopes_monotone_along_chain() {
+        let doc = doc_with_cers(&[("A", 0, "Def"), ("B", 0, "A#0"), ("C", 0, "B#0")]);
+        let scopes = all_scopes(&doc).unwrap();
+        // scope sizes strictly increase along the chain
+        assert!(scopes[&PredRef::Def].len() < scopes[&cer("A", 0)].len());
+        assert!(scopes[&cer("A", 0)].len() < scopes[&cer("B", 0)].len());
+        assert!(scopes[&cer("B", 0)].len() < scopes[&cer("C", 0)].len());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random DAG of n CERs: CER i's preds are a nonempty subset of
+        /// earlier CERs (or Def).
+        fn arb_dag(n: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+            // preds[i] ⊆ {0..i} where index 0 means Def and j>0 means CER j-1
+            let mut strategies = Vec::new();
+            for i in 0..n {
+                strategies.push(proptest::collection::btree_set(0..=i, 1..=(i + 1)));
+            }
+            strategies.prop_map(|sets: Vec<std::collections::BTreeSet<usize>>| {
+                sets.into_iter().map(|s| s.into_iter().collect()).collect()
+            })
+        }
+
+        fn build(preds: &[Vec<usize>]) -> DraDocument {
+            let specs: Vec<(String, u32, String)> = preds
+                .iter()
+                .enumerate()
+                .map(|(i, ps)| {
+                    let attr = ps
+                        .iter()
+                        .map(|&p| {
+                            if p == 0 {
+                                "Def".to_string()
+                            } else {
+                                format!("N{}#0", p - 1)
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    (format!("N{i}"), 0u32, attr)
+                })
+                .collect();
+            let borrowed: Vec<(&str, u32, &str)> = specs
+                .iter()
+                .map(|(a, i, p)| (a.as_str(), *i, p.as_str()))
+                .collect();
+            doc_with_cers(&borrowed)
+        }
+
+        proptest! {
+            /// Scope equals the reflexive-transitive closure of the preds
+            /// relation, computed independently by DFS.
+            #[test]
+            fn prop_scope_is_transitive_closure(preds in arb_dag(8)) {
+                let doc = build(&preds);
+                for i in 0..preds.len() {
+                    let alpha = cer(&format!("N{i}"), 0);
+                    let scope = nonrepudiation_scope(&doc, &alpha).unwrap();
+                    // independent DFS over indices
+                    let mut seen = std::collections::BTreeSet::new();
+                    let mut stack = vec![i + 1]; // 1-based; 0 = Def
+                    while let Some(x) = stack.pop() {
+                        if !seen.insert(x) { continue; }
+                        if x > 0 {
+                            for &p in &preds[x - 1] { stack.push(p); }
+                        }
+                    }
+                    let expected: BTreeSet<PredRef> = seen
+                        .into_iter()
+                        .map(|x| if x == 0 { PredRef::Def } else { cer(&format!("N{}", x - 1), 0) })
+                        .collect();
+                    prop_assert_eq!(scope, expected);
+                }
+            }
+
+            /// Every scope contains Def (the cascade root) and alpha itself.
+            #[test]
+            fn prop_scope_contains_root_and_self(preds in arb_dag(6)) {
+                let doc = build(&preds);
+                for i in 0..preds.len() {
+                    let alpha = cer(&format!("N{i}"), 0);
+                    let scope = nonrepudiation_scope(&doc, &alpha).unwrap();
+                    prop_assert!(scope.contains(&alpha));
+                    prop_assert!(scope.contains(&PredRef::Def));
+                }
+            }
+
+            /// Monotonicity: a CER's scope contains the scope of each pred.
+            #[test]
+            fn prop_scope_monotone(preds in arb_dag(6)) {
+                let doc = build(&preds);
+                let scopes = all_scopes(&doc).unwrap();
+                for (i, ps) in preds.iter().enumerate() {
+                    let me = &scopes[&cer(&format!("N{i}"), 0)];
+                    for &p in ps {
+                        let pref = if p == 0 { PredRef::Def } else { cer(&format!("N{}", p - 1), 0) };
+                        prop_assert!(scopes[&pref].is_subset(me));
+                    }
+                }
+            }
+        }
+    }
+}

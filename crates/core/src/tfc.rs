@@ -1,0 +1,452 @@
+//! The Timestamp & Flow Control (TFC) server of the advanced operational
+//! model (§2.2).
+//!
+//! "The DRA4WfMS document processed by an AEA is first sent to a timestamp
+//! and flow control server (TFC server), which is analogous to a notary
+//! public and has legal authority to witness the finish time of the
+//! activity. Note that a TFC server is **not** a workflow engine as it only
+//! embeds timestamps to DRA4WfMS documents and helps with their forwarding."
+//!
+//! On receiving an intermediate document the TFC: verifies every signature,
+//! unseals the fresh result (`{{R}}Pub(TFC)`), re-encrypts it element-wise
+//! per the security policy — resolving conditional audiences and evaluating
+//! OR-split guards the participant was not allowed to see (the Fig. 4
+//! problem) — embeds a timestamp, signs its attestation, and routes the
+//! final document.
+//!
+//! The API mirrors the Table 2 measurement boundaries:
+//! [`TfcServer::receive`] is the TFC's share of the α column and
+//! [`TfcServer::finalize`] is the γ column.
+
+use crate::document::{CerKey, DraDocument};
+use crate::error::{WfError, WfResult};
+use crate::fields::{build_result_element, plain_fields};
+use crate::flow::{evaluate_route, DocFieldReader, Route};
+use crate::identity::{Credentials, Directory};
+use crate::model::WorkflowDefinition;
+use crate::policy::SecurityPolicy;
+use crate::verify::{tfc_attest_bytes, verify_document_with_def};
+use dra_xml::sig::sign_detached;
+use dra_xml::Element;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Clock abstraction so tests and benches can pin timestamps.
+pub type Clock = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// A TFC server instance.
+pub struct TfcServer {
+    /// The TFC's key material.
+    pub creds: Credentials,
+    /// The deployment PKI.
+    pub directory: Directory,
+    clock: Clock,
+}
+
+/// A verified, unsealed intermediate document awaiting finalization.
+#[derive(Debug)]
+pub struct TfcReceived {
+    /// The intermediate document.
+    pub doc: DraDocument,
+    /// Parsed definition.
+    pub def: WorkflowDefinition,
+    /// Parsed policy.
+    pub policy: SecurityPolicy,
+    /// The intermediate CER being finalized.
+    pub key: CerKey,
+    /// Its executing participant.
+    pub participant: String,
+    /// The unsealed plaintext responses.
+    pub responses: Vec<(String, String)>,
+}
+
+/// A finalized document ready to forward.
+#[derive(Debug)]
+pub struct TfcProcessed {
+    /// The final document `X''_Ai(k)`.
+    pub document: DraDocument,
+    /// Routing decided by the TFC.
+    pub route: Route,
+    /// The finalized CER.
+    pub key: CerKey,
+    /// The embedded timestamp (ms).
+    pub timestamp: u64,
+}
+
+impl TfcServer {
+    /// Create a TFC server with the system clock.
+    pub fn new(creds: Credentials, directory: Directory) -> TfcServer {
+        TfcServer {
+            creds,
+            directory,
+            clock: Arc::new(|| {
+                SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0)
+            }),
+        }
+    }
+
+    /// Create a TFC server with an injected clock (tests, reproducibility).
+    pub fn with_clock(creds: Credentials, directory: Directory, clock: Clock) -> TfcServer {
+        TfcServer { creds, directory, clock }
+    }
+
+    /// Verify an incoming intermediate document and unseal its fresh result
+    /// (the TFC's α phase in Table 2).
+    pub fn receive(&self, xml: &str) -> WfResult<TfcReceived> {
+        let doc = DraDocument::parse(xml)?;
+        self.receive_document(doc)
+    }
+
+    /// Core of [`TfcServer::receive`] on a parsed document.
+    pub fn receive_document(&self, doc: DraDocument) -> WfResult<TfcReceived> {
+        let base_def = doc.workflow_definition()?;
+        base_def.validate()?;
+        let tfc_name = base_def
+            .tfc
+            .as_deref()
+            .ok_or_else(|| WfError::Policy("definition names no TFC server".into()))?;
+        if tfc_name != self.creds.name {
+            return Err(WfError::NotParticipant {
+                expected: tfc_name.to_string(),
+                actual: self.creds.name.clone(),
+            });
+        }
+        let report = verify_document_with_def(&doc, &self.directory, &base_def)?;
+        if !report.ends_with_intermediate {
+            return Err(WfError::Malformed(
+                "document does not end with an intermediate (TFC-bound) CER".into(),
+            ));
+        }
+
+        let (key, participant, sealed_hex) = {
+            let cers = doc.cers()?;
+            let last = cers.last().expect("ends_with_intermediate implies a CER");
+            let sealed = last
+                .tfc_sealed()
+                .ok_or_else(|| WfError::Malformed("intermediate CER lacks TfcSealed".into()))?;
+            (last.key.clone(), last.participant.clone(), sealed.text_content())
+        };
+        let sealed_bytes = dra_crypto::b64::decode(&sealed_hex)
+            .ok_or_else(|| WfError::Malformed("bad TfcSealed base64".into()))?;
+        let plaintext = dra_crypto::sealed::open(&self.creds.enc, &sealed_bytes)
+            .map_err(|e| WfError::Crypto(format!("unsealing result: {e}")))?;
+        let text = String::from_utf8(plaintext)
+            .map_err(|_| WfError::Malformed("sealed result is not UTF-8".into()))?;
+        let result_el =
+            dra_xml::parse(&text).map_err(|e| WfError::Parse(format!("sealed result: {e}")))?;
+        let responses = plain_fields(&result_el);
+
+        // dynamic flow control: route and re-encrypt under the effective
+        // definition and policy
+        let (def, policy) = crate::amendment::effective_definition(&doc)?;
+        Ok(TfcReceived { doc, def, policy, key, participant, responses })
+    }
+
+    /// Re-encrypt per policy, embed the timestamp, attest and route (the γ
+    /// phase in Table 2).
+    pub fn finalize(&self, received: &TfcReceived) -> WfResult<TfcProcessed> {
+        let reader = DocFieldReader::for_actor(&received.doc, &self.creds)
+            .with_overlay(&received.key.activity, &received.responses);
+
+        // {R_Ai}ee per the security policy — the TFC resolves conditional
+        // audiences because it can read the condition fields.
+        let result = build_result_element(
+            &received.key.activity,
+            &received.responses,
+            &received.policy,
+            &self.directory,
+            &received.participant,
+            &reader,
+        )?;
+        let timestamp = (self.clock)();
+        let ts_el = Element::new("Timestamp")
+            .attr("time", timestamp.to_string())
+            .attr("by", self.creds.name.clone());
+
+        let mut document = received.doc.clone();
+        {
+            let results = document
+                .root
+                .find_child_mut("ActivityResults")
+                .ok_or_else(|| WfError::Malformed("missing ActivityResults".into()))?;
+            let cer_el = results
+                .children
+                .iter_mut()
+                .rev()
+                .find_map(|n| match n {
+                    dra_xml::Node::Element(e)
+                        if e.name == "CER"
+                            && e.get_attr("activity") == Some(received.key.activity.as_str())
+                            && e.get_attr("iter") == Some(&received.key.iter.to_string()) =>
+                    {
+                        Some(e)
+                    }
+                    _ => None,
+                })
+                .ok_or_else(|| WfError::Malformed("intermediate CER vanished".into()))?;
+            // insert Result and Timestamp before signing the attestation
+            cer_el.push_child(result);
+            cer_el.push_child(ts_el);
+        }
+        // sign the attestation over [Header, TfcSealed, participant sig,
+        // Result, Timestamp]
+        let attest = {
+            let cer = document
+                .find_cer(&received.key)?
+                .ok_or_else(|| WfError::Malformed("CER lookup failed".into()))?;
+            tfc_attest_bytes(document.header()?, &cer)?
+        };
+        let sig = sign_detached(&self.creds.sign, &attest, &format!("tfc:{}", received.key));
+        {
+            let results = document
+                .root
+                .find_child_mut("ActivityResults")
+                .expect("checked above");
+            let cer_el = results
+                .children
+                .iter_mut()
+                .rev()
+                .find_map(|n| match n {
+                    dra_xml::Node::Element(e)
+                        if e.name == "CER"
+                            && e.get_attr("activity") == Some(received.key.activity.as_str())
+                            && e.get_attr("iter") == Some(&received.key.iter.to_string()) =>
+                    {
+                        Some(e)
+                    }
+                    _ => None,
+                })
+                .expect("checked above");
+            cer_el.push_child(sig);
+        }
+
+        let route = evaluate_route(&received.def, &received.key.activity, &reader)?;
+        Ok(TfcProcessed { document, route, key: received.key.clone(), timestamp })
+    }
+
+    /// Convenience: receive + finalize in one call.
+    pub fn process(&self, xml: &str) -> WfResult<TfcProcessed> {
+        let received = self.receive(xml)?;
+        self.finalize(&received)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aea::Aea;
+    use crate::model::{Condition, JoinKind};
+    use crate::verify::verify_document;
+
+    /// The Fig. 4 workflow: Peter inputs X (readable only by Amy and the
+    /// TFC), Tony inputs Y whose audience depends on Func(X), then an
+    /// OR-split on Func(X) that Tony cannot evaluate.
+    struct Fig4 {
+        def: WorkflowDefinition,
+        policy: SecurityPolicy,
+        designer: Credentials,
+        peter: Credentials,
+        tony: Credentials,
+        dir: Directory,
+        tfc: Credentials,
+    }
+
+    fn fig4() -> Fig4 {
+        let designer = Credentials::from_seed("designer", "d");
+        let peter = Credentials::from_seed("peter", "pe");
+        let tony = Credentials::from_seed("tony", "to");
+        let amy = Credentials::from_seed("amy", "am");
+        let john = Credentials::from_seed("john", "jo");
+        let mary = Credentials::from_seed("mary", "ma");
+        let tfc = Credentials::from_seed("TFC", "tf");
+        let def = WorkflowDefinition::builder("fig4", "designer")
+            .simple_activity("A1", "peter", &["X"])
+            .activity(crate::model::Activity {
+                id: "A3".into(),
+                participant: "tony".into(),
+                join: JoinKind::Any,
+                requests: vec![],
+                responses: vec!["Y".into()],
+            })
+            .simple_activity("A4", "john", &["j"])
+            .simple_activity("A5", "mary", &["m"])
+            .flow("A1", "A3")
+            .flow_if("A3", "A4", Condition::field_equals("A1", "X", "true"))
+            .flow_if("A3", "A5", Condition::field_not_equals("A1", "X", "true"))
+            .flow_end("A4")
+            .flow_end("A5")
+            .with_tfc("TFC")
+            .build()
+            .unwrap();
+        let policy = SecurityPolicy::builder()
+            .restrict("A1", "X", &["amy"])
+            .restrict_conditional(
+                "A3",
+                "Y",
+                Condition::field_equals("A1", "X", "true"),
+                &["john"],
+                &["mary"],
+            )
+            .build()
+            .with_tfc_access("TFC", &def);
+        let dir =
+            Directory::from_credentials([&designer, &peter, &tony, &amy, &john, &mary, &tfc]);
+        Fig4 { def, policy, designer, peter, tony, dir, tfc }
+    }
+
+    fn fixed_clock(t: u64) -> Clock {
+        Arc::new(move || t)
+    }
+
+    #[test]
+    fn advanced_model_resolves_fig4() {
+        let f = fig4();
+        let initial =
+            DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid").unwrap();
+        let tfc = TfcServer::with_clock(f.tfc.clone(), f.dir.clone(), fixed_clock(1000));
+
+        // Peter executes A1 with X = "true", sealed to the TFC.
+        let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
+        let recv = aea_peter.receive(&initial.to_xml_string(), "A1").unwrap();
+        let inter = aea_peter
+            .complete_via_tfc(&recv, &[("X".into(), "true".into())])
+            .unwrap();
+        let done = tfc.process(&inter.document.to_xml_string()).unwrap();
+        assert_eq!(done.route.targets, vec!["A3"]);
+        assert_eq!(done.timestamp, 1000);
+
+        // Tony executes A3. He cannot read X — and does not need to.
+        let aea_tony = Aea::new(f.tony.clone(), f.dir.clone());
+        let recv = aea_tony.receive(&done.document.to_xml_string(), "A3").unwrap();
+        let inter = aea_tony
+            .complete_via_tfc(&recv, &[("Y".into(), "payload-for-john".into())])
+            .unwrap();
+        let done = tfc.process(&inter.document.to_xml_string()).unwrap();
+        // TFC evaluated Func(X): X == "true" routes to A4 (john).
+        assert_eq!(done.route.targets, vec!["A4"]);
+
+        // And Y was encrypted for john (then-branch), not mary.
+        let cer = done.document.find_cer(&CerKey::new("A3", 0)).unwrap().unwrap();
+        let result = cer.result().unwrap();
+        let enc = result
+            .child_elements()
+            .find(|e| e.get_attr("field") == Some("Y"))
+            .expect("Y present encrypted");
+        let readers = dra_xml::enc::recipients_of(enc);
+        assert!(readers.contains(&"john"));
+        assert!(!readers.contains(&"mary"));
+
+        // Full final document verifies (designer + 2 participants + 2 TFC).
+        let report = verify_document(&done.document, &f.dir).unwrap();
+        assert_eq!(report.signatures_verified, 5);
+        assert!(!report.ends_with_intermediate);
+    }
+
+    #[test]
+    fn else_branch_routes_to_mary() {
+        let f = fig4();
+        let initial =
+            DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid2").unwrap();
+        let tfc = TfcServer::with_clock(f.tfc.clone(), f.dir.clone(), fixed_clock(1));
+        let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
+        let recv = aea_peter.receive(&initial.to_xml_string(), "A1").unwrap();
+        let inter =
+            aea_peter.complete_via_tfc(&recv, &[("X".into(), "false".into())]).unwrap();
+        let done = tfc.process(&inter.document.to_xml_string()).unwrap();
+        let aea_tony = Aea::new(f.tony.clone(), f.dir.clone());
+        let recv = aea_tony.receive(&done.document.to_xml_string(), "A3").unwrap();
+        let inter = aea_tony.complete_via_tfc(&recv, &[("Y".into(), "v".into())]).unwrap();
+        let done = tfc.process(&inter.document.to_xml_string()).unwrap();
+        assert_eq!(done.route.targets, vec!["A5"]);
+        let cer = done.document.find_cer(&CerKey::new("A3", 0)).unwrap().unwrap();
+        let enc = cer
+            .result()
+            .unwrap()
+            .child_elements()
+            .find(|e| e.get_attr("field") == Some("Y"))
+            .unwrap();
+        assert!(dra_xml::enc::recipients_of(enc).contains(&"mary"));
+    }
+
+    #[test]
+    fn basic_model_fails_on_fig4() {
+        // The same workflow under the basic model: Tony's AEA must fail,
+        // because it can neither resolve Y's audience nor evaluate the split.
+        let f = fig4();
+        let initial =
+            DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid3").unwrap();
+        let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
+        let recv = aea_peter.receive(&initial.to_xml_string(), "A1").unwrap();
+        let done = aea_peter.complete(&recv, &[("X".into(), "true".into())]).unwrap();
+        let aea_tony = Aea::new(f.tony.clone(), f.dir.clone());
+        let recv = aea_tony.receive(&done.document.to_xml_string(), "A3").unwrap();
+        let err = aea_tony.complete(&recv, &[("Y".into(), "v".into())]).unwrap_err();
+        assert!(
+            matches!(err, WfError::FieldNotReadable { ref field, .. } if field == "X"),
+            "the Fig. 4 flow-concealment failure: {err}"
+        );
+    }
+
+    #[test]
+    fn tfc_rejects_final_documents() {
+        let f = fig4();
+        let initial =
+            DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid4").unwrap();
+        let tfc = TfcServer::with_clock(f.tfc.clone(), f.dir.clone(), fixed_clock(1));
+        assert!(matches!(
+            tfc.receive(&initial.to_xml_string()),
+            Err(WfError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_tfc_identity_rejected() {
+        let f = fig4();
+        let impostor = Credentials::from_seed("OtherTFC", "x");
+        let tfc = TfcServer::new(impostor, f.dir.clone());
+        let initial =
+            DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid5").unwrap();
+        let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
+        let recv = aea_peter.receive(&initial.to_xml_string(), "A1").unwrap();
+        let inter = aea_peter.complete_via_tfc(&recv, &[("X".into(), "t".into())]).unwrap();
+        assert!(matches!(
+            tfc.receive(&inter.document.to_xml_string()),
+            Err(WfError::NotParticipant { .. })
+        ));
+    }
+
+    #[test]
+    fn intermediate_document_rejected_by_next_aea() {
+        // An AEA must refuse a document that still ends with a TFC-bound CER.
+        let f = fig4();
+        let initial =
+            DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid6").unwrap();
+        let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
+        let recv = aea_peter.receive(&initial.to_xml_string(), "A1").unwrap();
+        let inter = aea_peter.complete_via_tfc(&recv, &[("X".into(), "t".into())]).unwrap();
+        let aea_tony = Aea::new(f.tony.clone(), f.dir.clone());
+        let err = aea_tony.receive(&inter.document.to_xml_string(), "A3").unwrap_err();
+        assert!(matches!(err, WfError::Malformed(_)));
+    }
+
+    #[test]
+    fn tampered_timestamp_detected() {
+        let f = fig4();
+        let initial =
+            DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid7").unwrap();
+        let tfc = TfcServer::with_clock(f.tfc.clone(), f.dir.clone(), fixed_clock(777));
+        let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
+        let recv = aea_peter.receive(&initial.to_xml_string(), "A1").unwrap();
+        let inter = aea_peter.complete_via_tfc(&recv, &[("X".into(), "t".into())]).unwrap();
+        let done = tfc.process(&inter.document.to_xml_string()).unwrap();
+        let tampered = done.document.to_xml_string().replace("time=\"777\"", "time=\"778\"");
+        let doc = DraDocument::parse(&tampered).unwrap();
+        assert!(matches!(
+            verify_document(&doc, &f.dir),
+            Err(WfError::Verify(_))
+        ));
+    }
+}

@@ -1,0 +1,379 @@
+//! Full-document verification — what every AEA performs first on receiving
+//! a DRA4WfMS document ("parses X and verifies all the embedded digital
+//! signatures therein so as to ensure that the workflow definition is legal
+//! and all the stored execution results of previously executed activities
+//! are valid", §2.1), and what a portal server performs before storing a
+//! document into the pool.
+
+use crate::document::{CerView, DraDocument};
+use crate::error::{WfError, WfResult};
+use crate::identity::Directory;
+use crate::model::WorkflowDefinition;
+use dra_xml::canon::canonicalize_all;
+
+use dra_xml::Element;
+
+/// Outcome of a successful verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerificationReport {
+    /// The document's unique process id.
+    pub process_id: String,
+    /// Executed activity iterations, in document order.
+    pub cers: Vec<crate::document::CerKey>,
+    /// Total signatures checked (designer + participants + TFC) — the
+    /// "number of signatures to verify" column of Tables 1 and 2.
+    pub signatures_verified: usize,
+    /// True when the last CER is an intermediate (TFC-bound) one.
+    pub ends_with_intermediate: bool,
+}
+
+/// The canonical bytes the TFC's attestation signature covers:
+/// `[Header, TfcSealed, participant signature, Result, Timestamp]`.
+pub fn tfc_attest_bytes(header: &Element, cer: &CerView<'_>) -> WfResult<Vec<u8>> {
+    let sealed = cer
+        .tfc_sealed()
+        .ok_or_else(|| WfError::Malformed(format!("CER {} lacks TfcSealed", cer.key)))?;
+    let psig = cer.participant_signature()?;
+    let result = cer
+        .result()
+        .ok_or_else(|| WfError::Malformed(format!("CER {} lacks Result", cer.key)))?;
+    let ts = cer
+        .timestamp()
+        .ok_or_else(|| WfError::Malformed(format!("CER {} lacks Timestamp", cer.key)))?;
+    Ok(canonicalize_all([header, sealed, psig, result, ts]))
+}
+
+/// One planned signature check: verify `signature` over `bytes` under
+/// `signer`. Tasks are independent once planned, which is what makes
+/// [`verify_document_parallel`] possible.
+struct SigTask {
+    label: String,
+    signer: dra_crypto::ed25519::PublicKey,
+    bytes: Vec<u8>,
+    signature: dra_crypto::ed25519::Signature,
+}
+
+impl SigTask {
+    fn run(&self) -> WfResult<()> {
+        if self.signer.verify(&self.bytes, &self.signature) {
+            Ok(())
+        } else {
+            Err(WfError::Verify(format!("{} signature invalid", self.label)))
+        }
+    }
+}
+
+/// Sequential structural pass: check participants and document structure,
+/// fold amendments, and emit one [`SigTask`] per embedded signature.
+fn plan_verification(
+    doc: &DraDocument,
+    directory: &Directory,
+    def: &WorkflowDefinition,
+) -> WfResult<(Vec<SigTask>, VerificationReport)> {
+    use dra_xml::sig::parse_signature;
+
+    let mut tasks = Vec::new();
+
+    // (2) designer signature
+    let designer = directory.get(&def.designer)?;
+    let block = parse_signature(doc.designer_signature()?)
+        .map_err(|e| WfError::Verify(format!("designer signature: {e}")))?;
+    if block.signer != designer.sign {
+        return Err(WfError::Verify("designer signature: unexpected signer".into()));
+    }
+    tasks.push(SigTask {
+        label: "designer".into(),
+        signer: block.signer,
+        bytes: doc.definition_bytes()?,
+        signature: block.signature,
+    });
+
+    // the effective definition/policy, updated as amendments are planned
+    let mut eff_def = def.clone();
+    let mut eff_pol = doc.security_policy()?;
+
+    let cers = doc.cers()?;
+    let mut ends_with_intermediate = false;
+    let header = doc.header()?;
+    for (idx, cer) in cers.iter().enumerate() {
+        // (3) participant assignment — amendments are executed by the
+        // workflow designer; regular activities by their assigned
+        // participant under the definition in force at that point
+        let expected = if crate::amendment::is_amendment_key(&cer.key) {
+            eff_def.designer.clone()
+        } else {
+            eff_def.activity(&cer.key.activity)?.participant.clone()
+        };
+        if expected != cer.participant {
+            return Err(WfError::Verify(format!(
+                "CER {}: executed by '{}' but definition assigns '{}'",
+                cer.key, cer.participant, expected
+            )));
+        }
+        let pid = directory.get(&cer.participant)?;
+
+        let sealed = cer.tfc_sealed();
+        let result = cer.result();
+        let body = sealed.or(result).ok_or_else(|| {
+            WfError::Malformed(format!("CER {} has neither Result nor TfcSealed", cer.key))
+        })?;
+        let block = parse_signature(cer.participant_signature()?)
+            .map_err(|e| WfError::Verify(format!("CER {}: {e}", cer.key)))?;
+        if block.signer != pid.sign {
+            return Err(WfError::Verify(format!(
+                "CER {} participant signature: unexpected signer",
+                cer.key
+            )));
+        }
+        tasks.push(SigTask {
+            label: format!("CER {} participant", cer.key),
+            signer: block.signer,
+            bytes: doc.cascade_bytes(body, &cer.preds)?,
+            signature: block.signature,
+        });
+
+        // fold verified amendments into the effective definition
+        if crate::amendment::is_amendment_key(&cer.key) {
+            let result_el = result.ok_or_else(|| {
+                WfError::Malformed(format!("amendment {} lacks Result", cer.key))
+            })?;
+            let delta_el = result_el.find_child("Delta").ok_or_else(|| {
+                WfError::Malformed(format!("amendment {} lacks Delta", cer.key))
+            })?;
+            let delta = crate::amendment::DefinitionDelta::from_xml(delta_el)?;
+            let (d, p) = delta.apply(&eff_def, &eff_pol)?;
+            eff_def = d;
+            eff_pol = p;
+        }
+
+        let is_intermediate = sealed.is_some() && result.is_none();
+        if is_intermediate {
+            if idx + 1 != cers.len() {
+                return Err(WfError::Malformed(format!(
+                    "intermediate CER {} is not the last CER",
+                    cer.key
+                )));
+            }
+            ends_with_intermediate = true;
+        } else if sealed.is_some() {
+            // advanced-model final CER: TFC attestation required
+            let tfc_name = def.tfc.as_deref().ok_or_else(|| {
+                WfError::Verify(format!(
+                    "CER {} carries TFC data but definition names no TFC",
+                    cer.key
+                ))
+            })?;
+            let tfc_id = directory.get(tfc_name)?;
+            let tfc_sig = cer.tfc_signature().ok_or_else(|| {
+                WfError::Verify(format!("CER {} missing TFC signature", cer.key))
+            })?;
+            let block = parse_signature(tfc_sig)
+                .map_err(|e| WfError::Verify(format!("CER {} TFC: {e}", cer.key)))?;
+            if block.signer != tfc_id.sign {
+                return Err(WfError::Verify(format!(
+                    "CER {} TFC signature: unexpected signer",
+                    cer.key
+                )));
+            }
+            tasks.push(SigTask {
+                label: format!("CER {} TFC", cer.key),
+                signer: block.signer,
+                bytes: tfc_attest_bytes(header, cer)?,
+                signature: block.signature,
+            });
+        }
+    }
+
+    let report = VerificationReport {
+        process_id: doc.process_id()?,
+        cers: cers.iter().map(|c| c.key.clone()).collect(),
+        signatures_verified: tasks.len(),
+        ends_with_intermediate,
+    };
+    Ok((tasks, report))
+}
+
+/// Verify every signature embedded in `doc` against `directory`.
+///
+/// Checks, in order:
+/// 1. the embedded workflow definition is structurally valid;
+/// 2. the designer's signature over `[Header, WorkflowDefinition,
+///    SecurityDefinition]` — a forged or altered definition fails here;
+/// 3. for every CER: the recorded participant is the one the definition
+///    (as amended up to that point) assigns to the activity, its cascade
+///    signature verifies under that participant's key, and all referenced
+///    predecessors exist;
+/// 4. for advanced-model CERs, the TFC's attestation signature.
+///
+/// An *intermediate* CER (sealed to the TFC, not yet re-encrypted) is only
+/// legal as the final CER of an in-flight document.
+pub fn verify_document(
+    doc: &DraDocument,
+    directory: &Directory,
+) -> WfResult<VerificationReport> {
+    let def = doc.workflow_definition()?;
+    def.validate()?;
+    verify_document_with_def(doc, directory, &def)
+}
+
+/// Variant for callers that already parsed/validated the definition.
+pub fn verify_document_with_def(
+    doc: &DraDocument,
+    directory: &Directory,
+    def: &WorkflowDefinition,
+) -> WfResult<VerificationReport> {
+    let (tasks, report) = plan_verification(doc, directory, def)?;
+    for t in &tasks {
+        t.run()?;
+    }
+    Ok(report)
+}
+
+/// Parallel variant: the sequential structural pass plans one independent
+/// signature check per embedded signature, then `threads` worker threads
+/// execute the checks concurrently. Signature verification dominates α for
+/// long cascades (see Table 1/C1), so this parallelizes the hot loop.
+pub fn verify_document_parallel(
+    doc: &DraDocument,
+    directory: &Directory,
+    threads: usize,
+) -> WfResult<VerificationReport> {
+    let def = doc.workflow_definition()?;
+    def.validate()?;
+    let (tasks, report) = plan_verification(doc, directory, &def)?;
+    run_tasks_parallel(&tasks, threads)?;
+    Ok(report)
+}
+
+fn run_tasks_parallel(tasks: &[SigTask], threads: usize) -> WfResult<()> {
+    let threads = threads.max(1).min(tasks.len().max(1));
+    if threads <= 1 || tasks.len() <= 1 {
+        for t in tasks {
+            t.run()?;
+        }
+        return Ok(());
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<WfResult<()>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(t) = tasks.get(i) else { return Ok(()) };
+                        t.run()?;
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("verifier thread")).collect()
+    });
+    for r in results {
+        r?;
+    }
+    Ok(())
+}
+
+/// Verify a batch of independent documents in parallel (the portal-server
+/// bulk path): each document gets its own full verification; failures are
+/// reported per document.
+pub fn verify_documents_parallel(
+    docs: &[DraDocument],
+    directory: &Directory,
+    threads: usize,
+) -> Vec<WfResult<VerificationReport>> {
+    let threads = threads.max(1).min(docs.len().max(1));
+    if threads <= 1 {
+        return docs.iter().map(|d| verify_document(d, directory)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<Option<WfResult<VerificationReport>>> =
+        (0..docs.len()).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<Option<WfResult<VerificationReport>>>> =
+        out.iter_mut().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let next = &next;
+            let slots = &slots;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(doc) = docs.get(i) else { break };
+                *slots[i].lock().expect("slot") = Some(verify_document(doc, directory));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot").expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::DraDocument;
+    use crate::identity::Credentials;
+    use crate::model::WorkflowDefinition;
+    use crate::policy::SecurityPolicy;
+
+    fn fixture() -> (WorkflowDefinition, SecurityPolicy, Credentials, Directory) {
+        let designer = Credentials::from_seed("designer", "d");
+        let peter = Credentials::from_seed("peter", "p");
+        let def = WorkflowDefinition::builder("w", "designer")
+            .simple_activity("A", "peter", &["x"])
+            .flow_end("A")
+            .build()
+            .unwrap();
+        let dir = Directory::from_credentials([&designer, &peter]);
+        (def, SecurityPolicy::public(), designer, dir)
+    }
+
+    #[test]
+    fn initial_document_verifies() {
+        let (def, pol, designer, dir) = fixture();
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "pid").unwrap();
+        let report = verify_document(&doc, &dir).unwrap();
+        assert_eq!(report.signatures_verified, 1);
+        assert!(report.cers.is_empty());
+        assert!(!report.ends_with_intermediate);
+        assert_eq!(report.process_id, "pid");
+    }
+
+    #[test]
+    fn altered_definition_detected() {
+        let (def, pol, designer, dir) = fixture();
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "pid").unwrap();
+        // Superuser-style tamper: change the assigned participant in the
+        // stored document without re-signing.
+        let mut tampered = doc.to_xml_string();
+        tampered = tampered.replace("participant=\"peter\"", "participant=\"mallory\"");
+        let doc2 = DraDocument::parse(&tampered).unwrap();
+        // verification must fail — either unknown identity or bad signature
+        assert!(verify_document(&doc2, &dir).is_err());
+    }
+
+    #[test]
+    fn altered_process_id_detected() {
+        let (def, pol, designer, dir) = fixture();
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "pid-A").unwrap();
+        let tampered = doc.to_xml_string().replace("pid-A", "pid-B");
+        let doc2 = DraDocument::parse(&tampered).unwrap();
+        let err = verify_document(&doc2, &dir).unwrap_err();
+        assert!(matches!(err, WfError::Verify(_)), "replay/renumber attack detected: {err}");
+    }
+
+    #[test]
+    fn unknown_designer_rejected() {
+        let (def, pol, designer, _) = fixture();
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "pid").unwrap();
+        let empty = Directory::new();
+        assert!(matches!(
+            verify_document(&doc, &empty),
+            Err(WfError::UnknownIdentity(_))
+        ));
+    }
+
+    // CER-level verification is exercised end-to-end in the aea/tfc module
+    // tests and in the integration suite.
+}

@@ -1,0 +1,141 @@
+//! Standard base64 (RFC 4648, with padding) — used for the bulk binary
+//! payloads embedded in documents (ciphertexts, sealed blobs), where hex
+//! would cost 2× instead of 1.33× expansion. XML Security tooling encodes
+//! `CipherValue` contents the same way.
+
+const TABLE: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes as base64 with padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(TABLE[(n >> 18) as usize & 63] as char);
+        out.push(TABLE[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { TABLE[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { TABLE[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+fn value_of(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some((c - b'A') as u32),
+        b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+        b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decode base64 (strict: padding required, no whitespace). `None` on any
+/// malformed input.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pads = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pads > 2 || (pads > 0 && !last) {
+            return None;
+        }
+        let vals: Vec<u32> = chunk[..4 - pads]
+            .iter()
+            .map(|&c| value_of(c))
+            .collect::<Option<_>>()?;
+        match pads {
+            0 => {
+                let n = (vals[0] << 18) | (vals[1] << 12) | (vals[2] << 6) | vals[3];
+                out.extend_from_slice(&[(n >> 16) as u8, (n >> 8) as u8, n as u8]);
+            }
+            1 => {
+                let n = (vals[0] << 18) | (vals[1] << 12) | (vals[2] << 6);
+                // the dropped bits must be zero (canonical encoding)
+                if n & 0xff != 0 {
+                    return None;
+                }
+                out.extend_from_slice(&[(n >> 16) as u8, (n >> 8) as u8]);
+            }
+            2 => {
+                let n = (vals[0] << 18) | (vals[1] << 12);
+                if n & 0xffff != 0 {
+                    return None;
+                }
+                out.push((n >> 16) as u8);
+            }
+            _ => unreachable!(),
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// RFC 4648 §10 test vectors.
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+        for (enc, dec) in [
+            ("", &b""[..]),
+            ("Zg==", b"f"),
+            ("Zm8=", b"fo"),
+            ("Zm9v", b"foo"),
+            ("Zm9vYg==", b"foob"),
+            ("Zm9vYmE=", b"fooba"),
+            ("Zm9vYmFy", b"foobar"),
+        ] {
+            assert_eq!(decode(enc).unwrap(), dec);
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(decode("A").is_none(), "bad length");
+        assert!(decode("AA=A").is_none(), "padding in the middle");
+        assert!(decode("A===").is_none(), "too much padding");
+        assert!(decode("AA =").is_none(), "whitespace");
+        assert!(decode("AA.=").is_none(), "bad alphabet");
+        assert!(decode("Zg==Zg==").is_none(), "padding before the end");
+    }
+
+    #[test]
+    fn non_canonical_rejected() {
+        // "Zh==" decodes the same first byte as "Zg==" but with nonzero
+        // dropped bits — must be rejected to keep encodings unique.
+        assert!(decode("Zh==").is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+            prop_assert_eq!(decode(&encode(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_expansion_ratio(data in proptest::collection::vec(any::<u8>(), 1..200)) {
+            let e = encode(&data);
+            prop_assert_eq!(e.len(), data.len().div_ceil(3) * 4);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(s in "[A-Za-z0-9+/=]{0,64}") {
+            let _ = decode(&s);
+        }
+    }
+}

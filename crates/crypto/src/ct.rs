@@ -1,0 +1,43 @@
+//! Constant-time comparison helpers.
+//!
+//! Signature and MAC verification must not leak, through timing, how many
+//! prefix bytes of an attacker-supplied value matched the expected value.
+
+/// Constant-time equality of two byte slices.
+///
+/// Returns `false` immediately when lengths differ (length is public in all
+/// our uses: MAC tags and signatures have fixed sizes).
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal() {
+        assert!(ct_eq(b"hello", b"hello"));
+        assert!(ct_eq(&[], &[]));
+    }
+
+    #[test]
+    fn unequal_content() {
+        assert!(!ct_eq(b"hello", b"hellp"));
+        assert!(!ct_eq(b"\x00", b"\x01"));
+    }
+
+    #[test]
+    fn unequal_length() {
+        assert!(!ct_eq(b"hello", b"hell"));
+        assert!(!ct_eq(b"", b"x"));
+    }
+}

@@ -1,0 +1,637 @@
+//! Ed25519 signatures (RFC 8032).
+//!
+//! Every participant, workflow designer, TFC server and portal server in
+//! DRA4WfMS owns an Ed25519 keypair. The cascade-based nonrepudiation scheme
+//! of the paper embeds one signature per executed activity; each signature
+//! covers the activity's encrypted execution result plus the signatures of
+//! all predecessor activities.
+//!
+//! Point arithmetic uses extended twisted-Edwards coordinates with the
+//! complete a = −1 formulas; scalar arithmetic mod the group order L uses a
+//! byte-oriented schoolbook reduction (in the style of TweetNaCl's `modL`).
+
+use crate::field::Fe;
+use crate::sha2::Sha512;
+
+/// Length of a signature in bytes.
+pub const SIGNATURE_LEN: usize = 64;
+/// Length of a public key in bytes.
+pub const PUBLIC_KEY_LEN: usize = 32;
+
+/// Group order L = 2^252 + 27742317777372353535851937790883648493, as 32
+/// little-endian bytes.
+const L: [u8; 32] = [
+    0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde,
+    0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x10,
+];
+
+/// A point on the Ed25519 curve in extended coordinates (X:Y:Z:T), with
+/// x = X/Z, y = Y/Z, xy = T/Z.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+/// The curve constant d = −121665/121666.
+fn d() -> Fe {
+    use std::sync::OnceLock;
+    static CELL: OnceLock<Fe> = OnceLock::new();
+    *CELL.get_or_init(|| {
+        Fe::from_u64(121665)
+            .neg()
+            .mul(&Fe::from_u64(121666).invert())
+    })
+}
+
+/// 2·d, used by the addition formulas.
+fn d2() -> Fe {
+    use std::sync::OnceLock;
+    static CELL: OnceLock<Fe> = OnceLock::new();
+    *CELL.get_or_init(|| d().add(&d()))
+}
+
+impl Point {
+    /// The identity element (0, 1).
+    pub fn identity() -> Point {
+        Point { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+    }
+
+    /// The standard basepoint B (y = 4/5, x positive), decoded from its
+    /// well-known compressed form `0x58 0x66…66`.
+    pub fn basepoint() -> Point {
+        use std::sync::OnceLock;
+        static CELL: OnceLock<Point> = OnceLock::new();
+        *CELL.get_or_init(|| {
+            let mut enc = [0x66u8; 32];
+            enc[0] = 0x58;
+            Point::decompress(&enc).expect("basepoint encoding is valid")
+        })
+    }
+
+    /// Point addition (complete formulas for a = −1 twisted Edwards;
+    /// "add-2008-hwcd-3").
+    pub fn add(&self, other: &Point) -> Point {
+        let a = self.y.sub(&self.x).mul(&other.y.sub(&other.x));
+        let b = self.y.add(&self.x).mul(&other.y.add(&other.x));
+        let c = self.t.mul(&d2()).mul(&other.t);
+        let dd = self.z.mul(&other.z);
+        let dd = dd.add(&dd);
+        let e = b.sub(&a);
+        let f = dd.sub(&c);
+        let g = dd.add(&c);
+        let h = b.add(&a);
+        Point { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+    }
+
+    /// Point doubling ("dbl-2008-hwcd" with a = −1).
+    pub fn double(&self) -> Point {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square();
+        let c = c.add(&c);
+        let dd = a.neg(); // a = −1
+        let e = self.x.add(&self.y).square().sub(&a).sub(&b);
+        let g = dd.add(&b);
+        let f = g.sub(&c);
+        let h = dd.sub(&b);
+        Point { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+    }
+
+    /// Negate the point: (x, y) → (−x, y).
+    pub fn neg(&self) -> Point {
+        Point { x: self.x.neg(), y: self.y, z: self.z, t: self.t.neg() }
+    }
+
+    /// Scalar multiplication, MSB-first double-and-add over a 32-byte
+    /// little-endian scalar.
+    pub fn scalar_mul(&self, scalar: &[u8; 32]) -> Point {
+        let mut acc = Point::identity();
+        for byte in scalar.iter().rev() {
+            for bit in (0..8).rev() {
+                acc = acc.double();
+                if (byte >> bit) & 1 == 1 {
+                    acc = acc.add(self);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Compress to the 32-byte encoding: y with the sign of x in bit 255.
+    pub fn compress(&self) -> [u8; 32] {
+        let zi = self.z.invert();
+        let x = self.x.mul(&zi);
+        let y = self.y.mul(&zi);
+        let mut out = y.to_bytes();
+        if x.is_negative() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompress a 32-byte encoding; `None` if it is not a curve point.
+    pub fn decompress(enc: &[u8; 32]) -> Option<Point> {
+        let sign = enc[31] >> 7;
+        let y = Fe::from_bytes(enc); // masks the sign bit
+        // x^2 = (y^2 - 1) / (d*y^2 + 1)
+        let y2 = y.square();
+        let u = y2.sub(&Fe::ONE);
+        let v = d().mul(&y2).add(&Fe::ONE);
+        // candidate root: x = u * v^3 * (u * v^7)^((p-5)/8)
+        let v3 = v.square().mul(&v);
+        let v7 = v3.square().mul(&v);
+        let mut x = u.mul(&v3).mul(&u.mul(&v7).pow_p58());
+        let vx2 = v.mul(&x.square());
+        if vx2 != u {
+            if vx2 == u.neg() {
+                x = x.mul(&Fe::sqrt_m1());
+            } else {
+                return None;
+            }
+        }
+        if x.is_zero() && sign == 1 {
+            return None; // -0 is not a valid encoding
+        }
+        if x.is_negative() != (sign == 1) {
+            x = x.neg();
+        }
+        Some(Point { x, y, z: Fe::ONE, t: x.mul(&y) })
+    }
+
+    /// Affine equality check.
+    pub fn eq_affine(&self, other: &Point) -> bool {
+        // x1/z1 == x2/z2  <=>  x1*z2 == x2*z1, same for y.
+        self.x.mul(&other.z) == other.x.mul(&self.z)
+            && self.y.mul(&other.z) == other.y.mul(&self.z)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic mod L (byte-oriented, TweetNaCl style)
+// ---------------------------------------------------------------------------
+
+/// Reduce a 64-coefficient little-endian byte expansion modulo L into 32
+/// bytes. Coefficients are signed i64 to absorb intermediate products.
+fn mod_l(x: &mut [i64; 64]) -> [u8; 32] {
+    let l: [i64; 32] = core::array::from_fn(|i| L[i] as i64);
+    let mut carry: i64;
+    for i in (32..64).rev() {
+        carry = 0;
+        let mut j = i - 32;
+        while j < i - 12 {
+            x[j] += carry - 16 * x[i] * l[j - (i - 32)];
+            carry = (x[j] + 128) >> 8;
+            x[j] -= carry << 8;
+            j += 1;
+        }
+        x[j] += carry;
+        x[i] = 0;
+    }
+    carry = 0;
+    for j in 0..32 {
+        x[j] += carry - (x[31] >> 4) * l[j];
+        carry = x[j] >> 8;
+        x[j] &= 255;
+    }
+    for j in 0..32 {
+        x[j] -= carry * l[j];
+    }
+    let mut r = [0u8; 32];
+    for i in 0..32 {
+        if i + 1 < 64 {
+            x[i + 1] += x[i] >> 8;
+        }
+        r[i] = (x[i] & 255) as u8;
+    }
+    r
+}
+
+/// Reduce a 64-byte value (e.g. a SHA-512 digest) modulo L.
+pub fn scalar_reduce(wide: &[u8; 64]) -> [u8; 32] {
+    let mut x: [i64; 64] = core::array::from_fn(|i| wide[i] as i64);
+    mod_l(&mut x)
+}
+
+/// Compute (a·b + c) mod L over 32-byte little-endian scalars.
+pub fn scalar_muladd(a: &[u8; 32], b: &[u8; 32], c: &[u8; 32]) -> [u8; 32] {
+    let mut x = [0i64; 64];
+    for i in 0..32 {
+        x[i] = c[i] as i64;
+    }
+    for i in 0..32 {
+        for j in 0..32 {
+            x[i + j] += a[i] as i64 * b[j] as i64;
+        }
+    }
+    mod_l(&mut x)
+}
+
+/// True if the 32-byte little-endian scalar is strictly less than L
+/// (rejects malleable signatures).
+fn scalar_is_canonical(s: &[u8; 32]) -> bool {
+    for i in (0..32).rev() {
+        if s[i] < L[i] {
+            return true;
+        }
+        if s[i] > L[i] {
+            return false;
+        }
+    }
+    false // s == L
+}
+
+// ---------------------------------------------------------------------------
+// Keys and signatures
+// ---------------------------------------------------------------------------
+
+/// An Ed25519 secret key (the 32-byte seed of RFC 8032).
+#[derive(Clone)]
+pub struct SecretKey {
+    seed: [u8; 32],
+}
+
+/// An Ed25519 public key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PublicKey(pub [u8; 32]);
+
+/// A detached Ed25519 signature.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature(pub [u8; 64]);
+
+/// A secret/public keypair.
+#[derive(Clone)]
+pub struct Keypair {
+    /// The secret half.
+    pub secret: SecretKey,
+    /// The public half.
+    pub public: PublicKey,
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SecretKey(..)")
+    }
+}
+
+fn clamp(mut a: [u8; 32]) -> [u8; 32] {
+    a[0] &= 248;
+    a[31] &= 127;
+    a[31] |= 64;
+    a
+}
+
+impl SecretKey {
+    /// Construct from a 32-byte seed.
+    pub fn from_seed(seed: [u8; 32]) -> SecretKey {
+        SecretKey { seed }
+    }
+
+    /// Generate a fresh random secret key.
+    pub fn generate() -> SecretKey {
+        SecretKey { seed: crate::random_array32() }
+    }
+
+    /// Expose the seed (for serialization into key stores).
+    pub fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    /// Expand the seed into (clamped scalar a, prefix).
+    fn expand(&self) -> ([u8; 32], [u8; 32]) {
+        let h = crate::sha2::sha512(&self.seed);
+        let mut a = [0u8; 32];
+        a.copy_from_slice(&h[..32]);
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&h[32..]);
+        (clamp(a), prefix)
+    }
+
+    /// Derive the matching public key.
+    pub fn public_key(&self) -> PublicKey {
+        let (a, _) = self.expand();
+        PublicKey(Point::basepoint().scalar_mul(&a).compress())
+    }
+
+    /// Sign a message.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let (a, prefix) = self.expand();
+        let public = self.public_key();
+
+        let mut h = Sha512::new();
+        h.update(&prefix);
+        h.update(message);
+        let r = scalar_reduce(&h.finalize());
+
+        let r_point = Point::basepoint().scalar_mul(&r).compress();
+
+        let mut h = Sha512::new();
+        h.update(&r_point);
+        h.update(&public.0);
+        h.update(message);
+        let k = scalar_reduce(&h.finalize());
+
+        let s = scalar_muladd(&k, &a, &r);
+
+        let mut sig = [0u8; 64];
+        sig[..32].copy_from_slice(&r_point);
+        sig[32..].copy_from_slice(&s);
+        Signature(sig)
+    }
+}
+
+impl Keypair {
+    /// Generate a fresh random keypair.
+    pub fn generate() -> Keypair {
+        let secret = SecretKey::generate();
+        let public = secret.public_key();
+        Keypair { secret, public }
+    }
+
+    /// Deterministic keypair from a seed (tests, reproducible workloads).
+    pub fn from_seed(seed: [u8; 32]) -> Keypair {
+        let secret = SecretKey::from_seed(seed);
+        let public = secret.public_key();
+        Keypair { secret, public }
+    }
+
+    /// Sign a message with the secret half.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        self.secret.sign(message)
+    }
+}
+
+impl PublicKey {
+    /// Verify `signature` over `message`. Rejects non-canonical scalars and
+    /// invalid point encodings.
+    #[must_use]
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        let r_enc: [u8; 32] = signature.0[..32].try_into().expect("split");
+        let s: [u8; 32] = signature.0[32..].try_into().expect("split");
+        if !scalar_is_canonical(&s) {
+            return false;
+        }
+        let a = match Point::decompress(&self.0) {
+            Some(p) => p,
+            None => return false,
+        };
+        let r = match Point::decompress(&r_enc) {
+            Some(p) => p,
+            None => return false,
+        };
+        let mut h = Sha512::new();
+        h.update(&r_enc);
+        h.update(&self.0);
+        h.update(message);
+        let k = scalar_reduce(&h.finalize());
+
+        // Check [S]B == R + [k]A.
+        let lhs = Point::basepoint().scalar_mul(&s);
+        let rhs = r.add(&a.scalar_mul(&k));
+        lhs.eq_affine(&rhs)
+    }
+
+    /// Hex fingerprint (first 8 bytes) for logs and document attributes.
+    pub fn fingerprint(&self) -> String {
+        crate::hex::encode(&self.0[..8])
+    }
+}
+
+impl Signature {
+    /// Parse from raw bytes.
+    pub fn from_bytes(b: &[u8]) -> Option<Signature> {
+        if b.len() != 64 {
+            return None;
+        }
+        let mut s = [0u8; 64];
+        s.copy_from_slice(b);
+        Some(Signature(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    /// RFC 8032 §7.1 TEST 1 (empty message).
+    #[test]
+    fn rfc8032_test1() {
+        let seed = hex::decode_array::<32>(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        )
+        .unwrap();
+        let kp = Keypair::from_seed(seed);
+        assert_eq!(
+            hex::encode(&kp.public.0),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+        );
+        let sig = kp.sign(b"");
+        assert_eq!(
+            hex::encode(&sig.0),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+             5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+                .replace(char::is_whitespace, "")
+        );
+        assert!(kp.public.verify(b"", &sig));
+    }
+
+    /// RFC 8032 §7.1 TEST 2 (one-byte message).
+    #[test]
+    fn rfc8032_test2() {
+        let seed = hex::decode_array::<32>(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        )
+        .unwrap();
+        let kp = Keypair::from_seed(seed);
+        assert_eq!(
+            hex::encode(&kp.public.0),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+        );
+        let sig = kp.sign(&[0x72]);
+        assert_eq!(
+            hex::encode(&sig.0),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+             085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+                .replace(char::is_whitespace, "")
+        );
+        assert!(kp.public.verify(&[0x72], &sig));
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = Keypair::from_seed([42u8; 32]);
+        let msg = b"workflow execution result of activity A3";
+        let sig = kp.sign(msg);
+        assert!(kp.public.verify(msg, &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = Keypair::from_seed([1u8; 32]);
+        let sig = kp.sign(b"original");
+        assert!(!kp.public.verify(b"0riginal", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = Keypair::from_seed([2u8; 32]);
+        let mut sig = kp.sign(b"message");
+        sig.0[10] ^= 0x40;
+        assert!(!kp.public.verify(b"message", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = Keypair::from_seed([3u8; 32]);
+        let kp2 = Keypair::from_seed([4u8; 32]);
+        let sig = kp1.sign(b"message");
+        assert!(!kp2.public.verify(b"message", &sig));
+    }
+
+    #[test]
+    fn non_canonical_s_rejected() {
+        let kp = Keypair::from_seed([5u8; 32]);
+        let sig = kp.sign(b"m");
+        // Forge S' = S + L (same value mod L, non-canonical encoding).
+        let mut s: [u8; 32] = sig.0[32..].try_into().unwrap();
+        let mut carry = 0u16;
+        for i in 0..32 {
+            let v = s[i] as u16 + L[i] as u16 + carry;
+            s[i] = v as u8;
+            carry = v >> 8;
+        }
+        let mut forged = sig.0;
+        forged[32..].copy_from_slice(&s);
+        assert!(!kp.public.verify(b"m", &Signature(forged)));
+    }
+
+    #[test]
+    fn identity_and_basepoint_ops() {
+        let b = Point::basepoint();
+        let id = Point::identity();
+        assert!(b.add(&id).eq_affine(&b));
+        assert!(b.add(&b).eq_affine(&b.double()));
+        // B + (−B) = identity
+        assert!(b.add(&b.neg()).eq_affine(&id));
+    }
+
+    #[test]
+    fn basepoint_has_order_l() {
+        // [L]B should be the identity.
+        let lb = Point::basepoint().scalar_mul(&L);
+        assert!(lb.eq_affine(&Point::identity()));
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip() {
+        let kp = Keypair::from_seed([9u8; 32]);
+        let p = Point::decompress(&kp.public.0).unwrap();
+        assert_eq!(p.compress(), kp.public.0);
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        // y = 2 is not on the curve for either sign.
+        let mut enc = [0u8; 32];
+        enc[0] = 2;
+        assert!(Point::decompress(&enc).is_none());
+    }
+
+    #[test]
+    fn scalar_reduce_of_small_value_is_identity() {
+        let mut wide = [0u8; 64];
+        wide[0] = 77;
+        let r = scalar_reduce(&wide);
+        assert_eq!(r[0], 77);
+        assert!(r[1..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn scalar_reduce_of_l_is_zero() {
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&L);
+        assert_eq!(scalar_reduce(&wide), [0u8; 32]);
+    }
+
+    #[test]
+    fn scalar_muladd_matches_group_law() {
+        // (2*3 + 4) mod L = 10
+        let two = {
+            let mut s = [0u8; 32];
+            s[0] = 2;
+            s
+        };
+        let three = {
+            let mut s = [0u8; 32];
+            s[0] = 3;
+            s
+        };
+        let four = {
+            let mut s = [0u8; 32];
+            s[0] = 4;
+            s
+        };
+        let r = scalar_muladd(&two, &three, &four);
+        assert_eq!(r[0], 10);
+        assert!(r[1..].iter().all(|&b| b == 0));
+    }
+
+
+    /// RFC 8032 §7.1 TEST 3 (two-byte message).
+    #[test]
+    fn rfc8032_test3() {
+        let seed = hex::decode_array::<32>(
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        )
+        .unwrap();
+        let kp = Keypair::from_seed(seed);
+        assert_eq!(
+            hex::encode(&kp.public.0),
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025"
+        );
+        let msg = [0xaf, 0x82];
+        let sig = kp.sign(&msg);
+        assert_eq!(
+            hex::encode(&sig.0),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+             18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+                .replace(char::is_whitespace, "")
+        );
+        assert!(kp.public.verify(&msg, &sig));
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let kp = Keypair::from_seed([77u8; 32]);
+        assert_eq!(kp.sign(b"same message"), kp.sign(b"same message"));
+    }
+
+    #[test]
+    fn verify_rejects_swapped_r_s() {
+        let kp = Keypair::from_seed([8u8; 32]);
+        let sig = kp.sign(b"m");
+        let mut swapped = [0u8; 64];
+        swapped[..32].copy_from_slice(&sig.0[32..]);
+        swapped[32..].copy_from_slice(&sig.0[..32]);
+        assert!(!kp.public.verify(b"m", &Signature(swapped)));
+    }
+
+    #[test]
+    fn large_message_roundtrip() {
+        let kp = Keypair::from_seed([9u8; 32]);
+        let msg = vec![0x5au8; 100_000];
+        let sig = kp.sign(&msg);
+        assert!(kp.public.verify(&msg, &sig));
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_keys() {
+        let a = Keypair::from_seed([6u8; 32]);
+        let b = Keypair::from_seed([7u8; 32]);
+        assert_ne!(a.public, b.public);
+    }
+}

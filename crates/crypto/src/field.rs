@@ -1,0 +1,393 @@
+//! Arithmetic in GF(2^255 − 19), the base field of curve25519.
+//!
+//! Elements are kept fully reduced (`< p`) as four little-endian 64-bit
+//! limbs. Multiplication uses schoolbook 4×4 with `u128` intermediates and
+//! reduces via the identity `2^256 ≡ 38 (mod p)`. Simplicity and testability
+//! are prioritized over raw limb-level speed; the curve layers above are the
+//! hot path and remain comfortably fast for the paper's workloads.
+
+/// p = 2^255 − 19, as little-endian limbs.
+pub const P: [u64; 4] = [
+    0xffff_ffff_ffff_ffed,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0x7fff_ffff_ffff_ffff,
+];
+
+/// An element of GF(2^255 − 19), always fully reduced.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fe(pub(crate) [u64; 4]);
+
+#[inline(always)]
+fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 + b as u128 + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+#[inline(always)]
+fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = (a as u128).wrapping_sub(b as u128 + borrow as u128);
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+/// `a >= b` over 4 little-endian limbs.
+#[inline]
+fn geq(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    for i in (0..4).rev() {
+        if a[i] > b[i] {
+            return true;
+        }
+        if a[i] < b[i] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Subtract p if the value is ≥ p (one pass).
+#[inline]
+fn cond_sub_p(v: &mut [u64; 4]) {
+    if geq(v, &P) {
+        let mut borrow = 0;
+        for i in 0..4 {
+            let (r, b) = sbb(v[i], P[i], borrow);
+            v[i] = r;
+            borrow = b;
+        }
+    }
+}
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0]);
+
+    /// Build from a small integer.
+    pub fn from_u64(v: u64) -> Fe {
+        Fe([v, 0, 0, 0])
+    }
+
+    /// Decode 32 little-endian bytes; the top bit is ignored (masked) as in
+    /// RFC 7748/8032, then the value is reduced mod p.
+    #[allow(clippy::needless_range_loop)] // index i addresses both arrays
+    pub fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&bytes[8 * i..8 * i + 8]);
+            limbs[i] = u64::from_le_bytes(w);
+        }
+        limbs[3] &= 0x7fff_ffff_ffff_ffff;
+        let mut fe = Fe(limbs);
+        cond_sub_p(&mut fe.0);
+        fe
+    }
+
+    /// Encode as 32 canonical little-endian bytes.
+    #[allow(clippy::needless_range_loop)] // index i addresses both arrays
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[8 * i..8 * i + 8].copy_from_slice(&self.0[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Field addition.
+    #[allow(clippy::needless_range_loop)] // index i addresses two arrays
+    pub fn add(&self, other: &Fe) -> Fe {
+        let mut r = [0u64; 4];
+        let mut carry = 0;
+        for i in 0..4 {
+            let (v, c) = adc(self.0[i], other.0[i], carry);
+            r[i] = v;
+            carry = c;
+        }
+        debug_assert_eq!(carry, 0, "a+b < 2p < 2^256 so no carry-out");
+        cond_sub_p(&mut r);
+        Fe(r)
+    }
+
+    /// Field subtraction.
+    #[allow(clippy::needless_range_loop)] // index i addresses two arrays
+    pub fn sub(&self, other: &Fe) -> Fe {
+        let mut r = [0u64; 4];
+        let mut borrow = 0;
+        for i in 0..4 {
+            let (v, b) = sbb(self.0[i], other.0[i], borrow);
+            r[i] = v;
+            borrow = b;
+        }
+        if borrow != 0 {
+            // wrapped: add p back (r currently holds a - b + 2^256 mod 2^256)
+            let mut carry = 0;
+            for i in 0..4 {
+                let (v, c) = adc(r[i], P[i], carry);
+                r[i] = v;
+                carry = c;
+            }
+        }
+        Fe(r)
+    }
+
+    /// Field negation.
+    pub fn neg(&self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, other: &Fe) -> Fe {
+        // 4x4 schoolbook -> 8 limbs
+        let mut t = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let v = t[i + j] as u128 + self.0[i] as u128 * other.0[j] as u128 + carry;
+                t[i + j] = v as u64;
+                carry = v >> 64;
+            }
+            t[i + 4] = carry as u64;
+        }
+        Self::reduce_wide(t)
+    }
+
+    /// Field squaring (delegates to `mul`; adequate for our workloads).
+    pub fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Reduce an 8-limb (512-bit) product modulo p using 2^256 ≡ 38.
+    fn reduce_wide(t: [u64; 8]) -> Fe {
+        // r = lo + hi*38, 5 limbs
+        let mut r = [0u64; 4];
+        let mut carry: u128 = 0;
+        for i in 0..4 {
+            let v = t[i] as u128 + t[4 + i] as u128 * 38 + carry;
+            r[i] = v as u64;
+            carry = v >> 64;
+        }
+        // fold the overflow (≤ ~2^70 · ε) back in, possibly twice
+        while carry != 0 {
+            let mut c = carry * 38;
+            for limb in r.iter_mut() {
+                let v = *limb as u128 + c;
+                *limb = v as u64;
+                c = v >> 64;
+                if c == 0 {
+                    break;
+                }
+            }
+            carry = c;
+        }
+        cond_sub_p(&mut r);
+        cond_sub_p(&mut r);
+        debug_assert!(!geq(&r, &P));
+        Fe(r)
+    }
+
+    /// Exponentiation by a 256-bit little-endian exponent (square & multiply,
+    /// MSB first).
+    pub fn pow(&self, exp: &[u64; 4]) -> Fe {
+        let mut result = Fe::ONE;
+        let mut started = false;
+        for i in (0..4).rev() {
+            for bit in (0..64).rev() {
+                if started {
+                    result = result.square();
+                }
+                if (exp[i] >> bit) & 1 == 1 {
+                    if started {
+                        result = result.mul(self);
+                    } else {
+                        result = *self;
+                        started = true;
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat: a^(p−2). Returns zero for zero.
+    pub fn invert(&self) -> Fe {
+        // p - 2 = 2^255 - 21
+        const EXP: [u64; 4] = [
+            0xffff_ffff_ffff_ffeb,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x7fff_ffff_ffff_ffff,
+        ];
+        self.pow(&EXP)
+    }
+
+    /// a^((p−5)/8) = a^(2^252 − 3); used for square roots during point
+    /// decompression (RFC 8032 §5.1.3).
+    pub fn pow_p58(&self) -> Fe {
+        const EXP: [u64; 4] = [
+            0xffff_ffff_ffff_fffd,
+            0xffff_ffff_ffff_ffff,
+            0xffff_ffff_ffff_ffff,
+            0x0fff_ffff_ffff_ffff,
+        ];
+        self.pow(&EXP)
+    }
+
+    /// True if the element is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Parity of the canonical representative (bit 0), the "sign" used in
+    /// point compression.
+    pub fn is_negative(&self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    /// sqrt(−1) mod p, computed once as 2^((p−1)/4).
+    pub fn sqrt_m1() -> Fe {
+        use std::sync::OnceLock;
+        static CELL: OnceLock<Fe> = OnceLock::new();
+        *CELL.get_or_init(|| {
+            // (p-1)/4 = 2^253 - 5
+            const EXP: [u64; 4] = [
+                0xffff_ffff_ffff_fffb,
+                0xffff_ffff_ffff_ffff,
+                0xffff_ffff_ffff_ffff,
+                0x1fff_ffff_ffff_ffff,
+            ];
+            Fe::from_u64(2).pow(&EXP)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fe(v: u64) -> Fe {
+        Fe::from_u64(v)
+    }
+
+    #[test]
+    fn add_sub_basics() {
+        let a = fe(5);
+        let b = fe(3);
+        assert_eq!(a.add(&b), fe(8));
+        assert_eq!(a.sub(&b), fe(2));
+        assert_eq!(b.sub(&a).add(&a), b, "wraparound subtraction");
+    }
+
+    #[test]
+    fn neg_of_zero_is_zero() {
+        assert_eq!(Fe::ZERO.neg(), Fe::ZERO);
+    }
+
+    #[test]
+    fn p_reduces_to_zero() {
+        let mut bytes = [0u8; 32];
+        for i in 0..4 {
+            bytes[8 * i..8 * i + 8].copy_from_slice(&P[i].to_le_bytes());
+        }
+        assert_eq!(Fe::from_bytes(&bytes), Fe::ZERO);
+    }
+
+    #[test]
+    fn p_minus_one_is_canonical() {
+        let m1 = Fe::ZERO.sub(&Fe::ONE);
+        assert_eq!(m1.0[0], P[0] - 1);
+        assert_eq!(m1.add(&Fe::ONE), Fe::ZERO);
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(fe(7).mul(&fe(6)), fe(42));
+        assert_eq!(fe(0).mul(&fe(12345)), Fe::ZERO);
+        assert_eq!(Fe::ONE.mul(&fe(99)), fe(99));
+    }
+
+    #[test]
+    fn mul_wraps_correctly() {
+        // (p-1)^2 mod p = 1
+        let m1 = Fe::ZERO.sub(&Fe::ONE);
+        assert_eq!(m1.mul(&m1), Fe::ONE);
+        // (p-1) * 2 = p - 2
+        assert_eq!(m1.mul(&fe(2)), Fe::ZERO.sub(&fe(2)));
+    }
+
+    #[test]
+    fn invert() {
+        for v in [1u64, 2, 3, 19, 485, u64::MAX] {
+            let a = fe(v);
+            assert_eq!(a.mul(&a.invert()), Fe::ONE, "v = {v}");
+        }
+        assert_eq!(Fe::ZERO.invert(), Fe::ZERO);
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = Fe::sqrt_m1();
+        assert_eq!(i.square(), Fe::ZERO.sub(&Fe::ONE));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let a = fe(0xdead_beef).mul(&fe(0x1234_5678_9abc_def0));
+        assert_eq!(Fe::from_bytes(&a.to_bytes()), a);
+    }
+
+    #[test]
+    fn high_bit_masked_on_decode() {
+        let mut b = [0u8; 32];
+        b[31] = 0x80; // only the masked bit set
+        assert_eq!(Fe::from_bytes(&b), Fe::ZERO);
+    }
+
+    fn arb_fe() -> impl Strategy<Value = Fe> {
+        proptest::array::uniform32(any::<u8>()).prop_map(|b| Fe::from_bytes(&b))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(a in arb_fe(), b in arb_fe()) {
+            prop_assert_eq!(a.add(&b), b.add(&a));
+        }
+
+        #[test]
+        fn prop_mul_commutes(a in arb_fe(), b in arb_fe()) {
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+        }
+
+        #[test]
+        fn prop_mul_associates(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        }
+
+        #[test]
+        fn prop_distributes(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        }
+
+        #[test]
+        fn prop_sub_add_inverse(a in arb_fe(), b in arb_fe()) {
+            prop_assert_eq!(a.sub(&b).add(&b), a);
+        }
+
+        #[test]
+        fn prop_invert(a in arb_fe()) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(a.mul(&a.invert()), Fe::ONE);
+        }
+
+        #[test]
+        fn prop_square_is_mul_self(a in arb_fe()) {
+            prop_assert_eq!(a.square(), a.mul(&a));
+        }
+
+        #[test]
+        fn prop_roundtrip(a in arb_fe()) {
+            prop_assert_eq!(Fe::from_bytes(&a.to_bytes()), a);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+//!
+//! Used as the authentication tag of the encrypt-then-MAC construction in
+//! [`crate::sealed`] and for keyed document fingerprints.
+
+use crate::sha2::Sha256;
+
+const BLOCK: usize = 64;
+
+/// Compute `HMAC-SHA256(key, data)`.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(data);
+    mac.finalize()
+}
+
+/// Incremental HMAC-SHA256.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK],
+}
+
+impl HmacSha256 {
+    /// Create a MAC keyed by `key` (any length; long keys are hashed first).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let d = crate::sha2::sha256(key);
+            k[..32].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK];
+        let mut opad = [0u8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 { inner, opad_key: opad }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produce the 32-byte tag.
+    pub fn finalize(self) -> [u8; 32] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Verify a tag in constant time.
+    #[must_use]
+    pub fn verify(self, tag: &[u8]) -> bool {
+        crate::ct::ct_eq(&self.finalize(), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 4231 test cases.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        assert_eq!(
+            hex::encode(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        // RFC 4231 case 6: 131-byte key
+        let key = [0xaau8; 131];
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"key material";
+        let data = b"some fairly long message body for the incremental test";
+        let mut m = HmacSha256::new(key);
+        m.update(&data[..10]);
+        m.update(&data[10..]);
+        assert_eq!(m.finalize(), hmac_sha256(key, data));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"m");
+        assert!(HmacSha256::new(b"k").tap(b"m").verify(&tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!HmacSha256::new(b"k").tap(b"m").verify(&bad));
+        assert!(!HmacSha256::new(b"k").tap(b"m").verify(&tag[..31]));
+    }
+
+    trait Tap {
+        fn tap(self, d: &[u8]) -> Self;
+    }
+    impl Tap for HmacSha256 {
+        fn tap(mut self, d: &[u8]) -> Self {
+            self.update(d);
+            self
+        }
+    }
+}

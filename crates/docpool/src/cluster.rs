@@ -1,0 +1,409 @@
+//! The range-partitioned table (the "HBase cluster" of the paper's Fig. 7):
+//! routing, automatic region splits, scans and statistics.
+
+use crate::region::{KeyRange, Region};
+use crate::row::RowSnapshot;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Tuning knobs of a table.
+#[derive(Clone, Debug)]
+pub struct TableConfig {
+    /// Maximum stored versions per cell.
+    pub max_versions: usize,
+    /// A region splits once it holds more rows than this.
+    pub max_region_rows: usize,
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        TableConfig { max_versions: 3, max_region_rows: 4096 }
+    }
+}
+
+/// Aggregate statistics of a table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of regions (grows through splits).
+    pub regions: usize,
+    /// Total rows.
+    pub rows: usize,
+    /// Total operations served across regions.
+    pub ops: usize,
+    /// Region splits performed.
+    pub splits: usize,
+}
+
+/// A sharded, versioned table of rows — the pool of DRA4WfMS documents.
+///
+/// Thread-safe: many readers and writers may operate concurrently; each
+/// region has its own reader-writer lock, and the region list itself is
+/// read-mostly.
+pub struct HTable {
+    config: TableConfig,
+    /// Regions sorted by start key; ranges tile the keyspace.
+    regions: RwLock<Vec<Arc<Region>>>,
+    clock: AtomicU64,
+    splits: AtomicUsize,
+}
+
+impl Default for HTable {
+    fn default() -> Self {
+        Self::new(TableConfig::default())
+    }
+}
+
+impl HTable {
+    /// Create a table with one region covering the whole keyspace.
+    pub fn new(config: TableConfig) -> HTable {
+        HTable {
+            config,
+            regions: RwLock::new(vec![Arc::new(Region::new(KeyRange::all()))]),
+            clock: AtomicU64::new(1),
+            splits: AtomicUsize::new(0),
+        }
+    }
+
+    /// Create a table pre-split into `n` regions at the given split keys
+    /// (HBase-style pre-splitting for bulk loads).
+    pub fn pre_split(config: TableConfig, split_keys: &[&str]) -> HTable {
+        let mut keys: Vec<&str> = split_keys.to_vec();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut regions = Vec::with_capacity(keys.len() + 1);
+        let mut start = String::new();
+        for k in &keys {
+            regions.push(Arc::new(Region::new(KeyRange {
+                start: start.clone(),
+                end: Some(k.to_string()),
+            })));
+            start = k.to_string();
+        }
+        regions.push(Arc::new(Region::new(KeyRange { start, end: None })));
+        HTable {
+            config,
+            regions: RwLock::new(regions),
+            clock: AtomicU64::new(1),
+            splits: AtomicUsize::new(0),
+        }
+    }
+
+    /// Run `f` against the region owning `key`, while holding the region
+    /// list's read lock. Mutations MUST go through this: a concurrent split
+    /// replaces the region object, and a write that raced past the lookup
+    /// would land in the dropped region and be lost. Splits take the list's
+    /// write lock, so they serialize with in-flight operations.
+    fn with_region<R>(&self, key: &str, f: impl FnOnce(&Region) -> R) -> (R, Arc<Region>) {
+        let regions = self.regions.read();
+        // binary search over start keys
+        let idx = regions.partition_point(|r| r.range.start.as_str() <= key);
+        let region = &regions[idx.saturating_sub(1)];
+        debug_assert!(region.range.contains(key), "routing invariant");
+        let out = f(region);
+        (out, region.clone())
+    }
+
+    fn region_for(&self, key: &str) -> Arc<Region> {
+        self.with_region(key, |_| ()).1
+    }
+
+    /// The table configuration.
+    pub fn config(&self) -> &TableConfig {
+        &self.config
+    }
+
+    /// Store a cell with an explicit timestamp (snapshot restore). Advances
+    /// the logical clock past `ts` so later puts stay newer.
+    pub fn put_with_timestamp(
+        &self,
+        key: &str,
+        family: &str,
+        qualifier: &str,
+        value: impl Into<Bytes>,
+        ts: u64,
+    ) {
+        self.clock.fetch_max(ts + 1, Ordering::Relaxed);
+        let value = value.into();
+        let (needs_split, region) = self.with_region(key, |region| {
+            region.put(key, family, qualifier, value, ts, self.config.max_versions);
+            region.row_count() > self.config.max_region_rows
+        });
+        if needs_split {
+            self.try_split(&region);
+        }
+    }
+
+    /// Store a cell. Returns the version timestamp assigned.
+    pub fn put(&self, key: &str, family: &str, qualifier: &str, value: impl Into<Bytes>) -> u64 {
+        let ts = self.clock.fetch_add(1, Ordering::Relaxed);
+        let value = value.into();
+        let (needs_split, region) = self.with_region(key, |region| {
+            region.put(key, family, qualifier, value, ts, self.config.max_versions);
+            region.row_count() > self.config.max_region_rows
+        });
+        if needs_split {
+            self.try_split(&region);
+        }
+        ts
+    }
+
+    fn try_split(&self, region: &Arc<Region>) {
+        let mut regions = self.regions.write();
+        // someone may have split it already — find it by identity
+        let Some(pos) = regions.iter().position(|r| Arc::ptr_eq(r, region)) else {
+            return;
+        };
+        if regions[pos].row_count() <= self.config.max_region_rows {
+            return;
+        }
+        if let Some((left, right)) = regions[pos].split() {
+            regions[pos] = Arc::new(left);
+            regions.insert(pos + 1, Arc::new(right));
+            self.splits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Latest value of a cell.
+    pub fn get(&self, key: &str, family: &str, qualifier: &str) -> Option<Bytes> {
+        self.region_for(key).get(key, family, qualifier)
+    }
+
+    /// Latest value decoded as UTF-8.
+    pub fn get_str(&self, key: &str, family: &str, qualifier: &str) -> Option<String> {
+        self.get(key, family, qualifier)
+            .map(|b| String::from_utf8_lossy(&b).into_owned())
+    }
+
+    /// Snapshot a whole row.
+    pub fn get_row(&self, key: &str) -> Option<RowSnapshot> {
+        self.region_for(key).get_row(key)
+    }
+
+    /// Delete a row; true if it existed.
+    pub fn delete_row(&self, key: &str) -> bool {
+        self.with_region(key, |r| r.delete_row(key)).0
+    }
+
+    /// Delete a single cell.
+    pub fn delete_cell(&self, key: &str, family: &str, qualifier: &str) -> bool {
+        self.with_region(key, |r| r.delete_cell(key, family, qualifier)).0
+    }
+
+    /// Scan `[from, to)` across regions, in key order.
+    pub fn scan(&self, from: &str, to: Option<&str>) -> Vec<(String, RowSnapshot)> {
+        let regions: Vec<Arc<Region>> = self.regions.read().clone();
+        let mut out = Vec::new();
+        for region in regions {
+            // skip regions entirely outside the scan window
+            if let Some(t) = to {
+                if region.range.start.as_str() >= t {
+                    break;
+                }
+            }
+            if let Some(e) = &region.range.end {
+                if e.as_str() <= from {
+                    continue;
+                }
+            }
+            let lo = if from > region.range.start.as_str() { from } else { &region.range.start };
+            let hi = match (&region.range.end, to) {
+                (Some(e), Some(t)) => Some(if e.as_str() < t { e.as_str() } else { t }),
+                (Some(e), None) => Some(e.as_str()),
+                (None, Some(t)) => Some(t),
+                (None, None) => None,
+            };
+            out.extend(region.scan(lo, hi));
+        }
+        out
+    }
+
+    /// Scan rows whose key starts with `prefix`.
+    pub fn scan_prefix(&self, prefix: &str) -> Vec<(String, RowSnapshot)> {
+        // end bound: prefix with last byte incremented
+        let mut end = prefix.as_bytes().to_vec();
+        let to = loop {
+            match end.last_mut() {
+                Some(b) if *b < 0xff => {
+                    *b += 1;
+                    break Some(String::from_utf8_lossy(&end).into_owned());
+                }
+                Some(_) => {
+                    end.pop();
+                }
+                None => break None,
+            }
+        };
+        self.scan(prefix, to.as_deref())
+    }
+
+    /// Scan with a row predicate.
+    pub fn scan_filter(
+        &self,
+        from: &str,
+        to: Option<&str>,
+        pred: impl Fn(&str, &RowSnapshot) -> bool,
+    ) -> Vec<(String, RowSnapshot)> {
+        self.scan(from, to).into_iter().filter(|(k, r)| pred(k, r)).collect()
+    }
+
+    /// Total row count.
+    pub fn row_count(&self) -> usize {
+        self.regions.read().iter().map(|r| r.row_count()).sum()
+    }
+
+    /// Cluster statistics.
+    pub fn stats(&self) -> PoolStats {
+        let regions = self.regions.read();
+        PoolStats {
+            regions: regions.len(),
+            rows: regions.iter().map(|r| r.row_count()).sum(),
+            ops: regions.iter().map(|r| r.ops.load(Ordering::Relaxed)).sum(),
+            splits: self.splits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clone the current region list (for MapReduce fan-out).
+    pub fn regions(&self) -> Vec<Arc<Region>> {
+        self.regions.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let t = HTable::default();
+        t.put("doc-1", "doc", "xml", "<a/>");
+        assert_eq!(t.get_str("doc-1", "doc", "xml").unwrap(), "<a/>");
+        assert_eq!(t.get("missing", "doc", "xml"), None);
+    }
+
+    #[test]
+    fn versions_are_assigned_monotonically() {
+        let t = HTable::default();
+        let t1 = t.put("k", "f", "q", "1");
+        let t2 = t.put("k", "f", "q", "2");
+        assert!(t2 > t1);
+        let row = t.get_row("k").unwrap();
+        assert_eq!(row.versions("f", "q").len(), 2);
+        assert_eq!(row.get_str("f", "q").unwrap(), "2");
+    }
+
+    #[test]
+    fn auto_split_keeps_all_rows_reachable() {
+        let t = HTable::new(TableConfig { max_versions: 1, max_region_rows: 8 });
+        for i in 0..100 {
+            t.put(&format!("row-{i:03}"), "f", "q", format!("v{i}"));
+        }
+        let stats = t.stats();
+        assert!(stats.regions > 1, "splits happened: {stats:?}");
+        assert_eq!(stats.rows, 100);
+        assert!(stats.splits >= 1);
+        for i in 0..100 {
+            assert_eq!(
+                t.get_str(&format!("row-{i:03}"), "f", "q").unwrap(),
+                format!("v{i}"),
+                "row {i} reachable after splits"
+            );
+        }
+        // scans still see everything in order
+        let all = t.scan("", None);
+        assert_eq!(all.len(), 100);
+        let keys: Vec<&String> = all.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn pre_split_routing() {
+        let t = HTable::pre_split(TableConfig::default(), &["g", "p"]);
+        assert_eq!(t.stats().regions, 3);
+        t.put("alpha", "f", "q", "1");
+        t.put("kilo", "f", "q", "2");
+        t.put("zulu", "f", "q", "3");
+        assert_eq!(t.get_str("alpha", "f", "q").unwrap(), "1");
+        assert_eq!(t.get_str("kilo", "f", "q").unwrap(), "2");
+        assert_eq!(t.get_str("zulu", "f", "q").unwrap(), "3");
+        assert_eq!(t.scan("", None).len(), 3);
+    }
+
+    #[test]
+    fn scan_window_spans_regions() {
+        let t = HTable::pre_split(TableConfig::default(), &["m"]);
+        for k in ["a", "b", "n", "z"] {
+            t.put(k, "f", "q", k);
+        }
+        let hits = t.scan("b", Some("z"));
+        let keys: Vec<&str> = hits.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["b", "n"]);
+    }
+
+    #[test]
+    fn scan_prefix_works() {
+        let t = HTable::default();
+        for k in ["proc-1/doc-1", "proc-1/doc-2", "proc-2/doc-1", "other"] {
+            t.put(k, "f", "q", k);
+        }
+        let hits = t.scan_prefix("proc-1/");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|(k, _)| k.starts_with("proc-1/")));
+    }
+
+    #[test]
+    fn scan_filter_applies_predicate() {
+        let t = HTable::default();
+        t.put("a", "meta", "status", "open");
+        t.put("b", "meta", "status", "closed");
+        t.put("c", "meta", "status", "open");
+        let open = t.scan_filter("", None, |_, r| {
+            r.get_str("meta", "status").as_deref() == Some("open")
+        });
+        assert_eq!(open.len(), 2);
+    }
+
+    #[test]
+    fn delete_row_and_cell() {
+        let t = HTable::default();
+        t.put("k", "f", "q1", "1");
+        t.put("k", "f", "q2", "2");
+        assert!(t.delete_cell("k", "f", "q1"));
+        assert!(t.get("k", "f", "q1").is_none());
+        assert!(t.get("k", "f", "q2").is_some());
+        assert!(t.delete_row("k"));
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let t = Arc::new(HTable::new(TableConfig { max_versions: 1, max_region_rows: 64 }));
+        let threads = 8;
+        let per = 250;
+        crossbeam::thread::scope(|s| {
+            for w in 0..threads {
+                let t = Arc::clone(&t);
+                s.spawn(move |_| {
+                    for i in 0..per {
+                        t.put(&format!("w{w}-i{i:04}"), "f", "q", format!("{w}/{i}"));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(t.row_count(), threads * per);
+        let stats = t.stats();
+        assert!(stats.regions > 1, "splits under concurrency: {stats:?}");
+        for w in 0..threads {
+            for i in (0..per).step_by(50) {
+                assert_eq!(
+                    t.get_str(&format!("w{w}-i{i:04}"), "f", "q").unwrap(),
+                    format!("{w}/{i}")
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # dra-docpool — the pool of DRA4WfMS documents
+//!
+//! The paper stores documents in HBase on Hadoop: "HBase is a distributed
+//! column-oriented database … the optimal Hadoop application to use when
+//! real-time read/write random accesses to very large datasets are required.
+//! A DRA4WfMS document is stored as a cell in a row of an HBase table"
+//! (§4.2). This crate reproduces the slice of that stack the system relies
+//! on, in-process and thread-parallel:
+//!
+//! * [`row`] — rows, column families, qualified cells with versions
+//! * [`region`] — a contiguous row-key range owned by one region server
+//! * [`cluster`] — the range-partitioned table: routing, automatic region
+//!   splits, scans, filters
+//! * [`mapreduce`] — a mini MapReduce framework running mappers per region
+//!   in parallel (the paper's "MapReduce computing model … can apply some
+//!   statistical analyses to workflow processes or instances stored in the
+//!   DRA4WfMS cloud system")
+//!
+//! Concurrency is reader-writer per region via `parking_lot`, with region
+//! fan-out via `crossbeam` scoped threads — the document pool is the
+//! scalability substrate for the cloud experiments (claims C4/C5 in
+//! DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod mapreduce;
+pub mod persist;
+pub mod region;
+pub mod row;
+
+pub use cluster::{HTable, PoolStats, TableConfig};
+pub use mapreduce::map_reduce;
+pub use persist::PersistError;
+pub use row::{Cell, RowSnapshot};

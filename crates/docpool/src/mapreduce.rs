@@ -1,0 +1,188 @@
+//! A mini MapReduce framework over the document pool.
+//!
+//! "The MapReduce computing model supported in the HBase system can apply
+//! some statistical analyses to workflow processes or instances stored in
+//! the DRA4WfMS cloud system" (§4.2). This module runs one mapper task per
+//! region in parallel (crossbeam scoped threads), shuffles by key, and
+//! reduces key groups in parallel.
+
+use crate::cluster::HTable;
+use crate::row::RowSnapshot;
+use std::collections::BTreeMap;
+
+/// Run a MapReduce job over every row of `table`.
+///
+/// * `map` — called once per row, emits zero or more `(key, value)` pairs;
+/// * `reduce` — called once per distinct key with all its values;
+/// * `threads` — maximum parallel mapper/reducer tasks (≥1).
+///
+/// Mappers run one task per region snapshot (region parallelism, like
+/// HBase's `TableInputFormat` splits); reducers run over contiguous chunks
+/// of the shuffled key space.
+pub fn map_reduce<K, V, O, M, R>(
+    table: &HTable,
+    threads: usize,
+    map: M,
+    reduce: R,
+) -> BTreeMap<K, O>
+where
+    K: Ord + Send,
+    V: Send,
+    O: Send,
+    M: Fn(&str, &RowSnapshot) -> Vec<(K, V)> + Sync,
+    R: Fn(&K, Vec<V>) -> O + Sync,
+{
+    let threads = threads.max(1);
+    let regions = table.regions();
+
+    // --- map phase: one task per region, capped at `threads` in flight ----
+    let mut emitted: Vec<Vec<(K, V)>> = Vec::new();
+    for chunk in regions.chunks(threads) {
+        let results = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = chunk
+                .iter()
+                .map(|region| {
+                    let map = &map;
+                    s.spawn(move |_| {
+                        let mut out = Vec::new();
+                        for (key, row) in region.snapshot_all() {
+                            out.extend(map(&key, &row));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("mapper panicked")).collect::<Vec<_>>()
+        })
+        .expect("map scope");
+        emitted.extend(results);
+    }
+
+    // --- shuffle -----------------------------------------------------------
+    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for part in emitted {
+        for (k, v) in part {
+            groups.entry(k).or_default().push(v);
+        }
+    }
+
+    // --- reduce phase: chunk the key space ---------------------------------
+    let entries: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+    if entries.is_empty() {
+        return BTreeMap::new();
+    }
+    let chunk_size = entries.len().div_ceil(threads);
+    let reduced: Vec<Vec<(K, O)>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = entries
+            .into_iter()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .fold(Vec::new(), |mut acc: Vec<Vec<(K, Vec<V>)>>, item| {
+                match acc.last_mut() {
+                    Some(last) if last.len() < chunk_size => last.push(item),
+                    _ => acc.push(vec![item]),
+                }
+                acc
+            })
+            .into_iter()
+            .map(|chunk| {
+                let reduce = &reduce;
+                s.spawn(move |_| {
+                    chunk
+                        .into_iter()
+                        .map(|(k, vs)| {
+                            let o = reduce(&k, vs);
+                            (k, o)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("reducer panicked")).collect()
+    })
+    .expect("reduce scope");
+
+    reduced.into_iter().flatten().collect()
+}
+
+/// Convenience: count rows per key emitted by `classify`.
+pub fn count_by<K, F>(table: &HTable, threads: usize, classify: F) -> BTreeMap<K, usize>
+where
+    K: Ord + Send,
+    F: Fn(&str, &RowSnapshot) -> Option<K> + Sync,
+{
+    map_reduce(
+        table,
+        threads,
+        |k, r| classify(k, r).map(|key| (key, 1usize)).into_iter().collect(),
+        |_, vs| vs.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::TableConfig;
+
+    fn table_with_statuses() -> HTable {
+        let t = HTable::new(TableConfig { max_versions: 1, max_region_rows: 16 });
+        for i in 0..200 {
+            let status = if i % 3 == 0 { "done" } else { "running" };
+            t.put(&format!("proc-{i:04}"), "meta", "status", status);
+            t.put(&format!("proc-{i:04}"), "meta", "steps", format!("{}", i % 7));
+        }
+        t
+    }
+
+    #[test]
+    fn count_by_status() {
+        let t = table_with_statuses();
+        let counts = count_by(&t, 4, |_, row| row.get_str("meta", "status"));
+        assert_eq!(counts["done"], 67, "0,3,...,198 inclusive");
+        assert_eq!(counts["running"], 133);
+    }
+
+    #[test]
+    fn sum_steps_per_status() {
+        let t = table_with_statuses();
+        let sums = map_reduce(
+            &t,
+            4,
+            |_, row| {
+                let status = row.get_str("meta", "status");
+                let steps = row.get_str("meta", "steps").and_then(|s| s.parse::<u64>().ok());
+                match (status, steps) {
+                    (Some(st), Some(n)) => vec![(st, n)],
+                    _ => vec![],
+                }
+            },
+            |_, vs| vs.iter().sum::<u64>(),
+        );
+        let total: u64 = sums.values().sum();
+        let expected: u64 = (0..200u64).map(|i| i % 7).sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn empty_table_yields_empty_result() {
+        let t = HTable::default();
+        let counts = count_by(&t, 4, |_, row| row.get_str("meta", "status"));
+        assert!(counts.is_empty());
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let t = table_with_statuses();
+        let a = count_by(&t, 1, |_, row| row.get_str("meta", "status"));
+        let b = count_by(&t, 8, |_, row| row.get_str("meta", "status"));
+        assert_eq!(a, b, "determinism across thread counts");
+    }
+
+    #[test]
+    fn mapper_sees_every_row_once() {
+        let t = table_with_statuses();
+        let counts = count_by(&t, 4, |key, _| Some(key.to_string()));
+        assert_eq!(counts.len(), 200);
+        assert!(counts.values().all(|&c| c == 1));
+    }
+}

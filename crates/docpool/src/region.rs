@@ -1,0 +1,240 @@
+//! A region: one contiguous row-key range served by one region server.
+//!
+//! Mirrors HBase's unit of distribution. A region owns a sorted map of rows
+//! guarded by a reader-writer lock; the cluster routes each operation to the
+//! region whose `[start, end)` range contains the row key and splits regions
+//! that grow past a threshold.
+
+use crate::row::{Row, RowSnapshot};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A half-open row-key range `[start, end)`; `None` end means unbounded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyRange {
+    /// Inclusive start key ("" = from the beginning).
+    pub start: String,
+    /// Exclusive end key; `None` = to the end of the keyspace.
+    pub end: Option<String>,
+}
+
+impl KeyRange {
+    /// The full keyspace.
+    pub fn all() -> KeyRange {
+        KeyRange { start: String::new(), end: None }
+    }
+
+    /// True when `key` falls inside this range.
+    pub fn contains(&self, key: &str) -> bool {
+        key >= self.start.as_str()
+            && match &self.end {
+                Some(e) => key < e.as_str(),
+                None => true,
+            }
+    }
+}
+
+/// One region server's state.
+pub struct Region {
+    /// The key range this region owns.
+    pub range: KeyRange,
+    pub(crate) rows: RwLock<BTreeMap<String, Row>>,
+    /// Operations served (for load statistics).
+    pub ops: AtomicUsize,
+}
+
+impl Region {
+    /// Create an empty region over `range`.
+    pub fn new(range: KeyRange) -> Region {
+        Region { range, rows: RwLock::new(BTreeMap::new()), ops: AtomicUsize::new(0) }
+    }
+
+    /// Insert/overwrite a cell version.
+    pub fn put(
+        &self,
+        key: &str,
+        family: &str,
+        qualifier: &str,
+        value: Bytes,
+        timestamp: u64,
+        max_versions: usize,
+    ) {
+        debug_assert!(self.range.contains(key));
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.rows
+            .write()
+            .entry(key.to_string())
+            .or_default()
+            .put(family, qualifier, value, timestamp, max_versions);
+    }
+
+    /// Latest value of a cell.
+    pub fn get(&self, key: &str, family: &str, qualifier: &str) -> Option<Bytes> {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.rows
+            .read()
+            .get(key)
+            .and_then(|r| r.get(family, qualifier))
+            .map(|c| c.value.clone())
+    }
+
+    /// Snapshot of one row.
+    pub fn get_row(&self, key: &str) -> Option<RowSnapshot> {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.rows.read().get(key).map(Row::snapshot)
+    }
+
+    /// Delete an entire row; true if it existed.
+    pub fn delete_row(&self, key: &str) -> bool {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.rows.write().remove(key).is_some()
+    }
+
+    /// Delete one column of a row.
+    pub fn delete_cell(&self, key: &str, family: &str, qualifier: &str) -> bool {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let mut rows = self.rows.write();
+        let Some(row) = rows.get_mut(key) else { return false };
+        let removed = row.delete(family, qualifier);
+        if row.is_empty() {
+            rows.remove(key);
+        }
+        removed
+    }
+
+    /// Number of rows held.
+    pub fn row_count(&self) -> usize {
+        self.rows.read().len()
+    }
+
+    /// Scan rows with keys in `[from, to)` (clamped to this region's range),
+    /// returning snapshots.
+    pub fn scan(&self, from: &str, to: Option<&str>) -> Vec<(String, RowSnapshot)> {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let rows = self.rows.read();
+        rows.range(from.to_string()..)
+            .take_while(|(k, _)| match to {
+                Some(t) => k.as_str() < t,
+                None => true,
+            })
+            .map(|(k, r)| (k.clone(), r.snapshot()))
+            .collect()
+    }
+
+    /// Snapshot every row (for MapReduce mappers).
+    pub fn snapshot_all(&self) -> Vec<(String, RowSnapshot)> {
+        let rows = self.rows.read();
+        rows.iter().map(|(k, r)| (k.clone(), r.snapshot())).collect()
+    }
+
+    /// Split this region at its median key, returning the two halves.
+    /// The caller (cluster) replaces this region with the pair.
+    pub fn split(&self) -> Option<(Region, Region)> {
+        let rows = self.rows.read();
+        if rows.len() < 2 {
+            return None;
+        }
+        let mid_key = rows.keys().nth(rows.len() / 2).cloned()?;
+        let left = Region::new(KeyRange { start: self.range.start.clone(), end: Some(mid_key.clone()) });
+        let right = Region::new(KeyRange { start: mid_key.clone(), end: self.range.end.clone() });
+        {
+            let mut lw = left.rows.write();
+            let mut rw = right.rows.write();
+            for (k, v) in rows.iter() {
+                if k < &mid_key {
+                    lw.insert(k.clone(), v.clone());
+                } else {
+                    rw.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        Some((left, right))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn range_containment() {
+        let r = KeyRange { start: "b".into(), end: Some("m".into()) };
+        assert!(r.contains("b"));
+        assert!(r.contains("hello"));
+        assert!(!r.contains("m"));
+        assert!(!r.contains("a"));
+        assert!(KeyRange::all().contains("anything"));
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let r = Region::new(KeyRange::all());
+        r.put("k1", "doc", "xml", b("v"), 1, 3);
+        assert_eq!(r.get("k1", "doc", "xml"), Some(b("v")));
+        assert_eq!(r.get("k2", "doc", "xml"), None);
+        assert!(r.delete_row("k1"));
+        assert!(!r.delete_row("k1"));
+        assert_eq!(r.row_count(), 0);
+    }
+
+    #[test]
+    fn delete_cell_prunes_empty_rows() {
+        let r = Region::new(KeyRange::all());
+        r.put("k", "f", "q", b("v"), 1, 1);
+        assert!(r.delete_cell("k", "f", "q"));
+        assert_eq!(r.row_count(), 0);
+        assert!(!r.delete_cell("k", "f", "q"));
+    }
+
+    #[test]
+    fn scan_ordered_and_bounded() {
+        let r = Region::new(KeyRange::all());
+        for k in ["d", "a", "c", "b"] {
+            r.put(k, "f", "q", b(k), 1, 1);
+        }
+        let hits = r.scan("b", Some("d"));
+        let keys: Vec<&str> = hits.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["b", "c"]);
+        let all = r.scan("", None);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let r = Region::new(KeyRange::all());
+        for i in 0..10 {
+            r.put(&format!("k{i:02}"), "f", "q", b("v"), 1, 1);
+        }
+        let (left, right) = r.split().unwrap();
+        assert_eq!(left.row_count() + right.row_count(), 10);
+        assert!(left.row_count() >= 4 && right.row_count() >= 4);
+        assert_eq!(left.range.end, Some("k05".to_string()));
+        assert_eq!(right.range.start, "k05");
+        // all left keys < all right keys
+        let lmax = left.scan("", None).last().unwrap().0.clone();
+        let rmin = right.scan("", None).first().unwrap().0.clone();
+        assert!(lmax < rmin);
+    }
+
+    #[test]
+    fn split_refuses_tiny_regions() {
+        let r = Region::new(KeyRange::all());
+        r.put("only", "f", "q", b("v"), 1, 1);
+        assert!(r.split().is_none());
+    }
+
+    #[test]
+    fn op_counter_increments() {
+        let r = Region::new(KeyRange::all());
+        r.put("k", "f", "q", b("v"), 1, 1);
+        r.get("k", "f", "q");
+        r.scan("", None);
+        assert_eq!(r.ops.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,0 +1,206 @@
+//! Rows, column families and versioned cells — the HBase data model.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// One stored value with its version timestamp (a logical, monotonically
+/// increasing sequence number assigned by the table).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// The stored bytes.
+    pub value: Bytes,
+    /// Logical write timestamp (newer = larger).
+    pub timestamp: u64,
+}
+
+/// A row: `family -> qualifier -> versions (newest first)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Row {
+    pub(crate) families: BTreeMap<String, BTreeMap<String, Vec<Cell>>>,
+}
+
+impl Row {
+    /// Insert a cell version, keeping at most `max_versions` (newest first).
+    pub fn put(
+        &mut self,
+        family: &str,
+        qualifier: &str,
+        value: Bytes,
+        timestamp: u64,
+        max_versions: usize,
+    ) {
+        let versions = self
+            .families
+            .entry(family.to_string())
+            .or_default()
+            .entry(qualifier.to_string())
+            .or_default();
+        versions.insert(0, Cell { value, timestamp });
+        versions.truncate(max_versions.max(1));
+    }
+
+    /// Latest value of a qualified column.
+    pub fn get(&self, family: &str, qualifier: &str) -> Option<&Cell> {
+        self.families.get(family)?.get(qualifier)?.first()
+    }
+
+    /// All versions of a qualified column, newest first.
+    pub fn versions(&self, family: &str, qualifier: &str) -> &[Cell] {
+        self.families
+            .get(family)
+            .and_then(|f| f.get(qualifier))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Delete a qualified column; returns true if something was removed.
+    pub fn delete(&mut self, family: &str, qualifier: &str) -> bool {
+        if let Some(f) = self.families.get_mut(family) {
+            let removed = f.remove(qualifier).is_some();
+            if f.is_empty() {
+                self.families.remove(family);
+            }
+            return removed;
+        }
+        false
+    }
+
+    /// True when the row holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// Immutable snapshot for scans and MapReduce.
+    pub fn snapshot(&self) -> RowSnapshot {
+        RowSnapshot { families: self.families.clone() }
+    }
+
+    /// Approximate memory footprint in bytes (used by split heuristics).
+    pub fn approx_size(&self) -> usize {
+        self.families
+            .iter()
+            .map(|(f, quals)| {
+                f.len()
+                    + quals
+                        .iter()
+                        .map(|(q, cells)| {
+                            q.len() + cells.iter().map(|c| c.value.len() + 8).sum::<usize>()
+                        })
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// An immutable copy of a row handed to scanners and mappers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowSnapshot {
+    families: BTreeMap<String, BTreeMap<String, Vec<Cell>>>,
+}
+
+impl RowSnapshot {
+    /// Latest value of a qualified column.
+    pub fn get(&self, family: &str, qualifier: &str) -> Option<&Bytes> {
+        Some(&self.families.get(family)?.get(qualifier)?.first()?.value)
+    }
+
+    /// Latest value decoded as UTF-8 (lossless only if it was UTF-8).
+    pub fn get_str(&self, family: &str, qualifier: &str) -> Option<String> {
+        self.get(family, qualifier)
+            .map(|b| String::from_utf8_lossy(b).into_owned())
+    }
+
+    /// All versions of a column, newest first.
+    pub fn versions(&self, family: &str, qualifier: &str) -> &[Cell] {
+        self.families
+            .get(family)
+            .and_then(|f| f.get(qualifier))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterate `(family, qualifier, latest cell)`.
+    pub fn columns(&self) -> impl Iterator<Item = (&str, &str, &Cell)> {
+        self.families.iter().flat_map(|(f, quals)| {
+            quals
+                .iter()
+                .filter_map(move |(q, cells)| cells.first().map(|c| (f.as_str(), q.as_str(), c)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get() {
+        let mut r = Row::default();
+        r.put("doc", "xml", b("<a/>"), 1, 3);
+        assert_eq!(r.get("doc", "xml").unwrap().value, b("<a/>"));
+        assert!(r.get("doc", "missing").is_none());
+        assert!(r.get("nofam", "xml").is_none());
+    }
+
+    #[test]
+    fn versions_newest_first_and_capped() {
+        let mut r = Row::default();
+        for t in 1..=5 {
+            r.put("doc", "xml", b(&format!("v{t}")), t, 3);
+        }
+        let vs = r.versions("doc", "xml");
+        assert_eq!(vs.len(), 3, "capped at max_versions");
+        assert_eq!(vs[0].value, b("v5"));
+        assert_eq!(vs[2].value, b("v3"));
+        assert_eq!(r.get("doc", "xml").unwrap().timestamp, 5);
+    }
+
+    #[test]
+    fn delete_column() {
+        let mut r = Row::default();
+        r.put("doc", "xml", b("x"), 1, 1);
+        r.put("meta", "status", b("open"), 2, 1);
+        assert!(r.delete("doc", "xml"));
+        assert!(!r.delete("doc", "xml"), "already gone");
+        assert!(r.get("doc", "xml").is_none());
+        assert!(!r.is_empty());
+        assert!(r.delete("meta", "status"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut r = Row::default();
+        r.put("f", "q", b("1"), 1, 2);
+        let snap = r.snapshot();
+        r.put("f", "q", b("2"), 2, 2);
+        assert_eq!(snap.get("f", "q").unwrap(), &b("1"));
+        assert_eq!(snap.get_str("f", "q").unwrap(), "1");
+        assert_eq!(r.get("f", "q").unwrap().value, b("2"));
+    }
+
+    #[test]
+    fn snapshot_columns_iteration() {
+        let mut r = Row::default();
+        r.put("a", "x", b("1"), 1, 1);
+        r.put("b", "y", b("2"), 2, 1);
+        let snap = r.snapshot();
+        let cols: Vec<(String, String)> = snap
+            .columns()
+            .map(|(f, q, _)| (f.to_string(), q.to_string()))
+            .collect();
+        assert_eq!(cols, vec![("a".into(), "x".into()), ("b".into(), "y".into())]);
+    }
+
+    #[test]
+    fn approx_size_grows() {
+        let mut r = Row::default();
+        let s0 = r.approx_size();
+        r.put("f", "q", b("0123456789"), 1, 3);
+        assert!(r.approx_size() > s0 + 10);
+    }
+}

@@ -1,0 +1,264 @@
+//! Element-wise encryption in the style of W3C XML Encryption.
+//!
+//! An element subtree is replaced by an `<EncryptedData>` element:
+//!
+//! ```xml
+//! <EncryptedData alg="chacha20+hmac-sha256" name="OriginalName">
+//!   <CipherValue>hex…</CipherValue>
+//!   <KeyWrap recipient="amy">hex…</KeyWrap>
+//!   <KeyWrap recipient="john">hex…</KeyWrap>
+//! </EncryptedData>
+//! ```
+//!
+//! The subtree's canonical bytes are encrypted once under a fresh content
+//! key (secret box); the content key is wrapped to each authorized
+//! recipient's X25519 public key (sealed box). This realizes the paper's
+//! requirement that "an XML element … can be encrypted by different public
+//! keys of users or groups … so as to have only a limited number of users
+//! able to read the data" (§2.3.1) with a single ciphertext.
+
+use crate::canon::canonicalize;
+use crate::node::Element;
+use crate::parser::parse;
+use dra_crypto::sealed;
+use dra_crypto::x25519::{X25519PublicKey, X25519Secret};
+use dra_crypto::b64;
+
+/// Element name of encrypted payloads.
+pub const ENCRYPTED_DATA: &str = "EncryptedData";
+const ALG: &str = "chacha20+hmac-sha256";
+
+/// An authorized reader of an encrypted element.
+#[derive(Clone, Debug)]
+pub struct Recipient {
+    /// Logical identity (participant name) used to select the key wrap.
+    pub id: String,
+    /// The recipient's encryption public key.
+    pub key: X25519PublicKey,
+}
+
+impl Recipient {
+    /// Convenience constructor.
+    pub fn new(id: impl Into<String>, key: X25519PublicKey) -> Recipient {
+        Recipient { id: id.into(), key }
+    }
+}
+
+/// Errors from decrypting an `<EncryptedData>` element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncryptError {
+    /// The element is not a well-formed `<EncryptedData>`.
+    Malformed(String),
+    /// No key wrap addressed to the requesting recipient.
+    NotARecipient,
+    /// Cryptographic failure (wrong key, tampered ciphertext).
+    Crypto,
+    /// The decrypted plaintext failed to parse back into an element.
+    BadPlaintext,
+}
+
+impl std::fmt::Display for EncryptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncryptError::Malformed(m) => write!(f, "malformed EncryptedData: {m}"),
+            EncryptError::NotARecipient => write!(f, "no key wrap for this recipient"),
+            EncryptError::Crypto => write!(f, "decryption failed"),
+            EncryptError::BadPlaintext => write!(f, "plaintext is not a valid element"),
+        }
+    }
+}
+
+impl std::error::Error for EncryptError {}
+
+/// Encrypt `el` so that exactly the given recipients can recover it.
+///
+/// Panics if `recipients` is empty — encrypting to nobody would destroy the
+/// data, which is never what a security policy means.
+pub fn encrypt_element(el: &Element, recipients: &[Recipient]) -> Element {
+    assert!(
+        !recipients.is_empty(),
+        "element-wise encryption requires at least one recipient"
+    );
+    let plaintext = canonicalize(el);
+    let mut content_key = [0u8; 32];
+    dra_crypto::random_bytes(&mut content_key);
+    let ciphertext = sealed::secretbox_seal(&content_key, &plaintext);
+
+    let mut out = Element::new(ENCRYPTED_DATA)
+        .attr("alg", ALG)
+        .attr("name", el.name.clone())
+        .child(Element::new("CipherValue").text(b64::encode(&ciphertext)));
+    for r in recipients {
+        let wrapped = sealed::seal(&r.key, &content_key);
+        out.push_child(
+            Element::new("KeyWrap")
+                .attr("recipient", r.id.clone())
+                .text(b64::encode(&wrapped)),
+        );
+    }
+    out
+}
+
+/// True if the element is an `<EncryptedData>` wrapper.
+pub fn is_encrypted(el: &Element) -> bool {
+    el.name == ENCRYPTED_DATA
+}
+
+/// List the recipient ids that can open this `<EncryptedData>`.
+pub fn recipients_of(el: &Element) -> Vec<&str> {
+    el.find_children("KeyWrap")
+        .filter_map(|k| k.get_attr("recipient"))
+        .collect()
+}
+
+/// Decrypt an `<EncryptedData>` element as `recipient_id`, holding `secret`.
+pub fn decrypt_element(
+    el: &Element,
+    recipient_id: &str,
+    secret: &X25519Secret,
+) -> Result<Element, EncryptError> {
+    if el.name != ENCRYPTED_DATA {
+        return Err(EncryptError::Malformed(format!(
+            "expected <{ENCRYPTED_DATA}>, found <{}>",
+            el.name
+        )));
+    }
+    let cipher_hex = el
+        .find_child("CipherValue")
+        .ok_or_else(|| EncryptError::Malformed("missing CipherValue".into()))?
+        .text_content();
+    let ciphertext =
+        b64::decode(&cipher_hex).ok_or_else(|| EncryptError::Malformed("bad base64".into()))?;
+
+    let wrap = el
+        .find_children("KeyWrap")
+        .find(|k| k.get_attr("recipient") == Some(recipient_id))
+        .ok_or(EncryptError::NotARecipient)?;
+    let wrapped = b64::decode(&wrap.text_content())
+        .ok_or_else(|| EncryptError::Malformed("bad key wrap base64".into()))?;
+
+    let content_key_vec = sealed::open(secret, &wrapped).map_err(|_| EncryptError::Crypto)?;
+    let content_key: [u8; 32] =
+        content_key_vec.try_into().map_err(|_| EncryptError::Crypto)?;
+    let plaintext =
+        sealed::secretbox_open(&content_key, &ciphertext).map_err(|_| EncryptError::Crypto)?;
+    let text = String::from_utf8(plaintext).map_err(|_| EncryptError::BadPlaintext)?;
+    parse(&text).map_err(|_| EncryptError::BadPlaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(seed: u8) -> (X25519Secret, X25519PublicKey) {
+        let s = X25519Secret::from_bytes([seed; 32]);
+        let p = s.public_key();
+        (s, p)
+    }
+
+    fn payload() -> Element {
+        Element::new("Field")
+            .attr("name", "amount")
+            .text("12,500 USD")
+    }
+
+    #[test]
+    fn single_recipient_roundtrip() {
+        let (sec, pubk) = keys(1);
+        let enc = encrypt_element(&payload(), &[Recipient::new("amy", pubk)]);
+        assert!(is_encrypted(&enc));
+        assert_eq!(enc.get_attr("name"), Some("Field"));
+        let dec = decrypt_element(&enc, "amy", &sec).unwrap();
+        assert_eq!(dec, payload());
+    }
+
+    #[test]
+    fn multi_recipient_any_can_open() {
+        let (sec_a, pub_a) = keys(1);
+        let (sec_b, pub_b) = keys(2);
+        let enc = encrypt_element(
+            &payload(),
+            &[Recipient::new("amy", pub_a), Recipient::new("bob", pub_b)],
+        );
+        assert_eq!(recipients_of(&enc), vec!["amy", "bob"]);
+        assert_eq!(decrypt_element(&enc, "amy", &sec_a).unwrap(), payload());
+        assert_eq!(decrypt_element(&enc, "bob", &sec_b).unwrap(), payload());
+    }
+
+    #[test]
+    fn non_recipient_cannot_open() {
+        let (_, pub_a) = keys(1);
+        let (sec_c, _) = keys(3);
+        let enc = encrypt_element(&payload(), &[Recipient::new("amy", pub_a)]);
+        assert_eq!(
+            decrypt_element(&enc, "carol", &sec_c),
+            Err(EncryptError::NotARecipient)
+        );
+        // Even claiming to be amy fails with the wrong key.
+        assert_eq!(
+            decrypt_element(&enc, "amy", &sec_c),
+            Err(EncryptError::Crypto)
+        );
+    }
+
+    #[test]
+    fn tampered_ciphertext_detected() {
+        let (sec, pubk) = keys(1);
+        let mut enc = encrypt_element(&payload(), &[Recipient::new("amy", pubk)]);
+        // flip a hex digit of the cipher value
+        let cv = enc.find_child_mut("CipherValue").unwrap();
+        let mut text = cv.text_content();
+        let flipped = if text.as_bytes()[10] == b'0' { "1" } else { "0" };
+        text.replace_range(10..11, flipped);
+        cv.children.clear();
+        cv.children.push(crate::node::Node::Text(text));
+        assert_eq!(decrypt_element(&enc, "amy", &sec), Err(EncryptError::Crypto));
+    }
+
+    #[test]
+    fn ciphertext_survives_wire_roundtrip() {
+        let (sec, pubk) = keys(7);
+        let enc = encrypt_element(&payload(), &[Recipient::new("amy", pubk)]);
+        let reparsed = crate::parser::parse(&crate::writer::to_string(&enc)).unwrap();
+        assert_eq!(decrypt_element(&reparsed, "amy", &sec).unwrap(), payload());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one recipient")]
+    fn empty_recipients_panics() {
+        encrypt_element(&payload(), &[]);
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        let (sec, _) = keys(1);
+        let not_enc = Element::new("Plain");
+        assert!(matches!(
+            decrypt_element(&not_enc, "amy", &sec),
+            Err(EncryptError::Malformed(_))
+        ));
+        let no_cipher = Element::new(ENCRYPTED_DATA);
+        assert!(matches!(
+            decrypt_element(&no_cipher, "amy", &sec),
+            Err(EncryptError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn nested_structure_preserved() {
+        let (sec, pubk) = keys(9);
+        let complex = Element::new("Form")
+            .child(Element::new("Field").attr("name", "x").text("1"))
+            .child(
+                Element::new("Group")
+                    .child(Element::new("Field").attr("name", "y").text("<&\">")),
+            );
+        let enc = encrypt_element(&complex, &[Recipient::new("p", pubk)]);
+        let dec = decrypt_element(&enc, "p", &sec).unwrap();
+        // canonical equality (attribute order may normalize)
+        assert_eq!(
+            crate::canon::canonicalize(&dec),
+            crate::canon::canonicalize(&complex)
+        );
+    }
+}

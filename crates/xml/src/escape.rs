@@ -1,0 +1,110 @@
+//! XML text and attribute escaping.
+
+/// Escape text content: `&`, `<`, `>`.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape attribute values (double-quote delimited): text escapes plus `"`,
+/// and control characters as numeric references so round-trips are exact.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\r' => out.push_str("&#13;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Unescape entity and numeric character references. Returns `None` on a
+/// malformed or unknown reference.
+pub fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &s[i + 1..];
+        let semi = rest.find(';')?;
+        let entity = &rest[..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..].parse().ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+        // skip the consumed entity body and ';'
+        for _ in 0..=semi {
+            chars.next();
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping() {
+        assert_eq!(escape_text("a<b & c>d"), "a&lt;b &amp; c&gt;d");
+        assert_eq!(escape_text("plain"), "plain");
+    }
+
+    #[test]
+    fn attr_escaping() {
+        assert_eq!(escape_attr("say \"hi\"\n"), "say &quot;hi&quot;&#10;");
+    }
+
+    #[test]
+    fn unescape_entities() {
+        assert_eq!(unescape("a&lt;b &amp; c&gt;d").unwrap(), "a<b & c>d");
+        assert_eq!(unescape("&quot;&apos;").unwrap(), "\"'");
+        assert_eq!(unescape("&#65;&#x42;").unwrap(), "AB");
+    }
+
+    #[test]
+    fn unescape_rejects_malformed() {
+        assert!(unescape("&unknown;").is_none());
+        assert!(unescape("&amp").is_none(), "missing semicolon");
+        assert!(unescape("&#xZZ;").is_none());
+        assert!(unescape("&#1114112;").is_none(), "out of char range");
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        for s in ["", "x", "<<<&&&>>>", "mixed <a> & \"b\" 'c'", "unicode: π ≤ ∞"] {
+            assert_eq!(unescape(&escape_text(s)).unwrap(), s);
+            assert_eq!(unescape(&escape_attr(s)).unwrap(), s);
+        }
+    }
+}

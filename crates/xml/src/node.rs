@@ -1,0 +1,184 @@
+//! The XML element tree.
+
+/// A node in an element's child list: a nested element or a text run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// A text run (unescaped form).
+    Text(String),
+}
+
+/// An XML element: name, attributes (in insertion order) and children.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in insertion order. Canonicalization sorts them.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Create an empty element.
+    pub fn new(name: impl Into<String>) -> Element {
+        Element { name: name.into(), attrs: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder: add or replace an attribute.
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Element {
+        self.set_attr(key, value);
+        self
+    }
+
+    /// Builder: append a child element.
+    pub fn child(mut self, el: Element) -> Element {
+        self.children.push(Node::Element(el));
+        self
+    }
+
+    /// Builder: append a text node.
+    pub fn text(mut self, s: impl Into<String>) -> Element {
+        self.children.push(Node::Text(s.into()));
+        self
+    }
+
+    /// Set or replace an attribute in place.
+    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.attrs.push((key, value));
+        }
+    }
+
+    /// Append a child element in place.
+    pub fn push_child(&mut self, el: Element) {
+        self.children.push(Node::Element(el));
+    }
+
+    /// Get an attribute value.
+    pub fn get_attr(&self, key: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// First child element with the given name.
+    pub fn find_child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// Mutable variant of [`Element::find_child`].
+    pub fn find_child_mut(&mut self, name: &str) -> Option<&mut Element> {
+        self.children.iter_mut().find_map(|n| match n {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All child elements with the given name.
+    pub fn find_children<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name == name)
+    }
+
+    /// All child elements (skipping text nodes).
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Walk a path of child element names.
+    pub fn find_path(&self, path: &[&str]) -> Option<&Element> {
+        let mut cur = self;
+        for name in path {
+            cur = cur.find_child(name)?;
+        }
+        Some(cur)
+    }
+
+    /// Concatenated text content of direct text children.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Number of descendant elements (including self); used by size metrics.
+    pub fn element_count(&self) -> usize {
+        1 + self.child_elements().map(Element::element_count).sum::<usize>()
+    }
+
+    /// Remove all children with the given element name; returns how many were
+    /// removed.
+    pub fn remove_children(&mut self, name: &str) -> usize {
+        let before = self.children.len();
+        self.children.retain(|n| !matches!(n, Node::Element(e) if e.name == name));
+        before - self.children.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("root")
+            .attr("id", "r1")
+            .child(Element::new("a").text("alpha"))
+            .child(Element::new("b").attr("k", "v"))
+            .child(Element::new("a").text("beta"))
+            .text("tail")
+    }
+
+    #[test]
+    fn attrs() {
+        let mut e = sample();
+        assert_eq!(e.get_attr("id"), Some("r1"));
+        assert_eq!(e.get_attr("missing"), None);
+        e.set_attr("id", "r2");
+        assert_eq!(e.get_attr("id"), Some("r2"));
+        assert_eq!(e.attrs.len(), 1, "replace, not duplicate");
+    }
+
+    #[test]
+    fn find_children() {
+        let e = sample();
+        assert_eq!(e.find_child("a").unwrap().text_content(), "alpha");
+        assert_eq!(e.find_children("a").count(), 2);
+        assert!(e.find_child("zzz").is_none());
+    }
+
+    #[test]
+    fn find_path() {
+        let e = Element::new("x").child(Element::new("y").child(Element::new("z").text("deep")));
+        assert_eq!(e.find_path(&["y", "z"]).unwrap().text_content(), "deep");
+        assert!(e.find_path(&["y", "w"]).is_none());
+    }
+
+    #[test]
+    fn element_count() {
+        assert_eq!(sample().element_count(), 4);
+        assert_eq!(Element::new("leaf").element_count(), 1);
+    }
+
+    #[test]
+    fn remove_children() {
+        let mut e = sample();
+        assert_eq!(e.remove_children("a"), 2);
+        assert_eq!(e.find_children("a").count(), 0);
+        assert!(e.find_child("b").is_some(), "others untouched");
+    }
+
+    #[test]
+    fn text_content_skips_elements() {
+        assert_eq!(sample().text_content(), "tail");
+    }
+}

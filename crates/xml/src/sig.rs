@@ -1,0 +1,188 @@
+//! Detached element signatures in the XML-DSig style.
+//!
+//! A `<Signature>` element binds a signer's Ed25519 public key to the
+//! canonical bytes of whatever content the caller designates:
+//!
+//! ```xml
+//! <Signature signer="d75a98…" covers="CER(A1),CER(A2)">e55643…</Signature>
+//! ```
+//!
+//! `covers` is an informational label; verification is always against the
+//! canonical bytes recomputed by the verifier, exactly as XML Signature
+//! verifies against re-canonicalized references. The cascade construction of
+//! the paper (each signature signs the predecessor signatures) is built on
+//! top of this in `dra4wfms-core`.
+
+use crate::node::Element;
+use dra_crypto::ed25519::{Keypair, PublicKey, Signature};
+use dra_crypto::hex;
+
+/// Element name of signature blocks.
+pub const SIGNATURE: &str = "Signature";
+
+/// A parsed signature block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureBlock {
+    /// The signer's public key.
+    pub signer: PublicKey,
+    /// The detached signature value.
+    pub signature: Signature,
+    /// Informational description of the covered content.
+    pub covers: String,
+}
+
+/// Errors from reading or verifying a signature block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SigError {
+    /// Not a `<Signature>` element or fields missing/malformed.
+    Malformed(String),
+    /// Signature did not verify over the provided bytes.
+    Invalid,
+    /// The signer differs from the expected key.
+    WrongSigner,
+}
+
+impl std::fmt::Display for SigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SigError::Malformed(m) => write!(f, "malformed Signature: {m}"),
+            SigError::Invalid => write!(f, "signature verification failed"),
+            SigError::WrongSigner => write!(f, "unexpected signer"),
+        }
+    }
+}
+
+impl std::error::Error for SigError {}
+
+/// Sign `bytes` with `keypair`, producing a `<Signature>` element.
+pub fn sign_detached(keypair: &Keypair, bytes: &[u8], covers: &str) -> Element {
+    let sig = keypair.sign(bytes);
+    Element::new(SIGNATURE)
+        .attr("signer", hex::encode(&keypair.public.0))
+        .attr("covers", covers)
+        .text(hex::encode(&sig.0))
+}
+
+/// Parse a `<Signature>` element into a [`SignatureBlock`].
+pub fn parse_signature(el: &Element) -> Result<SignatureBlock, SigError> {
+    if el.name != SIGNATURE {
+        return Err(SigError::Malformed(format!(
+            "expected <{SIGNATURE}>, found <{}>",
+            el.name
+        )));
+    }
+    let signer_hex = el
+        .get_attr("signer")
+        .ok_or_else(|| SigError::Malformed("missing signer".into()))?;
+    let signer_bytes = hex::decode_array::<32>(signer_hex)
+        .ok_or_else(|| SigError::Malformed("bad signer hex".into()))?;
+    let sig_bytes = hex::decode(&el.text_content())
+        .ok_or_else(|| SigError::Malformed("bad signature hex".into()))?;
+    let signature =
+        Signature::from_bytes(&sig_bytes).ok_or_else(|| SigError::Malformed("bad length".into()))?;
+    Ok(SignatureBlock {
+        signer: PublicKey(signer_bytes),
+        signature,
+        covers: el.get_attr("covers").unwrap_or_default().to_string(),
+    })
+}
+
+/// Verify a `<Signature>` element over `bytes`. Returns the signer on
+/// success; if `expected_signer` is given, also enforces key identity.
+pub fn verify_detached(
+    el: &Element,
+    bytes: &[u8],
+    expected_signer: Option<&PublicKey>,
+) -> Result<PublicKey, SigError> {
+    let block = parse_signature(el)?;
+    if let Some(expected) = expected_signer {
+        if *expected != block.signer {
+            return Err(SigError::WrongSigner);
+        }
+    }
+    if !block.signer.verify(bytes, &block.signature) {
+        return Err(SigError::Invalid);
+    }
+    Ok(block.signer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::writer::to_string;
+
+    fn kp(seed: u8) -> Keypair {
+        Keypair::from_seed([seed; 32])
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let k = kp(1);
+        let el = sign_detached(&k, b"canonical bytes", "Def");
+        let signer = verify_detached(&el, b"canonical bytes", None).unwrap();
+        assert_eq!(signer, k.public);
+    }
+
+    #[test]
+    fn expected_signer_enforced() {
+        let k = kp(1);
+        let other = kp(2);
+        let el = sign_detached(&k, b"data", "x");
+        assert_eq!(
+            verify_detached(&el, b"data", Some(&other.public)),
+            Err(SigError::WrongSigner)
+        );
+        assert!(verify_detached(&el, b"data", Some(&k.public)).is_ok());
+    }
+
+    #[test]
+    fn wrong_bytes_rejected() {
+        let k = kp(1);
+        let el = sign_detached(&k, b"data", "x");
+        assert_eq!(verify_detached(&el, b"DATA", None), Err(SigError::Invalid));
+    }
+
+    #[test]
+    fn survives_wire_roundtrip() {
+        let k = kp(3);
+        let el = sign_detached(&k, b"payload", "CER(A1)");
+        let reparsed = parse(&to_string(&el)).unwrap();
+        assert!(verify_detached(&reparsed, b"payload", Some(&k.public)).is_ok());
+        let block = parse_signature(&reparsed).unwrap();
+        assert_eq!(block.covers, "CER(A1)");
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(matches!(
+            verify_detached(&Element::new("NotSig"), b"", None),
+            Err(SigError::Malformed(_))
+        ));
+        let no_signer = Element::new(SIGNATURE).text("00");
+        assert!(matches!(
+            verify_detached(&no_signer, b"", None),
+            Err(SigError::Malformed(_))
+        ));
+        let bad_len = Element::new(SIGNATURE)
+            .attr("signer", "0".repeat(64))
+            .text("beef");
+        assert!(matches!(
+            verify_detached(&bad_len, b"", None),
+            Err(SigError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_signature_text_rejected() {
+        let k = kp(4);
+        let mut el = sign_detached(&k, b"data", "x");
+        let text = el.text_content();
+        let flipped = if text.as_bytes()[0] == b'0' { "1" } else { "0" };
+        let mut new_text = text.clone();
+        new_text.replace_range(0..1, flipped);
+        el.children.clear();
+        el.children.push(crate::node::Node::Text(new_text));
+        assert_eq!(verify_detached(&el, b"data", None), Err(SigError::Invalid));
+    }
+}

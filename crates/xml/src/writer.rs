@@ -1,0 +1,141 @@
+//! Serialization of element trees: compact (wire format) and pretty
+//! (debugging / examples).
+
+use crate::escape::{escape_attr, escape_text};
+use crate::node::{Element, Node};
+
+/// Serialize compactly with no added whitespace. This is the wire format in
+/// which DRA4WfMS documents are routed, and the format whose byte length the
+/// paper's Σ column measures.
+pub fn to_string(el: &Element) -> String {
+    let mut out = String::new();
+    write_el(el, &mut out);
+    out
+}
+
+/// Serialize with an XML declaration prepended (for files on disk).
+pub fn to_document_string(el: &Element) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    write_el(el, &mut out);
+    out
+}
+
+fn write_el(el: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&el.name);
+    for (k, v) in &el.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    if el.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for child in &el.children {
+        match child {
+            Node::Element(e) => write_el(e, out),
+            Node::Text(t) => out.push_str(&escape_text(t)),
+        }
+    }
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push('>');
+}
+
+/// Pretty-print with 2-space indentation. Text-bearing elements are kept on
+/// one line so content round-trips visually.
+pub fn to_pretty_string(el: &Element) -> String {
+    let mut out = String::new();
+    write_pretty(el, 0, &mut out);
+    out
+}
+
+fn write_pretty(el: &Element, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(&el.name);
+    for (k, v) in &el.attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    if el.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    let only_text = el.children.iter().all(|n| matches!(n, Node::Text(_)));
+    if only_text {
+        out.push('>');
+        for n in &el.children {
+            if let Node::Text(t) = n {
+                out.push_str(&escape_text(t));
+            }
+        }
+        out.push_str("</");
+        out.push_str(&el.name);
+        out.push_str(">\n");
+        return;
+    }
+    out.push_str(">\n");
+    for child in &el.children {
+        match child {
+            Node::Element(e) => write_pretty(e, depth + 1, out),
+            Node::Text(t) => {
+                if !t.trim().is_empty() {
+                    out.push_str(&"  ".repeat(depth + 1));
+                    out.push_str(&escape_text(t));
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out.push_str(&pad);
+    out.push_str("</");
+    out.push_str(&el.name);
+    out.push_str(">\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_element() {
+        assert_eq!(to_string(&Element::new("a")), "<a/>");
+    }
+
+    #[test]
+    fn attributes_and_text() {
+        let e = Element::new("a").attr("k", "v<>").text("x & y");
+        assert_eq!(to_string(&e), "<a k=\"v&lt;&gt;\">x &amp; y</a>");
+    }
+
+    #[test]
+    fn nesting() {
+        let e = Element::new("r").child(Element::new("c").text("t"));
+        assert_eq!(to_string(&e), "<r><c>t</c></r>");
+    }
+
+    #[test]
+    fn document_string_has_declaration() {
+        let s = to_document_string(&Element::new("doc"));
+        assert!(s.starts_with("<?xml"));
+        assert!(s.ends_with("<doc/>"));
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let e = Element::new("r")
+            .child(Element::new("a").text("x"))
+            .child(Element::new("b"));
+        let p = to_pretty_string(&e);
+        assert_eq!(p, "<r>\n  <a>x</a>\n  <b/>\n</r>\n");
+    }
+}

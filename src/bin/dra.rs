@@ -1,0 +1,12 @@
+//! The `dra` command-line tool — see [`dra4wfms::cli`] for the commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dra4wfms::cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration: dynamic amendments interact correctly with the full cloud
+//! stack — the runner, the TFC, the portals, monitoring and MapReduce
+//! statistics.
+
+use dra4wfms::cloud::{run_instance, CloudSystem, NetworkSim};
+use dra4wfms::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn cast() -> (Vec<Credentials>, Directory) {
+    let creds: Vec<Credentials> = ["designer", "alice", "bob", "carol", "TFC"]
+        .iter()
+        .map(|n| Credentials::from_seed(*n, &format!("acr-{n}")))
+        .collect();
+    let dir = Directory::from_credentials(&creds);
+    (creds, dir)
+}
+
+fn base_def(advanced: bool) -> WorkflowDefinition {
+    let b = WorkflowDefinition::builder("amendable", "designer")
+        .simple_activity("s1", "alice", &["x"])
+        .simple_activity("s2", "bob", &["y"])
+        .flow("s1", "s2")
+        .flow_end("s2");
+    if advanced { b.with_tfc("TFC") } else { b }.build().unwrap()
+}
+
+fn extension() -> DefinitionDelta {
+    DefinitionDelta {
+        add_activities: vec![Activity {
+            id: "extra".into(),
+            participant: "carol".into(),
+            join: JoinKind::Any,
+            requests: vec![FieldRef::new("s1", "x")],
+            responses: vec!["z".into()],
+        }],
+        add_transitions: vec![
+            Transition { from: "s2".into(), to: Target::Activity("extra".into()), condition: None },
+            Transition { from: "extra".into(), to: Target::End, condition: None },
+        ],
+        retire_transitions: vec![("s2".into(), Target::End)],
+        add_policy_rules: vec![],
+    }
+}
+
+fn respond(received: &ReceivedActivity) -> Vec<(String, String)> {
+    match received.activity.as_str() {
+        "s1" => vec![("x".into(), "1".into())],
+        "s2" => vec![("y".into(), "2".into())],
+        "extra" => vec![("z".into(), "3".into())],
+        other => panic!("unexpected {other}"),
+    }
+}
+
+fn agents(creds: &[Credentials], dir: &Directory) -> HashMap<String, Arc<Aea>> {
+    creds
+        .iter()
+        .map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone()))))
+        .collect()
+}
+
+#[test]
+fn pre_amended_document_runs_through_the_cloud_basic() {
+    let (creds, dir) = cast();
+    let sys = CloudSystem::new(dir.clone(), 2, Arc::new(NetworkSim::lan()));
+    let def = base_def(false);
+    let initial = DraDocument::new_initial_with_pid(
+        &def,
+        &SecurityPolicy::public(),
+        &creds[0],
+        "acr-1",
+    )
+    .unwrap();
+    // amendment lands before anything executes
+    let amended = amend_document(&initial, &creds[0], &extension()).unwrap();
+    let out = run_instance(&sys, &amended, &agents(&creds, &dir), None, &respond, 20).unwrap();
+    assert_eq!(out.steps, 3, "s1, s2, extra");
+    let keys: Vec<String> =
+        out.document.cers().unwrap().iter().map(|c| c.key.to_string()).collect();
+    assert_eq!(keys, vec!["__amend#0", "s1#0", "s2#0", "extra#0"]);
+    verify_document(&out.document, &dir).unwrap();
+    // the post-amendment executions all sign over the amendment
+    for cer in out.document.cers().unwrap().iter().skip(1) {
+        let scope = nonrepudiation_scope(&out.document, &PredRef::Cer(cer.key.clone())).unwrap();
+        assert!(
+            scope.contains(&PredRef::Cer(CerKey::new("__amend", 0))),
+            "{} covers the amendment",
+            cer.key
+        );
+    }
+}
+
+#[test]
+fn pre_amended_document_runs_through_the_cloud_advanced() {
+    let (creds, dir) = cast();
+    let sys = CloudSystem::new(dir.clone(), 2, Arc::new(NetworkSim::lan()));
+    let def = base_def(true);
+    let tfc_creds = creds.iter().find(|c| c.name == "TFC").unwrap().clone();
+    let tick = std::sync::atomic::AtomicU64::new(0);
+    let tfc = TfcServer::with_clock(
+        tfc_creds,
+        dir.clone(),
+        Arc::new(move || 500 + 10 * tick.fetch_add(1, std::sync::atomic::Ordering::Relaxed)),
+    );
+    let initial = DraDocument::new_initial_with_pid(
+        &def,
+        &SecurityPolicy::public(),
+        &creds[0],
+        "acr-2",
+    )
+    .unwrap();
+    let amended = amend_document(&initial, &creds[0], &extension()).unwrap();
+    let out =
+        run_instance(&sys, &amended, &agents(&creds, &dir), Some(&tfc), &respond, 20).unwrap();
+    assert_eq!(out.steps, 3);
+    // designer + amendment + 3 participants + 3 TFC attestations
+    let report = verify_document(&out.document, &dir).unwrap();
+    assert_eq!(report.signatures_verified, 8);
+
+    // monitoring statistics over the pool see the timestamp gaps
+    let stats = sys.activity_latency_stats(2);
+    assert!(stats.contains_key("s2"));
+    assert!(stats.contains_key("extra"));
+    let (count, mean) = stats["s2"];
+    assert_eq!(count, 1);
+    assert!(mean >= 10.0, "fixed clock advances 10ms per TFC call: {mean}");
+}
+
+#[test]
+fn tampered_amendment_rejected_by_portal() {
+    let (creds, dir) = cast();
+    let sys = CloudSystem::new(dir.clone(), 1, Arc::new(NetworkSim::lan()));
+    let def = base_def(false);
+    let initial = DraDocument::new_initial_with_pid(
+        &def,
+        &SecurityPolicy::public(),
+        &creds[0],
+        "acr-3",
+    )
+    .unwrap();
+    let amended = amend_document(&initial, &creds[0], &extension()).unwrap();
+    let forged = amended
+        .to_xml_string()
+        .replace("participant=\"carol\"", "participant=\"bob\"");
+    assert_ne!(forged, amended.to_xml_string());
+    assert!(sys.store_document(0, &forged, &Route::default()).is_err());
+    assert_eq!(sys.total_stored(), 0);
+}

@@ -1,0 +1,313 @@
+//! Integration: the `dra` CLI — a full cross-enterprise exchange done
+//! entirely through files, as two companies would.
+
+use dra4wfms::cli::run;
+use std::path::PathBuf;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let p = std::env::temp_dir().join(format!("dra-cli-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        std::fs::create_dir_all(&p).unwrap();
+        TempDir(p)
+    }
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn cli(args: &[&str]) -> Result<String, String> {
+    run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+}
+
+const WORKFLOW: &str = r#"
+workflow "cli-order" designer "designer"
+activity submit by alice {
+    respond amount, note
+}
+activity approve by bob {
+    request submit.amount
+    respond decision
+}
+flow submit -> approve
+flow approve -> end
+"#;
+
+const POLICY: &str = "restrict submit.amount to bob\n";
+
+#[test]
+fn full_cli_lifecycle() {
+    let tmp = TempDir::new("lifecycle");
+    let keys = tmp.path("keys");
+    std::fs::write(tmp.path("order.dsl"), WORKFLOW).unwrap();
+    std::fs::write(tmp.path("order.policy"), POLICY).unwrap();
+
+    // keygen for all actors
+    for name in ["designer", "alice", "bob"] {
+        let out = cli(&["keygen", name, "--keys", &keys]).unwrap();
+        assert!(out.contains(name));
+    }
+
+    // init
+    let out = cli(&[
+        "init",
+        "--workflow", &tmp.path("order.dsl"),
+        "--policy", &tmp.path("order.policy"),
+        "--designer", "designer",
+        "--keys", &keys,
+        "--out", &tmp.path("doc-0.xml"),
+    ])
+    .unwrap();
+    assert!(out.contains("initial document"));
+
+    // verify the initial document
+    let out = cli(&["verify", "--doc", &tmp.path("doc-0.xml"), "--keys", &keys]).unwrap();
+    assert!(out.starts_with("OK"), "{out}");
+
+    // alice executes submit
+    let out = cli(&[
+        "execute",
+        "--doc", &tmp.path("doc-0.xml"),
+        "--activity", "submit",
+        "--as", "alice",
+        "--respond", "amount=120",
+        "--respond", "note=team event",
+        "--keys", &keys,
+        "--out", &tmp.path("doc-1.xml"),
+    ])
+    .unwrap();
+    assert!(out.contains("routed to [\"approve\"]"), "{out}");
+
+    // bob executes approve — sees the decrypted amount
+    let out = cli(&[
+        "execute",
+        "--doc", &tmp.path("doc-1.xml"),
+        "--activity", "approve",
+        "--as", "bob",
+        "--respond", "decision=granted",
+        "--keys", &keys,
+        "--out", &tmp.path("doc-2.xml"),
+    ])
+    .unwrap();
+    assert!(out.contains("visible: submit.amount = 120"), "{out}");
+    assert!(out.contains("process complete"), "{out}");
+
+    // verify + status + scope on the final document
+    let out = cli(&["verify", "--doc", &tmp.path("doc-2.xml"), "--keys", &keys]).unwrap();
+    assert!(out.contains("2 CERs"), "{out}");
+    assert!(out.contains("3 signatures"), "{out}");
+
+    let out = cli(&["status", "--doc", &tmp.path("doc-2.xml")]).unwrap();
+    assert!(out.contains("submit#0"));
+    assert!(out.contains("approve#0"));
+
+    let out = cli(&["scope", "--doc", &tmp.path("doc-2.xml"), "--cer", "approve#0"]).unwrap();
+    assert!(out.contains("submit#0"));
+    assert!(out.contains("Def"));
+}
+
+#[test]
+fn cli_verify_rejects_tampering() {
+    let tmp = TempDir::new("tamper");
+    let keys = tmp.path("keys");
+    std::fs::write(tmp.path("order.dsl"), WORKFLOW).unwrap();
+    for name in ["designer", "alice", "bob"] {
+        cli(&["keygen", name, "--keys", &keys]).unwrap();
+    }
+    cli(&[
+        "init",
+        "--workflow", &tmp.path("order.dsl"),
+        "--designer", "designer",
+        "--keys", &keys,
+        "--out", &tmp.path("doc-0.xml"),
+    ])
+    .unwrap();
+    cli(&[
+        "execute",
+        "--doc", &tmp.path("doc-0.xml"),
+        "--activity", "submit",
+        "--as", "alice",
+        "--respond", "amount=120",
+        "--respond", "note=n",
+        "--keys", &keys,
+        "--out", &tmp.path("doc-1.xml"),
+    ])
+    .unwrap();
+
+    // tamper the stored file
+    let xml = std::fs::read_to_string(tmp.path("doc-1.xml")).unwrap();
+    let tampered = xml.replace("120", "999999");
+    assert_ne!(tampered, xml);
+    std::fs::write(tmp.path("doc-1.xml"), tampered).unwrap();
+
+    let errmsg =
+        cli(&["verify", "--doc", &tmp.path("doc-1.xml"), "--keys", &keys]).unwrap_err();
+    assert!(errmsg.contains("VERIFICATION FAILED"), "{errmsg}");
+}
+
+#[test]
+fn cli_enforces_participant_and_args() {
+    let tmp = TempDir::new("guards");
+    let keys = tmp.path("keys");
+    std::fs::write(tmp.path("order.dsl"), WORKFLOW).unwrap();
+    for name in ["designer", "alice", "bob"] {
+        cli(&["keygen", name, "--keys", &keys]).unwrap();
+    }
+    cli(&[
+        "init",
+        "--workflow", &tmp.path("order.dsl"),
+        "--designer", "designer",
+        "--keys", &keys,
+        "--out", &tmp.path("doc-0.xml"),
+    ])
+    .unwrap();
+
+    // bob cannot execute alice's activity
+    let errmsg = cli(&[
+        "execute",
+        "--doc", &tmp.path("doc-0.xml"),
+        "--activity", "submit",
+        "--as", "bob",
+        "--respond", "amount=1",
+        "--respond", "note=n",
+        "--keys", &keys,
+        "--out", &tmp.path("never.xml"),
+    ])
+    .unwrap_err();
+    assert!(errmsg.contains("participant"), "{errmsg}");
+
+    // unknown command and missing flags produce helpful errors
+    assert!(cli(&["frobnicate"]).unwrap_err().contains("unknown command"));
+    assert!(cli(&["verify"]).unwrap_err().contains("--doc"));
+    assert!(cli(&["keygen"]).unwrap_err().contains("usage"));
+    // bad respond syntax
+    let errmsg = cli(&[
+        "execute",
+        "--doc", &tmp.path("doc-0.xml"),
+        "--activity", "submit",
+        "--as", "alice",
+        "--respond", "amount:1",
+        "--keys", &keys,
+        "--out", &tmp.path("never.xml"),
+    ])
+    .unwrap_err();
+    assert!(errmsg.contains("field=value"), "{errmsg}");
+}
+
+#[test]
+fn cli_dot_and_help() {
+    let tmp = TempDir::new("dot");
+    std::fs::write(tmp.path("order.dsl"), WORKFLOW).unwrap();
+    let dot = cli(&["dot", "--workflow", &tmp.path("order.dsl")]).unwrap();
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.contains("submit"));
+    let help = cli(&["help"]).unwrap();
+    assert!(help.contains("keygen"));
+    assert!(cli(&[]).unwrap().contains("commands:"));
+}
+
+#[test]
+fn cli_policy_parser_errors() {
+    use dra4wfms::cli::parse_policy_file;
+    assert!(parse_policy_file("restrict submit.amount to bob").is_ok());
+    assert!(parse_policy_file("# comment only\n").is_ok());
+    assert!(parse_policy_file("grant x to y").is_err());
+    assert!(parse_policy_file("restrict noField to y").is_err());
+    assert!(parse_policy_file("restrict a.b to ").is_err());
+}
+
+const ADVANCED_WORKFLOW: &str = r#"
+workflow "cli-adv" designer "designer" tfc "notary"
+activity submit by alice {
+    respond amount
+}
+activity approve by bob {
+    request submit.amount
+    respond decision
+}
+flow submit -> approve
+flow approve -> end
+"#;
+
+#[test]
+fn full_cli_lifecycle_advanced_model() {
+    let tmp = TempDir::new("advanced");
+    let keys = tmp.path("keys");
+    std::fs::write(tmp.path("adv.dsl"), ADVANCED_WORKFLOW).unwrap();
+    for name in ["designer", "alice", "bob", "notary"] {
+        cli(&["keygen", name, "--keys", &keys]).unwrap();
+    }
+    cli(&[
+        "init",
+        "--workflow", &tmp.path("adv.dsl"),
+        "--designer", "designer",
+        "--keys", &keys,
+        "--out", &tmp.path("doc-0.xml"),
+    ])
+    .unwrap();
+
+    // alice executes — the definition names a TFC, so the CLI produces an
+    // intermediate document
+    let out = cli(&[
+        "execute",
+        "--doc", &tmp.path("doc-0.xml"),
+        "--activity", "submit",
+        "--as", "alice",
+        "--respond", "amount=55",
+        "--keys", &keys,
+        "--out", &tmp.path("inter-1.xml"),
+    ])
+    .unwrap();
+    assert!(out.contains("sealed to the TFC"), "{out}");
+
+    // the intermediate document does NOT verify as final…
+    let out = cli(&["verify", "--doc", &tmp.path("inter-1.xml"), "--keys", &keys]).unwrap();
+    assert!(out.contains("awaiting TFC"), "{out}");
+
+    // …the notary finalizes it
+    let out = cli(&[
+        "tfc",
+        "--doc", &tmp.path("inter-1.xml"),
+        "--as", "notary",
+        "--keys", &keys,
+        "--out", &tmp.path("doc-1.xml"),
+    ])
+    .unwrap();
+    assert!(out.contains("TFC finalized submit#0"), "{out}");
+    assert!(out.contains("route to [\"approve\"]"), "{out}");
+
+    // bob completes through the TFC as well
+    cli(&[
+        "execute",
+        "--doc", &tmp.path("doc-1.xml"),
+        "--activity", "approve",
+        "--as", "bob",
+        "--respond", "decision=yes",
+        "--keys", &keys,
+        "--out", &tmp.path("inter-2.xml"),
+    ])
+    .unwrap();
+    let out = cli(&[
+        "tfc",
+        "--doc", &tmp.path("inter-2.xml"),
+        "--as", "notary",
+        "--keys", &keys,
+        "--out", &tmp.path("doc-2.xml"),
+    ])
+    .unwrap();
+    assert!(out.contains("process complete"), "{out}");
+
+    let out = cli(&["verify", "--doc", &tmp.path("doc-2.xml"), "--keys", &keys]).unwrap();
+    assert!(out.contains("5 signatures"), "{out}");
+    let out = cli(&["status", "--doc", &tmp.path("doc-2.xml")]).unwrap();
+    assert!(out.contains("approve#0"), "{out}");
+    assert!(out.contains("ms"), "TFC timestamps recorded: {out}");
+}

@@ -1,0 +1,128 @@
+//! Integration: parallel signature verification — the same verdicts as the
+//! sequential verifier, at every thread count, on genuine and tampered
+//! documents and on document batches (the portal bulk path).
+
+use dra4wfms::prelude::*;
+
+fn chain(n: usize) -> (DraDocument, Directory) {
+    let mut creds = vec![Credentials::from_seed("designer", "pv-designer")];
+    for i in 0..n {
+        creds.push(Credentials::from_seed(format!("p{i}"), &format!("pv-p{i}")));
+    }
+    let dir = Directory::from_credentials(&creds);
+    let mut b = WorkflowDefinition::builder("pv", "designer");
+    for i in 0..n {
+        b = b.simple_activity(format!("S{i}"), format!("p{i}"), &["v"]);
+    }
+    for i in 0..n - 1 {
+        b = b.flow(format!("S{i}"), format!("S{}", i + 1));
+    }
+    let def = b.flow_end(format!("S{}", n - 1)).build().unwrap();
+    let mut doc =
+        DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "pv")
+            .unwrap();
+    for i in 0..n {
+        let aea = Aea::new(creds[i + 1].clone(), dir.clone());
+        let recv = aea.receive(&doc.to_xml_string(), &format!("S{i}")).unwrap();
+        doc = aea.complete(&recv, &[("v".into(), format!("x{i}"))]).unwrap().document;
+    }
+    (doc, dir)
+}
+
+#[test]
+fn parallel_matches_serial_on_genuine_document() {
+    let (doc, dir) = chain(12);
+    let serial = verify_document(&doc, &dir).unwrap();
+    for threads in [1, 2, 4, 8, 64] {
+        let parallel = verify_document_parallel(&doc, &dir, threads).unwrap();
+        assert_eq!(parallel, serial, "threads={threads}");
+    }
+    assert_eq!(serial.signatures_verified, 13);
+}
+
+#[test]
+fn parallel_detects_tampering() {
+    let (doc, dir) = chain(8);
+    let tampered = doc.to_xml_string().replace("x3", "FORGED");
+    assert_ne!(tampered, doc.to_xml_string());
+    let parsed = DraDocument::parse(&tampered).unwrap();
+    for threads in [1, 4] {
+        assert!(
+            verify_document_parallel(&parsed, &dir, threads).is_err(),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn batch_reports_per_document_verdicts() {
+    let (good, dir) = chain(4);
+    let bad = {
+        let xml = good.to_xml_string().replace("x1", "EVIL");
+        DraDocument::parse(&xml).unwrap()
+    };
+    let docs = vec![good.clone(), bad, good.clone()];
+    for threads in [1, 3, 8] {
+        let verdicts = verify_documents_parallel(&docs, &dir, threads);
+        assert_eq!(verdicts.len(), 3);
+        assert!(verdicts[0].is_ok(), "threads={threads}");
+        assert!(verdicts[1].is_err(), "threads={threads}");
+        assert!(verdicts[2].is_ok(), "threads={threads}");
+    }
+}
+
+#[test]
+fn empty_batch_is_fine() {
+    let (_, dir) = chain(2);
+    assert!(verify_documents_parallel(&[], &dir, 4).is_empty());
+}
+
+#[test]
+fn parallel_verify_amended_document() {
+    // amendments require the sequential fold; the parallel phase only runs
+    // the signature checks — verdicts must still match
+    let designer = Credentials::from_seed("designer", "pva-d");
+    let alice = Credentials::from_seed("alice", "pva-a");
+    let bob = Credentials::from_seed("bob", "pva-b");
+    let dir = Directory::from_credentials([&designer, &alice, &bob]);
+    let def = WorkflowDefinition::builder("w", "designer")
+        .simple_activity("s1", "alice", &["x"])
+        .flow_end("s1")
+        .build()
+        .unwrap();
+    let doc = DraDocument::new_initial_with_pid(
+        &def,
+        &SecurityPolicy::public(),
+        &designer,
+        "pva",
+    )
+    .unwrap();
+    let delta = DefinitionDelta {
+        add_activities: vec![Activity {
+            id: "s2".into(),
+            participant: "bob".into(),
+            join: JoinKind::Any,
+            requests: vec![],
+            responses: vec!["y".into()],
+        }],
+        add_transitions: vec![
+            Transition { from: "s1".into(), to: Target::Activity("s2".into()), condition: None },
+            Transition { from: "s2".into(), to: Target::End, condition: None },
+        ],
+        retire_transitions: vec![("s1".into(), Target::End)],
+        add_policy_rules: vec![],
+    };
+    let amended = amend_document(&doc, &designer, &delta).unwrap();
+    let aea = Aea::new(alice, dir.clone());
+    let recv = aea.receive(&amended.to_xml_string(), "s1").unwrap();
+    let done = aea.complete(&recv, &[("x".into(), "1".into())]).unwrap();
+    assert_eq!(done.route.targets, vec!["s2"], "amended route in force");
+    let aea = Aea::new(bob, dir.clone());
+    let recv = aea.receive(&done.document.to_xml_string(), "s2").unwrap();
+    let done = aea.complete(&recv, &[("y".into(), "2".into())]).unwrap();
+
+    let serial = verify_document(&done.document, &dir).unwrap();
+    let parallel = verify_document_parallel(&done.document, &dir, 4).unwrap();
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.signatures_verified, 4, "designer + amendment + s1 + s2");
+}

@@ -1,0 +1,208 @@
+//! Integration: claim C3 — every class of after-the-fact tampering on a
+//! DRA4WfMS document is detected, while the identical rewrite in the
+//! engine-based baseline passes silently.
+
+use dra4wfms::engine::WorkflowEngine;
+use dra4wfms::prelude::*;
+
+fn setup() -> (WorkflowDefinition, Directory, Vec<Credentials>) {
+    let creds: Vec<Credentials> = ["designer", "alice", "bob"]
+        .iter()
+        .map(|n| Credentials::from_seed(*n, &format!("tamper-{n}")))
+        .collect();
+    let def = WorkflowDefinition::builder("transfer", "designer")
+        .simple_activity("request", "alice", &["amount", "iban"])
+        .activity(Activity {
+            id: "approve".into(),
+            participant: "bob".into(),
+            join: JoinKind::Any,
+            requests: vec![FieldRef::new("request", "amount")],
+            responses: vec!["approval".into()],
+        })
+        .flow("request", "approve")
+        .flow_end("approve")
+        .build()
+        .unwrap();
+    let dir = Directory::from_credentials(&creds);
+    (def, dir, creds)
+}
+
+/// Run the two-step workflow, returning the final genuine document.
+fn run(def: &WorkflowDefinition, dir: &Directory, creds: &[Credentials]) -> DraDocument {
+    let initial =
+        DraDocument::new_initial_with_pid(def, &SecurityPolicy::public(), &creds[0], "tp")
+            .unwrap();
+    let alice = Aea::new(creds[1].clone(), dir.clone());
+    let recv = alice.receive(&initial.to_xml_string(), "request").unwrap();
+    let done = alice
+        .complete(
+            &recv,
+            &[("amount".into(), "100".into()), ("iban".into(), "DE02...".into())],
+        )
+        .unwrap();
+    let bob = Aea::new(creds[2].clone(), dir.clone());
+    let recv = bob.receive(&done.document.to_xml_string(), "approve").unwrap();
+    bob.complete(&recv, &[("approval".into(), "granted".into())])
+        .unwrap()
+        .document
+}
+
+fn assert_detected(xml: &str, dir: &Directory, what: &str) {
+    match DraDocument::parse(xml) {
+        Err(_) => {} // mangled beyond parsing — also "detected"
+        Ok(doc) => {
+            assert!(
+                verify_document(&doc, dir).is_err(),
+                "tamper class '{what}' must be detected"
+            );
+        }
+    }
+}
+
+#[test]
+fn field_value_rewrite_detected() {
+    let (def, dir, creds) = setup();
+    let doc = run(&def, &dir, &creds);
+    let xml = doc.to_xml_string();
+    let t = xml.replace(">100<", ">1000000<");
+    assert_ne!(t, xml);
+    assert_detected(&t, &dir, "field value rewrite");
+}
+
+#[test]
+fn payee_rewrite_detected() {
+    let (def, dir, creds) = setup();
+    let xml = run(&def, &dir, &creds).to_xml_string();
+    let t = xml.replace("DE02...", "MALLORY1");
+    assert_ne!(t, xml);
+    assert_detected(&t, &dir, "payee rewrite");
+}
+
+#[test]
+fn participant_swap_detected() {
+    let (def, dir, creds) = setup();
+    let xml = run(&def, &dir, &creds).to_xml_string();
+    // claim bob executed alice's activity
+    let t = xml.replacen("participant=\"alice\"", "participant=\"bob\"", 1);
+    assert_ne!(t, xml);
+    assert_detected(&t, &dir, "participant swap");
+}
+
+#[test]
+fn definition_rewrite_detected() {
+    let (def, dir, creds) = setup();
+    let xml = run(&def, &dir, &creds).to_xml_string();
+    // reassign the approve activity inside the signed definition
+    let t = xml.replace("participant=\"bob\"", "participant=\"alice\"");
+    assert_ne!(t, xml);
+    assert_detected(&t, &dir, "workflow definition rewrite");
+}
+
+#[test]
+fn middle_cer_removal_detected() {
+    let (def, dir, creds) = setup();
+    let doc = run(&def, &dir, &creds);
+    // strip alice's CER, keep bob's (which signs it)
+    let mut stripped = doc.clone();
+    let results = stripped.root.find_child_mut("ActivityResults").unwrap();
+    let removed = results.children.remove(0);
+    drop(removed);
+    assert_detected(&stripped.to_xml_string(), &dir, "CER removal");
+}
+
+#[test]
+fn signature_transplant_detected() {
+    let (def, dir, creds) = setup();
+    let doc = run(&def, &dir, &creds);
+    // replace alice's signature with bob's (both valid signatures, wrong place)
+    let xml = doc.to_xml_string();
+    let cers = doc.cers().unwrap();
+    let alice_sig = dra4wfms::xml::writer::to_string(cers[0].participant_signature().unwrap());
+    let bob_sig = dra4wfms::xml::writer::to_string(cers[1].participant_signature().unwrap());
+    let t = xml.replace(&alice_sig, &bob_sig);
+    assert_ne!(t, xml);
+    assert_detected(&t, &dir, "signature transplant");
+}
+
+#[test]
+fn cross_instance_replay_detected() {
+    let (def, dir, creds) = setup();
+    let doc = run(&def, &dir, &creds);
+    // graft the executed CERs onto a fresh instance with a different pid
+    let mut fresh = DraDocument::new_initial_with_pid(
+        &def,
+        &SecurityPolicy::public(),
+        &creds[0],
+        "other-pid",
+    )
+    .unwrap();
+    for cer in doc.cers().unwrap() {
+        fresh.push_cer(cer.element.clone()).unwrap();
+    }
+    assert_detected(&fresh.to_xml_string(), &dir, "cross-instance replay");
+}
+
+#[test]
+fn encrypted_field_swap_detected() {
+    // encrypt the amount, then swap the whole EncryptedData blob with one
+    // from another instance (ciphertext splice)
+    let (def, dir, creds) = setup();
+    let pol = SecurityPolicy::builder().restrict("request", "amount", &["bob"]).build();
+    let make = |pid: &str, amount: &str| {
+        let initial =
+            DraDocument::new_initial_with_pid(&def, &pol, &creds[0], pid).unwrap();
+        let alice = Aea::new(creds[1].clone(), dir.clone());
+        let recv = alice.receive(&initial.to_xml_string(), "request").unwrap();
+        alice
+            .complete(
+                &recv,
+                &[("amount".into(), amount.into()), ("iban".into(), "X".into())],
+            )
+            .unwrap()
+            .document
+    };
+    let doc_a = make("pid-a", "100");
+    let doc_b = make("pid-b", "999999");
+    let enc_a = {
+        let cer = &doc_a.cers().unwrap()[0];
+        let r = cer.result().unwrap();
+        dra4wfms::xml::writer::to_string(
+            r.child_elements().find(|e| e.get_attr("field") == Some("amount")).unwrap(),
+        )
+    };
+    let enc_b = {
+        let cer = &doc_b.cers().unwrap()[0];
+        let r = cer.result().unwrap();
+        dra4wfms::xml::writer::to_string(
+            r.child_elements().find(|e| e.get_attr("field") == Some("amount")).unwrap(),
+        )
+    };
+    let spliced = doc_a.to_xml_string().replace(&enc_a, &enc_b);
+    assert_ne!(spliced, doc_a.to_xml_string());
+    assert_detected(&spliced, &dir, "ciphertext splice");
+}
+
+/// The contrast: the identical rewrite in the engine baseline is silent.
+#[test]
+fn engine_baseline_same_tamper_is_silent() {
+    let (def, _, _) = setup();
+    let engine = WorkflowEngine::new("e");
+    let pid = engine.start_process(&def).unwrap();
+    engine
+        .execute_activity(
+            pid,
+            "request",
+            "alice",
+            &[("amount".into(), "100".into()), ("iban".into(), "DE02...".into())],
+        )
+        .unwrap();
+    engine
+        .execute_activity(pid, "approve", "bob", &[("approval".into(), "granted".into())])
+        .unwrap();
+
+    engine.superuser().alter_result(pid, "request", "amount", "1000000").unwrap();
+    let inst = engine.get_instance(pid).unwrap();
+    // the instance offers no verification API at all — the altered value
+    // reads back as authoritative state
+    assert_eq!(inst.field("request", "amount"), Some("1000000"));
+}
