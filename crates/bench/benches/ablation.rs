@@ -8,10 +8,13 @@
 //!   audience size; this quantifies the per-recipient cost β pays.
 //! * **cascade breadth** — signing all predecessor signatures at an
 //!   AND-join versus a single chain link (what nonrepudiation costs).
+//! * **full vs incremental α** — re-verifying the whole cascade on every
+//!   hop (the paper's baseline, O(n) checks per hop) versus the
+//!   verified-prefix trust mark (exactly one new CER per hop).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dra_bench::chain::finished_chain_document;
 use dra4wfms_core::prelude::*;
+use dra_bench::chain::finished_chain_document;
 use dra_xml::enc::{encrypt_element, Recipient};
 use dra_xml::Element;
 
@@ -20,15 +23,11 @@ fn bench_parallel_verify(c: &mut Criterion) {
     let doc = DraDocument::parse(&xml).unwrap();
     let mut g = c.benchmark_group("ablation/verify_32cers");
     g.sample_size(15);
-    g.bench_function("sequential", |b| {
-        b.iter(|| verify_document(&doc, &dir).unwrap())
-    });
+    g.bench_function("sequential", |b| b.iter(|| verify_document(&doc, &dir).unwrap()));
     for threads in [2usize, 4, 8] {
-        g.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &threads| b.iter(|| verify_document_parallel(&doc, &dir, threads).unwrap()),
-        );
+        g.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &threads| {
+            b.iter(|| verify_document_parallel(&doc, &dir, threads).unwrap())
+        });
     }
     g.finish();
 }
@@ -44,11 +43,9 @@ fn bench_encryption_fanout(c: &mut Criterion) {
                 Recipient::new(c.name.clone(), c.identity().enc)
             })
             .collect();
-        g.bench_with_input(
-            BenchmarkId::from_parameter(recipients),
-            &recs,
-            |b, recs| b.iter(|| encrypt_element(&field, recs)),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(recipients), &recs, |b, recs| {
+            b.iter(|| encrypt_element(&field, recs))
+        });
     }
     g.finish();
 }
@@ -67,8 +64,8 @@ fn bench_cascade_breadth(c: &mut Criterion) {
         creds.push(Credentials::from_seed("join", "jb-join"));
         let dir = Directory::from_credentials(&creds);
 
-        let mut b_def = WorkflowDefinition::builder("join", "designer")
-            .simple_activity("src", "src", &["x"]);
+        let mut b_def =
+            WorkflowDefinition::builder("join", "designer").simple_activity("src", "src", &["x"]);
         for i in 0..k {
             b_def = b_def
                 .simple_activity(format!("B{i}"), format!("b{i}"), &["y"])
@@ -87,27 +84,18 @@ fn bench_cascade_breadth(c: &mut Criterion) {
         let def = b_def.flow_end("J").build().unwrap();
 
         // execute src + all branches
-        let doc = DraDocument::new_initial_with_pid(
-            &def,
-            &SecurityPolicy::public(),
-            &creds[0],
-            "jb",
-        )
-        .unwrap();
+        let doc =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "jb")
+                .unwrap();
         let aea_src = Aea::new(creds[1].clone(), dir.clone());
         let recv = aea_src.receive(&doc.to_xml_string(), "src").unwrap();
         let src_done = aea_src.complete(&recv, &[("x".into(), "1".into())]).unwrap();
         let mut branch_docs = Vec::new();
         for i in 0..k {
             let aea = Aea::new(creds[2 + i].clone(), dir.clone());
-            let recv = aea
-                .receive(&src_done.document.to_xml_string(), &format!("B{i}"))
-                .unwrap();
+            let recv = aea.receive(&src_done.document.to_xml_string(), &format!("B{i}")).unwrap();
             branch_docs.push(
-                aea.complete(&recv, &[("y".into(), "2".into())])
-                    .unwrap()
-                    .document
-                    .to_xml_string(),
+                aea.complete(&recv, &[("y".into(), "2".into())]).unwrap().document.to_xml_string(),
             );
         }
         let aea_join = Aea::new(creds[2 + k].clone(), dir.clone());
@@ -120,5 +108,38 @@ fn bench_cascade_breadth(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_parallel_verify, bench_encryption_fanout, bench_cascade_breadth);
+fn bench_incremental_verify(c: &mut Criterion) {
+    // steady-state hand-off: the receiving hop holds a trust mark covering
+    // every CER but the newest. Full α re-checks designer + n signatures;
+    // incremental α re-checks exactly one.
+    let mut g = c.benchmark_group("ablation/full_vs_incremental_alpha");
+    g.sample_size(15);
+    for n in [8usize, 32] {
+        let (xml, dir) = finished_chain_document(n, true);
+        let doc = DraDocument::parse(&xml).unwrap();
+        let report = verify_document(&doc, &dir).unwrap();
+        let mut mark = trust_mark_for(&doc, &report, 0).unwrap();
+        mark.verified_cers = n - 1;
+        mark.prefix_digest = prefix_digest(&doc, n - 1).unwrap();
+        g.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
+            b.iter(|| verify_document(&doc, &dir).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("incremental_1_new_cer", n), &n, |b, _| {
+            b.iter(|| {
+                let outcome = verify_incremental(&doc, &dir, Some(&mark)).unwrap();
+                assert!(!outcome.fell_back);
+                outcome
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_verify,
+    bench_encryption_fanout,
+    bench_cascade_breadth,
+    bench_incremental_verify
+);
 criterion_main!(benches);

@@ -16,12 +16,8 @@ fn bench_crypto(c: &mut Criterion) {
     for size in [64usize, 4096] {
         let data = vec![0xabu8; size];
         g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
-            b.iter(|| sha256(d))
-        });
-        g.bench_with_input(BenchmarkId::new("sha512", size), &data, |b, d| {
-            b.iter(|| sha512(d))
-        });
+        g.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| b.iter(|| sha256(d)));
+        g.bench_with_input(BenchmarkId::new("sha512", size), &data, |b, d| b.iter(|| sha512(d)));
         g.bench_with_input(BenchmarkId::new("chacha20", size), &data, |b, d| {
             let key = [7u8; 32];
             let nonce = [9u8; 12];
@@ -33,9 +29,7 @@ fn bench_crypto(c: &mut Criterion) {
     let msg = vec![0x42u8; 1024];
     g.bench_function("ed25519_sign_1k", |b| b.iter(|| kp.sign(&msg)));
     let sig = kp.sign(&msg);
-    g.bench_function("ed25519_verify_1k", |b| {
-        b.iter(|| assert!(kp.public.verify(&msg, &sig)))
-    });
+    g.bench_function("ed25519_verify_1k", |b| b.iter(|| assert!(kp.public.verify(&msg, &sig))));
 
     let alice = X25519Secret::from_bytes([2u8; 32]);
     let bob = X25519Secret::from_bytes([3u8; 32]);
@@ -45,9 +39,7 @@ fn bench_crypto(c: &mut Criterion) {
     let payload = vec![0x55u8; 256];
     g.bench_function("sealed_box_seal_256", |b| b.iter(|| sealed::seal(&bob_pub, &payload)));
     let boxed = sealed::seal(&bob_pub, &payload);
-    g.bench_function("sealed_box_open_256", |b| {
-        b.iter(|| sealed::open(&bob, &boxed).unwrap())
-    });
+    g.bench_function("sealed_box_open_256", |b| b.iter(|| sealed::open(&bob, &boxed).unwrap()));
     g.finish();
 }
 

@@ -86,6 +86,5 @@ fn bench_docpool(c: &mut Criterion) {
     g.finish();
 }
 
-
 criterion_group!(benches, bench_docpool);
 criterion_main!(benches);

@@ -55,16 +55,11 @@ fn bench_engine_vs_dra(c: &mut Criterion) {
         .map(|n| Credentials::from_seed(*n, &format!("evd-{n}")))
         .collect();
     let dir = Directory::from_credentials(&creds);
-    let agents: Vec<Aea> =
-        creds[1..].iter().map(|c| Aea::new(c.clone(), dir.clone())).collect();
-    let initial = DraDocument::new_initial_with_pid(
-        &def,
-        &SecurityPolicy::public(),
-        &creds[0],
-        "evd",
-    )
-    .unwrap()
-    .to_xml_string();
+    let agents: Vec<Aea> = creds[1..].iter().map(|c| Aea::new(c.clone(), dir.clone())).collect();
+    let initial =
+        DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "evd")
+            .unwrap()
+            .to_xml_string();
     g.bench_function("dra4wfms_instance", |b| {
         b.iter(|| {
             let mut xml = initial.clone();
@@ -96,8 +91,7 @@ fn bench_engine_vs_dra(c: &mut Criterion) {
         let (pid, start) = dist.start_process(&def_loop).unwrap();
         for i in 0..steps {
             let v = if i + 1 < steps { "again" } else { "done" };
-            dist.execute_at(start, pid, "s", "p", &[("f".into(), format!("{v}-{i:04}"))])
-                .unwrap();
+            dist.execute_at(start, pid, "s", "p", &[("f".into(), format!("{v}-{i:04}"))]).unwrap();
         }
         g.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
             // ping-pong the instance between the two engines
@@ -105,8 +99,7 @@ fn bench_engine_vs_dra(c: &mut Criterion) {
             b.iter(|| {
                 at = 1 - at;
                 // a read at the other engine forces a migration
-                dist.execute_at(at, pid, "s", "p", &[("f".into(), "again".into())])
-                    .unwrap();
+                dist.execute_at(at, pid, "s", "p", &[("f".into(), "again".into())]).unwrap();
             })
         });
     }

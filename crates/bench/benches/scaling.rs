@@ -2,9 +2,9 @@
 //! linear) and sign time vs number of CERs (expected constant).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dra_bench::chain::{chain_cast, finished_chain_document};
 use dra4wfms_core::prelude::*;
 use dra4wfms_core::verify::verify_document;
+use dra_bench::chain::{chain_cast, finished_chain_document};
 
 fn bench_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("scaling/verify_vs_cers");
@@ -30,15 +30,15 @@ fn bench_scaling(c: &mut Criterion) {
         let (creds, dir) = chain_cast(n);
         let def = dra_bench::chain::chain_definition(n);
         let pol = dra_bench::chain::chain_policy(n, true);
-        let mut doc =
-            DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "sc").unwrap();
+        let mut doc = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "sc").unwrap();
         for i in 0..n - 1 {
             let aea = Aea::new(creds[i + 1].clone(), dir.clone());
             let recv = aea.receive(&doc.to_xml_string(), &format!("S{i}")).unwrap();
             doc = aea
                 .complete(&recv, &[("payload".into(), "v".into())])
                 .unwrap()
-                .document;
+                .document
+                .into_document();
         }
         let aea = Aea::new(creds[n].clone(), dir.clone());
         let received = aea.receive(&doc.to_xml_string(), &format!("S{}", n - 1)).unwrap();

@@ -3,34 +3,29 @@
 //! steps of the Fig. 9A trace, plus a full-trace measurement.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dra4wfms_core::prelude::*;
 use dra_bench::chain::finished_chain_document;
 use dra_bench::fig9;
-use dra4wfms_core::prelude::*;
 
 fn bench_table1(c: &mut Criterion) {
     let (creds, dir) = fig9::cast();
     let def = fig9::definition(false);
     let pol = fig9::policy(&def, false);
-    let initial = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "bench")
-        .unwrap()
-        .to_xml_string();
+    let initial =
+        DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "bench").unwrap().to_xml_string();
     let aea_a = Aea::new(creds.iter().find(|c| c.name == "p_a").unwrap().clone(), dir.clone());
 
     let mut g = c.benchmark_group("table1");
     g.sample_size(20);
 
     // α at the first step (1 signature to verify)
-    g.bench_function("alpha_first_step", |b| {
-        b.iter(|| aea_a.receive(&initial, "A").unwrap())
-    });
+    g.bench_function("alpha_first_step", |b| b.iter(|| aea_a.receive(&initial, "A").unwrap()));
 
     // β at the first step
     let received = aea_a.receive(&initial, "A").unwrap();
     g.bench_function("beta_first_step", |b| {
         b.iter(|| {
-            aea_a
-                .complete(&received, &[("attachment".into(), "contract.pdf".into())])
-                .unwrap()
+            aea_a.complete(&received, &[("attachment".into(), "contract.pdf".into())]).unwrap()
         })
     });
 

@@ -2,17 +2,16 @@
 //! receive (α_TFC) and TFC finalize (γ), plus the full Fig. 9B trace.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dra_bench::fig9;
 use dra4wfms_core::prelude::*;
+use dra_bench::fig9;
 use std::sync::Arc;
 
 fn bench_table2(c: &mut Criterion) {
     let (creds, dir) = fig9::cast();
     let def = fig9::definition(true);
     let pol = fig9::policy(&def, true);
-    let initial = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "bench2")
-        .unwrap()
-        .to_xml_string();
+    let initial =
+        DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "bench2").unwrap().to_xml_string();
     let aea_a = Aea::new(creds.iter().find(|c| c.name == "p_a").unwrap().clone(), dir.clone());
     let tfc_creds = creds.iter().find(|c| c.name == "TFC").unwrap().clone();
     let tfc = TfcServer::with_clock(tfc_creds, dir.clone(), Arc::new(|| 1));

@@ -2,8 +2,8 @@
 //! Fig. 9B intermediate documents — the TFC must keep pace with the AEAs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dra_bench::fig9::{cast, fig9b_intermediate_documents};
 use dra4wfms_core::prelude::*;
+use dra_bench::fig9::{cast, fig9b_intermediate_documents};
 use std::sync::Arc;
 
 fn bench_tfc(c: &mut Criterion) {

@@ -31,11 +31,8 @@ fn main() {
         // All legit + all attack traffic hits it; goodput = CAP scaled by
         // the legitimate fraction of arrivals (FIFO sharing).
         let engine_arrivals = legit + attack;
-        let engine_goodput = if engine_arrivals <= CAP {
-            legit
-        } else {
-            CAP * legit / engine_arrivals
-        };
+        let engine_goodput =
+            if engine_arrivals <= CAP { legit } else { CAP * legit / engine_arrivals };
 
         // DRA4WfMS: the attacker targets one portal (they are
         // interchangeable; saturating all of them requires n× the traffic).
@@ -62,9 +59,11 @@ fn main() {
 
     println!();
     println!("C6 verdict: with the attack at 10× capacity, the fixed-endpoint engine");
-    println!("retains ~{:.0}% goodput while the portal deployment retains ~{:.0}%+ —",
+    println!(
+        "retains ~{:.0}% goodput while the portal deployment retains ~{:.0}%+ —",
         100.0 * (CAP * legit / (legit + 8000.0)) / legit,
-        100.0 * ((portals - 1) as f64 / portals as f64));
+        100.0 * ((portals - 1) as f64 / portals as f64)
+    );
     println!("the engine-based WfMS is a single fixed target, the document-routing");
     println!("deployment degrades by at most one portal's share. (Architectural model,");
     println!("no absolute numbers claimed — matching the paper's qualitative argument.)");

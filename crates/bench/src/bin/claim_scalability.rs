@@ -66,8 +66,7 @@ fn dra_run(instances: usize, threads: usize) -> f64 {
     let dir = Directory::from_credentials(&creds);
     let def = def3();
     let pol = SecurityPolicy::public();
-    let agents: Vec<Aea> =
-        creds[1..].iter().map(|c| Aea::new(c.clone(), dir.clone())).collect();
+    let agents: Vec<Aea> = creds[1..].iter().map(|c| Aea::new(c.clone(), dir.clone())).collect();
     // pre-create the initial documents (start cost is the designer's, not the hops')
     let initials: Vec<String> = (0..instances)
         .map(|i| {
@@ -105,8 +104,7 @@ fn dra_run(instances: usize, threads: usize) -> f64 {
 }
 
 fn main() {
-    let instances: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
+    let instances: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!(
         "cross-enterprise workload: {instances} instances × 3 hops across 3 organizations ({cores} core(s))\n"

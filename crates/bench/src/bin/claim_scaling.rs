@@ -3,29 +3,35 @@
 //! signatures in the documents. However, only a constant time was needed to
 //! encrypt and embed signatures."
 //!
-//! Sweep chain workflows of length 1…64 and print α, β, Σ per step count.
+//! Sweep chain workflows of length 1…64 and print α, β, Σ per step count —
+//! once over the paper's baseline (every hop re-parses and re-verifies the
+//! whole cascade, Σα = O(n²) signature checks) and once over the sealed
+//! hand-off pipeline (each hop re-checks only the one new CER, Σα = O(n)).
+//! Writes the sweep to `BENCH_scaling.json`.
 //!
 //! Run with: `cargo run --release -p dra-bench --bin claim_scaling`
 
-use dra_bench::chain::run_chain;
+use dra_bench::chain::{run_chain, run_chain_incremental};
 
 fn main() {
     println!("chain length sweep (element-wise encrypted payloads, 64-byte values)\n");
     println!(
-        "{:>6} {:>8} {:>12} {:>12} {:>12}",
-        "step", "#sigs", "alpha(ms)", "beta(ms)", "size(B)"
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "step", "#sigs", "alpha(ms)", "inc-α(ms)", "beta(ms)", "size(B)"
     );
     let payload = "x".repeat(64);
     // one long chain gives every intermediate point of the sweep
     let records = run_chain(64, true, &payload);
-    for r in records.iter().filter(|r| {
-        r.step < 4 || (r.step + 1) % 8 == 0
-    }) {
+    let incremental = run_chain_incremental(64, true, &payload);
+    for (r, inc) in
+        records.iter().zip(incremental.iter()).filter(|(r, _)| r.step < 4 || (r.step + 1) % 8 == 0)
+    {
         println!(
-            "{:>6} {:>8} {:>12.3} {:>12.3} {:>12}",
+            "{:>6} {:>8} {:>12.3} {:>12.3} {:>12.3} {:>12}",
             r.step + 1,
             r.sigs_verified,
             r.alpha.as_secs_f64() * 1e3,
+            inc.alpha.as_secs_f64() * 1e3,
             r.beta.as_secs_f64() * 1e3,
             r.size
         );
@@ -38,10 +44,16 @@ fn main() {
     let a64 = records[63].alpha.as_secs_f64();
     let b8 = records[7].beta.as_secs_f64();
     let b64 = records[63].beta.as_secs_f64();
+    let i8_ = incremental[7].alpha.as_secs_f64();
+    let i64_ = incremental[63].alpha.as_secs_f64();
     let early_slope = (records[15].size - records[7].size) as f64 / 8.0;
     let late_slope = (records[63].size - records[55].size) as f64 / 8.0;
     println!("\nstep 8 → step 64 (8× more signatures to verify):");
     println!("  alpha grows {:.1}×      (claim: ∝ #signatures, expect ≈8×)", a64 / a8);
+    println!(
+        "  incremental alpha grows {:.1}×  (sealed hand-off: 1 new CER per hop, expect ≈1×)",
+        i64_ / i8_
+    );
     println!("  beta  grows {:.2}×     (claim: ~constant, expect ≈1×)", b64 / b8);
     println!(
         "  size slope early {:.0} B/CER vs late {:.0} B/CER, ratio {:.2} (claim: linear in #CERs, expect ≈1)",
@@ -50,7 +62,34 @@ fn main() {
         late_slope / early_slope
     );
 
+    // machine-readable sweep for plotting / regression tracking: the full-α
+    // column grows with n while the incremental-α column stays flat.
+    let mut json = String::from("[\n");
+    for (i, (r, inc)) in records.iter().zip(incremental.iter()).enumerate() {
+        json.push_str(&format!(
+            "  {{\"n\": {}, \"sigs_full\": {}, \"sigs_incremental\": {}, \
+             \"full_alpha_ms\": {:.4}, \"incremental_alpha_ms\": {:.4}, \
+             \"beta_ms\": {:.4}, \"size_bytes\": {}}}{}\n",
+            r.step + 1,
+            r.sigs_verified,
+            inc.sigs_verified,
+            r.alpha.as_secs_f64() * 1e3,
+            inc.alpha.as_secs_f64() * 1e3,
+            r.beta.as_secs_f64() * 1e3,
+            r.size,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("]\n");
+    match std::fs::write("BENCH_scaling.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_scaling.json ({} rows)", records.len()),
+        Err(e) => eprintln!("\ncould not write BENCH_scaling.json: {e}"),
+    }
+
     let slope_ratio = late_slope / early_slope;
-    let pass = a64 / a8 > 3.0 && b64 / b8 < 2.5 && (0.7..1.4).contains(&slope_ratio);
+    let pass = a64 / a8 > 3.0
+        && b64 / b8 < 2.5
+        && (0.7..1.4).contains(&slope_ratio)
+        && i64_ / i8_ < a64 / a8;
     println!("\nC1 verdict: {}", if pass { "SHAPE REPRODUCED" } else { "SHAPE NOT REPRODUCED" });
 }

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release -p dra-bench --bin claim_tamper [trials]`
 
-use dra_bench::chain::{chain_cast, chain_definition, finished_chain_document};
 use dra4wfms_core::prelude::*;
+use dra_bench::chain::{chain_cast, chain_definition, finished_chain_document};
 use dra_engine::WorkflowEngine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,6 +58,15 @@ fn main() {
                     // a flip inside free text the signature does not cover
                     // (there is none by construction) — count as accepted
                     silent_accept += 1;
+                    if let Some(pos) = t.bytes().zip(xml.bytes()).position(|(a, b)| a != b) {
+                        let lo = pos.saturating_sub(60);
+                        let hi = (pos + 20).min(xml.len());
+                        eprintln!(
+                            "  ACCEPTED flip at byte {pos}:\n    was …{}…\n    now …{}…",
+                            &xml[lo..hi],
+                            &t[lo..hi]
+                        );
+                    }
                 }
             },
         }
@@ -86,10 +95,7 @@ fn main() {
         }
         // superuser rewrites a random stored field
         let target = rng.gen_range(0..n);
-        engine
-            .superuser()
-            .alter_result(pid, &format!("S{target}"), "payload", "FORGED")
-            .unwrap();
+        engine.superuser().alter_result(pid, &format!("S{target}"), "payload", "FORGED").unwrap();
         // is there any way for an auditor to notice? the instance carries no
         // cryptographic anchor — re-reading yields the forged value as truth.
         let inst = engine.get_instance(pid).unwrap();

@@ -9,15 +9,14 @@
 //!
 //! Run with: `cargo run --release -p dra-bench --bin claim_tfc [docs] [max_threads]`
 
-use dra_bench::fig9::{cast, fig9b_intermediate_documents, run_fig9_trace};
 use dra4wfms_core::prelude::*;
+use dra_bench::fig9::{cast, fig9b_intermediate_documents, run_fig9_trace};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn main() {
-    let docs_per_thread: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let docs_per_thread: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
     let max_threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8);
 
     // (a) per-step cost split, from the Table 2 trace
@@ -27,17 +26,18 @@ fn main() {
         .iter()
         .map(|r| r.alpha_tfc.unwrap_or_default() + r.gamma.unwrap_or_default())
         .sum();
-    println!("per-run cost split (Fig. 9B trace): AEA {:.4}s, TFC {:.4}s (ratio {:.2})", aea.as_secs_f64(), tfc.as_secs_f64(), tfc.as_secs_f64() / aea.as_secs_f64());
+    println!(
+        "per-run cost split (Fig. 9B trace): AEA {:.4}s, TFC {:.4}s (ratio {:.2})",
+        aea.as_secs_f64(),
+        tfc.as_secs_f64(),
+        tfc.as_secs_f64() / aea.as_secs_f64()
+    );
 
     // (b) TFC throughput scaling
     let inters = fig9b_intermediate_documents();
     let (creds, dir) = cast();
     let tfc_creds = creds.iter().find(|c| c.name == "TFC").unwrap().clone();
-    let server = Arc::new(TfcServer::with_clock(
-        tfc_creds,
-        dir,
-        Arc::new(|| 1_700_000_000_000),
-    ));
+    let server = Arc::new(TfcServer::with_clock(tfc_creds, dir, Arc::new(|| 1_700_000_000_000)));
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("\nTFC throughput (documents finalized per second, shared server,");
@@ -48,23 +48,16 @@ fn main() {
         let total = docs_per_thread * threads;
         let counter = AtomicUsize::new(0);
         let started = Instant::now();
-        crossbeam_scope(threads, &|_| {
-            loop {
-                let i = counter.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                let xml = &inters[i % inters.len()];
-                server.process(xml).expect("tfc process");
+        crossbeam_scope(threads, &|_| loop {
+            let i = counter.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                break;
             }
+            let xml = &inters[i % inters.len()];
+            server.process(xml).expect("tfc process");
         });
         let wall = started.elapsed();
-        println!(
-            "{:>8} {:>12} {:>14.1}",
-            threads,
-            total,
-            total as f64 / wall.as_secs_f64()
-        );
+        println!("{:>8} {:>12} {:>14.1}", threads, total, total as f64 / wall.as_secs_f64());
     }
     println!("\nC2 verdict: the TFC parallelizes across documents (stateless notary),");
     println!("and per-document TFC cost ≈ AEA cost — the TFC is not the bottleneck.");

@@ -48,9 +48,17 @@ fn main() {
     let beta_spread = betas.iter().cloned().fold(f64::MIN, f64::max)
         / betas.iter().cloned().fold(f64::MAX, f64::min);
     println!("\nshape checks:");
-    println!("  alpha growth first→last step: {:.2}×  (paper: {:.2}×)", alpha_last / alpha_first, 0.0133 / 0.0030);
-    println!("  beta max/min spread: {beta_spread:.2}×  (paper: {:.2}× — 'only a constant time')", 0.0167 / 0.0116);
-    println!("  size growth initial→final: {:.2}×  (paper: {:.2}×)",
+    println!(
+        "  alpha growth first→last step: {:.2}×  (paper: {:.2}×)",
+        alpha_last / alpha_first,
+        0.0133 / 0.0030
+    );
+    println!(
+        "  beta max/min spread: {beta_spread:.2}×  (paper: {:.2}× — 'only a constant time')",
+        0.0167 / 0.0116
+    );
+    println!(
+        "  size growth initial→final: {:.2}×  (paper: {:.2}×)",
         avg.last().unwrap().size as f64 / avg[0].size as f64,
         22_910.0 / 7_119.0
     );

@@ -87,7 +87,11 @@ pub fn policy(def: &WorkflowDefinition, advanced: bool) -> SecurityPolicy {
         .restrict("B2", "review2", &["p_c"])
         .restrict("C", "decision", &["p_a", "p_b1", "p_b2", "p_c", "p_d"])
         .build();
-    if advanced { p.with_tfc_access("TFC", def) } else { p }
+    if advanced {
+        p.with_tfc_access("TFC", def)
+    } else {
+        p
+    }
 }
 
 struct Harness {
@@ -97,10 +101,8 @@ struct Harness {
 
 impl Harness {
     fn new(dir: &Directory, creds: &[Credentials], advanced: bool) -> Harness {
-        let agents = creds
-            .iter()
-            .map(|c| (c.name.clone(), Aea::new(c.clone(), dir.clone())))
-            .collect();
+        let agents =
+            creds.iter().map(|c| (c.name.clone(), Aea::new(c.clone(), dir.clone()))).collect();
         let tfc = advanced.then(|| {
             let tfc_creds = creds.iter().find(|c| c.name == "TFC").expect("TFC creds");
             TfcServer::with_clock(tfc_creds.clone(), dir.clone(), Arc::new(|| 1_700_000_000_000))
@@ -161,15 +163,13 @@ impl Harness {
                 let inter_xml = inter.document.to_xml_string();
 
                 let t2 = Instant::now();
-                let tfc_recv = tfc
-                    .receive(&inter_xml)
-                    .unwrap_or_else(|e| panic!("tfc receive {label}: {e}"));
+                let tfc_recv =
+                    tfc.receive(&inter_xml).unwrap_or_else(|e| panic!("tfc receive {label}: {e}"));
                 let alpha_tfc = t2.elapsed();
 
                 let t3 = Instant::now();
-                let finalized = tfc
-                    .finalize(&tfc_recv)
-                    .unwrap_or_else(|e| panic!("tfc finalize {label}: {e}"));
+                let finalized =
+                    tfc.finalize(&tfc_recv).unwrap_or_else(|e| panic!("tfc finalize {label}: {e}"));
                 let gamma = t3.elapsed();
                 let xml = finalized.document.to_xml_string();
                 (
@@ -219,23 +219,30 @@ pub fn run_fig9_trace(advanced: bool) -> Vec<StepRecord> {
     }];
 
     let x0 = initial.to_xml_string();
-    let (r, a0) = harness.step("X_A(0)", "p_a", "A", &[&x0], &resp(&[("attachment", "contract-draft.pdf")]));
+    let (r, a0) =
+        harness.step("X_A(0)", "p_a", "A", &[&x0], &resp(&[("attachment", "contract-draft.pdf")]));
     records.push(r);
-    let (r, b1_0) = harness.step("X_B1(0)", "p_b1", "B1", &[&a0], &resp(&[("review1", "figures look right")]));
+    let (r, b1_0) =
+        harness.step("X_B1(0)", "p_b1", "B1", &[&a0], &resp(&[("review1", "figures look right")]));
     records.push(r);
-    let (r, b2_0) = harness.step("X_B2(0)", "p_b2", "B2", &[&a0], &resp(&[("review2", "terms acceptable")]));
+    let (r, b2_0) =
+        harness.step("X_B2(0)", "p_b2", "B2", &[&a0], &resp(&[("review2", "terms acceptable")]));
     records.push(r);
-    let (r, c0) = harness.step("X_C(0)", "p_c", "C", &[&b1_0, &b2_0], &resp(&[("decision", "insufficient")]));
+    let (r, c0) =
+        harness.step("X_C(0)", "p_c", "C", &[&b1_0, &b2_0], &resp(&[("decision", "insufficient")]));
     records.push(r);
-    let (r, a1) = harness.step("X_A(1)", "p_a", "A", &[&c0], &resp(&[("attachment", "contract-final.pdf")]));
+    let (r, a1) =
+        harness.step("X_A(1)", "p_a", "A", &[&c0], &resp(&[("attachment", "contract-final.pdf")]));
     records.push(r);
     let (r, b1_1) = harness.step("X_B1(1)", "p_b1", "B1", &[&a1], &resp(&[("review1", "ok now")]));
     records.push(r);
     let (r, b2_1) = harness.step("X_B2(1)", "p_b2", "B2", &[&a1], &resp(&[("review2", "ok now")]));
     records.push(r);
-    let (r, c1) = harness.step("X_C(1)", "p_c", "C", &[&b1_1, &b2_1], &resp(&[("decision", "accept")]));
+    let (r, c1) =
+        harness.step("X_C(1)", "p_c", "C", &[&b1_1, &b2_1], &resp(&[("decision", "accept")]));
     records.push(r);
-    let (r, _d0) = harness.step("X_D(0)", "p_d", "D", &[&c1], &resp(&[("ack", "purchase confirmed")]));
+    let (r, _d0) =
+        harness.step("X_D(0)", "p_d", "D", &[&c1], &resp(&[("ack", "purchase confirmed")]));
     records.push(r);
     records
 }

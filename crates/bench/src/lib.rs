@@ -15,8 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod fig9;
 pub mod chain;
+pub mod fig9;
 pub mod table;
 
 pub use fig9::{run_fig9_trace, StepRecord};

@@ -24,7 +24,9 @@
 pub mod netsim;
 pub mod portal;
 pub mod runner;
+pub mod trustcache;
 
 pub use netsim::NetworkSim;
 pub use portal::{CloudSystem, PortalStats, TodoEntry};
-pub use runner::{run_instance, RunOutcome, Responder};
+pub use runner::{run_instance, Responder, RunOutcome};
+pub use trustcache::TrustCache;

@@ -7,8 +7,9 @@
 //! deployment (the scalability story of the paper).
 
 use crate::netsim::NetworkSim;
-use dra4wfms_core::prelude::*;
+use crate::trustcache::TrustCache;
 use dra4wfms_core::monitor::ProcessStatus;
+use dra4wfms_core::prelude::*;
 use dra4wfms_core::verify::verify_document;
 use dra_docpool::{map_reduce, HTable, TableConfig};
 use std::collections::BTreeMap;
@@ -36,8 +37,14 @@ pub struct PortalStats {
     pub stored: AtomicUsize,
     /// Documents served to users.
     pub retrieved: AtomicUsize,
-    /// Full verifications performed.
+    /// Verification passes performed (full or incremental).
     pub verifications: AtomicUsize,
+    /// Individual signature checks executed across those passes — the cost
+    /// the trust cache exists to shrink.
+    pub signature_checks: AtomicUsize,
+    /// Verification passes that reused a verified prefix instead of
+    /// re-checking every CER.
+    pub incremental_verifications: AtomicUsize,
 }
 
 /// The DRA4WfMS cloud system: a pool of documents behind `n` portal servers.
@@ -50,6 +57,10 @@ pub struct CloudSystem {
     pub portals: Vec<PortalStats>,
     /// Simulated network accounting for user↔portal transfers.
     pub network: Arc<NetworkSim>,
+    /// LRU cache `wire digest → trust mark` shared by the portals: a
+    /// document whose exact bytes (or byte-identical prefix) were already
+    /// verified here is not re-verified from scratch.
+    pub trust_cache: TrustCache,
 }
 
 impl CloudSystem {
@@ -60,6 +71,7 @@ impl CloudSystem {
             directory,
             portals: (0..portals.max(1)).map(|_| PortalStats::default()).collect(),
             network,
+            trust_cache: TrustCache::new(256),
         }
     }
 
@@ -79,31 +91,53 @@ impl CloudSystem {
     /// participants of `route`'s target activities (steps 4–6 of Fig. 7).
     ///
     /// Returns the sequence number the document was stored under.
-    pub fn store_document(
+    pub fn store_document(&self, portal: usize, xml: &str, route: &Route) -> WfResult<usize> {
+        self.store_sealed(portal, &SealedDocument::from_wire(xml)?, route)
+    }
+
+    /// Sealed-form variant of [`CloudSystem::store_document`] — the
+    /// zero-copy fast path. The received wire bytes are stored as-is (no
+    /// re-serialization), and verification is incremental whenever the
+    /// document carries a [`TrustMark`] or the portal's trust cache
+    /// remembers these exact bytes.
+    pub fn store_sealed(
         &self,
         portal: usize,
-        xml: &str,
+        sealed: &SealedDocument,
         route: &Route,
     ) -> WfResult<usize> {
         let stats = &self.portals[portal % self.portals.len()];
-        self.network.transfer(xml.len());
+        let wire = sealed.wire();
+        self.network.transfer(wire.len());
 
         // the portal verifies before storing — a malformed or tampered
-        // document never enters the pool
-        let doc = DraDocument::parse(xml)?;
-        let report = verify_document(&doc, &self.directory)?;
+        // document never enters the pool. A trust mark only ever *narrows*
+        // the work: its prefix digest must match byte-identically, and any
+        // mismatch falls back to the full signature pass.
+        let digest = dra_crypto::sha256(wire.as_bytes());
+        let mark = match sealed.trust() {
+            Some(m) => Some(m.clone()),
+            None => self.trust_cache.get(&digest),
+        };
+        let outcome = verify_incremental(sealed, &self.directory, mark.as_ref())?;
         stats.verifications.fetch_add(1, Ordering::Relaxed);
+        stats.signature_checks.fetch_add(outcome.report.signatures_verified, Ordering::Relaxed);
+        if outcome.reused_cers > 0 {
+            stats.incremental_verifications.fetch_add(1, Ordering::Relaxed);
+        }
+        self.trust_cache.put(digest, outcome.mark);
+        let report = outcome.report;
 
         let pid = report.process_id.clone();
         // storage sequence = number of versions already stored for this
         // process (parallel AND-split branches have equal CER counts, so the
         // CER count alone would collide)
         let seq = self.pool.scan_prefix(&format!("doc/{pid}/")).len();
-        self.pool.put(&Self::doc_key(&pid, seq), FAM_DOC, QUAL_XML, xml.to_string());
+        self.pool.put(&Self::doc_key(&pid, seq), FAM_DOC, QUAL_XML, wire.as_ref().clone());
 
         // meta row: status + step counter for monitoring dashboards
         // (amendments folded in, so dynamically added activities resolve)
-        let (def, _) = dra4wfms_core::amendment::effective_definition(&doc)?;
+        let (def, _) = dra4wfms_core::amendment::effective_definition(sealed)?;
         let status = if route.is_final() { "complete" } else { "running" };
         self.pool.put(&Self::meta_key(&pid), FAM_META, "status", status);
         self.pool.put(&Self::meta_key(&pid), FAM_META, "steps", report.cers.len().to_string());
@@ -133,10 +167,28 @@ impl CloudSystem {
         Some(xml)
     }
 
+    /// Retrieve the latest stored document in sealed form: the stored bytes
+    /// become the seal's serialization and, when the trust cache remembers
+    /// verifying these exact bytes, the mark rides along so the receiving
+    /// AEA verifies incrementally instead of from scratch.
+    pub fn retrieve_latest_sealed(
+        &self,
+        portal: usize,
+        process_id: &str,
+    ) -> WfResult<Option<SealedDocument>> {
+        let Some(xml) = self.retrieve_latest(portal, process_id) else {
+            return Ok(None);
+        };
+        let mut sealed = SealedDocument::from_wire(&xml)?;
+        if let Some(mark) = self.trust_cache.get(&dra_crypto::sha256(xml.as_bytes())) {
+            sealed.set_trust(mark);
+        }
+        Ok(Some(sealed))
+    }
+
     /// Retrieve a specific stored version.
     pub fn retrieve_version(&self, process_id: &str, seq: usize) -> Option<String> {
-        self.pool
-            .get_str(&Self::doc_key(process_id, seq), FAM_DOC, QUAL_XML)
+        self.pool.get_str(&Self::doc_key(process_id, seq), FAM_DOC, QUAL_XML)
     }
 
     /// The TO-DO list of a participant ("a list of links of DRA4WfMS
@@ -156,8 +208,7 @@ impl CloudSystem {
 
     /// Remove a consumed TO-DO entry (after the activity executed).
     pub fn consume_todo(&self, participant: &str, process_id: &str, activity: &str) -> bool {
-        self.pool
-            .delete_row(&Self::todo_key(participant, process_id, activity))
+        self.pool.delete_row(&Self::todo_key(participant, process_id, activity))
     }
 
     /// Monitoring: the status of one process instance, derived from its
@@ -331,6 +382,7 @@ impl CloudSystem {
             directory,
             portals: (0..portals.max(1)).map(|_| PortalStats::default()).collect(),
             network,
+            trust_cache: TrustCache::new(256),
         })
     }
 }
@@ -391,10 +443,7 @@ mod tests {
         .unwrap();
         // alice is notified
         let todos = sys.search_todo("alice");
-        assert_eq!(
-            todos,
-            vec![TodoEntry { process_id: "p-3".into(), activity: "submit".into() }]
-        );
+        assert_eq!(todos, vec![TodoEntry { process_id: "p-3".into(), activity: "submit".into() }]);
         assert!(sys.search_todo("bob").is_empty());
         // consumed after execution
         assert!(sys.consume_todo("alice", "p-3", "submit"));
@@ -406,9 +455,8 @@ mod tests {
     fn status_and_statistics() {
         let (sys, def, pol, designer, _) = setup();
         for i in 0..6 {
-            let doc =
-                DraDocument::new_initial_with_pid(&def, &pol, &designer, &format!("p-{i}"))
-                    .unwrap();
+            let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, &format!("p-{i}"))
+                .unwrap();
             // even instances "complete", odd "running"
             let route = if i % 2 == 0 {
                 Route { targets: vec![], ends: true }
@@ -474,13 +522,9 @@ mod tests {
         let snapshot = sys.snapshot_pool();
 
         // the deployment restarts from the snapshot
-        let restored = CloudSystem::restore(
-            sys.directory.clone(),
-            3,
-            Arc::new(NetworkSim::lan()),
-            &snapshot,
-        )
-        .unwrap();
+        let restored =
+            CloudSystem::restore(sys.directory.clone(), 3, Arc::new(NetworkSim::lan()), &snapshot)
+                .unwrap();
         assert_eq!(restored.retrieve_latest(0, "p-r").unwrap(), doc.to_xml_string());
         assert_eq!(restored.search_todo("alice").len(), 1, "TO-DO entries survive");
         assert_eq!(restored.statistics_by_status(2)["running"], 1);

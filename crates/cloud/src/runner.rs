@@ -18,12 +18,16 @@ pub type Responder = dyn Fn(&ReceivedActivity) -> Vec<(String, String)> + Sync;
 
 /// The result of driving one process instance to completion.
 pub struct RunOutcome {
-    /// The final document.
-    pub document: DraDocument,
+    /// The final document (sealed, with the last hop's trust mark).
+    pub document: SealedDocument,
     /// Total activity executions performed.
     pub steps: usize,
     /// The process id.
     pub process_id: String,
+    /// Individual signature checks the AEAs/TFC spent across the run —
+    /// with trust-marked hand-offs this grows O(n) in the number of steps
+    /// instead of the O(n²) of re-verifying every cascade from scratch.
+    pub signature_checks: usize,
 }
 
 /// Drive one process instance end to end.
@@ -52,31 +56,39 @@ pub fn run_instance(
     }
 
     // the initial document enters the pool; the start activity is notified
-    system.store_document(0, &initial.to_xml_string(), &Route {
-        targets: vec![def.start.clone()],
-        ends: false,
-    })?;
+    let sealed_initial = SealedDocument::new(initial.clone());
+    system.store_sealed(
+        0,
+        &sealed_initial,
+        &Route { targets: vec![def.start.clone()], ends: false },
+    )?;
 
-    // inbox: per-activity branch documents awaiting execution/merge
-    let mut inbox: HashMap<String, Vec<String>> = HashMap::new();
-    inbox.entry(def.start.clone()).or_default().push(initial.to_xml_string());
+    // inbox: per-activity branch documents awaiting execution/merge. Hops
+    // hand off the sealed form — bytes plus trust mark — so a single-branch
+    // arrival is verified incrementally instead of re-parsed from XML.
+    let mut inbox: HashMap<String, Vec<SealedDocument>> = HashMap::new();
+    inbox.entry(def.start.clone()).or_default().push(sealed_initial.clone());
     let mut queue: VecDeque<String> = VecDeque::from([def.start.clone()]);
 
     let mut steps = 0usize;
-    let mut last_doc = initial.clone();
+    let mut signature_checks = 0usize;
+    let mut last_doc = sealed_initial;
 
     while let Some(activity) = queue.pop_front() {
         let Some(arrived) = inbox.remove(&activity) else { continue };
         if steps >= max_steps {
-            return Err(WfError::Flow(format!(
-                "run exceeded {max_steps} steps (runaway loop?)"
-            )));
+            return Err(WfError::Flow(format!("run exceeded {max_steps} steps (runaway loop?)")));
         }
 
-        // merge branch documents (no-op for single-document arrivals)
-        let docs: Vec<DraDocument> =
-            arrived.iter().map(|x| DraDocument::parse(x)).collect::<WfResult<_>>()?;
-        let merged = merge_documents(&docs)?;
+        // merge branch documents (single-document arrivals keep their seal
+        // and trust mark; a true merge builds a new document that needs a
+        // full verification)
+        let merged = if arrived.len() == 1 {
+            arrived.into_iter().next().expect("one element")
+        } else {
+            let docs: Vec<DraDocument> = arrived.iter().map(|s| s.document().clone()).collect();
+            SealedDocument::new(merge_documents(&docs)?)
+        };
 
         // re-fold amendments: a designer may have amended the definition
         // mid-run, and routing must follow the rules now in force
@@ -88,11 +100,12 @@ pub fn run_instance(
 
         // AND-join: wait for the remaining branches
         if act.join == JoinKind::All && !join_ready(&merged, &def_now, &activity)? {
-            inbox.entry(activity.clone()).or_default().extend(arrived);
+            inbox.entry(activity.clone()).or_default().push(merged);
             continue;
         }
 
-        let received = aea.receive_document(merged, &activity)?;
+        let received = aea.receive_sealed(merged, &activity)?;
+        signature_checks += received.report.signatures_verified;
         let responses = respond(&received);
         steps += 1;
 
@@ -101,7 +114,8 @@ pub fn run_instance(
             (Some(_), Some(server)) => {
                 let inter = aea.complete_via_tfc(&received, &responses)?;
                 system.network.transfer(inter.document.size_bytes());
-                let processed = server.receive_document(inter.document)?;
+                let processed = server.receive_sealed(inter.document)?;
+                signature_checks += processed.report.signatures_verified;
                 let finalized = server.finalize(&processed)?;
                 (finalized.document, finalized.route)
             }
@@ -112,14 +126,11 @@ pub fn run_instance(
         };
 
         // store + notify (portal chosen round-robin by step)
-        system.store_document(steps, &document.to_xml_string(), &route)?;
+        system.store_sealed(steps, &document, &route)?;
         system.consume_todo(&act.participant, &pid, &activity);
 
         for target in &route.targets {
-            inbox
-                .entry(target.clone())
-                .or_default()
-                .push(document.to_xml_string());
+            inbox.entry(target.clone()).or_default().push(document.clone());
             if !queue.contains(target) {
                 queue.push_back(target.clone());
             }
@@ -127,7 +138,7 @@ pub fn run_instance(
         last_doc = document;
     }
 
-    Ok(RunOutcome { document: last_doc, steps, process_id: pid })
+    Ok(RunOutcome { document: last_doc, steps, process_id: pid, signature_checks })
 }
 
 #[cfg(test)]
@@ -171,10 +182,7 @@ mod tests {
     }
 
     fn agents(creds: &[Credentials], dir: &Directory) -> HashMap<String, Arc<Aea>> {
-        creds
-            .iter()
-            .map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone()))))
-            .collect()
+        creds.iter().map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone())))).collect()
     }
 
     /// Fig. 9A with the loop taken once: C rejects on its first pass
@@ -206,15 +214,9 @@ mod tests {
             "fig9a-run",
         )
         .unwrap();
-        let out = run_instance(
-            &sys,
-            &initial,
-            &agents(&creds, &dir),
-            None,
-            &fig9a_responder(),
-            100,
-        )
-        .unwrap();
+        let out =
+            run_instance(&sys, &initial, &agents(&creds, &dir), None, &fig9a_responder(), 100)
+                .unwrap();
         // Loop taken once: A,B1,B2,C (reject) + A,B1,B2,C (accept) + D = 9
         assert_eq!(out.steps, 9);
         let cers = out.document.cers().unwrap();
@@ -243,11 +245,7 @@ mod tests {
         };
         let tfc_creds = creds.iter().find(|c| c.name == "TFC").unwrap().clone();
         let t = 1_000u64;
-        let tfc = TfcServer::with_clock(
-            tfc_creds,
-            dir.clone(),
-            Arc::new(move || t),
-        );
+        let tfc = TfcServer::with_clock(tfc_creds, dir.clone(), Arc::new(move || t));
         let initial = DraDocument::new_initial_with_pid(
             &def,
             &SecurityPolicy::public().with_tfc_access("TFC", &def),
@@ -280,13 +278,9 @@ mod tests {
         let sys = CloudSystem::new(dir.clone(), 1, Arc::new(NetworkSim::lan()));
         let mut def = fig9a();
         def.tfc = Some("TFC".into());
-        let initial = DraDocument::new_initial_with_pid(
-            &def,
-            &SecurityPolicy::public(),
-            &creds[0],
-            "x",
-        )
-        .unwrap();
+        let initial =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "x")
+                .unwrap();
         assert!(matches!(
             run_instance(&sys, &initial, &agents(&creds, &dir), None, &fig9a_responder(), 10),
             Err(WfError::Policy(_))

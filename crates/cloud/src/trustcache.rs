@@ -1,0 +1,158 @@
+//! An LRU cache of [`TrustMark`]s keyed by document wire digest.
+//!
+//! Portals are stateless in the paper's sense — all durable state lives in
+//! the document pool — but nothing stops a portal from remembering *which
+//! documents it already verified*. The cache maps the SHA-256 of a
+//! document's wire bytes to the trust mark its verification produced. When
+//! the same bytes come back (a re-store, a retrieve-then-store round trip,
+//! a monitoring read), the mark turns the full O(n) signature pass into an
+//! O(1) digest comparison; when a successor version comes back, the mark
+//! handed to [`dra4wfms_core::verify::verify_incremental`] limits the work
+//! to the newly appended CERs.
+//!
+//! Losing the cache (restart, eviction) costs performance, never safety:
+//! a miss simply falls back to full verification.
+
+use dra4wfms_core::sealed::TrustMark;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// SHA-256 of a document's wire bytes — the cache key.
+pub type WireDigest = [u8; 32];
+
+/// A bounded least-recently-used map `wire digest → trust mark`.
+pub struct TrustCache {
+    capacity: usize,
+    inner: Mutex<Lru>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+struct Lru {
+    map: HashMap<WireDigest, TrustMark>,
+    /// Recency order, least-recent first. Entries are unique.
+    order: VecDeque<WireDigest>,
+}
+
+impl TrustCache {
+    /// Create a cache holding at most `capacity` marks (minimum 1).
+    pub fn new(capacity: usize) -> TrustCache {
+        TrustCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Lru { map: HashMap::new(), order: VecDeque::new() }),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Look up the mark for a wire digest, refreshing its recency.
+    pub fn get(&self, digest: &WireDigest) -> Option<TrustMark> {
+        let mut lru = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let hit = lru.map.get(digest).cloned();
+        match hit {
+            Some(mark) => {
+                lru.touch(digest);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(mark)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a mark, evicting the least-recently-used entry
+    /// when full.
+    pub fn put(&self, digest: WireDigest, mark: TrustMark) {
+        let mut lru = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if lru.map.insert(digest, mark).is_some() {
+            lru.touch(&digest);
+            return;
+        }
+        lru.order.push_back(digest);
+        if lru.map.len() > self.capacity {
+            if let Some(evicted) = lru.order.pop_front() {
+                lru.map.remove(&evicted);
+            }
+        }
+    }
+
+    /// Cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found a mark.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl Lru {
+    fn touch(&mut self, digest: &WireDigest) {
+        if let Some(pos) = self.order.iter().position(|d| d == digest) {
+            self.order.remove(pos);
+            self.order.push_back(*digest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mark(n: usize) -> TrustMark {
+        TrustMark {
+            process_id: format!("p{n}"),
+            verified_cers: n,
+            prefix_digest: [n as u8; 32],
+            signatures_verified: n,
+        }
+    }
+
+    #[test]
+    fn get_put_roundtrip() {
+        let cache = TrustCache::new(4);
+        assert!(cache.get(&[1; 32]).is_none());
+        cache.put([1; 32], mark(1));
+        assert_eq!(cache.get(&[1; 32]).unwrap().verified_cers, 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let cache = TrustCache::new(2);
+        cache.put([1; 32], mark(1));
+        cache.put([2; 32], mark(2));
+        // touch 1 so 2 becomes the eviction candidate
+        assert!(cache.get(&[1; 32]).is_some());
+        cache.put([3; 32], mark(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&[2; 32]).is_none(), "LRU entry evicted");
+        assert!(cache.get(&[1; 32]).is_some());
+        assert!(cache.get(&[3; 32]).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growth() {
+        let cache = TrustCache::new(2);
+        cache.put([1; 32], mark(1));
+        cache.put([1; 32], mark(9));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&[1; 32]).unwrap().verified_cers, 9);
+    }
+}

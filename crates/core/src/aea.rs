@@ -23,7 +23,8 @@ use crate::flow::{evaluate_route, join_ready, merge_documents, DocFieldReader, R
 use crate::identity::{Credentials, Directory};
 use crate::model::{FieldRef, JoinKind, WorkflowDefinition};
 use crate::policy::SecurityPolicy;
-use crate::verify::{verify_document_with_def, VerificationReport};
+use crate::sealed::{SealedDocument, TrustMark};
+use crate::verify::{verify_incremental, VerificationReport};
 use dra_xml::canon::canonicalize;
 use dra_xml::sig::sign_detached;
 use dra_xml::Element;
@@ -58,13 +59,20 @@ pub struct ReceivedActivity {
     pub hidden: Vec<FieldRef>,
     /// The verification report (signature counts etc.).
     pub report: VerificationReport,
+    /// Trust mark pinning the document as verified by this receive; it
+    /// travels with the completed document so the next hop re-checks only
+    /// the CER this activity appends.
+    pub trust: TrustMark,
+    /// CERs whose signatures were skipped thanks to an incoming trust mark.
+    pub reused_cers: usize,
 }
 
 /// The outcome of [`Aea::complete`] in the basic model.
 #[derive(Debug)]
 pub struct CompletedActivity {
-    /// The new document `X''_Ai(k)`.
-    pub document: DraDocument,
+    /// The new document `X''_Ai(k)`, sealed with a trust mark covering
+    /// everything but the CER just appended.
+    pub document: SealedDocument,
     /// Where to forward it.
     pub route: Route,
     /// The CER just appended.
@@ -75,8 +83,9 @@ pub struct CompletedActivity {
 /// fresh result is sealed to the TFC server.
 #[derive(Debug)]
 pub struct IntermediateActivity {
-    /// The intermediate document `X^~_Ai(k)`.
-    pub document: DraDocument,
+    /// The intermediate document `X^~_Ai(k)`, sealed with a trust mark
+    /// covering everything but the CER just appended.
+    pub document: SealedDocument,
     /// The CER just appended (intermediate form).
     pub key: CerKey,
 }
@@ -92,8 +101,7 @@ impl Aea {
     /// This is the paper's α phase: parse, verify every embedded signature,
     /// check the executor, decrypt the request fields.
     pub fn receive(&self, xml: &str, activity: &str) -> WfResult<ReceivedActivity> {
-        let doc = DraDocument::parse(xml)?;
-        self.receive_document(doc, activity)
+        self.receive_sealed(SealedDocument::from_wire(xml)?, activity)
     }
 
     /// AND-join variant: receive one document per incoming branch, merge
@@ -105,21 +113,32 @@ impl Aea {
         self.receive_document(merged, activity)
     }
 
-    /// Core of [`Aea::receive`] operating on an already-parsed document.
-    pub fn receive_document(
+    /// Core of [`Aea::receive`] operating on an already-parsed document
+    /// (full verification — no trust mark available).
+    pub fn receive_document(&self, doc: DraDocument, activity: &str) -> WfResult<ReceivedActivity> {
+        self.receive_sealed(SealedDocument::new(doc), activity)
+    }
+
+    /// Zero-copy hand-off: receive a [`SealedDocument`] from the previous
+    /// hop. When it carries a [`TrustMark`], verification is incremental —
+    /// only the CERs appended since the mark was issued are re-checked
+    /// (after proving the marked prefix byte-identical via its digest).
+    pub fn receive_sealed(
         &self,
-        doc: DraDocument,
+        sealed: SealedDocument,
         activity: &str,
     ) -> WfResult<ReceivedActivity> {
-        let base_def = doc.workflow_definition()?;
-        base_def.validate()?;
-        let report = verify_document_with_def(&doc, &self.directory, &base_def)?;
+        let outcome = verify_incremental(&sealed, &self.directory, sealed.trust())?;
+        let report = outcome.report;
         if report.ends_with_intermediate {
             return Err(WfError::Malformed(
                 "document ends with a TFC-bound intermediate CER; it must be processed by the TFC first"
                     .into(),
             ));
         }
+        let trust = outcome.mark;
+        let reused_cers = outcome.reused_cers;
+        let doc = sealed.into_document();
         // dynamic flow control: fold any (already verified) amendments into
         // the effective definition and policy
         let (def, policy) = crate::amendment::effective_definition(&doc)?;
@@ -169,6 +188,8 @@ impl Aea {
             visible,
             hidden,
             report,
+            trust,
+            reused_cers,
         })
     }
 
@@ -232,6 +253,9 @@ impl Aea {
         document.push_cer(cer)?;
 
         let route = evaluate_route(&received.def, &received.activity, &reader)?;
+        // The prefix pinned at receive time is untouched by push_cer, so the
+        // mark stays valid: the next hop re-verifies exactly this new CER.
+        let document = SealedDocument::with_trust(document, received.trust.clone());
         Ok(CompletedActivity { document, route, key })
     }
 
@@ -247,18 +271,19 @@ impl Aea {
         responses: &[(String, String)],
     ) -> WfResult<IntermediateActivity> {
         Self::check_responses(received, responses)?;
-        let tfc_name = received.def.tfc.as_deref().ok_or_else(|| {
-            WfError::Policy("workflow definition names no TFC server".into())
-        })?;
+        let tfc_name = received
+            .def
+            .tfc
+            .as_deref()
+            .ok_or_else(|| WfError::Policy("workflow definition names no TFC server".into()))?;
         let tfc_id = self.directory.get(tfc_name)?;
 
         // {{R_Ai}}Pub(TFC): the plaintext result, sealed so only the TFC
         // can decrypt it.
         let plain = build_plain_result_element(responses);
         let sealed = dra_crypto::sealed::seal(&tfc_id.enc, &canonicalize(&plain));
-        let sealed_el = Element::new("TfcSealed")
-            .attr("tfc", tfc_name)
-            .text(dra_crypto::b64::encode(&sealed));
+        let sealed_el =
+            Element::new("TfcSealed").attr("tfc", tfc_name).text(dra_crypto::b64::encode(&sealed));
 
         let mut document = received.doc.clone();
         let key = CerKey::new(received.activity.clone(), received.iter);
@@ -273,6 +298,7 @@ impl Aea {
             .child(sig);
         document.push_cer(cer)?;
 
+        let document = SealedDocument::with_trust(document, received.trust.clone());
         Ok(IntermediateActivity { document, key })
     }
 }
@@ -281,8 +307,7 @@ impl Aea {
 mod tests {
     use super::*;
 
-    fn setup() -> (WorkflowDefinition, SecurityPolicy, Credentials, Vec<Credentials>, Directory)
-    {
+    fn setup() -> (WorkflowDefinition, SecurityPolicy, Credentials, Vec<Credentials>, Directory) {
         let designer = Credentials::from_seed("designer", "d");
         let peter = Credentials::from_seed("peter", "p");
         let amy = Credentials::from_seed("amy", "a");
@@ -305,9 +330,7 @@ mod tests {
     }
 
     fn initial(def: &WorkflowDefinition, pol: &SecurityPolicy, designer: &Credentials) -> String {
-        DraDocument::new_initial_with_pid(def, pol, designer, "pid-test")
-            .unwrap()
-            .to_xml_string()
+        DraDocument::new_initial_with_pid(def, pol, designer, "pid-test").unwrap().to_xml_string()
     }
 
     #[test]
@@ -321,10 +344,7 @@ mod tests {
         assert_eq!(recv.iter, 0);
         assert_eq!(recv.preds, vec![PredRef::Def]);
         let done = aea_peter
-            .complete(
-                &recv,
-                &[("amount".into(), "9000".into()), ("note".into(), "urgent".into())],
-            )
+            .complete(&recv, &[("amount".into(), "9000".into()), ("note".into(), "urgent".into())])
             .unwrap();
         assert_eq!(done.route.targets, vec!["B"]);
         assert_eq!(done.key, CerKey::new("A", 0));
@@ -333,10 +353,7 @@ mod tests {
         let recv = aea_amy.receive(&done.document.to_xml_string(), "B").unwrap();
         assert_eq!(recv.report.signatures_verified, 2, "designer + peter");
         assert_eq!(recv.visible.len(), 2);
-        assert!(recv
-            .visible
-            .iter()
-            .any(|(f, v)| f.field == "amount" && v == "9000"));
+        assert!(recv.visible.iter().any(|(f, v)| f.field == "amount" && v == "9000"));
         assert!(recv.hidden.is_empty());
         let done = aea_amy.complete(&recv, &[("decision".into(), "approve".into())]).unwrap();
         assert!(done.route.ends);
@@ -373,9 +390,7 @@ mod tests {
         let (def, pol, designer, people, dir) = setup();
         let aea_peter = Aea::new(people[0].clone(), dir);
         let recv = aea_peter.receive(&initial(&def, &pol, &designer), "A").unwrap();
-        let err = aea_peter
-            .complete(&recv, &[("bogus".into(), "1".into())])
-            .unwrap_err();
+        let err = aea_peter.complete(&recv, &[("bogus".into(), "1".into())]).unwrap_err();
         assert!(matches!(err, WfError::Flow(_)));
     }
 
@@ -384,9 +399,7 @@ mod tests {
         let (def, pol, designer, people, dir) = setup();
         let aea_peter = Aea::new(people[0].clone(), dir);
         let recv = aea_peter.receive(&initial(&def, &pol, &designer), "A").unwrap();
-        let err = aea_peter
-            .complete(&recv, &[("amount".into(), "1".into())])
-            .unwrap_err();
+        let err = aea_peter.complete(&recv, &[("amount".into(), "1".into())]).unwrap_err();
         assert!(matches!(err, WfError::Flow(m) if m.contains("note")));
     }
 
@@ -402,16 +415,9 @@ mod tests {
             .unwrap();
 
         // fresh instance of the same workflow, different process id
-        let mut other = DraDocument::new_initial_with_pid(&def, &pol, &designer, "pid-other")
-            .unwrap();
-        let stolen = done
-            .document
-            .cers()
-            .unwrap()
-            .first()
-            .unwrap()
-            .element
-            .clone();
+        let mut other =
+            DraDocument::new_initial_with_pid(&def, &pol, &designer, "pid-other").unwrap();
+        let stolen = done.document.cers().unwrap().first().unwrap().element.clone();
         other.push_cer(stolen).unwrap();
         let aea_amy = Aea::new(people[1].clone(), dir);
         let err = aea_amy.receive(&other.to_xml_string(), "B").unwrap_err();

@@ -60,10 +60,7 @@ impl DefinitionDelta {
         let mut def = def.clone();
         def.activities.extend(self.add_activities.iter().cloned());
         def.transitions.retain(|t| {
-            !self
-                .retire_transitions
-                .iter()
-                .any(|(from, to)| t.from == *from && t.to == *to)
+            !self.retire_transitions.iter().any(|(from, to)| t.from == *from && t.to == *to)
         });
         def.transitions.extend(self.add_transitions.iter().cloned());
         def.validate()?;
@@ -154,7 +151,11 @@ impl DefinitionDelta {
             delta.add_activities.push(act);
         }
         let parse_target = |s: &str| {
-            if s == "#end" { Target::End } else { Target::Activity(s.to_string()) }
+            if s == "#end" {
+                Target::End
+            } else {
+                Target::Activity(s.to_string())
+            }
         };
         for t in el.find_children("AddTransition") {
             delta.add_transitions.push(Transition {
@@ -194,9 +195,7 @@ pub fn is_amendment_key(key: &CerKey) -> bool {
 /// Fold all amendment CERs of `doc` into its base definition and policy,
 /// returning the effective pair. Amendment payloads are **not** verified
 /// here — run [`crate::verify::verify_document`] first.
-pub fn effective_definition(
-    doc: &DraDocument,
-) -> WfResult<(WorkflowDefinition, SecurityPolicy)> {
+pub fn effective_definition(doc: &DraDocument) -> WfResult<(WorkflowDefinition, SecurityPolicy)> {
     let mut def = doc.workflow_definition()?;
     let mut policy = doc.security_policy()?;
     for cer in doc.cers()? {
@@ -295,7 +294,11 @@ mod tests {
                 responses: vec!["stamp".into()],
             }],
             add_transitions: vec![
-                Transition { from: "s2".into(), to: Target::Activity("audit".into()), condition: None },
+                Transition {
+                    from: "s2".into(),
+                    to: Target::Activity("audit".into()),
+                    condition: None,
+                },
                 Transition { from: "audit".into(), to: Target::End, condition: None },
             ],
             retire_transitions: vec![("s2".into(), Target::End)],
@@ -323,13 +326,9 @@ mod tests {
     #[test]
     fn amendment_reroutes_a_running_process() {
         let (def, designer, people, dir) = setup();
-        let doc = DraDocument::new_initial_with_pid(
-            &def,
-            &SecurityPolicy::public(),
-            &designer,
-            "amd-1",
-        )
-        .unwrap();
+        let doc =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "amd-1")
+                .unwrap();
 
         // alice executes s1
         let aea_alice = Aea::new(people[0].clone(), dir.clone());
@@ -370,13 +369,9 @@ mod tests {
     #[test]
     fn non_designer_cannot_amend() {
         let (def, designer, people, _) = setup();
-        let doc = DraDocument::new_initial_with_pid(
-            &def,
-            &SecurityPolicy::public(),
-            &designer,
-            "amd-2",
-        )
-        .unwrap();
+        let doc =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "amd-2")
+                .unwrap();
         let mallory = &people[0]; // alice is a participant, not the designer
         assert!(matches!(
             amend_document(&doc, mallory, &audit_delta()),
@@ -387,17 +382,14 @@ mod tests {
     #[test]
     fn forged_amendment_detected() {
         let (def, designer, _, dir) = setup();
-        let doc = DraDocument::new_initial_with_pid(
-            &def,
-            &SecurityPolicy::public(),
-            &designer,
-            "amd-3",
-        )
-        .unwrap();
+        let doc =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "amd-3")
+                .unwrap();
         let amended = amend_document(&doc, &designer, &audit_delta()).unwrap();
         // attacker edits the delta in the stored document (redirect to
         // themselves)
-        let forged = amended.to_xml_string().replace("participant=\"carol\"", "participant=\"alice\"");
+        let forged =
+            amended.to_xml_string().replace("participant=\"carol\"", "participant=\"alice\"");
         assert_ne!(forged, amended.to_xml_string());
         let parsed = DraDocument::parse(&forged).unwrap();
         assert!(verify_document(&parsed, &dir).is_err(), "amendment tamper detected");
@@ -406,20 +398,16 @@ mod tests {
     #[test]
     fn amendment_removal_detected_when_signed_over() {
         let (def, designer, people, dir) = setup();
-        let doc = DraDocument::new_initial_with_pid(
-            &def,
-            &SecurityPolicy::public(),
-            &designer,
-            "amd-4",
-        )
-        .unwrap();
+        let doc =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "amd-4")
+                .unwrap();
         let amended = amend_document(&doc, &designer, &audit_delta()).unwrap();
         // alice executes s1 AFTER the amendment: her cascade covers it
         let aea_alice = Aea::new(people[0].clone(), dir.clone());
         let recv = aea_alice.receive(&amended.to_xml_string(), "s1").unwrap();
         let done = aea_alice.complete(&recv, &[("x".into(), "1".into())]).unwrap();
         // attacker strips the amendment CER
-        let mut stripped = done.document.clone();
+        let mut stripped = done.document.clone().into_document();
         let results = stripped.root.find_child_mut("ActivityResults").unwrap();
         let before = results.children.len();
         results.children.retain(|n| match n {
@@ -433,13 +421,9 @@ mod tests {
     #[test]
     fn invalid_delta_rejected() {
         let (def, designer, _, _) = setup();
-        let doc = DraDocument::new_initial_with_pid(
-            &def,
-            &SecurityPolicy::public(),
-            &designer,
-            "amd-5",
-        )
-        .unwrap();
+        let doc =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "amd-5")
+                .unwrap();
         // transition to a ghost activity
         let bad = DefinitionDelta {
             add_transitions: vec![Transition {
@@ -455,13 +439,9 @@ mod tests {
     #[test]
     fn multiple_amendments_stack() {
         let (def, designer, _, dir) = setup();
-        let doc = DraDocument::new_initial_with_pid(
-            &def,
-            &SecurityPolicy::public(),
-            &designer,
-            "amd-6",
-        )
-        .unwrap();
+        let doc =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "amd-6")
+                .unwrap();
         let once = amend_document(&doc, &designer, &audit_delta()).unwrap();
         // second amendment: add a final archive step after audit
         let second = DefinitionDelta {
@@ -473,7 +453,11 @@ mod tests {
                 responses: vec!["ref".into()],
             }],
             add_transitions: vec![
-                Transition { from: "audit".into(), to: Target::Activity("archive".into()), condition: None },
+                Transition {
+                    from: "audit".into(),
+                    to: Target::Activity("archive".into()),
+                    condition: None,
+                },
                 Transition { from: "archive".into(), to: Target::End, condition: None },
             ],
             retire_transitions: vec![("audit".into(), Target::End)],

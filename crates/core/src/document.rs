@@ -232,10 +232,7 @@ impl DraDocument {
         let pol_el = policy.to_xml();
         let signed = canonicalize_all([&header, &def_el, &pol_el]);
         let sig = sign_detached(&designer.sign, &signed, "Def");
-        let app = Element::new("ApplicationDefinition")
-            .child(def_el)
-            .child(pol_el)
-            .child(sig);
+        let app = Element::new("ApplicationDefinition").child(def_el).child(pol_el).child(sig);
         let root = Element::new("DRA4WfMS")
             .child(header)
             .child(app)
@@ -267,9 +264,7 @@ impl DraDocument {
 
     /// The `<Header>` element.
     pub fn header(&self) -> WfResult<&Element> {
-        self.root
-            .find_child("Header")
-            .ok_or_else(|| WfError::Malformed("missing Header".into()))
+        self.root.find_child("Header").ok_or_else(|| WfError::Malformed("missing Header".into()))
     }
 
     /// The unique process id (replay-attack defense, §2).
@@ -335,10 +330,7 @@ impl DraDocument {
 
     /// All CERs in document order — `Set_of_CER(d)` in the paper.
     pub fn cers(&self) -> WfResult<Vec<CerView<'_>>> {
-        self.results()?
-            .find_children("CER")
-            .map(CerView::from_element)
-            .collect()
+        self.results()?.find_children("CER").map(CerView::from_element).collect()
     }
 
     /// Find one CER by key.
@@ -348,12 +340,7 @@ impl DraDocument {
 
     /// Latest executed iteration of `activity`, if any.
     pub fn latest_iter(&self, activity: &str) -> WfResult<Option<u32>> {
-        Ok(self
-            .cers()?
-            .iter()
-            .filter(|c| c.key.activity == activity)
-            .map(|c| c.key.iter)
-            .max())
+        Ok(self.cers()?.iter().filter(|c| c.key.activity == activity).map(|c| c.key.iter).max())
     }
 
     /// Append a finished CER element.
@@ -367,6 +354,28 @@ impl DraDocument {
             .ok_or_else(|| WfError::Malformed("missing ActivityResults".into()))?;
         results.push_child(cer);
         Ok(())
+    }
+
+    /// Mutable access to the CER element with the given key (latest match
+    /// wins, as loop iterations append). Drops the canon memos along the
+    /// path so later canonicalization sees the mutation.
+    pub fn find_cer_element_mut(&mut self, key: &CerKey) -> WfResult<Option<&mut Element>> {
+        let results = self
+            .root
+            .find_child_mut("ActivityResults")
+            .ok_or_else(|| WfError::Malformed("missing ActivityResults".into()))?;
+        let iter_s = key.iter.to_string();
+        Ok(results.children.iter_mut().rev().find_map(|n| match n {
+            dra_xml::Node::Element(e)
+                if e.name == "CER"
+                    && e.get_attr("activity") == Some(key.activity.as_str())
+                    && e.get_attr("iter") == Some(iter_s.as_str()) =>
+            {
+                e.invalidate_canon();
+                Some(e)
+            }
+            _ => None,
+        }))
     }
 
     /// Resolve the `<Signature>` elements a cascade signature must cover for
@@ -420,10 +429,7 @@ impl DraDocument {
             }
         }
         if let Some(iter) = self.latest_iter(crate::amendment::AMEND_PREFIX)? {
-            preds.push(PredRef::Cer(CerKey::new(
-                crate::amendment::AMEND_PREFIX.to_string(),
-                iter,
-            )));
+            preds.push(PredRef::Cer(CerKey::new(crate::amendment::AMEND_PREFIX.to_string(), iter)));
         }
         if preds.is_empty() {
             preds.push(PredRef::Def);
@@ -469,8 +475,7 @@ mod tests {
         let (def, policy, designer) = fixture();
         let doc = DraDocument::new_initial_with_pid(&def, &policy, &designer, "pid-1").unwrap();
         let bytes = doc.definition_bytes().unwrap();
-        let signer =
-            verify_detached(doc.designer_signature().unwrap(), &bytes, None).unwrap();
+        let signer = verify_detached(doc.designer_signature().unwrap(), &bytes, None).unwrap();
         assert_eq!(signer, designer.sign.public);
     }
 
@@ -536,8 +541,7 @@ mod tests {
     #[test]
     fn compute_preds_initial_and_loop() {
         let (def, policy, designer) = fixture();
-        let mut doc =
-            DraDocument::new_initial_with_pid(&def, &policy, &designer, "pid-3").unwrap();
+        let mut doc = DraDocument::new_initial_with_pid(&def, &policy, &designer, "pid-3").unwrap();
         // Before any execution: first activity's preds = [Def].
         assert_eq!(doc.compute_preds(&def, "A").unwrap(), vec![PredRef::Def]);
         // Simulate A#0 executed (structure only, no signature needed here).
@@ -549,10 +553,7 @@ mod tests {
                 .attr("preds", "Def"),
         )
         .unwrap();
-        assert_eq!(
-            doc.compute_preds(&def, "B").unwrap(),
-            vec![PredRef::Cer(CerKey::new("A", 0))]
-        );
+        assert_eq!(doc.compute_preds(&def, "B").unwrap(), vec![PredRef::Cer(CerKey::new("A", 0))]);
         // Simulate B#0 executed; loop back to A: pred is B#0.
         doc.push_cer(
             Element::new("CER")
@@ -562,10 +563,7 @@ mod tests {
                 .attr("preds", "A#0"),
         )
         .unwrap();
-        assert_eq!(
-            doc.compute_preds(&def, "A").unwrap(),
-            vec![PredRef::Cer(CerKey::new("B", 0))]
-        );
+        assert_eq!(doc.compute_preds(&def, "A").unwrap(), vec![PredRef::Cer(CerKey::new("B", 0))]);
         assert_eq!(doc.latest_iter("A").unwrap(), Some(0));
         assert_eq!(doc.latest_iter("ZZ").unwrap(), None);
     }
@@ -573,8 +571,7 @@ mod tests {
     #[test]
     fn push_cer_rejects_non_cer() {
         let (def, policy, designer) = fixture();
-        let mut doc =
-            DraDocument::new_initial_with_pid(&def, &policy, &designer, "pid-4").unwrap();
+        let mut doc = DraDocument::new_initial_with_pid(&def, &policy, &designer, "pid-4").unwrap();
         assert!(doc.push_cer(Element::new("NotCer")).is_err());
     }
 }

@@ -56,7 +56,8 @@ pub fn parse_workflow(src: &str) -> WfResult<WorkflowDefinition> {
             let mut rest = rest.trim();
             while !rest.is_empty() {
                 if let Some(r) = rest.strip_prefix("designer ") {
-                    let (d, r2) = take_quoted(r).ok_or_else(|| err("expected designer \"name\""))?;
+                    let (d, r2) =
+                        take_quoted(r).ok_or_else(|| err("expected designer \"name\""))?;
                     designer = Some(d);
                     rest = r2.trim();
                 } else if let Some(r) = rest.strip_prefix("tfc ") {
@@ -90,8 +91,7 @@ pub fn parse_workflow(src: &str) -> WfResult<WorkflowDefinition> {
                 if bline == "}" {
                     break;
                 }
-                let berr =
-                    |msg: &str| WfError::Parse(format!("line {}: {msg}", bl + 1));
+                let berr = |msg: &str| WfError::Parse(format!("line {}: {msg}", bl + 1));
                 if let Some(fields) = bline.strip_prefix("respond ") {
                     for f in fields.split(',') {
                         let f = f.trim();
@@ -190,11 +190,8 @@ fn parse_flow(rest: &str) -> Result<Transition, String> {
     let (from, to) = edge.split_once("->").ok_or("expected 'from -> to'")?;
     let from = from.trim().to_string();
     let to = to.trim();
-    let to = if to.eq_ignore_ascii_case("end") {
-        Target::End
-    } else {
-        Target::Activity(to.to_string())
-    };
+    let to =
+        if to.eq_ignore_ascii_case("end") { Target::End } else { Target::Activity(to.to_string()) };
     let condition = match cond {
         None => None,
         Some(c) => {
@@ -205,10 +202,8 @@ fn parse_flow(rest: &str) -> Result<Transition, String> {
             } else {
                 return Err("condition must use == or !=".into());
             };
-            let (activity, field) = lhs
-                .trim()
-                .split_once('.')
-                .ok_or("condition left side must be activity.field")?;
+            let (activity, field) =
+                lhs.trim().split_once('.').ok_or("condition left side must be activity.field")?;
             let (value, _) = take_quoted(value).ok_or("condition value must be quoted")?;
             Some(Condition {
                 activity: activity.trim().to_string(),
@@ -367,7 +362,8 @@ flow A -> end
 
     #[test]
     fn errors_carry_line_numbers() {
-        let src = "workflow \"w\" designer \"d\"\nactivity A by p {}\nbogus statement\nflow A -> end\n";
+        let src =
+            "workflow \"w\" designer \"d\"\nactivity A by p {}\nbogus statement\nflow A -> end\n";
         let err = parse_workflow(src).unwrap_err();
         assert!(matches!(&err, WfError::Parse(m) if m.contains("line 3")), "{err}");
     }
@@ -387,19 +383,23 @@ flow A -> end
     #[test]
     fn unterminated_block_rejected() {
         let src = "workflow \"w\" designer \"d\"\nactivity A by p {\n    respond x\n";
-        assert!(matches!(parse_workflow(src), Err(WfError::Parse(m)) if m.contains("unterminated")));
+        assert!(
+            matches!(parse_workflow(src), Err(WfError::Parse(m)) if m.contains("unterminated"))
+        );
     }
 
     #[test]
     fn invalid_condition_rejected() {
-        let src = "workflow \"w\" designer \"d\"\nactivity A by p {}\nflow A -> end when A.x ~ \"1\"\n";
+        let src =
+            "workflow \"w\" designer \"d\"\nactivity A by p {}\nflow A -> end when A.x ~ \"1\"\n";
         assert!(parse_workflow(src).is_err());
     }
 
     #[test]
     fn semantic_validation_still_applies() {
         // DSL parses but the graph is invalid (unknown flow target)
-        let src = "workflow \"w\" designer \"d\"\nactivity A by p {}\nflow A -> GHOST\nflow A -> end\n";
+        let src =
+            "workflow \"w\" designer \"d\"\nactivity A by p {}\nflow A -> GHOST\nflow A -> end\n";
         assert!(matches!(parse_workflow(src), Err(WfError::UnknownActivity(a)) if a == "GHOST"));
     }
 
@@ -427,13 +427,9 @@ flow approve -> end
         let alice = Credentials::from_seed("alice", "dsl-a");
         let bob = Credentials::from_seed("bob", "dsl-b");
         let dir = Directory::from_credentials([&designer, &alice, &bob]);
-        let doc = DraDocument::new_initial_with_pid(
-            &def,
-            &SecurityPolicy::public(),
-            &designer,
-            "dsl",
-        )
-        .unwrap();
+        let doc =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "dsl")
+                .unwrap();
         let aea = Aea::new(alice, dir.clone());
         let recv = aea.receive(&doc.to_xml_string(), "submit").unwrap();
         let done = aea.complete(&recv, &[("amount".into(), "5".into())]).unwrap();

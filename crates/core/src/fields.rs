@@ -48,10 +48,7 @@ pub enum ResolvedReaders {
 }
 
 /// Resolve an audience rule, evaluating conditional rules via `reader`.
-pub fn resolve_readers(
-    readers: &Readers,
-    reader: &dyn FieldReader,
-) -> WfResult<ResolvedReaders> {
+pub fn resolve_readers(readers: &Readers, reader: &dyn FieldReader) -> WfResult<ResolvedReaders> {
     match readers {
         Readers::Everyone => Ok(ResolvedReaders::Everyone),
         Readers::Only(names) => Ok(ResolvedReaders::Names(names.clone())),

@@ -68,11 +68,7 @@ pub fn evaluate_route(
 /// True when an AND-join activity has every incoming branch delivered: each
 /// control-flow predecessor has executed at least up to the join's next
 /// iteration. Activities with [`JoinKind::Any`] are always ready.
-pub fn join_ready(
-    doc: &DraDocument,
-    def: &WorkflowDefinition,
-    activity: &str,
-) -> WfResult<bool> {
+pub fn join_ready(doc: &DraDocument, def: &WorkflowDefinition, activity: &str) -> WfResult<bool> {
     let act = def.activity(activity)?;
     if act.join == JoinKind::Any {
         return Ok(true);
@@ -96,9 +92,8 @@ pub fn join_ready(
 /// All documents must share the same process id and byte-identical
 /// application definition; CERs are united by `(activity, iter)` key.
 pub fn merge_documents(docs: &[DraDocument]) -> WfResult<DraDocument> {
-    let first = docs
-        .first()
-        .ok_or_else(|| WfError::MergeMismatch("no documents to merge".into()))?;
+    let first =
+        docs.first().ok_or_else(|| WfError::MergeMismatch("no documents to merge".into()))?;
     let pid = first.process_id()?;
     let def_bytes = first.definition_bytes()?;
     let mut merged = first.clone();
@@ -111,9 +106,7 @@ pub fn merge_documents(docs: &[DraDocument]) -> WfResult<DraDocument> {
             )));
         }
         if doc.definition_bytes()? != def_bytes {
-            return Err(WfError::MergeMismatch(
-                "application definitions differ".into(),
-            ));
+            return Err(WfError::MergeMismatch("application definitions differ".into()));
         }
         let new_cers: Vec<_> = {
             let existing: std::collections::BTreeSet<_> =
@@ -151,7 +144,12 @@ impl<'a> DocFieldReader<'a> {
 
     /// Reader with an actor's credentials.
     pub fn for_actor(doc: &'a DraDocument, creds: &'a Credentials) -> DocFieldReader<'a> {
-        DocFieldReader { doc, name: creds.name.clone(), creds: Some(creds), overlay: HashMap::new() }
+        DocFieldReader {
+            doc,
+            name: creds.name.clone(),
+            creds: Some(creds),
+            overlay: HashMap::new(),
+        }
     }
 
     /// Overlay fresh responses of `activity` (they take precedence over any
@@ -294,13 +292,9 @@ mod tests {
 
     fn structural_doc(def: &WorkflowDefinition, cers: &[(&str, u32)]) -> DraDocument {
         let designer = Credentials::from_seed("designer", "d");
-        let mut doc = DraDocument::new_initial_with_pid(
-            def,
-            &SecurityPolicy::public(),
-            &designer,
-            "pid",
-        )
-        .unwrap();
+        let mut doc =
+            DraDocument::new_initial_with_pid(def, &SecurityPolicy::public(), &designer, "pid")
+                .unwrap();
         for (a, i) in cers {
             let participant = def.activity(a).unwrap().participant.clone();
             doc.push_cer(
@@ -324,10 +318,8 @@ mod tests {
         let doc = structural_doc(&def, &[("A", 0), ("B1", 0), ("B2", 0)]);
         assert!(join_ready(&doc, &def, "C").unwrap());
         // second iteration requires both branches again
-        let doc = structural_doc(
-            &def,
-            &[("A", 0), ("B1", 0), ("B2", 0), ("C", 0), ("A", 1), ("B1", 1)],
-        );
+        let doc =
+            structural_doc(&def, &[("A", 0), ("B1", 0), ("B2", 0), ("C", 0), ("A", 1), ("B1", 1)]);
         assert!(!join_ready(&doc, &def, "C").unwrap());
         // Any-join activities are always ready
         assert!(join_ready(&doc, &def, "D").unwrap());
@@ -357,8 +349,7 @@ mod tests {
             )
             .unwrap();
         let merged = merge_documents(&[left, right]).unwrap();
-        let keys: Vec<String> =
-            merged.cers().unwrap().iter().map(|c| c.key.to_string()).collect();
+        let keys: Vec<String> = merged.cers().unwrap().iter().map(|c| c.key.to_string()).collect();
         assert_eq!(keys, vec!["A#0", "B1#0", "B2#0"]);
     }
 
@@ -374,24 +365,13 @@ mod tests {
     fn merge_rejects_different_processes() {
         let def = fig9a_def();
         let designer = Credentials::from_seed("designer", "d");
-        let d1 = DraDocument::new_initial_with_pid(
-            &def,
-            &SecurityPolicy::public(),
-            &designer,
-            "pid-1",
-        )
-        .unwrap();
-        let d2 = DraDocument::new_initial_with_pid(
-            &def,
-            &SecurityPolicy::public(),
-            &designer,
-            "pid-2",
-        )
-        .unwrap();
-        assert!(matches!(
-            merge_documents(&[d1, d2]),
-            Err(WfError::MergeMismatch(_))
-        ));
+        let d1 =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "pid-1")
+                .unwrap();
+        let d2 =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "pid-2")
+                .unwrap();
+        assert!(matches!(merge_documents(&[d1, d2]), Err(WfError::MergeMismatch(_))));
     }
 
     #[test]

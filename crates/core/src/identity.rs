@@ -46,11 +46,7 @@ impl std::fmt::Debug for Credentials {
 impl Credentials {
     /// Generate fresh random credentials for `name`.
     pub fn generate(name: impl Into<String>) -> Credentials {
-        Credentials {
-            name: name.into(),
-            sign: Keypair::generate(),
-            enc: X25519Secret::generate(),
-        }
+        Credentials { name: name.into(), sign: Keypair::generate(), enc: X25519Secret::generate() }
     }
 
     /// Deterministic credentials derived from a seed string — used by tests,
@@ -75,11 +71,7 @@ impl Credentials {
 
     /// The public identity matching these credentials.
     pub fn identity(&self) -> Identity {
-        Identity {
-            name: self.name.clone(),
-            sign: self.sign.public,
-            enc: self.enc.public_key(),
-        }
+        Identity { name: self.name.clone(), sign: self.sign.public, enc: self.enc.public_key() }
     }
 }
 
@@ -115,17 +107,12 @@ impl Directory {
 
     /// Look up by name.
     pub fn get(&self, name: &str) -> WfResult<&Identity> {
-        self.entries
-            .get(name)
-            .ok_or_else(|| WfError::UnknownIdentity(name.to_string()))
+        self.entries.get(name).ok_or_else(|| WfError::UnknownIdentity(name.to_string()))
     }
 
     /// Look up the signing key owner by public key (reverse lookup).
     pub fn name_of_signer(&self, key: &PublicKey) -> Option<&str> {
-        self.entries
-            .values()
-            .find(|id| id.sign == *key)
-            .map(|id| id.name.as_str())
+        self.entries.values().find(|id| id.sign == *key).map(|id| id.name.as_str())
     }
 
     /// All registered names.
@@ -141,11 +128,7 @@ impl Directory {
     /// Register a named group. Member names must already be registered;
     /// unknown members are rejected so a typo cannot silently shrink an
     /// audience.
-    pub fn register_group(
-        &mut self,
-        name: impl Into<String>,
-        members: &[&str],
-    ) -> WfResult<()> {
+    pub fn register_group(&mut self, name: impl Into<String>, members: &[&str]) -> WfResult<()> {
         let name = name.into();
         if self.entries.contains_key(&name) {
             return Err(WfError::Policy(format!(
@@ -176,9 +159,7 @@ impl Directory {
         if reader == participant {
             return true;
         }
-        self.groups
-            .get(reader)
-            .is_some_and(|members| members.iter().any(|m| m == participant))
+        self.groups.get(reader).is_some_and(|members| members.iter().any(|m| m == participant))
     }
 
     /// True when the directory has no entries.

@@ -83,6 +83,7 @@ pub mod model;
 pub mod monitor;
 pub mod policy;
 pub mod scope;
+pub mod sealed;
 pub mod tfc;
 pub mod verify;
 
@@ -102,10 +103,11 @@ pub mod prelude {
     pub use crate::monitor::ProcessStatus;
     pub use crate::policy::{FieldRule, Readers, SecurityPolicy};
     pub use crate::scope::{all_scopes, nonrepudiation_scope};
+    pub use crate::sealed::{prefix_digest, SealedDocument, TrustMark};
     pub use crate::tfc::{TfcProcessed, TfcServer};
     pub use crate::verify::{
-        verify_document, verify_document_parallel, verify_documents_parallel,
-        VerificationReport,
+        trust_mark_for, verify_document, verify_document_parallel, verify_documents_parallel,
+        verify_incremental, IncrementalOutcome, VerificationReport,
     };
 }
 

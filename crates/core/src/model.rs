@@ -369,11 +369,8 @@ impl WorkflowDefinition {
             let to_attr = t
                 .get_attr("to")
                 .ok_or_else(|| WfError::Malformed("Transition missing @to".into()))?;
-            let to = if to_attr == "#end" {
-                Target::End
-            } else {
-                Target::Activity(to_attr.to_string())
-            };
+            let to =
+                if to_attr == "#end" { Target::End } else { Target::Activity(to_attr.to_string()) };
             let condition = match t.find_child("Condition") {
                 Some(c) => Some(condition_from_xml(c)?),
                 None => None,
@@ -390,7 +387,9 @@ impl WorkflowDefinition {
     pub fn to_dot(&self) -> String {
         let mut out = String::from("digraph workflow {\n  rankdir=LR;\n");
         out.push_str("  start [shape=circle label=\"\" style=filled fillcolor=black width=0.2];\n");
-        out.push_str("  end [shape=doublecircle label=\"\" style=filled fillcolor=black width=0.15];\n");
+        out.push_str(
+            "  end [shape=doublecircle label=\"\" style=filled fillcolor=black width=0.15];\n",
+        );
         for a in &self.activities {
             let shape = if a.join == JoinKind::All { "box3d" } else { "box" };
             out.push_str(&format!(

@@ -100,10 +100,7 @@ impl ProcessStatus {
 
 /// Activities of `def` that have never executed in `doc` (coarse progress
 /// indicator for dashboards).
-pub fn unexecuted_activities(
-    doc: &DraDocument,
-    def: &WorkflowDefinition,
-) -> WfResult<Vec<String>> {
+pub fn unexecuted_activities(doc: &DraDocument, def: &WorkflowDefinition) -> WfResult<Vec<String>> {
     let mut out = Vec::new();
     for a in &def.activities {
         if doc.latest_iter(&a.id)?.is_none() {
@@ -146,13 +143,9 @@ mod tests {
             .flow_end("B")
             .build()
             .unwrap();
-        let mut doc = DraDocument::new_initial_with_pid(
-            &def,
-            &SecurityPolicy::public(),
-            &designer,
-            "pid-m",
-        )
-        .unwrap();
+        let mut doc =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "pid-m")
+                .unwrap();
         doc.push_cer(
             Element::new("CER")
                 .attr("activity", "A")
@@ -236,13 +229,9 @@ mod tests {
             .flow_end("A")
             .build()
             .unwrap();
-        let doc = DraDocument::new_initial_with_pid(
-            &def,
-            &SecurityPolicy::public(),
-            &designer,
-            "x",
-        )
-        .unwrap();
+        let doc =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "x")
+                .unwrap();
         let s = ProcessStatus::from_document(&doc).unwrap();
         assert_eq!(s.steps(), 0);
         assert!(s.last().is_none());

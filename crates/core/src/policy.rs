@@ -116,10 +116,8 @@ impl SecurityPolicy {
         needed.extend(self.condition_fields());
         for fr in needed {
             // find or create the rule and add tfc to its reader lists
-            let rule = self
-                .rules
-                .iter_mut()
-                .find(|r| r.activity == fr.activity && r.field == fr.field);
+            let rule =
+                self.rules.iter_mut().find(|r| r.activity == fr.activity && r.field == fr.field);
             match rule {
                 Some(r) => add_reader(&mut r.readers, tfc),
                 None => {
@@ -231,10 +229,7 @@ fn readers_to_xml(tag: &str, readers: &Readers) -> Element {
 }
 
 fn reader_names(el: &Element) -> Vec<String> {
-    el.find_children("Reader")
-        .filter_map(|r| r.get_attr("name"))
-        .map(str::to_string)
-        .collect()
+    el.find_children("Reader").filter_map(|r| r.get_attr("name")).map(str::to_string).collect()
 }
 
 fn readers_from_xml(el: &Element) -> WfResult<Readers> {
@@ -242,9 +237,9 @@ fn readers_from_xml(el: &Element) -> WfResult<Readers> {
         Some("everyone") => Ok(Readers::Everyone),
         Some("only") => Ok(Readers::Only(reader_names(el))),
         Some("conditional") => {
-            let c = el
-                .find_child("Condition")
-                .ok_or_else(|| WfError::Malformed("conditional Readers missing Condition".into()))?;
+            let c = el.find_child("Condition").ok_or_else(|| {
+                WfError::Malformed("conditional Readers missing Condition".into())
+            })?;
             let then_el = el
                 .find_child("Then")
                 .ok_or_else(|| WfError::Malformed("conditional Readers missing Then".into()))?;
@@ -373,9 +368,8 @@ mod tests {
 
     #[test]
     fn xml_roundtrip_default_only() {
-        let p = SecurityPolicy::builder()
-            .default_readers(Readers::Only(vec!["boss".into()]))
-            .build();
+        let p =
+            SecurityPolicy::builder().default_readers(Readers::Only(vec!["boss".into()])).build();
         let parsed = SecurityPolicy::from_xml(&p.to_xml()).unwrap();
         assert_eq!(parsed, p);
     }

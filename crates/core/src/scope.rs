@@ -19,10 +19,7 @@ pub fn signature_graph(doc: &DraDocument) -> WfResult<BTreeMap<PredRef, BTreeSet
     let mut graph: BTreeMap<PredRef, BTreeSet<PredRef>> = BTreeMap::new();
     graph.insert(PredRef::Def, BTreeSet::new());
     for cer in doc.cers()? {
-        graph.insert(
-            PredRef::Cer(cer.key.clone()),
-            cer.preds.iter().cloned().collect(),
-        );
+        graph.insert(PredRef::Cer(cer.key.clone()), cer.preds.iter().cloned().collect());
     }
     Ok(graph)
 }
@@ -31,10 +28,7 @@ pub fn signature_graph(doc: &DraDocument) -> WfResult<BTreeMap<PredRef, BTreeSet
 ///
 /// Γ includes `alpha` itself (the participant cannot repudiate its own
 /// execution) and transitively every CER whose signature is covered.
-pub fn nonrepudiation_scope(
-    doc: &DraDocument,
-    alpha: &PredRef,
-) -> WfResult<BTreeSet<PredRef>> {
+pub fn nonrepudiation_scope(doc: &DraDocument, alpha: &PredRef) -> WfResult<BTreeSet<PredRef>> {
     let graph = signature_graph(doc)?;
     if !graph.contains_key(alpha) {
         return Err(WfError::Malformed(format!("{alpha} is not a CER of this document")));
@@ -86,13 +80,9 @@ mod tests {
             .flow_end("A")
             .build()
             .unwrap();
-        let mut doc = DraDocument::new_initial_with_pid(
-            &def,
-            &SecurityPolicy::public(),
-            &designer,
-            "pid",
-        )
-        .unwrap();
+        let mut doc =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "pid")
+                .unwrap();
         for (act, iter, preds) in cers {
             doc.push_cer(
                 Element::new("CER")
@@ -122,10 +112,7 @@ mod tests {
         // Def <- A#0 <- B#0 <- C#0
         let doc = doc_with_cers(&[("A", 0, "Def"), ("B", 0, "A#0"), ("C", 0, "B#0")]);
         let s = nonrepudiation_scope(&doc, &cer("C", 0)).unwrap();
-        assert_eq!(
-            s,
-            BTreeSet::from([PredRef::Def, cer("A", 0), cer("B", 0), cer("C", 0)])
-        );
+        assert_eq!(s, BTreeSet::from([PredRef::Def, cer("A", 0), cer("B", 0), cer("C", 0)]));
         let s = nonrepudiation_scope(&doc, &cer("B", 0)).unwrap();
         assert_eq!(s, BTreeSet::from([PredRef::Def, cer("A", 0), cer("B", 0)]));
         // A#0's scope does NOT include its successors.
@@ -155,12 +142,8 @@ mod tests {
     #[test]
     fn loop_iterations_chain() {
         // A#0 <- B#0 <- A#1 <- B#1 (Fig. 3B style loop)
-        let doc = doc_with_cers(&[
-            ("A", 0, "Def"),
-            ("B", 0, "A#0"),
-            ("A", 1, "B#0"),
-            ("B", 1, "A#1"),
-        ]);
+        let doc =
+            doc_with_cers(&[("A", 0, "Def"), ("B", 0, "A#0"), ("A", 1, "B#0"), ("B", 1, "A#1")]);
         let s = nonrepudiation_scope(&doc, &cer("B", 1)).unwrap();
         assert_eq!(s.len(), 5);
         assert!(s.contains(&cer("A", 0)));
@@ -207,22 +190,14 @@ mod tests {
                 .map(|(i, ps)| {
                     let attr = ps
                         .iter()
-                        .map(|&p| {
-                            if p == 0 {
-                                "Def".to_string()
-                            } else {
-                                format!("N{}#0", p - 1)
-                            }
-                        })
+                        .map(|&p| if p == 0 { "Def".to_string() } else { format!("N{}#0", p - 1) })
                         .collect::<Vec<_>>()
                         .join(",");
                     (format!("N{i}"), 0u32, attr)
                 })
                 .collect();
-            let borrowed: Vec<(&str, u32, &str)> = specs
-                .iter()
-                .map(|(a, i, p)| (a.as_str(), *i, p.as_str()))
-                .collect();
+            let borrowed: Vec<(&str, u32, &str)> =
+                specs.iter().map(|(a, i, p)| (a.as_str(), *i, p.as_str())).collect();
             doc_with_cers(&borrowed)
         }
 

@@ -25,7 +25,8 @@ use crate::flow::{evaluate_route, DocFieldReader, Route};
 use crate::identity::{Credentials, Directory};
 use crate::model::WorkflowDefinition;
 use crate::policy::SecurityPolicy;
-use crate::verify::{tfc_attest_bytes, verify_document_with_def};
+use crate::sealed::{prefix_digest, SealedDocument, TrustMark};
+use crate::verify::{tfc_attest_bytes, verify_incremental};
 use dra_xml::sig::sign_detached;
 use dra_xml::Element;
 use std::sync::Arc;
@@ -58,13 +59,22 @@ pub struct TfcReceived {
     pub participant: String,
     /// The unsealed plaintext responses.
     pub responses: Vec<(String, String)>,
+    /// Report of the verification pass that admitted this document
+    /// (`signatures_verified` counts only the checks spent this pass).
+    pub report: crate::verify::VerificationReport,
+    /// Trust mark covering every CER *before* the intermediate one.
+    /// Finalization mutates the intermediate CER in place, so the onward
+    /// mark must stop just short of it — the next hop then re-checks
+    /// exactly the finalized CER (participant signature + attestation).
+    pub trust: TrustMark,
 }
 
 /// A finalized document ready to forward.
 #[derive(Debug)]
 pub struct TfcProcessed {
-    /// The final document `X''_Ai(k)`.
-    pub document: DraDocument,
+    /// The final document `X''_Ai(k)`, sealed with a trust mark covering
+    /// everything but the CER the TFC just finalized.
+    pub document: SealedDocument,
     /// Routing decided by the TFC.
     pub route: Route,
     /// The finalized CER.
@@ -96,30 +106,45 @@ impl TfcServer {
     /// Verify an incoming intermediate document and unseal its fresh result
     /// (the TFC's α phase in Table 2).
     pub fn receive(&self, xml: &str) -> WfResult<TfcReceived> {
-        let doc = DraDocument::parse(xml)?;
-        self.receive_document(doc)
+        self.receive_sealed(SealedDocument::from_wire(xml)?)
     }
 
-    /// Core of [`TfcServer::receive`] on a parsed document.
+    /// Core of [`TfcServer::receive`] on a parsed document (full
+    /// verification — no trust mark available).
     pub fn receive_document(&self, doc: DraDocument) -> WfResult<TfcReceived> {
-        let base_def = doc.workflow_definition()?;
-        base_def.validate()?;
-        let tfc_name = base_def
-            .tfc
-            .as_deref()
-            .ok_or_else(|| WfError::Policy("definition names no TFC server".into()))?;
+        self.receive_sealed(SealedDocument::new(doc))
+    }
+
+    /// Zero-copy hand-off: receive a [`SealedDocument`] straight from the
+    /// executing AEA. A carried [`TrustMark`] reduces verification to the
+    /// intermediate CER just appended.
+    pub fn receive_sealed(&self, sealed: SealedDocument) -> WfResult<TfcReceived> {
+        let tfc_name = {
+            let base_def = sealed.workflow_definition()?;
+            base_def.tfc.ok_or_else(|| WfError::Policy("definition names no TFC server".into()))?
+        };
         if tfc_name != self.creds.name {
             return Err(WfError::NotParticipant {
-                expected: tfc_name.to_string(),
+                expected: tfc_name,
                 actual: self.creds.name.clone(),
             });
         }
-        let report = verify_document_with_def(&doc, &self.directory, &base_def)?;
+        let outcome = verify_incremental(&sealed, &self.directory, sealed.trust())?;
+        let report = outcome.report;
         if !report.ends_with_intermediate {
             return Err(WfError::Malformed(
                 "document does not end with an intermediate (TFC-bound) CER".into(),
             ));
         }
+        let doc = sealed.into_document();
+        // The onward mark stops short of the intermediate CER, which
+        // finalization is about to mutate in place.
+        let trust = TrustMark {
+            process_id: report.process_id.clone(),
+            verified_cers: report.cers.len() - 1,
+            prefix_digest: prefix_digest(&doc, report.cers.len() - 1)?,
+            signatures_verified: outcome.mark.signatures_verified,
+        };
 
         let (key, participant, sealed_hex) = {
             let cers = doc.cers()?;
@@ -142,7 +167,7 @@ impl TfcServer {
         // dynamic flow control: route and re-encrypt under the effective
         // definition and policy
         let (def, policy) = crate::amendment::effective_definition(&doc)?;
-        Ok(TfcReceived { doc, def, policy, key, participant, responses })
+        Ok(TfcReceived { doc, def, policy, key, participant, responses, report, trust })
     }
 
     /// Re-encrypt per policy, embed the timestamp, attest and route (the γ
@@ -168,24 +193,8 @@ impl TfcServer {
 
         let mut document = received.doc.clone();
         {
-            let results = document
-                .root
-                .find_child_mut("ActivityResults")
-                .ok_or_else(|| WfError::Malformed("missing ActivityResults".into()))?;
-            let cer_el = results
-                .children
-                .iter_mut()
-                .rev()
-                .find_map(|n| match n {
-                    dra_xml::Node::Element(e)
-                        if e.name == "CER"
-                            && e.get_attr("activity") == Some(received.key.activity.as_str())
-                            && e.get_attr("iter") == Some(&received.key.iter.to_string()) =>
-                    {
-                        Some(e)
-                    }
-                    _ => None,
-                })
+            let cer_el = document
+                .find_cer_element_mut(&received.key)?
                 .ok_or_else(|| WfError::Malformed("intermediate CER vanished".into()))?;
             // insert Result and Timestamp before signing the attestation
             cer_el.push_child(result);
@@ -200,36 +209,22 @@ impl TfcServer {
             tfc_attest_bytes(document.header()?, &cer)?
         };
         let sig = sign_detached(&self.creds.sign, &attest, &format!("tfc:{}", received.key));
-        {
-            let results = document
-                .root
-                .find_child_mut("ActivityResults")
-                .expect("checked above");
-            let cer_el = results
-                .children
-                .iter_mut()
-                .rev()
-                .find_map(|n| match n {
-                    dra_xml::Node::Element(e)
-                        if e.name == "CER"
-                            && e.get_attr("activity") == Some(received.key.activity.as_str())
-                            && e.get_attr("iter") == Some(&received.key.iter.to_string()) =>
-                    {
-                        Some(e)
-                    }
-                    _ => None,
-                })
-                .expect("checked above");
-            cer_el.push_child(sig);
-        }
+        document.find_cer_element_mut(&received.key)?.expect("checked above").push_child(sig);
 
         let route = evaluate_route(&received.def, &received.key.activity, &reader)?;
+        let document = SealedDocument::with_trust(document, received.trust.clone());
         Ok(TfcProcessed { document, route, key: received.key.clone(), timestamp })
     }
 
     /// Convenience: receive + finalize in one call.
     pub fn process(&self, xml: &str) -> WfResult<TfcProcessed> {
         let received = self.receive(xml)?;
+        self.finalize(&received)
+    }
+
+    /// Convenience: receive + finalize on a sealed hand-off.
+    pub fn process_sealed(&self, sealed: SealedDocument) -> WfResult<TfcProcessed> {
+        let received = self.receive_sealed(sealed)?;
         self.finalize(&received)
     }
 }
@@ -292,8 +287,7 @@ mod tests {
             )
             .build()
             .with_tfc_access("TFC", &def);
-        let dir =
-            Directory::from_credentials([&designer, &peter, &tony, &amy, &john, &mary, &tfc]);
+        let dir = Directory::from_credentials([&designer, &peter, &tony, &amy, &john, &mary, &tfc]);
         Fig4 { def, policy, designer, peter, tony, dir, tfc }
     }
 
@@ -311,9 +305,7 @@ mod tests {
         // Peter executes A1 with X = "true", sealed to the TFC.
         let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
         let recv = aea_peter.receive(&initial.to_xml_string(), "A1").unwrap();
-        let inter = aea_peter
-            .complete_via_tfc(&recv, &[("X".into(), "true".into())])
-            .unwrap();
+        let inter = aea_peter.complete_via_tfc(&recv, &[("X".into(), "true".into())]).unwrap();
         let done = tfc.process(&inter.document.to_xml_string()).unwrap();
         assert_eq!(done.route.targets, vec!["A3"]);
         assert_eq!(done.timestamp, 1000);
@@ -321,9 +313,8 @@ mod tests {
         // Tony executes A3. He cannot read X — and does not need to.
         let aea_tony = Aea::new(f.tony.clone(), f.dir.clone());
         let recv = aea_tony.receive(&done.document.to_xml_string(), "A3").unwrap();
-        let inter = aea_tony
-            .complete_via_tfc(&recv, &[("Y".into(), "payload-for-john".into())])
-            .unwrap();
+        let inter =
+            aea_tony.complete_via_tfc(&recv, &[("Y".into(), "payload-for-john".into())]).unwrap();
         let done = tfc.process(&inter.document.to_xml_string()).unwrap();
         // TFC evaluated Func(X): X == "true" routes to A4 (john).
         assert_eq!(done.route.targets, vec!["A4"]);
@@ -353,8 +344,7 @@ mod tests {
         let tfc = TfcServer::with_clock(f.tfc.clone(), f.dir.clone(), fixed_clock(1));
         let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
         let recv = aea_peter.receive(&initial.to_xml_string(), "A1").unwrap();
-        let inter =
-            aea_peter.complete_via_tfc(&recv, &[("X".into(), "false".into())]).unwrap();
+        let inter = aea_peter.complete_via_tfc(&recv, &[("X".into(), "false".into())]).unwrap();
         let done = tfc.process(&inter.document.to_xml_string()).unwrap();
         let aea_tony = Aea::new(f.tony.clone(), f.dir.clone());
         let recv = aea_tony.receive(&done.document.to_xml_string(), "A3").unwrap();
@@ -396,10 +386,7 @@ mod tests {
         let initial =
             DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid4").unwrap();
         let tfc = TfcServer::with_clock(f.tfc.clone(), f.dir.clone(), fixed_clock(1));
-        assert!(matches!(
-            tfc.receive(&initial.to_xml_string()),
-            Err(WfError::Malformed(_))
-        ));
+        assert!(matches!(tfc.receive(&initial.to_xml_string()), Err(WfError::Malformed(_))));
     }
 
     #[test]
@@ -444,9 +431,6 @@ mod tests {
         let done = tfc.process(&inter.document.to_xml_string()).unwrap();
         let tampered = done.document.to_xml_string().replace("time=\"777\"", "time=\"778\"");
         let doc = DraDocument::parse(&tampered).unwrap();
-        assert!(matches!(
-            verify_document(&doc, &f.dir),
-            Err(WfError::Verify(_))
-        ));
+        assert!(matches!(verify_document(&doc, &f.dir), Err(WfError::Verify(_))));
     }
 }

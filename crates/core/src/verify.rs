@@ -9,6 +9,7 @@ use crate::document::{CerView, DraDocument};
 use crate::error::{WfError, WfResult};
 use crate::identity::Directory;
 use crate::model::WorkflowDefinition;
+use crate::sealed::{prefix_digest, TrustMark};
 use dra_xml::canon::canonicalize_all;
 
 use dra_xml::Element;
@@ -34,9 +35,8 @@ pub fn tfc_attest_bytes(header: &Element, cer: &CerView<'_>) -> WfResult<Vec<u8>
         .tfc_sealed()
         .ok_or_else(|| WfError::Malformed(format!("CER {} lacks TfcSealed", cer.key)))?;
     let psig = cer.participant_signature()?;
-    let result = cer
-        .result()
-        .ok_or_else(|| WfError::Malformed(format!("CER {} lacks Result", cer.key)))?;
+    let result =
+        cer.result().ok_or_else(|| WfError::Malformed(format!("CER {} lacks Result", cer.key)))?;
     let ts = cer
         .timestamp()
         .ok_or_else(|| WfError::Malformed(format!("CER {} lacks Timestamp", cer.key)))?;
@@ -63,30 +63,51 @@ impl SigTask {
     }
 }
 
+/// How much of the document still needs cryptographic checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum VerifyScope {
+    /// Check everything: designer signature plus every CER.
+    Full,
+    /// The first `n` CERs (and the designer signature) are pinned by a
+    /// byte-identical verified prefix; emit signature checks only for CERs
+    /// appended after them. Structural checks and amendment folding still
+    /// run over the whole document — they are cheap and the folded
+    /// definition is needed to judge the new CERs.
+    TrustedPrefix(usize),
+}
+
 /// Sequential structural pass: check participants and document structure,
-/// fold amendments, and emit one [`SigTask`] per embedded signature.
+/// fold amendments, and emit one [`SigTask`] per embedded signature inside
+/// `scope`.
 fn plan_verification(
     doc: &DraDocument,
     directory: &Directory,
     def: &WorkflowDefinition,
+    scope: VerifyScope,
 ) -> WfResult<(Vec<SigTask>, VerificationReport)> {
     use dra_xml::sig::parse_signature;
 
+    let skip_cers = match scope {
+        VerifyScope::Full => 0,
+        VerifyScope::TrustedPrefix(n) => n,
+    };
     let mut tasks = Vec::new();
 
-    // (2) designer signature
-    let designer = directory.get(&def.designer)?;
-    let block = parse_signature(doc.designer_signature()?)
-        .map_err(|e| WfError::Verify(format!("designer signature: {e}")))?;
-    if block.signer != designer.sign {
-        return Err(WfError::Verify("designer signature: unexpected signer".into()));
+    // (2) designer signature — pinned by the prefix digest when trusted
+    if scope == VerifyScope::Full {
+        let designer = directory.get(&def.designer)?;
+        let block = parse_signature(doc.designer_signature()?)
+            .map_err(|e| WfError::Verify(format!("designer signature: {e}")))?;
+        if block.signer != designer.sign {
+            return Err(WfError::Verify("designer signature: unexpected signer".into()));
+        }
+        tasks.push(SigTask {
+            label: "designer".into(),
+            signer: block.signer,
+            bytes: doc.definition_bytes()?,
+            signature: block.signature,
+        });
     }
-    tasks.push(SigTask {
-        label: "designer".into(),
-        signer: block.signer,
-        bytes: doc.definition_bytes()?,
-        signature: block.signature,
-    });
 
     // the effective definition/policy, updated as amendments are planned
     let mut eff_def = def.clone();
@@ -96,6 +117,7 @@ fn plan_verification(
     let mut ends_with_intermediate = false;
     let header = doc.header()?;
     for (idx, cer) in cers.iter().enumerate() {
+        let trusted = idx < skip_cers;
         // (3) participant assignment — amendments are executed by the
         // workflow designer; regular activities by their assigned
         // participant under the definition in force at that point
@@ -110,36 +132,37 @@ fn plan_verification(
                 cer.key, cer.participant, expected
             )));
         }
-        let pid = directory.get(&cer.participant)?;
 
         let sealed = cer.tfc_sealed();
         let result = cer.result();
         let body = sealed.or(result).ok_or_else(|| {
             WfError::Malformed(format!("CER {} has neither Result nor TfcSealed", cer.key))
         })?;
-        let block = parse_signature(cer.participant_signature()?)
-            .map_err(|e| WfError::Verify(format!("CER {}: {e}", cer.key)))?;
-        if block.signer != pid.sign {
-            return Err(WfError::Verify(format!(
-                "CER {} participant signature: unexpected signer",
-                cer.key
-            )));
+        if !trusted {
+            let pid = directory.get(&cer.participant)?;
+            let block = parse_signature(cer.participant_signature()?)
+                .map_err(|e| WfError::Verify(format!("CER {}: {e}", cer.key)))?;
+            if block.signer != pid.sign {
+                return Err(WfError::Verify(format!(
+                    "CER {} participant signature: unexpected signer",
+                    cer.key
+                )));
+            }
+            tasks.push(SigTask {
+                label: format!("CER {} participant", cer.key),
+                signer: block.signer,
+                bytes: doc.cascade_bytes(body, &cer.preds)?,
+                signature: block.signature,
+            });
         }
-        tasks.push(SigTask {
-            label: format!("CER {} participant", cer.key),
-            signer: block.signer,
-            bytes: doc.cascade_bytes(body, &cer.preds)?,
-            signature: block.signature,
-        });
 
         // fold verified amendments into the effective definition
         if crate::amendment::is_amendment_key(&cer.key) {
-            let result_el = result.ok_or_else(|| {
-                WfError::Malformed(format!("amendment {} lacks Result", cer.key))
-            })?;
-            let delta_el = result_el.find_child("Delta").ok_or_else(|| {
-                WfError::Malformed(format!("amendment {} lacks Delta", cer.key))
-            })?;
+            let result_el = result
+                .ok_or_else(|| WfError::Malformed(format!("amendment {} lacks Result", cer.key)))?;
+            let delta_el = result_el
+                .find_child("Delta")
+                .ok_or_else(|| WfError::Malformed(format!("amendment {} lacks Delta", cer.key)))?;
             let delta = crate::amendment::DefinitionDelta::from_xml(delta_el)?;
             let (d, p) = delta.apply(&eff_def, &eff_pol)?;
             eff_def = d;
@@ -155,7 +178,7 @@ fn plan_verification(
                 )));
             }
             ends_with_intermediate = true;
-        } else if sealed.is_some() {
+        } else if sealed.is_some() && !trusted {
             // advanced-model final CER: TFC attestation required
             let tfc_name = def.tfc.as_deref().ok_or_else(|| {
                 WfError::Verify(format!(
@@ -164,9 +187,9 @@ fn plan_verification(
                 ))
             })?;
             let tfc_id = directory.get(tfc_name)?;
-            let tfc_sig = cer.tfc_signature().ok_or_else(|| {
-                WfError::Verify(format!("CER {} missing TFC signature", cer.key))
-            })?;
+            let tfc_sig = cer
+                .tfc_signature()
+                .ok_or_else(|| WfError::Verify(format!("CER {} missing TFC signature", cer.key)))?;
             let block = parse_signature(tfc_sig)
                 .map_err(|e| WfError::Verify(format!("CER {} TFC: {e}", cer.key)))?;
             if block.signer != tfc_id.sign {
@@ -207,10 +230,7 @@ fn plan_verification(
 ///
 /// An *intermediate* CER (sealed to the TFC, not yet re-encrypted) is only
 /// legal as the final CER of an in-flight document.
-pub fn verify_document(
-    doc: &DraDocument,
-    directory: &Directory,
-) -> WfResult<VerificationReport> {
+pub fn verify_document(doc: &DraDocument, directory: &Directory) -> WfResult<VerificationReport> {
     let def = doc.workflow_definition()?;
     def.validate()?;
     verify_document_with_def(doc, directory, &def)
@@ -222,11 +242,101 @@ pub fn verify_document_with_def(
     directory: &Directory,
     def: &WorkflowDefinition,
 ) -> WfResult<VerificationReport> {
-    let (tasks, report) = plan_verification(doc, directory, def)?;
+    let (tasks, report) = plan_verification(doc, directory, def, VerifyScope::Full)?;
     for t in &tasks {
         t.run()?;
     }
     Ok(report)
+}
+
+/// Issue a [`TrustMark`] pinning the whole current document, given a report
+/// from a verification pass that just succeeded on it. `prior_signatures`
+/// is the signature-check count already spent on the pinned prefix by
+/// earlier passes (0 after a full verification).
+pub fn trust_mark_for(
+    doc: &DraDocument,
+    report: &VerificationReport,
+    prior_signatures: usize,
+) -> WfResult<TrustMark> {
+    Ok(TrustMark {
+        process_id: report.process_id.clone(),
+        verified_cers: report.cers.len(),
+        prefix_digest: prefix_digest(doc, report.cers.len())?,
+        signatures_verified: prior_signatures + report.signatures_verified,
+    })
+}
+
+/// Outcome of [`verify_incremental`].
+#[derive(Debug, Clone)]
+pub struct IncrementalOutcome {
+    /// The verification report. `signatures_verified` counts only the
+    /// checks executed *this pass* (so with a matching mark and k new CERs
+    /// it is exactly the k participant checks plus any new TFC
+    /// attestation).
+    pub report: VerificationReport,
+    /// CERs skipped because the trust mark's prefix digest matched.
+    pub reused_cers: usize,
+    /// True when the mark was unusable (missing, wrong process, or digest
+    /// mismatch) and a full verification ran instead.
+    pub fell_back: bool,
+    /// A fresh mark pinning the whole document as now verified; hand it to
+    /// the next hop.
+    pub mark: TrustMark,
+}
+
+/// Incremental verification: re-check only the CERs appended since `mark`
+/// was issued, after proving the marked prefix byte-identical via its
+/// canonical digest.
+///
+/// Fallback semantics keep security identical to [`verify_document`]: if
+/// the mark is absent, names a different process, claims more CERs than
+/// the document has, or its digest no longer matches (any tamper —
+/// or any legitimate in-place change, like a TFC finalizing a previously
+/// intermediate CER), the *full* verification runs and its verdict stands.
+/// A tampered prefix therefore still fails loudly, stale mark or not.
+pub fn verify_incremental(
+    doc: &DraDocument,
+    directory: &Directory,
+    mark: Option<&TrustMark>,
+) -> WfResult<IncrementalOutcome> {
+    let def = doc.workflow_definition()?;
+    def.validate()?;
+
+    let usable_prefix = match mark {
+        Some(m) => {
+            let total = doc.cers()?.len();
+            if m.process_id == doc.process_id()?
+                && m.verified_cers <= total
+                && prefix_digest(doc, m.verified_cers)? == m.prefix_digest
+            {
+                Some(m.verified_cers)
+            } else {
+                None
+            }
+        }
+        None => None,
+    };
+
+    let (scope, fell_back) = match usable_prefix {
+        Some(n) => (VerifyScope::TrustedPrefix(n), false),
+        None => (VerifyScope::Full, mark.is_some()),
+    };
+    let (tasks, report) = plan_verification(doc, directory, &def, scope)?;
+    for t in &tasks {
+        t.run()?;
+    }
+
+    let reused_cers = match scope {
+        VerifyScope::TrustedPrefix(n) => n,
+        VerifyScope::Full => 0,
+    };
+    // Cumulative count carries over only when the mark was actually used.
+    let prior = match (usable_prefix, mark) {
+        (Some(_), Some(m)) => m.signatures_verified,
+        _ => 0,
+    };
+    let mark = trust_mark_for(doc, &report, prior)?;
+    Ok(IncrementalOutcome { report, reused_cers, fell_back, mark })
 }
 
 /// Parallel variant: the sequential structural pass plans one independent
@@ -240,7 +350,7 @@ pub fn verify_document_parallel(
 ) -> WfResult<VerificationReport> {
     let def = doc.workflow_definition()?;
     def.validate()?;
-    let (tasks, report) = plan_verification(doc, directory, &def)?;
+    let (tasks, report) = plan_verification(doc, directory, &def, VerifyScope::Full)?;
     run_tasks_parallel(&tasks, threads)?;
     Ok(report)
 }
@@ -258,12 +368,10 @@ fn run_tasks_parallel(tasks: &[SigTask], threads: usize) -> WfResult<()> {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
-                s.spawn(move || {
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(t) = tasks.get(i) else { return Ok(()) };
-                        t.run()?;
-                    }
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(t) = tasks.get(i) else { return Ok(()) };
+                    t.run()?;
                 })
             })
             .collect();
@@ -303,10 +411,7 @@ pub fn verify_documents_parallel(
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("slot").expect("every slot filled"))
-        .collect()
+    slots.into_iter().map(|m| m.into_inner().expect("slot").expect("every slot filled")).collect()
 }
 
 #[cfg(test)]
@@ -368,10 +473,7 @@ mod tests {
         let (def, pol, designer, _) = fixture();
         let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "pid").unwrap();
         let empty = Directory::new();
-        assert!(matches!(
-            verify_document(&doc, &empty),
-            Err(WfError::UnknownIdentity(_))
-        ));
+        assert!(matches!(verify_document(&doc, &empty), Err(WfError::UnknownIdentity(_))));
     }
 
     // CER-level verification is exercised end-to-end in the aea/tfc module

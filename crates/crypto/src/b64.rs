@@ -46,10 +46,8 @@ pub fn decode(s: &str) -> Option<Vec<u8>> {
         if pads > 2 || (pads > 0 && !last) {
             return None;
         }
-        let vals: Vec<u32> = chunk[..4 - pads]
-            .iter()
-            .map(|&c| value_of(c))
-            .collect::<Option<_>>()?;
+        let vals: Vec<u32> =
+            chunk[..4 - pads].iter().map(|&c| value_of(c)).collect::<Option<_>>()?;
         match pads {
             0 => {
                 let n = (vals[0] << 18) | (vals[1] << 12) | (vals[2] << 6) | vals[3];

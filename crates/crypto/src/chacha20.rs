@@ -28,8 +28,12 @@ impl ChaCha20 {
         }
         let mut n = [0u32; 3];
         for i in 0..3 {
-            n[i] =
-                u32::from_le_bytes([nonce[4 * i], nonce[4 * i + 1], nonce[4 * i + 2], nonce[4 * i + 3]]);
+            n[i] = u32::from_le_bytes([
+                nonce[4 * i],
+                nonce[4 * i + 1],
+                nonce[4 * i + 2],
+                nonce[4 * i + 3],
+            ]);
         }
         ChaCha20 { key: k, nonce: n, counter, block: [0; 64], block_pos: 64 }
     }

@@ -21,9 +21,8 @@ pub const PUBLIC_KEY_LEN: usize = 32;
 /// Group order L = 2^252 + 27742317777372353535851937790883648493, as 32
 /// little-endian bytes.
 const L: [u8; 32] = [
-    0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde,
-    0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
-    0x00, 0x10,
+    0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10,
 ];
 
 /// A point on the Ed25519 curve in extended coordinates (X:Y:Z:T), with
@@ -40,11 +39,7 @@ pub struct Point {
 fn d() -> Fe {
     use std::sync::OnceLock;
     static CELL: OnceLock<Fe> = OnceLock::new();
-    *CELL.get_or_init(|| {
-        Fe::from_u64(121665)
-            .neg()
-            .mul(&Fe::from_u64(121666).invert())
-    })
+    *CELL.get_or_init(|| Fe::from_u64(121665).neg().mul(&Fe::from_u64(121666).invert()))
 }
 
 /// 2·d, used by the addition formulas.
@@ -137,7 +132,7 @@ impl Point {
     pub fn decompress(enc: &[u8; 32]) -> Option<Point> {
         let sign = enc[31] >> 7;
         let y = Fe::from_bytes(enc); // masks the sign bit
-        // x^2 = (y^2 - 1) / (d*y^2 + 1)
+                                     // x^2 = (y^2 - 1) / (d*y^2 + 1)
         let y2 = y.square();
         let u = y2.sub(&Fe::ONE);
         let v = d().mul(&y2).add(&Fe::ONE);
@@ -165,8 +160,7 @@ impl Point {
     /// Affine equality check.
     pub fn eq_affine(&self, other: &Point) -> bool {
         // x1/z1 == x2/z2  <=>  x1*z2 == x2*z1, same for y.
-        self.x.mul(&other.z) == other.x.mul(&self.z)
-            && self.y.mul(&other.z) == other.y.mul(&self.z)
+        self.x.mul(&other.z) == other.x.mul(&self.z) && self.y.mul(&other.z) == other.y.mul(&self.z)
     }
 }
 
@@ -579,7 +573,6 @@ mod tests {
         assert_eq!(r[0], 10);
         assert!(r[1..].iter().all(|&b| b == 0));
     }
-
 
     /// RFC 8032 §7.1 TEST 3 (two-byte message).
     #[test]

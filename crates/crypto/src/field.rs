@@ -7,12 +7,8 @@
 //! hot path and remain comfortably fast for the paper's workloads.
 
 /// p = 2^255 − 19, as little-endian limbs.
-pub const P: [u64; 4] = [
-    0xffff_ffff_ffff_ffed,
-    0xffff_ffff_ffff_ffff,
-    0xffff_ffff_ffff_ffff,
-    0x7fff_ffff_ffff_ffff,
-];
+pub const P: [u64; 4] =
+    [0xffff_ffff_ffff_ffed, 0xffff_ffff_ffff_ffff, 0xffff_ffff_ffff_ffff, 0x7fff_ffff_ffff_ffff];
 
 /// An element of GF(2^255 − 19), always fully reduced.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

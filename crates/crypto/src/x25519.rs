@@ -148,7 +148,6 @@ mod tests {
         );
     }
 
-
     /// RFC 7748 §5.2 iteration test: applying the function iteratively,
     /// after 1 iteration the result is the published constant.
     #[test]

@@ -172,8 +172,7 @@ impl HTable {
 
     /// Latest value decoded as UTF-8.
     pub fn get_str(&self, key: &str, family: &str, qualifier: &str) -> Option<String> {
-        self.get(key, family, qualifier)
-            .map(|b| String::from_utf8_lossy(&b).into_owned())
+        self.get(key, family, qualifier).map(|b| String::from_utf8_lossy(&b).into_owned())
     }
 
     /// Snapshot a whole row.
@@ -360,9 +359,8 @@ mod tests {
         t.put("a", "meta", "status", "open");
         t.put("b", "meta", "status", "closed");
         t.put("c", "meta", "status", "open");
-        let open = t.scan_filter("", None, |_, r| {
-            r.get_str("meta", "status").as_deref() == Some("open")
-        });
+        let open =
+            t.scan_filter("", None, |_, r| r.get_str("meta", "status").as_deref() == Some("open"));
         assert_eq!(open.len(), 2);
     }
 

@@ -93,10 +93,7 @@ impl HTable {
             put_str(&mut buf, key);
             let cols: Vec<(&str, &str)> = {
                 let mut seen = std::collections::BTreeSet::new();
-                row.columns()
-                    .map(|(f, q, _)| (f, q))
-                    .filter(|fq| seen.insert(*fq))
-                    .collect()
+                row.columns().map(|(f, q, _)| (f, q)).filter(|fq| seen.insert(*fq)).collect()
             };
             buf.put_u32(cols.len() as u32);
             for (family, qualifier) in cols {
@@ -217,18 +214,12 @@ mod tests {
     fn trailing_garbage_rejected() {
         let mut snap = sample_table().export_snapshot();
         snap.extend_from_slice(b"junk");
-        assert!(matches!(
-            HTable::import_snapshot(&snap),
-            Err(PersistError::Truncated)
-        ));
+        assert!(matches!(HTable::import_snapshot(&snap), Err(PersistError::Truncated)));
     }
 
     #[test]
     fn wrong_magic_rejected() {
-        assert!(matches!(
-            HTable::import_snapshot(b"NOTAPOOLxxxxxxx"),
-            Err(PersistError::BadMagic)
-        ));
+        assert!(matches!(HTable::import_snapshot(b"NOTAPOOLxxxxxxx"), Err(PersistError::BadMagic)));
     }
 
     #[test]

@@ -63,21 +63,19 @@ impl Region {
     ) {
         debug_assert!(self.range.contains(key));
         self.ops.fetch_add(1, Ordering::Relaxed);
-        self.rows
-            .write()
-            .entry(key.to_string())
-            .or_default()
-            .put(family, qualifier, value, timestamp, max_versions);
+        self.rows.write().entry(key.to_string()).or_default().put(
+            family,
+            qualifier,
+            value,
+            timestamp,
+            max_versions,
+        );
     }
 
     /// Latest value of a cell.
     pub fn get(&self, key: &str, family: &str, qualifier: &str) -> Option<Bytes> {
         self.ops.fetch_add(1, Ordering::Relaxed);
-        self.rows
-            .read()
-            .get(key)
-            .and_then(|r| r.get(family, qualifier))
-            .map(|c| c.value.clone())
+        self.rows.read().get(key).and_then(|r| r.get(family, qualifier)).map(|c| c.value.clone())
     }
 
     /// Snapshot of one row.
@@ -137,7 +135,8 @@ impl Region {
             return None;
         }
         let mid_key = rows.keys().nth(rows.len() / 2).cloned()?;
-        let left = Region::new(KeyRange { start: self.range.start.clone(), end: Some(mid_key.clone()) });
+        let left =
+            Region::new(KeyRange { start: self.range.start.clone(), end: Some(mid_key.clone()) });
         let right = Region::new(KeyRange { start: mid_key.clone(), end: self.range.end.clone() });
         {
             let mut lw = left.rows.write();

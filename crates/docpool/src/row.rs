@@ -46,11 +46,7 @@ impl Row {
 
     /// All versions of a qualified column, newest first.
     pub fn versions(&self, family: &str, qualifier: &str) -> &[Cell] {
-        self.families
-            .get(family)
-            .and_then(|f| f.get(qualifier))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.families.get(family).and_then(|f| f.get(qualifier)).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Delete a qualified column; returns true if something was removed.
@@ -106,17 +102,12 @@ impl RowSnapshot {
 
     /// Latest value decoded as UTF-8 (lossless only if it was UTF-8).
     pub fn get_str(&self, family: &str, qualifier: &str) -> Option<String> {
-        self.get(family, qualifier)
-            .map(|b| String::from_utf8_lossy(b).into_owned())
+        self.get(family, qualifier).map(|b| String::from_utf8_lossy(b).into_owned())
     }
 
     /// All versions of a column, newest first.
     pub fn versions(&self, family: &str, qualifier: &str) -> &[Cell] {
-        self.families
-            .get(family)
-            .and_then(|f| f.get(qualifier))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.families.get(family).and_then(|f| f.get(qualifier)).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Iterate `(family, qualifier, latest cell)`.
@@ -189,10 +180,8 @@ mod tests {
         r.put("a", "x", b("1"), 1, 1);
         r.put("b", "y", b("2"), 2, 1);
         let snap = r.snapshot();
-        let cols: Vec<(String, String)> = snap
-            .columns()
-            .map(|(f, q, _)| (f.to_string(), q.to_string()))
-            .collect();
+        let cols: Vec<(String, String)> =
+            snap.columns().map(|(f, q, _)| (f.to_string(), q.to_string())).collect();
         assert_eq!(cols, vec![("a".into(), "x".into()), ("b".into(), "y".into())]);
     }
 

@@ -36,9 +36,7 @@ impl DistributedWfms {
     pub fn new(n: usize) -> DistributedWfms {
         assert!(n >= 1, "need at least one engine");
         DistributedWfms {
-            engines: (0..n)
-                .map(|i| Arc::new(WorkflowEngine::new(format!("engine-{i}"))))
-                .collect(),
+            engines: (0..n).map(|i| Arc::new(WorkflowEngine::new(format!("engine-{i}")))).collect(),
             ownership: Mutex::new(HashMap::new()),
             migrations: AtomicUsize::new(0),
             migrated_bytes: AtomicUsize::new(0),
@@ -81,8 +79,7 @@ impl DistributedWfms {
             let owner = *ownership.get(&pid).ok_or(EngineError::UnknownProcess(pid))?;
             if owner != at {
                 let instance = self.engines[owner].take_instance(pid)?;
-                self.migrated_bytes
-                    .fetch_add(instance.approx_size(), Ordering::Relaxed);
+                self.migrated_bytes.fetch_add(instance.approx_size(), Ordering::Relaxed);
                 self.engines[at].install_instance(instance);
                 ownership.insert(pid, at);
                 self.migrations.fetch_add(1, Ordering::Relaxed);
@@ -97,16 +94,9 @@ impl DistributedWfms {
     }
 
     /// Read an instance (from its current owner).
-    pub fn get_instance(
-        &self,
-        pid: u64,
-    ) -> Result<crate::engine::ProcessInstance, EngineError> {
-        let owner = self
-            .ownership
-            .lock()
-            .get(&pid)
-            .copied()
-            .ok_or(EngineError::UnknownProcess(pid))?;
+    pub fn get_instance(&self, pid: u64) -> Result<crate::engine::ProcessInstance, EngineError> {
+        let owner =
+            self.ownership.lock().get(&pid).copied().ok_or(EngineError::UnknownProcess(pid))?;
         self.engines[owner].get_instance(pid)
     }
 }
@@ -186,8 +176,7 @@ mod tests {
             for (i, &pid) in pids.iter().enumerate() {
                 let d = Arc::clone(&d);
                 s.spawn(move |_| {
-                    d.execute_at(i % 4, pid, "a1", "alice", &[("x".into(), "1".into())])
-                        .unwrap();
+                    d.execute_at(i % 4, pid, "a1", "alice", &[("x".into(), "1".into())]).unwrap();
                     d.execute_at((i + 1) % 4, pid, "a2", "bob", &[("y".into(), "2".into())])
                         .unwrap();
                     d.execute_at((i + 2) % 4, pid, "a3", "carol", &[("z".into(), "3".into())])

@@ -60,11 +60,7 @@ pub struct ProcessInstance {
 impl ProcessInstance {
     /// Latest executed iteration of an activity.
     pub fn latest_iter(&self, activity: &str) -> Option<u32> {
-        self.results
-            .iter()
-            .filter(|r| r.activity == activity)
-            .map(|r| r.iter)
-            .max()
+        self.results.iter().filter(|r| r.activity == activity).map(|r| r.iter).max()
     }
 
     /// Latest value of a field.
@@ -174,19 +170,14 @@ impl WorkflowEngine {
             let next_iter = instance.latest_iter(activity).map_or(0, |i| i + 1);
             for inc in instance.workflow.incoming(activity) {
                 if instance.latest_iter(inc).is_none_or(|i| i < next_iter) {
-                    return Err(EngineError::Workflow(format!(
-                        "AND-join '{activity}' not ready"
-                    )));
+                    return Err(EngineError::Workflow(format!("AND-join '{activity}' not ready")));
                 }
             }
         }
         let iter = instance.latest_iter(activity).map_or(0, |i| i + 1);
         let route = {
-            let reader = InstanceReader {
-                instance,
-                overlay_activity: activity,
-                overlay: responses,
-            };
+            let reader =
+                InstanceReader { instance, overlay_activity: activity, overlay: responses };
             evaluate_route(&instance.workflow, activity, &reader)
                 .map_err(|e| EngineError::Workflow(e.to_string()))?
         };
@@ -196,27 +187,18 @@ impl WorkflowEngine {
             participant: participant.to_string(),
             fields: responses.to_vec(),
         });
-        instance
-            .log
-            .push(format!("{activity}#{iter} executed by {participant}"));
+        instance.log.push(format!("{activity}#{iter} executed by {participant}"));
         Ok(route)
     }
 
     /// Read a stored instance (what a participant later sees when disputing).
     pub fn get_instance(&self, pid: u64) -> Result<ProcessInstance, EngineError> {
-        self.store
-            .lock()
-            .get(&pid)
-            .cloned()
-            .ok_or(EngineError::UnknownProcess(pid))
+        self.store.lock().get(&pid).cloned().ok_or(EngineError::UnknownProcess(pid))
     }
 
     /// Remove an instance, returning it (used for migration between engines).
     pub fn take_instance(&self, pid: u64) -> Result<ProcessInstance, EngineError> {
-        self.store
-            .lock()
-            .remove(&pid)
-            .ok_or(EngineError::UnknownProcess(pid))
+        self.store.lock().remove(&pid).ok_or(EngineError::UnknownProcess(pid))
     }
 
     /// Install an instance (migration target).
@@ -315,13 +297,11 @@ mod tests {
     fn engine_executes_workflow() {
         let e = WorkflowEngine::new("e1");
         let pid = e.start_process(&def()).unwrap();
-        let r = e
-            .execute_activity(pid, "submit", "alice", &[("amount".into(), "90".into())])
-            .unwrap();
+        let r =
+            e.execute_activity(pid, "submit", "alice", &[("amount".into(), "90".into())]).unwrap();
         assert_eq!(r.targets, vec!["approve"]);
-        let r = e
-            .execute_activity(pid, "approve", "bob", &[("decision".into(), "ok".into())])
-            .unwrap();
+        let r =
+            e.execute_activity(pid, "approve", "bob", &[("decision".into(), "ok".into())]).unwrap();
         assert!(r.ends);
         let inst = e.get_instance(pid).unwrap();
         assert_eq!(inst.results.len(), 2);
@@ -367,15 +347,17 @@ mod tests {
     fn superuser_tampering_is_undetectable() {
         let e = WorkflowEngine::new("e1");
         let pid = e.start_process(&def()).unwrap();
-        e.execute_activity(pid, "submit", "alice", &[("amount".into(), "100".into())])
-            .unwrap();
+        e.execute_activity(pid, "submit", "alice", &[("amount".into(), "100".into())]).unwrap();
         let before = e.get_instance(pid).unwrap();
 
         // Admin changes alice's 100 to 1000000 and rewrites the log.
         let su = e.superuser();
         su.alter_result(pid, "submit", "amount", "1000000").unwrap();
-        su.rewrite_log(pid, vec!["process started on engine e1".into(), "submit#0 executed by alice".into()])
-            .unwrap();
+        su.rewrite_log(
+            pid,
+            vec!["process started on engine e1".into(), "submit#0 executed by alice".into()],
+        )
+        .unwrap();
 
         let after = e.get_instance(pid).unwrap();
         assert_eq!(after.field("submit", "amount"), Some("1000000"));
@@ -441,8 +423,7 @@ mod tests {
         let e = WorkflowEngine::new("e");
         let pid = e.start_process(&def()).unwrap();
         let s0 = e.get_instance(pid).unwrap().approx_size();
-        e.execute_activity(pid, "submit", "alice", &[("amount".into(), "x".repeat(500))])
-            .unwrap();
+        e.execute_activity(pid, "submit", "alice", &[("amount".into(), "x".repeat(500))]).unwrap();
         let s1 = e.get_instance(pid).unwrap().approx_size();
         assert!(s1 > s0 + 400, "migration cost tracks payload size");
     }

@@ -102,9 +102,7 @@ mod tests {
         let wire = client.send(b"100");
         let received = server.recv(&wire).unwrap();
         let amount = String::from_utf8(received).unwrap();
-        engine
-            .execute_activity(pid, "a", "alice", &[("amount".into(), amount)])
-            .unwrap();
+        engine.execute_activity(pid, "a", "alice", &[("amount".into(), amount)]).unwrap();
 
         // …but the engine stores plaintext, and the superuser rewrites it.
         engine.superuser().alter_result(pid, "a", "amount", "999999").unwrap();

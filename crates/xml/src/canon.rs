@@ -14,20 +14,35 @@
 
 use crate::escape::{escape_attr, escape_text};
 use crate::node::{Element, Node};
+use std::sync::Arc;
 
 /// Canonical byte serialization of one element subtree.
 pub fn canonicalize(el: &Element) -> Vec<u8> {
+    canonicalize_shared(el).as_ref().clone()
+}
+
+/// Canonical bytes of one subtree, memoized on the element. The first call
+/// walks the tree; later calls on the unmutated element return the shared
+/// buffer in O(1). Mutating the element through any `&mut` accessor drops
+/// the memo (see [`Element::invalidate_canon`]).
+pub fn canonicalize_shared(el: &Element) -> Arc<Vec<u8>> {
+    if let Some(cached) = el.canon_cached() {
+        return Arc::clone(cached);
+    }
     let mut out = Vec::new();
     write_canon(el, &mut out);
-    out
+    let bytes = Arc::new(out);
+    el.canon_store(Arc::clone(&bytes));
+    bytes
 }
 
 /// Canonical bytes of a sequence of subtrees, length-prefix framed so that
 /// the concatenation is injective (no boundary ambiguity between parts).
+/// Each part comes from the per-element memo when available.
 pub fn canonicalize_all<'a>(els: impl IntoIterator<Item = &'a Element>) -> Vec<u8> {
     let mut out = Vec::new();
     for el in els {
-        let part = canonicalize(el);
+        let part = canonicalize_shared(el);
         out.extend_from_slice(&(part.len() as u64).to_be_bytes());
         out.extend_from_slice(&part);
     }
@@ -35,6 +50,12 @@ pub fn canonicalize_all<'a>(els: impl IntoIterator<Item = &'a Element>) -> Vec<u
 }
 
 fn write_canon(el: &Element, out: &mut Vec<u8>) {
+    // A child whose canonical form is already memoized contributes a
+    // memcpy instead of a recursive walk.
+    if let Some(cached) = el.canon_cached() {
+        out.extend_from_slice(cached);
+        return;
+    }
     out.push(b'<');
     out.extend_from_slice(el.name.as_bytes());
     let mut attrs: Vec<&(String, String)> = el.attrs.iter().collect();
@@ -64,6 +85,7 @@ mod tests {
     use crate::parser::parse;
     use crate::writer::to_string;
     use proptest::prelude::*;
+    use std::sync::Arc;
 
     #[test]
     fn attribute_order_is_normalized() {
@@ -100,15 +122,93 @@ mod tests {
         // <a>bc</a> vs <a>b</a><c/> style boundary confusion must not collide.
         let one = [Element::new("a").text("bc")];
         let two = [Element::new("a").text("b"), Element::new("c")];
-        assert_ne!(
-            canonicalize_all(one.iter()),
-            canonicalize_all(two.iter())
-        );
+        assert_ne!(canonicalize_all(one.iter()), canonicalize_all(two.iter()));
     }
 
     #[test]
     fn empty_sequence() {
         assert!(canonicalize_all(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn memo_is_reused_until_mutation() {
+        let mut e = Element::new("e").attr("a", "1").child(Element::new("c").text("x"));
+        let first = canonicalize_shared(&e);
+        let second = canonicalize_shared(&e);
+        assert!(Arc::ptr_eq(&first, &second), "second call must reuse the memo");
+
+        e.set_attr("a", "2");
+        let third = canonicalize_shared(&e);
+        assert!(!Arc::ptr_eq(&first, &third), "mutation must drop the memo");
+        assert_ne!(*first, *third);
+        assert_eq!(
+            *third,
+            canonicalize(&Element::new("e").attr("a", "2").child(Element::new("c").text("x")))
+        );
+    }
+
+    #[test]
+    fn memo_invalidated_by_every_mut_accessor() {
+        let build = || Element::new("e").attr("a", "1").child(Element::new("c").text("x"));
+
+        // set_attr
+        let mut e = build();
+        let before = canonicalize(&e);
+        e.set_attr("b", "2");
+        assert_ne!(before, canonicalize(&e));
+
+        // push_child
+        let mut e = build();
+        let before = canonicalize(&e);
+        e.push_child(Element::new("d"));
+        assert_ne!(before, canonicalize(&e));
+
+        // remove_children
+        let mut e = build();
+        let before = canonicalize(&e);
+        e.remove_children("c");
+        assert_ne!(before, canonicalize(&e));
+
+        // find_child_mut, then mutate the child through the reference
+        let mut e = build();
+        let before = canonicalize(&e);
+        e.find_child_mut("c").unwrap().set_attr("k", "v");
+        assert_ne!(before, canonicalize(&e));
+
+        // direct field mutation + explicit invalidate_canon
+        let mut e = build();
+        let before = canonicalize(&e);
+        e.children.clear();
+        e.invalidate_canon();
+        assert_ne!(before, canonicalize(&e));
+    }
+
+    #[test]
+    fn clone_keeps_memo_but_diverges_safely() {
+        let original = Element::new("e").text("shared");
+        let first = canonicalize_shared(&original);
+        let mut copy = original.clone();
+        assert!(Arc::ptr_eq(&first, &canonicalize_shared(&copy)));
+        copy.set_attr("changed", "yes");
+        assert_ne!(canonicalize(&copy), canonicalize(&original));
+        // the original's memo is untouched by the clone's mutation
+        assert!(Arc::ptr_eq(&first, &canonicalize_shared(&original)));
+    }
+
+    #[test]
+    fn cached_child_contributes_to_fresh_parent() {
+        let mut child = Element::new("c").text("deep & dark");
+        let direct = canonicalize(&child);
+        let _ = canonicalize_shared(&child); // memoize the child
+        child.invalidate_canon();
+        let _ = canonicalize_shared(&child); // re-memoize
+        let parent = Element::new("p").child(child.clone());
+        let via_parent = canonicalize(&parent);
+        let mut expect = Vec::new();
+        expect.extend_from_slice(b"<p>");
+        expect.extend_from_slice(&direct);
+        expect.extend_from_slice(b"</p>");
+        assert_eq!(via_parent, expect);
     }
 
     // Strategy for random small element trees.

@@ -20,9 +20,9 @@
 use crate::canon::canonicalize;
 use crate::node::Element;
 use crate::parser::parse;
+use dra_crypto::b64;
 use dra_crypto::sealed;
 use dra_crypto::x25519::{X25519PublicKey, X25519Secret};
-use dra_crypto::b64;
 
 /// Element name of encrypted payloads.
 pub const ENCRYPTED_DATA: &str = "EncryptedData";
@@ -75,10 +75,7 @@ impl std::error::Error for EncryptError {}
 /// Panics if `recipients` is empty — encrypting to nobody would destroy the
 /// data, which is never what a security policy means.
 pub fn encrypt_element(el: &Element, recipients: &[Recipient]) -> Element {
-    assert!(
-        !recipients.is_empty(),
-        "element-wise encryption requires at least one recipient"
-    );
+    assert!(!recipients.is_empty(), "element-wise encryption requires at least one recipient");
     let plaintext = canonicalize(el);
     let mut content_key = [0u8; 32];
     dra_crypto::random_bytes(&mut content_key);
@@ -91,9 +88,7 @@ pub fn encrypt_element(el: &Element, recipients: &[Recipient]) -> Element {
     for r in recipients {
         let wrapped = sealed::seal(&r.key, &content_key);
         out.push_child(
-            Element::new("KeyWrap")
-                .attr("recipient", r.id.clone())
-                .text(b64::encode(&wrapped)),
+            Element::new("KeyWrap").attr("recipient", r.id.clone()).text(b64::encode(&wrapped)),
         );
     }
     out
@@ -106,9 +101,7 @@ pub fn is_encrypted(el: &Element) -> bool {
 
 /// List the recipient ids that can open this `<EncryptedData>`.
 pub fn recipients_of(el: &Element) -> Vec<&str> {
-    el.find_children("KeyWrap")
-        .filter_map(|k| k.get_attr("recipient"))
-        .collect()
+    el.find_children("KeyWrap").filter_map(|k| k.get_attr("recipient")).collect()
 }
 
 /// Decrypt an `<EncryptedData>` element as `recipient_id`, holding `secret`.
@@ -138,8 +131,7 @@ pub fn decrypt_element(
         .ok_or_else(|| EncryptError::Malformed("bad key wrap base64".into()))?;
 
     let content_key_vec = sealed::open(secret, &wrapped).map_err(|_| EncryptError::Crypto)?;
-    let content_key: [u8; 32] =
-        content_key_vec.try_into().map_err(|_| EncryptError::Crypto)?;
+    let content_key: [u8; 32] = content_key_vec.try_into().map_err(|_| EncryptError::Crypto)?;
     let plaintext =
         sealed::secretbox_open(&content_key, &ciphertext).map_err(|_| EncryptError::Crypto)?;
     let text = String::from_utf8(plaintext).map_err(|_| EncryptError::BadPlaintext)?;
@@ -157,9 +149,7 @@ mod tests {
     }
 
     fn payload() -> Element {
-        Element::new("Field")
-            .attr("name", "amount")
-            .text("12,500 USD")
+        Element::new("Field").attr("name", "amount").text("12,500 USD")
     }
 
     #[test]
@@ -190,15 +180,9 @@ mod tests {
         let (_, pub_a) = keys(1);
         let (sec_c, _) = keys(3);
         let enc = encrypt_element(&payload(), &[Recipient::new("amy", pub_a)]);
-        assert_eq!(
-            decrypt_element(&enc, "carol", &sec_c),
-            Err(EncryptError::NotARecipient)
-        );
+        assert_eq!(decrypt_element(&enc, "carol", &sec_c), Err(EncryptError::NotARecipient));
         // Even claiming to be amy fails with the wrong key.
-        assert_eq!(
-            decrypt_element(&enc, "amy", &sec_c),
-            Err(EncryptError::Crypto)
-        );
+        assert_eq!(decrypt_element(&enc, "amy", &sec_c), Err(EncryptError::Crypto));
     }
 
     #[test]
@@ -233,10 +217,7 @@ mod tests {
     fn malformed_input_errors() {
         let (sec, _) = keys(1);
         let not_enc = Element::new("Plain");
-        assert!(matches!(
-            decrypt_element(&not_enc, "amy", &sec),
-            Err(EncryptError::Malformed(_))
-        ));
+        assert!(matches!(decrypt_element(&not_enc, "amy", &sec), Err(EncryptError::Malformed(_))));
         let no_cipher = Element::new(ENCRYPTED_DATA);
         assert!(matches!(
             decrypt_element(&no_cipher, "amy", &sec),
@@ -247,18 +228,13 @@ mod tests {
     #[test]
     fn nested_structure_preserved() {
         let (sec, pubk) = keys(9);
-        let complex = Element::new("Form")
-            .child(Element::new("Field").attr("name", "x").text("1"))
-            .child(
-                Element::new("Group")
-                    .child(Element::new("Field").attr("name", "y").text("<&\">")),
+        let complex =
+            Element::new("Form").child(Element::new("Field").attr("name", "x").text("1")).child(
+                Element::new("Group").child(Element::new("Field").attr("name", "y").text("<&\">")),
             );
         let enc = encrypt_element(&complex, &[Recipient::new("p", pubk)]);
         let dec = decrypt_element(&enc, "p", &sec).unwrap();
         // canonical equality (attribute order may normalize)
-        assert_eq!(
-            crate::canon::canonicalize(&dec),
-            crate::canon::canonicalize(&complex)
-        );
+        assert_eq!(crate::canon::canonicalize(&dec), crate::canon::canonicalize(&complex));
     }
 }

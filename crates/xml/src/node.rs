@@ -1,5 +1,7 @@
 //! The XML element tree.
 
+use std::sync::{Arc, OnceLock};
+
 /// A node in an element's child list: a nested element or a text run.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Node {
@@ -10,7 +12,16 @@ pub enum Node {
 }
 
 /// An XML element: name, attributes (in insertion order) and children.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+///
+/// Each element memoizes its canonical serialization (see
+/// [`crate::canon`]) the first time it is computed, so repeated
+/// canonicalization of the same subtree — the dominant cost of cascade
+/// signature verification — is a cheap `Arc` clone instead of a tree walk.
+/// Every `&mut` accessor on this type drops the memo; code that mutates
+/// `attrs`/`children` through the public fields directly must call
+/// [`Element::invalidate_canon`] afterwards (all in-tree callers either do
+/// so or reach the fields through an invalidating accessor).
+#[derive(Clone, Default)]
 pub struct Element {
     /// Tag name.
     pub name: String,
@@ -18,12 +29,55 @@ pub struct Element {
     pub attrs: Vec<(String, String)>,
     /// Child nodes in document order.
     pub children: Vec<Node>,
+    /// Memoized canonical bytes of this subtree.
+    canon: OnceLock<Arc<Vec<u8>>>,
+}
+
+impl PartialEq for Element {
+    fn eq(&self, other: &Element) -> bool {
+        // The canon memo is derived state and must not affect equality.
+        self.name == other.name && self.attrs == other.attrs && self.children == other.children
+    }
+}
+
+impl Eq for Element {}
+
+impl std::fmt::Debug for Element {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Element")
+            .field("name", &self.name)
+            .field("attrs", &self.attrs)
+            .field("children", &self.children)
+            .finish()
+    }
 }
 
 impl Element {
     /// Create an empty element.
     pub fn new(name: impl Into<String>) -> Element {
-        Element { name: name.into(), attrs: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+            canon: OnceLock::new(),
+        }
+    }
+
+    /// Drop this element's memoized canonical bytes. Required after
+    /// mutating `attrs` or `children` directly through the public fields;
+    /// the invalidating accessors below call it automatically.
+    pub fn invalidate_canon(&mut self) {
+        self.canon.take();
+    }
+
+    /// The memoized canonical bytes, if previously computed.
+    pub(crate) fn canon_cached(&self) -> Option<&Arc<Vec<u8>>> {
+        self.canon.get()
+    }
+
+    /// Memoize canonical bytes (first writer wins; later calls are no-ops).
+    pub(crate) fn canon_store(&self, bytes: Arc<Vec<u8>>) {
+        let _ = self.canon.set(bytes);
     }
 
     /// Builder: add or replace an attribute.
@@ -46,6 +100,7 @@ impl Element {
 
     /// Set or replace an attribute in place.
     pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.invalidate_canon();
         let key = key.into();
         let value = value.into();
         if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| *k == key) {
@@ -57,6 +112,7 @@ impl Element {
 
     /// Append a child element in place.
     pub fn push_child(&mut self, el: Element) {
+        self.invalidate_canon();
         self.children.push(Node::Element(el));
     }
 
@@ -70,10 +126,16 @@ impl Element {
         self.child_elements().find(|e| e.name == name)
     }
 
-    /// Mutable variant of [`Element::find_child`].
+    /// Mutable variant of [`Element::find_child`]. Conservatively drops the
+    /// canon memo of both this element and the found child, since the
+    /// caller may mutate either through the returned reference.
     pub fn find_child_mut(&mut self, name: &str) -> Option<&mut Element> {
+        self.invalidate_canon();
         self.children.iter_mut().find_map(|n| match n {
-            Node::Element(e) if e.name == name => Some(e),
+            Node::Element(e) if e.name == name => {
+                e.invalidate_canon();
+                Some(e)
+            }
             _ => None,
         })
     }
@@ -119,6 +181,7 @@ impl Element {
     /// Remove all children with the given element name; returns how many were
     /// removed.
     pub fn remove_children(&mut self, name: &str) -> usize {
+        self.invalidate_canon();
         let before = self.children.len();
         self.children.retain(|n| !matches!(n, Node::Element(e) if e.name == name));
         before - self.children.len()

@@ -66,20 +66,16 @@ pub fn sign_detached(keypair: &Keypair, bytes: &[u8], covers: &str) -> Element {
 /// Parse a `<Signature>` element into a [`SignatureBlock`].
 pub fn parse_signature(el: &Element) -> Result<SignatureBlock, SigError> {
     if el.name != SIGNATURE {
-        return Err(SigError::Malformed(format!(
-            "expected <{SIGNATURE}>, found <{}>",
-            el.name
-        )));
+        return Err(SigError::Malformed(format!("expected <{SIGNATURE}>, found <{}>", el.name)));
     }
-    let signer_hex = el
-        .get_attr("signer")
-        .ok_or_else(|| SigError::Malformed("missing signer".into()))?;
+    let signer_hex =
+        el.get_attr("signer").ok_or_else(|| SigError::Malformed("missing signer".into()))?;
     let signer_bytes = hex::decode_array::<32>(signer_hex)
         .ok_or_else(|| SigError::Malformed("bad signer hex".into()))?;
     let sig_bytes = hex::decode(&el.text_content())
         .ok_or_else(|| SigError::Malformed("bad signature hex".into()))?;
-    let signature =
-        Signature::from_bytes(&sig_bytes).ok_or_else(|| SigError::Malformed("bad length".into()))?;
+    let signature = Signature::from_bytes(&sig_bytes)
+        .ok_or_else(|| SigError::Malformed("bad length".into()))?;
     Ok(SignatureBlock {
         signer: PublicKey(signer_bytes),
         signature,
@@ -129,10 +125,7 @@ mod tests {
         let k = kp(1);
         let other = kp(2);
         let el = sign_detached(&k, b"data", "x");
-        assert_eq!(
-            verify_detached(&el, b"data", Some(&other.public)),
-            Err(SigError::WrongSigner)
-        );
+        assert_eq!(verify_detached(&el, b"data", Some(&other.public)), Err(SigError::WrongSigner));
         assert!(verify_detached(&el, b"data", Some(&k.public)).is_ok());
     }
 
@@ -160,17 +153,9 @@ mod tests {
             Err(SigError::Malformed(_))
         ));
         let no_signer = Element::new(SIGNATURE).text("00");
-        assert!(matches!(
-            verify_detached(&no_signer, b"", None),
-            Err(SigError::Malformed(_))
-        ));
-        let bad_len = Element::new(SIGNATURE)
-            .attr("signer", "0".repeat(64))
-            .text("beef");
-        assert!(matches!(
-            verify_detached(&bad_len, b"", None),
-            Err(SigError::Malformed(_))
-        ));
+        assert!(matches!(verify_detached(&no_signer, b"", None), Err(SigError::Malformed(_))));
+        let bad_len = Element::new(SIGNATURE).attr("signer", "0".repeat(64)).text("beef");
+        assert!(matches!(verify_detached(&bad_len, b"", None), Err(SigError::Malformed(_))));
     }
 
     #[test]

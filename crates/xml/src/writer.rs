@@ -132,9 +132,7 @@ mod tests {
 
     #[test]
     fn pretty_print_shape() {
-        let e = Element::new("r")
-            .child(Element::new("a").text("x"))
-            .child(Element::new("b"));
+        let e = Element::new("r").child(Element::new("a").text("x")).child(Element::new("b"));
         let p = to_pretty_string(&e);
         assert_eq!(p, "<r>\n  <a>x</a>\n  <b/>\n</r>\n");
     }

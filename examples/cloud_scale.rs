@@ -37,9 +37,7 @@ fn main() -> WfResult<()> {
         names.iter().map(|n| Credentials::from_seed(*n, &format!("cs-{n}"))).collect();
     let directory = Directory::from_credentials(&creds);
     let def = definition()?;
-    let policy = SecurityPolicy::builder()
-        .restrict("open", "severity", &["bob", "carol"])
-        .build();
+    let policy = SecurityPolicy::builder().restrict("open", "severity", &["bob", "carol"]).build();
 
     let system = Arc::new(CloudSystem::new(directory.clone(), 4, Arc::new(NetworkSim::lan())));
     let agents: Arc<HashMap<String, Arc<Aea>>> = Arc::new(
@@ -51,10 +49,9 @@ fn main() -> WfResult<()> {
 
     let respond = |received: &ReceivedActivity| -> Vec<(String, String)> {
         match received.activity.as_str() {
-            "open" => vec![
-                ("title".into(), "printer on fire".into()),
-                ("severity".into(), "high".into()),
-            ],
+            "open" => {
+                vec![("title".into(), "printer on fire".into()), ("severity".into(), "high".into())]
+            }
             "triage" => vec![("assignee".into(), "carol".into())],
             "resolve" => vec![("fix".into(), "extinguished".into())],
             _ => vec![],

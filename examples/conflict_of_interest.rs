@@ -60,7 +60,11 @@ fn policy(def: &WorkflowDefinition, advanced: bool) -> SecurityPolicy {
             &["mary"],
         )
         .build();
-    if advanced { p.with_tfc_access("TFC", def) } else { p }
+    if advanced {
+        p.with_tfc_access("TFC", def)
+    } else {
+        p
+    }
 }
 
 fn main() -> WfResult<()> {
@@ -96,7 +100,10 @@ fn main() -> WfResult<()> {
     );
     let inter = aea_tony.complete_via_tfc(&received, &[("Y".into(), "the payload".into())])?;
     let done = tfc.process(&inter.document.to_xml_string())?;
-    println!("A3 finalized by TFC -> route {:?} (Func(X) evaluated by the notary)", done.route.targets);
+    println!(
+        "A3 finalized by TFC -> route {:?} (Func(X) evaluated by the notary)",
+        done.route.targets
+    );
     assert_eq!(done.route.targets, vec!["A4"], "X=true routes to John");
 
     // Y is encrypted for John, not Mary — inspect the stored CER

@@ -40,7 +40,8 @@ fn main() -> WfResult<()> {
     let def = parse_workflow(WORKFLOW)?;
     println!("parsed workflow '{}' with {} activities", def.name, def.activities.len());
 
-    let names = ["designer", "claimant", "adjuster-1", "adjuster-2", "examiner", "settlement-office"];
+    let names =
+        ["designer", "claimant", "adjuster-1", "adjuster-2", "examiner", "settlement-office"];
     let creds: Vec<Credentials> =
         names.iter().map(|n| Credentials::from_seed(*n, &format!("ins-{n}"))).collect();
     let mut directory = Directory::from_credentials(&creds);
@@ -90,10 +91,7 @@ fn main() -> WfResult<()> {
 
     // AND-join at settlement
     let received = aea("settlement-office").receive_merged(
-        &[
-            &adjust_done.document.to_xml_string(),
-            &medical_done.document.to_xml_string(),
-        ],
+        &[&adjust_done.document.to_xml_string(), &medical_done.document.to_xml_string()],
         "settle",
     )?;
     println!(

@@ -55,8 +55,15 @@ fn fig9_definition() -> WfResult<WorkflowDefinition> {
 }
 
 fn main() -> WfResult<()> {
-    let names =
-        ["designer", "supplier", "reviewer-finance", "reviewer-legal", "purchasing", "fulfilment", "TFC"];
+    let names = [
+        "designer",
+        "supplier",
+        "reviewer-finance",
+        "reviewer-legal",
+        "purchasing",
+        "fulfilment",
+        "TFC",
+    ];
     let creds: Vec<Credentials> =
         names.iter().map(|n| Credentials::from_seed(*n, &format!("po-{n}"))).collect();
     let directory = Directory::from_credentials(&creds);

@@ -29,9 +29,7 @@ fn main() -> WfResult<()> {
 
     // 3. The security policy: the amount is element-wise encrypted so only
     //    bob (and alice, its author) can read it; the reason stays public.
-    let policy = SecurityPolicy::builder()
-        .restrict("submit", "amount", &["bob"])
-        .build();
+    let policy = SecurityPolicy::builder().restrict("submit", "amount", &["bob"]).build();
 
     // 4. The designer signs the secured initial document.
     let initial = DraDocument::new_initial(&def, &policy, &designer)?;
@@ -78,10 +76,7 @@ fn main() -> WfResult<()> {
     );
 
     // 8. Nonrepudiation: bob's CER covers alice's — neither can deny.
-    let scope = nonrepudiation_scope(
-        &done.document,
-        &PredRef::Cer(CerKey::new("approve", 0)),
-    )?;
+    let scope = nonrepudiation_scope(&done.document, &PredRef::Cer(CerKey::new("approve", 0)))?;
     println!("nonrepudiation scope of approve#0: {scope:?}");
     assert!(scope.contains(&PredRef::Cer(CerKey::new("submit", 0))));
     assert!(scope.contains(&PredRef::Def));

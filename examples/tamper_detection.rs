@@ -41,7 +41,10 @@ fn main() -> WfResult<()> {
         .execute_activity(pid, "sign-off", "bob", &[("approval".into(), "granted".into())])
         .expect("bob executes");
 
-    println!("stored amount before tamper: {:?}", engine.get_instance(pid).unwrap().field("request", "amount"));
+    println!(
+        "stored amount before tamper: {:?}",
+        engine.get_instance(pid).unwrap().field("request", "amount")
+    );
 
     // the DBA rewrites the amount and forges a clean log
     let su = engine.superuser();

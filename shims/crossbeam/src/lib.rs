@@ -1,0 +1,84 @@
+//! Offline shim for `crossbeam`: the scoped-thread API
+//! (`crossbeam::thread::scope`, `Scope::spawn` taking a `|_|` closure)
+//! implemented over `std::thread::scope`.
+//!
+//! Divergence from real crossbeam: a panicking child thread propagates the
+//! panic out of `scope` (std semantics) instead of surfacing it as an `Err`.
+//! Every call site in this workspace immediately `unwrap()`s the result, so
+//! the observable behaviour — the process aborts the test with the panic
+//! message — is the same.
+
+/// Scoped threads.
+pub mod thread {
+    /// Handle passed to the `scope` closure; mirrors crossbeam's `Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// (crossbeam-style) so nested spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned;
+    /// all spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all() {
+        let n = AtomicUsize::new(0);
+        let n = &n;
+        let total: usize = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    s.spawn(move |_| {
+                        n.fetch_add(1, Ordering::Relaxed);
+                        i
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 8);
+        assert_eq!(total, 28);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let r =
+            crate::thread::scope(|s| s.spawn(|s2| s2.spawn(|_| 7).join().unwrap()).join().unwrap())
+                .unwrap();
+        assert_eq!(r, 7);
+    }
+}

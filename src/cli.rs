@@ -47,9 +47,7 @@ impl Opts {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| err(format!("--{name} requires a value")))?;
+                let value = it.next().ok_or_else(|| err(format!("--{name} requires a value")))?;
                 flags.entry(name.to_string()).or_default().push(value.clone());
             } else {
                 positional.push(a.clone());
@@ -71,10 +69,7 @@ impl Opts {
     }
 
     fn many(&self, name: &str) -> Vec<&str> {
-        self.flags
-            .get(name)
-            .map(|v| v.iter().map(String::as_str).collect())
-            .unwrap_or_default()
+        self.flags.get(name).map(|v| v.iter().map(String::as_str).collect()).unwrap_or_default()
     }
 }
 
@@ -129,8 +124,7 @@ pub fn load_credentials(keys: &Path, name: &str) -> Result<Credentials, CliError
 /// Build the directory from every `.public` file in the key directory.
 pub fn load_directory(keys: &Path) -> Result<Directory, CliError> {
     let mut dir = Directory::new();
-    let entries =
-        std::fs::read_dir(keys).map_err(|e| err(format!("reading {keys:?}: {e}")))?;
+    let entries = std::fs::read_dir(keys).map_err(|e| err(format!("reading {keys:?}: {e}")))?;
     for entry in entries {
         let entry = entry.map_err(|e| err(e.to_string()))?;
         let path = entry.path();
@@ -187,7 +181,8 @@ pub fn parse_policy_file(text: &str) -> Result<SecurityPolicy, CliError> {
             .trim()
             .split_once('.')
             .ok_or_else(|| err(format!("policy line {}: expected ACTIVITY.FIELD", i + 1)))?;
-        let names: Vec<&str> = readers.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let names: Vec<&str> =
+            readers.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
         if names.is_empty() {
             return Err(err(format!("policy line {}: empty reader list", i + 1)));
         }
@@ -199,10 +194,8 @@ pub fn parse_policy_file(text: &str) -> Result<SecurityPolicy, CliError> {
 // -- commands ----------------------------------------------------------------
 
 fn cmd_keygen(opts: &Opts) -> Result<String, CliError> {
-    let name = opts
-        .positional
-        .first()
-        .ok_or_else(|| err("usage: dra keygen <name> --keys <dir>"))?;
+    let name =
+        opts.positional.first().ok_or_else(|| err("usage: dra keygen <name> --keys <dir>"))?;
     let keys = PathBuf::from(opts.opt("keys").unwrap_or("keys"));
     keygen(&keys, name)?;
     Ok(format!("generated keys for '{name}' in {}\n", keys.display()))
@@ -286,8 +279,7 @@ fn cmd_execute(opts: &Opts) -> Result<String, CliError> {
     if received.def.tfc.is_some() {
         // advanced model: seal the result to the TFC and write the
         // intermediate document, to be processed with `dra tfc`
-        let inter =
-            aea.complete_via_tfc(&received, &responses).map_err(|e| err(e.to_string()))?;
+        let inter = aea.complete_via_tfc(&received, &responses).map_err(|e| err(e.to_string()))?;
         std::fs::write(out, inter.document.to_xml_string()).map_err(|e| err(e.to_string()))?;
         writeln!(
             output,
@@ -323,8 +315,7 @@ fn cmd_tfc(opts: &Opts) -> Result<String, CliError> {
     let creds = load_credentials(&keys, who)?;
     let directory = load_directory(&keys)?;
     let server = TfcServer::new(creds, directory);
-    let xml =
-        std::fs::read_to_string(doc_path).map_err(|e| err(format!("{doc_path}: {e}")))?;
+    let xml = std::fs::read_to_string(doc_path).map_err(|e| err(format!("{doc_path}: {e}")))?;
     let processed = server.process(&xml).map_err(|e| err(e.to_string()))?;
     std::fs::write(out, processed.document.to_xml_string()).map_err(|e| err(e.to_string()))?;
     let mut output = format!(
@@ -344,8 +335,7 @@ fn cmd_tfc(opts: &Opts) -> Result<String, CliError> {
 fn cmd_verify(opts: &Opts) -> Result<String, CliError> {
     let doc_path = opts.one("doc")?;
     let keys = PathBuf::from(opts.opt("keys").unwrap_or("keys"));
-    let xml =
-        std::fs::read_to_string(doc_path).map_err(|e| err(format!("{doc_path}: {e}")))?;
+    let xml = std::fs::read_to_string(doc_path).map_err(|e| err(format!("{doc_path}: {e}")))?;
     let doc = DraDocument::parse(&xml).map_err(|e| err(e.to_string()))?;
     let directory = load_directory(&keys)?;
     match verify_document(&doc, &directory) {
@@ -362,23 +352,20 @@ fn cmd_verify(opts: &Opts) -> Result<String, CliError> {
 
 fn cmd_status(opts: &Opts) -> Result<String, CliError> {
     let doc_path = opts.one("doc")?;
-    let xml =
-        std::fs::read_to_string(doc_path).map_err(|e| err(format!("{doc_path}: {e}")))?;
+    let xml = std::fs::read_to_string(doc_path).map_err(|e| err(format!("{doc_path}: {e}")))?;
     let doc = DraDocument::parse(&xml).map_err(|e| err(e.to_string()))?;
-    let status = crate::core::monitor::ProcessStatus::from_document(&doc)
-        .map_err(|e| err(e.to_string()))?;
+    let status =
+        crate::core::monitor::ProcessStatus::from_document(&doc).map_err(|e| err(e.to_string()))?;
     Ok(status.audit_trail())
 }
 
 fn cmd_scope(opts: &Opts) -> Result<String, CliError> {
     let doc_path = opts.one("doc")?;
     let cer = opts.one("cer")?;
-    let xml =
-        std::fs::read_to_string(doc_path).map_err(|e| err(format!("{doc_path}: {e}")))?;
+    let xml = std::fs::read_to_string(doc_path).map_err(|e| err(format!("{doc_path}: {e}")))?;
     let doc = DraDocument::parse(&xml).map_err(|e| err(e.to_string()))?;
     let key = CerKey::parse(cer).ok_or_else(|| err(format!("bad CER id '{cer}' (want A#0)")))?;
-    let scope = nonrepudiation_scope(&doc, &PredRef::Cer(key))
-        .map_err(|e| err(e.to_string()))?;
+    let scope = nonrepudiation_scope(&doc, &PredRef::Cer(key)).map_err(|e| err(e.to_string()))?;
     let mut out = format!("nonrepudiation scope of {cer} ({} nodes):\n", scope.len());
     for node in scope {
         writeln!(out, "  {node}").ok();
@@ -393,11 +380,10 @@ fn cmd_dot(opts: &Opts) -> Result<String, CliError> {
         return Ok(def.to_dot());
     }
     if let Some(doc_path) = opts.opt("doc") {
-        let xml =
-            std::fs::read_to_string(doc_path).map_err(|e| err(format!("{doc_path}: {e}")))?;
+        let xml = std::fs::read_to_string(doc_path).map_err(|e| err(format!("{doc_path}: {e}")))?;
         let doc = DraDocument::parse(&xml).map_err(|e| err(e.to_string()))?;
-        let (def, _) = crate::core::amendment::effective_definition(&doc)
-            .map_err(|e| err(e.to_string()))?;
+        let (def, _) =
+            crate::core::amendment::effective_definition(&doc).map_err(|e| err(e.to_string()))?;
         return Ok(def.to_dot());
     }
     Err(err("dot requires --workflow <dsl-file> or --doc <xml-file>"))

@@ -53,10 +53,7 @@ fn respond(received: &ReceivedActivity) -> Vec<(String, String)> {
 }
 
 fn agents(creds: &[Credentials], dir: &Directory) -> HashMap<String, Arc<Aea>> {
-    creds
-        .iter()
-        .map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone()))))
-        .collect()
+    creds.iter().map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone())))).collect()
 }
 
 #[test]
@@ -64,13 +61,9 @@ fn pre_amended_document_runs_through_the_cloud_basic() {
     let (creds, dir) = cast();
     let sys = CloudSystem::new(dir.clone(), 2, Arc::new(NetworkSim::lan()));
     let def = base_def(false);
-    let initial = DraDocument::new_initial_with_pid(
-        &def,
-        &SecurityPolicy::public(),
-        &creds[0],
-        "acr-1",
-    )
-    .unwrap();
+    let initial =
+        DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "acr-1")
+            .unwrap();
     // amendment lands before anything executes
     let amended = amend_document(&initial, &creds[0], &extension()).unwrap();
     let out = run_instance(&sys, &amended, &agents(&creds, &dir), None, &respond, 20).unwrap();
@@ -102,13 +95,9 @@ fn pre_amended_document_runs_through_the_cloud_advanced() {
         dir.clone(),
         Arc::new(move || 500 + 10 * tick.fetch_add(1, std::sync::atomic::Ordering::Relaxed)),
     );
-    let initial = DraDocument::new_initial_with_pid(
-        &def,
-        &SecurityPolicy::public(),
-        &creds[0],
-        "acr-2",
-    )
-    .unwrap();
+    let initial =
+        DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "acr-2")
+            .unwrap();
     let amended = amend_document(&initial, &creds[0], &extension()).unwrap();
     let out =
         run_instance(&sys, &amended, &agents(&creds, &dir), Some(&tfc), &respond, 20).unwrap();
@@ -131,17 +120,11 @@ fn tampered_amendment_rejected_by_portal() {
     let (creds, dir) = cast();
     let sys = CloudSystem::new(dir.clone(), 1, Arc::new(NetworkSim::lan()));
     let def = base_def(false);
-    let initial = DraDocument::new_initial_with_pid(
-        &def,
-        &SecurityPolicy::public(),
-        &creds[0],
-        "acr-3",
-    )
-    .unwrap();
+    let initial =
+        DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "acr-3")
+            .unwrap();
     let amended = amend_document(&initial, &creds[0], &extension()).unwrap();
-    let forged = amended
-        .to_xml_string()
-        .replace("participant=\"carol\"", "participant=\"bob\"");
+    let forged = amended.to_xml_string().replace("participant=\"carol\"", "participant=\"bob\"");
     assert_ne!(forged, amended.to_xml_string());
     assert!(sys.store_document(0, &forged, &Route::default()).is_err());
     assert_eq!(sys.total_stored(), 0);

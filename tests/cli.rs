@@ -59,11 +59,16 @@ fn full_cli_lifecycle() {
     // init
     let out = cli(&[
         "init",
-        "--workflow", &tmp.path("order.dsl"),
-        "--policy", &tmp.path("order.policy"),
-        "--designer", "designer",
-        "--keys", &keys,
-        "--out", &tmp.path("doc-0.xml"),
+        "--workflow",
+        &tmp.path("order.dsl"),
+        "--policy",
+        &tmp.path("order.policy"),
+        "--designer",
+        "designer",
+        "--keys",
+        &keys,
+        "--out",
+        &tmp.path("doc-0.xml"),
     ])
     .unwrap();
     assert!(out.contains("initial document"));
@@ -75,13 +80,20 @@ fn full_cli_lifecycle() {
     // alice executes submit
     let out = cli(&[
         "execute",
-        "--doc", &tmp.path("doc-0.xml"),
-        "--activity", "submit",
-        "--as", "alice",
-        "--respond", "amount=120",
-        "--respond", "note=team event",
-        "--keys", &keys,
-        "--out", &tmp.path("doc-1.xml"),
+        "--doc",
+        &tmp.path("doc-0.xml"),
+        "--activity",
+        "submit",
+        "--as",
+        "alice",
+        "--respond",
+        "amount=120",
+        "--respond",
+        "note=team event",
+        "--keys",
+        &keys,
+        "--out",
+        &tmp.path("doc-1.xml"),
     ])
     .unwrap();
     assert!(out.contains("routed to [\"approve\"]"), "{out}");
@@ -89,12 +101,18 @@ fn full_cli_lifecycle() {
     // bob executes approve — sees the decrypted amount
     let out = cli(&[
         "execute",
-        "--doc", &tmp.path("doc-1.xml"),
-        "--activity", "approve",
-        "--as", "bob",
-        "--respond", "decision=granted",
-        "--keys", &keys,
-        "--out", &tmp.path("doc-2.xml"),
+        "--doc",
+        &tmp.path("doc-1.xml"),
+        "--activity",
+        "approve",
+        "--as",
+        "bob",
+        "--respond",
+        "decision=granted",
+        "--keys",
+        &keys,
+        "--out",
+        &tmp.path("doc-2.xml"),
     ])
     .unwrap();
     assert!(out.contains("visible: submit.amount = 120"), "{out}");
@@ -124,21 +142,32 @@ fn cli_verify_rejects_tampering() {
     }
     cli(&[
         "init",
-        "--workflow", &tmp.path("order.dsl"),
-        "--designer", "designer",
-        "--keys", &keys,
-        "--out", &tmp.path("doc-0.xml"),
+        "--workflow",
+        &tmp.path("order.dsl"),
+        "--designer",
+        "designer",
+        "--keys",
+        &keys,
+        "--out",
+        &tmp.path("doc-0.xml"),
     ])
     .unwrap();
     cli(&[
         "execute",
-        "--doc", &tmp.path("doc-0.xml"),
-        "--activity", "submit",
-        "--as", "alice",
-        "--respond", "amount=120",
-        "--respond", "note=n",
-        "--keys", &keys,
-        "--out", &tmp.path("doc-1.xml"),
+        "--doc",
+        &tmp.path("doc-0.xml"),
+        "--activity",
+        "submit",
+        "--as",
+        "alice",
+        "--respond",
+        "amount=120",
+        "--respond",
+        "note=n",
+        "--keys",
+        &keys,
+        "--out",
+        &tmp.path("doc-1.xml"),
     ])
     .unwrap();
 
@@ -148,8 +177,7 @@ fn cli_verify_rejects_tampering() {
     assert_ne!(tampered, xml);
     std::fs::write(tmp.path("doc-1.xml"), tampered).unwrap();
 
-    let errmsg =
-        cli(&["verify", "--doc", &tmp.path("doc-1.xml"), "--keys", &keys]).unwrap_err();
+    let errmsg = cli(&["verify", "--doc", &tmp.path("doc-1.xml"), "--keys", &keys]).unwrap_err();
     assert!(errmsg.contains("VERIFICATION FAILED"), "{errmsg}");
 }
 
@@ -163,23 +191,34 @@ fn cli_enforces_participant_and_args() {
     }
     cli(&[
         "init",
-        "--workflow", &tmp.path("order.dsl"),
-        "--designer", "designer",
-        "--keys", &keys,
-        "--out", &tmp.path("doc-0.xml"),
+        "--workflow",
+        &tmp.path("order.dsl"),
+        "--designer",
+        "designer",
+        "--keys",
+        &keys,
+        "--out",
+        &tmp.path("doc-0.xml"),
     ])
     .unwrap();
 
     // bob cannot execute alice's activity
     let errmsg = cli(&[
         "execute",
-        "--doc", &tmp.path("doc-0.xml"),
-        "--activity", "submit",
-        "--as", "bob",
-        "--respond", "amount=1",
-        "--respond", "note=n",
-        "--keys", &keys,
-        "--out", &tmp.path("never.xml"),
+        "--doc",
+        &tmp.path("doc-0.xml"),
+        "--activity",
+        "submit",
+        "--as",
+        "bob",
+        "--respond",
+        "amount=1",
+        "--respond",
+        "note=n",
+        "--keys",
+        &keys,
+        "--out",
+        &tmp.path("never.xml"),
     ])
     .unwrap_err();
     assert!(errmsg.contains("participant"), "{errmsg}");
@@ -191,12 +230,18 @@ fn cli_enforces_participant_and_args() {
     // bad respond syntax
     let errmsg = cli(&[
         "execute",
-        "--doc", &tmp.path("doc-0.xml"),
-        "--activity", "submit",
-        "--as", "alice",
-        "--respond", "amount:1",
-        "--keys", &keys,
-        "--out", &tmp.path("never.xml"),
+        "--doc",
+        &tmp.path("doc-0.xml"),
+        "--activity",
+        "submit",
+        "--as",
+        "alice",
+        "--respond",
+        "amount:1",
+        "--keys",
+        &keys,
+        "--out",
+        &tmp.path("never.xml"),
     ])
     .unwrap_err();
     assert!(errmsg.contains("field=value"), "{errmsg}");
@@ -247,10 +292,14 @@ fn full_cli_lifecycle_advanced_model() {
     }
     cli(&[
         "init",
-        "--workflow", &tmp.path("adv.dsl"),
-        "--designer", "designer",
-        "--keys", &keys,
-        "--out", &tmp.path("doc-0.xml"),
+        "--workflow",
+        &tmp.path("adv.dsl"),
+        "--designer",
+        "designer",
+        "--keys",
+        &keys,
+        "--out",
+        &tmp.path("doc-0.xml"),
     ])
     .unwrap();
 
@@ -258,12 +307,18 @@ fn full_cli_lifecycle_advanced_model() {
     // intermediate document
     let out = cli(&[
         "execute",
-        "--doc", &tmp.path("doc-0.xml"),
-        "--activity", "submit",
-        "--as", "alice",
-        "--respond", "amount=55",
-        "--keys", &keys,
-        "--out", &tmp.path("inter-1.xml"),
+        "--doc",
+        &tmp.path("doc-0.xml"),
+        "--activity",
+        "submit",
+        "--as",
+        "alice",
+        "--respond",
+        "amount=55",
+        "--keys",
+        &keys,
+        "--out",
+        &tmp.path("inter-1.xml"),
     ])
     .unwrap();
     assert!(out.contains("sealed to the TFC"), "{out}");
@@ -275,10 +330,14 @@ fn full_cli_lifecycle_advanced_model() {
     // …the notary finalizes it
     let out = cli(&[
         "tfc",
-        "--doc", &tmp.path("inter-1.xml"),
-        "--as", "notary",
-        "--keys", &keys,
-        "--out", &tmp.path("doc-1.xml"),
+        "--doc",
+        &tmp.path("inter-1.xml"),
+        "--as",
+        "notary",
+        "--keys",
+        &keys,
+        "--out",
+        &tmp.path("doc-1.xml"),
     ])
     .unwrap();
     assert!(out.contains("TFC finalized submit#0"), "{out}");
@@ -287,20 +346,30 @@ fn full_cli_lifecycle_advanced_model() {
     // bob completes through the TFC as well
     cli(&[
         "execute",
-        "--doc", &tmp.path("doc-1.xml"),
-        "--activity", "approve",
-        "--as", "bob",
-        "--respond", "decision=yes",
-        "--keys", &keys,
-        "--out", &tmp.path("inter-2.xml"),
+        "--doc",
+        &tmp.path("doc-1.xml"),
+        "--activity",
+        "approve",
+        "--as",
+        "bob",
+        "--respond",
+        "decision=yes",
+        "--keys",
+        &keys,
+        "--out",
+        &tmp.path("inter-2.xml"),
     ])
     .unwrap();
     let out = cli(&[
         "tfc",
-        "--doc", &tmp.path("inter-2.xml"),
-        "--as", "notary",
-        "--keys", &keys,
-        "--out", &tmp.path("doc-2.xml"),
+        "--doc",
+        &tmp.path("inter-2.xml"),
+        "--as",
+        "notary",
+        "--keys",
+        &keys,
+        "--out",
+        &tmp.path("doc-2.xml"),
     ])
     .unwrap();
     assert!(out.contains("process complete"), "{out}");

@@ -25,10 +25,7 @@ fn setup() -> (WorkflowDefinition, SecurityPolicy, Vec<Credentials>, Directory) 
 }
 
 fn agents(creds: &[Credentials], dir: &Directory) -> HashMap<String, Arc<Aea>> {
-    creds
-        .iter()
-        .map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone()))))
-        .collect()
+    creds.iter().map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone())))).collect()
 }
 
 fn respond(received: &ReceivedActivity) -> Vec<(String, String)> {
@@ -89,14 +86,14 @@ fn concurrent_instances_share_the_pool() {
 fn todo_lifecycle_across_portal() {
     let (def, pol, creds, dir) = setup();
     let sys = CloudSystem::new(dir.clone(), 2, Arc::new(NetworkSim::lan()));
-    let initial =
-        DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "todo-1").unwrap();
+    let initial = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "todo-1").unwrap();
 
     // manual Fig. 7 loop: store initial -> alice's TO-DO -> execute -> bob
-    sys.store_document(0, &initial.to_xml_string(), &Route {
-        targets: vec!["open".into()],
-        ends: false,
-    })
+    sys.store_document(
+        0,
+        &initial.to_xml_string(),
+        &Route { targets: vec!["open".into()], ends: false },
+    )
     .unwrap();
     assert_eq!(sys.search_todo("alice").len(), 1);
 
@@ -110,10 +107,7 @@ fn todo_lifecycle_across_portal() {
     assert!(sys.search_todo("alice").is_empty());
     assert_eq!(
         sys.search_todo("bob"),
-        vec![dra4wfms::cloud::TodoEntry {
-            process_id: "todo-1".into(),
-            activity: "close".into()
-        }]
+        vec![dra4wfms::cloud::TodoEntry { process_id: "todo-1".into(), activity: "close".into() }]
     );
 }
 
@@ -123,13 +117,9 @@ fn pool_survives_region_splits_under_document_load() {
     let sys = CloudSystem::new(dir.clone(), 1, Arc::new(NetworkSim::lan()));
     // push enough instances to force region splits (max_region_rows = 1024)
     for i in 0..700 {
-        let initial = DraDocument::new_initial_with_pid(
-            &def,
-            &pol,
-            &creds[0],
-            &format!("bulk-{i:05}"),
-        )
-        .unwrap();
+        let initial =
+            DraDocument::new_initial_with_pid(&def, &pol, &creds[0], &format!("bulk-{i:05}"))
+                .unwrap();
         sys.store_document(0, &initial.to_xml_string(), &Route::default()).unwrap();
     }
     let stats = sys.pool.stats();

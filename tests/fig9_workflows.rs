@@ -40,10 +40,7 @@ fn cast() -> (Vec<Credentials>, Directory) {
 }
 
 fn agents(creds: &[Credentials], dir: &Directory) -> HashMap<String, Arc<Aea>> {
-    creds
-        .iter()
-        .map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone()))))
-        .collect()
+    creds.iter().map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone())))).collect()
 }
 
 fn respond(received: &ReceivedActivity) -> Vec<(String, String)> {
@@ -67,7 +64,11 @@ fn policy(def: &WorkflowDefinition, advanced: bool) -> SecurityPolicy {
         .restrict("A", "attachment", &["p_b1", "p_b2", "p_c"])
         .restrict("C", "decision", &["p_a", "p_b1", "p_b2", "p_c", "p_d"])
         .build();
-    if advanced { p.with_tfc_access("TFC", def) } else { p }
+    if advanced {
+        p.with_tfc_access("TFC", def)
+    } else {
+        p
+    }
 }
 
 #[test]
@@ -77,8 +78,7 @@ fn fig9a_basic_model_structure_matches_table1() {
     let pol = policy(&def, false);
     // C routes on its own decision: C can read it (it is in the audience).
     let sys = CloudSystem::new(dir.clone(), 2, Arc::new(NetworkSim::lan()));
-    let initial =
-        DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "t1").unwrap();
+    let initial = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "t1").unwrap();
     let initial_size = initial.size_bytes();
 
     let out = run_instance(&sys, &initial, &agents(&creds, &dir), None, &respond, 100).unwrap();
@@ -160,13 +160,8 @@ fn loop_iterations_are_distinct_cers() {
     let (creds, dir) = cast();
     let def = fig9_def(false);
     let sys = CloudSystem::new(dir.clone(), 1, Arc::new(NetworkSim::lan()));
-    let initial = DraDocument::new_initial_with_pid(
-        &def,
-        &policy(&def, false),
-        &creds[0],
-        "t3",
-    )
-    .unwrap();
+    let initial =
+        DraDocument::new_initial_with_pid(&def, &policy(&def, false), &creds[0], "t3").unwrap();
     let out = run_instance(&sys, &initial, &agents(&creds, &dir), None, &respond, 100).unwrap();
     // X''_Ai(k) notation: the same activity appears once per iteration
     let keys: Vec<String> =
@@ -186,24 +181,15 @@ fn loop_iterations_are_distinct_cers() {
 fn and_join_requires_both_branches() {
     let (creds, dir) = cast();
     let def = fig9_def(false);
-    let initial = DraDocument::new_initial_with_pid(
-        &def,
-        &policy(&def, false),
-        &creds[0],
-        "t4",
-    )
-    .unwrap();
+    let initial =
+        DraDocument::new_initial_with_pid(&def, &policy(&def, false), &creds[0], "t4").unwrap();
     let ags = agents(&creds, &dir);
     // A executes, then only B1 — C must refuse
     let recv = ags["p_a"].receive(&initial.to_xml_string(), "A").unwrap();
-    let a_done = ags["p_a"]
-        .complete(&recv, &[("attachment".into(), "f".into())])
-        .unwrap();
+    let a_done = ags["p_a"].complete(&recv, &[("attachment".into(), "f".into())]).unwrap();
     let recv = ags["p_b1"].receive(&a_done.document.to_xml_string(), "B1").unwrap();
     let b1_done = ags["p_b1"].complete(&recv, &[("review1".into(), "ok".into())]).unwrap();
-    let err = ags["p_c"]
-        .receive(&b1_done.document.to_xml_string(), "C")
-        .unwrap_err();
+    let err = ags["p_c"].receive(&b1_done.document.to_xml_string(), "C").unwrap_err();
     assert!(matches!(err, WfError::Flow(m) if m.contains("AND-join")));
 
     // with B2's branch merged in, C proceeds

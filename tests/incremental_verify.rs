@@ -1,0 +1,244 @@
+//! Integration: the incremental verification pipeline.
+//!
+//! A [`TrustMark`] pins an already-verified prefix of a document by the
+//! SHA-256 of its canonical bytes. These tests pin the core contract:
+//!
+//! * with a mark covering j CERs and k CERs appended since, incremental
+//!   verification performs **exactly k** signature checks;
+//! * any tamper inside the marked prefix is still detected — the digest
+//!   mismatch forces the full pass, which fails loudly;
+//! * unusable marks (wrong process, too many CERs) fall back to the full
+//!   pass without changing the verdict;
+//! * acceptance is **equivalent** to the full verifier: a property test
+//!   over random runs, stale marks and random tampering asserts both
+//!   verifiers accept/reject exactly the same documents.
+
+use dra4wfms::prelude::*;
+use proptest::prelude::*;
+
+/// Deterministic cast for linear chains.
+fn cast(n: usize) -> (Vec<Credentials>, Directory) {
+    let mut creds = vec![Credentials::from_seed("designer", "iv-designer")];
+    for i in 0..n {
+        creds.push(Credentials::from_seed(format!("p{i}"), &format!("iv-p{i}")));
+    }
+    let dir = Directory::from_credentials(&creds);
+    (creds, dir)
+}
+
+fn linear_def(n: usize) -> WorkflowDefinition {
+    let mut b = WorkflowDefinition::builder("inc", "designer");
+    for i in 0..n {
+        b = b.simple_activity(format!("S{i}"), format!("p{i}"), &["f"]);
+    }
+    for i in 0..n - 1 {
+        b = b.flow(format!("S{i}"), format!("S{}", i + 1));
+    }
+    b.flow_end(format!("S{}", n - 1)).build().unwrap()
+}
+
+/// Execute an `n`-step public-policy chain, returning the document snapshot
+/// after every step (`snapshots[j]` has j CERs) plus the directory.
+fn run_chain(n: usize, values: &[String]) -> (Vec<DraDocument>, Directory) {
+    let (creds, dir) = cast(n);
+    let def = linear_def(n);
+    let mut doc =
+        DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "iv-pid")
+            .unwrap();
+    let mut snapshots = vec![doc.clone()];
+    for i in 0..n {
+        let aea = Aea::new(creds[i + 1].clone(), dir.clone());
+        let recv = aea.receive_document(doc, &format!("S{i}")).unwrap();
+        doc = aea
+            .complete(&recv, &[("f".into(), values[i].clone())])
+            .unwrap()
+            .document
+            .into_document();
+        snapshots.push(doc.clone());
+    }
+    (snapshots, dir)
+}
+
+/// A mark a hop would legitimately hold after fully verifying `doc`.
+fn mark_for(doc: &DraDocument, dir: &Directory) -> TrustMark {
+    let report = verify_document(doc, dir).unwrap();
+    trust_mark_for(doc, &report, 0).unwrap()
+}
+
+#[test]
+fn k_new_cers_cost_exactly_k_signature_checks() {
+    let n = 7;
+    let values: Vec<String> = (0..n).map(|i| format!("value-{i}")).collect();
+    let (snapshots, dir) = run_chain(n, &values);
+    let final_doc = snapshots.last().unwrap();
+
+    // the full pass costs designer + n participant checks
+    let full = verify_document(final_doc, &dir).unwrap();
+    assert_eq!(full.signatures_verified, 1 + n);
+
+    for (j, snapshot) in snapshots.iter().enumerate() {
+        let mark = mark_for(snapshot, &dir);
+        let outcome = verify_incremental(final_doc, &dir, Some(&mark)).unwrap();
+        assert!(!outcome.fell_back, "valid mark at j={j} must be used");
+        assert_eq!(outcome.reused_cers, j);
+        // the acceptance criterion: exactly k = n - j checks, no designer
+        // re-check (the prefix digest pins the definition too)
+        assert_eq!(
+            outcome.report.signatures_verified,
+            n - j,
+            "mark covering {j} CERs over a {n}-CER document"
+        );
+        // the fresh mark pins the whole document
+        assert_eq!(outcome.mark.verified_cers, n);
+        assert_eq!(
+            outcome.mark.prefix_digest,
+            dra4wfms::core::sealed::prefix_digest(final_doc, n).unwrap()
+        );
+    }
+}
+
+#[test]
+fn no_mark_is_a_plain_full_verification() {
+    let values: Vec<String> = (0..3).map(|i| format!("v{i}")).collect();
+    let (snapshots, dir) = run_chain(3, &values);
+    let outcome = verify_incremental(snapshots.last().unwrap(), &dir, None).unwrap();
+    assert!(!outcome.fell_back, "no mark offered, so nothing to fall back from");
+    assert_eq!(outcome.reused_cers, 0);
+    assert_eq!(outcome.report.signatures_verified, 4, "designer + 3 CERs");
+}
+
+#[test]
+fn tampered_prefix_detected_despite_stale_mark() {
+    let n = 5;
+    let values: Vec<String> = (0..n).map(|i| format!("value-{i}")).collect();
+    let (snapshots, dir) = run_chain(n, &values);
+    // the mark was honestly issued over the clean 3-CER prefix
+    let mark = mark_for(&snapshots[3], &dir);
+
+    // Mallory alters a result *inside* the marked prefix
+    let tampered_xml = snapshots[n].to_xml_string().replace("value-1", "evil-1");
+    assert_ne!(tampered_xml, snapshots[n].to_xml_string());
+    let tampered = DraDocument::parse(&tampered_xml).unwrap();
+
+    // the digest no longer matches, so the full pass runs — and fails
+    let err = verify_incremental(&tampered, &dir, Some(&mark)).unwrap_err();
+    assert!(matches!(err, WfError::Verify(_)), "tamper detected: {err}");
+
+    // the same attack against a sealed, trust-marked hand-off: the receiving
+    // AEA must reject it even though the seal claims a verified prefix
+    let sealed = SealedDocument::with_trust(tampered, mark);
+    let aea = Aea::new(Credentials::from_seed("p0", "iv-p0"), dir.clone());
+    assert!(aea.receive_sealed(sealed, "S0").is_err());
+}
+
+#[test]
+fn unusable_marks_fall_back_to_full_verification() {
+    let n = 4;
+    let values: Vec<String> = (0..n).map(|i| format!("w{i}")).collect();
+    let (snapshots, dir) = run_chain(n, &values);
+    let final_doc = snapshots.last().unwrap();
+    let good = mark_for(&snapshots[2], &dir);
+
+    // wrong process id
+    let mut wrong_pid = good.clone();
+    wrong_pid.process_id = "someone-else".into();
+    let outcome = verify_incremental(final_doc, &dir, Some(&wrong_pid)).unwrap();
+    assert!(outcome.fell_back);
+    assert_eq!(outcome.report.signatures_verified, 1 + n, "full pass ran");
+
+    // claims more CERs than the document has
+    let mut too_many = good.clone();
+    too_many.verified_cers = n + 3;
+    let outcome = verify_incremental(final_doc, &dir, Some(&too_many)).unwrap();
+    assert!(outcome.fell_back);
+
+    // digest of a different run
+    let mut bad_digest = good;
+    bad_digest.prefix_digest[0] ^= 0xff;
+    let outcome = verify_incremental(final_doc, &dir, Some(&bad_digest)).unwrap();
+    assert!(outcome.fell_back);
+    assert_eq!(outcome.reused_cers, 0);
+}
+
+#[test]
+fn advanced_model_hop_rechecks_participant_and_attestation_only() {
+    // Two activities through a TFC: at each hand-off the finalized CER is
+    // the only unverified part, costing exactly 2 checks (participant
+    // signature + TFC attestation).
+    let designer = Credentials::from_seed("designer", "adv-d");
+    let peter = Credentials::from_seed("peter", "adv-p");
+    let amy = Credentials::from_seed("amy", "adv-a");
+    let tfc_creds = Credentials::from_seed("TFC", "adv-t");
+    let def = WorkflowDefinition::builder("adv", "designer")
+        .simple_activity("A", "peter", &["x"])
+        .simple_activity("B", "amy", &["y"])
+        .flow("A", "B")
+        .flow_end("B")
+        .with_tfc("TFC")
+        .build()
+        .unwrap();
+    let policy = SecurityPolicy::public().with_tfc_access("TFC", &def);
+    let dir = Directory::from_credentials([&designer, &peter, &amy, &tfc_creds]);
+    let tfc = TfcServer::with_clock(tfc_creds, dir.clone(), std::sync::Arc::new(|| 42));
+
+    let initial = DraDocument::new_initial_with_pid(&def, &policy, &designer, "adv-pid").unwrap();
+    let aea_peter = Aea::new(peter, dir.clone());
+    let recv = aea_peter.receive_sealed(SealedDocument::new(initial), "A").unwrap();
+    assert_eq!(recv.report.signatures_verified, 1, "designer only");
+
+    let inter = aea_peter.complete_via_tfc(&recv, &[("x".into(), "1".into())]).unwrap();
+    // the TFC re-checks exactly the intermediate CER's participant signature
+    let processed = tfc.receive_sealed(inter.document).unwrap();
+    assert_eq!(processed.report.signatures_verified, 1);
+    let finalized = tfc.finalize(&processed).unwrap();
+
+    // next hop: the finalized CER costs participant + attestation, nothing
+    // else — the mark stops just short of the CER the TFC mutated
+    let aea_amy = Aea::new(amy, dir.clone());
+    let recv = aea_amy.receive_sealed(finalized.document, "B").unwrap();
+    assert_eq!(recv.report.signatures_verified, 2, "participant + TFC attestation");
+    assert_eq!(recv.reused_cers, 0, "the one existing CER was finalized in place");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Equivalence: on random linear runs — with a mark of random staleness
+    /// and an optional tamper at a random step — `verify_incremental`
+    /// accepts/rejects exactly the documents the full verifier does, and
+    /// reports the same CER list when both accept.
+    #[test]
+    fn prop_incremental_equivalent_to_full(
+        len in 2usize..6,
+        mark_at in 0usize..6,
+        tamper_at in 0usize..6,
+        tamper in any::<bool>(),
+    ) {
+        let mark_at = mark_at.min(len);
+        let tamper_at = tamper_at.min(len - 1);
+        let values: Vec<String> = (0..len).map(|i| format!("value-{i}")).collect();
+        let (snapshots, dir) = run_chain(len, &values);
+        let mark = mark_for(&snapshots[mark_at], &dir);
+
+        let doc = if tamper {
+            // alter step `tamper_at`'s recorded result — possibly inside the
+            // marked prefix (stale-mark attack), possibly after it
+            let xml = snapshots[len]
+                .to_xml_string()
+                .replace(&format!("value-{tamper_at}"), "evil");
+            DraDocument::parse(&xml).unwrap()
+        } else {
+            snapshots[len].clone()
+        };
+
+        let full = verify_document(&doc, &dir);
+        let inc = verify_incremental(&doc, &dir, Some(&mark));
+        prop_assert_eq!(full.is_ok(), inc.is_ok(), "verdicts must agree");
+        if let (Ok(f), Ok(i)) = (full, inc) {
+            prop_assert_eq!(f.process_id, i.report.process_id);
+            prop_assert_eq!(f.cers, i.report.cers);
+            prop_assert_eq!(f.ends_with_intermediate, i.report.ends_with_intermediate);
+            prop_assert!(!tamper, "tampered documents must not verify");
+        }
+    }
+}

@@ -34,7 +34,8 @@ fn run_chain(n: usize) -> (DraDocument, Directory) {
         doc = aea
             .complete(&recv, &[("v".into(), format!("value-{i}"))])
             .unwrap()
-            .document;
+            .document
+            .into_document();
     }
     (doc, dir)
 }
@@ -58,8 +59,7 @@ fn chain_scopes_are_nested_prefixes() {
 #[test]
 fn last_participant_cannot_repudiate_anything() {
     let (doc, _) = run_chain(4);
-    let scope =
-        nonrepudiation_scope(&doc, &PredRef::Cer(CerKey::new("S3", 0))).unwrap();
+    let scope = nonrepudiation_scope(&doc, &PredRef::Cer(CerKey::new("S3", 0))).unwrap();
     // "each participant cannot repudiate the execution of all his ancestors"
     for i in 0..4 {
         assert!(scope.contains(&PredRef::Cer(CerKey::new(format!("S{i}"), 0))));
@@ -127,19 +127,14 @@ fn parallel_branches_do_not_bind_each_other() {
     let recv = aea(3).receive(&a.document.to_xml_string(), "B2").unwrap();
     let b2 = aea(3).complete(&recv, &[("z".into(), "3".into())]).unwrap();
     let recv = aea(4)
-        .receive_merged(
-            &[&b1.document.to_xml_string(), &b2.document.to_xml_string()],
-            "C",
-        )
+        .receive_merged(&[&b1.document.to_xml_string(), &b2.document.to_xml_string()], "C")
         .unwrap();
     let c = aea(4).complete(&recv, &[("w".into(), "4".into())]).unwrap();
     verify_document(&c.document, &dir).unwrap();
 
-    let b1_scope =
-        nonrepudiation_scope(&c.document, &PredRef::Cer(CerKey::new("B1", 0))).unwrap();
+    let b1_scope = nonrepudiation_scope(&c.document, &PredRef::Cer(CerKey::new("B1", 0))).unwrap();
     assert!(!b1_scope.contains(&PredRef::Cer(CerKey::new("B2", 0))));
-    let c_scope =
-        nonrepudiation_scope(&c.document, &PredRef::Cer(CerKey::new("C", 0))).unwrap();
+    let c_scope = nonrepudiation_scope(&c.document, &PredRef::Cer(CerKey::new("C", 0))).unwrap();
     assert!(c_scope.contains(&PredRef::Cer(CerKey::new("B1", 0))));
     assert!(c_scope.contains(&PredRef::Cer(CerKey::new("B2", 0))));
     assert_eq!(c_scope.len(), 5, "Def + A + B1 + B2 + C");
@@ -169,10 +164,14 @@ fn scope_grows_through_loop_iterations() {
     for round in 0..3 {
         let recv = pa.receive(&doc.to_xml_string(), "A").unwrap();
         assert_eq!(recv.iter, round);
-        doc = pa.complete(&recv, &[("v".into(), format!("r{round}"))]).unwrap().document;
+        doc = pa
+            .complete(&recv, &[("v".into(), format!("r{round}"))])
+            .unwrap()
+            .document
+            .into_document();
         let recv = pb.receive(&doc.to_xml_string(), "B").unwrap();
         let ok = if round < 2 { "no" } else { "yes" };
-        doc = pb.complete(&recv, &[("ok".into(), ok.into())]).unwrap().document;
+        doc = pb.complete(&recv, &[("ok".into(), ok.into())]).unwrap().document.into_document();
     }
     verify_document(&doc, &dir).unwrap();
     // B#2's scope covers every iteration of both activities

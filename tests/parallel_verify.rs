@@ -24,7 +24,8 @@ fn chain(n: usize) -> (DraDocument, Directory) {
     for i in 0..n {
         let aea = Aea::new(creds[i + 1].clone(), dir.clone());
         let recv = aea.receive(&doc.to_xml_string(), &format!("S{i}")).unwrap();
-        doc = aea.complete(&recv, &[("v".into(), format!("x{i}"))]).unwrap().document;
+        doc =
+            aea.complete(&recv, &[("v".into(), format!("x{i}"))]).unwrap().document.into_document();
     }
     (doc, dir)
 }
@@ -47,10 +48,7 @@ fn parallel_detects_tampering() {
     assert_ne!(tampered, doc.to_xml_string());
     let parsed = DraDocument::parse(&tampered).unwrap();
     for threads in [1, 4] {
-        assert!(
-            verify_document_parallel(&parsed, &dir, threads).is_err(),
-            "threads={threads}"
-        );
+        assert!(verify_document_parallel(&parsed, &dir, threads).is_err(), "threads={threads}");
     }
 }
 
@@ -90,13 +88,8 @@ fn parallel_verify_amended_document() {
         .flow_end("s1")
         .build()
         .unwrap();
-    let doc = DraDocument::new_initial_with_pid(
-        &def,
-        &SecurityPolicy::public(),
-        &designer,
-        "pva",
-    )
-    .unwrap();
+    let doc = DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "pva")
+        .unwrap();
     let delta = DefinitionDelta {
         add_activities: vec![Activity {
             id: "s2".into(),

@@ -30,31 +30,22 @@ fn setup() -> (WorkflowDefinition, Directory, Vec<Credentials>) {
 /// Run the two-step workflow, returning the final genuine document.
 fn run(def: &WorkflowDefinition, dir: &Directory, creds: &[Credentials]) -> DraDocument {
     let initial =
-        DraDocument::new_initial_with_pid(def, &SecurityPolicy::public(), &creds[0], "tp")
-            .unwrap();
+        DraDocument::new_initial_with_pid(def, &SecurityPolicy::public(), &creds[0], "tp").unwrap();
     let alice = Aea::new(creds[1].clone(), dir.clone());
     let recv = alice.receive(&initial.to_xml_string(), "request").unwrap();
     let done = alice
-        .complete(
-            &recv,
-            &[("amount".into(), "100".into()), ("iban".into(), "DE02...".into())],
-        )
+        .complete(&recv, &[("amount".into(), "100".into()), ("iban".into(), "DE02...".into())])
         .unwrap();
     let bob = Aea::new(creds[2].clone(), dir.clone());
     let recv = bob.receive(&done.document.to_xml_string(), "approve").unwrap();
-    bob.complete(&recv, &[("approval".into(), "granted".into())])
-        .unwrap()
-        .document
+    bob.complete(&recv, &[("approval".into(), "granted".into())]).unwrap().document.into_document()
 }
 
 fn assert_detected(xml: &str, dir: &Directory, what: &str) {
     match DraDocument::parse(xml) {
         Err(_) => {} // mangled beyond parsing — also "detected"
         Ok(doc) => {
-            assert!(
-                verify_document(&doc, dir).is_err(),
-                "tamper class '{what}' must be detected"
-            );
+            assert!(verify_document(&doc, dir).is_err(), "tamper class '{what}' must be detected");
         }
     }
 }
@@ -129,13 +120,9 @@ fn cross_instance_replay_detected() {
     let (def, dir, creds) = setup();
     let doc = run(&def, &dir, &creds);
     // graft the executed CERs onto a fresh instance with a different pid
-    let mut fresh = DraDocument::new_initial_with_pid(
-        &def,
-        &SecurityPolicy::public(),
-        &creds[0],
-        "other-pid",
-    )
-    .unwrap();
+    let mut fresh =
+        DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "other-pid")
+            .unwrap();
     for cer in doc.cers().unwrap() {
         fresh.push_cer(cer.element.clone()).unwrap();
     }
@@ -149,17 +136,14 @@ fn encrypted_field_swap_detected() {
     let (def, dir, creds) = setup();
     let pol = SecurityPolicy::builder().restrict("request", "amount", &["bob"]).build();
     let make = |pid: &str, amount: &str| {
-        let initial =
-            DraDocument::new_initial_with_pid(&def, &pol, &creds[0], pid).unwrap();
+        let initial = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], pid).unwrap();
         let alice = Aea::new(creds[1].clone(), dir.clone());
         let recv = alice.receive(&initial.to_xml_string(), "request").unwrap();
         alice
-            .complete(
-                &recv,
-                &[("amount".into(), amount.into()), ("iban".into(), "X".into())],
-            )
+            .complete(&recv, &[("amount".into(), amount.into()), ("iban".into(), "X".into())])
             .unwrap()
             .document
+            .into_document()
     };
     let doc_a = make("pid-a", "100");
     let doc_b = make("pid-b", "999999");
@@ -180,6 +164,74 @@ fn encrypted_field_swap_detected() {
     let spliced = doc_a.to_xml_string().replace(&enc_a, &enc_b);
     assert_ne!(spliced, doc_a.to_xml_string());
     assert_detected(&spliced, &dir, "ciphertext splice");
+}
+
+#[test]
+fn stale_trust_mark_does_not_launder_prefix_tamper() {
+    // Mallory holds a mark honestly issued over the genuine document and
+    // attaches it to a tampered copy, hoping the verified-prefix fast path
+    // skips the signature that would expose the rewrite.
+    let (def, dir, creds) = setup();
+    let doc = run(&def, &dir, &creds);
+    let report = verify_document(&doc, &dir).unwrap();
+    let mark = trust_mark_for(&doc, &report, 0).unwrap();
+
+    let tampered_xml = doc.to_xml_string().replace(">100<", ">1000000<");
+    assert_ne!(tampered_xml, doc.to_xml_string());
+    let tampered = DraDocument::parse(&tampered_xml).unwrap();
+
+    // the prefix digest no longer matches, so the full pass runs and fails
+    let sealed = SealedDocument::with_trust(tampered, mark);
+    assert!(
+        verify_incremental(&sealed, &dir, sealed.trust()).is_err(),
+        "stale mark must not make a tampered prefix verify"
+    );
+
+    // the same laundering attempt against a portal is rejected at the door
+    let sys = dra4wfms::cloud::CloudSystem::new(
+        dir.clone(),
+        1,
+        std::sync::Arc::new(dra4wfms::cloud::NetworkSim::lan()),
+    );
+    let route = Route { targets: vec![], ends: true };
+    assert!(sys.store_sealed(0, &sealed, &route).is_err());
+    assert_eq!(sys.total_stored(), 0);
+}
+
+#[test]
+fn trust_cache_does_not_launder_tampered_bytes() {
+    // The portal's trust cache is keyed by the digest of the exact wire
+    // bytes — tampering changes the digest, so the cache cannot vouch for
+    // the rewritten document and the full pass exposes it.
+    let (def, dir, creds) = setup();
+    let doc = run(&def, &dir, &creds);
+    let xml = doc.to_xml_string();
+    let sys = dra4wfms::cloud::CloudSystem::new(
+        dir.clone(),
+        1,
+        std::sync::Arc::new(dra4wfms::cloud::NetworkSim::lan()),
+    );
+    let route = Route { targets: vec![], ends: true };
+
+    // genuine store: full pass (designer + 2 CERs) primes the cache
+    sys.store_document(0, &xml, &route).unwrap();
+    let stats = &sys.portals[0];
+    let after_first = stats.signature_checks.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(after_first, 3);
+
+    // byte-identical re-store: pure cache hit, zero signature checks
+    sys.store_document(0, &xml, &route).unwrap();
+    assert_eq!(
+        stats.signature_checks.load(std::sync::atomic::Ordering::Relaxed),
+        after_first,
+        "identical bytes must be served from the trust cache"
+    );
+
+    // tampered bytes: different digest, cache miss, full pass fails loudly
+    let t = xml.replace(">100<", ">1000000<");
+    assert_ne!(t, xml);
+    assert!(sys.store_document(0, &t, &route).is_err());
+    assert_eq!(sys.total_stored(), 2, "only the genuine copies were admitted");
 }
 
 /// The contrast: the identical rewrite in the engine baseline is silent.
