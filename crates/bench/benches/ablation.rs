@@ -88,12 +88,12 @@ fn bench_cascade_breadth(c: &mut Criterion) {
             DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "jb")
                 .unwrap();
         let aea_src = Aea::new(creds[1].clone(), dir.clone());
-        let recv = aea_src.receive(&doc.to_xml_string(), "src").unwrap();
+        let recv = aea_src.receive(doc.to_xml_string(), "src").unwrap();
         let src_done = aea_src.complete(&recv, &[("x".into(), "1".into())]).unwrap();
         let mut branch_docs = Vec::new();
         for i in 0..k {
             let aea = Aea::new(creds[2 + i].clone(), dir.clone());
-            let recv = aea.receive(&src_done.document.to_xml_string(), &format!("B{i}")).unwrap();
+            let recv = aea.receive(src_done.document.to_xml_string(), &format!("B{i}")).unwrap();
             branch_docs.push(
                 aea.complete(&recv, &[("y".into(), "2".into())]).unwrap().document.to_xml_string(),
             );

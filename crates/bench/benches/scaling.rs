@@ -33,7 +33,7 @@ fn bench_scaling(c: &mut Criterion) {
         let mut doc = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "sc").unwrap();
         for i in 0..n - 1 {
             let aea = Aea::new(creds[i + 1].clone(), dir.clone());
-            let recv = aea.receive(&doc.to_xml_string(), &format!("S{i}")).unwrap();
+            let recv = aea.receive(doc.to_xml_string(), &format!("S{i}")).unwrap();
             doc = aea
                 .complete(&recv, &[("payload".into(), "v".into())])
                 .unwrap()
@@ -41,7 +41,7 @@ fn bench_scaling(c: &mut Criterion) {
                 .into_document();
         }
         let aea = Aea::new(creds[n].clone(), dir.clone());
-        let received = aea.receive(&doc.to_xml_string(), &format!("S{}", n - 1)).unwrap();
+        let received = aea.receive(doc.to_xml_string(), &format!("S{}", n - 1)).unwrap();
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| aea.complete(&received, &[("payload".into(), "v".into())]).unwrap())
         });

@@ -98,7 +98,7 @@ pub fn run_chain_incremental(n: usize, encrypted: bool, payload: &str) -> Vec<Ch
     for i in 0..n {
         let aea = Aea::new(creds[i + 1].clone(), dir.clone());
         let t0 = Instant::now();
-        let received = aea.receive_sealed(sealed, &format!("S{i}")).expect("receive");
+        let received = aea.receive(sealed, &format!("S{i}")).expect("receive");
         let alpha = t0.elapsed();
         let sigs_verified = received.report.signatures_verified;
         let t1 = Instant::now();
@@ -126,7 +126,7 @@ pub fn finished_chain_document(n: usize, encrypted: bool) -> (String, Directory)
         DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "chain-doc").expect("initial");
     for i in 0..n {
         let aea = Aea::new(creds[i + 1].clone(), dir.clone());
-        let received = aea.receive(&doc.to_xml_string(), &format!("S{i}")).expect("receive");
+        let received = aea.receive(doc.to_xml_string(), &format!("S{i}")).expect("receive");
         doc = aea
             .complete(&received, &[("payload".into(), format!("data-{i}"))])
             .expect("complete")

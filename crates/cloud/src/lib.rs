@@ -11,22 +11,36 @@
 //!
 //! * [`netsim`] — a simulated network that accounts for message count and
 //!   bytes so routing costs can be compared analytically (virtual time),
+//! * [`faults`] — a seeded, deterministic lossy channel over the simulated
+//!   network: drop / duplicate / reorder / delay / bit-corrupt per
+//!   configurable [`FaultProfile`],
+//! * [`delivery`] — retry with exponential backoff + jitter in virtual
+//!   time, bounded redelivery, and per-run [`DeliveryStats`]: runs complete
+//!   *through* the faulty channel, and a fault can cost time but never
+//!   safety,
 //! * [`portal`] — portal servers over the [`dra_docpool`] pool: store /
 //!   retrieve / search (TO-DO lists) / notify / monitor / MapReduce
-//!   statistics,
-//! * [`runner`] — an end-to-end scenario driver that pushes whole process
-//!   instances through AEAs, the TFC and the portals (including AND-split
-//!   branching and AND-join merging).
+//!   statistics; idempotent by wire digest, so duplicated copies never grow
+//!   the pool,
+//! * [`runner`] — an end-to-end scenario driver ([`InstanceRun`]) that
+//!   pushes whole process instances through AEAs, the TFC and the portals
+//!   (including AND-split branching and AND-join merging), optionally over
+//!   a fault-injecting delivery channel.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delivery;
+pub mod faults;
 pub mod netsim;
 pub mod portal;
 pub mod runner;
 pub mod trustcache;
 
+pub use delivery::{Delivery, DeliveryPolicy, DeliveryStats};
+pub use faults::{FaultCounts, FaultProfile, FaultyNetwork};
 pub use netsim::NetworkSim;
-pub use portal::{CloudSystem, PortalStats, TodoEntry};
-pub use runner::{run_instance, Responder, RunOutcome};
+pub use portal::{CloudSystem, PortalStats, StoreAck, TodoEntry};
+#[allow(deprecated)]
+pub use runner::{run_instance, InstanceRun, Responder, RunOutcome};
 pub use trustcache::TrustCache;

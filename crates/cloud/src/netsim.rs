@@ -1,42 +1,76 @@
 //! A simulated network: counts messages and bytes instead of sleeping, so
 //! benchmarks can compare communication costs deterministically.
 //!
-//! Virtual time = `messages · latency + bytes / bandwidth`. The paper's
-//! scalability arguments are about how much state must cross the network
-//! (whole process instances for engine migration, routed documents for
-//! DRA4WfMS) — this model exposes exactly that.
+//! Virtual time = `messages · latency + bytes / bandwidth + waits`. The
+//! paper's scalability arguments are about how much state must cross the
+//! network (whole process instances for engine migration, routed documents
+//! for DRA4WfMS) — this model exposes exactly that. The `waits` term is
+//! contributed by the delivery layer ([`crate::delivery`]): injected fault
+//! delays, ack timeouts and retry backoff all advance virtual time without
+//! moving bytes.
 
+use dra4wfms_core::error::{WfError, WfResult};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Simulated-network accounting.
+///
+/// Units: latency is **microseconds per message**; bandwidth is **bytes per
+/// microsecond**, which is numerically identical to MB/s (1 byte/µs =
+/// 10⁶ bytes/s ≈ 1 MB/s).
 #[derive(Debug)]
 pub struct NetworkSim {
-    /// Per-message latency in microseconds.
+    /// Per-message latency in microseconds (µs/message).
     pub latency_us: u64,
-    /// Bandwidth in bytes per microsecond (i.e. MB/s).
+    /// Bandwidth in bytes per microsecond (≡ MB/s). Never zero — the
+    /// constructor rejects zero-bandwidth profiles.
     pub bytes_per_us: u64,
     messages: AtomicU64,
     bytes: AtomicU64,
+    /// Virtual waiting time injected on top of transfer time (fault delays,
+    /// retry backoff) in microseconds.
+    waited_us: AtomicU64,
 }
 
 impl NetworkSim {
     /// A WAN-ish profile: 20 ms per hop, ~12.5 MB/s (100 Mbit).
     pub fn wan() -> NetworkSim {
-        NetworkSim::new(20_000, 12)
+        NetworkSim::profile(20_000, 12)
     }
 
     /// A LAN-ish profile: 200 µs per hop, ~125 MB/s.
     pub fn lan() -> NetworkSim {
-        NetworkSim::new(200, 125)
+        NetworkSim::profile(200, 125)
     }
 
-    /// Custom profile.
-    pub fn new(latency_us: u64, bytes_per_us: u64) -> NetworkSim {
+    /// Custom profile. `latency_us` is µs per message, `bytes_per_us` is
+    /// bytes per µs (≡ MB/s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WfError::Config`] when `bytes_per_us` is zero: a
+    /// zero-bandwidth network would make every transfer take infinite
+    /// virtual time, and silently clamping it (as earlier versions did)
+    /// hid mis-written profiles.
+    pub fn new(latency_us: u64, bytes_per_us: u64) -> WfResult<NetworkSim> {
+        if bytes_per_us == 0 {
+            return Err(WfError::Config(
+                "network bandwidth must be positive (bytes_per_us = 0 means nothing ever \
+                 arrives; pass at least 1 byte/µs ≈ 1 MB/s)"
+                    .into(),
+            ));
+        }
+        Ok(NetworkSim::profile(latency_us, bytes_per_us))
+    }
+
+    /// Infallible internal constructor for the known-good named profiles.
+    fn profile(latency_us: u64, bytes_per_us: u64) -> NetworkSim {
+        debug_assert!(bytes_per_us > 0);
         NetworkSim {
             latency_us,
-            bytes_per_us: bytes_per_us.max(1),
+            bytes_per_us,
             messages: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            waited_us: AtomicU64::new(0),
         }
     }
 
@@ -44,6 +78,12 @@ impl NetworkSim {
     pub fn transfer(&self, len: usize) {
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    /// Advance virtual time by `us` microseconds without moving bytes —
+    /// fault-injected delays, ack timeouts and retry backoff.
+    pub fn advance(&self, us: u64) {
+        self.waited_us.fetch_add(us, Ordering::Relaxed);
     }
 
     /// Messages sent so far.
@@ -56,15 +96,28 @@ impl NetworkSim {
         self.bytes.load(Ordering::Relaxed)
     }
 
-    /// Accumulated virtual transfer time in microseconds.
+    /// Virtual waiting time injected via [`NetworkSim::advance`].
+    pub fn waited_us(&self) -> u64 {
+        self.waited_us.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated virtual time in microseconds: transfer time plus waits.
     pub fn virtual_time_us(&self) -> u64 {
-        self.messages() * self.latency_us + self.bytes() / self.bytes_per_us
+        self.messages() * self.latency_us + self.bytes() / self.bytes_per_us + self.waited_us()
+    }
+
+    /// Virtual time `messages` messages of `bytes` total bytes would take on
+    /// this profile with no faults and no waits — the lossless baseline the
+    /// delivery layer compares against.
+    pub fn ideal_time_us(&self, messages: u64, bytes: u64) -> u64 {
+        messages * self.latency_us + bytes / self.bytes_per_us
     }
 
     /// Reset the counters (between benchmark phases).
     pub fn reset(&self) {
         self.messages.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
+        self.waited_us.store(0, Ordering::Relaxed);
     }
 }
 
@@ -74,7 +127,7 @@ mod tests {
 
     #[test]
     fn accounting() {
-        let n = NetworkSim::new(1000, 10);
+        let n = NetworkSim::new(1000, 10).unwrap();
         n.transfer(500);
         n.transfer(1500);
         assert_eq!(n.messages(), 2);
@@ -83,9 +136,36 @@ mod tests {
     }
 
     #[test]
+    fn zero_bandwidth_is_a_constructor_error() {
+        let err = NetworkSim::new(1000, 0).unwrap_err();
+        assert!(matches!(err, WfError::Config(_)), "got {err}");
+        // one byte per microsecond is the smallest valid profile
+        assert!(NetworkSim::new(1000, 1).is_ok());
+    }
+
+    #[test]
+    fn advance_adds_virtual_waits() {
+        let n = NetworkSim::new(100, 10).unwrap();
+        n.transfer(1000);
+        let transfer_only = n.virtual_time_us();
+        n.advance(5_000);
+        assert_eq!(n.virtual_time_us(), transfer_only + 5_000);
+        assert_eq!(n.waited_us(), 5_000);
+    }
+
+    #[test]
+    fn ideal_time_matches_unfaulted_transfers() {
+        let n = NetworkSim::new(1000, 10).unwrap();
+        n.transfer(500);
+        n.transfer(1500);
+        assert_eq!(n.ideal_time_us(2, 2000), n.virtual_time_us());
+    }
+
+    #[test]
     fn reset_clears() {
         let n = NetworkSim::lan();
         n.transfer(100);
+        n.advance(42);
         n.reset();
         assert_eq!(n.messages(), 0);
         assert_eq!(n.virtual_time_us(), 0);

@@ -21,6 +21,21 @@ const FAM_DOC: &str = "doc";
 const QUAL_XML: &str = "xml";
 const FAM_META: &str = "meta";
 
+/// A portal's acknowledgement of a store request.
+///
+/// Idempotency receipt: when the same wire bytes are presented twice (a
+/// duplicated or retransmitted copy on a faulty network), the portal
+/// recognises them by digest and returns the original sequence number with
+/// `duplicate = true` instead of growing the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreAck {
+    /// Sequence number the document is stored under.
+    pub seq: usize,
+    /// `true` when these exact bytes were already stored and the request
+    /// was suppressed rather than re-executed.
+    pub duplicate: bool,
+}
+
 /// A pending work item for a participant (the TO-DO list of §4.2).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TodoEntry {
@@ -45,6 +60,9 @@ pub struct PortalStats {
     /// Verification passes that reused a verified prefix instead of
     /// re-checking every CER.
     pub incremental_verifications: AtomicUsize,
+    /// Store requests recognised by wire digest as already stored and
+    /// suppressed (duplicate copies on a faulty network).
+    pub duplicates_suppressed: AtomicUsize,
 }
 
 /// The DRA4WfMS cloud system: a pool of documents behind `n` portal servers.
@@ -87,6 +105,10 @@ impl CloudSystem {
         format!("meta/{process_id}")
     }
 
+    fn seen_key(digest: &[u8; 32]) -> String {
+        format!("seen/{}", dra_crypto::hex::encode(digest))
+    }
+
     /// Store a verified document through portal `portal`, then notify the
     /// participants of `route`'s target activities (steps 4–6 of Fig. 7).
     ///
@@ -100,21 +122,69 @@ impl CloudSystem {
     /// re-serialization), and verification is incremental whenever the
     /// document carries a [`TrustMark`] or the portal's trust cache
     /// remembers these exact bytes.
+    ///
+    /// Idempotent: re-presenting bytes already stored returns the original
+    /// sequence number without growing the pool.
     pub fn store_sealed(
         &self,
         portal: usize,
         sealed: &SealedDocument,
         route: &Route,
     ) -> WfResult<usize> {
+        self.network.transfer(sealed.size_bytes());
+        Ok(self.admit(portal, sealed, route)?.seq)
+    }
+
+    /// Ingest wire bytes as they arrived off the network, **without**
+    /// charging the network simulation — the delivery layer already charged
+    /// every physical copy it put on the channel, including dropped and
+    /// duplicated ones ([`crate::faults::FaultyNetwork::send`]).
+    ///
+    /// `trust` is the mark the *sender* holds for the bytes it transmitted.
+    /// Attaching it to whatever arrived is safe because the mark pins a
+    /// prefix digest: a corrupted copy no longer digest-matches, so
+    /// verification falls back to the full signature pass and rejects it —
+    /// corrupted bytes can never ride the original's trust into the pool.
+    pub fn ingest_wire(
+        &self,
+        portal: usize,
+        wire: &str,
+        route: &Route,
+        trust: Option<&TrustMark>,
+    ) -> WfResult<StoreAck> {
+        let mut sealed = SealedDocument::from_wire(wire)?;
+        if let Some(mark) = trust {
+            sealed.set_trust(mark.clone());
+        }
+        self.admit(portal, &sealed, route)
+    }
+
+    /// The portal's admission pipeline: duplicate suppression by wire
+    /// digest, verification (incremental when trusted), storage, TO-DO
+    /// notification. Shared by the direct path ([`CloudSystem::store_sealed`],
+    /// which also charges the network) and the delivery path
+    /// ([`CloudSystem::ingest_wire`], which does not).
+    fn admit(&self, portal: usize, sealed: &SealedDocument, route: &Route) -> WfResult<StoreAck> {
         let stats = &self.portals[portal % self.portals.len()];
         let wire = sealed.wire();
-        self.network.transfer(wire.len());
+        let digest = dra_crypto::sha256(wire.as_bytes());
+
+        // idempotency: bytes we have already stored are acked, not
+        // re-stored — a duplicated or retransmitted copy costs nothing but
+        // the transfer. Keyed by the same digest the trust cache uses.
+        if let Some(seq) = self
+            .pool
+            .get_str(&Self::seen_key(&digest), FAM_META, "seq")
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            stats.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
+            return Ok(StoreAck { seq, duplicate: true });
+        }
 
         // the portal verifies before storing — a malformed or tampered
         // document never enters the pool. A trust mark only ever *narrows*
         // the work: its prefix digest must match byte-identically, and any
         // mismatch falls back to the full signature pass.
-        let digest = dra_crypto::sha256(wire.as_bytes());
         let mark = match sealed.trust() {
             Some(m) => Some(m.clone()),
             None => self.trust_cache.get(&digest),
@@ -134,6 +204,10 @@ impl CloudSystem {
         // CER count alone would collide)
         let seq = self.pool.scan_prefix(&format!("doc/{pid}/")).len();
         self.pool.put(&Self::doc_key(&pid, seq), FAM_DOC, QUAL_XML, wire.as_ref().clone());
+        // remember the digest → seq binding for duplicate suppression; a
+        // pool row (not portal memory), so it survives snapshot/restore and
+        // is shared by every portal
+        self.pool.put(&Self::seen_key(&digest), FAM_META, "seq", seq.to_string());
 
         // meta row: status + step counter for monitoring dashboards
         // (amendments folded in, so dynamically added activities resolve)
@@ -154,7 +228,7 @@ impl CloudSystem {
             );
         }
         stats.stored.fetch_add(1, Ordering::Relaxed);
-        Ok(seq)
+        Ok(StoreAck { seq, duplicate: false })
     }
 
     /// Retrieve the latest stored document of a process (step 2 of Fig. 7).
@@ -311,6 +385,11 @@ impl CloudSystem {
     /// Total documents stored across portals.
     pub fn total_stored(&self) -> usize {
         self.portals.iter().map(|p| p.stored.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total duplicate store requests suppressed across portals.
+    pub fn total_duplicates_suppressed(&self) -> usize {
+        self.portals.iter().map(|p| p.duplicates_suppressed.load(Ordering::Relaxed)).sum()
     }
 
     /// Upload a secured initial document ("the secured initial DRA4WfMS
@@ -501,7 +580,7 @@ mod tests {
         assert!(sys.upload_initial(0, &forged).is_err());
         // a document with executed CERs is not an initial document
         let aea = Aea::new(alice, sys.directory.clone());
-        let recv = aea.receive(&doc.to_xml_string(), "submit").unwrap();
+        let recv = aea.receive(doc.to_xml_string(), "submit").unwrap();
         let done = aea.complete(&recv, &[("amount".into(), "1".into())]).unwrap();
         assert!(matches!(
             sys.upload_initial(0, &done.document.to_xml_string()),
@@ -536,6 +615,61 @@ mod tests {
             &snapshot[..10],
         )
         .is_err());
+    }
+
+    #[test]
+    fn storing_the_same_bytes_twice_is_idempotent() {
+        let (sys, def, pol, designer, _) = setup();
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "p-dup").unwrap();
+        let route = Route { targets: vec!["submit".into()], ends: false };
+        let sealed = SealedDocument::from_wire(&doc.to_xml_string()).unwrap();
+        let first = sys.store_sealed(0, &sealed, &route).unwrap();
+        let second = sys.store_sealed(1, &sealed, &route).unwrap();
+        assert_eq!(first, second, "duplicate acks the original sequence number");
+        assert_eq!(sys.pool.scan_prefix("doc/p-dup/").len(), 1, "pool holds one version");
+        assert_eq!(sys.total_stored(), 1);
+        assert_eq!(sys.total_duplicates_suppressed(), 1);
+    }
+
+    #[test]
+    fn ingest_wire_dedup_and_rejection() {
+        let (sys, def, pol, designer, _) = setup();
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "p-iw").unwrap();
+        let wire = doc.to_xml_string();
+        let route = Route { targets: vec!["submit".into()], ends: false };
+        let bytes_before = sys.network.bytes();
+
+        let ack = sys.ingest_wire(0, &wire, &route, None).unwrap();
+        assert!(!ack.duplicate);
+        let again = sys.ingest_wire(0, &wire, &route, None).unwrap();
+        assert!(again.duplicate);
+        assert_eq!(again.seq, ack.seq);
+        // the delivery layer charges the channel; ingest must not
+        assert_eq!(sys.network.bytes(), bytes_before);
+
+        // a tampered copy is rejected, stored nothing
+        let tampered = wire.replace("alice", "mallory");
+        assert!(sys.ingest_wire(0, &tampered, &route, None).is_err());
+        assert_eq!(sys.pool.scan_prefix("doc/p-iw/").len(), 1);
+    }
+
+    #[test]
+    fn duplicate_suppression_survives_restart() {
+        let (sys, def, pol, designer, _) = setup();
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "p-sr").unwrap();
+        let sealed = SealedDocument::from_wire(&doc.to_xml_string()).unwrap();
+        let route = Route { targets: vec!["submit".into()], ends: false };
+        let seq = sys.store_sealed(0, &sealed, &route).unwrap();
+        let snapshot = sys.snapshot_pool();
+
+        let restored =
+            CloudSystem::restore(sys.directory.clone(), 1, Arc::new(NetworkSim::lan()), &snapshot)
+                .unwrap();
+        // the digest → seq binding lives in the pool, so a replayed copy is
+        // still recognised after a cold restart
+        let ack = restored.ingest_wire(0, &doc.to_xml_string(), &route, None).unwrap();
+        assert!(ack.duplicate);
+        assert_eq!(ack.seq, seq);
     }
 
     #[test]

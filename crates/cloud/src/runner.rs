@@ -5,7 +5,20 @@
 //! Participants are scripted: a [`Responder`] maps each opened activity to
 //! its response fields, standing in for the humans behind the GUIs (the
 //! experiments measure AEA/TFC processing, not think time).
+//!
+//! Runs are configured with the [`InstanceRun`] builder:
+//!
+//! ```ignore
+//! let outcome = InstanceRun::new(&system, &initial)
+//!     .agents(&agents)
+//!     .tfc(&tfc)                // advanced model only
+//!     .respond(&responder)
+//!     .max_steps(100)
+//!     .network(&delivery)       // optional: hops cross a faulty channel
+//!     .run()?;
+//! ```
 
+use crate::delivery::{Delivery, DeliveryStats};
 use crate::portal::CloudSystem;
 use dra4wfms_core::flow::merge_documents;
 use dra4wfms_core::prelude::*;
@@ -17,6 +30,7 @@ use std::sync::Arc;
 pub type Responder = dyn Fn(&ReceivedActivity) -> Vec<(String, String)> + Sync;
 
 /// The result of driving one process instance to completion.
+#[derive(Debug)]
 pub struct RunOutcome {
     /// The final document (sealed, with the last hop's trust mark).
     pub document: SealedDocument,
@@ -28,16 +42,209 @@ pub struct RunOutcome {
     /// with trust-marked hand-offs this grows O(n) in the number of steps
     /// instead of the O(n²) of re-verifying every cascade from scratch.
     pub signature_checks: usize,
+    /// Delivery accounting when the run crossed a fault-injecting channel
+    /// ([`InstanceRun::network`]); `None` on the direct path.
+    pub delivery: Option<DeliveryStats>,
 }
 
-/// Drive one process instance end to end.
+/// Builder for driving one process instance end to end.
 ///
-/// * `system` — the cloud deployment (portals + pool + PKI),
-/// * `initial` — the secured initial document,
-/// * `agents` — one AEA per participant name,
-/// * `tfc` — the TFC server when the definition uses the advanced model,
-/// * `respond` — scripted participant behaviour,
-/// * `max_steps` — safety bound against runaway loops.
+/// Required: [`InstanceRun::agents`] and [`InstanceRun::respond`] — the run
+/// fails with [`WfError::Config`] without them. Everything else has
+/// defaults: no TFC (basic model), 1 000 step bound, direct (lossless)
+/// hand-offs.
+#[must_use = "the builder does nothing until .run()"]
+pub struct InstanceRun<'a> {
+    system: &'a CloudSystem,
+    initial: &'a DraDocument,
+    agents: Option<&'a HashMap<String, Arc<Aea>>>,
+    tfc: Option<&'a TfcServer>,
+    respond: Option<&'a Responder>,
+    max_steps: usize,
+    delivery: Option<&'a Delivery>,
+}
+
+impl<'a> InstanceRun<'a> {
+    /// Start configuring a run of `initial` on `system`.
+    pub fn new(system: &'a CloudSystem, initial: &'a DraDocument) -> InstanceRun<'a> {
+        InstanceRun {
+            system,
+            initial,
+            agents: None,
+            tfc: None,
+            respond: None,
+            max_steps: 1_000,
+            delivery: None,
+        }
+    }
+
+    /// One AEA per participant name (required).
+    pub fn agents(mut self, agents: &'a HashMap<String, Arc<Aea>>) -> InstanceRun<'a> {
+        self.agents = Some(agents);
+        self
+    }
+
+    /// The TFC server, when the definition uses the advanced model.
+    pub fn tfc(mut self, tfc: &'a TfcServer) -> InstanceRun<'a> {
+        self.tfc = Some(tfc);
+        self
+    }
+
+    /// Scripted participant behaviour (required).
+    pub fn respond(mut self, respond: &'a Responder) -> InstanceRun<'a> {
+        self.respond = Some(respond);
+        self
+    }
+
+    /// Safety bound against runaway loops (default 1 000).
+    pub fn max_steps(mut self, max_steps: usize) -> InstanceRun<'a> {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Route every document hand-off (AEA → portal, AEA → TFC) through a
+    /// fault-injecting [`Delivery`] channel instead of the direct path. The
+    /// outcome's [`RunOutcome::delivery`] then carries the per-run stats.
+    pub fn network(mut self, delivery: &'a Delivery) -> InstanceRun<'a> {
+        self.delivery = Some(delivery);
+        self
+    }
+
+    /// Store a document through the configured channel: direct (charging
+    /// the network once) or via retry/backoff delivery over the faulty one.
+    fn store(&self, portal: usize, sealed: &SealedDocument, route: &Route) -> WfResult<()> {
+        match self.delivery {
+            Some(d) => d.deliver(self.system, portal, sealed, route).map(|_| ()),
+            None => self.system.store_sealed(portal, sealed, route).map(|_| ()),
+        }
+    }
+
+    /// Drive the instance to completion.
+    pub fn run(self) -> WfResult<RunOutcome> {
+        let system = self.system;
+        let initial = self.initial;
+        let agents =
+            self.agents.ok_or_else(|| WfError::Config("InstanceRun needs .agents(..)".into()))?;
+        let respond =
+            self.respond.ok_or_else(|| WfError::Config("InstanceRun needs .respond(..)".into()))?;
+
+        let (def, _) = dra4wfms_core::amendment::effective_definition(initial)?;
+        def.validate()?;
+        let pid = initial.process_id()?;
+        if def.tfc.is_some() && self.tfc.is_none() {
+            return Err(WfError::Policy(
+                "definition uses the advanced model but no TFC server was provided".into(),
+            ));
+        }
+
+        // the initial document enters the pool; the start activity is
+        // notified
+        let sealed_initial = SealedDocument::new(initial.clone());
+        self.store(0, &sealed_initial, &Route { targets: vec![def.start.clone()], ends: false })?;
+
+        // inbox: per-activity branch documents awaiting execution/merge.
+        // Hops hand off the sealed form — bytes plus trust mark — so a
+        // single-branch arrival is verified incrementally instead of
+        // re-parsed from XML.
+        let mut inbox: HashMap<String, Vec<SealedDocument>> = HashMap::new();
+        inbox.entry(def.start.clone()).or_default().push(sealed_initial.clone());
+        let mut queue: VecDeque<String> = VecDeque::from([def.start.clone()]);
+
+        let mut steps = 0usize;
+        let mut signature_checks = 0usize;
+        let mut last_doc = sealed_initial;
+
+        while let Some(activity) = queue.pop_front() {
+            let Some(arrived) = inbox.remove(&activity) else { continue };
+            if steps >= self.max_steps {
+                return Err(WfError::Flow(format!(
+                    "run exceeded {} steps (runaway loop?)",
+                    self.max_steps
+                )));
+            }
+
+            // merge branch documents (single-document arrivals keep their
+            // seal and trust mark; a true merge builds a new document that
+            // needs a full verification)
+            let merged = if arrived.len() == 1 {
+                arrived.into_iter().next().expect("one element")
+            } else {
+                let docs: Vec<DraDocument> = arrived.iter().map(|s| s.document().clone()).collect();
+                SealedDocument::new(merge_documents(&docs)?)
+            };
+
+            // re-fold amendments: a designer may have amended the definition
+            // mid-run, and routing must follow the rules now in force
+            let (def_now, _) = dra4wfms_core::amendment::effective_definition(&merged)?;
+            let act = def_now.activity(&activity)?.clone();
+            let aea = agents
+                .get(&act.participant)
+                .ok_or_else(|| WfError::UnknownIdentity(act.participant.clone()))?;
+
+            // AND-join: wait for the remaining branches
+            if act.join == JoinKind::All && !join_ready(&merged, &def_now, &activity)? {
+                inbox.entry(activity.clone()).or_default().push(merged);
+                continue;
+            }
+
+            let received = aea.receive(merged, &activity)?;
+            signature_checks += received.report.signatures_verified;
+            let responses = respond(&received);
+            steps += 1;
+
+            // basic vs advanced model
+            let (document, route) = match (&def_now.tfc, self.tfc) {
+                (Some(_), Some(server)) => {
+                    let inter = aea.complete_via_tfc(&received, &responses)?;
+                    let processed = match self.delivery {
+                        // the AEA → TFC hop crosses the same faulty channel
+                        Some(d) => d.transfer(&inter.document, |s| server.receive(s))?,
+                        None => {
+                            system.network.transfer(inter.document.size_bytes());
+                            server.receive(inter.document)?
+                        }
+                    };
+                    signature_checks += processed.report.signatures_verified;
+                    let finalized = server.finalize(&processed)?;
+                    (finalized.document, finalized.route)
+                }
+                _ => {
+                    let done = aea.complete(&received, &responses)?;
+                    (done.document, done.route)
+                }
+            };
+
+            // store + notify (portal chosen round-robin by step)
+            self.store(steps, &document, &route)?;
+            system.consume_todo(&act.participant, &pid, &activity);
+
+            for target in &route.targets {
+                inbox.entry(target.clone()).or_default().push(document.clone());
+                if !queue.contains(target) {
+                    queue.push_back(target.clone());
+                }
+            }
+            last_doc = document;
+        }
+
+        // late reordered copies are ingested before stats are read, so the
+        // same seed + profile always reports the same numbers
+        let delivery = self.delivery.map(|d| {
+            d.flush(system);
+            d.stats()
+        });
+
+        Ok(RunOutcome { document: last_doc, steps, process_id: pid, signature_checks, delivery })
+    }
+}
+
+/// Deprecated positional-argument wrapper around [`InstanceRun`], kept for
+/// one release.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the InstanceRun builder: \
+            InstanceRun::new(system, initial).agents(..).respond(..).run()"
+)]
 pub fn run_instance(
     system: &CloudSystem,
     initial: &DraDocument,
@@ -46,104 +253,17 @@ pub fn run_instance(
     respond: &Responder,
     max_steps: usize,
 ) -> WfResult<RunOutcome> {
-    let (def, _) = dra4wfms_core::amendment::effective_definition(initial)?;
-    def.validate()?;
-    let pid = initial.process_id()?;
-    if def.tfc.is_some() && tfc.is_none() {
-        return Err(WfError::Policy(
-            "definition uses the advanced model but no TFC server was provided".into(),
-        ));
+    let mut run = InstanceRun::new(system, initial).agents(agents).respond(respond);
+    if let Some(server) = tfc {
+        run = run.tfc(server);
     }
-
-    // the initial document enters the pool; the start activity is notified
-    let sealed_initial = SealedDocument::new(initial.clone());
-    system.store_sealed(
-        0,
-        &sealed_initial,
-        &Route { targets: vec![def.start.clone()], ends: false },
-    )?;
-
-    // inbox: per-activity branch documents awaiting execution/merge. Hops
-    // hand off the sealed form — bytes plus trust mark — so a single-branch
-    // arrival is verified incrementally instead of re-parsed from XML.
-    let mut inbox: HashMap<String, Vec<SealedDocument>> = HashMap::new();
-    inbox.entry(def.start.clone()).or_default().push(sealed_initial.clone());
-    let mut queue: VecDeque<String> = VecDeque::from([def.start.clone()]);
-
-    let mut steps = 0usize;
-    let mut signature_checks = 0usize;
-    let mut last_doc = sealed_initial;
-
-    while let Some(activity) = queue.pop_front() {
-        let Some(arrived) = inbox.remove(&activity) else { continue };
-        if steps >= max_steps {
-            return Err(WfError::Flow(format!("run exceeded {max_steps} steps (runaway loop?)")));
-        }
-
-        // merge branch documents (single-document arrivals keep their seal
-        // and trust mark; a true merge builds a new document that needs a
-        // full verification)
-        let merged = if arrived.len() == 1 {
-            arrived.into_iter().next().expect("one element")
-        } else {
-            let docs: Vec<DraDocument> = arrived.iter().map(|s| s.document().clone()).collect();
-            SealedDocument::new(merge_documents(&docs)?)
-        };
-
-        // re-fold amendments: a designer may have amended the definition
-        // mid-run, and routing must follow the rules now in force
-        let (def_now, _) = dra4wfms_core::amendment::effective_definition(&merged)?;
-        let act = def_now.activity(&activity)?.clone();
-        let aea = agents
-            .get(&act.participant)
-            .ok_or_else(|| WfError::UnknownIdentity(act.participant.clone()))?;
-
-        // AND-join: wait for the remaining branches
-        if act.join == JoinKind::All && !join_ready(&merged, &def_now, &activity)? {
-            inbox.entry(activity.clone()).or_default().push(merged);
-            continue;
-        }
-
-        let received = aea.receive_sealed(merged, &activity)?;
-        signature_checks += received.report.signatures_verified;
-        let responses = respond(&received);
-        steps += 1;
-
-        // basic vs advanced model
-        let (document, route) = match (&def_now.tfc, tfc) {
-            (Some(_), Some(server)) => {
-                let inter = aea.complete_via_tfc(&received, &responses)?;
-                system.network.transfer(inter.document.size_bytes());
-                let processed = server.receive_sealed(inter.document)?;
-                signature_checks += processed.report.signatures_verified;
-                let finalized = server.finalize(&processed)?;
-                (finalized.document, finalized.route)
-            }
-            _ => {
-                let done = aea.complete(&received, &responses)?;
-                (done.document, done.route)
-            }
-        };
-
-        // store + notify (portal chosen round-robin by step)
-        system.store_sealed(steps, &document, &route)?;
-        system.consume_todo(&act.participant, &pid, &activity);
-
-        for target in &route.targets {
-            inbox.entry(target.clone()).or_default().push(document.clone());
-            if !queue.contains(target) {
-                queue.push_back(target.clone());
-            }
-        }
-        last_doc = document;
-    }
-
-    Ok(RunOutcome { document: last_doc, steps, process_id: pid, signature_checks })
+    run.max_steps(max_steps).run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultProfile;
     use crate::netsim::NetworkSim;
     use dra4wfms_core::monitor::ProcessStatus;
     use dra4wfms_core::verify::verify_document;
@@ -214,11 +334,16 @@ mod tests {
             "fig9a-run",
         )
         .unwrap();
-        let out =
-            run_instance(&sys, &initial, &agents(&creds, &dir), None, &fig9a_responder(), 100)
-                .unwrap();
+        let responder = fig9a_responder();
+        let out = InstanceRun::new(&sys, &initial)
+            .agents(&agents(&creds, &dir))
+            .respond(&responder)
+            .max_steps(100)
+            .run()
+            .unwrap();
         // Loop taken once: A,B1,B2,C (reject) + A,B1,B2,C (accept) + D = 9
         assert_eq!(out.steps, 9);
+        assert!(out.delivery.is_none(), "no delivery channel configured");
         let cers = out.document.cers().unwrap();
         assert_eq!(cers.len(), 9);
         let status = ProcessStatus::from_document(&out.document).unwrap();
@@ -253,15 +378,14 @@ mod tests {
             "fig9b-run",
         )
         .unwrap();
-        let out = run_instance(
-            &sys,
-            &initial,
-            &agents(&creds, &dir),
-            Some(&tfc),
-            &fig9a_responder(),
-            100,
-        )
-        .unwrap();
+        let responder = fig9a_responder();
+        let out = InstanceRun::new(&sys, &initial)
+            .agents(&agents(&creds, &dir))
+            .tfc(&tfc)
+            .respond(&responder)
+            .max_steps(100)
+            .run()
+            .unwrap();
         assert_eq!(out.steps, 9);
         // every CER carries a TFC timestamp
         let status = ProcessStatus::from_document(&out.document).unwrap();
@@ -281,10 +405,92 @@ mod tests {
         let initial =
             DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "x")
                 .unwrap();
+        let responder = fig9a_responder();
         assert!(matches!(
-            run_instance(&sys, &initial, &agents(&creds, &dir), None, &fig9a_responder(), 10),
+            InstanceRun::new(&sys, &initial)
+                .agents(&agents(&creds, &dir))
+                .respond(&responder)
+                .max_steps(10)
+                .run(),
             Err(WfError::Policy(_))
         ));
+    }
+
+    #[test]
+    fn builder_requires_agents_and_responder() {
+        let creds = people();
+        let dir = Directory::from_credentials(&creds);
+        let sys = CloudSystem::new(dir.clone(), 1, Arc::new(NetworkSim::lan()));
+        let initial = DraDocument::new_initial_with_pid(
+            &fig9a(),
+            &SecurityPolicy::public(),
+            &creds[0],
+            "cfg",
+        )
+        .unwrap();
+        assert!(matches!(InstanceRun::new(&sys, &initial).run(), Err(WfError::Config(_))));
+        let ags = agents(&creds, &dir);
+        assert!(matches!(
+            InstanceRun::new(&sys, &initial).agents(&ags).run(),
+            Err(WfError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn deprecated_run_instance_still_works() {
+        let creds = people();
+        let dir = Directory::from_credentials(&creds);
+        let sys = CloudSystem::new(dir.clone(), 3, Arc::new(NetworkSim::lan()));
+        let initial = DraDocument::new_initial_with_pid(
+            &fig9a(),
+            &SecurityPolicy::public(),
+            &creds[0],
+            "compat",
+        )
+        .unwrap();
+        #[allow(deprecated)]
+        let out =
+            run_instance(&sys, &initial, &agents(&creds, &dir), None, &fig9a_responder(), 100)
+                .unwrap();
+        assert_eq!(out.steps, 9);
+    }
+
+    #[test]
+    fn fig9a_completes_over_a_lossy_channel() {
+        let creds = people();
+        let dir = Directory::from_credentials(&creds);
+        let network = Arc::new(NetworkSim::lan());
+        let sys = CloudSystem::new(dir.clone(), 3, Arc::clone(&network));
+        let initial = DraDocument::new_initial_with_pid(
+            &fig9a(),
+            &SecurityPolicy::public(),
+            &creds[0],
+            "faulty-run",
+        )
+        .unwrap();
+        let delivery = Delivery::new(
+            Arc::clone(&network),
+            FaultProfile::lossy(0.2),
+            crate::delivery::DeliveryPolicy::default(),
+            7,
+        )
+        .unwrap();
+        let responder = fig9a_responder();
+        let out = InstanceRun::new(&sys, &initial)
+            .agents(&agents(&creds, &dir))
+            .respond(&responder)
+            .max_steps(100)
+            .network(&delivery)
+            .run()
+            .unwrap();
+        assert_eq!(out.steps, 9);
+        let stats = out.delivery.expect("delivery stats requested");
+        assert_eq!(stats.sends, 10, "initial + 9 stores");
+        assert!(stats.attempts >= stats.sends);
+        // the pool holds exactly the 10 versions despite duplicated copies
+        assert_eq!(sys.pool.scan_prefix("doc/faulty-run/").len(), 10);
+        // the final document still verifies end to end
+        verify_document(&out.document, &dir).unwrap();
     }
 
     #[test]
@@ -310,7 +516,11 @@ mod tests {
             _ => vec![],
         };
         assert!(matches!(
-            run_instance(&sys, &initial, &agents(&creds, &dir), None, &always_reject, 20),
+            InstanceRun::new(&sys, &initial)
+                .agents(&agents(&creds, &dir))
+                .respond(&always_reject)
+                .max_steps(20)
+                .run(),
             Err(WfError::Flow(_))
         ));
     }

@@ -21,6 +21,7 @@ use crate::error::{WfError, WfResult};
 use crate::fields::{build_plain_result_element, build_result_element};
 use crate::flow::{evaluate_route, join_ready, merge_documents, DocFieldReader, Route};
 use crate::identity::{Credentials, Directory};
+use crate::ingest::Inbound;
 use crate::model::{FieldRef, JoinKind, WorkflowDefinition};
 use crate::policy::SecurityPolicy;
 use crate::sealed::{SealedDocument, TrustMark};
@@ -96,38 +97,23 @@ impl Aea {
         Aea { creds, directory }
     }
 
-    /// Receive a routed document and open `activity` for execution.
+    /// Receive a routed document and open `activity` for execution — the
+    /// single ingest entry point.
     ///
     /// This is the paper's α phase: parse, verify every embedded signature,
-    /// check the executor, decrypt the request fields.
-    pub fn receive(&self, xml: &str, activity: &str) -> WfResult<ReceivedActivity> {
-        self.receive_sealed(SealedDocument::from_wire(xml)?, activity)
-    }
-
-    /// AND-join variant: receive one document per incoming branch, merge
-    /// their CER sets, then open the join activity.
-    pub fn receive_merged(&self, xmls: &[&str], activity: &str) -> WfResult<ReceivedActivity> {
-        let docs: Vec<DraDocument> =
-            xmls.iter().map(|x| DraDocument::parse(x)).collect::<WfResult<_>>()?;
-        let merged = merge_documents(&docs)?;
-        self.receive_document(merged, activity)
-    }
-
-    /// Core of [`Aea::receive`] operating on an already-parsed document
-    /// (full verification — no trust mark available).
-    pub fn receive_document(&self, doc: DraDocument, activity: &str) -> WfResult<ReceivedActivity> {
-        self.receive_sealed(SealedDocument::new(doc), activity)
-    }
-
-    /// Zero-copy hand-off: receive a [`SealedDocument`] from the previous
-    /// hop. When it carries a [`TrustMark`], verification is incremental —
-    /// only the CERs appended since the mark was issued are re-checked
-    /// (after proving the marked prefix byte-identical via its digest).
-    pub fn receive_sealed(
+    /// check the executor, decrypt the request fields. Accepts anything
+    /// convertible to [`Inbound`] — wire XML (`&str`/`String`), a parsed
+    /// [`DraDocument`], or a [`SealedDocument`] hand-off. A sealed document
+    /// carrying a [`TrustMark`] is verified incrementally: only the CERs
+    /// appended since the mark was issued are re-checked (after proving the
+    /// marked prefix byte-identical via its digest). Every other form takes
+    /// the full verification pass — there is no way to skip it.
+    pub fn receive(
         &self,
-        sealed: SealedDocument,
+        inbound: impl Into<Inbound>,
         activity: &str,
     ) -> WfResult<ReceivedActivity> {
+        let sealed = inbound.into().into_sealed()?;
         let outcome = verify_incremental(&sealed, &self.directory, sealed.trust())?;
         let report = outcome.report;
         if report.ends_with_intermediate {
@@ -191,6 +177,31 @@ impl Aea {
             trust,
             reused_cers,
         })
+    }
+
+    /// AND-join variant: receive one document per incoming branch, merge
+    /// their CER sets, then open the join activity.
+    pub fn receive_merged(&self, xmls: &[&str], activity: &str) -> WfResult<ReceivedActivity> {
+        let docs: Vec<DraDocument> =
+            xmls.iter().map(|x| DraDocument::parse(x)).collect::<WfResult<_>>()?;
+        let merged = merge_documents(&docs)?;
+        self.receive(merged, activity)
+    }
+
+    /// Deprecated alias for [`Aea::receive`], kept for one release.
+    #[deprecated(since = "0.1.0", note = "use `Aea::receive` — it accepts parsed documents too")]
+    pub fn receive_document(&self, doc: DraDocument, activity: &str) -> WfResult<ReceivedActivity> {
+        self.receive(doc, activity)
+    }
+
+    /// Deprecated alias for [`Aea::receive`], kept for one release.
+    #[deprecated(since = "0.1.0", note = "use `Aea::receive` — it accepts sealed hand-offs too")]
+    pub fn receive_sealed(
+        &self,
+        sealed: SealedDocument,
+        activity: &str,
+    ) -> WfResult<ReceivedActivity> {
+        self.receive(sealed, activity)
     }
 
     fn check_responses(
@@ -340,7 +351,7 @@ mod tests {
         let aea_amy = Aea::new(people[1].clone(), dir.clone());
 
         // Peter executes A.
-        let recv = aea_peter.receive(&initial(&def, &pol, &designer), "A").unwrap();
+        let recv = aea_peter.receive(initial(&def, &pol, &designer), "A").unwrap();
         assert_eq!(recv.iter, 0);
         assert_eq!(recv.preds, vec![PredRef::Def]);
         let done = aea_peter
@@ -350,7 +361,7 @@ mod tests {
         assert_eq!(done.key, CerKey::new("A", 0));
 
         // Amy executes B; sees both fields (amount encrypted to her).
-        let recv = aea_amy.receive(&done.document.to_xml_string(), "B").unwrap();
+        let recv = aea_amy.receive(done.document.to_xml_string(), "B").unwrap();
         assert_eq!(recv.report.signatures_verified, 2, "designer + peter");
         assert_eq!(recv.visible.len(), 2);
         assert!(recv.visible.iter().any(|(f, v)| f.field == "amount" && v == "9000"));
@@ -365,7 +376,7 @@ mod tests {
     fn wrong_participant_rejected() {
         let (def, pol, designer, people, dir) = setup();
         let aea_amy = Aea::new(people[1].clone(), dir);
-        let err = aea_amy.receive(&initial(&def, &pol, &designer), "A").unwrap_err();
+        let err = aea_amy.receive(initial(&def, &pol, &designer), "A").unwrap_err();
         assert!(matches!(err, WfError::NotParticipant { expected, .. } if expected == "peter"));
     }
 
@@ -374,7 +385,7 @@ mod tests {
         let (def, pol, designer, people, dir) = setup();
         let aea_peter = Aea::new(people[0].clone(), dir.clone());
         let aea_amy = Aea::new(people[1].clone(), dir);
-        let recv = aea_peter.receive(&initial(&def, &pol, &designer), "A").unwrap();
+        let recv = aea_peter.receive(initial(&def, &pol, &designer), "A").unwrap();
         let done = aea_peter
             .complete(&recv, &[("amount".into(), "9000".into()), ("note".into(), "x".into())])
             .unwrap();
@@ -389,7 +400,7 @@ mod tests {
     fn undeclared_response_rejected() {
         let (def, pol, designer, people, dir) = setup();
         let aea_peter = Aea::new(people[0].clone(), dir);
-        let recv = aea_peter.receive(&initial(&def, &pol, &designer), "A").unwrap();
+        let recv = aea_peter.receive(initial(&def, &pol, &designer), "A").unwrap();
         let err = aea_peter.complete(&recv, &[("bogus".into(), "1".into())]).unwrap_err();
         assert!(matches!(err, WfError::Flow(_)));
     }
@@ -398,7 +409,7 @@ mod tests {
     fn missing_response_rejected() {
         let (def, pol, designer, people, dir) = setup();
         let aea_peter = Aea::new(people[0].clone(), dir);
-        let recv = aea_peter.receive(&initial(&def, &pol, &designer), "A").unwrap();
+        let recv = aea_peter.receive(initial(&def, &pol, &designer), "A").unwrap();
         let err = aea_peter.complete(&recv, &[("amount".into(), "1".into())]).unwrap_err();
         assert!(matches!(err, WfError::Flow(m) if m.contains("note")));
     }
@@ -409,7 +420,7 @@ mod tests {
         // into a different process instance must not verify.
         let (def, pol, designer, people, dir) = setup();
         let aea_peter = Aea::new(people[0].clone(), dir.clone());
-        let recv = aea_peter.receive(&initial(&def, &pol, &designer), "A").unwrap();
+        let recv = aea_peter.receive(initial(&def, &pol, &designer), "A").unwrap();
         let done = aea_peter
             .complete(&recv, &[("amount".into(), "1".into()), ("note".into(), "n".into())])
             .unwrap();
@@ -420,7 +431,7 @@ mod tests {
         let stolen = done.document.cers().unwrap().first().unwrap().element.clone();
         other.push_cer(stolen).unwrap();
         let aea_amy = Aea::new(people[1].clone(), dir);
-        let err = aea_amy.receive(&other.to_xml_string(), "B").unwrap_err();
+        let err = aea_amy.receive(other.to_xml_string(), "B").unwrap_err();
         assert!(matches!(err, WfError::Verify(_)), "replay detected: {err}");
     }
 
@@ -450,7 +461,7 @@ mod tests {
         let aea_peter = Aea::new(peter, dir.clone());
         let recv = aea_peter
             .receive(
-                &DraDocument::new_initial_with_pid(&def, &pol, &designer, "pid")
+                DraDocument::new_initial_with_pid(&def, &pol, &designer, "pid")
                     .unwrap()
                     .to_xml_string(),
                 "A",
@@ -458,7 +469,7 @@ mod tests {
             .unwrap();
         let done = aea_peter.complete(&recv, &[("amount".into(), "5".into())]).unwrap();
         let aea_tony = Aea::new(tony, dir);
-        let recv = aea_tony.receive(&done.document.to_xml_string(), "B").unwrap();
+        let recv = aea_tony.receive(done.document.to_xml_string(), "B").unwrap();
         assert!(recv.visible.is_empty());
         assert_eq!(recv.hidden, vec![FieldRef::new("A", "amount")]);
     }

@@ -431,10 +431,10 @@ flow approve -> end
             DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "dsl")
                 .unwrap();
         let aea = Aea::new(alice, dir.clone());
-        let recv = aea.receive(&doc.to_xml_string(), "submit").unwrap();
+        let recv = aea.receive(doc.to_xml_string(), "submit").unwrap();
         let done = aea.complete(&recv, &[("amount".into(), "5".into())]).unwrap();
         let aea = Aea::new(bob, dir.clone());
-        let recv = aea.receive(&done.document.to_xml_string(), "approve").unwrap();
+        let recv = aea.receive(done.document.to_xml_string(), "approve").unwrap();
         assert_eq!(recv.visible.len(), 1);
         let done = aea.complete(&recv, &[("decision".into(), "ok".into())]).unwrap();
         assert!(done.route.ends);

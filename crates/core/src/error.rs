@@ -44,6 +44,14 @@ pub enum WfError {
     MergeMismatch(String),
     /// Structurally invalid DRA4WfMS document.
     Malformed(String),
+    /// Invalid runtime configuration (zero-bandwidth network, fault rates
+    /// outside `[0, 1)`, an `InstanceRun` builder missing a required
+    /// component…). Always a caller bug, never a document fault.
+    Config(String),
+    /// A document hand-off could not be completed within the delivery
+    /// policy's retry budget (the simulated channel dropped or corrupted
+    /// every attempt).
+    Delivery(String),
 }
 
 impl std::fmt::Display for WfError {
@@ -64,6 +72,8 @@ impl std::fmt::Display for WfError {
             }
             WfError::MergeMismatch(m) => write!(f, "document merge mismatch: {m}"),
             WfError::Malformed(m) => write!(f, "malformed document: {m}"),
+            WfError::Config(m) => write!(f, "configuration error: {m}"),
+            WfError::Delivery(m) => write!(f, "delivery failed: {m}"),
         }
     }
 }

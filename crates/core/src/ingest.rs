@@ -1,0 +1,142 @@
+//! The unified ingest entry point for document hand-offs.
+//!
+//! Historically every receiver exposed a pair of APIs — `receive(&str)`
+//! re-parsing wire XML from scratch and `receive_sealed(SealedDocument)`
+//! taking the zero-copy fast path — and callers could pick the slow (or,
+//! worse, the trust-dropping) path by accident. [`Inbound`] collapses the
+//! pair: `Aea::receive` and `TfcServer::receive` now take
+//! `impl Into<Inbound>`, so a `&str`, an owned `String`, a parsed
+//! [`DraDocument`] or a [`SealedDocument`] (with or without a trust mark)
+//! all land on the same verified entry point. Whatever the caller holds is
+//! always the cheapest admissible representation: wire bytes are parsed
+//! once and kept as the seal's serialization, parsed documents are sealed
+//! without a serialization round-trip, and sealed hand-offs keep their
+//! memoized bytes and [`TrustMark`](crate::sealed::TrustMark).
+
+use crate::document::DraDocument;
+use crate::error::WfResult;
+use crate::sealed::SealedDocument;
+
+/// A document on its way into a receiver ([`crate::aea::Aea`],
+/// [`crate::tfc::TfcServer`], a portal) — either raw wire bytes or an
+/// already-parsed sealed form. Build one via the `From` impls; receivers
+/// accept `impl Into<Inbound>` so call sites never name this type.
+#[derive(Clone, Debug)]
+pub enum Inbound {
+    /// Wire XML as received from the network; parsed (and kept as the
+    /// seal's serialization) at the receiver's boundary.
+    Wire(String),
+    /// A sealed document handed off in-process — zero-copy, trust mark and
+    /// memoized bytes included.
+    Sealed(SealedDocument),
+}
+
+impl Inbound {
+    /// Resolve to the sealed form, parsing wire bytes if necessary.
+    pub fn into_sealed(self) -> WfResult<SealedDocument> {
+        match self {
+            Inbound::Wire(xml) => SealedDocument::from_wire(&xml),
+            Inbound::Sealed(sealed) => Ok(sealed),
+        }
+    }
+}
+
+impl From<&str> for Inbound {
+    fn from(xml: &str) -> Inbound {
+        Inbound::Wire(xml.to_string())
+    }
+}
+
+impl From<&String> for Inbound {
+    fn from(xml: &String) -> Inbound {
+        Inbound::Wire(xml.clone())
+    }
+}
+
+impl From<String> for Inbound {
+    fn from(xml: String) -> Inbound {
+        Inbound::Wire(xml)
+    }
+}
+
+impl From<SealedDocument> for Inbound {
+    fn from(sealed: SealedDocument) -> Inbound {
+        Inbound::Sealed(sealed)
+    }
+}
+
+impl From<&SealedDocument> for Inbound {
+    fn from(sealed: &SealedDocument) -> Inbound {
+        Inbound::Sealed(sealed.clone())
+    }
+}
+
+impl From<DraDocument> for Inbound {
+    fn from(doc: DraDocument) -> Inbound {
+        Inbound::Sealed(SealedDocument::new(doc))
+    }
+}
+
+impl From<&DraDocument> for Inbound {
+    fn from(doc: &DraDocument) -> Inbound {
+        Inbound::Sealed(SealedDocument::new(doc.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Credentials;
+    use crate::model::WorkflowDefinition;
+    use crate::policy::SecurityPolicy;
+    use crate::sealed::TrustMark;
+
+    fn doc() -> DraDocument {
+        let designer = Credentials::from_seed("designer", "d");
+        let def = WorkflowDefinition::builder("w", "designer")
+            .simple_activity("A", "peter", &["x"])
+            .flow_end("A")
+            .build()
+            .unwrap();
+        DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "pid")
+            .unwrap()
+    }
+
+    #[test]
+    fn wire_and_parsed_forms_converge() {
+        let d = doc();
+        let xml = d.to_xml_string();
+        let from_str: Inbound = xml.as_str().into();
+        let from_doc: Inbound = d.clone().into();
+        let a = from_str.into_sealed().unwrap();
+        let b = from_doc.into_sealed().unwrap();
+        assert_eq!(a.process_id().unwrap(), b.process_id().unwrap());
+        assert_eq!(*a.wire(), *b.wire());
+    }
+
+    #[test]
+    fn wire_form_keeps_received_bytes() {
+        let xml = doc().to_xml_string();
+        let sealed = Inbound::from(&xml).into_sealed().unwrap();
+        assert_eq!(*sealed.wire(), xml, "received bytes become the seal's serialization");
+    }
+
+    #[test]
+    fn sealed_form_keeps_trust() {
+        let d = doc();
+        let mark = TrustMark {
+            process_id: "pid".into(),
+            verified_cers: 0,
+            prefix_digest: [7; 32],
+            signatures_verified: 1,
+        };
+        let sealed = SealedDocument::with_trust(d, mark.clone());
+        let roundtrip = Inbound::from(sealed).into_sealed().unwrap();
+        assert_eq!(roundtrip.trust(), Some(&mark), "trust mark survives the unified ingest");
+    }
+
+    #[test]
+    fn malformed_wire_rejected_at_the_boundary() {
+        assert!(Inbound::from("<not a document/>").into_sealed().is_err());
+    }
+}

@@ -79,6 +79,7 @@ pub mod error;
 pub mod fields;
 pub mod flow;
 pub mod identity;
+pub mod ingest;
 pub mod model;
 pub mod monitor;
 pub mod policy;
@@ -97,6 +98,7 @@ pub mod prelude {
     pub use crate::fields::FieldReader;
     pub use crate::flow::{evaluate_route, join_ready, merge_documents, DocFieldReader, Route};
     pub use crate::identity::{Credentials, Directory, Identity};
+    pub use crate::ingest::Inbound;
     pub use crate::model::{
         Activity, Condition, FieldRef, JoinKind, Target, Transition, WorkflowDefinition,
     };

@@ -23,6 +23,7 @@ use crate::error::{WfError, WfResult};
 use crate::fields::{build_result_element, plain_fields};
 use crate::flow::{evaluate_route, DocFieldReader, Route};
 use crate::identity::{Credentials, Directory};
+use crate::ingest::Inbound;
 use crate::model::WorkflowDefinition;
 use crate::policy::SecurityPolicy;
 use crate::sealed::{prefix_digest, SealedDocument, TrustMark};
@@ -104,21 +105,14 @@ impl TfcServer {
     }
 
     /// Verify an incoming intermediate document and unseal its fresh result
-    /// (the TFC's α phase in Table 2).
-    pub fn receive(&self, xml: &str) -> WfResult<TfcReceived> {
-        self.receive_sealed(SealedDocument::from_wire(xml)?)
-    }
-
-    /// Core of [`TfcServer::receive`] on a parsed document (full
-    /// verification — no trust mark available).
-    pub fn receive_document(&self, doc: DraDocument) -> WfResult<TfcReceived> {
-        self.receive_sealed(SealedDocument::new(doc))
-    }
-
-    /// Zero-copy hand-off: receive a [`SealedDocument`] straight from the
-    /// executing AEA. A carried [`TrustMark`] reduces verification to the
-    /// intermediate CER just appended.
-    pub fn receive_sealed(&self, sealed: SealedDocument) -> WfResult<TfcReceived> {
+    /// (the TFC's α phase in Table 2) — the single ingest entry point.
+    ///
+    /// Accepts anything convertible to [`Inbound`]: wire XML, a parsed
+    /// [`DraDocument`], or a [`SealedDocument`] straight from the executing
+    /// AEA. A carried [`TrustMark`] reduces verification to the intermediate
+    /// CER just appended; every other form takes the full pass.
+    pub fn receive(&self, inbound: impl Into<Inbound>) -> WfResult<TfcReceived> {
+        let sealed = inbound.into().into_sealed()?;
         let tfc_name = {
             let base_def = sealed.workflow_definition()?;
             base_def.tfc.ok_or_else(|| WfError::Policy("definition names no TFC server".into()))?
@@ -216,16 +210,38 @@ impl TfcServer {
         Ok(TfcProcessed { document, route, key: received.key.clone(), timestamp })
     }
 
-    /// Convenience: receive + finalize in one call.
-    pub fn process(&self, xml: &str) -> WfResult<TfcProcessed> {
-        let received = self.receive(xml)?;
+    /// Convenience: receive + finalize in one call. Accepts the same forms
+    /// as [`TfcServer::receive`].
+    pub fn process(&self, inbound: impl Into<Inbound>) -> WfResult<TfcProcessed> {
+        let received = self.receive(inbound)?;
         self.finalize(&received)
     }
 
-    /// Convenience: receive + finalize on a sealed hand-off.
+    /// Deprecated alias for [`TfcServer::receive`], kept for one release.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `TfcServer::receive` — it accepts parsed documents too"
+    )]
+    pub fn receive_document(&self, doc: DraDocument) -> WfResult<TfcReceived> {
+        self.receive(doc)
+    }
+
+    /// Deprecated alias for [`TfcServer::receive`], kept for one release.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `TfcServer::receive` — it accepts sealed hand-offs too"
+    )]
+    pub fn receive_sealed(&self, sealed: SealedDocument) -> WfResult<TfcReceived> {
+        self.receive(sealed)
+    }
+
+    /// Deprecated alias for [`TfcServer::process`], kept for one release.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `TfcServer::process` — it accepts sealed hand-offs too"
+    )]
     pub fn process_sealed(&self, sealed: SealedDocument) -> WfResult<TfcProcessed> {
-        let received = self.receive_sealed(sealed)?;
-        self.finalize(&received)
+        self.process(sealed)
     }
 }
 
@@ -304,18 +320,18 @@ mod tests {
 
         // Peter executes A1 with X = "true", sealed to the TFC.
         let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
-        let recv = aea_peter.receive(&initial.to_xml_string(), "A1").unwrap();
+        let recv = aea_peter.receive(initial.to_xml_string(), "A1").unwrap();
         let inter = aea_peter.complete_via_tfc(&recv, &[("X".into(), "true".into())]).unwrap();
-        let done = tfc.process(&inter.document.to_xml_string()).unwrap();
+        let done = tfc.process(inter.document.to_xml_string()).unwrap();
         assert_eq!(done.route.targets, vec!["A3"]);
         assert_eq!(done.timestamp, 1000);
 
         // Tony executes A3. He cannot read X — and does not need to.
         let aea_tony = Aea::new(f.tony.clone(), f.dir.clone());
-        let recv = aea_tony.receive(&done.document.to_xml_string(), "A3").unwrap();
+        let recv = aea_tony.receive(done.document.to_xml_string(), "A3").unwrap();
         let inter =
             aea_tony.complete_via_tfc(&recv, &[("Y".into(), "payload-for-john".into())]).unwrap();
-        let done = tfc.process(&inter.document.to_xml_string()).unwrap();
+        let done = tfc.process(inter.document.to_xml_string()).unwrap();
         // TFC evaluated Func(X): X == "true" routes to A4 (john).
         assert_eq!(done.route.targets, vec!["A4"]);
 
@@ -343,13 +359,13 @@ mod tests {
             DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid2").unwrap();
         let tfc = TfcServer::with_clock(f.tfc.clone(), f.dir.clone(), fixed_clock(1));
         let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
-        let recv = aea_peter.receive(&initial.to_xml_string(), "A1").unwrap();
+        let recv = aea_peter.receive(initial.to_xml_string(), "A1").unwrap();
         let inter = aea_peter.complete_via_tfc(&recv, &[("X".into(), "false".into())]).unwrap();
-        let done = tfc.process(&inter.document.to_xml_string()).unwrap();
+        let done = tfc.process(inter.document.to_xml_string()).unwrap();
         let aea_tony = Aea::new(f.tony.clone(), f.dir.clone());
-        let recv = aea_tony.receive(&done.document.to_xml_string(), "A3").unwrap();
+        let recv = aea_tony.receive(done.document.to_xml_string(), "A3").unwrap();
         let inter = aea_tony.complete_via_tfc(&recv, &[("Y".into(), "v".into())]).unwrap();
-        let done = tfc.process(&inter.document.to_xml_string()).unwrap();
+        let done = tfc.process(inter.document.to_xml_string()).unwrap();
         assert_eq!(done.route.targets, vec!["A5"]);
         let cer = done.document.find_cer(&CerKey::new("A3", 0)).unwrap().unwrap();
         let enc = cer
@@ -369,10 +385,10 @@ mod tests {
         let initial =
             DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid3").unwrap();
         let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
-        let recv = aea_peter.receive(&initial.to_xml_string(), "A1").unwrap();
+        let recv = aea_peter.receive(initial.to_xml_string(), "A1").unwrap();
         let done = aea_peter.complete(&recv, &[("X".into(), "true".into())]).unwrap();
         let aea_tony = Aea::new(f.tony.clone(), f.dir.clone());
-        let recv = aea_tony.receive(&done.document.to_xml_string(), "A3").unwrap();
+        let recv = aea_tony.receive(done.document.to_xml_string(), "A3").unwrap();
         let err = aea_tony.complete(&recv, &[("Y".into(), "v".into())]).unwrap_err();
         assert!(
             matches!(err, WfError::FieldNotReadable { ref field, .. } if field == "X"),
@@ -386,7 +402,7 @@ mod tests {
         let initial =
             DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid4").unwrap();
         let tfc = TfcServer::with_clock(f.tfc.clone(), f.dir.clone(), fixed_clock(1));
-        assert!(matches!(tfc.receive(&initial.to_xml_string()), Err(WfError::Malformed(_))));
+        assert!(matches!(tfc.receive(initial.to_xml_string()), Err(WfError::Malformed(_))));
     }
 
     #[test]
@@ -397,10 +413,10 @@ mod tests {
         let initial =
             DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid5").unwrap();
         let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
-        let recv = aea_peter.receive(&initial.to_xml_string(), "A1").unwrap();
+        let recv = aea_peter.receive(initial.to_xml_string(), "A1").unwrap();
         let inter = aea_peter.complete_via_tfc(&recv, &[("X".into(), "t".into())]).unwrap();
         assert!(matches!(
-            tfc.receive(&inter.document.to_xml_string()),
+            tfc.receive(inter.document.to_xml_string()),
             Err(WfError::NotParticipant { .. })
         ));
     }
@@ -412,10 +428,10 @@ mod tests {
         let initial =
             DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid6").unwrap();
         let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
-        let recv = aea_peter.receive(&initial.to_xml_string(), "A1").unwrap();
+        let recv = aea_peter.receive(initial.to_xml_string(), "A1").unwrap();
         let inter = aea_peter.complete_via_tfc(&recv, &[("X".into(), "t".into())]).unwrap();
         let aea_tony = Aea::new(f.tony.clone(), f.dir.clone());
-        let err = aea_tony.receive(&inter.document.to_xml_string(), "A3").unwrap_err();
+        let err = aea_tony.receive(inter.document.to_xml_string(), "A3").unwrap_err();
         assert!(matches!(err, WfError::Malformed(_)));
     }
 
@@ -426,9 +442,9 @@ mod tests {
             DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid7").unwrap();
         let tfc = TfcServer::with_clock(f.tfc.clone(), f.dir.clone(), fixed_clock(777));
         let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
-        let recv = aea_peter.receive(&initial.to_xml_string(), "A1").unwrap();
+        let recv = aea_peter.receive(initial.to_xml_string(), "A1").unwrap();
         let inter = aea_peter.complete_via_tfc(&recv, &[("X".into(), "t".into())]).unwrap();
-        let done = tfc.process(&inter.document.to_xml_string()).unwrap();
+        let done = tfc.process(inter.document.to_xml_string()).unwrap();
         let tampered = done.document.to_xml_string().replace("time=\"777\"", "time=\"778\"");
         let doc = DraDocument::parse(&tampered).unwrap();
         assert!(matches!(verify_document(&doc, &f.dir), Err(WfError::Verify(_))));

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example cloud_scale [instances] [threads]`
 
-use dra4wfms::cloud::{run_instance, CloudSystem, NetworkSim};
+use dra4wfms::cloud::{CloudSystem, InstanceRun, NetworkSim};
 use dra4wfms::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -77,7 +77,11 @@ fn main() -> WfResult<()> {
                         &format!("ticket-{i:05}"),
                     )
                     .expect("initial");
-                    run_instance(&system, &initial, &agents, None, &respond, 50)
+                    InstanceRun::new(&system, &initial)
+                        .agents(&agents)
+                        .respond(&respond)
+                        .max_steps(50)
+                        .run()
                         .expect("instance run");
                 }
             });

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --example purchase_order`
 
-use dra4wfms::cloud::{run_instance, CloudSystem, NetworkSim};
+use dra4wfms::cloud::{CloudSystem, InstanceRun, NetworkSim};
 use dra4wfms::core::monitor::ProcessStatus;
 use dra4wfms::prelude::*;
 use std::collections::HashMap;
@@ -116,7 +116,12 @@ fn main() -> WfResult<()> {
         }
     };
 
-    let out = run_instance(&system, &initial, &agents, Some(&tfc), &respond, 100)?;
+    let out = InstanceRun::new(&system, &initial)
+        .agents(&agents)
+        .tfc(&tfc)
+        .respond(&respond)
+        .max_steps(100)
+        .run()?;
     println!("\nprocess completed in {} activity executions", out.steps);
 
     // monitoring (works on the document alone — no engine owns the state)

@@ -2,7 +2,7 @@
 //! stack — the runner, the TFC, the portals, monitoring and MapReduce
 //! statistics.
 
-use dra4wfms::cloud::{run_instance, CloudSystem, NetworkSim};
+use dra4wfms::cloud::{CloudSystem, InstanceRun, NetworkSim};
 use dra4wfms::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -66,7 +66,13 @@ fn pre_amended_document_runs_through_the_cloud_basic() {
             .unwrap();
     // amendment lands before anything executes
     let amended = amend_document(&initial, &creds[0], &extension()).unwrap();
-    let out = run_instance(&sys, &amended, &agents(&creds, &dir), None, &respond, 20).unwrap();
+    let ags = agents(&creds, &dir);
+    let out = InstanceRun::new(&sys, &amended)
+        .agents(&ags)
+        .respond(&respond)
+        .max_steps(20)
+        .run()
+        .unwrap();
     assert_eq!(out.steps, 3, "s1, s2, extra");
     let keys: Vec<String> =
         out.document.cers().unwrap().iter().map(|c| c.key.to_string()).collect();
@@ -99,8 +105,14 @@ fn pre_amended_document_runs_through_the_cloud_advanced() {
         DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "acr-2")
             .unwrap();
     let amended = amend_document(&initial, &creds[0], &extension()).unwrap();
-    let out =
-        run_instance(&sys, &amended, &agents(&creds, &dir), Some(&tfc), &respond, 20).unwrap();
+    let ags = agents(&creds, &dir);
+    let out = InstanceRun::new(&sys, &amended)
+        .agents(&ags)
+        .tfc(&tfc)
+        .respond(&respond)
+        .max_steps(20)
+        .run()
+        .unwrap();
     assert_eq!(out.steps, 3);
     // designer + amendment + 3 participants + 3 TFC attestations
     let report = verify_document(&out.document, &dir).unwrap();

@@ -2,7 +2,7 @@
 //! servers into the document pool, TO-DO notification, monitoring,
 //! MapReduce statistics (claims C5 of DESIGN.md).
 
-use dra4wfms::cloud::{run_instance, CloudSystem, NetworkSim};
+use dra4wfms::cloud::{CloudSystem, InstanceRun, NetworkSim};
 use dra4wfms::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -59,7 +59,12 @@ fn concurrent_instances_share_the_pool() {
                         &format!("t-{i:03}"),
                     )
                     .unwrap();
-                    run_instance(&sys, &initial, &ags, None, &respond, 20).unwrap();
+                    InstanceRun::new(&sys, &initial)
+                        .agents(&ags)
+                        .respond(&respond)
+                        .max_steps(20)
+                        .run()
+                        .unwrap();
                 }
             });
         }
@@ -124,7 +129,7 @@ fn pool_survives_region_splits_under_document_load() {
     }
     let stats = sys.pool.stats();
     assert!(stats.regions > 1, "split under load: {stats:?}");
-    assert_eq!(stats.rows, 2 * 700, "doc row + meta row per instance");
+    assert_eq!(stats.rows, 3 * 700, "doc row + meta row + seen (dedup) row per instance");
     // random access still works post-split
     for i in [0, 350, 699] {
         assert!(sys.retrieve_latest(0, &format!("bulk-{i:05}")).is_some());

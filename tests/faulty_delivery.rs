@@ -1,0 +1,248 @@
+//! Integration: fault-tolerant document delivery (claims C7 of DESIGN.md).
+//!
+//! The contract under test — "a fault can cost time, never safety":
+//!
+//! * any run over a lossy channel (drop/duplicate/reorder/delay under the
+//!   retry budget) completes with a final document **byte-identical** to
+//!   the lossless run, and the pool holds exactly the same versions;
+//! * the same seed + profile reproduces the same [`DeliveryStats`] and the
+//!   same bytes (pinned determinism);
+//! * corrupted in-flight copies are rejected at the portal and are never
+//!   stored — at worst the run fails with a delivery error, with nothing
+//!   admitted to the pool.
+
+use dra4wfms::cloud::{
+    CloudSystem, Delivery, DeliveryPolicy, DeliveryStats, FaultProfile, InstanceRun, NetworkSim,
+};
+use dra4wfms::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// AND-split / AND-join workflow with a loop, as in the paper's Fig. 9A.
+/// Public policy: signatures are deterministic, so independent runs of the
+/// same instance produce byte-identical documents — the basis of every
+/// byte-equality assertion below. (Encrypted fields use random nonces and
+/// would differ between runs by design.)
+fn split_def() -> WorkflowDefinition {
+    WorkflowDefinition::builder("faulty", "designer")
+        .simple_activity("A", "p_a", &["attachment"])
+        .simple_activity("B1", "p_b1", &["review1"])
+        .simple_activity("B2", "p_b2", &["review2"])
+        .activity(Activity {
+            id: "C".into(),
+            participant: "p_c".into(),
+            join: JoinKind::All,
+            requests: vec![],
+            responses: vec!["decision".into()],
+        })
+        .simple_activity("D", "p_d", &["ack"])
+        .flow("A", "B1")
+        .flow("A", "B2")
+        .flow("B1", "C")
+        .flow("B2", "C")
+        .flow_if("C", "A", Condition::field_equals("C", "decision", "insufficient"))
+        .flow_if("C", "D", Condition::field_not_equals("C", "decision", "insufficient"))
+        .flow_end("D")
+        .build()
+        .unwrap()
+}
+
+fn cast() -> (Vec<Credentials>, Directory) {
+    let creds: Vec<Credentials> = ["designer", "p_a", "p_b1", "p_b2", "p_c", "p_d"]
+        .iter()
+        .map(|n| Credentials::from_seed(*n, &format!("fd-{n}")))
+        .collect();
+    let dir = Directory::from_credentials(&creds);
+    (creds, dir)
+}
+
+fn agents(creds: &[Credentials], dir: &Directory) -> HashMap<String, Arc<Aea>> {
+    creds.iter().map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone())))).collect()
+}
+
+fn respond(received: &ReceivedActivity) -> Vec<(String, String)> {
+    match received.activity.as_str() {
+        "A" => vec![("attachment".into(), "contract.pdf".into())],
+        "B1" => vec![("review1".into(), "ok".into())],
+        "B2" => vec![("review2".into(), "ok".into())],
+        "C" => vec![(
+            "decision".into(),
+            if received.iter == 0 { "insufficient" } else { "accept" }.into(),
+        )],
+        "D" => vec![("ack".into(), "done".into())],
+        other => panic!("unexpected {other}"),
+    }
+}
+
+/// Run the Fig. 9A-style instance over `profile` (None = direct path).
+/// Returns the system, the final document, and the delivery stats.
+fn run(
+    pid: &str,
+    profile: Option<(FaultProfile, DeliveryPolicy, u64)>,
+) -> (CloudSystem, SealedDocument, Option<DeliveryStats>) {
+    let (creds, dir) = cast();
+    let network = Arc::new(NetworkSim::lan());
+    let sys = CloudSystem::new(dir.clone(), 3, Arc::clone(&network));
+    let initial =
+        DraDocument::new_initial_with_pid(&split_def(), &SecurityPolicy::public(), &creds[0], pid)
+            .unwrap();
+    let ags = agents(&creds, &dir);
+    let delivery = profile
+        .map(|(p, policy, seed)| Delivery::new(Arc::clone(&network), p, policy, seed).unwrap());
+    let mut builder =
+        InstanceRun::new(&sys, &initial).agents(&ags).respond(&respond).max_steps(100);
+    if let Some(d) = delivery.as_ref() {
+        builder = builder.network(d);
+    }
+    let out = builder.run().unwrap();
+    assert_eq!(out.steps, 9, "A,B1,B2,C ×2 + D");
+    (sys, out.document, out.delivery)
+}
+
+/// All stored versions of `pid`, in sequence order.
+fn stored_versions(sys: &CloudSystem, pid: &str) -> Vec<String> {
+    (0..).map_while(|seq| sys.retrieve_version(pid, seq)).collect()
+}
+
+#[test]
+fn lossy_run_matches_lossless_byte_for_byte() {
+    let (clean_sys, clean_doc, none) = run("match", None);
+    assert!(none.is_none());
+    let (lossy_sys, lossy_doc, stats) =
+        run("match", Some((FaultProfile::lossy(0.15), DeliveryPolicy::default(), 42)));
+    let stats = stats.unwrap();
+
+    // identical final bytes and identical pool content, despite the faults
+    assert_eq!(*clean_doc.wire(), *lossy_doc.wire(), "final document byte-identical");
+    let clean_versions = stored_versions(&clean_sys, "match");
+    let lossy_versions = stored_versions(&lossy_sys, "match");
+    assert_eq!(clean_versions.len(), 10, "initial + 9 steps");
+    assert_eq!(clean_versions, lossy_versions, "every stored version byte-identical");
+
+    // every stored version still verifies in full
+    let (_, dir) = cast();
+    for xml in &lossy_versions {
+        verify_document(&DraDocument::parse(xml).unwrap(), &dir).unwrap();
+    }
+
+    // faults showed up and cost time, not correctness
+    assert!(stats.faults.dropped + stats.faults.duplicated > 0, "profile injected faults");
+    assert!(stats.attempts >= stats.sends);
+    assert!(stats.inflation() >= 1.0);
+}
+
+#[test]
+fn same_seed_and_profile_reproduce_stats_and_bytes() {
+    let cfg = (FaultProfile::hostile(), DeliveryPolicy::default(), 7u64);
+    let (_, doc_a, stats_a) = run("det", Some(cfg));
+    let (_, doc_b, stats_b) = run("det", Some(cfg));
+    assert_eq!(stats_a.unwrap(), stats_b.unwrap(), "same seed ⇒ same DeliveryStats");
+    assert_eq!(*doc_a.wire(), *doc_b.wire(), "same seed ⇒ same final bytes");
+
+    // a different seed draws a different fault schedule (same outcome)
+    let (_, doc_c, stats_c) =
+        run("det", Some((FaultProfile::hostile(), DeliveryPolicy::default(), 8)));
+    assert_eq!(*doc_a.wire(), *doc_c.wire(), "outcome is seed-independent");
+    assert_ne!(stats_a.unwrap(), stats_c.unwrap(), "fault schedule is not");
+}
+
+#[test]
+fn corrupted_copies_are_rejected_and_never_stored() {
+    // every copy is corrupted in flight: the portal must reject each one,
+    // the sender exhausts its budget, and nothing enters the pool
+    let profile = FaultProfile { corrupt: 1.0 - 1e-12, ..FaultProfile::lossless() };
+    let (creds, dir) = cast();
+    let network = Arc::new(NetworkSim::lan());
+    let sys = CloudSystem::new(dir.clone(), 1, Arc::clone(&network));
+    let initial = DraDocument::new_initial_with_pid(
+        &split_def(),
+        &SecurityPolicy::public(),
+        &creds[0],
+        "corrupt",
+    )
+    .unwrap();
+    let delivery =
+        Delivery::new(Arc::clone(&network), profile, DeliveryPolicy::default(), 3).unwrap();
+    let ags = agents(&creds, &dir);
+    let err = InstanceRun::new(&sys, &initial)
+        .agents(&ags)
+        .respond(&respond)
+        .network(&delivery)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, WfError::Delivery(_)), "budget exhausted: {err}");
+
+    // never safety: no corrupted bytes were admitted
+    assert_eq!(sys.total_stored(), 0);
+    assert!(stored_versions(&sys, "corrupt").is_empty());
+    let stats = delivery.stats();
+    assert_eq!(stats.corruptions_rejected, stats.attempts, "every copy rejected");
+    assert!(stats.retries > 0);
+}
+
+#[test]
+fn heavy_duplication_never_grows_the_pool() {
+    let profile = FaultProfile { duplicate: 1.0 - 1e-12, ..FaultProfile::lossless() };
+    let (sys, doc, stats) = run("dup", Some((profile, DeliveryPolicy::default(), 11)));
+    let stats = stats.unwrap();
+    assert!(stats.faults.duplicated >= 10, "every send duplicated");
+    assert!(stats.duplicates_suppressed >= 10, "portal suppressed the extra copies");
+    assert_eq!(stored_versions(&sys, "dup").len(), 10, "no phantom versions");
+    let (_, dir) = cast();
+    verify_document(&doc, &dir).unwrap();
+}
+
+#[test]
+fn direct_path_and_delivery_path_charge_the_network_once() {
+    // lossless delivery: the channel charges exactly one physical copy per
+    // hop, i.e. the same bytes the direct path charges
+    let (clean_sys, _, _) = run("charge", None);
+    let (lossy_sys, _, stats) =
+        run("charge", Some((FaultProfile::lossless(), DeliveryPolicy::default(), 1)));
+    let stats = stats.unwrap();
+    assert_eq!(stats.retries, 0);
+    assert_eq!(clean_sys.network.bytes(), lossy_sys.network.bytes(), "no double counting");
+    assert_eq!(stats.virtual_time_us, stats.ideal_time_us);
+    assert!((stats.inflation() - 1.0).abs() < 1e-12);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any fault schedule under the retry budget yields a completed run
+    /// whose final document is byte-identical to the lossless run, with no
+    /// unverified bytes in the pool.
+    #[test]
+    fn prop_faulty_runs_converge_to_the_lossless_outcome(
+        drop_pct in 0u32..25,
+        dup_pct in 0u32..25,
+        reorder_pct in 0u32..25,
+        corrupt_pct in 0u32..10,
+        delay in 0u64..5_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let profile = FaultProfile {
+            drop: drop_pct as f64 / 100.0,
+            duplicate: dup_pct as f64 / 100.0,
+            reorder: reorder_pct as f64 / 100.0,
+            corrupt: corrupt_pct as f64 / 100.0,
+            delay_max_us: delay,
+        };
+        // a roomier budget than the default: the property quantifies over
+        // adversarial schedules, not over the default policy's tuning
+        let policy = DeliveryPolicy { max_attempts: 16, ..DeliveryPolicy::default() };
+        let (clean_sys, clean_doc, _) = run("prop", None);
+        let (lossy_sys, lossy_doc, stats) = run("prop", Some((profile, policy, seed)));
+        let stats = stats.unwrap();
+
+        prop_assert_eq!(&*clean_doc.wire(), &*lossy_doc.wire());
+        prop_assert_eq!(
+            stored_versions(&clean_sys, "prop"),
+            stored_versions(&lossy_sys, "prop")
+        );
+        prop_assert!(stats.attempts <= stats.sends * 16, "bounded retry overhead");
+        // time may inflate; the document pool may not
+        prop_assert!(stats.inflation() >= 1.0);
+    }
+}

@@ -1,7 +1,7 @@
 //! Integration: the paper's experimental workflows (Fig. 9A/9B) end to end,
 //! checking the structural properties behind Tables 1 and 2.
 
-use dra4wfms::cloud::{run_instance, CloudSystem, NetworkSim};
+use dra4wfms::cloud::{CloudSystem, InstanceRun, NetworkSim};
 use dra4wfms::core::monitor::ProcessStatus;
 use dra4wfms::prelude::*;
 use std::collections::HashMap;
@@ -81,7 +81,13 @@ fn fig9a_basic_model_structure_matches_table1() {
     let initial = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "t1").unwrap();
     let initial_size = initial.size_bytes();
 
-    let out = run_instance(&sys, &initial, &agents(&creds, &dir), None, &respond, 100).unwrap();
+    let ags = agents(&creds, &dir);
+    let out = InstanceRun::new(&sys, &initial)
+        .agents(&ags)
+        .respond(&respond)
+        .max_steps(100)
+        .run()
+        .unwrap();
     assert_eq!(out.steps, 9, "A,B1,B2,C ×2 + D (loop taken once), as in Table 1");
 
     // Σ grows monotonically with the number of CERs (Table 1's key shape).
@@ -117,8 +123,14 @@ fn fig9b_advanced_model_structure_matches_table2() {
         Arc::new(move || 1000 + ticks.fetch_add(1, std::sync::atomic::Ordering::Relaxed)),
     );
     let initial = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "t2").unwrap();
-    let out =
-        run_instance(&sys, &initial, &agents(&creds, &dir), Some(&tfc), &respond, 100).unwrap();
+    let ags = agents(&creds, &dir);
+    let out = InstanceRun::new(&sys, &initial)
+        .agents(&ags)
+        .tfc(&tfc)
+        .respond(&respond)
+        .max_steps(100)
+        .run()
+        .unwrap();
     assert_eq!(out.steps, 9);
 
     // every CER has: TfcSealed + Result + Timestamp + participant & TFC sigs
@@ -145,8 +157,13 @@ fn fig9b_advanced_model_structure_matches_table2() {
     let initial_b =
         DraDocument::new_initial_with_pid(&def_b, &policy(&def_b, false), &creds_b[0], "t2b")
             .unwrap();
-    let out_b =
-        run_instance(&sys_b, &initial_b, &agents(&creds_b, &dir_b), None, &respond, 100).unwrap();
+    let ags_b = agents(&creds_b, &dir_b);
+    let out_b = InstanceRun::new(&sys_b, &initial_b)
+        .agents(&ags_b)
+        .respond(&respond)
+        .max_steps(100)
+        .run()
+        .unwrap();
     assert!(
         out.document.size_bytes() > out_b.document.size_bytes(),
         "advanced {} > basic {}",
@@ -162,7 +179,13 @@ fn loop_iterations_are_distinct_cers() {
     let sys = CloudSystem::new(dir.clone(), 1, Arc::new(NetworkSim::lan()));
     let initial =
         DraDocument::new_initial_with_pid(&def, &policy(&def, false), &creds[0], "t3").unwrap();
-    let out = run_instance(&sys, &initial, &agents(&creds, &dir), None, &respond, 100).unwrap();
+    let ags = agents(&creds, &dir);
+    let out = InstanceRun::new(&sys, &initial)
+        .agents(&ags)
+        .respond(&respond)
+        .max_steps(100)
+        .run()
+        .unwrap();
     // X''_Ai(k) notation: the same activity appears once per iteration
     let keys: Vec<String> =
         out.document.cers().unwrap().iter().map(|c| c.key.to_string()).collect();
@@ -185,15 +208,15 @@ fn and_join_requires_both_branches() {
         DraDocument::new_initial_with_pid(&def, &policy(&def, false), &creds[0], "t4").unwrap();
     let ags = agents(&creds, &dir);
     // A executes, then only B1 — C must refuse
-    let recv = ags["p_a"].receive(&initial.to_xml_string(), "A").unwrap();
+    let recv = ags["p_a"].receive(initial.to_xml_string(), "A").unwrap();
     let a_done = ags["p_a"].complete(&recv, &[("attachment".into(), "f".into())]).unwrap();
-    let recv = ags["p_b1"].receive(&a_done.document.to_xml_string(), "B1").unwrap();
+    let recv = ags["p_b1"].receive(a_done.document.to_xml_string(), "B1").unwrap();
     let b1_done = ags["p_b1"].complete(&recv, &[("review1".into(), "ok".into())]).unwrap();
-    let err = ags["p_c"].receive(&b1_done.document.to_xml_string(), "C").unwrap_err();
+    let err = ags["p_c"].receive(b1_done.document.to_xml_string(), "C").unwrap_err();
     assert!(matches!(err, WfError::Flow(m) if m.contains("AND-join")));
 
     // with B2's branch merged in, C proceeds
-    let recv = ags["p_b2"].receive(&a_done.document.to_xml_string(), "B2").unwrap();
+    let recv = ags["p_b2"].receive(a_done.document.to_xml_string(), "B2").unwrap();
     let b2_done = ags["p_b2"].complete(&recv, &[("review2".into(), "ok".into())]).unwrap();
     let recv = ags["p_c"]
         .receive_merged(

@@ -48,7 +48,7 @@ fn run_chain(n: usize, values: &[String]) -> (Vec<DraDocument>, Directory) {
     let mut snapshots = vec![doc.clone()];
     for i in 0..n {
         let aea = Aea::new(creds[i + 1].clone(), dir.clone());
-        let recv = aea.receive_document(doc, &format!("S{i}")).unwrap();
+        let recv = aea.receive(doc, &format!("S{i}")).unwrap();
         doc = aea
             .complete(&recv, &[("f".into(), values[i].clone())])
             .unwrap()
@@ -128,7 +128,7 @@ fn tampered_prefix_detected_despite_stale_mark() {
     // AEA must reject it even though the seal claims a verified prefix
     let sealed = SealedDocument::with_trust(tampered, mark);
     let aea = Aea::new(Credentials::from_seed("p0", "iv-p0"), dir.clone());
-    assert!(aea.receive_sealed(sealed, "S0").is_err());
+    assert!(aea.receive(sealed, "S0").is_err());
 }
 
 #[test]
@@ -183,19 +183,19 @@ fn advanced_model_hop_rechecks_participant_and_attestation_only() {
 
     let initial = DraDocument::new_initial_with_pid(&def, &policy, &designer, "adv-pid").unwrap();
     let aea_peter = Aea::new(peter, dir.clone());
-    let recv = aea_peter.receive_sealed(SealedDocument::new(initial), "A").unwrap();
+    let recv = aea_peter.receive(SealedDocument::new(initial), "A").unwrap();
     assert_eq!(recv.report.signatures_verified, 1, "designer only");
 
     let inter = aea_peter.complete_via_tfc(&recv, &[("x".into(), "1".into())]).unwrap();
     // the TFC re-checks exactly the intermediate CER's participant signature
-    let processed = tfc.receive_sealed(inter.document).unwrap();
+    let processed = tfc.receive(inter.document).unwrap();
     assert_eq!(processed.report.signatures_verified, 1);
     let finalized = tfc.finalize(&processed).unwrap();
 
     // next hop: the finalized CER costs participant + attestation, nothing
     // else — the mark stops just short of the CER the TFC mutated
     let aea_amy = Aea::new(amy, dir.clone());
-    let recv = aea_amy.receive_sealed(finalized.document, "B").unwrap();
+    let recv = aea_amy.receive(finalized.document, "B").unwrap();
     assert_eq!(recv.report.signatures_verified, 2, "participant + TFC attestation");
     assert_eq!(recv.reused_cers, 0, "the one existing CER was finalized in place");
 }

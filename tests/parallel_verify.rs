@@ -23,7 +23,7 @@ fn chain(n: usize) -> (DraDocument, Directory) {
             .unwrap();
     for i in 0..n {
         let aea = Aea::new(creds[i + 1].clone(), dir.clone());
-        let recv = aea.receive(&doc.to_xml_string(), &format!("S{i}")).unwrap();
+        let recv = aea.receive(doc.to_xml_string(), &format!("S{i}")).unwrap();
         doc =
             aea.complete(&recv, &[("v".into(), format!("x{i}"))]).unwrap().document.into_document();
     }
@@ -107,11 +107,11 @@ fn parallel_verify_amended_document() {
     };
     let amended = amend_document(&doc, &designer, &delta).unwrap();
     let aea = Aea::new(alice, dir.clone());
-    let recv = aea.receive(&amended.to_xml_string(), "s1").unwrap();
+    let recv = aea.receive(amended.to_xml_string(), "s1").unwrap();
     let done = aea.complete(&recv, &[("x".into(), "1".into())]).unwrap();
     assert_eq!(done.route.targets, vec!["s2"], "amended route in force");
     let aea = Aea::new(bob, dir.clone());
-    let recv = aea.receive(&done.document.to_xml_string(), "s2").unwrap();
+    let recv = aea.receive(done.document.to_xml_string(), "s2").unwrap();
     let done = aea.complete(&recv, &[("y".into(), "2".into())]).unwrap();
 
     let serial = verify_document(&done.document, &dir).unwrap();

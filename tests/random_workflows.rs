@@ -46,7 +46,7 @@ fn run_linear(
     let mut doc = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "rw-pid").unwrap();
     for i in 0..len {
         let aea = Aea::new(creds[i + 1].clone(), dir.clone());
-        let recv = aea.receive(&doc.to_xml_string(), &format!("S{i}")).unwrap();
+        let recv = aea.receive(doc.to_xml_string(), &format!("S{i}")).unwrap();
         doc = aea
             .complete(&recv, &[("f".into(), values[i].clone())])
             .unwrap()
