@@ -99,6 +99,16 @@ pub struct DeliveryStats {
     pub late_deliveries: u64,
     /// Reordered copies dropped because the redelivery queue was full.
     pub queue_overflow_dropped: u64,
+    /// Crash faults injected during the run (by a [`crate::CrashPlan`]);
+    /// the delivery layer observes portal and TFC crashes, the runner folds
+    /// in AEA crashes it supervised.
+    pub crashes_injected: u64,
+    /// Hop leases that expired and triggered a supervisor takeover
+    /// (runner-supervised; 0 for bare delivery use).
+    pub leases_expired: u64,
+    /// Journal records replayed by portal recoveries
+    /// (runner/[`CloudSystem::recover_portals`]-supplied).
+    pub journal_replays: u64,
     /// Faults injected by the channel underneath.
     pub faults: FaultCounts,
     /// Virtual time actually spent, in microseconds (transfers + injected
@@ -143,6 +153,7 @@ pub struct Delivery {
     corruptions_rejected: AtomicU64,
     late_deliveries: AtomicU64,
     queue_overflow_dropped: AtomicU64,
+    crashes: AtomicU64,
     ideal_messages: AtomicU64,
     ideal_bytes: AtomicU64,
 }
@@ -172,6 +183,7 @@ impl Delivery {
             corruptions_rejected: AtomicU64::new(0),
             late_deliveries: AtomicU64::new(0),
             queue_overflow_dropped: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
             ideal_messages: AtomicU64::new(0),
             ideal_bytes: AtomicU64::new(0),
         })
@@ -235,6 +247,14 @@ impl Delivery {
                         }
                         ack.get_or_insert(a);
                     }
+                    // the portal died mid-admission: restart it (journal
+                    // replay completes the half-done store), treat the
+                    // attempt as unacked and let backoff + retry run — the
+                    // retry finds the replayed seen row and acks a duplicate
+                    Err(WfError::Crash(_)) => {
+                        self.crashes.fetch_add(1, Ordering::Relaxed);
+                        system.recover_portals();
+                    }
                     // a corrupted copy failing verification is the fault
                     // model working — retry with the original bytes
                     Err(_) if corrupted => {
@@ -293,6 +313,13 @@ impl Delivery {
                 match &arrival.payload {
                     None => match ingest(sealed.clone()) {
                         Ok(v) => acked = Some(v),
+                        // the receiver died mid-ingest (e.g. the TFC after
+                        // drawing its timestamp): unacked attempt, retry —
+                        // the restarted receiver's redo log re-emits the
+                        // same result instead of double-processing
+                        Err(WfError::Crash(_)) => {
+                            self.crashes.fetch_add(1, Ordering::Relaxed);
+                        }
                         Err(e) => return Err(e),
                     },
                     Some(corrupted) => {
@@ -301,6 +328,9 @@ impl Delivery {
                             // a corrupted copy that still verifies is
                             // canonically identical — accept it
                             Ok(v) => acked = Some(v),
+                            Err(WfError::Crash(_)) => {
+                                self.crashes.fetch_add(1, Ordering::Relaxed);
+                            }
                             Err(_) => {
                                 self.corruptions_rejected.fetch_add(1, Ordering::Relaxed);
                             }
@@ -337,6 +367,9 @@ impl Delivery {
             corruptions_rejected: self.corruptions_rejected.load(Ordering::Relaxed),
             late_deliveries: self.late_deliveries.load(Ordering::Relaxed),
             queue_overflow_dropped: self.queue_overflow_dropped.load(Ordering::Relaxed),
+            crashes_injected: self.crashes.load(Ordering::Relaxed),
+            leases_expired: 0,
+            journal_replays: 0,
             faults: self.network.counts(),
             virtual_time_us: sim.virtual_time_us(),
             ideal_time_us: sim.ideal_time_us(
@@ -387,6 +420,12 @@ impl Delivery {
                 // a send that never acked lands here as a fresh (valid)
                 // store, which is exactly redelivery
                 Ok(_) => {}
+                // portal crash on a late copy: restart it; the replayed
+                // admission makes the copy effectively stored
+                Err(WfError::Crash(_)) => {
+                    self.crashes.fetch_add(1, Ordering::Relaxed);
+                    system.recover_portals();
+                }
                 // late corrupted (or stale) copies are rejected by
                 // verification — the fault model working as intended
                 Err(_) => {

@@ -14,6 +14,10 @@
 //! * [`faults`] — a seeded, deterministic lossy channel over the simulated
 //!   network: drop / duplicate / reorder / delay / bit-corrupt per
 //!   configurable [`FaultProfile`],
+//! * [`crash`] — seeded crash-fault schedules ([`CrashPlan`]) that kill an
+//!   AEA, the TFC or a portal at named injection points; recovery is
+//!   journal replay + lease-based hop takeover, and the recovered run's
+//!   pool is byte-identical to the crash-free one,
 //! * [`delivery`] — retry with exponential backoff + jitter in virtual
 //!   time, bounded redelivery, and per-run [`DeliveryStats`]: runs complete
 //!   *through* the faulty channel, and a fault can cost time but never
@@ -30,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod delivery;
 pub mod faults;
 pub mod netsim;
@@ -37,10 +42,10 @@ pub mod portal;
 pub mod runner;
 pub mod trustcache;
 
+pub use crash::{CrashPlan, CrashPoint};
 pub use delivery::{Delivery, DeliveryPolicy, DeliveryStats};
 pub use faults::{FaultCounts, FaultProfile, FaultyNetwork};
 pub use netsim::NetworkSim;
 pub use portal::{CloudSystem, PortalStats, StoreAck, TodoEntry};
-#[allow(deprecated)]
-pub use runner::{run_instance, InstanceRun, Responder, RunOutcome};
+pub use runner::{InstanceRun, Responder, RunOutcome, SupervisorPolicy};
 pub use trustcache::TrustCache;

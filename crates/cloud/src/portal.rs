@@ -6,12 +6,13 @@
 //! document pool — which is why any number of portals can serve the same
 //! deployment (the scalability story of the paper).
 
+use crate::crash::{CrashPlan, CrashPoint};
 use crate::netsim::NetworkSim;
 use crate::trustcache::TrustCache;
 use dra4wfms_core::monitor::ProcessStatus;
 use dra4wfms_core::prelude::*;
 use dra4wfms_core::verify::verify_document;
-use dra_docpool::{map_reduce, HTable, TableConfig};
+use dra_docpool::{map_reduce, HTable, Journal, PutOp, TableConfig};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -79,6 +80,12 @@ pub struct CloudSystem {
     /// document whose exact bytes (or byte-identical prefix) were already
     /// verified here is not re-verified from scratch.
     pub trust_cache: TrustCache,
+    /// Write-ahead journal shared by the portals: every admission appends
+    /// its full put batch before touching the pool, so a portal crash
+    /// between two rows is repaired by [`CloudSystem::recover_portals`].
+    pub journal: Arc<Journal>,
+    /// The crash schedule portals consult mid-admission.
+    crash_plan: Arc<CrashPlan>,
 }
 
 impl CloudSystem {
@@ -90,7 +97,36 @@ impl CloudSystem {
             portals: (0..portals.max(1)).map(|_| PortalStats::default()).collect(),
             network,
             trust_cache: TrustCache::new(256),
+            journal: Arc::new(Journal::new()),
+            crash_plan: CrashPlan::none(),
         }
+    }
+
+    /// Arm a crash schedule: portals will consult `plan` at their injection
+    /// point during admission.
+    pub fn with_crash_plan(mut self, plan: Arc<CrashPlan>) -> CloudSystem {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Portal restart: replay every journaled-but-uncommitted admission
+    /// batch into the pool. Returns how many records were replayed (0 when
+    /// no portal died mid-admission).
+    pub fn recover_portals(&self) -> usize {
+        self.journal.replay_into(&self.pool)
+    }
+
+    /// Total journal records replayed by portal recoveries so far.
+    pub fn journal_replays(&self) -> u64 {
+        self.journal.replayed_records()
+    }
+
+    /// Look up the sequence number some exact wire bytes were stored under
+    /// (via the same digest row duplicate suppression uses). `None` when
+    /// these bytes never completed admission.
+    pub fn stored_seq_for(&self, wire: &str) -> Option<usize> {
+        let digest = dra_crypto::sha256(wire.as_bytes());
+        self.pool.get_str(&Self::seen_key(&digest), FAM_META, "seq").and_then(|s| s.parse().ok())
     }
 
     fn doc_key(process_id: &str, seq: usize) -> String {
@@ -203,30 +239,42 @@ impl CloudSystem {
         // process (parallel AND-split branches have equal CER counts, so the
         // CER count alone would collide)
         let seq = self.pool.scan_prefix(&format!("doc/{pid}/")).len();
-        self.pool.put(&Self::doc_key(&pid, seq), FAM_DOC, QUAL_XML, wire.as_ref().clone());
-        // remember the digest → seq binding for duplicate suppression; a
-        // pool row (not portal memory), so it survives snapshot/restore and
-        // is shared by every portal
-        self.pool.put(&Self::seen_key(&digest), FAM_META, "seq", seq.to_string());
-
-        // meta row: status + step counter for monitoring dashboards
-        // (amendments folded in, so dynamically added activities resolve)
         let (def, _) = dra4wfms_core::amendment::effective_definition(sealed)?;
         let status = if route.is_final() { "complete" } else { "running" };
-        self.pool.put(&Self::meta_key(&pid), FAM_META, "status", status);
-        self.pool.put(&Self::meta_key(&pid), FAM_META, "steps", report.cers.len().to_string());
-        self.pool.put(&Self::meta_key(&pid), FAM_META, "workflow", def.name.clone());
 
-        // notify: add TO-DO entries for each routed target's participant
+        // Assemble the full admission as one journaled batch: the digest →
+        // seq binding for duplicate suppression (a pool row, not portal
+        // memory, so it survives snapshot/restore and is shared by every
+        // portal), the document row, monitoring meta rows (amendments folded
+        // in, so dynamically added activities resolve), and one TO-DO entry
+        // per routed target's participant.
+        let mut ops = vec![
+            PutOp::new(Self::seen_key(&digest), FAM_META, "seq", seq.to_string()),
+            PutOp::new(Self::doc_key(&pid, seq), FAM_DOC, QUAL_XML, wire.as_ref().clone()),
+            PutOp::new(Self::meta_key(&pid), FAM_META, "status", status),
+            PutOp::new(Self::meta_key(&pid), FAM_META, "steps", report.cers.len().to_string()),
+            PutOp::new(Self::meta_key(&pid), FAM_META, "workflow", def.name.clone()),
+        ];
         for target in &route.targets {
             let participant = def.activity(target)?.participant.clone();
-            self.pool.put(
-                &Self::todo_key(&participant, &pid, target),
+            ops.push(PutOp::new(
+                Self::todo_key(&participant, &pid, target),
                 FAM_META,
                 "seq",
                 seq.to_string(),
-            );
+            ));
         }
+
+        // WAL discipline: log the intent, apply, commit. The seen row goes
+        // first — the worst-case crash window is then "pool claims stored,
+        // document row missing", exactly what replay repairs.
+        let record = self.journal.append(ops.clone());
+        ops[0].apply(&self.pool);
+        self.crash_plan.check(CrashPoint::PortalBetweenSeenAndStore)?;
+        for op in &ops[1..] {
+            op.apply(&self.pool);
+        }
+        self.journal.commit_through(record);
         stats.stored.fetch_add(1, Ordering::Relaxed);
         Ok(StoreAck { seq, duplicate: false })
     }
@@ -462,6 +510,8 @@ impl CloudSystem {
             portals: (0..portals.max(1)).map(|_| PortalStats::default()).collect(),
             network,
             trust_cache: TrustCache::new(256),
+            journal: Arc::new(Journal::new()),
+            crash_plan: CrashPlan::none(),
         })
     }
 }
@@ -670,6 +720,36 @@ mod tests {
         let ack = restored.ingest_wire(0, &doc.to_xml_string(), &route, None).unwrap();
         assert!(ack.duplicate);
         assert_eq!(ack.seq, seq);
+    }
+
+    #[test]
+    fn crash_between_seen_and_store_is_repaired_by_replay() {
+        let (sys, def, pol, designer, _) = setup();
+        let sys = sys.with_crash_plan(CrashPlan::once(CrashPoint::PortalBetweenSeenAndStore, 1));
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "p-cr").unwrap();
+        let wire = doc.to_xml_string();
+        let route = Route { targets: vec!["submit".into()], ends: false };
+
+        // the portal dies after the seen row, before the document row: the
+        // dangerous window where the pool claims "stored" with nothing stored
+        let err = sys.store_document(0, &wire, &route).unwrap_err();
+        assert!(matches!(err, WfError::Crash(_)));
+        assert!(sys.retrieve_latest(0, "p-cr").is_none(), "document row missing");
+        assert_eq!(sys.stored_seq_for(&wire), Some(0), "seen row landed");
+        assert_eq!(sys.journal.uncommitted(), 1);
+
+        // portal restart: journal replay completes the admission
+        assert_eq!(sys.recover_portals(), 1);
+        assert_eq!(sys.retrieve_latest(0, "p-cr").unwrap(), wire);
+        assert_eq!(sys.search_todo("alice").len(), 1, "TO-DO entry replayed");
+        assert_eq!(sys.journal_replays(), 1);
+
+        // the sender's retry is now a clean duplicate, and the crashed
+        // schedule is disarmed so the revisit gets through
+        let ack = sys.ingest_wire(0, &wire, &route, None).unwrap();
+        assert!(ack.duplicate);
+        assert_eq!(ack.seq, 0);
+        assert_eq!(sys.pool.scan_prefix("doc/p-cr/").len(), 1);
     }
 
     #[test]

@@ -15,8 +15,21 @@
 //!     .respond(&responder)
 //!     .max_steps(100)
 //!     .network(&delivery)       // optional: hops cross a faulty channel
+//!     .supervisor(SupervisorPolicy::default()) // crash takeover tuning
 //!     .run()?;
 //! ```
+//!
+//! ## Lease-based hop takeover
+//!
+//! Every dispatched hop implicitly carries a virtual-time lease. When a
+//! crash fault kills the executing agent (or the TFC, or the portal on the
+//! direct path), the runner — acting as supervisor — waits out the lease,
+//! restarts the portals (journal replay), re-fetches the hop's input
+//! documents from the pool (*document-anchored recovery*: the pool copy,
+//! not the dead agent's memory, is the truth) and re-dispatches the hop to
+//! a recovered agent. Deterministic signing + sealing make the re-executed
+//! result byte-identical, so if the dead agent's send did land, the
+//! portal's wire-digest idempotency suppresses the duplicate.
 
 use crate::delivery::{Delivery, DeliveryStats};
 use crate::portal::CloudSystem;
@@ -28,6 +41,24 @@ use std::sync::Arc;
 /// Scripted participant behaviour: given the opened activity (with its
 /// visible fields), produce the response fields.
 pub type Responder = dyn Fn(&ReceivedActivity) -> Vec<(String, String)> + Sync;
+
+/// Crash-takeover tuning of the runner's supervisor role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Virtual-time lease granted to each dispatched hop; on a crash the
+    /// supervisor charges this much waiting for the lease to expire before
+    /// taking the hop over.
+    pub lease_us: u64,
+    /// How many takeovers the supervisor will perform per hop before
+    /// giving up and surfacing the crash.
+    pub max_takeovers: usize,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> SupervisorPolicy {
+        SupervisorPolicy { lease_us: 20_000, max_takeovers: 4 }
+    }
+}
 
 /// The result of driving one process instance to completion.
 #[derive(Debug)]
@@ -62,6 +93,7 @@ pub struct InstanceRun<'a> {
     respond: Option<&'a Responder>,
     max_steps: usize,
     delivery: Option<&'a Delivery>,
+    supervisor: SupervisorPolicy,
 }
 
 impl<'a> InstanceRun<'a> {
@@ -75,6 +107,7 @@ impl<'a> InstanceRun<'a> {
             respond: None,
             max_steps: 1_000,
             delivery: None,
+            supervisor: SupervisorPolicy::default(),
         }
     }
 
@@ -107,6 +140,12 @@ impl<'a> InstanceRun<'a> {
     /// outcome's [`RunOutcome::delivery`] then carries the per-run stats.
     pub fn network(mut self, delivery: &'a Delivery) -> InstanceRun<'a> {
         self.delivery = Some(delivery);
+        self
+    }
+
+    /// Tune the crash-takeover supervisor (lease length, takeover budget).
+    pub fn supervisor(mut self, policy: SupervisorPolicy) -> InstanceRun<'a> {
+        self.supervisor = policy;
         self
     }
 
@@ -153,6 +192,9 @@ impl<'a> InstanceRun<'a> {
         let mut steps = 0usize;
         let mut signature_checks = 0usize;
         let mut last_doc = sealed_initial;
+        let mut leases_expired = 0u64;
+        let mut crashes_supervised = 0u64;
+        let replays_at_start = system.journal_replays();
 
         while let Some(activity) = queue.pop_front() {
             let Some(arrived) = inbox.remove(&activity) else { continue };
@@ -163,15 +205,8 @@ impl<'a> InstanceRun<'a> {
                 )));
             }
 
-            // merge branch documents (single-document arrivals keep their
-            // seal and trust mark; a true merge builds a new document that
-            // needs a full verification)
-            let merged = if arrived.len() == 1 {
-                arrived.into_iter().next().expect("one element")
-            } else {
-                let docs: Vec<DraDocument> = arrived.iter().map(|s| s.document().clone()).collect();
-                SealedDocument::new(merge_documents(&docs)?)
-            };
+            let mut inputs = arrived;
+            let mut merged = Self::merge_inputs(&inputs)?;
 
             // re-fold amendments: a designer may have amended the definition
             // mid-run, and routing must follow the rules now in force
@@ -187,35 +222,33 @@ impl<'a> InstanceRun<'a> {
                 continue;
             }
 
-            let received = aea.receive(merged, &activity)?;
-            signature_checks += received.report.signatures_verified;
-            let responses = respond(&received);
-            steps += 1;
-
-            // basic vs advanced model
-            let (document, route) = match (&def_now.tfc, self.tfc) {
-                (Some(_), Some(server)) => {
-                    let inter = aea.complete_via_tfc(&received, &responses)?;
-                    let processed = match self.delivery {
-                        // the AEA → TFC hop crosses the same faulty channel
-                        Some(d) => d.transfer(&inter.document, |s| server.receive(s))?,
-                        None => {
-                            system.network.transfer(inter.document.size_bytes());
-                            server.receive(inter.document)?
-                        }
-                    };
-                    signature_checks += processed.report.signatures_verified;
-                    let finalized = server.finalize(&processed)?;
-                    (finalized.document, finalized.route)
-                }
-                _ => {
-                    let done = aea.complete(&received, &responses)?;
-                    (done.document, done.route)
+            // dispatch the hop under a virtual-time lease; a crash fault
+            // surfaces here as WfError::Crash, and the supervisor takes the
+            // hop over instead of failing the run
+            let use_tfc = def_now.tfc.is_some();
+            let mut takeovers_left = self.supervisor.max_takeovers;
+            let (document, route, hop_checks) = loop {
+                match self.execute_hop(aea, &activity, &merged, respond, use_tfc, steps + 1) {
+                    Ok(done) => break done,
+                    Err(WfError::Crash(_)) if takeovers_left > 0 => {
+                        takeovers_left -= 1;
+                        leases_expired += 1;
+                        crashes_supervised += 1;
+                        // the dead agent's lease runs out in virtual time ...
+                        system.network.advance(self.supervisor.lease_us);
+                        // ... crashed portals restart (journal replay
+                        // completes any half-done admission) ...
+                        system.recover_portals();
+                        // ... and the hop is re-anchored on the documents in
+                        // the pool, not the dead agent's memory
+                        inputs = self.refetch(&pid, inputs);
+                        merged = Self::merge_inputs(&inputs)?;
+                    }
+                    Err(e) => return Err(e),
                 }
             };
-
-            // store + notify (portal chosen round-robin by step)
-            self.store(steps, &document, &route)?;
+            steps += 1;
+            signature_checks += hop_checks;
             system.consume_todo(&act.participant, &pid, &activity);
 
             for target in &route.targets {
@@ -229,35 +262,109 @@ impl<'a> InstanceRun<'a> {
 
         // late reordered copies are ingested before stats are read, so the
         // same seed + profile always reports the same numbers
-        let delivery = self.delivery.map(|d| {
+        let mut delivery = self.delivery.map(|d| {
             d.flush(system);
             d.stats()
         });
+        // fold in crash/recovery accounting: the delivery layer counted the
+        // crashes it absorbed on its own paths, the supervisor counted the
+        // ones that reached the takeover loop — disjoint events
+        let replays = system.journal_replays() - replays_at_start;
+        if delivery.is_none() && (crashes_supervised > 0 || replays > 0) {
+            delivery = Some(DeliveryStats::default());
+        }
+        if let Some(stats) = delivery.as_mut() {
+            stats.crashes_injected += crashes_supervised;
+            stats.leases_expired = leases_expired;
+            stats.journal_replays = replays;
+        }
 
         Ok(RunOutcome { document: last_doc, steps, process_id: pid, signature_checks, delivery })
     }
-}
 
-/// Deprecated positional-argument wrapper around [`InstanceRun`], kept for
-/// one release.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the InstanceRun builder: \
-            InstanceRun::new(system, initial).agents(..).respond(..).run()"
-)]
-pub fn run_instance(
-    system: &CloudSystem,
-    initial: &DraDocument,
-    agents: &HashMap<String, Arc<Aea>>,
-    tfc: Option<&TfcServer>,
-    respond: &Responder,
-    max_steps: usize,
-) -> WfResult<RunOutcome> {
-    let mut run = InstanceRun::new(system, initial).agents(agents).respond(respond);
-    if let Some(server) = tfc {
-        run = run.tfc(server);
+    /// Merge branch documents: a single arrival keeps its seal and trust
+    /// mark; a true merge builds a new document that needs a full
+    /// verification.
+    fn merge_inputs(inputs: &[SealedDocument]) -> WfResult<SealedDocument> {
+        if inputs.len() == 1 {
+            return Ok(inputs[0].clone());
+        }
+        let docs: Vec<DraDocument> = inputs.iter().map(|s| s.document().clone()).collect();
+        Ok(SealedDocument::new(merge_documents(&docs)?))
     }
-    run.max_steps(max_steps).run()
+
+    /// Execute one hop end to end: open the activity, respond, complete
+    /// (via the TFC on the advanced model), store and notify. Returns the
+    /// resulting document, its route and the signature checks spent — or
+    /// the [`WfError::Crash`] of whichever component died.
+    fn execute_hop(
+        &self,
+        aea: &Aea,
+        activity: &str,
+        merged: &SealedDocument,
+        respond: &Responder,
+        use_tfc: bool,
+        portal: usize,
+    ) -> WfResult<(SealedDocument, Route, usize)> {
+        let system = self.system;
+        let received = aea.receive(merged.clone(), activity)?;
+        let mut checks = received.report.signatures_verified;
+        let responses = respond(&received);
+
+        // basic vs advanced model
+        let (document, route) = match self.tfc {
+            Some(server) if use_tfc => {
+                let inter = aea.complete_via_tfc(&received, &responses)?;
+                let processed = match self.delivery {
+                    // the AEA → TFC hop crosses the same faulty channel
+                    Some(d) => d.transfer(&inter.document, |s| server.receive(s))?,
+                    None => {
+                        system.network.transfer(inter.document.size_bytes());
+                        server.receive(inter.document)?
+                    }
+                };
+                checks += processed.report.signatures_verified;
+                let finalized = server.finalize(&processed)?;
+                (finalized.document, finalized.route)
+            }
+            _ => {
+                let done = aea.complete(&received, &responses)?;
+                (done.document, done.route)
+            }
+        };
+
+        // store + notify (portal chosen round-robin by step)
+        self.store(portal, &document, &route)?;
+        Ok((document, route, checks))
+    }
+
+    /// Document-anchored recovery: swap each input for the copy the pool
+    /// holds for these exact bytes (found via the wire-digest row), with
+    /// the deployment's trust mark re-attached. An input the pool has no
+    /// completed admission for is kept as-is — the runner stored every
+    /// input before dispatching the hop, so this only happens when replay
+    /// has not repaired a torn admission yet.
+    fn refetch(&self, pid: &str, inputs: Vec<SealedDocument>) -> Vec<SealedDocument> {
+        inputs
+            .into_iter()
+            .map(|sealed| {
+                let Some(seq) = self.system.stored_seq_for(&sealed.wire()) else {
+                    return sealed;
+                };
+                let Some(xml) = self.system.retrieve_version(pid, seq) else {
+                    return sealed;
+                };
+                let Ok(mut fresh) = SealedDocument::from_wire(&xml) else {
+                    return sealed;
+                };
+                if let Some(mark) = self.system.trust_cache.get(&dra_crypto::sha256(xml.as_bytes()))
+                {
+                    fresh.set_trust(mark);
+                }
+                fresh
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -437,22 +544,47 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_run_instance_still_works() {
+    fn aea_crash_recovered_by_lease_takeover() {
         let creds = people();
         let dir = Directory::from_credentials(&creds);
-        let sys = CloudSystem::new(dir.clone(), 3, Arc::new(NetworkSim::lan()));
+        let plan = crate::crash::CrashPlan::once(crate::crash::CrashPoint::AeaBeforeSign, 3);
+        let network = Arc::new(NetworkSim::lan());
+        let sys = CloudSystem::new(dir.clone(), 3, Arc::clone(&network))
+            .with_crash_plan(Arc::clone(&plan));
         let initial = DraDocument::new_initial_with_pid(
             &fig9a(),
             &SecurityPolicy::public(),
             &creds[0],
-            "compat",
+            "crash-run",
         )
         .unwrap();
-        #[allow(deprecated)]
-        let out =
-            run_instance(&sys, &initial, &agents(&creds, &dir), None, &fig9a_responder(), 100)
-                .unwrap();
-        assert_eq!(out.steps, 9);
+        // every AEA shares the crash schedule; exactly one dies, once
+        let ags: HashMap<String, Arc<Aea>> = creds
+            .iter()
+            .map(|c| {
+                let aea = Aea::new(c.clone(), dir.clone()).with_crash_hook(plan.hook());
+                (c.name.clone(), Arc::new(aea))
+            })
+            .collect();
+        let responder = fig9a_responder();
+        let t0 = network.virtual_time_us();
+        let out = InstanceRun::new(&sys, &initial)
+            .agents(&ags)
+            .respond(&responder)
+            .max_steps(100)
+            .run()
+            .unwrap();
+        assert_eq!(out.steps, 9, "the run completes despite the crash");
+        let stats = out.delivery.expect("crash accounting surfaces stats");
+        assert_eq!(stats.crashes_injected, 1);
+        assert_eq!(stats.leases_expired, 1);
+        assert!(
+            network.virtual_time_us() - t0 >= SupervisorPolicy::default().lease_us,
+            "the takeover waited out the lease"
+        );
+        // no version lost, none duplicated
+        assert_eq!(sys.pool.scan_prefix("doc/crash-run/").len(), 10);
+        verify_document(&out.document, &dir).unwrap();
     }
 
     #[test]

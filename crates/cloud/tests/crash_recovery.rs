@@ -1,0 +1,158 @@
+//! Crash-fault recovery, end to end: the takeover copy racing the dead
+//! agent's delayed send, and the TFC redo log making re-executed hops
+//! byte-identical.
+
+use dra4wfms_core::prelude::*;
+use dra_cloud::{CloudSystem, NetworkSim};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn two_step() -> (Vec<Credentials>, Directory, WorkflowDefinition) {
+    let creds: Vec<Credentials> = ["designer", "alice", "bob", "TFC"]
+        .iter()
+        .map(|n| Credentials::from_seed(*n, &format!("crash-it-{n}")))
+        .collect();
+    let dir = Directory::from_credentials(&creds);
+    let def = WorkflowDefinition::builder("race", "designer")
+        .simple_activity("submit", "alice", &["amount"])
+        .simple_activity("approve", "bob", &["decision"])
+        .flow("submit", "approve")
+        .flow_end("approve")
+        .build()
+        .unwrap();
+    (creds, dir, def)
+}
+
+/// Satellite scenario: the executing agent signs and sends, then dies — its
+/// copy is *delayed*, not lost. The supervisor's lease expires, a recovered
+/// agent re-executes the hop from the pool copy and stores first. When the
+/// dead agent's copy finally arrives, the portal must recognise it by wire
+/// digest: exactly one stored version, `StoreAck { duplicate: true }`.
+#[test]
+fn takeover_copy_wins_race_with_dead_agents_delayed_send() {
+    let (creds, dir, def) = two_step();
+    let sys = CloudSystem::new(dir.clone(), 2, Arc::new(NetworkSim::lan()));
+    let initial =
+        DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "race-1")
+            .unwrap();
+    sys.store_document(
+        0,
+        &initial.to_xml_string(),
+        &Route { targets: vec!["submit".into()], ends: false },
+    )
+    .unwrap();
+
+    // the doomed agent executes the hop and signs; its send goes into the
+    // network but the agent dies before seeing an ack — we hold the copy
+    let doomed = Aea::new(creds[1].clone(), dir.clone());
+    let input = sys.retrieve_latest_sealed(0, "race-1").unwrap().unwrap();
+    let received = doomed.receive(input, "submit").unwrap();
+    let responses = vec![("amount".to_string(), "100".to_string())];
+    let in_flight = doomed.complete(&received, &responses).unwrap();
+    drop(doomed); // the crash: in-flight state gone, only the pool survives
+
+    // lease expires; a recovered agent takes the hop over, re-anchored on
+    // the pool's latest document — deterministic signing makes the result
+    // byte-identical to what the dead agent produced
+    let recovered = Aea::new(creds[1].clone(), dir.clone());
+    let input = sys.retrieve_latest_sealed(1, "race-1").unwrap().unwrap();
+    let received = recovered.receive(input, "submit").unwrap();
+    let takeover = recovered.complete(&received, &responses).unwrap();
+    assert_eq!(
+        takeover.document.wire(),
+        in_flight.document.wire(),
+        "re-executed hop is byte-identical"
+    );
+
+    let ack = sys
+        .ingest_wire(1, &takeover.document.wire(), &takeover.route, takeover.document.trust())
+        .unwrap();
+    assert!(!ack.duplicate, "takeover copy stores first");
+
+    // now the dead agent's delayed copy limps in — suppressed, not re-stored
+    let late = sys
+        .ingest_wire(0, &in_flight.document.wire(), &in_flight.route, in_flight.document.trust())
+        .unwrap();
+    assert!(late.duplicate, "delayed copy recognised by wire digest");
+    assert_eq!(late.seq, ack.seq);
+    assert_eq!(sys.pool.scan_prefix("doc/race-1/").len(), 2, "initial + one CER, no phantom");
+    assert_eq!(sys.total_duplicates_suppressed(), 1);
+
+    // bob was notified exactly once and the flow can continue
+    assert_eq!(sys.search_todo("bob").len(), 1);
+}
+
+/// Advanced-model variant: the crash hits between the TFC's timestamp draw
+/// and its re-encrypt. The redo log must re-emit the *same* timestamped
+/// document on re-execution — one clock draw, one `<Timestamp`, and the
+/// delayed original still dedups at the portal.
+#[test]
+fn tfc_redo_keeps_reexecuted_hop_byte_identical() {
+    let (creds, dir, mut def) = two_step();
+    def.tfc = Some("TFC".into());
+    let policy = SecurityPolicy::public().with_tfc_access("TFC", &def);
+    let sys = CloudSystem::new(dir.clone(), 2, Arc::new(NetworkSim::lan()));
+    let initial = DraDocument::new_initial_with_pid(&def, &policy, &creds[0], "race-2").unwrap();
+    sys.store_document(
+        0,
+        &initial.to_xml_string(),
+        &Route { targets: vec!["submit".into()], ends: false },
+    )
+    .unwrap();
+
+    let draws = Arc::new(AtomicU64::new(0));
+    let clock_draws = Arc::clone(&draws);
+    let tfc_creds = creds.iter().find(|c| c.name == "TFC").unwrap().clone();
+    let tfc = TfcServer::with_clock(
+        tfc_creds,
+        dir.clone(),
+        Arc::new(move || 5_000 + clock_draws.fetch_add(1, Ordering::Relaxed)),
+    );
+
+    // first execution reaches the TFC, which timestamps and finalizes —
+    // then the result is lost with the crashing sender
+    let alice = Aea::new(creds[1].clone(), dir.clone());
+    let input = sys.retrieve_latest_sealed(0, "race-2").unwrap().unwrap();
+    let received = alice.receive(input, "submit").unwrap();
+    let responses = vec![("amount".to_string(), "7".to_string())];
+    let inter1 = alice.complete_via_tfc(&received, &responses).unwrap();
+    let processed = tfc.receive(inter1.document.clone()).unwrap();
+    let final1 = tfc.finalize(&processed).unwrap();
+    assert_eq!(draws.load(Ordering::Relaxed), 1);
+
+    // takeover: a recovered agent re-executes; deterministic sealing makes
+    // the TFC-bound intermediate byte-identical, so the redo log replays
+    // the recorded result instead of double-timestamping
+    let recovered = Aea::new(creds[1].clone(), dir.clone());
+    let input = sys.retrieve_latest_sealed(1, "race-2").unwrap().unwrap();
+    let received = recovered.receive(input, "submit").unwrap();
+    let inter2 = recovered.complete_via_tfc(&received, &responses).unwrap();
+    assert_eq!(
+        inter2.document.wire(),
+        inter1.document.wire(),
+        "deterministic sealing: TFC-bound hand-off is reproducible"
+    );
+    let processed2 = tfc.receive(inter2.document.clone()).unwrap();
+    let final2 = tfc.finalize(&processed2).unwrap();
+
+    assert_eq!(final2.document.wire(), final1.document.wire(), "redo re-emits the same bytes");
+    assert_eq!(final2.timestamp, final1.timestamp);
+    assert_eq!(draws.load(Ordering::Relaxed), 1, "exactly one clock draw across both runs");
+    assert!(tfc.redo_reuses() >= 1);
+    assert_eq!(
+        final2.document.wire().matches("<Timestamp").count(),
+        final1.document.wire().matches("<Timestamp").count(),
+        "no double timestamp"
+    );
+
+    // both copies head for the portal; only one version lands
+    let ack = sys
+        .ingest_wire(0, &final2.document.wire(), &final2.route, final2.document.trust())
+        .unwrap();
+    assert!(!ack.duplicate);
+    let late = sys
+        .ingest_wire(1, &final1.document.wire(), &final1.route, final1.document.trust())
+        .unwrap();
+    assert!(late.duplicate);
+    assert_eq!(sys.pool.scan_prefix("doc/race-2/").len(), 2);
+}

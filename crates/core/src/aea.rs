@@ -18,6 +18,7 @@
 
 use crate::document::{preds_to_attr, CerKey, DraDocument, PredRef};
 use crate::error::{WfError, WfResult};
+use crate::faultpoint::{site, CrashHook};
 use crate::fields::{build_plain_result_element, build_result_element};
 use crate::flow::{evaluate_route, join_ready, merge_documents, DocFieldReader, Route};
 use crate::identity::{Credentials, Directory};
@@ -36,6 +37,8 @@ pub struct Aea {
     pub creds: Credentials,
     /// The deployment PKI.
     pub directory: Directory,
+    /// Crash-fault injection seam; `None` outside fault experiments.
+    crash_hook: Option<CrashHook>,
 }
 
 /// The outcome of [`Aea::receive`]: a verified document opened for one
@@ -94,7 +97,23 @@ pub struct IntermediateActivity {
 impl Aea {
     /// Create an AEA for a participant.
     pub fn new(creds: Credentials, directory: Directory) -> Aea {
-        Aea { creds, directory }
+        Aea { creds, directory, crash_hook: None }
+    }
+
+    /// Arm this AEA with a crash-injection hook (see [`crate::faultpoint`]).
+    /// The hook is consulted at every named site; when it returns
+    /// [`WfError::Crash`], the operation aborts there, losing all in-flight
+    /// state, and the caller's recovery machinery takes over.
+    pub fn with_crash_hook(mut self, hook: CrashHook) -> Aea {
+        self.crash_hook = Some(hook);
+        self
+    }
+
+    fn crash_point(&self, site: &str) -> WfResult<()> {
+        match &self.crash_hook {
+            Some(hook) => hook(site),
+            None => Ok(()),
+        }
     }
 
     /// Receive a routed document and open `activity` for execution — the
@@ -164,6 +183,7 @@ impl Aea {
             }
         }
 
+        self.crash_point(site::AEA_AFTER_VERIFY)?;
         Ok(ReceivedActivity {
             doc,
             def,
@@ -186,22 +206,6 @@ impl Aea {
             xmls.iter().map(|x| DraDocument::parse(x)).collect::<WfResult<_>>()?;
         let merged = merge_documents(&docs)?;
         self.receive(merged, activity)
-    }
-
-    /// Deprecated alias for [`Aea::receive`], kept for one release.
-    #[deprecated(since = "0.1.0", note = "use `Aea::receive` — it accepts parsed documents too")]
-    pub fn receive_document(&self, doc: DraDocument, activity: &str) -> WfResult<ReceivedActivity> {
-        self.receive(doc, activity)
-    }
-
-    /// Deprecated alias for [`Aea::receive`], kept for one release.
-    #[deprecated(since = "0.1.0", note = "use `Aea::receive` — it accepts sealed hand-offs too")]
-    pub fn receive_sealed(
-        &self,
-        sealed: SealedDocument,
-        activity: &str,
-    ) -> WfResult<ReceivedActivity> {
-        self.receive(sealed, activity)
     }
 
     fn check_responses(
@@ -253,6 +257,7 @@ impl Aea {
         let mut document = received.doc.clone();
         let key = CerKey::new(received.activity.clone(), received.iter);
         let cascade = document.cascade_bytes(&result, &received.preds)?;
+        self.crash_point(site::AEA_BEFORE_SIGN)?;
         let sig = sign_detached(&self.creds.sign, &cascade, &format!("{key}"));
         let cer = Element::new("CER")
             .attr("activity", key.activity.clone())
@@ -264,6 +269,7 @@ impl Aea {
         document.push_cer(cer)?;
 
         let route = evaluate_route(&received.def, &received.activity, &reader)?;
+        self.crash_point(site::AEA_AFTER_SIGN)?;
         // The prefix pinned at receive time is untouched by push_cer, so the
         // mark stays valid: the next hop re-verifies exactly this new CER.
         let document = SealedDocument::with_trust(document, received.trust.clone());
@@ -290,15 +296,26 @@ impl Aea {
         let tfc_id = self.directory.get(tfc_name)?;
 
         // {{R_Ai}}Pub(TFC): the plaintext result, sealed so only the TFC
-        // can decrypt it.
+        // can decrypt it. Sealed deterministically from the static DH secret
+        // with the TFC, so a crashed agent re-executing the same hop emits
+        // byte-identical bytes — the idempotent-digest machinery then
+        // recognises the dead agent's copy and the takeover copy as one.
         let plain = build_plain_result_element(responses);
-        let sealed = dra_crypto::sealed::seal(&tfc_id.enc, &canonicalize(&plain));
+        let key = CerKey::new(received.activity.clone(), received.iter);
+        let seal_seed = self.creds.enc.diffie_hellman(&tfc_id.enc);
+        let seal_context = format!("{}/{key}", received.report.process_id);
+        let sealed = dra_crypto::sealed::seal_deterministic(
+            &tfc_id.enc,
+            &canonicalize(&plain),
+            &seal_seed,
+            seal_context.as_bytes(),
+        );
         let sealed_el =
             Element::new("TfcSealed").attr("tfc", tfc_name).text(dra_crypto::b64::encode(&sealed));
 
         let mut document = received.doc.clone();
-        let key = CerKey::new(received.activity.clone(), received.iter);
         let cascade = document.cascade_bytes(&sealed_el, &received.preds)?;
+        self.crash_point(site::AEA_BEFORE_SIGN)?;
         let sig = sign_detached(&self.creds.sign, &cascade, &format!("{key}"));
         let cer = Element::new("CER")
             .attr("activity", key.activity.clone())
@@ -309,6 +326,7 @@ impl Aea {
             .child(sig);
         document.push_cer(cer)?;
 
+        self.crash_point(site::AEA_AFTER_SIGN)?;
         let document = SealedDocument::with_trust(document, received.trust.clone());
         Ok(IntermediateActivity { document, key })
     }

@@ -52,6 +52,12 @@ pub enum WfError {
     /// policy's retry budget (the simulated channel dropped or corrupted
     /// every attempt).
     Delivery(String),
+    /// A simulated crash fault killed the component mid-operation: every
+    /// in-flight state it held is gone, and only what had already reached
+    /// stable storage (the document pool, a write-ahead journal, the TFC
+    /// redo log) survives. Recovery machinery catches this variant; it must
+    /// never be conflated with a document or policy fault.
+    Crash(String),
 }
 
 impl std::fmt::Display for WfError {
@@ -74,6 +80,7 @@ impl std::fmt::Display for WfError {
             WfError::Malformed(m) => write!(f, "malformed document: {m}"),
             WfError::Config(m) => write!(f, "configuration error: {m}"),
             WfError::Delivery(m) => write!(f, "delivery failed: {m}"),
+            WfError::Crash(m) => write!(f, "simulated crash: {m}"),
         }
     }
 }

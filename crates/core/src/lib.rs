@@ -76,6 +76,7 @@ pub mod amendment;
 pub mod document;
 pub mod dsl;
 pub mod error;
+pub mod faultpoint;
 pub mod fields;
 pub mod flow;
 pub mod identity;
@@ -95,6 +96,7 @@ pub mod prelude {
     pub use crate::document::{CerKey, DraDocument, PredRef};
     pub use crate::dsl::{parse_workflow, to_dsl};
     pub use crate::error::{WfError, WfResult};
+    pub use crate::faultpoint::CrashHook;
     pub use crate::fields::FieldReader;
     pub use crate::flow::{evaluate_route, join_ready, merge_documents, DocFieldReader, Route};
     pub use crate::identity::{Credentials, Directory, Identity};

@@ -20,6 +20,7 @@
 
 use crate::document::{CerKey, DraDocument};
 use crate::error::{WfError, WfResult};
+use crate::faultpoint::{site, CrashHook};
 use crate::fields::{build_result_element, plain_fields};
 use crate::flow::{evaluate_route, DocFieldReader, Route};
 use crate::identity::{Credentials, Directory};
@@ -30,11 +31,24 @@ use crate::sealed::{prefix_digest, SealedDocument, TrustMark};
 use crate::verify::{tfc_attest_bytes, verify_incremental};
 use dra_xml::sig::sign_detached;
 use dra_xml::Element;
-use std::sync::Arc;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Clock abstraction so tests and benches can pin timestamps.
 pub type Clock = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// One redo-log entry, keyed by the digest of the intermediate document
+/// being finalized. The timestamp intent is logged *before* the finalize
+/// work; the finished wire is recorded after. A TFC that crashes in between
+/// re-finalizes with the logged timestamp instead of drawing a fresh one —
+/// no double-timestamp, byte-identical output.
+struct RedoEntry {
+    timestamp: u64,
+    finalized: Option<(String, Route)>,
+}
 
 /// A TFC server instance.
 pub struct TfcServer {
@@ -43,6 +57,13 @@ pub struct TfcServer {
     /// The deployment PKI.
     pub directory: Directory,
     clock: Clock,
+    /// Crash-fault injection seam; `None` outside fault experiments.
+    crash_hook: Option<CrashHook>,
+    /// Redo log: stable storage next to the TFC's keys. A production
+    /// deployment would truncate it at checkpoints; entries here are bounded
+    /// by the documents finalized over the server's lifetime.
+    redo: Mutex<HashMap<[u8; 32], RedoEntry>>,
+    redo_reuses: AtomicU64,
 }
 
 /// A verified, unsealed intermediate document awaiting finalization.
@@ -87,21 +108,48 @@ pub struct TfcProcessed {
 impl TfcServer {
     /// Create a TFC server with the system clock.
     pub fn new(creds: Credentials, directory: Directory) -> TfcServer {
-        TfcServer {
+        Self::with_clock(
             creds,
             directory,
-            clock: Arc::new(|| {
+            Arc::new(|| {
                 SystemTime::now()
                     .duration_since(UNIX_EPOCH)
                     .map(|d| d.as_millis() as u64)
                     .unwrap_or(0)
             }),
-        }
+        )
     }
 
     /// Create a TFC server with an injected clock (tests, reproducibility).
     pub fn with_clock(creds: Credentials, directory: Directory, clock: Clock) -> TfcServer {
-        TfcServer { creds, directory, clock }
+        TfcServer {
+            creds,
+            directory,
+            clock,
+            crash_hook: None,
+            redo: Mutex::new(HashMap::new()),
+            redo_reuses: AtomicU64::new(0),
+        }
+    }
+
+    /// Arm this TFC with a crash-injection hook (see [`crate::faultpoint`]).
+    pub fn with_crash_hook(mut self, hook: CrashHook) -> TfcServer {
+        self.crash_hook = Some(hook);
+        self
+    }
+
+    fn crash_point(&self, site: &str) -> WfResult<()> {
+        match &self.crash_hook {
+            Some(hook) => hook(site),
+            None => Ok(()),
+        }
+    }
+
+    /// How many finalizations were answered (fully or partially) from the
+    /// redo log — i.e. re-executions after a crash, each of which would have
+    /// drawn a second timestamp without the log.
+    pub fn redo_reuses(&self) -> u64 {
+        self.redo_reuses.load(Ordering::Relaxed)
     }
 
     /// Verify an incoming intermediate document and unseal its fresh result
@@ -166,7 +214,40 @@ impl TfcServer {
 
     /// Re-encrypt per policy, embed the timestamp, attest and route (the γ
     /// phase in Table 2).
+    ///
+    /// Crash-consistent via the redo log: the timestamp intent is logged
+    /// before any mutation, the finished wire after. Re-finalizing the same
+    /// intermediate document (a recovered hop re-sending after a TFC crash)
+    /// reuses the logged timestamp — and, when the first pass got as far as
+    /// recording its output, re-emits those exact bytes.
     pub fn finalize(&self, received: &TfcReceived) -> WfResult<TfcProcessed> {
+        let redo_key = dra_crypto::sha256(received.doc.to_xml_string().as_bytes());
+
+        // redo fast path: this intermediate document was fully finalized
+        // before a crash cut off the forwarding — re-emit identical bytes.
+        if let Some((wire, route, timestamp)) = self.redo_finalized(&redo_key) {
+            self.redo_reuses.fetch_add(1, Ordering::Relaxed);
+            let mut document = SealedDocument::from_wire(&wire)?;
+            document.set_trust(received.trust.clone());
+            return Ok(TfcProcessed { document, route, key: received.key.clone(), timestamp });
+        }
+
+        // draw the timestamp — or reuse the intent a crashed finalize
+        // already logged for this document, so it is never stamped twice
+        let timestamp = {
+            let mut redo = self.redo.lock().unwrap_or_else(|e| e.into_inner());
+            match redo.entry(redo_key) {
+                Entry::Occupied(e) => {
+                    self.redo_reuses.fetch_add(1, Ordering::Relaxed);
+                    e.get().timestamp
+                }
+                Entry::Vacant(v) => {
+                    v.insert(RedoEntry { timestamp: (self.clock)(), finalized: None }).timestamp
+                }
+            }
+        };
+        self.crash_point(site::TFC_AFTER_TIMESTAMP)?;
+
         let reader = DocFieldReader::for_actor(&received.doc, &self.creds)
             .with_overlay(&received.key.activity, &received.responses);
 
@@ -180,7 +261,6 @@ impl TfcServer {
             &received.participant,
             &reader,
         )?;
-        let timestamp = (self.clock)();
         let ts_el = Element::new("Timestamp")
             .attr("time", timestamp.to_string())
             .attr("by", self.creds.name.clone());
@@ -207,7 +287,20 @@ impl TfcServer {
 
         let route = evaluate_route(&received.def, &received.key.activity, &reader)?;
         let document = SealedDocument::with_trust(document, received.trust.clone());
+        {
+            let mut redo = self.redo.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = redo.get_mut(&redo_key) {
+                entry.finalized = Some((document.wire().as_ref().clone(), route.clone()));
+            }
+        }
         Ok(TfcProcessed { document, route, key: received.key.clone(), timestamp })
+    }
+
+    fn redo_finalized(&self, redo_key: &[u8; 32]) -> Option<(String, Route, u64)> {
+        let redo = self.redo.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = redo.get(redo_key)?;
+        let (wire, route) = entry.finalized.as_ref()?;
+        Some((wire.clone(), route.clone(), entry.timestamp))
     }
 
     /// Convenience: receive + finalize in one call. Accepts the same forms
@@ -215,33 +308,6 @@ impl TfcServer {
     pub fn process(&self, inbound: impl Into<Inbound>) -> WfResult<TfcProcessed> {
         let received = self.receive(inbound)?;
         self.finalize(&received)
-    }
-
-    /// Deprecated alias for [`TfcServer::receive`], kept for one release.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `TfcServer::receive` — it accepts parsed documents too"
-    )]
-    pub fn receive_document(&self, doc: DraDocument) -> WfResult<TfcReceived> {
-        self.receive(doc)
-    }
-
-    /// Deprecated alias for [`TfcServer::receive`], kept for one release.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `TfcServer::receive` — it accepts sealed hand-offs too"
-    )]
-    pub fn receive_sealed(&self, sealed: SealedDocument) -> WfResult<TfcReceived> {
-        self.receive(sealed)
-    }
-
-    /// Deprecated alias for [`TfcServer::process`], kept for one release.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `TfcServer::process` — it accepts sealed hand-offs too"
-    )]
-    pub fn process_sealed(&self, sealed: SealedDocument) -> WfResult<TfcProcessed> {
-        self.process(sealed)
     }
 }
 
@@ -433,6 +499,53 @@ mod tests {
         let aea_tony = Aea::new(f.tony.clone(), f.dir.clone());
         let err = aea_tony.receive(inter.document.to_xml_string(), "A3").unwrap_err();
         assert!(matches!(err, WfError::Malformed(_)));
+    }
+
+    #[test]
+    fn redo_log_survives_crash_between_timestamp_and_reencrypt() {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        let f = fig4();
+        let initial =
+            DraDocument::new_initial_with_pid(&f.def, &f.policy, &f.designer, "pid-redo").unwrap();
+        // an advancing clock: a second draw would be observable
+        let counter = Arc::new(AtomicU64::new(100));
+        let c = Arc::clone(&counter);
+        let clock: Clock = Arc::new(move || c.fetch_add(1, Ordering::SeqCst));
+        // crash exactly once, between the timestamp draw and the re-encrypt
+        let fired = Arc::new(AtomicBool::new(false));
+        let fd = Arc::clone(&fired);
+        let hook: crate::faultpoint::CrashHook = Arc::new(move |s| {
+            if s == site::TFC_AFTER_TIMESTAMP && !fd.swap(true, Ordering::SeqCst) {
+                return Err(WfError::Crash(s.to_string()));
+            }
+            Ok(())
+        });
+        let tfc = TfcServer::with_clock(f.tfc.clone(), f.dir.clone(), clock).with_crash_hook(hook);
+        let aea_peter = Aea::new(f.peter.clone(), f.dir.clone());
+        let recv = aea_peter.receive(initial.to_xml_string(), "A1").unwrap();
+        let inter = aea_peter.complete_via_tfc(&recv, &[("X".into(), "true".into())]).unwrap();
+
+        let received = tfc.receive(inter.document.to_xml_string()).unwrap();
+        let err = tfc.finalize(&received).unwrap_err();
+        assert!(matches!(err, WfError::Crash(_)));
+
+        // recovery: the hop is re-dispatched with the same intermediate doc
+        let received = tfc.receive(inter.document.to_xml_string()).unwrap();
+        let done = tfc.finalize(&received).unwrap();
+        assert_eq!(done.timestamp, 100, "the logged intent, not a second draw");
+        assert_eq!(counter.load(Ordering::SeqCst), 101, "clock consulted exactly once");
+        assert_eq!(tfc.redo_reuses(), 1);
+        verify_document(&done.document, &f.dir).unwrap();
+        // exactly one Timestamp element on the finalized CER
+        let wire = done.document.to_xml_string();
+        assert_eq!(wire.matches("<Timestamp").count(), 1, "no double-timestamp");
+
+        // a third pass hits the finalized fast path: byte-identical output
+        let received = tfc.receive(inter.document.to_xml_string()).unwrap();
+        let again = tfc.finalize(&received).unwrap();
+        assert_eq!(again.document.wire(), done.document.wire());
+        assert_eq!(again.route.targets, done.route.targets);
+        assert_eq!(tfc.redo_reuses(), 2);
     }
 
     #[test]

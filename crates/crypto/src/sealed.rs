@@ -71,15 +71,58 @@ pub fn seal_with_ephemeral(
     recipient: &X25519PublicKey,
     plaintext: &[u8],
 ) -> Vec<u8> {
+    let mut nonce = [0u8; NONCE_LEN];
+    crate::random_bytes(&mut nonce);
+    seal_with_parts(eph, nonce, recipient, plaintext)
+}
+
+/// Fully deterministic sealed box, synthetic-ephemeral (SIV-style): the
+/// ephemeral secret and nonce are derived by hashing sender-held `seed`
+/// material together with the recipient key, `context` and the plaintext.
+/// Sealing the same message twice reproduces identical bytes, so a crashed
+/// sender that re-executes converges to a byte-identical document — the
+/// property crash recovery relies on for duplicate suppression by wire
+/// digest.
+///
+/// `seed` must be secret to outsiders (e.g. a static Diffie-Hellman shared
+/// secret with the recipient); otherwise the synthetic ephemeral key is
+/// predictable. Note the determinism itself leaks plaintext *equality* to
+/// anyone comparing two ciphertexts — acceptable here, where re-sent
+/// documents are meant to be recognised as equal.
+pub fn seal_deterministic(
+    recipient: &X25519PublicKey,
+    plaintext: &[u8],
+    seed: &[u8; 32],
+    context: &[u8],
+) -> Vec<u8> {
+    let transcript = |domain: &[u8]| {
+        let mut h = Sha256::new();
+        h.update(domain);
+        h.update(seed);
+        h.update(&recipient.0);
+        h.update(&(context.len() as u64).to_be_bytes());
+        h.update(context);
+        h.update(plaintext);
+        h.finalize()
+    };
+    let eph = X25519Secret::from_bytes(transcript(b"dra4wfms.det.eph.v1"));
+    let nonce: [u8; NONCE_LEN] =
+        transcript(b"dra4wfms.det.nonce.v1")[..NONCE_LEN].try_into().expect("12 <= 32");
+    seal_with_parts(&eph, nonce, recipient, plaintext)
+}
+
+fn seal_with_parts(
+    eph: &X25519Secret,
+    nonce: [u8; NONCE_LEN],
+    recipient: &X25519PublicKey,
+    plaintext: &[u8],
+) -> Vec<u8> {
     let eph_pub = eph.public_key();
     let shared = eph.diffie_hellman(recipient);
     let mut context = Vec::with_capacity(64);
     context.extend_from_slice(&eph_pub.0);
     context.extend_from_slice(&recipient.0);
     let (enc_key, mac_key) = derive_keys(&shared, &context);
-
-    let mut nonce = [0u8; NONCE_LEN];
-    crate::random_bytes(&mut nonce);
 
     let mut out = Vec::with_capacity(SEAL_OVERHEAD + plaintext.len());
     out.extend_from_slice(&eph_pub.0);
@@ -241,6 +284,24 @@ mod tests {
     #[test]
     fn secretbox_truncated_fails() {
         assert_eq!(secretbox_open(&[0u8; 32], &[0u8; 5]), Err(SealError::Truncated));
+    }
+
+    #[test]
+    fn seal_deterministic_roundtrip_and_reproducible() {
+        let r = recipient();
+        let seed = [7u8; 32];
+        let a = seal_deterministic(&r.public_key(), b"result payload", &seed, b"pid/A:0");
+        let b = seal_deterministic(&r.public_key(), b"result payload", &seed, b"pid/A:0");
+        assert_eq!(a, b, "same inputs reproduce identical bytes");
+        assert_eq!(open(&r, &a).unwrap(), b"result payload");
+        // any input change produces an unrelated box
+        let c = seal_deterministic(&r.public_key(), b"result payload", &seed, b"pid/A:1");
+        assert_ne!(a, c);
+        let d = seal_deterministic(&r.public_key(), b"other payload", &seed, b"pid/A:0");
+        assert_ne!(a, d);
+        assert_eq!(open(&r, &d).unwrap(), b"other payload");
+        let e = seal_deterministic(&r.public_key(), b"result payload", &[8u8; 32], b"pid/A:0");
+        assert_ne!(a, e);
     }
 
     #[test]

@@ -165,6 +165,25 @@ impl HTable {
         }
     }
 
+    /// Store a cell only if its latest value differs; returns whether a
+    /// write happened. This is the journal-replay primitive: re-applying a
+    /// batch after a mid-batch crash must not grow phantom versions on the
+    /// rows the dying writer already reached.
+    pub fn put_idempotent(
+        &self,
+        key: &str,
+        family: &str,
+        qualifier: &str,
+        value: impl Into<Bytes>,
+    ) -> bool {
+        let value = value.into();
+        if self.get(key, family, qualifier).as_ref() == Some(&value) {
+            return false;
+        }
+        self.put(key, family, qualifier, value);
+        true
+    }
+
     /// Latest value of a cell.
     pub fn get(&self, key: &str, family: &str, qualifier: &str) -> Option<Bytes> {
         self.region_for(key).get(key, family, qualifier)

@@ -25,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod journal;
 pub mod mapreduce;
 pub mod persist;
 pub mod region;
 pub mod row;
 
 pub use cluster::{HTable, PoolStats, TableConfig};
+pub use journal::{Journal, PutOp};
 pub use mapreduce::map_reduce;
 pub use persist::PersistError;
 pub use row::{Cell, RowSnapshot};

@@ -20,6 +20,10 @@ pub enum PersistError {
     BadMagic,
     /// The snapshot ended mid-record.
     Truncated,
+    /// Bytes remained after the last declared record — the snapshot was
+    /// extended or spliced, which length-prefixed parsing would otherwise
+    /// silently ignore.
+    TrailingGarbage,
     /// A string field was not valid UTF-8.
     BadString,
     /// I/O error text (file operations).
@@ -31,6 +35,9 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::BadMagic => write!(f, "not a document-pool snapshot"),
             PersistError::Truncated => write!(f, "snapshot truncated"),
+            PersistError::TrailingGarbage => {
+                write!(f, "snapshot has trailing bytes after the last record")
+            }
             PersistError::BadString => write!(f, "snapshot contains invalid UTF-8"),
             PersistError::Io(m) => write!(f, "io error: {m}"),
         }
@@ -144,7 +151,7 @@ impl HTable {
             }
         }
         if buf.has_remaining() {
-            return Err(PersistError::Truncated); // trailing garbage
+            return Err(PersistError::TrailingGarbage);
         }
         Ok(table)
     }
@@ -214,7 +221,7 @@ mod tests {
     fn trailing_garbage_rejected() {
         let mut snap = sample_table().export_snapshot();
         snap.extend_from_slice(b"junk");
-        assert!(matches!(HTable::import_snapshot(&snap), Err(PersistError::Truncated)));
+        assert!(matches!(HTable::import_snapshot(&snap), Err(PersistError::TrailingGarbage)));
     }
 
     #[test]
@@ -237,6 +244,55 @@ mod tests {
         let restored = HTable::load_from_file(&path).unwrap();
         assert_eq!(restored.row_count(), t.row_count());
         std::fs::remove_file(&path).ok();
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn table_from(rows: &[(u8, String)]) -> HTable {
+            let t = HTable::new(TableConfig { max_versions: 2, max_region_rows: 8 });
+            for (k, v) in rows {
+                t.put(&format!("row-{k:03}"), "doc", "xml", v.clone());
+            }
+            t
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Exact bytes round-trip; any truncation or extension fails
+            /// loudly instead of loading partial or over-long state.
+            #[test]
+            fn snapshot_roundtrips_and_rejects_resizing(
+                rows in proptest::collection::vec((any::<u8>(), "[a-z<>/\"=]{0,24}"), 0..12),
+                cut_seed in 0usize..1_000_000,
+                junk in proptest::collection::vec(any::<u8>(), 1..32),
+            ) {
+                let t = table_from(&rows);
+                let snap = t.export_snapshot();
+
+                // exact bytes restore to an equal table
+                let restored = HTable::import_snapshot(&snap).unwrap();
+                prop_assert_eq!(restored.row_count(), t.row_count());
+                for (k, _) in &rows {
+                    let key = format!("row-{k:03}");
+                    prop_assert_eq!(restored.get_str(&key, "doc", "xml"),
+                                    t.get_str(&key, "doc", "xml"));
+                }
+                prop_assert_eq!(restored.export_snapshot(), snap.clone());
+
+                // any strict prefix is rejected
+                let cut = cut_seed % snap.len();
+                prop_assert!(HTable::import_snapshot(&snap[..cut]).is_err());
+
+                // any extension is rejected as trailing garbage
+                let mut extended = snap.clone();
+                extended.extend_from_slice(&junk);
+                prop_assert_eq!(HTable::import_snapshot(&extended).err(),
+                                Some(PersistError::TrailingGarbage));
+            }
+        }
     }
 
     #[test]
