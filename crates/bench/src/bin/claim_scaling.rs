@@ -10,10 +10,19 @@
 //! Writes the sweep to `BENCH_scaling.json`.
 //!
 //! Run with: `cargo run --release -p dra-bench --bin claim_scaling`
+//!
+//! Pass `--trace-out PATH` to additionally record the sealed-hand-off
+//! sweep as a structured span trace (JSONL, one event per line; see
+//! `dra-obs`) in deterministic logical time. `PATH.chrome.json` gets the
+//! same trace in Chrome-trace format for `chrome://tracing`.
 
-use dra_bench::chain::{run_chain, run_chain_incremental};
+use dra_bench::chain::{run_chain, run_chain_incremental, run_chain_incremental_traced};
+use dra_obs::{events_to_chrome, events_to_jsonl, Tracer};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out =
+        args.iter().position(|a| a == "--trace-out").and_then(|i| args.get(i + 1)).cloned();
     println!("chain length sweep (element-wise encrypted payloads, 64-byte values)\n");
     println!(
         "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12}",
@@ -84,6 +93,21 @@ fn main() {
     match std::fs::write("BENCH_scaling.json", &json) {
         Ok(()) => println!("\nwrote BENCH_scaling.json ({} rows)", records.len()),
         Err(e) => eprintln!("\ncould not write BENCH_scaling.json: {e}"),
+    }
+
+    if let Some(path) = trace_out {
+        // deterministic logical-time trace of the sealed hand-off sweep:
+        // same arguments → byte-identical files
+        let tracer = Tracer::sequential();
+        run_chain_incremental_traced(64, true, &payload, &tracer);
+        let events = tracer.events();
+        let chrome_path = format!("{path}.chrome.json");
+        match std::fs::write(&path, events_to_jsonl(&events))
+            .and_then(|()| std::fs::write(&chrome_path, events_to_chrome(&events)))
+        {
+            Ok(()) => println!("wrote {} events to {path} and {chrome_path}", events.len()),
+            Err(e) => eprintln!("could not write trace: {e}"),
+        }
     }
 
     let slope_ratio = late_slope / early_slope;

@@ -3,6 +3,7 @@
 //! encrypt+sign time stays constant.
 
 use dra4wfms_core::prelude::*;
+use dra_obs::Tracer;
 use std::time::{Duration, Instant};
 
 /// Per-step measurement of a chain run.
@@ -88,6 +89,21 @@ pub fn run_chain(n: usize, encrypted: bool, payload: &str) -> Vec<ChainRecord> {
 /// the incremental re-check of the one new CER. The counterpart of
 /// [`run_chain`] for the full-vs-incremental ablation.
 pub fn run_chain_incremental(n: usize, encrypted: bool, payload: &str) -> Vec<ChainRecord> {
+    run_chain_incremental_traced(n, encrypted, payload, &Tracer::disabled())
+}
+
+/// [`run_chain_incremental`] with every AEA recording spans into `tracer` —
+/// the workload for the observability-overhead measurement (`claim_obs`)
+/// and the `--trace-out` option of `claim_scaling`. Chains run on no
+/// simulated network, so pair it with [`Tracer::sequential`] for a
+/// deterministic logical-time trace, or [`Tracer::disabled`] to measure
+/// the uninstrumented baseline.
+pub fn run_chain_incremental_traced(
+    n: usize,
+    encrypted: bool,
+    payload: &str,
+    tracer: &Tracer,
+) -> Vec<ChainRecord> {
     let (creds, dir) = chain_cast(n);
     let def = chain_definition(n);
     let pol = chain_policy(n, encrypted);
@@ -96,7 +112,7 @@ pub fn run_chain_incremental(n: usize, encrypted: bool, payload: &str) -> Vec<Ch
     let mut sealed = SealedDocument::new(initial);
     let mut records = Vec::with_capacity(n);
     for i in 0..n {
-        let aea = Aea::new(creds[i + 1].clone(), dir.clone());
+        let aea = Aea::new(creds[i + 1].clone(), dir.clone()).with_tracer(tracer.clone());
         let t0 = Instant::now();
         let received = aea.receive(sealed, &format!("S{i}")).expect("receive");
         let alpha = t0.elapsed();

@@ -25,6 +25,7 @@ use crate::faults::{FaultCounts, FaultProfile, FaultyNetwork};
 use crate::netsim::NetworkSim;
 use crate::portal::{CloudSystem, StoreAck};
 use dra4wfms_core::prelude::*;
+use dra_obs::{stage, MetricsRegistry, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -86,6 +87,9 @@ impl DeliveryPolicy {
 pub struct DeliveryStats {
     /// Logical hand-offs attempted (hops).
     pub sends: u64,
+    /// Logical hand-offs that ended with a receiver ack (≤ `sends`; the gap
+    /// is hops still in flight or given up as undeliverable).
+    pub delivered: u64,
     /// Physical send attempts across all hops (≥ `sends`).
     pub attempts: u64,
     /// Retransmissions after a hop-level timeout.
@@ -128,6 +132,29 @@ impl DeliveryStats {
             self.virtual_time_us as f64 / self.ideal_time_us as f64
         }
     }
+
+    /// Fold this run's totals into a [`MetricsRegistry`] under `delivery.*`
+    /// names — the unified home the ad-hoc struct is being absorbed into.
+    pub fn export_metrics(&self, metrics: &MetricsRegistry) {
+        metrics.set_counter("delivery.sends", self.sends);
+        metrics.set_counter("delivery.delivered", self.delivered);
+        metrics.set_counter("delivery.attempts", self.attempts);
+        metrics.set_counter("delivery.retries", self.retries);
+        metrics.set_counter("delivery.duplicates_suppressed", self.duplicates_suppressed);
+        metrics.set_counter("delivery.corruptions_rejected", self.corruptions_rejected);
+        metrics.set_counter("delivery.late_deliveries", self.late_deliveries);
+        metrics.set_counter("delivery.queue_overflow_dropped", self.queue_overflow_dropped);
+        metrics.set_counter("delivery.crashes_injected", self.crashes_injected);
+        metrics.set_counter("delivery.leases_expired", self.leases_expired);
+        metrics.set_counter("delivery.journal_replays", self.journal_replays);
+        metrics.set_counter("delivery.faults.dropped", self.faults.dropped);
+        metrics.set_counter("delivery.faults.duplicated", self.faults.duplicated);
+        metrics.set_counter("delivery.faults.corrupted", self.faults.corrupted);
+        metrics.set_counter("delivery.faults.reordered", self.faults.reordered);
+        metrics.set_counter("delivery.faults.delayed_us", self.faults.delayed_us);
+        metrics.set_counter("delivery.virtual_time_us", self.virtual_time_us);
+        metrics.set_counter("delivery.ideal_time_us", self.ideal_time_us);
+    }
 }
 
 /// A reordered portal-bound copy waiting in the redelivery queue.
@@ -147,6 +174,7 @@ pub struct Delivery {
     jitter_rng: Mutex<StdRng>,
     pending: Mutex<VecDeque<Pending>>,
     sends: AtomicU64,
+    delivered: AtomicU64,
     attempts: AtomicU64,
     retries: AtomicU64,
     duplicates_suppressed: AtomicU64,
@@ -156,6 +184,7 @@ pub struct Delivery {
     crashes: AtomicU64,
     ideal_messages: AtomicU64,
     ideal_bytes: AtomicU64,
+    tracer: Tracer,
 }
 
 impl Delivery {
@@ -177,6 +206,7 @@ impl Delivery {
             jitter_rng: Mutex::new(StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15)),
             pending: Mutex::new(VecDeque::new()),
             sends: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
             attempts: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             duplicates_suppressed: AtomicU64::new(0),
@@ -186,7 +216,14 @@ impl Delivery {
             crashes: AtomicU64::new(0),
             ideal_messages: AtomicU64::new(0),
             ideal_bytes: AtomicU64::new(0),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Record a `deliver` span per logical hand-off into `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Delivery {
+        self.tracer = tracer;
+        self
     }
 
     /// A perfect channel with the default policy — useful as a drop-in
@@ -218,6 +255,13 @@ impl Delivery {
     ) -> WfResult<StoreAck> {
         // reordered copies of *earlier* sends arrive before this one
         self.drain_pending(system);
+        let mut span = self.tracer.span(stage::DELIVER).actor("delivery");
+        if span.enabled() {
+            if let Ok(pid) = sealed.document().process_id() {
+                span.set_process(&pid);
+            }
+            span.attr("target", format!("portal:{portal}"));
+        }
         let wire = sealed.wire();
         self.account_ideal(wire.len());
         let mut backoff = self.policy.base_backoff_us;
@@ -267,10 +311,15 @@ impl Delivery {
                 }
             }
             if let Some(ack) = ack {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+                span.attr("attempts", attempt);
+                span.end();
                 return Ok(ack);
             }
             self.wait_before_retry(&mut backoff);
         }
+        span.attr("attempts", self.policy.max_attempts);
+        span.end_with("undeliverable");
         Err(WfError::Delivery(format!(
             "document for portal {portal} undeliverable after {} attempts ({} bytes)",
             self.policy.max_attempts,
@@ -288,6 +337,13 @@ impl Delivery {
         sealed: &SealedDocument,
         mut ingest: impl FnMut(SealedDocument) -> WfResult<T>,
     ) -> WfResult<T> {
+        let mut span = self.tracer.span(stage::DELIVER).actor("delivery");
+        if span.enabled() {
+            if let Ok(pid) = sealed.document().process_id() {
+                span.set_process(&pid);
+            }
+            span.attr("target", "transfer");
+        }
         let wire = sealed.wire();
         self.account_ideal(wire.len());
         let mut backoff = self.policy.base_backoff_us;
@@ -339,10 +395,15 @@ impl Delivery {
                 }
             }
             if let Some(v) = acked {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+                span.attr("attempts", attempt);
+                span.end();
                 return Ok(v);
             }
             self.wait_before_retry(&mut backoff);
         }
+        span.attr("attempts", self.policy.max_attempts);
+        span.end_with("undeliverable");
         Err(WfError::Delivery(format!(
             "hand-off undeliverable after {} attempts ({} bytes)",
             self.policy.max_attempts,
@@ -361,6 +422,7 @@ impl Delivery {
         let sim = self.network.sim();
         DeliveryStats {
             sends: self.sends.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
             attempts: self.attempts.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             duplicates_suppressed: self.duplicates_suppressed.load(Ordering::Relaxed),

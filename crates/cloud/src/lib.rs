@@ -38,6 +38,7 @@ pub mod crash;
 pub mod delivery;
 pub mod faults;
 pub mod netsim;
+pub mod obs;
 pub mod portal;
 pub mod runner;
 pub mod trustcache;
@@ -46,6 +47,7 @@ pub use crash::{CrashPlan, CrashPoint};
 pub use delivery::{Delivery, DeliveryPolicy, DeliveryStats};
 pub use faults::{FaultCounts, FaultProfile, FaultyNetwork};
 pub use netsim::NetworkSim;
+pub use obs::{check_metric_invariants, tracer_for};
 pub use portal::{CloudSystem, PortalStats, StoreAck, TodoEntry};
 pub use runner::{InstanceRun, Responder, RunOutcome, SupervisorPolicy};
 pub use trustcache::TrustCache;

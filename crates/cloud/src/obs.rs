@@ -1,0 +1,99 @@
+//! Glue between the deployment and the `dra-obs` substrate: a tracer
+//! clocked by the simulated network, and the cross-layer metric
+//! invariants every healthy run must satisfy.
+//!
+//! The tracer's clock closes over [`NetworkSim::virtual_time_us`], so
+//! spans are stamped in the same deterministic virtual time the delivery
+//! layer charges — a fixed seed yields a byte-identical trace.
+
+use crate::netsim::NetworkSim;
+use dra_obs::{MetricsSnapshot, Tracer};
+use std::sync::Arc;
+
+/// A [`Tracer`] whose clock reads the deployment's virtual time.
+///
+/// Install the same tracer on every component of a deployment (AEAs, TFC,
+/// `CloudSystem`, `Delivery`, `InstanceRun`) so their spans interleave on
+/// one timeline.
+pub fn tracer_for(network: &Arc<NetworkSim>) -> Tracer {
+    let clock = Arc::clone(network);
+    Tracer::new(Arc::new(move || clock.virtual_time_us()))
+}
+
+/// Check the cross-layer accounting invariants on an end-of-run snapshot.
+///
+/// * `delivery.delivered + delivery.faults.dropped ≥ delivery.sends` —
+///   every send is either delivered or accounted to a drop fault (retries
+///   may re-deliver, so the left side can exceed the right);
+/// * `delivery.attempts ≥ delivery.sends` — each send costs at least one
+///   attempt;
+/// * `delivery.journal_replays ≤ delivery.crashes_injected` — replay only
+///   ever repairs a crash that was actually injected.
+///
+/// Counters a run never touched read as zero, so the checks degrade
+/// gracefully on direct-path (no-delivery) runs. Returns a description of
+/// the first violated invariant.
+pub fn check_metric_invariants(snapshot: &MetricsSnapshot) -> Result<(), String> {
+    let sends = snapshot.counter("delivery.sends");
+    let delivered = snapshot.counter("delivery.delivered");
+    let dropped = snapshot.counter("delivery.faults.dropped");
+    if delivered + dropped < sends {
+        return Err(format!(
+            "delivered ({delivered}) + dropped ({dropped}) < sends ({sends}): \
+             a document vanished without a recorded drop fault"
+        ));
+    }
+    let attempts = snapshot.counter("delivery.attempts");
+    if sends > 0 && attempts < sends {
+        return Err(format!("attempts ({attempts}) < sends ({sends}): a send cost no attempt"));
+    }
+    let replays = snapshot.counter("delivery.journal_replays");
+    let crashes = snapshot.counter("delivery.crashes_injected");
+    if replays > crashes {
+        return Err(format!(
+            "journal_replays ({replays}) > crashes_injected ({crashes}): \
+             replay repaired more crashes than were injected"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dra_obs::MetricsRegistry;
+
+    #[test]
+    fn tracer_reads_virtual_time() {
+        let network = Arc::new(NetworkSim::lan());
+        let tracer = tracer_for(&network);
+        let before = tracer.now_us();
+        network.advance(1_234);
+        assert_eq!(tracer.now_us(), before + 1_234);
+    }
+
+    #[test]
+    fn invariants_hold_on_empty_snapshot() {
+        let metrics = MetricsRegistry::new();
+        check_metric_invariants(&metrics.snapshot()).unwrap();
+    }
+
+    #[test]
+    fn invariants_catch_vanished_documents() {
+        let metrics = MetricsRegistry::new();
+        metrics.set_counter("delivery.sends", 10);
+        metrics.set_counter("delivery.delivered", 7);
+        metrics.set_counter("delivery.faults.dropped", 2);
+        let err = check_metric_invariants(&metrics.snapshot()).unwrap_err();
+        assert!(err.contains("vanished"), "got: {err}");
+    }
+
+    #[test]
+    fn invariants_catch_phantom_replays() {
+        let metrics = MetricsRegistry::new();
+        metrics.set_counter("delivery.journal_replays", 3);
+        metrics.set_counter("delivery.crashes_injected", 1);
+        let err = check_metric_invariants(&metrics.snapshot()).unwrap_err();
+        assert!(err.contains("replay"), "got: {err}");
+    }
+}

@@ -13,6 +13,7 @@ use dra4wfms_core::monitor::ProcessStatus;
 use dra4wfms_core::prelude::*;
 use dra4wfms_core::verify::verify_document;
 use dra_docpool::{map_reduce, HTable, Journal, PutOp, TableConfig};
+use dra_obs::{stage, MetricsRegistry, Tracer};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -86,6 +87,9 @@ pub struct CloudSystem {
     pub journal: Arc<Journal>,
     /// The crash schedule portals consult mid-admission.
     crash_plan: Arc<CrashPlan>,
+    /// Span recorder for portal admissions; disabled (free) unless
+    /// [`CloudSystem::with_tracer`] is used.
+    tracer: Tracer,
 }
 
 impl CloudSystem {
@@ -99,6 +103,7 @@ impl CloudSystem {
             trust_cache: TrustCache::new(256),
             journal: Arc::new(Journal::new()),
             crash_plan: CrashPlan::none(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -107,6 +112,34 @@ impl CloudSystem {
     pub fn with_crash_plan(mut self, plan: Arc<CrashPlan>) -> CloudSystem {
         self.crash_plan = plan;
         self
+    }
+
+    /// Record `portal:admit` spans (and the journal's commit/replay spans)
+    /// into `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> CloudSystem {
+        self.journal.set_tracer(tracer.clone());
+        self.tracer = tracer;
+        self
+    }
+
+    /// Fold the deployment's counters — portal stats, trust-cache hit/miss,
+    /// journal replays — into one [`MetricsRegistry`] under stable names.
+    pub fn export_metrics(&self, metrics: &MetricsRegistry) {
+        let sum = |f: fn(&PortalStats) -> &AtomicUsize| -> u64 {
+            self.portals.iter().map(|p| f(p).load(Ordering::Relaxed) as u64).sum()
+        };
+        metrics.set_counter("portal.stored", sum(|p| &p.stored));
+        metrics.set_counter("portal.retrieved", sum(|p| &p.retrieved));
+        metrics.set_counter("portal.verifications", sum(|p| &p.verifications));
+        metrics.set_counter("portal.signature_checks", sum(|p| &p.signature_checks));
+        metrics
+            .set_counter("portal.incremental_verifications", sum(|p| &p.incremental_verifications));
+        metrics.set_counter("portal.duplicates_suppressed", sum(|p| &p.duplicates_suppressed));
+        metrics.set_counter("trust_cache.hits", self.trust_cache.hits() as u64);
+        metrics.set_counter("trust_cache.misses", self.trust_cache.misses() as u64);
+        metrics.set_counter("journal.records", self.journal.len() as u64);
+        metrics.set_counter("journal.replayed_records", self.journal.replayed_records());
+        metrics.set_gauge("trust_cache.entries", self.trust_cache.len() as i64);
     }
 
     /// Portal restart: replay every journaled-but-uncommitted admission
@@ -201,7 +234,14 @@ impl CloudSystem {
     /// which also charges the network) and the delivery path
     /// ([`CloudSystem::ingest_wire`], which does not).
     fn admit(&self, portal: usize, sealed: &SealedDocument, route: &Route) -> WfResult<StoreAck> {
-        let stats = &self.portals[portal % self.portals.len()];
+        let portal_idx = portal % self.portals.len();
+        let stats = &self.portals[portal_idx];
+        let mut span = self.tracer.span(stage::PORTAL_ADMIT).actor(&format!("portal:{portal_idx}"));
+        if span.enabled() {
+            if let Ok(pid) = sealed.document().process_id() {
+                span.set_process(&pid);
+            }
+        }
         let wire = sealed.wire();
         let digest = dra_crypto::sha256(wire.as_bytes());
 
@@ -214,6 +254,9 @@ impl CloudSystem {
             .and_then(|s| s.parse::<usize>().ok())
         {
             stats.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
+            span.attr("seq", seq);
+            span.attr("duplicate", true);
+            span.end();
             return Ok(StoreAck { seq, duplicate: true });
         }
 
@@ -276,6 +319,10 @@ impl CloudSystem {
         }
         self.journal.commit_through(record);
         stats.stored.fetch_add(1, Ordering::Relaxed);
+        span.attr("seq", seq);
+        span.attr("duplicate", false);
+        span.attr("signatures", report.signatures_verified);
+        span.end();
         Ok(StoreAck { seq, duplicate: false })
     }
 
@@ -512,6 +559,7 @@ impl CloudSystem {
             trust_cache: TrustCache::new(256),
             journal: Arc::new(Journal::new()),
             crash_plan: CrashPlan::none(),
+            tracer: Tracer::disabled(),
         })
     }
 }

@@ -35,6 +35,7 @@ use crate::delivery::{Delivery, DeliveryStats};
 use crate::portal::CloudSystem;
 use dra4wfms_core::flow::merge_documents;
 use dra4wfms_core::prelude::*;
+use dra_obs::{stage, MetricsRegistry, Tracer};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -94,6 +95,8 @@ pub struct InstanceRun<'a> {
     max_steps: usize,
     delivery: Option<&'a Delivery>,
     supervisor: SupervisorPolicy,
+    tracer: Tracer,
+    metrics: Option<&'a MetricsRegistry>,
 }
 
 impl<'a> InstanceRun<'a> {
@@ -108,6 +111,8 @@ impl<'a> InstanceRun<'a> {
             max_steps: 1_000,
             delivery: None,
             supervisor: SupervisorPolicy::default(),
+            tracer: Tracer::disabled(),
+            metrics: None,
         }
     }
 
@@ -146,6 +151,25 @@ impl<'a> InstanceRun<'a> {
     /// Tune the crash-takeover supervisor (lease length, takeover budget).
     pub fn supervisor(mut self, policy: SupervisorPolicy) -> InstanceRun<'a> {
         self.supervisor = policy;
+        self
+    }
+
+    /// Record a structured trace of the run: one `hop` span per dispatch
+    /// attempt (outcome `crash` when the supervisor takes the hop over)
+    /// plus an `execute` span around each scripted response. The same
+    /// tracer should be installed on the AEAs / TFC / system so the stage
+    /// spans interleave on one timeline.
+    pub fn tracer(mut self, tracer: Tracer) -> InstanceRun<'a> {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Export end-of-run counters into `metrics`: `run.steps`, the
+    /// `delivery.*` family, the portal / trust-cache / journal family via
+    /// [`CloudSystem::export_metrics`], `tfc.redo_reuses` (advanced model)
+    /// and a `hop.duration_us` histogram in virtual time.
+    pub fn metrics(mut self, metrics: &'a MetricsRegistry) -> InstanceRun<'a> {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -227,10 +251,27 @@ impl<'a> InstanceRun<'a> {
             // hop over instead of failing the run
             let use_tfc = def_now.tfc.is_some();
             let mut takeovers_left = self.supervisor.max_takeovers;
-            let (document, route, hop_checks) = loop {
+            let (document, route, hop_checks, _hop_iter) = loop {
+                let hop_start = self.tracer.now_us();
+                let mut hop_span =
+                    self.tracer.span(stage::HOP).actor(&act.participant).process(&pid);
                 match self.execute_hop(aea, &activity, &merged, respond, use_tfc, steps + 1) {
-                    Ok(done) => break done,
-                    Err(WfError::Crash(_)) if takeovers_left > 0 => {
+                    Ok(done) => {
+                        hop_span.set_activity(&activity, done.3);
+                        hop_span.attr("signature_checks", done.2);
+                        hop_span.end();
+                        if let Some(m) = self.metrics {
+                            m.observe(
+                                "hop.duration_us",
+                                self.tracer.now_us().saturating_sub(hop_start),
+                            );
+                        }
+                        break done;
+                    }
+                    Err(WfError::Crash(site)) if takeovers_left > 0 => {
+                        hop_span.set_activity(&activity, 0);
+                        hop_span.attr("site", &site);
+                        hop_span.end_with(dra_obs::OUTCOME_CRASH);
                         takeovers_left -= 1;
                         leases_expired += 1;
                         crashes_supervised += 1;
@@ -279,6 +320,18 @@ impl<'a> InstanceRun<'a> {
             stats.journal_replays = replays;
         }
 
+        if let Some(m) = self.metrics {
+            if let Some(stats) = delivery.as_ref() {
+                stats.export_metrics(m);
+            }
+            system.export_metrics(m);
+            m.set_counter("run.steps", steps as u64);
+            m.set_counter("run.signature_checks", signature_checks as u64);
+            if let Some(tfc) = self.tfc {
+                m.set_counter("tfc.redo_reuses", tfc.redo_reuses());
+            }
+        }
+
         Ok(RunOutcome { document: last_doc, steps, process_id: pid, signature_checks, delivery })
     }
 
@@ -295,8 +348,9 @@ impl<'a> InstanceRun<'a> {
 
     /// Execute one hop end to end: open the activity, respond, complete
     /// (via the TFC on the advanced model), store and notify. Returns the
-    /// resulting document, its route and the signature checks spent — or
-    /// the [`WfError::Crash`] of whichever component died.
+    /// resulting document, its route, the signature checks spent and the
+    /// activity iteration executed — or the [`WfError::Crash`] of whichever
+    /// component died.
     fn execute_hop(
         &self,
         aea: &Aea,
@@ -305,11 +359,20 @@ impl<'a> InstanceRun<'a> {
         respond: &Responder,
         use_tfc: bool,
         portal: usize,
-    ) -> WfResult<(SealedDocument, Route, usize)> {
+    ) -> WfResult<(SealedDocument, Route, usize, u32)> {
         let system = self.system;
         let received = aea.receive(merged.clone(), activity)?;
         let mut checks = received.report.signatures_verified;
+        let iter = received.iter;
+        let mut span_exec = self
+            .tracer
+            .span(stage::EXECUTE)
+            .actor(&aea.creds.name)
+            .process(&received.report.process_id)
+            .activity(activity, iter);
         let responses = respond(&received);
+        span_exec.attr("responses", responses.len());
+        span_exec.end();
 
         // basic vs advanced model
         let (document, route) = match self.tfc {
@@ -335,7 +398,7 @@ impl<'a> InstanceRun<'a> {
 
         // store + notify (portal chosen round-robin by step)
         self.store(portal, &document, &route)?;
-        Ok((document, route, checks))
+        Ok((document, route, checks, iter))
     }
 
     /// Document-anchored recovery: swap each input for the copy the pool

@@ -27,6 +27,7 @@ use crate::model::{FieldRef, JoinKind, WorkflowDefinition};
 use crate::policy::SecurityPolicy;
 use crate::sealed::{SealedDocument, TrustMark};
 use crate::verify::{verify_incremental, VerificationReport};
+use dra_obs::{stage, Tracer};
 use dra_xml::canon::canonicalize;
 use dra_xml::sig::sign_detached;
 use dra_xml::Element;
@@ -39,6 +40,8 @@ pub struct Aea {
     pub directory: Directory,
     /// Crash-fault injection seam; `None` outside fault experiments.
     crash_hook: Option<CrashHook>,
+    /// Span recorder; disabled (free) unless [`Aea::with_tracer`] is used.
+    tracer: Tracer,
 }
 
 /// The outcome of [`Aea::receive`]: a verified document opened for one
@@ -97,7 +100,13 @@ pub struct IntermediateActivity {
 impl Aea {
     /// Create an AEA for a participant.
     pub fn new(creds: Credentials, directory: Directory) -> Aea {
-        Aea { creds, directory, crash_hook: None }
+        Aea { creds, directory, crash_hook: None, tracer: Tracer::disabled() }
+    }
+
+    /// Record `verify` / `decrypt` / `seal` / `sign` spans into `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Aea {
+        self.tracer = tracer;
+        self
     }
 
     /// Arm this AEA with a crash-injection hook (see [`crate::faultpoint`]).
@@ -132,6 +141,7 @@ impl Aea {
         inbound: impl Into<Inbound>,
         activity: &str,
     ) -> WfResult<ReceivedActivity> {
+        let mut span_verify = self.tracer.span(stage::VERIFY).actor(&self.creds.name);
         let sealed = inbound.into().into_sealed()?;
         let outcome = verify_incremental(&sealed, &self.directory, sealed.trust())?;
         let report = outcome.report;
@@ -165,9 +175,20 @@ impl Aea {
             Some(i) => i + 1,
             None => 0,
         };
+        span_verify.set_process(&report.process_id);
+        span_verify.set_activity(activity, iter);
+        span_verify.attr("signatures_verified", report.signatures_verified);
+        span_verify.attr("reused_cers", reused_cers);
+        span_verify.end();
         let preds = doc.compute_preds(&def, activity)?;
 
         // decrypt the request fields
+        let mut span_decrypt = self
+            .tracer
+            .span(stage::DECRYPT)
+            .actor(&self.creds.name)
+            .process(&report.process_id)
+            .activity(activity, iter);
         let mut visible = Vec::new();
         let mut hidden = Vec::new();
         {
@@ -182,6 +203,10 @@ impl Aea {
                 }
             }
         }
+
+        span_decrypt.attr("visible", visible.len());
+        span_decrypt.attr("hidden", hidden.len());
+        span_decrypt.end();
 
         self.crash_point(site::AEA_AFTER_VERIFY)?;
         Ok(ReceivedActivity {
@@ -256,6 +281,12 @@ impl Aea {
 
         let mut document = received.doc.clone();
         let key = CerKey::new(received.activity.clone(), received.iter);
+        let mut span_sign = self
+            .tracer
+            .span(stage::SIGN)
+            .actor(&self.creds.name)
+            .process(&received.report.process_id)
+            .activity(&received.activity, received.iter);
         let cascade = document.cascade_bytes(&result, &received.preds)?;
         self.crash_point(site::AEA_BEFORE_SIGN)?;
         let sig = sign_detached(&self.creds.sign, &cascade, &format!("{key}"));
@@ -267,6 +298,8 @@ impl Aea {
             .child(result)
             .child(sig);
         document.push_cer(cer)?;
+        span_sign.attr("model", "basic");
+        span_sign.end();
 
         let route = evaluate_route(&received.def, &received.activity, &reader)?;
         self.crash_point(site::AEA_AFTER_SIGN)?;
@@ -302,6 +335,12 @@ impl Aea {
         // recognises the dead agent's copy and the takeover copy as one.
         let plain = build_plain_result_element(responses);
         let key = CerKey::new(received.activity.clone(), received.iter);
+        let mut span_seal = self
+            .tracer
+            .span(stage::SEAL)
+            .actor(&self.creds.name)
+            .process(&received.report.process_id)
+            .activity(&received.activity, received.iter);
         let seal_seed = self.creds.enc.diffie_hellman(&tfc_id.enc);
         let seal_context = format!("{}/{key}", received.report.process_id);
         let sealed = dra_crypto::sealed::seal_deterministic(
@@ -310,10 +349,18 @@ impl Aea {
             &seal_seed,
             seal_context.as_bytes(),
         );
+        span_seal.attr("tfc", tfc_name);
+        span_seal.end();
         let sealed_el =
             Element::new("TfcSealed").attr("tfc", tfc_name).text(dra_crypto::b64::encode(&sealed));
 
         let mut document = received.doc.clone();
+        let mut span_sign = self
+            .tracer
+            .span(stage::SIGN)
+            .actor(&self.creds.name)
+            .process(&received.report.process_id)
+            .activity(&received.activity, received.iter);
         let cascade = document.cascade_bytes(&sealed_el, &received.preds)?;
         self.crash_point(site::AEA_BEFORE_SIGN)?;
         let sig = sign_detached(&self.creds.sign, &cascade, &format!("{key}"));
@@ -325,6 +372,8 @@ impl Aea {
             .child(sealed_el)
             .child(sig);
         document.push_cer(cer)?;
+        span_sign.attr("model", "advanced");
+        span_sign.end();
 
         self.crash_point(site::AEA_AFTER_SIGN)?;
         let document = SealedDocument::with_trust(document, received.trust.clone());

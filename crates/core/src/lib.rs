@@ -84,6 +84,7 @@ pub mod ingest;
 pub mod model;
 pub mod monitor;
 pub mod policy;
+pub mod reconcile;
 pub mod scope;
 pub mod sealed;
 pub mod tfc;
@@ -106,6 +107,7 @@ pub mod prelude {
     };
     pub use crate::monitor::ProcessStatus;
     pub use crate::policy::{FieldRule, Readers, SecurityPolicy};
+    pub use crate::reconcile::{reconcile, ReconcileError, ReconcileReport};
     pub use crate::scope::{all_scopes, nonrepudiation_scope};
     pub use crate::sealed::{prefix_digest, SealedDocument, TrustMark};
     pub use crate::tfc::{TfcProcessed, TfcServer};

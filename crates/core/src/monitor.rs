@@ -8,6 +8,7 @@
 
 use crate::document::{CerKey, DraDocument};
 use crate::error::WfResult;
+use crate::identity::Directory;
 use crate::model::{Target, WorkflowDefinition};
 use std::collections::BTreeMap;
 
@@ -51,6 +52,16 @@ impl ProcessStatus {
             })
             .collect();
         Ok(ProcessStatus { process_id: doc.process_id()?, workflow: def.name, executed })
+    }
+
+    /// Extract the status of a document **after** verifying every embedded
+    /// signature against `directory` — the convenience the
+    /// [`ProcessStatus::from_document`] caveat asks for. Any tampered CER
+    /// (forged participant, altered result, edited timestamp) fails
+    /// verification, so the returned status is backed by the full cascade.
+    pub fn verified_status(doc: &DraDocument, directory: &Directory) -> WfResult<ProcessStatus> {
+        crate::verify::verify_document(doc, directory)?;
+        Self::from_document(doc)
     }
 
     /// Number of executed activity iterations.
@@ -219,6 +230,41 @@ mod tests {
         assert!(trail.contains("A#0"));
         assert!(trail.contains("A#1"));
         assert!(trail.contains("t=250ms"));
+    }
+
+    #[test]
+    fn verified_status_rejects_tampered_cer() {
+        use crate::aea::Aea;
+        let designer = Credentials::from_seed("designer", "d");
+        let peter = Credentials::from_seed("peter", "p");
+        let def = WorkflowDefinition::builder("audited", "designer")
+            .simple_activity("A", "peter", &["note"])
+            .flow_end("A")
+            .build()
+            .unwrap();
+        let dir = Directory::from_credentials([&designer, &peter]);
+        let initial =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "pid-v")
+                .unwrap();
+        let aea = Aea::new(peter, dir.clone());
+        let recv = aea.receive(initial.to_xml_string(), "A").unwrap();
+        let done = aea.complete(&recv, &[("note".into(), "genuine".into())]).unwrap();
+
+        // the honest document passes and reports the execution
+        let honest = DraDocument::parse(&done.document.to_xml_string()).unwrap();
+        let status = ProcessStatus::verified_status(&honest, &dir).unwrap();
+        assert_eq!(status.steps(), 1);
+        assert_eq!(status.executed[0].participant, "peter");
+
+        // a CER with a forged participant must be rejected, even though the
+        // unverified extractor happily reports it
+        let forged = done
+            .document
+            .to_xml_string()
+            .replace("participant=\"peter\"", "participant=\"mallory\"");
+        let doc = DraDocument::parse(&forged).unwrap();
+        assert_eq!(ProcessStatus::from_document(&doc).unwrap().executed[0].participant, "mallory");
+        assert!(ProcessStatus::verified_status(&doc, &dir).is_err());
     }
 
     #[test]

@@ -1,0 +1,502 @@
+//! The document-vs-trace differential oracle.
+//!
+//! DRA4WfMS has two records of an execution: the **signed document** (the
+//! authoritative one — every CER is cascade-signed, every timestamp
+//! TFC-attested) and the **observed trace** (whatever the runtime's
+//! [`Tracer`](dra_obs::Tracer) recorded while work happened). The trace is
+//! not trusted; nothing signs it. [`reconcile`] rebuilds the execution
+//! timeline from the document alone — via [`ProcessStatus`]: CER cascade
+//! order, participants, TFC timestamps — and checks the trace against it:
+//!
+//! * every proven execution has exactly one successful `hop` span, **in the
+//!   same order**;
+//! * each hop's recorded actor is the participant the document proves;
+//! * every TFC timestamp in the document was witnessed by a `tfc:timestamp`
+//!   span whose virtual-time window lies inside the successful hop that
+//!   produced it.
+//!
+//! Crashed hop attempts (spans ended with the `"crash"` outcome) are
+//! expected noise — recovery re-runs the hop — and are ignored; only
+//! successful hops must line up one-to-one with the cascade.
+
+use crate::document::{CerKey, DraDocument};
+use crate::monitor::ProcessStatus;
+use dra_obs::event::{TraceEvent, OUTCOME_OK};
+use dra_obs::stage;
+use std::fmt;
+
+/// A reconciliation failure: the observed trace is inconsistent with what
+/// the document proves. Each variant pins the exact divergence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReconcileError {
+    /// The document itself could not be read (parse/extraction failure).
+    Document(String),
+    /// The document proves an execution the trace never completed.
+    MissingFromTrace {
+        /// Index into the document's cascade.
+        position: usize,
+        /// The proven execution with no successful hop span.
+        expected: CerKey,
+    },
+    /// The trace claims a successful hop the document does not prove.
+    UnprovenExecution {
+        /// Index into the successful-hop sequence.
+        position: usize,
+        /// The claimed activity.
+        activity: String,
+        /// The claimed iteration.
+        iter: u32,
+    },
+    /// Both records contain the execution, but at different positions.
+    OrderMismatch {
+        /// Index into the document's cascade.
+        position: usize,
+        /// What the document proves ran at this position.
+        document: CerKey,
+        /// What the trace observed at this position.
+        trace: CerKey,
+    },
+    /// The trace attributes the hop to a different identity than the
+    /// document's cascade-signed participant.
+    ParticipantMismatch {
+        /// The execution in question.
+        key: CerKey,
+        /// The participant the document proves.
+        document: String,
+        /// The actor the trace recorded.
+        trace: String,
+    },
+    /// The document carries a TFC timestamp no `tfc:timestamp` span
+    /// witnessed for that execution.
+    TimestampUnwitnessed {
+        /// The execution in question.
+        key: CerKey,
+        /// The document's timestamp (ms).
+        timestamp: u64,
+    },
+    /// A `tfc:timestamp` span exists for the execution but drew a different
+    /// value than the document embeds.
+    TimestampMismatch {
+        /// The execution in question.
+        key: CerKey,
+        /// The document's timestamp (ms).
+        document: u64,
+        /// The (closest) witnessed timestamp (ms).
+        trace: u64,
+    },
+    /// The witnessing `tfc:timestamp` span falls outside the virtual-time
+    /// bounds of the successful hop that produced the execution.
+    TimestampOutsideHop {
+        /// The execution in question.
+        key: CerKey,
+        /// The witness span's `[start, end]` in virtual µs.
+        witness_us: (u64, u64),
+        /// The successful hop's `[start, end]` in virtual µs.
+        hop_us: (u64, u64),
+    },
+}
+
+impl fmt::Display for ReconcileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconcileError::Document(e) => write!(f, "document unreadable: {e}"),
+            ReconcileError::MissingFromTrace { position, expected } => write!(
+                f,
+                "cascade position {position}: document proves {expected} but the trace has no successful hop for it"
+            ),
+            ReconcileError::UnprovenExecution { position, activity, iter } => write!(
+                f,
+                "hop position {position}: trace claims {activity}#{iter} succeeded but the document proves no such execution"
+            ),
+            ReconcileError::OrderMismatch { position, document, trace } => write!(
+                f,
+                "cascade position {position}: document proves {document} but the trace observed {trace} there"
+            ),
+            ReconcileError::ParticipantMismatch { key, document, trace } => write!(
+                f,
+                "{key}: document proves participant '{document}' but the trace attributes the hop to '{trace}'"
+            ),
+            ReconcileError::TimestampUnwitnessed { key, timestamp } => write!(
+                f,
+                "{key}: document embeds TFC timestamp {timestamp}ms but no tfc:timestamp span witnessed it"
+            ),
+            ReconcileError::TimestampMismatch { key, document, trace } => write!(
+                f,
+                "{key}: document embeds TFC timestamp {document}ms but the trace witnessed {trace}ms"
+            ),
+            ReconcileError::TimestampOutsideHop { key, witness_us, hop_us } => write!(
+                f,
+                "{key}: tfc:timestamp witness [{}..{}]µs lies outside its successful hop [{}..{}]µs",
+                witness_us.0, witness_us.1, hop_us.0, hop_us.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReconcileError {}
+
+/// Summary of a successful reconciliation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReconcileReport {
+    /// Proven executions matched one-to-one with successful hop spans.
+    pub hops_matched: usize,
+    /// Document timestamps matched to `tfc:timestamp` witnesses.
+    pub timestamps_witnessed: usize,
+    /// Crashed hop attempts in the trace (ignored by the matching).
+    pub crashed_attempts: usize,
+}
+
+/// Check the observed `trace` against the execution timeline the signed
+/// `document` proves. See the module docs for the exact guarantees.
+///
+/// The document is the oracle: callers that need the oracle itself to be
+/// trustworthy should verify it first
+/// ([`ProcessStatus::verified_status`] bundles that).
+pub fn reconcile(
+    trace: &[TraceEvent],
+    document: &DraDocument,
+) -> Result<ReconcileReport, ReconcileError> {
+    let status = ProcessStatus::from_document(document)
+        .map_err(|e| ReconcileError::Document(e.to_string()))?;
+    let pid = &status.process_id;
+
+    let hops: Vec<&TraceEvent> = trace
+        .iter()
+        .filter(|e| e.stage == stage::HOP && e.process_id == *pid && e.outcome == OUTCOME_OK)
+        .collect();
+    let crashed_attempts = trace
+        .iter()
+        .filter(|e| e.stage == stage::HOP && e.process_id == *pid && e.outcome != OUTCOME_OK)
+        .count();
+
+    // Same executions, same order: the trace's successful hops must line up
+    // one-to-one with the document's cascade.
+    let steps = status.executed.len().max(hops.len());
+    for position in 0..steps {
+        match (status.executed.get(position), hops.get(position)) {
+            (Some(entry), Some(hop)) => {
+                if hop.activity != entry.key.activity || hop.iter != entry.key.iter {
+                    let witnessed_somewhere = hops
+                        .iter()
+                        .any(|h| h.activity == entry.key.activity && h.iter == entry.key.iter);
+                    if witnessed_somewhere {
+                        return Err(ReconcileError::OrderMismatch {
+                            position,
+                            document: entry.key.clone(),
+                            trace: CerKey::new(hop.activity.clone(), hop.iter),
+                        });
+                    }
+                    return Err(ReconcileError::MissingFromTrace {
+                        position,
+                        expected: entry.key.clone(),
+                    });
+                }
+                if hop.actor != entry.participant {
+                    return Err(ReconcileError::ParticipantMismatch {
+                        key: entry.key.clone(),
+                        document: entry.participant.clone(),
+                        trace: hop.actor.clone(),
+                    });
+                }
+            }
+            (Some(entry), None) => {
+                return Err(ReconcileError::MissingFromTrace {
+                    position,
+                    expected: entry.key.clone(),
+                });
+            }
+            (None, Some(hop)) => {
+                return Err(ReconcileError::UnprovenExecution {
+                    position,
+                    activity: hop.activity.clone(),
+                    iter: hop.iter,
+                });
+            }
+            (None, None) => unreachable!("position < max(len)"),
+        }
+    }
+
+    // Timestamps within hop bounds: every TFC timestamp the document embeds
+    // must have been witnessed by a tfc:timestamp span inside the successful
+    // hop that produced it.
+    let mut timestamps_witnessed = 0;
+    for (entry, hop) in status.executed.iter().zip(&hops) {
+        let Some(doc_ts) = entry.timestamp else { continue };
+        let witnesses: Vec<&TraceEvent> = trace
+            .iter()
+            .filter(|e| {
+                e.stage == stage::TFC_TIMESTAMP
+                    && e.process_id == *pid
+                    && e.activity == entry.key.activity
+                    && e.iter == entry.key.iter
+            })
+            .collect();
+        let matching: Vec<&&TraceEvent> = witnesses
+            .iter()
+            .filter(|e| e.attr("ts_ms").and_then(|v| v.parse::<u64>().ok()) == Some(doc_ts))
+            .collect();
+        if matching.is_empty() {
+            return Err(match witnesses.last().and_then(|e| e.attr("ts_ms")?.parse().ok()) {
+                Some(trace_ts) => ReconcileError::TimestampMismatch {
+                    key: entry.key.clone(),
+                    document: doc_ts,
+                    trace: trace_ts,
+                },
+                None => ReconcileError::TimestampUnwitnessed {
+                    key: entry.key.clone(),
+                    timestamp: doc_ts,
+                },
+            });
+        }
+        let in_bounds =
+            matching.iter().any(|e| e.start_us >= hop.start_us && e.end_us <= hop.end_us);
+        if !in_bounds {
+            let w = matching.last().expect("non-empty");
+            return Err(ReconcileError::TimestampOutsideHop {
+                key: entry.key.clone(),
+                witness_us: (w.start_us, w.end_us),
+                hop_us: (hop.start_us, hop.end_us),
+            });
+        }
+        timestamps_witnessed += 1;
+    }
+
+    Ok(ReconcileReport {
+        hops_matched: status.executed.len(),
+        timestamps_witnessed,
+        crashed_attempts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Credentials;
+    use crate::model::WorkflowDefinition;
+    use crate::policy::SecurityPolicy;
+    use dra_obs::event::OUTCOME_CRASH;
+    use dra_obs::Tracer;
+    use dra_xml::Element;
+
+    /// A two-step document: A#0 by peter (TFC timestamp 100), B#0 by amy
+    /// (timestamp 250). Unsigned — reconcile reads structure, not trust.
+    fn fixture_doc() -> DraDocument {
+        let designer = Credentials::from_seed("designer", "d");
+        let def = WorkflowDefinition::builder("rec", "designer")
+            .simple_activity("A", "peter", &[])
+            .simple_activity("B", "amy", &[])
+            .flow("A", "B")
+            .flow_end("B")
+            .build()
+            .unwrap();
+        let mut doc =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "pid-r")
+                .unwrap();
+        for (act, who, ts) in [("A", "peter", "100"), ("B", "amy", "250")] {
+            doc.push_cer(
+                Element::new("CER")
+                    .attr("activity", act)
+                    .attr("iter", "0")
+                    .attr("participant", who)
+                    .attr("preds", "Def")
+                    .child(Element::new("Result"))
+                    .child(Element::new("Timestamp").attr("time", ts).attr("by", "TFC")),
+            )
+            .unwrap();
+        }
+        doc
+    }
+
+    fn hop(start: u64, end: u64, actor: &str, act: &str, outcome: &str) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            start_us: start,
+            end_us: end,
+            stage: stage::HOP.into(),
+            actor: actor.into(),
+            process_id: "pid-r".into(),
+            activity: act.into(),
+            iter: 0,
+            outcome: outcome.into(),
+            attrs: vec![],
+        }
+    }
+
+    fn ts_witness(start: u64, end: u64, act: &str, ts_ms: u64) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            start_us: start,
+            end_us: end,
+            stage: stage::TFC_TIMESTAMP.into(),
+            actor: "TFC".into(),
+            process_id: "pid-r".into(),
+            activity: act.into(),
+            iter: 0,
+            outcome: OUTCOME_OK.into(),
+            attrs: vec![("ts_ms".into(), ts_ms.to_string()), ("reused".into(), "fresh".into())],
+        }
+    }
+
+    fn honest_trace() -> Vec<TraceEvent> {
+        let t = Tracer::sequential();
+        for e in [
+            hop(0, 10, "peter", "A", OUTCOME_OK),
+            ts_witness(2, 3, "A", 100),
+            hop(10, 20, "amy", "B", OUTCOME_OK),
+            ts_witness(12, 13, "B", 250),
+        ] {
+            t.record_event(e);
+        }
+        // interleave order: keep witnesses inside their hops
+        let mut evs = t.events();
+        evs.swap(0, 1); // seq order is irrelevant to reconcile; slice order of hops is
+        evs.swap(0, 1);
+        evs
+    }
+
+    #[test]
+    fn honest_trace_reconciles() {
+        let report = reconcile(&honest_trace(), &fixture_doc()).unwrap();
+        assert_eq!(report.hops_matched, 2);
+        assert_eq!(report.timestamps_witnessed, 2);
+        assert_eq!(report.crashed_attempts, 0);
+    }
+
+    #[test]
+    fn crashed_attempts_are_ignored() {
+        let mut trace = honest_trace();
+        trace.insert(0, hop(0, 1, "peter", "A", OUTCOME_CRASH));
+        let report = reconcile(&trace, &fixture_doc()).unwrap();
+        assert_eq!(report.crashed_attempts, 1);
+    }
+
+    #[test]
+    fn foreign_process_events_are_ignored() {
+        let mut trace = honest_trace();
+        let mut alien = hop(0, 1, "zoe", "Z", OUTCOME_OK);
+        alien.process_id = "pid-other".into();
+        trace.push(alien);
+        assert!(reconcile(&trace, &fixture_doc()).is_ok());
+    }
+
+    #[test]
+    fn reorder_detected() {
+        let mut trace = honest_trace();
+        // swap the two successful hops
+        let (a, b) = (
+            trace.iter().position(|e| e.stage == stage::HOP && e.activity == "A").unwrap(),
+            trace.iter().position(|e| e.stage == stage::HOP && e.activity == "B").unwrap(),
+        );
+        trace.swap(a, b);
+        let err = reconcile(&trace, &fixture_doc()).unwrap_err();
+        assert_eq!(
+            err,
+            ReconcileError::OrderMismatch {
+                position: 0,
+                document: CerKey::new("A", 0),
+                trace: CerKey::new("B", 0),
+            }
+        );
+        assert!(err.to_string().contains("cascade position 0"));
+    }
+
+    #[test]
+    fn dropped_hop_detected() {
+        let mut trace = honest_trace();
+        trace.retain(|e| !(e.stage == stage::HOP && e.activity == "A"));
+        let err = reconcile(&trace, &fixture_doc()).unwrap_err();
+        assert_eq!(
+            err,
+            ReconcileError::MissingFromTrace { position: 0, expected: CerKey::new("A", 0) }
+        );
+    }
+
+    #[test]
+    fn forged_participant_detected() {
+        let mut trace = honest_trace();
+        for e in trace.iter_mut() {
+            if e.stage == stage::HOP && e.activity == "B" {
+                e.actor = "mallory".into();
+            }
+        }
+        let err = reconcile(&trace, &fixture_doc()).unwrap_err();
+        assert_eq!(
+            err,
+            ReconcileError::ParticipantMismatch {
+                key: CerKey::new("B", 0),
+                document: "amy".into(),
+                trace: "mallory".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn unproven_execution_detected() {
+        let mut trace = honest_trace();
+        trace.push(hop(20, 30, "zoe", "Z", OUTCOME_OK));
+        let err = reconcile(&trace, &fixture_doc()).unwrap_err();
+        assert_eq!(
+            err,
+            ReconcileError::UnprovenExecution { position: 2, activity: "Z".into(), iter: 0 }
+        );
+    }
+
+    #[test]
+    fn timestamp_divergence_detected() {
+        // wrong value
+        let mut trace = honest_trace();
+        for e in trace.iter_mut() {
+            if e.stage == stage::TFC_TIMESTAMP && e.activity == "A" {
+                e.attrs[0].1 = "101".into();
+            }
+        }
+        assert_eq!(
+            reconcile(&trace, &fixture_doc()).unwrap_err(),
+            ReconcileError::TimestampMismatch {
+                key: CerKey::new("A", 0),
+                document: 100,
+                trace: 101
+            }
+        );
+
+        // witness missing entirely
+        let mut trace = honest_trace();
+        trace.retain(|e| !(e.stage == stage::TFC_TIMESTAMP && e.activity == "B"));
+        assert_eq!(
+            reconcile(&trace, &fixture_doc()).unwrap_err(),
+            ReconcileError::TimestampUnwitnessed { key: CerKey::new("B", 0), timestamp: 250 }
+        );
+
+        // witness outside the hop's virtual-time window
+        let mut trace = honest_trace();
+        for e in trace.iter_mut() {
+            if e.stage == stage::TFC_TIMESTAMP && e.activity == "A" {
+                e.start_us = 50;
+                e.end_us = 60;
+            }
+        }
+        assert_eq!(
+            reconcile(&trace, &fixture_doc()).unwrap_err(),
+            ReconcileError::TimestampOutsideHop {
+                key: CerKey::new("A", 0),
+                witness_us: (50, 60),
+                hop_us: (0, 10),
+            }
+        );
+    }
+
+    #[test]
+    fn empty_trace_empty_document_reconciles() {
+        let designer = Credentials::from_seed("designer", "d");
+        let def = WorkflowDefinition::builder("w", "designer")
+            .simple_activity("A", "p", &[])
+            .flow_end("A")
+            .build()
+            .unwrap();
+        let doc =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "x")
+                .unwrap();
+        let report = reconcile(&[], &doc).unwrap();
+        assert_eq!(report, ReconcileReport::default());
+    }
+}

@@ -29,6 +29,7 @@ use crate::model::WorkflowDefinition;
 use crate::policy::SecurityPolicy;
 use crate::sealed::{prefix_digest, SealedDocument, TrustMark};
 use crate::verify::{tfc_attest_bytes, verify_incremental};
+use dra_obs::{stage, Tracer};
 use dra_xml::sig::sign_detached;
 use dra_xml::Element;
 use std::collections::hash_map::Entry;
@@ -64,6 +65,9 @@ pub struct TfcServer {
     /// by the documents finalized over the server's lifetime.
     redo: Mutex<HashMap<[u8; 32], RedoEntry>>,
     redo_reuses: AtomicU64,
+    /// Span recorder; disabled (free) unless [`TfcServer::with_tracer`] is
+    /// used.
+    tracer: Tracer,
 }
 
 /// A verified, unsealed intermediate document awaiting finalization.
@@ -129,12 +133,22 @@ impl TfcServer {
             crash_hook: None,
             redo: Mutex::new(HashMap::new()),
             redo_reuses: AtomicU64::new(0),
+            tracer: Tracer::disabled(),
         }
     }
 
     /// Arm this TFC with a crash-injection hook (see [`crate::faultpoint`]).
     pub fn with_crash_hook(mut self, hook: CrashHook) -> TfcServer {
         self.crash_hook = Some(hook);
+        self
+    }
+
+    /// Record `verify` / `tfc:timestamp` / `tfc:reencrypt` spans into
+    /// `tracer`. Every [`TfcServer::finalize`] path — fresh draw, logged
+    /// intent, fully-finalized replay — emits a `tfc:timestamp` span, so a
+    /// recovered run still witnesses its timestamps in the trace.
+    pub fn with_tracer(mut self, tracer: Tracer) -> TfcServer {
+        self.tracer = tracer;
         self
     }
 
@@ -160,6 +174,7 @@ impl TfcServer {
     /// AEA. A carried [`TrustMark`] reduces verification to the intermediate
     /// CER just appended; every other form takes the full pass.
     pub fn receive(&self, inbound: impl Into<Inbound>) -> WfResult<TfcReceived> {
+        let mut span_verify = self.tracer.span(stage::VERIFY).actor(&self.creds.name);
         let sealed = inbound.into().into_sealed()?;
         let tfc_name = {
             let base_def = sealed.workflow_definition()?;
@@ -209,6 +224,10 @@ impl TfcServer {
         // dynamic flow control: route and re-encrypt under the effective
         // definition and policy
         let (def, policy) = crate::amendment::effective_definition(&doc)?;
+        span_verify.set_process(&report.process_id);
+        span_verify.set_activity(&key.activity, key.iter);
+        span_verify.attr("signatures_verified", report.signatures_verified);
+        span_verify.end();
         Ok(TfcReceived { doc, def, policy, key, participant, responses, report, trust })
     }
 
@@ -227,6 +246,7 @@ impl TfcServer {
         // before a crash cut off the forwarding — re-emit identical bytes.
         if let Some((wire, route, timestamp)) = self.redo_finalized(&redo_key) {
             self.redo_reuses.fetch_add(1, Ordering::Relaxed);
+            self.span_timestamp(received, timestamp, "finalized");
             let mut document = SealedDocument::from_wire(&wire)?;
             document.set_trust(received.trust.clone());
             return Ok(TfcProcessed { document, route, key: received.key.clone(), timestamp });
@@ -234,19 +254,28 @@ impl TfcServer {
 
         // draw the timestamp — or reuse the intent a crashed finalize
         // already logged for this document, so it is never stamped twice
-        let timestamp = {
+        let (timestamp, reused) = {
             let mut redo = self.redo.lock().unwrap_or_else(|e| e.into_inner());
             match redo.entry(redo_key) {
                 Entry::Occupied(e) => {
                     self.redo_reuses.fetch_add(1, Ordering::Relaxed);
-                    e.get().timestamp
+                    (e.get().timestamp, "intent")
                 }
-                Entry::Vacant(v) => {
-                    v.insert(RedoEntry { timestamp: (self.clock)(), finalized: None }).timestamp
-                }
+                Entry::Vacant(v) => (
+                    v.insert(RedoEntry { timestamp: (self.clock)(), finalized: None }).timestamp,
+                    "fresh",
+                ),
             }
         };
+        self.span_timestamp(received, timestamp, reused);
         self.crash_point(site::TFC_AFTER_TIMESTAMP)?;
+
+        let mut span_reenc = self
+            .tracer
+            .span(stage::TFC_REENCRYPT)
+            .actor(&self.creds.name)
+            .process(&received.report.process_id)
+            .activity(&received.key.activity, received.key.iter);
 
         let reader = DocFieldReader::for_actor(&received.doc, &self.creds)
             .with_overlay(&received.key.activity, &received.responses);
@@ -284,6 +313,8 @@ impl TfcServer {
         };
         let sig = sign_detached(&self.creds.sign, &attest, &format!("tfc:{}", received.key));
         document.find_cer_element_mut(&received.key)?.expect("checked above").push_child(sig);
+        span_reenc.attr("fields", received.responses.len());
+        span_reenc.end();
 
         let route = evaluate_route(&received.def, &received.key.activity, &reader)?;
         let document = SealedDocument::with_trust(document, received.trust.clone());
@@ -294,6 +325,22 @@ impl TfcServer {
             }
         }
         Ok(TfcProcessed { document, route, key: received.key.clone(), timestamp })
+    }
+
+    /// Witness a timestamp in the trace. Emitted on every finalize path
+    /// (`reused` ∈ {"fresh", "intent", "finalized"}) so the reconciliation
+    /// oracle can match the document's `Timestamp` element against an
+    /// observed draw even after crash recovery.
+    fn span_timestamp(&self, received: &TfcReceived, timestamp: u64, reused: &str) {
+        let mut span = self
+            .tracer
+            .span(stage::TFC_TIMESTAMP)
+            .actor(&self.creds.name)
+            .process(&received.report.process_id)
+            .activity(&received.key.activity, received.key.iter);
+        span.attr("ts_ms", timestamp);
+        span.attr("reused", reused);
+        span.end();
     }
 
     fn redo_finalized(&self, redo_key: &[u8; 32]) -> Option<(String, Route, u64)> {

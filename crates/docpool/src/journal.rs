@@ -27,6 +27,7 @@
 use crate::cluster::HTable;
 use crate::persist::PersistError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dra_obs::{stage, Tracer};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -80,6 +81,10 @@ struct JournalState {
 pub struct Journal {
     state: Mutex<JournalState>,
     replayed: AtomicU64,
+    /// Span recorder for commit/replay events. Interior-mutable because the
+    /// journal is shared behind an `Arc` by the time a deployment decides to
+    /// trace; set via [`Journal::set_tracer`].
+    tracer: Mutex<Tracer>,
 }
 
 impl Default for Journal {
@@ -94,7 +99,17 @@ impl Journal {
         Journal {
             state: Mutex::new(JournalState { records: Vec::new(), committed: 0 }),
             replayed: AtomicU64::new(0),
+            tracer: Mutex::new(Tracer::disabled()),
         }
+    }
+
+    /// Record `journal:commit` / `journal:replay` spans into `tracer`.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.lock().unwrap_or_else(|e| e.into_inner()) = tracer;
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.tracer.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Append a batch as one record; returns its index for
@@ -107,9 +122,14 @@ impl Journal {
 
     /// Mark record `idx` (and everything before it) fully applied.
     pub fn commit_through(&self, idx: usize) {
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        let next = (idx + 1).min(state.records.len());
-        state.committed = state.committed.max(next);
+        {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            let next = (idx + 1).min(state.records.len());
+            state.committed = state.committed.max(next);
+        }
+        let mut span = self.tracer().span(stage::JOURNAL_COMMIT).actor("journal");
+        span.attr("record", idx);
+        span.end();
     }
 
     /// Total records appended.
@@ -138,15 +158,21 @@ impl Journal {
     /// order, then advance the watermark. Returns how many records were
     /// replayed (0 when the last writer committed cleanly).
     pub fn replay_into(&self, table: &HTable) -> usize {
-        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        let pending = state.records.len() - state.committed;
-        for record in &state.records[state.committed..] {
-            for op in record {
-                op.apply(table);
+        let mut span = self.tracer().span(stage::JOURNAL_REPLAY).actor("journal");
+        let pending = {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            let pending = state.records.len() - state.committed;
+            for record in &state.records[state.committed..] {
+                for op in record {
+                    op.apply(table);
+                }
             }
-        }
-        state.committed = state.records.len();
+            state.committed = state.records.len();
+            pending
+        };
         self.replayed.fetch_add(pending as u64, Ordering::Relaxed);
+        span.attr("replayed", pending);
+        span.end();
         pending
     }
 
@@ -203,6 +229,7 @@ impl Journal {
         Ok(Journal {
             state: Mutex::new(JournalState { records, committed }),
             replayed: AtomicU64::new(0),
+            tracer: Mutex::new(Tracer::disabled()),
         })
     }
 }

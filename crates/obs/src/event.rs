@@ -1,0 +1,397 @@
+//! Structured events and virtual-time spans.
+//!
+//! A [`Tracer`] is a cheap handle (an `Option<Arc<..>>`) that components
+//! hold by value. A disabled tracer — the default everywhere — reduces every
+//! operation to an `Option` check with no allocation, so instrumentation can
+//! stay compiled in unconditionally.
+//!
+//! Spans are recorded **only** by an explicit [`Span::end`] /
+//! [`Span::end_with`]; a span dropped on an error path records nothing.
+//! This keeps the trace a log of *completed* work, which is exactly what the
+//! document-vs-trace reconciliation oracle needs — the one exception is the
+//! scenario runner, which deliberately ends hop spans with the `"crash"`
+//! outcome so recovery is visible in the timeline.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Clock abstraction: returns the current time in microseconds. In this
+/// workspace the clock almost always closes over the deployment's network
+/// simulation (`NetworkSim::virtual_time_us`), making traces deterministic.
+pub type Clock = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// Stable stage names, one per instrumented pipeline step. Free-form stage
+/// strings are allowed, but everything in-tree uses these constants so the
+/// reconciliation oracle and the exporters agree on vocabulary.
+pub mod stage {
+    /// A whole hop: receive → execute → complete → store, as driven by the
+    /// scenario runner. The only stage the reconciliation oracle matches
+    /// against the document's CER cascade.
+    pub const HOP: &str = "hop";
+    /// Delivery-layer hand-off (retry/backoff over the faulty channel).
+    pub const DELIVER: &str = "deliver";
+    /// Signature verification (full or incremental).
+    pub const VERIFY: &str = "verify";
+    /// Element-wise decryption of request fields (or TFC unsealing).
+    pub const DECRYPT: &str = "decrypt";
+    /// The scripted participant producing response fields.
+    pub const EXECUTE: &str = "execute";
+    /// Sealing the plaintext result to the TFC's public key.
+    pub const SEAL: &str = "seal";
+    /// Embedding the cascade signature.
+    pub const SIGN: &str = "sign";
+    /// The TFC drawing (or redo-reusing) an activity finish timestamp.
+    pub const TFC_TIMESTAMP: &str = "tfc:timestamp";
+    /// The TFC re-encrypting the result per policy and attesting.
+    pub const TFC_REENCRYPT: &str = "tfc:reencrypt";
+    /// Portal admission: dedup, verify, journal, store, notify.
+    pub const PORTAL_ADMIT: &str = "portal:admit";
+    /// A journal record committed after its puts landed.
+    pub const JOURNAL_COMMIT: &str = "journal:commit";
+    /// Journal replay during portal recovery.
+    pub const JOURNAL_REPLAY: &str = "journal:replay";
+}
+
+/// Span outcome recorded by [`Span::end`].
+pub const OUTCOME_OK: &str = "ok";
+/// Span outcome for a crash-fault abort (see the scenario runner).
+pub const OUTCOME_CRASH: &str = "crash";
+
+/// One recorded span: a named stage with virtual-time bounds, the acting
+/// identity, the workflow coordinates it served, an outcome and free-form
+/// attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number in recording order (ties in virtual time
+    /// are common — most local work is free — so `seq` is the total order).
+    pub seq: u64,
+    /// Virtual time when the span was opened, microseconds.
+    pub start_us: u64,
+    /// Virtual time when the span was ended, microseconds.
+    pub end_us: u64,
+    /// Stage name (see [`stage`]).
+    pub stage: String,
+    /// Acting identity (participant, `"TFC"`, `"portal:0"`, …).
+    pub actor: String,
+    /// Process instance id, when known.
+    pub process_id: String,
+    /// Activity id, when the span serves one.
+    pub activity: String,
+    /// Activity iteration (loops), when the span serves one.
+    pub iter: u32,
+    /// `"ok"`, `"crash"`, or a caller-chosen failure label.
+    pub outcome: String,
+    /// Stage-specific attributes, in insertion order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    /// Look up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+struct TracerInner {
+    clock: Clock,
+    seq: AtomicU64,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+/// A recording handle. Clone freely — all clones share one event buffer.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            Some(inner) => write!(
+                f,
+                "Tracer(enabled, {} events)",
+                inner.events.lock().map(|e| e.len()).unwrap_or(0)
+            ),
+            None => write!(f, "Tracer(disabled)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer: every span is discarded at zero cost. This is the
+    /// [`Default`] and what every component starts with.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A recording tracer stamped by `clock` (microseconds).
+    pub fn new(clock: Clock) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                clock,
+                seq: AtomicU64::new(0),
+                events: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A recording tracer whose clock is pinned to zero — spans carry order
+    /// (`seq`) but no duration. Useful for workloads with no network
+    /// simulation to borrow virtual time from.
+    pub fn zero() -> Tracer {
+        Tracer::new(Arc::new(|| 0))
+    }
+
+    /// A recording tracer whose clock ticks by one on every read, giving
+    /// strictly ordered (and still deterministic) timestamps without any
+    /// time source.
+    pub fn sequential() -> Tracer {
+        let counter = AtomicU64::new(0);
+        Tracer::new(Arc::new(move || counter.fetch_add(1, Ordering::Relaxed)))
+    }
+
+    /// Whether spans are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The current clock reading (0 when disabled).
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => (inner.clock)(),
+            None => 0,
+        }
+    }
+
+    /// Open a span for `stage`. The span records nothing until
+    /// [`Span::end`] / [`Span::end_with`].
+    pub fn span(&self, stage: &str) -> Span {
+        let (inner, start_us) = match &self.inner {
+            Some(inner) => (Some(Arc::clone(inner)), (inner.clock)()),
+            None => (None, 0),
+        };
+        Span {
+            inner,
+            start_us,
+            stage: stage.to_string(),
+            actor: String::new(),
+            process_id: String::new(),
+            activity: String::new(),
+            iter: 0,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Snapshot every recorded event, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => inner.events.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.events.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            None => 0,
+        }
+    }
+
+    /// Whether nothing has been recorded (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every recorded event (the buffer stays usable).
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            inner.events.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+
+    fn record(&self, event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.events.lock().unwrap_or_else(|e| e.into_inner()).push(event);
+        }
+    }
+}
+
+/// An open span. Build it up with the chainable setters (or the `set_*`
+/// mutators once it is bound), then [`Span::end`] it; dropping an un-ended
+/// span discards it.
+#[must_use = "a span records nothing until .end() / .end_with(..)"]
+pub struct Span {
+    inner: Option<Arc<TracerInner>>,
+    start_us: u64,
+    stage: String,
+    actor: String,
+    process_id: String,
+    activity: String,
+    iter: u32,
+    attrs: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Whether this span will actually record.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Set the acting identity (chainable).
+    pub fn actor(mut self, actor: &str) -> Span {
+        self.set_actor(actor);
+        self
+    }
+
+    /// Set the process instance id (chainable).
+    pub fn process(mut self, process_id: &str) -> Span {
+        self.set_process(process_id);
+        self
+    }
+
+    /// Set the activity coordinates (chainable).
+    pub fn activity(mut self, activity: &str, iter: u32) -> Span {
+        self.set_activity(activity, iter);
+        self
+    }
+
+    /// Set the acting identity.
+    pub fn set_actor(&mut self, actor: &str) {
+        if self.inner.is_some() {
+            self.actor = actor.to_string();
+        }
+    }
+
+    /// Set the process instance id.
+    pub fn set_process(&mut self, process_id: &str) {
+        if self.inner.is_some() {
+            self.process_id = process_id.to_string();
+        }
+    }
+
+    /// Set the activity coordinates.
+    pub fn set_activity(&mut self, activity: &str, iter: u32) {
+        if self.inner.is_some() {
+            self.activity = activity.to_string();
+            self.iter = iter;
+        }
+    }
+
+    /// Attach an attribute (no-op when the tracer is disabled; the value is
+    /// only rendered when recording).
+    pub fn attr(&mut self, key: &str, value: impl ToString) {
+        if self.inner.is_some() {
+            self.attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Record the span with the `"ok"` outcome.
+    pub fn end(self) {
+        self.end_with(OUTCOME_OK);
+    }
+
+    /// Record the span with an explicit outcome.
+    pub fn end_with(self, outcome: &str) {
+        let Some(inner) = self.inner else { return };
+        let end_us = (inner.clock)();
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let event = TraceEvent {
+            seq,
+            start_us: self.start_us,
+            end_us,
+            stage: self.stage,
+            actor: self.actor,
+            process_id: self.process_id,
+            activity: self.activity,
+            iter: self.iter,
+            outcome: outcome.to_string(),
+            attrs: self.attrs,
+        };
+        inner.events.lock().unwrap_or_else(|e| e.into_inner()).push(event);
+    }
+}
+
+// `record` is used via Tracer::record for synthetic events in tests; keep
+// the door open without exposing the inner type.
+impl Tracer {
+    /// Append a fully formed event (testing / synthetic timelines). The
+    /// event's `seq` is overwritten to preserve the tracer's total order.
+    pub fn record_event(&self, mut event: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            event.seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+            self.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        let mut span = t.span(stage::VERIFY).actor("a").process("p").activity("A", 1);
+        span.attr("k", "v");
+        span.end();
+        assert!(t.is_empty());
+        assert_eq!(t.events(), vec![]);
+        assert_eq!(t.now_us(), 0);
+    }
+
+    #[test]
+    fn spans_record_in_order_with_clock_stamps() {
+        let clock_val = Arc::new(AtomicU64::new(10));
+        let c = Arc::clone(&clock_val);
+        let t = Tracer::new(Arc::new(move || c.load(Ordering::Relaxed)));
+        let span = t.span(stage::HOP).actor("p_a").process("pid").activity("A", 0);
+        clock_val.store(25, Ordering::Relaxed);
+        span.end();
+        let mut second = t.span(stage::SIGN);
+        second.attr("n", 3);
+        second.end_with(OUTCOME_CRASH);
+
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[0].start_us, 10);
+        assert_eq!(events[0].end_us, 25);
+        assert_eq!(events[0].stage, stage::HOP);
+        assert_eq!(events[0].outcome, OUTCOME_OK);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].outcome, OUTCOME_CRASH);
+        assert_eq!(events[1].attr("n"), Some("3"));
+        assert_eq!(events[1].attr("missing"), None);
+    }
+
+    #[test]
+    fn dropped_spans_are_discarded() {
+        let t = Tracer::zero();
+        let span = t.span(stage::VERIFY);
+        drop(span);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let t = Tracer::zero();
+        let u = t.clone();
+        u.span(stage::DELIVER).end();
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn sequential_clock_orders_events() {
+        let t = Tracer::sequential();
+        t.span(stage::VERIFY).end();
+        t.span(stage::SIGN).end();
+        let events = t.events();
+        assert!(events[0].start_us < events[0].end_us);
+        assert!(events[0].end_us < events[1].start_us);
+    }
+}

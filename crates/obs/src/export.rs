@@ -1,0 +1,148 @@
+//! Deterministic exporters: JSONL (one event per line) and Chrome-trace
+//! (`chrome://tracing` / Perfetto "complete" events).
+//!
+//! Both renderers build JSON by hand — field order is fixed, maps are
+//! pre-sorted by the caller, and no floating-point formatting is involved —
+//! so for a fixed seed (and hence a fixed event slice) the bytes are
+//! identical run after run. CI relies on this: it exports twice and `cmp`s.
+
+use crate::event::TraceEvent;
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn event_to_json(e: &TraceEvent) -> String {
+    let mut out = format!(
+        "{{\"seq\":{},\"start_us\":{},\"end_us\":{},\"stage\":\"{}\",\"actor\":\"{}\",\"process\":\"{}\",\"activity\":\"{}\",\"iter\":{},\"outcome\":\"{}\"",
+        e.seq,
+        e.start_us,
+        e.end_us,
+        json_escape(&e.stage),
+        json_escape(&e.actor),
+        json_escape(&e.process_id),
+        json_escape(&e.activity),
+        e.iter,
+        json_escape(&e.outcome),
+    );
+    if !e.attrs.is_empty() {
+        out.push_str(",\"attrs\":{");
+        for (i, (k, v)) in e.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+/// Render events as JSONL: one JSON object per line, trailing newline.
+pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&event_to_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render events as a Chrome-trace JSON document (`{"traceEvents":[...]}`
+/// of `ph:"X"` complete events, timestamps and durations in microseconds).
+///
+/// Load the file in `chrome://tracing` or <https://ui.perfetto.dev>: rows
+/// are keyed by process id (`pid`) and actor (`tid`), so one workflow
+/// instance renders as one process with a lane per participant.
+pub fn events_to_chrome(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{} {}#{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":\"{}\",\"tid\":\"{}\",\"args\":{{\"outcome\":\"{}\"",
+            json_escape(&e.stage),
+            json_escape(&e.activity),
+            e.iter,
+            json_escape(&e.stage),
+            e.start_us,
+            e.end_us.saturating_sub(e.start_us),
+            json_escape(&e.process_id),
+            json_escape(&e.actor),
+            json_escape(&e.outcome),
+        ));
+        for (k, v) in &e.attrs {
+            out.push_str(&format!(",\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Tracer;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let tracer = Tracer::sequential();
+        let mut s = tracer.span("hop");
+        s.set_actor("p0");
+        s.set_process("proc-1");
+        s.set_activity("S0", 0);
+        s.attr("note", "a \"quoted\"\nvalue");
+        s.end();
+        tracer.span("verify").actor("p1").process("proc-1").end();
+        tracer.events()
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event_and_escaped() {
+        let out = events_to_jsonl(&sample_events());
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.contains("\\\"quoted\\\"\\nvalue"));
+        assert!(out.ends_with('\n'));
+        let first = out.lines().next().unwrap();
+        assert!(first.starts_with("{\"seq\":0,"));
+        assert!(first.contains("\"stage\":\"hop\""));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let out = events_to_chrome(&sample_events());
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"pid\":\"proc-1\""));
+        assert!(out.contains("\"tid\":\"p0\""));
+        assert!(out.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample_events();
+        let b = sample_events();
+        assert_eq!(events_to_jsonl(&a), events_to_jsonl(&b));
+        assert_eq!(events_to_chrome(&a), events_to_chrome(&b));
+    }
+
+    #[test]
+    fn escape_covers_control_chars() {
+        assert_eq!(json_escape("a\tb\\c\"d\u{1}"), "a\\tb\\\\c\\\"d\\u0001");
+    }
+}

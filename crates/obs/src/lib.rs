@@ -1,0 +1,38 @@
+//! # dra-obs — observability for the engine-less WfMS
+//!
+//! DRA4WfMS has no engine, so there is no single process whose logs tell
+//! you what happened: execution is scattered across AEAs, the TFC server,
+//! portals and the delivery layer, and the only *authoritative* record is
+//! the signed document itself. This crate gives the runtime a first-class
+//! observability substrate that plays to that design instead of against it:
+//!
+//! * [`event`] — a structured span API ([`Tracer`] / [`Span`]) stamped in
+//!   **virtual time**: the clock is injected (typically closing over the
+//!   deployment's `NetworkSim`), so the same seed produces byte-identical
+//!   traces run after run;
+//! * [`metrics`] — a [`MetricsRegistry`] of counters / gauges / histograms
+//!   that unifies the runtime's ad-hoc statistics (delivery stats, crash
+//!   and replay counters, trust-cache hits) behind one deterministic
+//!   [`MetricsSnapshot`];
+//! * [`export`] — JSONL and Chrome-trace (`chrome://tracing`) exporters
+//!   whose output is byte-deterministic for a fixed seed.
+//!
+//! The trace is deliberately *not* trusted: `dra4wfms-core`'s `reconcile`
+//! oracle replays the timeline the signed document proves and checks the
+//! observed trace against it — the document is the oracle, the trace is the
+//! witness under test.
+//!
+//! The crate is dependency-free (not even the workspace shims) so every
+//! layer — `core`, `docpool`, `cloud`, benches — can depend on it without
+//! cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+
+pub use event::{stage, Clock, Span, TraceEvent, Tracer, OUTCOME_CRASH, OUTCOME_OK};
+pub use export::{events_to_chrome, events_to_jsonl, json_escape};
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};

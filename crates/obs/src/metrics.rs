@@ -1,0 +1,263 @@
+//! A unified metrics registry: counters, gauges and power-of-two
+//! histograms behind one deterministic snapshot.
+//!
+//! The runtime grew statistics organically — `DeliveryStats`, portal
+//! counters, trust-cache hit/miss, TFC redo reuses, journal replay counts —
+//! each with its own struct and its own accessor. The
+//! [`MetricsRegistry`] absorbs them all under stable dotted names
+//! (`delivery.sends`, `portal.stored`, `trust_cache.hits`, …), and a
+//! [`MetricsSnapshot`] renders them as one `BTreeMap`-ordered, byte-
+//! deterministic JSON document.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Aggregated observations of one histogram series: count / sum / min /
+/// max plus power-of-two buckets (`buckets[i]` counts values `v` with
+/// `2^(i-1) <= v < 2^i`, bucket 0 counting `v == 0`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Power-of-two bucket counts (65 buckets cover the full `u64` range).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Clone, Default)]
+struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: BTreeMap<u32, u64>,
+}
+
+impl Histogram {
+    fn observe(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        let bucket = 64 - value.leading_zeros(); // 0 for value == 0
+        *self.buckets.entry(bucket).or_insert(0) += 1;
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let top = self.buckets.keys().next_back().copied().unwrap_or(0);
+        let mut buckets = vec![0u64; top as usize + 1];
+        for (b, n) in &self.buckets {
+            buckets[*b as usize] = *n;
+        }
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+/// A thread-safe registry of named counters, gauges and histograms.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, i64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to counter `name` (created at 0).
+    pub fn incr(&self, name: &str, delta: u64) {
+        let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        *counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Overwrite counter `name` with an absolute total — the export path
+    /// for pre-aggregated stats structs, which already hold run totals.
+    pub fn set_counter(&self, name: &str, value: u64) {
+        let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        counters.insert(name.to_string(), value);
+    }
+
+    /// Current value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name`.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        let mut gauges = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        gauges.insert(name.to_string(), value);
+    }
+
+    /// Record one observation into histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// A point-in-time, deterministically ordered snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let gauges = self.gauges.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// A frozen view of a [`MetricsRegistry`]; `BTreeMap` ordering makes its
+/// JSON rendering byte-deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram aggregates by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter total by name (0 when absent) — the lookup the invariant
+    /// checks are written against, so "never exported" reads as zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Render as a deterministic JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", crate::export::json_escape(k), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", crate::export::json_escape(k), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                crate::export::json_escape(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            ));
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let m = MetricsRegistry::new();
+        m.incr("a.count", 2);
+        m.incr("a.count", 3);
+        m.set_counter("b.total", 7);
+        m.set_gauge("c.level", -4);
+        assert_eq!(m.counter("a.count"), 5);
+        assert_eq!(m.counter("nope"), 0);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("a.count"), 5);
+        assert_eq!(snap.counter("b.total"), 7);
+        assert_eq!(snap.gauges["c.level"], -4);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let m = MetricsRegistry::new();
+        for v in [0u64, 1, 1, 3, 8] {
+            m.observe("h", v);
+        }
+        let snap = m.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 13);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 8);
+        assert!((h.mean() - 2.6).abs() < 1e-9);
+        // buckets: 0 → bucket 0; 1,1 → bucket 1; 3 → bucket 2; 8 → bucket 4
+        assert_eq!(h.buckets, vec![1, 2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_ordered() {
+        let m = MetricsRegistry::new();
+        m.incr("z.last", 1);
+        m.incr("a.first", 2);
+        m.observe("lat", 5);
+        let a = m.snapshot().to_json();
+        let b = m.snapshot().to_json();
+        assert_eq!(a, b);
+        assert!(a.find("a.first").unwrap() < a.find("z.last").unwrap());
+        assert!(a.starts_with("{\"counters\":{"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = MetricsRegistry::new().snapshot();
+        assert_eq!(snap.to_json(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+        assert_eq!(
+            HistogramSnapshot { count: 0, sum: 0, min: 0, max: 0, buckets: vec![] }.mean(),
+            0.0
+        );
+    }
+}

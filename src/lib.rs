@@ -20,6 +20,7 @@
 //! | [`engine`] | `dra-engine` | the engine-based baseline WfMS (the comparator) |
 //! | [`docpool`] | `dra-docpool` | HBase-style document pool + mini MapReduce |
 //! | [`cloud`] | `dra-cloud` | portal servers, network sim, scenario runner |
+//! | [`obs`] | `dra-obs` | virtual-time spans, metrics registry, trace exporters |
 //!
 //! See the `examples/` directory for runnable walkthroughs:
 //!
@@ -38,6 +39,7 @@ pub use dra_cloud as cloud;
 pub use dra_crypto as crypto;
 pub use dra_docpool as docpool;
 pub use dra_engine as engine;
+pub use dra_obs as obs;
 pub use dra_xml as xml;
 
 pub use dra4wfms_core::prelude;

@@ -1,0 +1,284 @@
+//! Integration: the document-vs-trace differential oracle (DESIGN §10).
+//!
+//! The signed document is the only *authoritative* record of a run; the
+//! span trace is an untrusted witness. `reconcile` reconstructs the
+//! timeline the document proves — executed activities in cascade order,
+//! participants from the CERs, TFC timestamps — and checks the observed
+//! trace against it. An honest trace of any Fig. 9 run (basic or advanced
+//! model, lossy channel, injected crashes) must reconcile; a trace with a
+//! reordered, dropped or forged hop must fail with a diagnostic naming the
+//! exact divergence.
+
+use dra4wfms::cloud::{
+    tracer_for, CloudSystem, CrashPlan, CrashPoint, Delivery, DeliveryPolicy, FaultProfile,
+    InstanceRun, NetworkSim,
+};
+use dra4wfms::obs::{stage, TraceEvent, Tracer, OUTCOME_OK};
+use dra4wfms::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn fig9_def(advanced: bool) -> WorkflowDefinition {
+    let b = WorkflowDefinition::builder("fig9", "designer")
+        .simple_activity("A", "p_a", &["attachment"])
+        .simple_activity("B1", "p_b1", &["review1"])
+        .simple_activity("B2", "p_b2", &["review2"])
+        .activity(Activity {
+            id: "C".into(),
+            participant: "p_c".into(),
+            join: JoinKind::All,
+            requests: vec![],
+            responses: vec!["decision".into()],
+        })
+        .simple_activity("D", "p_d", &["ack"])
+        .flow("A", "B1")
+        .flow("A", "B2")
+        .flow("B1", "C")
+        .flow("B2", "C")
+        .flow_if("C", "A", Condition::field_equals("C", "decision", "insufficient"))
+        .flow_if("C", "D", Condition::field_not_equals("C", "decision", "insufficient"))
+        .flow_end("D");
+    if advanced { b.with_tfc("TFC") } else { b }.build().unwrap()
+}
+
+fn cast() -> (Vec<Credentials>, Directory) {
+    let creds: Vec<Credentials> = ["designer", "p_a", "p_b1", "p_b2", "p_c", "p_d", "TFC"]
+        .iter()
+        .map(|n| Credentials::from_seed(*n, &format!("recon-{n}")))
+        .collect();
+    let dir = Directory::from_credentials(&creds);
+    (creds, dir)
+}
+
+fn respond(received: &ReceivedActivity) -> Vec<(String, String)> {
+    match received.activity.as_str() {
+        "A" => vec![("attachment".into(), "contract.pdf".into())],
+        "B1" => vec![("review1".into(), "ok".into())],
+        "B2" => vec![("review2".into(), "ok".into())],
+        "C" => vec![(
+            "decision".into(),
+            if received.iter == 0 { "insufficient" } else { "accept" }.into(),
+        )],
+        "D" => vec![("ack".into(), "done".into())],
+        _ => vec![],
+    }
+}
+
+/// Drive one fully instrumented Fig. 9 instance and return the recorded
+/// trace plus the final document.
+fn instrumented_run(
+    advanced: bool,
+    hostile: bool,
+    crash: bool,
+    seed: u64,
+) -> (Vec<TraceEvent>, DraDocument) {
+    let (creds, dir) = cast();
+    let def = fig9_def(advanced);
+    let network = Arc::new(NetworkSim::lan());
+    let tracer = tracer_for(&network);
+    let plan = if crash {
+        CrashPlan::once(CrashPoint::AeaBeforeSign, 1 + seed % 9)
+    } else {
+        CrashPlan::none()
+    };
+    let sys = CloudSystem::new(dir.clone(), 3, Arc::clone(&network))
+        .with_crash_plan(Arc::clone(&plan))
+        .with_tracer(tracer.clone());
+    let delivery = if hostile {
+        Delivery::new(
+            Arc::clone(&network),
+            FaultProfile::hostile(),
+            DeliveryPolicy::default(),
+            seed,
+        )
+        .unwrap()
+    } else {
+        Delivery::lossless(Arc::clone(&network))
+    }
+    .with_tracer(tracer.clone());
+    let agents: HashMap<String, Arc<Aea>> = creds
+        .iter()
+        .map(|c| {
+            let aea = Aea::new(c.clone(), dir.clone())
+                .with_crash_hook(plan.hook())
+                .with_tracer(tracer.clone());
+            (c.name.clone(), Arc::new(aea))
+        })
+        .collect();
+    let tfc = advanced.then(|| {
+        let tfc_creds = creds.iter().find(|c| c.name == "TFC").unwrap().clone();
+        TfcServer::with_clock(tfc_creds, dir.clone(), Arc::new(|| 1_000))
+            .with_crash_hook(plan.hook())
+            .with_tracer(tracer.clone())
+    });
+    let policy = if advanced {
+        SecurityPolicy::public().with_tfc_access("TFC", &def)
+    } else {
+        SecurityPolicy::public()
+    };
+    let initial = DraDocument::new_initial_with_pid(&def, &policy, &creds[0], "recon-run").unwrap();
+    let mut run = InstanceRun::new(&sys, &initial)
+        .agents(&agents)
+        .respond(&respond)
+        .max_steps(100)
+        .network(&delivery)
+        .tracer(tracer.clone());
+    if let Some(server) = tfc.as_ref() {
+        run = run.tfc(server);
+    }
+    let out = run.run().unwrap();
+    assert_eq!(out.steps, 9);
+    if crash {
+        assert_eq!(plan.crashes_injected(), 1, "the scheduled crash fired");
+    }
+    (tracer.events(), out.document.document().clone())
+}
+
+/// Indices of the successful hop events — the ones the oracle matches
+/// against the document's cascade.
+fn ok_hops(events: &[TraceEvent]) -> Vec<usize> {
+    events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.stage == stage::HOP && e.outcome == OUTCOME_OK)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[test]
+fn honest_traces_reconcile_both_models() {
+    for advanced in [false, true] {
+        let (events, doc) = instrumented_run(advanced, false, false, 0);
+        let report = reconcile(&events, &doc).unwrap();
+        assert_eq!(report.hops_matched, 9);
+        assert_eq!(report.crashed_attempts, 0);
+        if advanced {
+            assert_eq!(report.timestamps_witnessed, 9, "every CER timestamp witnessed");
+        }
+    }
+}
+
+#[test]
+fn honest_traces_reconcile_under_faults_and_crashes() {
+    for advanced in [false, true] {
+        for (hostile, crash) in [(true, false), (false, true), (true, true)] {
+            for seed in [1, 7, 42] {
+                let (events, doc) = instrumented_run(advanced, hostile, crash, seed);
+                let report = reconcile(&events, &doc).unwrap_or_else(|e| {
+                    panic!("advanced={advanced} hostile={hostile} crash={crash} seed={seed}: {e}")
+                });
+                assert_eq!(report.hops_matched, 9);
+                if crash {
+                    assert_eq!(
+                        report.crashed_attempts, 1,
+                        "the crashed attempt is visible in the trace but proves nothing"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reordered_trace_detected() {
+    let (mut events, doc) = instrumented_run(false, false, false, 0);
+    let hops = ok_hops(&events);
+    // swap the first two executions the document proves in cascade order
+    events.swap(hops[0], hops[1]);
+    let err = reconcile(&events, &doc).unwrap_err();
+    match &err {
+        ReconcileError::OrderMismatch { position, .. } => assert_eq!(*position, 0),
+        other => panic!("expected OrderMismatch, got {other}"),
+    }
+    let msg = err.to_string();
+    assert!(
+        msg.contains("A#0") && msg.contains("B1#0"),
+        "diagnostic names both sides of the divergence: {msg}"
+    );
+}
+
+#[test]
+fn dropped_hop_detected() {
+    let (mut events, doc) = instrumented_run(false, false, false, 0);
+    let hops = ok_hops(&events);
+    let dropped = events.remove(hops[2]);
+    let err = reconcile(&events, &doc).unwrap_err();
+    match &err {
+        ReconcileError::MissingFromTrace { position, expected } => {
+            assert_eq!(*position, 2);
+            assert_eq!(expected.activity, dropped.activity);
+            assert_eq!(expected.iter, dropped.iter);
+        }
+        other => panic!("expected MissingFromTrace, got {other}"),
+    }
+    assert!(err.to_string().contains(&dropped.activity));
+}
+
+#[test]
+fn forged_participant_detected() {
+    let (mut events, doc) = instrumented_run(false, false, false, 0);
+    let hops = ok_hops(&events);
+    // the trace claims mallory executed the hop the document proves p_a did
+    events[hops[0]].actor = "mallory".into();
+    let err = reconcile(&events, &doc).unwrap_err();
+    match &err {
+        ReconcileError::ParticipantMismatch { document, trace, .. } => {
+            assert_eq!(document.as_str(), "p_a");
+            assert_eq!(trace.as_str(), "mallory");
+        }
+        other => panic!("expected ParticipantMismatch, got {other}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("mallory") && msg.contains("p_a"), "diagnostic names both: {msg}");
+}
+
+#[test]
+fn fabricated_execution_detected() {
+    let (mut events, doc) = instrumented_run(false, false, false, 0);
+    // the trace claims a tenth execution the cascade never signed
+    let hops = ok_hops(&events);
+    let mut forged = events[hops[8]].clone();
+    forged.activity = "D".into();
+    forged.iter = 1;
+    events.push(forged);
+    let err = reconcile(&events, &doc).unwrap_err();
+    assert!(
+        matches!(err, ReconcileError::UnprovenExecution { position: 9, .. }),
+        "expected UnprovenExecution, got {err}"
+    );
+}
+
+#[test]
+fn forged_timestamp_detected() {
+    let (mut events, doc) = instrumented_run(true, false, false, 0);
+    // rewrite one tfc:timestamp witness: the trace now claims a different
+    // time than the one the TFC signed into the document
+    let idx = events
+        .iter()
+        .position(|e| e.stage == stage::TFC_TIMESTAMP)
+        .expect("advanced run records timestamp spans");
+    for attr in events[idx].attrs.iter_mut() {
+        if attr.0 == "ts_ms" {
+            attr.1 = "999999".into();
+        }
+    }
+    let err = reconcile(&events, &doc).unwrap_err();
+    assert!(
+        matches!(err, ReconcileError::TimestampMismatch { .. }),
+        "expected TimestampMismatch, got {err}"
+    );
+}
+
+#[test]
+fn disabled_tracer_records_nothing_and_cannot_reconcile() {
+    let tracer = Tracer::disabled();
+    let mut span = tracer.span(stage::HOP).actor("x");
+    span.attr("k", "v");
+    span.end();
+    assert!(tracer.events().is_empty());
+
+    // an empty trace fails against a document that proves executions
+    let (_, doc) = instrumented_run(false, false, false, 0);
+    let err = reconcile(&[], &doc).unwrap_err();
+    assert!(matches!(err, ReconcileError::MissingFromTrace { position: 0, .. }));
+}
