@@ -16,11 +16,22 @@
 //! schedules) and writes `BENCH_crash.json` — running the bin twice must
 //! produce byte-identical JSON, which CI checks.
 //!
+//! Every cell runs under a live [`HealthMonitor`]: stalls caused by a
+//! crashed hop surface as `stuck_instance` alerts *during* the run, the
+//! alert books are balanced against the runner's takeover counters by
+//! `check_metric_invariants`, and the crash-free baselines must stay
+//! alert-silent. Pass `--trace-out PATH` to export the span stream of the
+//! first crashed tfc cell, `--alerts-out PATH` for the sweep's alert JSONL.
+//!
 //! Run with: `cargo run --release -p dra-bench --bin claim_crash [seeds…]`
 
 use dra4wfms_core::prelude::*;
 use dra_bench::fig9;
-use dra_cloud::{CloudSystem, CrashPlan, CrashPoint, Delivery, InstanceRun, NetworkSim};
+use dra_cloud::{
+    alerts_to_jsonl, check_metric_invariants, tracer_for, Alert, CloudSystem, CrashPlan,
+    CrashPoint, Delivery, HealthMonitor, HealthPolicy, InstanceRun, NetworkSim,
+};
+use dra_obs::{events_to_jsonl, TraceEvent};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -79,6 +90,9 @@ struct Cell {
     duplicates_suppressed: u64,
     virtual_time_us: u64,
     pool_sha256: String,
+    alerts: Vec<Alert>,
+    invariants: Result<(), String>,
+    events: Vec<TraceEvent>,
 }
 
 /// Run `INSTANCES` Fig. 9 instances on a fresh deployment under `plan`.
@@ -86,9 +100,16 @@ fn run_cell(mode: &'static str, advanced: bool, plan: Arc<CrashPlan>, seed: u64)
     let (creds, dir) = fig9::cast();
     let def = fig9::definition(advanced);
     let network = Arc::new(NetworkSim::lan());
-    let sys =
-        CloudSystem::new(dir.clone(), 3, Arc::clone(&network)).with_crash_plan(Arc::clone(&plan));
-    let delivery = Delivery::lossless(Arc::clone(&network));
+    let tracer = tracer_for(&network);
+    let metrics = dra_obs::MetricsRegistry::new();
+    // one monitor watches the whole cell: per-pid state keeps the
+    // instances separate, and the stuck/crash-loop alerts it raises are
+    // reconciled against the runner's takeover counters below
+    let monitor = HealthMonitor::new(HealthPolicy::default());
+    let sys = CloudSystem::new(dir.clone(), 3, Arc::clone(&network))
+        .with_crash_plan(Arc::clone(&plan))
+        .with_tracer(tracer.clone());
+    let delivery = Delivery::lossless(Arc::clone(&network)).with_tracer(tracer.clone());
     let agents: HashMap<String, Arc<Aea>> = creds
         .iter()
         .map(|c| {
@@ -131,7 +152,10 @@ fn run_cell(mode: &'static str, advanced: bool, plan: Arc<CrashPlan>, seed: u64)
             .agents(&agents)
             .respond(&respond)
             .max_steps(100)
-            .network(&delivery);
+            .network(&delivery)
+            .tracer(tracer.clone())
+            .metrics(&metrics)
+            .monitor(&monitor);
         if let Some(server) = tfc.as_ref() {
             run = run.tfc(server);
         }
@@ -163,23 +187,42 @@ fn run_cell(mode: &'static str, advanced: bool, plan: Arc<CrashPlan>, seed: u64)
         duplicates_suppressed: stats.duplicates_suppressed,
         virtual_time_us: stats.virtual_time_us,
         pool_sha256: pool_digest(&sys),
+        alerts: monitor.alerts(),
+        invariants: check_metric_invariants(&metrics.snapshot()),
+        events: tracer.events(),
     }
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out =
+        args.iter().position(|a| a == "--trace-out").and_then(|i| args.get(i + 1)).cloned();
+    let alerts_out =
+        args.iter().position(|a| a == "--alerts-out").and_then(|i| args.get(i + 1)).cloned();
     let seeds: Vec<u64> = {
-        let args: Vec<u64> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
-        if args.is_empty() {
+        let nums: Vec<u64> = args.iter().filter_map(|s| s.parse().ok()).collect();
+        if nums.is_empty() {
             vec![1, 7, 42]
         } else {
-            args
+            nums
         }
     };
 
     println!("crash-matrix: {INSTANCES} Fig. 9 instances per cell, seeds {seeds:?}\n");
     println!(
-        "{:>6} {:>28} {:>5} {:>4} {:>5} {:>7} {:>7} {:>8} {:>5} {:>9}",
-        "mode", "point", "seed", "nth", "done", "crashes", "leases", "replays", "dups", "baseline"
+        "{:>6} {:>28} {:>5} {:>4} {:>5} {:>7} {:>7} {:>8} {:>5} {:>6} {:>4} {:>9}",
+        "mode",
+        "point",
+        "seed",
+        "nth",
+        "done",
+        "crashes",
+        "leases",
+        "replays",
+        "dups",
+        "alerts",
+        "inv",
+        "baseline"
     );
 
     let mut cells = Vec::new();
@@ -188,10 +231,14 @@ fn main() {
         // crash-free baseline fixes the byte-identity target for this mode
         let baseline = run_cell(mode, advanced, CrashPlan::none(), 0);
         let target = baseline.pool_sha256.clone();
-        let baseline_ok = baseline.completed == INSTANCES && baseline.crashes == 0;
+        // crash-free baseline: the monitor must stay completely silent
+        let baseline_ok = baseline.completed == INSTANCES
+            && baseline.crashes == 0
+            && baseline.alerts.is_empty()
+            && baseline.invariants.is_ok();
         all_ok &= baseline_ok;
         println!(
-            "{:>6} {:>28} {:>5} {:>4} {:>2}/{:<2} {:>7} {:>7} {:>8} {:>5} {:>9}",
+            "{:>6} {:>28} {:>5} {:>4} {:>2}/{:<2} {:>7} {:>7} {:>8} {:>5} {:>6} {:>4} {:>9}",
             baseline.mode,
             baseline.point,
             "-",
@@ -202,6 +249,8 @@ fn main() {
             baseline.leases_expired,
             baseline.journal_replays,
             baseline.duplicates_suppressed,
+            baseline.alerts.len(),
+            if baseline.invariants.is_ok() { "ok" } else { "BAD" },
             "(target)"
         );
         cells.push(baseline);
@@ -211,10 +260,13 @@ fn main() {
             for &seed in &seeds {
                 let cell = run_cell(mode, advanced, CrashPlan::seeded(point, seed, MAX_NTH), seed);
                 let identical = cell.pool_sha256 == target;
-                let ok = cell.completed == INSTANCES && cell.crashes == 1 && identical;
+                let ok = cell.completed == INSTANCES
+                    && cell.crashes == 1
+                    && identical
+                    && cell.invariants.is_ok();
                 all_ok &= ok;
                 println!(
-                    "{:>6} {:>28} {:>5} {:>4} {:>2}/{:<2} {:>7} {:>7} {:>8} {:>5} {:>9}",
+                    "{:>6} {:>28} {:>5} {:>4} {:>2}/{:<2} {:>7} {:>7} {:>8} {:>5} {:>6} {:>4} {:>9}",
                     cell.mode,
                     cell.point,
                     cell.seed,
@@ -225,8 +277,13 @@ fn main() {
                     cell.leases_expired,
                     cell.journal_replays,
                     cell.duplicates_suppressed,
+                    cell.alerts.len(),
+                    if cell.invariants.is_ok() { "ok" } else { "BAD" },
                     if identical { "identical" } else { "DIVERGED" }
                 );
+                if let Err(e) = &cell.invariants {
+                    eprintln!("  invariant violated: {e}");
+                }
                 cells.push(cell);
             }
         }
@@ -241,7 +298,8 @@ fn main() {
              \"instances\": {}, \"completed\": {}, \"crashes_injected\": {}, \
              \"leases_expired\": {}, \"journal_replays\": {}, \
              \"sends\": {}, \"attempts\": {}, \"duplicates_suppressed\": {}, \
-             \"virtual_time_us\": {}, \"pool_sha256\": \"{}\"}}{}\n",
+             \"virtual_time_us\": {}, \"pool_sha256\": \"{}\", \
+             \"alerts\": {}, \"invariants\": \"{}\"}}{}\n",
             c.mode,
             c.point,
             c.seed,
@@ -256,6 +314,8 @@ fn main() {
             c.duplicates_suppressed,
             c.virtual_time_us,
             c.pool_sha256,
+            c.alerts.len(),
+            if c.invariants.is_ok() { "ok" } else { "violated" },
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
@@ -263,6 +323,29 @@ fn main() {
     match std::fs::write("BENCH_crash.json", &json) {
         Ok(()) => println!("\nwrote BENCH_crash.json ({} cells)", cells.len()),
         Err(e) => eprintln!("\ncould not write BENCH_crash.json: {e}"),
+    }
+
+    // optional exports: span stream of the first crashed tfc cell (the
+    // richest trace: crash + takeover + TFC redo), and the sweep's alerts
+    if let Some(path) = &trace_out {
+        let canonical =
+            cells.iter().find(|c| c.mode == "tfc" && c.crashes > 0).unwrap_or(&cells[0]);
+        match std::fs::write(path, events_to_jsonl(&canonical.events)) {
+            Ok(()) => println!(
+                "wrote {path} ({} spans, {} cell seed {})",
+                canonical.events.len(),
+                canonical.point,
+                canonical.seed
+            ),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if let Some(path) = &alerts_out {
+        let all: Vec<Alert> = cells.iter().flat_map(|c| c.alerts.clone()).collect();
+        match std::fs::write(path, alerts_to_jsonl(&all)) {
+            Ok(()) => println!("wrote {path} ({} alerts)", all.len()),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
 
     println!(

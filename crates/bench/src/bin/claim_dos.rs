@@ -13,6 +13,8 @@
 
 fn main() {
     let portals: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let metrics = dra_obs::MetricsRegistry::new();
+    metrics.incr("dos.portals", portals as u64);
 
     // simple capacity model: each server processes CAP requests per tick,
     // FIFO, attacker requests are indistinguishable until processed.
@@ -27,6 +29,7 @@ fn main() {
         format!("DRA goodput ({portals} portals)"),
     );
     for attack in [0.0f64, 500.0, 1000.0, 2000.0, 4000.0, 8000.0] {
+        metrics.incr("dos.attack_rates_swept", 1);
         // Engine: the process's owning engine is a single fixed endpoint.
         // All legit + all attack traffic hits it; goodput = CAP scaled by
         // the legitimate fraction of arrivals (FIFO sharing).
@@ -67,4 +70,5 @@ fn main() {
     println!("the engine-based WfMS is a single fixed target, the document-routing");
     println!("deployment degrades by at most one portal's share. (Architectural model,");
     println!("no absolute numbers claimed — matching the paper's qualitative argument.)");
+    dra_bench::enforce_metric_invariants(&metrics);
 }

@@ -10,11 +10,22 @@
 //! `BENCH_faults.json` — running the bin twice with the same seeds must
 //! produce byte-identical JSON, which CI checks.
 //!
+//! Every cell runs under a live [`HealthMonitor`] with a shared
+//! [`MetricsRegistry`], and the metric/alert-accounting invariants are
+//! enforced per cell: lossless cells must stay alert-silent, and the books
+//! must balance everywhere. Pass `--trace-out PATH` to export the span
+//! stream of the canonical hostile cell, and `--alerts-out PATH` for the
+//! concatenated alert JSONL of the whole sweep.
+//!
 //! Run with: `cargo run --release -p dra-bench --bin claim_faults [seeds…]`
 
 use dra4wfms_core::prelude::*;
 use dra_bench::fig9;
-use dra_cloud::{CloudSystem, Delivery, DeliveryPolicy, FaultProfile, InstanceRun, NetworkSim};
+use dra_cloud::{
+    alerts_to_jsonl, check_metric_invariants, tracer_for, Alert, CloudSystem, Delivery,
+    DeliveryPolicy, FaultProfile, HealthMonitor, HealthPolicy, InstanceRun, NetworkSim,
+};
+use dra_obs::{events_to_jsonl, TraceEvent};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -42,6 +53,9 @@ struct Cell {
     /// SHA-256 over the concatenated final documents — pins byte-level
     /// determinism of the run across re-executions.
     outcome_digest: String,
+    alerts: Vec<Alert>,
+    invariants: Result<(), String>,
+    events: Vec<TraceEvent>,
 }
 
 /// Run `INSTANCES` Fig. 9 instances (public policy: deterministic bytes)
@@ -50,9 +64,15 @@ fn run_cell(name: &'static str, profile: FaultProfile, seed: u64) -> Cell {
     let (creds, dir) = fig9::cast();
     let def = fig9::definition(false);
     let network = Arc::new(NetworkSim::lan());
-    let sys = CloudSystem::new(dir.clone(), 3, Arc::clone(&network));
+    let tracer = tracer_for(&network);
+    let metrics = dra_obs::MetricsRegistry::new();
+    // one monitor watches the whole cell: per-pid state keeps the 8
+    // instances separate, and its alert stream covers the sweep
+    let monitor = HealthMonitor::new(HealthPolicy::default());
+    let sys = CloudSystem::new(dir.clone(), 3, Arc::clone(&network)).with_tracer(tracer.clone());
     let delivery = Delivery::new(Arc::clone(&network), profile, DeliveryPolicy::default(), seed)
-        .expect("valid profile");
+        .expect("valid profile")
+        .with_tracer(tracer.clone());
     let agents: HashMap<String, Arc<Aea>> = creds
         .iter()
         .map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone()))))
@@ -75,6 +95,9 @@ fn run_cell(name: &'static str, profile: FaultProfile, seed: u64) -> Cell {
             .respond(&respond)
             .max_steps(100)
             .network(&delivery)
+            .tracer(tracer.clone())
+            .metrics(&metrics)
+            .monitor(&monitor)
             .run();
         if let Ok(out) = out {
             assert_eq!(out.steps, 9, "Fig. 9 with the loop taken once");
@@ -89,16 +112,24 @@ fn run_cell(name: &'static str, profile: FaultProfile, seed: u64) -> Cell {
         completed,
         stats: delivery.stats(),
         outcome_digest: dra_crypto::hex::encode(&dra_crypto::sha256(finals.as_bytes())),
+        alerts: monitor.alerts(),
+        invariants: check_metric_invariants(&metrics.snapshot()),
+        events: tracer.events(),
     }
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out =
+        args.iter().position(|a| a == "--trace-out").and_then(|i| args.get(i + 1)).cloned();
+    let alerts_out =
+        args.iter().position(|a| a == "--alerts-out").and_then(|i| args.get(i + 1)).cloned();
     let seeds: Vec<u64> = {
-        let args: Vec<u64> = std::env::args().skip(1).filter_map(|s| s.parse().ok()).collect();
-        if args.is_empty() {
+        let nums: Vec<u64> = args.iter().filter_map(|s| s.parse().ok()).collect();
+        if nums.is_empty() {
             vec![1, 7, 42]
         } else {
-            args
+            nums
         }
     };
     let profiles: [(&'static str, FaultProfile); 3] = [
@@ -109,8 +140,18 @@ fn main() {
 
     println!("fault-matrix: {INSTANCES} Fig. 9 instances per cell, seeds {seeds:?}\n");
     println!(
-        "{:>9} {:>6} {:>5} {:>7} {:>8} {:>7} {:>7} {:>8} {:>9}",
-        "profile", "seed", "done", "sends", "attempts", "dups", "corrupt", "late", "inflation"
+        "{:>9} {:>6} {:>5} {:>7} {:>8} {:>7} {:>7} {:>8} {:>9} {:>7} {:>10}",
+        "profile",
+        "seed",
+        "done",
+        "sends",
+        "attempts",
+        "dups",
+        "corrupt",
+        "late",
+        "inflation",
+        "alerts",
+        "invariants"
     );
 
     let mut cells = Vec::new();
@@ -119,7 +160,7 @@ fn main() {
             let cell = run_cell(name, *profile, seed);
             let s = &cell.stats;
             println!(
-                "{:>9} {:>6} {:>2}/{:<2} {:>7} {:>8} {:>7} {:>7} {:>8} {:>8.2}x",
+                "{:>9} {:>6} {:>2}/{:<2} {:>7} {:>8} {:>7} {:>7} {:>8} {:>8.2}x {:>7} {:>10}",
                 cell.profile,
                 cell.seed,
                 cell.completed,
@@ -129,8 +170,13 @@ fn main() {
                 s.duplicates_suppressed,
                 s.corruptions_rejected,
                 s.late_deliveries,
-                s.inflation()
+                s.inflation(),
+                cell.alerts.len(),
+                if cell.invariants.is_ok() { "ok" } else { "VIOLATED" }
             );
+            if let Err(e) = &cell.invariants {
+                eprintln!("  invariant violated: {e}");
+            }
             cells.push(cell);
         }
     }
@@ -147,7 +193,7 @@ fn main() {
              \"late_deliveries\": {}, \"queue_overflow_dropped\": {}, \
              \"dropped\": {}, \"duplicated\": {}, \"corrupted\": {}, \"reordered\": {}, \
              \"virtual_time_us\": {}, \"ideal_time_us\": {}, \"inflation\": {:.4}, \
-             \"outcome_sha256\": \"{}\"}}{}\n",
+             \"outcome_sha256\": \"{}\", \"alerts\": {}, \"invariants\": \"{}\"}}{}\n",
             c.profile,
             c.seed,
             INSTANCES,
@@ -167,6 +213,8 @@ fn main() {
             s.ideal_time_us,
             s.inflation(),
             c.outcome_digest,
+            c.alerts.len(),
+            if c.invariants.is_ok() { "ok" } else { "violated" },
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
@@ -174,6 +222,27 @@ fn main() {
     match std::fs::write("BENCH_faults.json", &json) {
         Ok(()) => println!("\nwrote BENCH_faults.json ({} cells)", cells.len()),
         Err(e) => eprintln!("\ncould not write BENCH_faults.json: {e}"),
+    }
+
+    // optional exports: the canonical hostile cell's span stream, and the
+    // concatenated alert JSONL of the whole sweep — both byte-deterministic
+    if let Some(path) = &trace_out {
+        let canonical = cells.iter().find(|c| c.profile == "hostile").unwrap_or(&cells[0]);
+        match std::fs::write(path, events_to_jsonl(&canonical.events)) {
+            Ok(()) => println!(
+                "wrote {path} ({} spans, hostile cell seed {})",
+                canonical.events.len(),
+                canonical.seed
+            ),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if let Some(path) = &alerts_out {
+        let all: Vec<Alert> = cells.iter().flat_map(|c| c.alerts.clone()).collect();
+        match std::fs::write(path, alerts_to_jsonl(&all)) {
+            Ok(()) => println!("wrote {path} ({} alerts)", all.len()),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
 
     // verdict: the hostile profile injects ≥15% drops AND ≥15% duplication —
@@ -191,14 +260,24 @@ fn main() {
         .iter()
         .filter(|c| c.profile == "lossless")
         .all(|c| c.stats.retries == 0 && (c.stats.inflation() - 1.0).abs() < 1e-9);
+    let all_invariants = cells.iter().all(|c| c.invariants.is_ok());
+    let lossless_silent =
+        cells.iter().filter(|c| c.profile == "lossless").all(|c| c.alerts.is_empty());
 
     println!("\nhostile profile (15% drop, 15% dup, 10% corrupt, 10% reorder):");
     println!("  all {INSTANCES} instances completed per seed: {all_complete}");
     println!("  retry overhead bounded (≤{max_attempts}× sends, <32× time): {bounded}");
     println!("  final documents identical across seeds: {seed_independent_outcome}");
     println!("  lossless baseline fault-free: {lossless_clean}");
+    println!("  metric/alert invariants hold in every cell: {all_invariants}");
+    println!("  lossless cells raised zero alerts: {lossless_silent}");
 
-    let pass = all_complete && bounded && seed_independent_outcome && lossless_clean;
+    let pass = all_complete
+        && bounded
+        && seed_independent_outcome
+        && lossless_clean
+        && all_invariants
+        && lossless_silent;
     println!(
         "\nC7 verdict: {}",
         if pass { "FAULT TOLERANCE REPRODUCED" } else { "NOT REPRODUCED" }

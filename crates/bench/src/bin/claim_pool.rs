@@ -32,6 +32,10 @@ fn main() {
     }
     let load = t.elapsed();
     let stats = table.stats();
+    let metrics = dra_obs::MetricsRegistry::new();
+    metrics.incr("pool.documents_loaded", n as u64);
+    metrics.incr("pool.rows", stats.rows as u64);
+    metrics.incr("pool.regions", stats.regions as u64);
     println!(
         "loaded in {:.2?} ({:.0} puts/s) — {} rows across {} regions ({} splits)\n",
         load,
@@ -45,6 +49,7 @@ fn main() {
     println!("{:>8} {:>14} {:>16}", "threads", "random ops/s", "mapreduce (ms)");
     for threads in [1usize, 2, 4, 8] {
         let ops = 40_000usize;
+        metrics.incr("pool.random_ops", ops as u64);
         let counter = AtomicUsize::new(0);
         let t = Instant::now();
         std::thread::scope(|s| {
@@ -101,4 +106,5 @@ fn main() {
     println!("\nC5 verdict: random access stays flat as documents grow (range-partitioned");
     println!("regions) and MapReduce statistics scale with threads — matching the role");
     println!("HBase+Hadoop played in the paper's deployment.");
+    dra_bench::enforce_metric_invariants(&metrics);
 }

@@ -113,9 +113,13 @@ fn main() {
         "{:>8} {:>18} {:>14} {:>18}",
         "threads", "engine exec/s", "migrations", "DRA4WfMS exec/s"
     );
+    let metrics = dra_obs::MetricsRegistry::new();
     for threads in [1usize, 2, 4, 8] {
         let (engine_tput, migrations) = engine_run(instances, threads);
         let dra_tput = dra_run(instances, threads);
+        metrics.incr("scalability.instances", instances as u64);
+        metrics.incr("scalability.hops", (instances * 3) as u64);
+        metrics.incr("scalability.engine_migrations", migrations as u64);
         println!("{threads:>8} {engine_tput:>18.0} {migrations:>14} {dra_tput:>18.0}");
     }
     println!("\nNote: raw engine hops are cheap (no cryptography) but serialized by the");
@@ -124,4 +128,5 @@ fn main() {
     println!("and the coherence cost stays, add AEAs and DRA4WfMS scales linearly.");
     println!("The structural point (C4): engine migrations = 3×instances (every hop");
     println!("crosses organizations); DRA4WfMS shared-state accesses = 0.");
+    dra_bench::enforce_metric_invariants(&metrics);
 }

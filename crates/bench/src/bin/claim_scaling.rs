@@ -94,6 +94,8 @@ fn main() {
         Ok(()) => println!("\nwrote BENCH_scaling.json ({} rows)", records.len()),
         Err(e) => eprintln!("\ncould not write BENCH_scaling.json: {e}"),
     }
+    let metrics = dra_obs::MetricsRegistry::new();
+    metrics.incr("scaling.sweep_rows", records.len() as u64);
 
     if let Some(path) = trace_out {
         // deterministic logical-time trace of the sealed hand-off sweep:
@@ -108,6 +110,7 @@ fn main() {
             Ok(()) => println!("wrote {} events to {path} and {chrome_path}", events.len()),
             Err(e) => eprintln!("could not write trace: {e}"),
         }
+        metrics.incr("scaling.trace_spans", events.len() as u64);
     }
 
     let slope_ratio = late_slope / early_slope;
@@ -116,4 +119,5 @@ fn main() {
         && (0.7..1.4).contains(&slope_ratio)
         && i64_ / i8_ < a64 / a8;
     println!("\nC1 verdict: {}", if pass { "SHAPE REPRODUCED" } else { "SHAPE NOT REPRODUCED" });
+    dra_bench::enforce_metric_invariants(&metrics);
 }

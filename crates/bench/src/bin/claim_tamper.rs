@@ -71,6 +71,9 @@ fn main() {
             },
         }
     }
+    let metrics = dra_obs::MetricsRegistry::new();
+    metrics.incr("tamper.applied", applied as u64);
+    metrics.incr("tamper.detected", detected as u64);
     println!("DRA4WfMS: {applied} random single-character tampers applied");
     println!("  detected: {detected}  silently accepted: {silent_accept}");
     println!("  detection rate: {:.1}%", 100.0 * detected as f64 / applied as f64);
@@ -112,4 +115,6 @@ fn main() {
          baseline detects 0% of superuser rewrites (no detection mechanism exists).",
         100.0 * detected as f64 / applied.max(1) as f64
     );
+    metrics.incr("tamper.engine_rewrites", trials as u64);
+    dra_bench::enforce_metric_invariants(&metrics);
 }

@@ -44,8 +44,10 @@ fn main() {
     println!("{cores} CPU core(s) available — expect speedup only up to that count;");
     println!("flat-at-1-core still demonstrates the absence of lock contention):");
     println!("{:>8} {:>12} {:>14}", "threads", "docs", "docs/s");
+    let metrics = dra_obs::MetricsRegistry::new();
     for threads in (0..).map(|i| 1usize << i).take_while(|&t| t <= max_threads) {
         let total = docs_per_thread * threads;
+        metrics.incr("tfc.docs_finalized", total as u64);
         let counter = AtomicUsize::new(0);
         let started = Instant::now();
         crossbeam_scope(threads, &|_| loop {
@@ -61,6 +63,7 @@ fn main() {
     }
     println!("\nC2 verdict: the TFC parallelizes across documents (stateless notary),");
     println!("and per-document TFC cost ≈ AEA cost — the TFC is not the bottleneck.");
+    dra_bench::enforce_metric_invariants(&metrics);
 }
 
 /// Tiny scoped-thread helper (keeps the dependency surface inside dra-bench

@@ -1,0 +1,62 @@
+//! The CI perf-regression tripwire: hold a fresh `BENCH_profile.json`
+//! against the checked-in baseline under explicit tolerances, and exit
+//! nonzero on any violation.
+//!
+//! Profiles are virtual-time, hence deterministic: a failure is a real
+//! behavioural regression (more hops, more retries, longer waits), never
+//! machine noise. Regenerate the baseline deliberately after an intended
+//! change:
+//!
+//! ```sh
+//! cargo run --release -p dra-bench --bin claim_profile
+//! cp BENCH_profile.json perf/BENCH_profile.baseline.json
+//! ```
+//!
+//! Run with: `cargo run --release -p dra-bench --bin perf_gate -- \
+//!     BENCH_profile.json perf/BENCH_profile.baseline.json perf/perf_tolerances.json`
+
+use dra_bench::perfgate::{gate, parse_profile, parse_tolerances, report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [new_path, base_path, tol_path] = match args.as_slice() {
+        [a, b, c] => [a.clone(), b.clone(), c.clone()],
+        _ => {
+            eprintln!("usage: perf_gate <new-profile.json> <baseline.json> <tolerances.json>");
+            std::process::exit(2);
+        }
+    };
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let new = parse_profile(&read(&new_path));
+    let baseline = parse_profile(&read(&base_path));
+    let tol = parse_tolerances(&read(&tol_path)).unwrap_or_else(|| {
+        eprintln!("perf_gate: {tol_path} is malformed (no default_pct)");
+        std::process::exit(2);
+    });
+
+    if baseline.is_empty() {
+        eprintln!("perf_gate: baseline {base_path} contains no stages");
+        std::process::exit(2);
+    }
+
+    println!(
+        "perf gate: {} baseline stages, default tolerance +{}%\n",
+        baseline.len(),
+        tol.default_pct
+    );
+    print!("{}", report(&baseline, &new, &tol));
+
+    let violations = gate(&baseline, &new, &tol);
+    if violations.is_empty() {
+        println!("\nperf gate: PASS");
+    } else {
+        println!("\nperf gate: FAIL ({} violation(s))", violations.len());
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,23 @@
 
 pub mod chain;
 pub mod fig9;
+pub mod perfgate;
 pub mod table;
 
 pub use fig9::{run_fig9_trace, StepRecord};
+
+/// End-of-bin metric gate shared by every `claim_*` binary: run the
+/// cross-layer accounting invariants on whatever the bin recorded and exit
+/// nonzero on a violation. Bins that never touch the delivery layer still
+/// pass through here — the invariants degrade gracefully when the
+/// delivery/alert counters are absent, and the call keeps every bin honest
+/// about the books it *does* keep.
+pub fn enforce_metric_invariants(metrics: &dra_obs::MetricsRegistry) {
+    match dra_cloud::check_metric_invariants(&metrics.snapshot()) {
+        Ok(()) => println!("metric invariants: ok"),
+        Err(e) => {
+            eprintln!("metric invariants VIOLATED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

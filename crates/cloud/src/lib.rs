@@ -29,7 +29,11 @@
 //! * [`runner`] — an end-to-end scenario driver ([`InstanceRun`]) that
 //!   pushes whole process instances through AEAs, the TFC and the portals
 //!   (including AND-split branching and AND-join merging), optionally over
-//!   a fault-injecting delivery channel.
+//!   a fault-injecting delivery channel,
+//! * [`monitor`] — an online [`HealthMonitor`] sink over the live span
+//!   stream: typed deterministic alerts (stuck instance, retry storm,
+//!   crash loop, SLO breach) in virtual time, fed back into the runner so
+//!   the supervisor can act on observation instead of only lease expiry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +41,7 @@
 pub mod crash;
 pub mod delivery;
 pub mod faults;
+pub mod monitor;
 pub mod netsim;
 pub mod obs;
 pub mod portal;
@@ -46,6 +51,7 @@ pub mod trustcache;
 pub use crash::{CrashPlan, CrashPoint};
 pub use delivery::{Delivery, DeliveryPolicy, DeliveryStats};
 pub use faults::{FaultCounts, FaultProfile, FaultyNetwork};
+pub use monitor::{alerts_to_jsonl, Alert, AlertKind, HealthMonitor, HealthPolicy};
 pub use netsim::NetworkSim;
 pub use obs::{check_metric_invariants, tracer_for};
 pub use portal::{CloudSystem, PortalStats, StoreAck, TodoEntry};

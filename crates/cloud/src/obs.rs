@@ -28,7 +28,16 @@ pub fn tracer_for(network: &Arc<NetworkSim>) -> Tracer {
 /// * `delivery.attempts ≥ delivery.sends` — each send costs at least one
 ///   attempt;
 /// * `delivery.journal_replays ≤ delivery.crashes_injected` — replay only
-///   ever repairs a crash that was actually injected.
+///   ever repairs a crash that was actually injected;
+/// * `alerts.stuck ≤ run.takeovers + run.timeouts` — every observed stall
+///   is matched by a supervisor action (a takeover or a waited-out lease):
+///   the monitor may act early, but never sees more stalls than the
+///   supervisor handled;
+/// * on a fault-free run (no injected faults, no crashes, no retries, no
+///   supervisor takeovers or lease timeouts, no journal replays) the
+///   monitor must stay silent: `alerts.stuck + alerts.retry_storm +
+///   alerts.crash_loop == 0`. `alerts.slo_breach` is deliberately exempt —
+///   an SLO can be missed by honest slowness with nothing injected at all.
 ///
 /// Counters a run never touched read as zero, so the checks degrade
 /// gracefully on direct-path (no-delivery) runs. Returns a description of
@@ -54,6 +63,37 @@ pub fn check_metric_invariants(snapshot: &MetricsSnapshot) -> Result<(), String>
             "journal_replays ({replays}) > crashes_injected ({crashes}): \
              replay repaired more crashes than were injected"
         ));
+    }
+    let stuck = snapshot.counter("alerts.stuck");
+    let takeovers = snapshot.counter("run.takeovers");
+    let timeouts = snapshot.counter("run.timeouts");
+    if stuck > takeovers + timeouts {
+        return Err(format!(
+            "alerts.stuck ({stuck}) > run.takeovers ({takeovers}) + run.timeouts ({timeouts}): \
+             the monitor saw stalls the supervisor never handled"
+        ));
+    }
+    // takeovers/timeouts/replays count as crash evidence too: agent, TFC
+    // and portal crashes are injected outside the delivery layer, so
+    // `delivery.crashes_injected` alone would miss them and falsely demand
+    // silence from a monitor that correctly flagged a stalled hop
+    let fault_free = crashes == 0
+        && takeovers == 0
+        && timeouts == 0
+        && replays == 0
+        && snapshot.counter("delivery.retries") == 0
+        && ["dropped", "duplicated", "reordered", "delayed_us", "corrupted"]
+            .iter()
+            .all(|f| snapshot.counter(&format!("delivery.faults.{f}")) == 0);
+    if fault_free {
+        let noise =
+            stuck + snapshot.counter("alerts.retry_storm") + snapshot.counter("alerts.crash_loop");
+        if noise > 0 {
+            return Err(format!(
+                "{noise} fault alert(s) on a fault-free run: \
+                 the monitor raised false alarms with nothing injected"
+            ));
+        }
     }
     Ok(())
 }

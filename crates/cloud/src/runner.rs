@@ -32,6 +32,7 @@
 //! portal's wire-digest idempotency suppresses the duplicate.
 
 use crate::delivery::{Delivery, DeliveryStats};
+use crate::monitor::HealthMonitor;
 use crate::portal::CloudSystem;
 use dra4wfms_core::flow::merge_documents;
 use dra4wfms_core::prelude::*;
@@ -97,6 +98,8 @@ pub struct InstanceRun<'a> {
     supervisor: SupervisorPolicy,
     tracer: Tracer,
     metrics: Option<&'a MetricsRegistry>,
+    monitor: Option<Arc<HealthMonitor>>,
+    slo_us: Option<u64>,
 }
 
 impl<'a> InstanceRun<'a> {
@@ -113,6 +116,8 @@ impl<'a> InstanceRun<'a> {
             supervisor: SupervisorPolicy::default(),
             tracer: Tracer::disabled(),
             metrics: None,
+            monitor: None,
+            slo_us: None,
         }
     }
 
@@ -164,6 +169,26 @@ impl<'a> InstanceRun<'a> {
         self
     }
 
+    /// Watch the run with an online [`HealthMonitor`] and let the
+    /// supervisor act on its observations: a crashed hop is taken over as
+    /// soon as the monitor declares the instance stuck
+    /// (`progress_deadline_us`) instead of pessimistically waiting out the
+    /// full lease. The runner registers the monitor as a sink on its
+    /// tracer (`add_sink` is idempotent, so sharing one monitor across
+    /// many runs of a deployment is fine).
+    pub fn monitor(mut self, monitor: &Arc<HealthMonitor>) -> InstanceRun<'a> {
+        self.monitor = Some(Arc::clone(monitor));
+        self
+    }
+
+    /// Declare an end-to-end SLO (virtual µs) for this instance: when a
+    /// [`HealthMonitor`] is installed and the run takes longer, it raises
+    /// an `SloBreach` alert.
+    pub fn slo_us(mut self, slo_us: u64) -> InstanceRun<'a> {
+        self.slo_us = Some(slo_us);
+        self
+    }
+
     /// Export end-of-run counters into `metrics`: `run.steps`, the
     /// `delivery.*` family, the portal / trust-cache / journal family via
     /// [`CloudSystem::export_metrics`], `tfc.redo_reuses` (advanced model)
@@ -199,6 +224,10 @@ impl<'a> InstanceRun<'a> {
                 "definition uses the advanced model but no TFC server was provided".into(),
             ));
         }
+        if let Some(mon) = &self.monitor {
+            self.tracer.add_sink(Arc::clone(mon) as Arc<dyn dra_obs::TraceSink>);
+            mon.instance_started(&pid, self.slo_us, self.tracer.now_us());
+        }
 
         // the initial document enters the pool; the start activity is
         // notified
@@ -218,6 +247,7 @@ impl<'a> InstanceRun<'a> {
         let mut last_doc = sealed_initial;
         let mut leases_expired = 0u64;
         let mut crashes_supervised = 0u64;
+        let mut early_takeovers = 0u64;
         let replays_at_start = system.journal_replays();
 
         while let Some(activity) = queue.pop_front() {
@@ -275,8 +305,25 @@ impl<'a> InstanceRun<'a> {
                         takeovers_left -= 1;
                         leases_expired += 1;
                         crashes_supervised += 1;
-                        // the dead agent's lease runs out in virtual time ...
-                        system.network.advance(self.supervisor.lease_us);
+                        // the dead agent's lease runs out in virtual time —
+                        // unless a monitor is watching, in which case the
+                        // supervisor moves the moment the instance is
+                        // *observed* stuck (observability driving
+                        // robustness: act earlier, never differently)
+                        let wait_us = match &self.monitor {
+                            Some(mon) => {
+                                let until_stuck = mon.time_until_stuck(&pid, self.tracer.now_us());
+                                until_stuck.min(self.supervisor.lease_us)
+                            }
+                            None => self.supervisor.lease_us,
+                        };
+                        system.network.advance(wait_us);
+                        if let Some(mon) = &self.monitor {
+                            mon.tick(self.tracer.now_us());
+                            if wait_us < self.supervisor.lease_us {
+                                early_takeovers += 1;
+                            }
+                        }
                         // ... crashed portals restart (journal replay
                         // completes any half-done admission) ...
                         system.recover_portals();
@@ -320,15 +367,29 @@ impl<'a> InstanceRun<'a> {
             stats.journal_replays = replays;
         }
 
+        if let Some(mon) = &self.monitor {
+            mon.instance_finished(&pid, self.tracer.now_us());
+        }
+
         if let Some(m) = self.metrics {
             if let Some(stats) = delivery.as_ref() {
                 stats.export_metrics(m);
             }
             system.export_metrics(m);
-            m.set_counter("run.steps", steps as u64);
-            m.set_counter("run.signature_checks", signature_checks as u64);
+            // additive, not overwriting: bench cells run many instances
+            // against one shared registry (and one shared monitor), and the
+            // alert-accounting invariants compare *cumulative* alert counts
+            // against these — so they must accumulate too
+            m.incr("run.steps", steps as u64);
+            m.incr("run.signature_checks", signature_checks as u64);
+            m.incr("run.takeovers", crashes_supervised);
+            m.incr("run.timeouts", leases_expired);
+            m.incr("run.early_takeovers", early_takeovers);
             if let Some(tfc) = self.tfc {
                 m.set_counter("tfc.redo_reuses", tfc.redo_reuses());
+            }
+            if let Some(mon) = &self.monitor {
+                mon.export_metrics(m);
             }
         }
 

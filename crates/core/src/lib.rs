@@ -105,7 +105,7 @@ pub mod prelude {
     pub use crate::model::{
         Activity, Condition, FieldRef, JoinKind, Target, Transition, WorkflowDefinition,
     };
-    pub use crate::monitor::ProcessStatus;
+    pub use crate::monitor::{ProcessStatus, SloReport};
     pub use crate::policy::{FieldRule, Readers, SecurityPolicy};
     pub use crate::reconcile::{reconcile, ReconcileError, ReconcileReport};
     pub use crate::scope::{all_scopes, nonrepudiation_scope};

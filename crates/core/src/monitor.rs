@@ -93,6 +93,21 @@ impl ProcessStatus {
         }
     }
 
+    /// Check the document-recorded end-to-end latency against an SLO.
+    ///
+    /// This is the *document-time* complement of the cloud crate's online
+    /// `HealthMonitor`: the monitor judges virtual wall time while the run
+    /// executes, this judges the TFC-witnessed timestamps the signed
+    /// document carries after the fact — so an auditor can hold a
+    /// completed document against its SLO without any trace at all.
+    /// `elapsed_ms` is `None` on the basic model (no TFC timestamps),
+    /// which never counts as a breach: absence of evidence stays
+    /// inconclusive, matching the advisory-alert philosophy.
+    pub fn check_slo(&self, slo_ms: u64) -> SloReport {
+        let elapsed_ms = self.elapsed_millis();
+        SloReport { slo_ms, elapsed_ms, breached: elapsed_ms.is_some_and(|e| e > slo_ms) }
+    }
+
     /// Human-readable audit trail, one line per execution.
     pub fn audit_trail(&self) -> String {
         let mut out = format!("process {} ({})\n", self.process_id, self.workflow);
@@ -107,6 +122,19 @@ impl ProcessStatus {
         }
         out
     }
+}
+
+/// Result of holding a completed document against its SLO
+/// ([`ProcessStatus::check_slo`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SloReport {
+    /// The declared SLO, in TFC-timestamp milliseconds.
+    pub slo_ms: u64,
+    /// Document-witnessed end-to-end latency (`None` without TFC
+    /// timestamps — basic model).
+    pub elapsed_ms: Option<u64>,
+    /// True only when witnessed latency exceeds the SLO.
+    pub breached: bool,
 }
 
 /// Activities of `def` that have never executed in `doc` (coarse progress
@@ -197,6 +225,35 @@ mod tests {
         let s = ProcessStatus::from_document(&doc).unwrap();
         assert_eq!(s.counts_per_activity()["A"], 2);
         assert_eq!(s.elapsed_millis(), Some(150));
+    }
+
+    #[test]
+    fn slo_check_uses_witnessed_timestamps() {
+        let (doc, _) = fixture_doc();
+        let s = ProcessStatus::from_document(&doc).unwrap();
+        // 150 ms elapsed: a 150 ms SLO holds (breach is strict), 149 breaks
+        assert_eq!(
+            s.check_slo(150),
+            SloReport { slo_ms: 150, elapsed_ms: Some(150), breached: false }
+        );
+        assert!(s.check_slo(149).breached);
+    }
+
+    #[test]
+    fn slo_check_is_inconclusive_without_timestamps() {
+        let designer = Credentials::from_seed("designer", "d");
+        let def = WorkflowDefinition::builder("basic", "designer")
+            .simple_activity("A", "p", &["f"])
+            .flow_end("A")
+            .build()
+            .unwrap();
+        let doc =
+            DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &designer, "pid-b")
+                .unwrap();
+        let s = ProcessStatus::from_document(&doc).unwrap();
+        let report = s.check_slo(1);
+        assert_eq!(report.elapsed_ms, None);
+        assert!(!report.breached, "no witnessed time never counts as a breach");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! scenario runner, which deliberately ends hop spans with the `"crash"`
 //! outcome so recovery is visible in the timeline.
 
+use crate::sink::{BufferSink, TraceSink};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -96,7 +97,11 @@ impl TraceEvent {
 struct TracerInner {
     clock: Clock,
     seq: AtomicU64,
-    events: Mutex<Vec<TraceEvent>>,
+    /// The default subscriber backing [`Tracer::events`] — buffered export
+    /// is just one sink among many.
+    buffer: Arc<BufferSink>,
+    /// Every subscriber, the buffer included, notified per closed span.
+    sinks: Mutex<Vec<Arc<dyn TraceSink>>>,
 }
 
 /// A recording handle. Clone freely — all clones share one event buffer.
@@ -108,11 +113,7 @@ pub struct Tracer {
 impl fmt::Debug for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.inner {
-            Some(inner) => write!(
-                f,
-                "Tracer(enabled, {} events)",
-                inner.events.lock().map(|e| e.len()).unwrap_or(0)
-            ),
+            Some(inner) => write!(f, "Tracer(enabled, {} events)", inner.buffer.len()),
             None => write!(f, "Tracer(disabled)"),
         }
     }
@@ -127,12 +128,29 @@ impl Tracer {
 
     /// A recording tracer stamped by `clock` (microseconds).
     pub fn new(clock: Clock) -> Tracer {
+        let buffer = Arc::new(BufferSink::new());
         Tracer {
             inner: Some(Arc::new(TracerInner {
                 clock,
                 seq: AtomicU64::new(0),
-                events: Mutex::new(Vec::new()),
+                buffer: Arc::clone(&buffer),
+                sinks: Mutex::new(vec![buffer]),
             })),
+        }
+    }
+
+    /// Subscribe `sink` to every span closed from now on. Sinks are
+    /// notified synchronously, in `seq` order, after the tracer's own
+    /// buffer. Idempotent: installing the same `Arc` again is a no-op, so
+    /// a long-lived subscriber (e.g. a health monitor re-registered by
+    /// every run of a shared deployment) never sees a span twice. No-op on
+    /// a disabled tracer.
+    pub fn add_sink(&self, sink: Arc<dyn TraceSink>) {
+        if let Some(inner) = &self.inner {
+            let mut sinks = inner.sinks.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if !sinks.iter().any(|s| Arc::ptr_eq(s, &sink)) {
+                sinks.push(sink);
+            }
         }
     }
 
@@ -186,7 +204,7 @@ impl Tracer {
     /// Snapshot every recorded event, in recording order.
     pub fn events(&self) -> Vec<TraceEvent> {
         match &self.inner {
-            Some(inner) => inner.events.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+            Some(inner) => inner.buffer.events(),
             None => Vec::new(),
         }
     }
@@ -194,7 +212,7 @@ impl Tracer {
     /// Number of recorded events.
     pub fn len(&self) -> usize {
         match &self.inner {
-            Some(inner) => inner.events.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            Some(inner) => inner.buffer.len(),
             None => 0,
         }
     }
@@ -204,16 +222,11 @@ impl Tracer {
         self.len() == 0
     }
 
-    /// Drop every recorded event (the buffer stays usable).
+    /// Drop every recorded event (the buffer stays usable; other sinks keep
+    /// whatever they aggregated).
     pub fn clear(&self) {
         if let Some(inner) = &self.inner {
-            inner.events.lock().unwrap_or_else(|e| e.into_inner()).clear();
-        }
-    }
-
-    fn record(&self, event: TraceEvent) {
-        if let Some(inner) = &self.inner {
-            inner.events.lock().unwrap_or_else(|e| e.into_inner()).push(event);
+            inner.buffer.clear();
         }
     }
 }
@@ -309,19 +322,31 @@ impl Span {
             outcome: outcome.to_string(),
             attrs: self.attrs,
         };
-        inner.events.lock().unwrap_or_else(|e| e.into_inner()).push(event);
+        inner.dispatch(&event);
     }
 }
 
-// `record` is used via Tracer::record for synthetic events in tests; keep
-// the door open without exposing the inner type.
+impl TracerInner {
+    /// Fan a closed span out to every subscriber. The sink list lock is
+    /// held across the fan-out so concurrent closers deliver whole events
+    /// in `seq` order; sinks must not call back into the tracer.
+    fn dispatch(&self, event: &TraceEvent) {
+        let sinks = self.sinks.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for sink in sinks.iter() {
+            sink.on_span(event);
+        }
+    }
+}
+
+// Synthetic events (tests, replayed timelines) enter through the same
+// dispatch path as real spans, so sinks cannot tell them apart.
 impl Tracer {
     /// Append a fully formed event (testing / synthetic timelines). The
     /// event's `seq` is overwritten to preserve the tracer's total order.
     pub fn record_event(&self, mut event: TraceEvent) {
         if let Some(inner) = &self.inner {
             event.seq = inner.seq.fetch_add(1, Ordering::Relaxed);
-            self.record(event);
+            inner.dispatch(&event);
         }
     }
 }

@@ -15,7 +15,13 @@
 //!   and replay counters, trust-cache hits) behind one deterministic
 //!   [`MetricsSnapshot`];
 //! * [`export`] — JSONL and Chrome-trace (`chrome://tracing`) exporters
-//!   whose output is byte-deterministic for a fixed seed.
+//!   whose output is byte-deterministic for a fixed seed;
+//! * [`sink`] — streaming [`TraceSink`] subscribers pushed every span the
+//!   moment it closes, so online consumers (health monitors, live
+//!   exporters) watch the run *as it executes* rather than after the fact;
+//! * [`profile`] — a span-tree latency-attribution profiler
+//!   ([`LatencyProfile`]) splitting each stage's time into self vs child
+//!   and ranking the top-k hot stages, feeding the bench regression gate.
 //!
 //! The trace is deliberately *not* trusted: `dra4wfms-core`'s `reconcile`
 //! oracle replays the timeline the signed document proves and checks the
@@ -28,11 +34,30 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+// Pedantic lints we deliberately do not follow. Casts are ubiquitous and
+// audited at the call site (virtual-time µs fit u64/f64 comfortably);
+// wildcards-for-matches and long-doc exceptions keep the source readable.
+#![allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::module_name_repetitions,
+    clippy::must_use_candidate,
+    clippy::missing_panics_doc,
+    clippy::doc_markdown,
+    clippy::format_push_string,
+    clippy::needless_pass_by_value
+)]
 
 pub mod event;
 pub mod export;
 pub mod metrics;
+pub mod profile;
+pub mod sink;
 
 pub use event::{stage, Clock, Span, TraceEvent, Tracer, OUTCOME_CRASH, OUTCOME_OK};
 pub use export::{events_to_chrome, events_to_jsonl, json_escape};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use profile::{LatencyProfile, StageProfile};
+pub use sink::{BufferSink, CountingSink, TraceSink};

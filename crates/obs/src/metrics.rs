@@ -31,12 +31,57 @@ pub struct HistogramSnapshot {
 
 impl HistogramSnapshot {
     /// Mean observed value (0 when empty).
+    #[must_use]
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Approximate quantile `q ∈ (0, 1]` from the power-of-two buckets:
+    /// the upper bound of the bucket the nearest-rank observation falls
+    /// into, clamped to the observed `max` (and `min`). Exact for
+    /// single-valued buckets (0 and 1), at worst 2× for the rest — the
+    /// resolution the buckets were chosen for. Returns 0 when empty.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // nearest-rank: the smallest bucket whose cumulative count covers
+        // ceil(q * count) observations
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // bucket 0 holds only value 0; bucket b ≥ 1 covers
+                // [2^(b-1), 2^b - 1]
+                let upper = if b == 0 { 0 } else { (1u64 << b.min(63)) - 1 };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (approximate, see [`HistogramSnapshot::percentile`]).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile (approximate).
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile (approximate).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
     }
 }
 
@@ -96,43 +141,46 @@ impl MetricsRegistry {
 
     /// Add `delta` to counter `name` (created at 0).
     pub fn incr(&self, name: &str, delta: u64) {
-        let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let mut counters = self.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         *counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
     /// Overwrite counter `name` with an absolute total — the export path
     /// for pre-aggregated stats structs, which already hold run totals.
     pub fn set_counter(&self, name: &str, value: u64) {
-        let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let mut counters = self.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         counters.insert(name.to_string(), value);
     }
 
     /// Current value of counter `name` (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
-        let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let counters = self.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         counters.get(name).copied().unwrap_or(0)
     }
 
     /// Set gauge `name`.
     pub fn set_gauge(&self, name: &str, value: i64) {
-        let mut gauges = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        let mut gauges = self.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         gauges.insert(name.to_string(), value);
     }
 
     /// Record one observation into histogram `name`.
     pub fn observe(&self, name: &str, value: u64) {
-        let mut histograms = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        let mut histograms =
+            self.histograms.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         histograms.entry(name.to_string()).or_default().observe(value);
     }
 
     /// A point-in-time, deterministically ordered snapshot.
+    #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self.counters.lock().unwrap_or_else(|e| e.into_inner()).clone();
-        let gauges = self.gauges.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let counters =
+            self.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+        let gauges = self.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
         let histograms = self
             .histograms
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(k, h)| (k.clone(), h.snapshot()))
             .collect();
@@ -161,6 +209,7 @@ impl MetricsSnapshot {
 
     /// Render as a deterministic JSON object:
     /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (k, v)) in self.counters.iter().enumerate() {
@@ -181,21 +230,25 @@ impl MetricsSnapshot {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!(
-                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
-                crate::export::json_escape(k),
-                h.count,
-                h.sum,
-                h.min,
-                h.max
-            ));
+            // keys sorted alphabetically so the rendering stays stable as
+            // summary fields accrete
+            out.push_str(&format!("\"{}\":{{\"buckets\":[", crate::export::json_escape(k)));
             for (j, b) in h.buckets.iter().enumerate() {
                 if j > 0 {
                     out.push(',');
                 }
                 out.push_str(&b.to_string());
             }
-            out.push_str("]}");
+            out.push_str(&format!(
+                "],\"count\":{},\"max\":{},\"min\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"sum\":{}}}",
+                h.count,
+                h.max,
+                h.min,
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.sum
+            ));
         }
         out.push_str("}}");
         out
@@ -255,9 +308,59 @@ mod tests {
     fn empty_snapshot_renders() {
         let snap = MetricsRegistry::new().snapshot();
         assert_eq!(snap.to_json(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
-        assert_eq!(
-            HistogramSnapshot { count: 0, sum: 0, min: 0, max: 0, buckets: vec![] }.mean(),
-            0.0
+        let empty = HistogramSnapshot { count: 0, sum: 0, min: 0, max: 0, buckets: vec![] };
+        assert!(empty.mean().abs() < f64::EPSILON);
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+    }
+
+    #[test]
+    fn percentiles_from_power_of_two_buckets() {
+        let m = MetricsRegistry::new();
+        // 100 observations: 50× 1, 45× 100, 5× 1000
+        for _ in 0..50 {
+            m.observe("lat", 1);
+        }
+        for _ in 0..45 {
+            m.observe("lat", 100);
+        }
+        for _ in 0..5 {
+            m.observe("lat", 1000);
+        }
+        let h = &m.snapshot().histograms["lat"];
+        assert_eq!(h.p50(), 1, "bucket 1 is exact");
+        // 100 lives in bucket 7 ([64, 127]); nearest-rank 95 falls there
+        assert_eq!(h.p95(), 127);
+        // 1000 lives in bucket 10 ([512, 1023]); upper bound clamps to max
+        assert_eq!(h.p99(), 1000);
+        assert_eq!(h.percentile(1.0), 1000);
+    }
+
+    #[test]
+    fn percentile_of_uniform_value_is_that_value() {
+        let m = MetricsRegistry::new();
+        for _ in 0..10 {
+            m.observe("h", 7);
+        }
+        let h = &m.snapshot().histograms["h"];
+        // single-bucket histogram: min == max == 7 clamps the bucket bound
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.p99(), 7);
+    }
+
+    #[test]
+    fn histogram_json_has_sorted_summary_keys() {
+        let m = MetricsRegistry::new();
+        for v in [0u64, 1, 1, 3, 8] {
+            m.observe("h", v);
+        }
+        let json = m.snapshot().to_json();
+        assert!(
+            json.contains(
+                "\"h\":{\"buckets\":[1,2,1,0,1],\"count\":5,\"max\":8,\"min\":0,\
+                 \"p50\":1,\"p95\":8,\"p99\":8,\"sum\":13}"
+            ),
+            "got: {json}"
         );
     }
 }

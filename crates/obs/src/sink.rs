@@ -1,0 +1,166 @@
+//! Streaming span consumption: [`TraceSink`] subscribers that see every
+//! span the moment it closes.
+//!
+//! PR 4 gave the runtime *passive* observability — spans accumulate in the
+//! tracer's buffer and are exported after the run ends. In an engine-less
+//! system nobody is watching while execution happens: a stuck hop or a
+//! retry storm is only discovered when a bench run finishes. A
+//! [`TraceSink`] turns the buffer into one subscriber among many: every
+//! [`Span::end`](crate::Span::end) pushes the closed [`TraceEvent`] to each
+//! installed sink synchronously, in `seq` order, so online consumers (the
+//! cloud crate's `HealthMonitor`, a live exporter, a test probe) observe
+//! the run *as it executes* — still in deterministic virtual time.
+//!
+//! Sinks must tolerate being called from whatever thread closes the span
+//! and must not call back into the tracer (the event buffer lock is not
+//! held during fan-out, but re-entrant span recording from inside a sink
+//! would interleave `seq` in surprising ways).
+
+use crate::event::TraceEvent;
+use std::sync::Mutex;
+
+/// A subscriber notified of every span as it closes.
+///
+/// Implementations should be cheap and non-blocking: they run inline on
+/// the instrumented path. Anything expensive belongs in a sink that only
+/// aggregates online and defers rendering to the end of the run.
+pub trait TraceSink: Send + Sync {
+    /// Called once per closed span, in recording (`seq`) order.
+    fn on_span(&self, event: &TraceEvent);
+}
+
+/// The classic buffered exporter as a sink: collects every event for
+/// end-of-run export. Every [`Tracer`](crate::Tracer) installs one by
+/// default, which is what `Tracer::events()` reads.
+#[derive(Default)]
+pub struct BufferSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl BufferSink {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> BufferSink {
+        BufferSink::default()
+    }
+
+    /// Snapshot every collected event, in recording order.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Number of collected events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// Whether nothing has been collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every collected event (the buffer stays usable).
+    pub fn clear(&self) {
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn on_span(&self, event: &TraceEvent) {
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(event.clone());
+    }
+}
+
+/// A sink that merely counts spans — handy for tests and cheap liveness
+/// probes ("did anything happen since I last looked?").
+#[derive(Default)]
+pub struct CountingSink {
+    count: std::sync::atomic::AtomicU64,
+}
+
+impl CountingSink {
+    /// A zeroed counter.
+    #[must_use]
+    pub fn new() -> CountingSink {
+        CountingSink::default()
+    }
+
+    /// Spans observed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn on_span(&self, _event: &TraceEvent) {
+        self.count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Tracer;
+    use std::sync::Arc;
+
+    #[test]
+    fn buffer_sink_collects_in_order() {
+        let sink = Arc::new(BufferSink::new());
+        let t = Tracer::sequential();
+        t.add_sink(Arc::<BufferSink>::clone(&sink));
+        t.span("a").end();
+        t.span("b").end();
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+        assert_eq!(events[0].stage, "a");
+        assert_eq!(events[1].stage, "b");
+        assert_eq!(events, t.events(), "extra sink sees exactly what the default buffer sees");
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(t.len(), 2, "clearing one sink leaves the tracer's own buffer alone");
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let sink = Arc::new(CountingSink::new());
+        let t = Tracer::zero();
+        t.add_sink(Arc::<CountingSink>::clone(&sink));
+        assert_eq!(sink.count(), 0);
+        t.span("x").end();
+        t.span("y").end_with("failed");
+        let dropped = t.span("z");
+        drop(dropped);
+        assert_eq!(sink.count(), 2, "dropped spans never reach sinks");
+    }
+
+    #[test]
+    fn re_adding_the_same_sink_is_a_no_op() {
+        let sink = Arc::new(CountingSink::new());
+        let t = Tracer::zero();
+        t.add_sink(Arc::<CountingSink>::clone(&sink));
+        t.add_sink(Arc::<CountingSink>::clone(&sink));
+        t.span("x").end();
+        assert_eq!(sink.count(), 1, "idempotent install: one notification per span");
+        // a distinct sink instance is a genuine second subscriber
+        let other = Arc::new(CountingSink::new());
+        t.add_sink(Arc::<CountingSink>::clone(&other));
+        t.span("y").end();
+        assert_eq!(sink.count(), 2);
+        assert_eq!(other.count(), 1);
+    }
+
+    #[test]
+    fn sinks_on_disabled_tracer_are_never_called() {
+        let sink = Arc::new(CountingSink::new());
+        let t = Tracer::disabled();
+        t.add_sink(Arc::<CountingSink>::clone(&sink));
+        t.span("x").end();
+        assert_eq!(sink.count(), 0);
+    }
+}
