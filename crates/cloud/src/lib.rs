@@ -33,7 +33,14 @@
 //! * [`monitor`] — an online [`HealthMonitor`] sink over the live span
 //!   stream: typed deterministic alerts (stuck instance, retry storm,
 //!   crash loop, SLO breach) in virtual time, fed back into the runner so
-//!   the supervisor can act on observation instead of only lease expiry.
+//!   the supervisor can act on observation instead of only lease expiry,
+//! * [`sched`] — the event-driven execution core: portal admissions emit
+//!   typed [`Activation`]s onto a deployment-wide [`ActivationBus`], and a
+//!   [`Scheduler`] drains them in deterministic virtual-time order to
+//!   dispatch hops — so `notify` wakes the next participant at O(1), and
+//!   whole fleets of instances interleave over shared portals, delivery,
+//!   leases and the monitor ([`InstanceRun`] is a single-instance facade
+//!   over it).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +53,7 @@ pub mod netsim;
 pub mod obs;
 pub mod portal;
 pub mod runner;
+pub mod sched;
 pub mod trustcache;
 
 pub use crash::{CrashPlan, CrashPoint};
@@ -56,4 +64,5 @@ pub use netsim::NetworkSim;
 pub use obs::{check_metric_invariants, tracer_for};
 pub use portal::{CloudSystem, PortalStats, StoreAck, TodoEntry};
 pub use runner::{InstanceRun, Responder, RunOutcome, SupervisorPolicy};
+pub use sched::{Activation, ActivationBus, SchedStats, Scheduler};
 pub use trustcache::TrustCache;

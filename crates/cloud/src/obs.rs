@@ -37,7 +37,15 @@ pub fn tracer_for(network: &Arc<NetworkSim>) -> Tracer {
 ///   supervisor takeovers or lease timeouts, no journal replays) the
 ///   monitor must stay silent: `alerts.stuck + alerts.retry_storm +
 ///   alerts.crash_loop == 0`. `alerts.slo_breach` is deliberately exempt —
-///   an SLO can be missed by honest slowness with nothing injected at all.
+///   an SLO can be missed by honest slowness with nothing injected at all;
+/// * `sched.activations == portal.notifications` — every TO-DO
+///   notification a portal published reached the activation bus exactly
+///   once: none lost, none fabricated;
+/// * `sched.dispatched ≤ sched.activations` — the scheduler never executes
+///   a hop it was not woken for;
+/// * on a fault-free run that actually dispatched hops, the bus drains to
+///   empty (`sched.bus_depth == 0`): with no duplicates in flight, every
+///   wake-up is consumed.
 ///
 /// Counters a run never touched read as zero, so the checks degrade
 /// gracefully on direct-path (no-delivery) runs. Returns a description of
@@ -92,6 +100,30 @@ pub fn check_metric_invariants(snapshot: &MetricsSnapshot) -> Result<(), String>
             return Err(format!(
                 "{noise} fault alert(s) on a fault-free run: \
                  the monitor raised false alarms with nothing injected"
+            ));
+        }
+    }
+    let activations = snapshot.counter("sched.activations");
+    let notifications = snapshot.counter("portal.notifications");
+    if activations != notifications {
+        return Err(format!(
+            "sched.activations ({activations}) != portal.notifications ({notifications}): \
+             a TO-DO notification was lost or fabricated on the bus"
+        ));
+    }
+    let dispatched = snapshot.counter("sched.dispatched");
+    if dispatched > activations {
+        return Err(format!(
+            "sched.dispatched ({dispatched}) > sched.activations ({activations}): \
+             the scheduler executed hops it was never woken for"
+        ));
+    }
+    if fault_free && dispatched > 0 {
+        let depth = snapshot.gauge("sched.bus_depth");
+        if depth != 0 {
+            return Err(format!(
+                "sched.bus_depth ({depth}) != 0 after a fault-free drain: \
+                 activations were left stranded on the bus"
             ));
         }
     }

@@ -8,6 +8,7 @@
 
 use crate::crash::{CrashPlan, CrashPoint};
 use crate::netsim::NetworkSim;
+use crate::sched::{Activation, ActivationBus};
 use crate::trustcache::TrustCache;
 use dra4wfms_core::monitor::ProcessStatus;
 use dra4wfms_core::prelude::*;
@@ -65,6 +66,11 @@ pub struct PortalStats {
     /// Store requests recognised by wire digest as already stored and
     /// suppressed (duplicate copies on a faulty network).
     pub duplicates_suppressed: AtomicUsize,
+    /// TO-DO notifications published as typed [`Activation`]s: one per
+    /// routed target on admission, plus replay re-emissions and duplicate
+    /// re-notifications. Must equal the bus's emission count
+    /// (`sched.activations == portal.notifications`).
+    pub notifications: AtomicUsize,
 }
 
 /// The DRA4WfMS cloud system: a pool of documents behind `n` portal servers.
@@ -85,6 +91,11 @@ pub struct CloudSystem {
     /// its full put batch before touching the pool, so a portal crash
     /// between two rows is repaired by [`CloudSystem::recover_portals`].
     pub journal: Arc<Journal>,
+    /// Typed notification bus: every TO-DO row written by admission (or
+    /// repaired by journal replay) also publishes an [`Activation`] here,
+    /// which a [`crate::sched::Scheduler`] drains to dispatch the next hop
+    /// — `notify` as an O(1) wake-up instead of an inert index row.
+    bus: Arc<ActivationBus>,
     /// The crash schedule portals consult mid-admission.
     crash_plan: Arc<CrashPlan>,
     /// Span recorder for portal admissions; disabled (free) unless
@@ -102,9 +113,50 @@ impl CloudSystem {
             network,
             trust_cache: TrustCache::new(256),
             journal: Arc::new(Journal::new()),
+            bus: Arc::new(ActivationBus::new()),
             crash_plan: CrashPlan::none(),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// The deployment's activation bus (portals publish, schedulers drain).
+    pub fn activation_bus(&self) -> &Arc<ActivationBus> {
+        &self.bus
+    }
+
+    /// Deterministic portal choice for `(process_id, step)`: an inline
+    /// FNV-1a hash — deliberately not the std hasher, whose random seed
+    /// would break byte-determinism — so a fleet of instances spreads
+    /// across every portal instead of melting portal 0 with its initial
+    /// documents and round-robining hops in lock-step.
+    pub fn portal_for(&self, process_id: &str, step: usize) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in process_id.as_bytes().iter().chain((step as u64).to_le_bytes().iter()) {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % self.portals.len() as u64) as usize
+    }
+
+    /// Publish one TO-DO notification on the bus, counting it against
+    /// portal `portal_idx` so `portal.notifications` and the bus's
+    /// emission counter move in lock-step.
+    fn notify(
+        &self,
+        portal_idx: usize,
+        participant: &str,
+        process_id: &str,
+        activity: &str,
+        seq: usize,
+    ) {
+        self.portals[portal_idx % self.portals.len()].notifications.fetch_add(1, Ordering::Relaxed);
+        self.bus.emit(Activation {
+            participant: participant.to_string(),
+            process_id: process_id.to_string(),
+            activity: activity.to_string(),
+            seq,
+            at_us: self.network.virtual_time_us(),
+        });
     }
 
     /// Arm a crash schedule: portals will consult `plan` at their injection
@@ -135,6 +187,9 @@ impl CloudSystem {
         metrics
             .set_counter("portal.incremental_verifications", sum(|p| &p.incremental_verifications));
         metrics.set_counter("portal.duplicates_suppressed", sum(|p| &p.duplicates_suppressed));
+        metrics.set_counter("portal.notifications", sum(|p| &p.notifications));
+        metrics.set_counter("sched.activations", self.bus.emitted());
+        metrics.set_gauge("sched.bus_depth", self.bus.len() as i64);
         metrics.set_counter("trust_cache.hits", self.trust_cache.hits() as u64);
         metrics.set_counter("trust_cache.misses", self.trust_cache.misses() as u64);
         metrics.set_counter("journal.records", self.journal.len() as u64);
@@ -143,10 +198,21 @@ impl CloudSystem {
     }
 
     /// Portal restart: replay every journaled-but-uncommitted admission
-    /// batch into the pool. Returns how many records were replayed (0 when
-    /// no portal died mid-admission).
+    /// batch into the pool, re-emitting an [`Activation`] for every
+    /// repaired TO-DO row (the dying portal crashed before it could
+    /// notify). Returns how many records were replayed (0 when no portal
+    /// died mid-admission).
     pub fn recover_portals(&self) -> usize {
-        self.journal.replay_into(&self.pool)
+        self.journal.replay_into_with(&self.pool, |op| {
+            let Some(rest) = op.key.strip_prefix("todo/") else { return };
+            let Some((participant, rest)) = rest.split_once('/') else { return };
+            let Some((pid, activity)) = rest.rsplit_once('/') else { return };
+            let seq = std::str::from_utf8(&op.value)
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(0);
+            self.notify(0, participant, pid, activity, seq);
+        })
     }
 
     /// Total journal records replayed by portal recoveries so far.
@@ -254,6 +320,25 @@ impl CloudSystem {
             .and_then(|s| s.parse::<usize>().ok())
         {
             stats.duplicates_suppressed.fetch_add(1, Ordering::Relaxed);
+            // re-notify: the retransmitted copy proves the sender believes
+            // the hand-off is still pending. For every routed target whose
+            // TO-DO row is still unconsumed, publish a fresh activation —
+            // a duplicate wake-up is skipped harmlessly by the scheduler,
+            // a lost one would strand the instance.
+            let (def, _) = dra4wfms_core::amendment::effective_definition(sealed)?;
+            if let Ok(pid) = sealed.document().process_id() {
+                for target in &route.targets {
+                    let Ok(act) = def.activity(target) else { continue };
+                    let participant = act.participant.clone();
+                    if self
+                        .pool
+                        .get_str(&Self::todo_key(&participant, &pid, target), FAM_META, "seq")
+                        .is_some()
+                    {
+                        self.notify(portal_idx, &participant, &pid, target, seq);
+                    }
+                }
+            }
             span.attr("seq", seq);
             span.attr("duplicate", true);
             span.end();
@@ -298,6 +383,7 @@ impl CloudSystem {
             PutOp::new(Self::meta_key(&pid), FAM_META, "steps", report.cers.len().to_string()),
             PutOp::new(Self::meta_key(&pid), FAM_META, "workflow", def.name.clone()),
         ];
+        let mut notified: Vec<(String, String)> = Vec::with_capacity(route.targets.len());
         for target in &route.targets {
             let participant = def.activity(target)?.participant.clone();
             ops.push(PutOp::new(
@@ -306,6 +392,7 @@ impl CloudSystem {
                 "seq",
                 seq.to_string(),
             ));
+            notified.push((participant, target.clone()));
         }
 
         // WAL discipline: log the intent, apply, commit. The seen row goes
@@ -318,6 +405,12 @@ impl CloudSystem {
             op.apply(&self.pool);
         }
         self.journal.commit_through(record);
+        // notify after commit: an activation must never outrun its TO-DO
+        // row. The crash window above never reaches this point — replay
+        // re-emits the repaired admission's notifications instead.
+        for (participant, target) in &notified {
+            self.notify(portal_idx, participant, &pid, target, seq);
+        }
         stats.stored.fetch_add(1, Ordering::Relaxed);
         span.attr("seq", seq);
         span.attr("duplicate", false);
@@ -364,11 +457,12 @@ impl CloudSystem {
     /// documents where s/he is one of the participants of the subsequent
     /// activities", §4.2).
     pub fn search_todo(&self, participant: &str) -> Vec<TodoEntry> {
+        let prefix = format!("todo/{participant}/");
         self.pool
-            .scan_prefix(&format!("todo/{participant}/"))
+            .scan_prefix(&prefix)
             .into_iter()
             .filter_map(|(key, _)| {
-                let rest = key.strip_prefix(&format!("todo/{participant}/"))?;
+                let rest = key.strip_prefix(&prefix)?;
                 let (pid, activity) = rest.rsplit_once('/')?;
                 Some(TodoEntry { process_id: pid.to_string(), activity: activity.to_string() })
             })
@@ -558,6 +652,7 @@ impl CloudSystem {
             network,
             trust_cache: TrustCache::new(256),
             journal: Arc::new(Journal::new()),
+            bus: Arc::new(ActivationBus::new()),
             crash_plan: CrashPlan::none(),
             tracer: Tracer::disabled(),
         })

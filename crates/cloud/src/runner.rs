@@ -88,18 +88,18 @@ pub struct RunOutcome {
 /// hand-offs.
 #[must_use = "the builder does nothing until .run()"]
 pub struct InstanceRun<'a> {
-    system: &'a CloudSystem,
-    initial: &'a DraDocument,
-    agents: Option<&'a HashMap<String, Arc<Aea>>>,
-    tfc: Option<&'a TfcServer>,
-    respond: Option<&'a Responder>,
-    max_steps: usize,
-    delivery: Option<&'a Delivery>,
-    supervisor: SupervisorPolicy,
-    tracer: Tracer,
-    metrics: Option<&'a MetricsRegistry>,
-    monitor: Option<Arc<HealthMonitor>>,
-    slo_us: Option<u64>,
+    pub(crate) system: &'a CloudSystem,
+    pub(crate) initial: &'a DraDocument,
+    pub(crate) agents: Option<&'a HashMap<String, Arc<Aea>>>,
+    pub(crate) tfc: Option<&'a TfcServer>,
+    pub(crate) respond: Option<&'a Responder>,
+    pub(crate) max_steps: usize,
+    pub(crate) delivery: Option<&'a Delivery>,
+    pub(crate) supervisor: SupervisorPolicy,
+    pub(crate) tracer: Tracer,
+    pub(crate) metrics: Option<&'a MetricsRegistry>,
+    pub(crate) monitor: Option<Arc<HealthMonitor>>,
+    pub(crate) slo_us: Option<u64>,
 }
 
 impl<'a> InstanceRun<'a> {
@@ -200,7 +200,12 @@ impl<'a> InstanceRun<'a> {
 
     /// Store a document through the configured channel: direct (charging
     /// the network once) or via retry/backoff delivery over the faulty one.
-    fn store(&self, portal: usize, sealed: &SealedDocument, route: &Route) -> WfResult<()> {
+    pub(crate) fn store(
+        &self,
+        portal: usize,
+        sealed: &SealedDocument,
+        route: &Route,
+    ) -> WfResult<()> {
         match self.delivery {
             Some(d) => d.deliver(self.system, portal, sealed, route).map(|_| ()),
             None => self.system.store_sealed(portal, sealed, route).map(|_| ()),
@@ -208,7 +213,31 @@ impl<'a> InstanceRun<'a> {
     }
 
     /// Drive the instance to completion.
+    ///
+    /// Since the event-driven core landed this is a thin facade over
+    /// [`crate::sched::Scheduler`]: the instance is admitted (which stores
+    /// the initial document and emits the boot activation), and the
+    /// deployment's activation bus is drained to completion. Same builder
+    /// API, byte-identical outcomes — the parity suite pins
+    /// [`InstanceRun::run_legacy`] against this path.
     pub fn run(self) -> WfResult<RunOutcome> {
+        let system = self.system;
+        let mut sched = crate::sched::Scheduler::new(system);
+        let pid = sched.admit_instance(self)?;
+        let results = sched.run_to_completion();
+        results.into_iter().find_map(|(p, r)| (p == pid).then_some(r)).unwrap_or_else(|| {
+            Err(WfError::Flow(format!("scheduler lost track of instance '{pid}'")))
+        })
+    }
+
+    /// The original single-instance driver loop, frozen as the reference
+    /// implementation for the scheduler parity suite: an in-memory
+    /// queue/inbox walk that single-steps exactly one instance. Byte-for-
+    /// byte equivalent to [`InstanceRun::run`] on pool contents and
+    /// `run.*`/`portal.*` metrics — only the `sched.*` dispatch accounting
+    /// differs (this path never pops the bus; it drains its own wake-ups
+    /// at the end instead).
+    pub fn run_legacy(self) -> WfResult<RunOutcome> {
         let system = self.system;
         let initial = self.initial;
         let agents =
@@ -232,7 +261,11 @@ impl<'a> InstanceRun<'a> {
         // the initial document enters the pool; the start activity is
         // notified
         let sealed_initial = SealedDocument::new(initial.clone());
-        self.store(0, &sealed_initial, &Route { targets: vec![def.start.clone()], ends: false })?;
+        self.store(
+            system.portal_for(&pid, 0),
+            &sealed_initial,
+            &Route { targets: vec![def.start.clone()], ends: false },
+        )?;
 
         // inbox: per-activity branch documents awaiting execution/merge.
         // Hops hand off the sealed form — bytes plus trust mark — so a
@@ -285,7 +318,8 @@ impl<'a> InstanceRun<'a> {
                 let hop_start = self.tracer.now_us();
                 let mut hop_span =
                     self.tracer.span(stage::HOP).actor(&act.participant).process(&pid);
-                match self.execute_hop(aea, &activity, &merged, respond, use_tfc, steps + 1) {
+                let portal = system.portal_for(&pid, steps + 1);
+                match self.execute_hop(aea, &activity, &merged, respond, use_tfc, portal) {
                     Ok(done) => {
                         hop_span.set_activity(&activity, done.3);
                         hop_span.attr("signature_checks", done.2);
@@ -354,6 +388,10 @@ impl<'a> InstanceRun<'a> {
             d.flush(system);
             d.stats()
         });
+        // this path never pops the bus — drop the wake-ups the admissions
+        // emitted so they cannot leak into a later scheduler on the same
+        // deployment (and so `sched.bus_depth` reads honestly at export)
+        system.activation_bus().drain_process(&pid);
         // fold in crash/recovery accounting: the delivery layer counted the
         // crashes it absorbed on its own paths, the supervisor counted the
         // ones that reached the takeover loop — disjoint events
@@ -399,7 +437,7 @@ impl<'a> InstanceRun<'a> {
     /// Merge branch documents: a single arrival keeps its seal and trust
     /// mark; a true merge builds a new document that needs a full
     /// verification.
-    fn merge_inputs(inputs: &[SealedDocument]) -> WfResult<SealedDocument> {
+    pub(crate) fn merge_inputs(inputs: &[SealedDocument]) -> WfResult<SealedDocument> {
         if inputs.len() == 1 {
             return Ok(inputs[0].clone());
         }
@@ -412,7 +450,7 @@ impl<'a> InstanceRun<'a> {
     /// resulting document, its route, the signature checks spent and the
     /// activity iteration executed — or the [`WfError::Crash`] of whichever
     /// component died.
-    fn execute_hop(
+    pub(crate) fn execute_hop(
         &self,
         aea: &Aea,
         activity: &str,
@@ -457,7 +495,7 @@ impl<'a> InstanceRun<'a> {
             }
         };
 
-        // store + notify (portal chosen round-robin by step)
+        // store + notify (portal chosen by hash of (process, step))
         self.store(portal, &document, &route)?;
         Ok((document, route, checks, iter))
     }
@@ -468,7 +506,7 @@ impl<'a> InstanceRun<'a> {
     /// completed admission for is kept as-is — the runner stored every
     /// input before dispatching the hop, so this only happens when replay
     /// has not repaired a torn admission yet.
-    fn refetch(&self, pid: &str, inputs: Vec<SealedDocument>) -> Vec<SealedDocument> {
+    pub(crate) fn refetch(&self, pid: &str, inputs: Vec<SealedDocument>) -> Vec<SealedDocument> {
         inputs
             .into_iter()
             .map(|sealed| {

@@ -1,0 +1,564 @@
+//! Event-driven execution core: portal notifications drive the run loop.
+//!
+//! The paper's Fig. 7 scalability story is portals + the sharded pool
+//! absorbing load a centralized engine cannot — yet the original
+//! [`InstanceRun::run`] *was* a centralized engine: one in-memory queue
+//! single-stepping one instance. This module inverts that control flow:
+//!
+//! * every TO-DO row a portal writes ([`CloudSystem::admit`]) also emits a
+//!   typed [`Activation`] onto the deployment's [`ActivationBus`] — the
+//!   paper's "the DRA4WfMS cloud system can inform the subsequent
+//!   participant(s)" made operational instead of inert index rows;
+//! * a [`Scheduler`] drains activations in deterministic virtual-time
+//!   order, performs join-readiness and amendment re-folding, and
+//!   dispatches hops to AEAs under the same lease-based crash supervision
+//!   the per-instance loop used — so `notify` fires the next participant at
+//!   O(1) with zero idle polling, and any number of instances interleave
+//!   naturally over shared portals, delivery, leases and the monitor.
+//!
+//! ## Determinism
+//!
+//! The bus is a `BTreeMap` keyed by `(emit time, emission sequence)`.
+//! Virtual time is monotone, so draining the map front-to-back replays the
+//! exact emission order; a fixed seed therefore yields a byte-identical
+//! pool and trace, fleet or single instance alike. Duplicate activations
+//! (a retransmitted copy re-notifying, journal replay re-emitting a
+//! repaired admission's TO-DO rows) are harmless by construction: they pop,
+//! find the inbox already drained, and are counted as `sched.skipped` —
+//! the same idempotency the legacy queue got from its membership check.
+//!
+//! ## Fairness
+//!
+//! Because activations are ordered by emission time, a fleet interleaves
+//! breadth-first: every instance's step `k` dispatches before any
+//! instance's step `k+1` that was notified later. No instance can starve
+//! another — the bus is the only ready-list, and it is strictly FIFO in
+//! virtual time.
+
+use crate::delivery::DeliveryStats;
+use crate::portal::CloudSystem;
+use crate::runner::{InstanceRun, RunOutcome};
+use dra4wfms_core::flow::join_ready;
+use dra4wfms_core::prelude::*;
+use dra_obs::{stage, MetricsRegistry};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One portal notification, typed: "participant, your activity of this
+/// process is ready as of seq".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Activation {
+    /// The participant whose TO-DO list grew.
+    pub participant: String,
+    /// Process instance id.
+    pub process_id: String,
+    /// The activity awaiting execution.
+    pub activity: String,
+    /// Pool sequence number of the document that triggered the notification.
+    pub seq: usize,
+    /// Virtual time of emission (portal-side).
+    pub at_us: u64,
+}
+
+#[derive(Default)]
+struct BusQueue {
+    /// `(emit time, emission seq) → activation`: draining front-to-back is
+    /// exactly emission order, because virtual time is monotone.
+    ready: BTreeMap<(u64, u64), Activation>,
+}
+
+/// The deployment-wide activation bus portals publish to and the
+/// [`Scheduler`] drains. Owned by the [`CloudSystem`]; shared by every
+/// portal the same way the pool and the journal are.
+#[derive(Default)]
+pub struct ActivationBus {
+    queue: Mutex<BusQueue>,
+    emit_seq: AtomicU64,
+    emitted: AtomicU64,
+}
+
+impl ActivationBus {
+    /// An empty bus.
+    pub fn new() -> ActivationBus {
+        ActivationBus::default()
+    }
+
+    /// Publish one activation (portal-side, on writing a TO-DO row).
+    pub fn emit(&self, activation: Activation) {
+        let seq = self.emit_seq.fetch_add(1, Ordering::Relaxed);
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.ready.insert((activation.at_us, seq), activation);
+    }
+
+    /// Pop the oldest pending activation (scheduler-side).
+    pub fn pop(&self) -> Option<Activation> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.ready.pop_first().map(|(_, a)| a)
+    }
+
+    /// Pop the oldest pending activation whose process satisfies `owned`,
+    /// leaving the rest untouched. Concurrent schedulers share one bus the
+    /// way portals share one pool — each must take only its own wake-ups,
+    /// never steal another's.
+    pub fn pop_owned(&self, owned: impl Fn(&str) -> bool) -> Option<Activation> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let key = q.ready.iter().find(|(_, a)| owned(&a.process_id)).map(|(k, _)| *k)?;
+        q.ready.remove(&key)
+    }
+
+    /// Pending activations.
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner()).ready.len()
+    }
+
+    /// Whether the bus is drained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total activations ever emitted — the number every portal
+    /// notification must match (`sched.activations == portal.notifications`
+    /// in [`crate::obs::check_metric_invariants`]).
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Drop every pending activation of one process; returns how many were
+    /// removed. Used when an instance leaves the scheduler (completion
+    /// flush, terminal error) so stale duplicates never leak into the next
+    /// run over the same deployment.
+    pub fn drain_process(&self, process_id: &str) -> usize {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let before = q.ready.len();
+        q.ready.retain(|_, a| a.process_id != process_id);
+        before - q.ready.len()
+    }
+}
+
+/// Scheduler-side accounting, exported as `sched.*` counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Activations that dispatched a hop.
+    pub dispatched: u64,
+    /// Activations that found nothing to do (duplicate notifications; the
+    /// legacy queue's membership-dedup, observable).
+    pub skipped: u64,
+    /// Activations parked on an AND-join awaiting sibling branches.
+    pub deferred: u64,
+    /// Activations popped for processes this scheduler never admitted
+    /// (dropped; defensive — `pop_owned` filters them out before the pop).
+    pub foreign: u64,
+}
+
+/// Per-admitted-instance execution state: the builder's configuration plus
+/// the inbox/progress the legacy loop kept on its stack.
+struct Instance<'a> {
+    run: InstanceRun<'a>,
+    agents: &'a HashMap<String, Arc<Aea>>,
+    respond: &'a crate::runner::Responder,
+    pid: String,
+    inbox: HashMap<String, Vec<SealedDocument>>,
+    steps: usize,
+    signature_checks: usize,
+    last_doc: SealedDocument,
+    leases_expired: u64,
+    crashes_supervised: u64,
+    early_takeovers: u64,
+    replays_at_start: u64,
+    finished: bool,
+    failed: Option<WfError>,
+}
+
+/// Drains the deployment's [`ActivationBus`] and dispatches hops.
+///
+/// One scheduler can drive any number of concurrently admitted instances;
+/// [`InstanceRun::run`] is a single-instance facade over exactly this type.
+pub struct Scheduler<'a> {
+    system: &'a CloudSystem,
+    order: Vec<String>,
+    instances: HashMap<String, Instance<'a>>,
+    stats: SchedStats,
+}
+
+impl<'a> Scheduler<'a> {
+    /// A scheduler over `system`'s activation bus.
+    pub fn new(system: &'a CloudSystem) -> Scheduler<'a> {
+        Scheduler {
+            system,
+            order: Vec::new(),
+            instances: HashMap::new(),
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Scheduler-side accounting so far.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Admit one configured instance: validate exactly as the legacy loop
+    /// did, hook up the monitor, store the initial document (which notifies
+    /// the start activity's participant — the activation that boots the
+    /// instance), and register the inbox. Returns the process id.
+    pub fn admit_instance(&mut self, run: InstanceRun<'a>) -> WfResult<String> {
+        if !std::ptr::eq(run.system, self.system) {
+            return Err(WfError::Config(
+                "InstanceRun was built against a different CloudSystem".into(),
+            ));
+        }
+        let agents =
+            run.agents.ok_or_else(|| WfError::Config("InstanceRun needs .agents(..)".into()))?;
+        let respond =
+            run.respond.ok_or_else(|| WfError::Config("InstanceRun needs .respond(..)".into()))?;
+
+        let (def, _) = dra4wfms_core::amendment::effective_definition(run.initial)?;
+        def.validate()?;
+        let pid = run.initial.process_id()?;
+        if def.tfc.is_some() && run.tfc.is_none() {
+            return Err(WfError::Policy(
+                "definition uses the advanced model but no TFC server was provided".into(),
+            ));
+        }
+        if self.instances.contains_key(&pid) {
+            return Err(WfError::Config(format!("instance '{pid}' already admitted")));
+        }
+        if let Some(mon) = &run.monitor {
+            run.tracer.add_sink(Arc::clone(mon) as Arc<dyn dra_obs::TraceSink>);
+            mon.instance_started(&pid, run.slo_us, run.tracer.now_us());
+        }
+
+        // the initial document enters the pool; admission emits the
+        // activation that wakes the start activity's participant
+        let sealed_initial = SealedDocument::new(run.initial.clone());
+        run.store(
+            self.system.portal_for(&pid, 0),
+            &sealed_initial,
+            &Route { targets: vec![def.start.clone()], ends: false },
+        )?;
+        let replays_at_start = self.system.journal_replays();
+
+        let mut inbox: HashMap<String, Vec<SealedDocument>> = HashMap::new();
+        inbox.entry(def.start.clone()).or_default().push(sealed_initial.clone());
+
+        self.order.push(pid.clone());
+        self.instances.insert(
+            pid.clone(),
+            Instance {
+                run,
+                agents,
+                respond,
+                pid: pid.clone(),
+                inbox,
+                steps: 0,
+                signature_checks: 0,
+                last_doc: sealed_initial,
+                leases_expired: 0,
+                crashes_supervised: 0,
+                early_takeovers: 0,
+                replays_at_start,
+                finished: false,
+                failed: None,
+            },
+        );
+        Ok(pid)
+    }
+
+    /// Drain the bus to empty, then finalize every admitted instance in
+    /// admission order: flush delivery, fold crash/recovery accounting,
+    /// export metrics (identically to the legacy loop, plus the `sched.*`
+    /// family) and build each [`RunOutcome`].
+    pub fn run_to_completion(&mut self) -> Vec<(String, WfResult<RunOutcome>)> {
+        let bus = self.system.activation_bus();
+        // pop only own instances' activations: schedulers running
+        // concurrently over one deployment share the bus, and a wake-up
+        // taken by the wrong scheduler would strand the instance it woke
+        while let Some(act) = bus.pop_owned(|pid| self.instances.contains_key(pid)) {
+            let Some(inst) = self.instances.get_mut(&act.process_id) else {
+                self.stats.foreign += 1;
+                continue;
+            };
+            if inst.failed.is_some() {
+                self.stats.skipped += 1;
+                continue;
+            }
+            if let Err(e) = dispatch_one(self.system, inst, &act, &mut self.stats) {
+                inst.failed = Some(e);
+                // a dead instance's remaining activations are noise
+                self.stats.skipped += bus.drain_process(&act.process_id) as u64;
+            }
+        }
+        self.finalize_all()
+    }
+
+    /// Finalize and drain every admitted instance, in admission order.
+    fn finalize_all(&mut self) -> Vec<(String, WfResult<RunOutcome>)> {
+        let system = self.system;
+        let bus = system.activation_bus();
+        let mut results = Vec::with_capacity(self.order.len());
+        let mut exported: Vec<&'a MetricsRegistry> = Vec::new();
+        for pid in self.order.drain(..) {
+            let Some(mut inst) = self.instances.remove(&pid) else { continue };
+            if let Some(e) = inst.failed.take() {
+                results.push((pid, Err(e)));
+                continue;
+            }
+
+            // late reordered copies are ingested before stats are read, so
+            // the same seed + profile always reports the same numbers; any
+            // re-notification they triggered is stale by now
+            let mut delivery = inst.run.delivery.map(|d| {
+                d.flush(system);
+                d.stats()
+            });
+            self.stats.skipped += bus.drain_process(&pid) as u64;
+
+            // fold in crash/recovery accounting: the delivery layer counted
+            // the crashes it absorbed on its own paths, the supervisor
+            // counted the ones that reached the takeover loop — disjoint
+            let replays = system.journal_replays() - inst.replays_at_start;
+            if delivery.is_none() && (inst.crashes_supervised > 0 || replays > 0) {
+                delivery = Some(DeliveryStats::default());
+            }
+            if let Some(stats) = delivery.as_mut() {
+                stats.crashes_injected += inst.crashes_supervised;
+                stats.leases_expired = inst.leases_expired;
+                stats.journal_replays = replays;
+            }
+
+            if !inst.finished {
+                if let Some(mon) = &inst.run.monitor {
+                    mon.instance_finished(&pid, inst.run.tracer.now_us());
+                }
+            }
+
+            if let Some(m) = inst.run.metrics {
+                if let Some(stats) = delivery.as_ref() {
+                    stats.export_metrics(m);
+                }
+                system.export_metrics(m);
+                // additive, not overwriting: bench cells run many instances
+                // against one shared registry (and one shared monitor), and
+                // the alert-accounting invariants compare *cumulative*
+                // alert counts against these — so they must accumulate too
+                m.incr("run.steps", inst.steps as u64);
+                m.incr("run.signature_checks", inst.signature_checks as u64);
+                m.incr("run.takeovers", inst.crashes_supervised);
+                m.incr("run.timeouts", inst.leases_expired);
+                m.incr("run.early_takeovers", inst.early_takeovers);
+                if let Some(tfc) = inst.run.tfc {
+                    m.set_counter("tfc.redo_reuses", tfc.redo_reuses());
+                }
+                if let Some(mon) = &inst.run.monitor {
+                    mon.export_metrics(m);
+                }
+                if !exported.iter().any(|p| std::ptr::eq(*p, m)) {
+                    exported.push(m);
+                }
+            }
+
+            results.push((
+                pid.clone(),
+                Ok(RunOutcome {
+                    document: inst.last_doc,
+                    steps: inst.steps,
+                    process_id: pid,
+                    signature_checks: inst.signature_checks,
+                    delivery,
+                }),
+            ));
+        }
+        // scheduler-side accounting, once per registry per drain
+        for m in exported {
+            m.incr("sched.dispatched", self.stats.dispatched);
+            m.incr("sched.skipped", self.stats.skipped);
+            m.incr("sched.deferred", self.stats.deferred);
+            m.incr("sched.foreign", self.stats.foreign);
+            // re-read the bus gauge now that every instance drained
+            m.set_gauge("sched.bus_depth", bus.len() as i64);
+        }
+        self.stats = SchedStats::default();
+        results
+    }
+}
+
+/// Process one activation against its instance: skip duplicates, defer
+/// not-ready joins, otherwise dispatch the hop under lease-based crash
+/// supervision — the body the legacy loop ran per queue entry, lifted out.
+fn dispatch_one<'a>(
+    system: &'a CloudSystem,
+    inst: &mut Instance<'a>,
+    act: &Activation,
+    stats: &mut SchedStats,
+) -> WfResult<()> {
+    let Some(arrived) = inst.inbox.remove(&act.activity) else {
+        // duplicate notification (retransmitted copy, replay re-emission):
+        // the inbox was already drained by the first activation
+        stats.skipped += 1;
+        return Ok(());
+    };
+    if inst.steps >= inst.run.max_steps {
+        return Err(WfError::Flow(format!(
+            "run exceeded {} steps (runaway loop?)",
+            inst.run.max_steps
+        )));
+    }
+
+    let mut inputs = arrived;
+    let mut merged = InstanceRun::merge_inputs(&inputs)?;
+
+    // re-fold amendments: a designer may have amended the definition
+    // mid-run, and routing must follow the rules now in force
+    let (def_now, _) = dra4wfms_core::amendment::effective_definition(&merged)?;
+    let act_def = def_now.activity(&act.activity)?.clone();
+    let aea = inst
+        .agents
+        .get(&act_def.participant)
+        .ok_or_else(|| WfError::UnknownIdentity(act_def.participant.clone()))?;
+
+    // AND-join: park the merged prefix until the remaining branches notify
+    if act_def.join == JoinKind::All && !join_ready(&merged, &def_now, &act.activity)? {
+        inst.inbox.entry(act.activity.clone()).or_default().push(merged);
+        stats.deferred += 1;
+        return Ok(());
+    }
+
+    // dispatch the hop under a virtual-time lease; a crash fault surfaces
+    // as WfError::Crash and the supervisor takes the hop over. The
+    // sched:dispatch span deliberately carries the process id as an
+    // attribute, not as span coordinates — the monitor must keep seeing
+    // exactly the spans the legacy loop produced, no more.
+    let mut dspan = inst.run.tracer.span(stage::SCHED_DISPATCH).actor(&act_def.participant);
+    dspan.attr("process", &inst.pid);
+    dspan.attr("activity", &act.activity);
+    dspan.attr("seq", act.seq);
+    let use_tfc = def_now.tfc.is_some();
+    let mut takeovers_left = inst.run.supervisor.max_takeovers;
+    let (document, route, hop_checks, _hop_iter) = loop {
+        let hop_start = inst.run.tracer.now_us();
+        let mut hop_span =
+            inst.run.tracer.span(stage::HOP).actor(&act_def.participant).process(&inst.pid);
+        let portal = system.portal_for(&inst.pid, inst.steps + 1);
+        match inst.run.execute_hop(aea, &act.activity, &merged, inst.respond, use_tfc, portal) {
+            Ok(done) => {
+                hop_span.set_activity(&act.activity, done.3);
+                hop_span.attr("signature_checks", done.2);
+                hop_span.end();
+                if let Some(m) = inst.run.metrics {
+                    m.observe(
+                        "hop.duration_us",
+                        inst.run.tracer.now_us().saturating_sub(hop_start),
+                    );
+                }
+                break done;
+            }
+            Err(WfError::Crash(site)) if takeovers_left > 0 => {
+                hop_span.set_activity(&act.activity, 0);
+                hop_span.attr("site", &site);
+                hop_span.end_with(dra_obs::OUTCOME_CRASH);
+                takeovers_left -= 1;
+                inst.leases_expired += 1;
+                inst.crashes_supervised += 1;
+                // the dead agent's lease runs out in virtual time — unless
+                // a monitor is watching, in which case the supervisor moves
+                // the moment the instance is *observed* stuck
+                let wait_us = match &inst.run.monitor {
+                    Some(mon) => {
+                        let until_stuck = mon.time_until_stuck(&inst.pid, inst.run.tracer.now_us());
+                        until_stuck.min(inst.run.supervisor.lease_us)
+                    }
+                    None => inst.run.supervisor.lease_us,
+                };
+                system.network.advance(wait_us);
+                if let Some(mon) = &inst.run.monitor {
+                    mon.tick(inst.run.tracer.now_us());
+                    if wait_us < inst.run.supervisor.lease_us {
+                        inst.early_takeovers += 1;
+                    }
+                }
+                // crashed portals restart (journal replay completes any
+                // half-done admission, re-emitting its notifications) ...
+                system.recover_portals();
+                // ... and the hop is re-anchored on the documents in the
+                // pool, not the dead agent's memory
+                inputs = inst.run.refetch(&inst.pid, inputs);
+                merged = InstanceRun::merge_inputs(&inputs)?;
+            }
+            Err(e) => {
+                dspan.end_with(dra_obs::OUTCOME_CRASH);
+                return Err(e);
+            }
+        }
+    };
+    dspan.end();
+    stats.dispatched += 1;
+    inst.steps += 1;
+    inst.signature_checks += hop_checks;
+    system.consume_todo(&act_def.participant, &inst.pid, &act.activity);
+
+    for target in &route.targets {
+        inst.inbox.entry(target.clone()).or_default().push(document.clone());
+    }
+    if route.is_final() {
+        inst.finished = true;
+        if let Some(mon) = &inst.run.monitor {
+            mon.instance_finished(&inst.pid, inst.run.tracer.now_us());
+        }
+    }
+    inst.last_doc = document;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(pid: &str, activity: &str, at_us: u64) -> Activation {
+        Activation {
+            participant: "p".into(),
+            process_id: pid.into(),
+            activity: activity.into(),
+            seq: 0,
+            at_us,
+        }
+    }
+
+    #[test]
+    fn bus_pops_in_time_then_emission_order() {
+        let bus = ActivationBus::new();
+        bus.emit(act("p1", "A", 10));
+        bus.emit(act("p2", "B", 10));
+        bus.emit(act("p3", "C", 5));
+        assert_eq!(bus.len(), 3);
+        assert_eq!(bus.emitted(), 3);
+        let order: Vec<String> = std::iter::from_fn(|| bus.pop()).map(|a| a.process_id).collect();
+        assert_eq!(order, vec!["p3", "p1", "p2"], "time first, then emission seq");
+        assert!(bus.is_empty());
+    }
+
+    #[test]
+    fn pop_owned_leaves_other_schedulers_wakeups() {
+        let bus = ActivationBus::new();
+        bus.emit(act("theirs", "A", 1));
+        bus.emit(act("mine", "B", 2));
+        bus.emit(act("mine", "C", 3));
+        assert_eq!(bus.pop_owned(|pid| pid == "mine").unwrap().activity, "B");
+        assert_eq!(bus.pop_owned(|pid| pid == "mine").unwrap().activity, "C");
+        assert!(bus.pop_owned(|pid| pid == "mine").is_none());
+        assert_eq!(bus.len(), 1, "the foreign activation survives untouched");
+        assert_eq!(bus.pop().unwrap().process_id, "theirs");
+    }
+
+    #[test]
+    fn drain_process_removes_only_that_instance() {
+        let bus = ActivationBus::new();
+        bus.emit(act("keep", "A", 1));
+        bus.emit(act("drop", "A", 2));
+        bus.emit(act("drop", "B", 3));
+        assert_eq!(bus.drain_process("drop"), 2);
+        assert_eq!(bus.len(), 1);
+        assert_eq!(bus.pop().unwrap().process_id, "keep");
+        assert_eq!(bus.emitted(), 3, "emitted counter is lifetime, not depth");
+    }
+}

@@ -158,6 +158,14 @@ impl Journal {
     /// order, then advance the watermark. Returns how many records were
     /// replayed (0 when the last writer committed cleanly).
     pub fn replay_into(&self, table: &HTable) -> usize {
+        self.replay_into_with(table, |_| {})
+    }
+
+    /// [`Journal::replay_into`] with a per-op observer, called for every
+    /// replayed [`PutOp`] after it lands. Recovery paths use this to re-derive
+    /// side effects that only the dying writer knew about — e.g. a portal
+    /// re-emitting scheduler activations for replayed `todo/` rows.
+    pub fn replay_into_with(&self, table: &HTable, mut observe: impl FnMut(&PutOp)) -> usize {
         let mut span = self.tracer().span(stage::JOURNAL_REPLAY).actor("journal");
         let pending = {
             let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -165,6 +173,7 @@ impl Journal {
             for record in &state.records[state.committed..] {
                 for op in record {
                     op.apply(table);
+                    observe(op);
                 }
             }
             state.committed = state.records.len();

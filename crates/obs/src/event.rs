@@ -52,6 +52,8 @@ pub mod stage {
     pub const JOURNAL_COMMIT: &str = "journal:commit";
     /// Journal replay during portal recovery.
     pub const JOURNAL_REPLAY: &str = "journal:replay";
+    /// The scheduler dispatching one activation to a participant agent.
+    pub const SCHED_DISPATCH: &str = "sched:dispatch";
 }
 
 /// Span outcome recorded by [`Span::end`].

@@ -207,6 +207,11 @@ impl MetricsSnapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Gauge value by name (0 when absent), mirroring [`Self::counter`].
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// Render as a deterministic JSON object:
     /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
     #[must_use]

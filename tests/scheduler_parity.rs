@@ -1,0 +1,270 @@
+//! Scheduler-vs-legacy parity: the event-driven core ([`InstanceRun::run`],
+//! a facade over `cloud::sched::Scheduler`) must be byte-for-byte
+//! indistinguishable from the frozen per-instance loop
+//! ([`InstanceRun::run_legacy`]) — identical pool snapshot hashes and equal
+//! `run.*` / `portal.*` metrics — on Fig. 9A (basic) and Fig. 9B (advanced)
+//! under a lossless channel, hostile faults, and seeded crash-fault
+//! takeover. Only the `sched.*` dispatch accounting may differ: the legacy
+//! path never pops the bus.
+
+use dra4wfms::cloud::{
+    CloudSystem, CrashPlan, CrashPoint, Delivery, DeliveryPolicy, FaultProfile, InstanceRun,
+    NetworkSim,
+};
+use dra4wfms::obs::MetricsRegistry;
+use dra4wfms::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Path {
+    Legacy,
+    Sched,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Scenario {
+    Lossless,
+    HostileFaults,
+    SeededCrash,
+}
+
+fn fig9_def(advanced: bool) -> WorkflowDefinition {
+    let b = WorkflowDefinition::builder("fig9", "designer")
+        .simple_activity("A", "p_a", &["attachment"])
+        .simple_activity("B1", "p_b1", &["review1"])
+        .simple_activity("B2", "p_b2", &["review2"])
+        .activity(Activity {
+            id: "C".into(),
+            participant: "p_c".into(),
+            join: JoinKind::All,
+            requests: vec![FieldRef::new("B1", "review1"), FieldRef::new("B2", "review2")],
+            responses: vec!["decision".into()],
+        })
+        .simple_activity("D", "p_d", &["ack"])
+        .flow("A", "B1")
+        .flow("A", "B2")
+        .flow("B1", "C")
+        .flow("B2", "C")
+        .flow_if("C", "A", Condition::field_equals("C", "decision", "insufficient"))
+        .flow_if("C", "D", Condition::field_not_equals("C", "decision", "insufficient"))
+        .flow_end("D");
+    if advanced { b.with_tfc("TFC") } else { b }.build().unwrap()
+}
+
+fn cast() -> (Vec<Credentials>, Directory) {
+    let creds: Vec<Credentials> = ["designer", "p_a", "p_b1", "p_b2", "p_c", "p_d", "TFC"]
+        .iter()
+        .map(|n| Credentials::from_seed(*n, &format!("parity-{n}")))
+        .collect();
+    let dir = Directory::from_credentials(&creds);
+    (creds, dir)
+}
+
+fn respond(received: &ReceivedActivity) -> Vec<(String, String)> {
+    match received.activity.as_str() {
+        "A" => vec![("attachment".into(), "contract.pdf".into())],
+        "B1" => vec![("review1".into(), "ok".into())],
+        "B2" => vec![("review2".into(), "ok".into())],
+        "C" => vec![(
+            "decision".into(),
+            if received.iter == 0 { "insufficient" } else { "accept" }.into(),
+        )],
+        "D" => vec![("ack".into(), "done".into())],
+        other => panic!("unexpected {other}"),
+    }
+}
+
+/// Drive one fresh deployment end to end through the chosen path and
+/// scenario; return the pool snapshot hash, the comparable metric families
+/// and the reported step count.
+fn run_once(
+    path: Path,
+    advanced: bool,
+    scenario: Scenario,
+) -> (String, BTreeMap<String, u64>, usize) {
+    let (creds, dir) = cast();
+    let def = fig9_def(advanced);
+    let pol = if advanced {
+        SecurityPolicy::public().with_tfc_access("TFC", &def)
+    } else {
+        SecurityPolicy::public()
+    };
+    let network = Arc::new(NetworkSim::lan());
+    let plan = match scenario {
+        // one AEA dies mid-sign on the 3rd trigger; the supervisor takes
+        // the hop over after the lease
+        Scenario::SeededCrash => CrashPlan::once(CrashPoint::AeaBeforeSign, 3),
+        _ => CrashPlan::none(),
+    };
+    let sys =
+        CloudSystem::new(dir.clone(), 3, Arc::clone(&network)).with_crash_plan(Arc::clone(&plan));
+    let agents: HashMap<String, Arc<Aea>> = creds
+        .iter()
+        .map(|c| {
+            let aea = Aea::new(c.clone(), dir.clone()).with_crash_hook(plan.hook());
+            (c.name.clone(), Arc::new(aea))
+        })
+        .collect();
+    let tfc_creds = creds.iter().find(|c| c.name == "TFC").unwrap().clone();
+    let tfc = TfcServer::with_clock(tfc_creds, dir.clone(), Arc::new(move || 1_000));
+    let delivery = match scenario {
+        Scenario::HostileFaults => Some(
+            Delivery::new(
+                Arc::clone(&network),
+                FaultProfile::hostile(),
+                DeliveryPolicy::default(),
+                42,
+            )
+            .unwrap(),
+        ),
+        _ => None,
+    };
+    let initial = DraDocument::new_initial_with_pid(&def, &pol, &creds[0], "parity-run").unwrap();
+
+    let metrics = MetricsRegistry::new();
+    let mut run = InstanceRun::new(&sys, &initial)
+        .agents(&agents)
+        .respond(&respond)
+        .max_steps(100)
+        .metrics(&metrics);
+    if advanced {
+        run = run.tfc(&tfc);
+    }
+    if let Some(d) = &delivery {
+        run = run.network(d);
+    }
+    let out = match path {
+        Path::Legacy => run.run_legacy(),
+        Path::Sched => run.run(),
+    }
+    .expect("the run completes on both paths");
+
+    let digest = dra4wfms::crypto::sha256(&sys.snapshot_pool());
+    let comparable: BTreeMap<String, u64> = metrics
+        .snapshot()
+        .counters
+        .into_iter()
+        .filter(|(k, _)| k.starts_with("run.") || k.starts_with("portal."))
+        .collect();
+    (dra4wfms::crypto::hex::encode(&digest), comparable, out.steps)
+}
+
+fn assert_parity(advanced: bool, scenario: Scenario, label: &str) {
+    let (legacy_hash, legacy_metrics, legacy_steps) = run_once(Path::Legacy, advanced, scenario);
+    let (sched_hash, sched_metrics, sched_steps) = run_once(Path::Sched, advanced, scenario);
+    assert_eq!(legacy_hash, sched_hash, "{label}: pool snapshot sha256 diverged");
+    assert_eq!(legacy_metrics, sched_metrics, "{label}: run.*/portal.* metrics diverged");
+    assert_eq!(legacy_steps, sched_steps, "{label}: step counts diverged");
+    assert_eq!(legacy_steps, 9, "{label}: fig9 takes its loop exactly once");
+    assert!(
+        legacy_metrics["portal.notifications"] > 0,
+        "{label}: notifications were actually published"
+    );
+}
+
+#[test]
+fn fig9a_lossless_parity() {
+    assert_parity(false, Scenario::Lossless, "fig9a lossless");
+}
+
+#[test]
+fn fig9b_lossless_parity() {
+    assert_parity(true, Scenario::Lossless, "fig9b lossless");
+}
+
+#[test]
+fn fig9a_hostile_faults_parity() {
+    assert_parity(false, Scenario::HostileFaults, "fig9a hostile");
+}
+
+#[test]
+fn fig9b_hostile_faults_parity() {
+    assert_parity(true, Scenario::HostileFaults, "fig9b hostile");
+}
+
+#[test]
+fn fig9a_seeded_crash_parity() {
+    assert_parity(false, Scenario::SeededCrash, "fig9a crash");
+}
+
+#[test]
+fn fig9b_seeded_crash_parity() {
+    assert_parity(true, Scenario::SeededCrash, "fig9b crash");
+}
+
+/// A three-instance fleet driven concurrently by one scheduler stores, for
+/// every instance, exactly the document bytes the frozen legacy loop
+/// stores when driving the instances one by one — interleaving reorders
+/// pool *cell timestamps* (a global monotonic counter), never document
+/// content. And the concurrent fleet itself is byte-deterministic: two
+/// identical fleets produce identical pool snapshots, timestamps included.
+#[test]
+fn small_fleet_matches_sequential_legacy_runs() {
+    let run_fleet = |concurrent: bool| -> (String, Vec<String>) {
+        let (creds, dir) = cast();
+        let def = fig9_def(false);
+        let network = Arc::new(NetworkSim::lan());
+        let sys = CloudSystem::new(dir.clone(), 4, Arc::clone(&network));
+        let agents: HashMap<String, Arc<Aea>> = creds
+            .iter()
+            .map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone()))))
+            .collect();
+        let initials: Vec<DraDocument> = (0..3)
+            .map(|i| {
+                DraDocument::new_initial_with_pid(
+                    &def,
+                    &SecurityPolicy::public(),
+                    &creds[0],
+                    &format!("fleet-{i}"),
+                )
+                .unwrap()
+            })
+            .collect();
+        if concurrent {
+            let mut sched = dra4wfms::cloud::Scheduler::new(&sys);
+            for initial in &initials {
+                sched
+                    .admit_instance(
+                        InstanceRun::new(&sys, initial)
+                            .agents(&agents)
+                            .respond(&respond)
+                            .max_steps(100),
+                    )
+                    .unwrap();
+            }
+            for (pid, result) in sched.run_to_completion() {
+                assert_eq!(result.unwrap().steps, 9, "{pid}");
+            }
+        } else {
+            for initial in &initials {
+                let out = InstanceRun::new(&sys, initial)
+                    .agents(&agents)
+                    .respond(&respond)
+                    .max_steps(100)
+                    .run_legacy()
+                    .unwrap();
+                assert_eq!(out.steps, 9);
+            }
+        }
+        let pool_hash =
+            dra4wfms::crypto::hex::encode(&dra4wfms::crypto::sha256(&sys.snapshot_pool()));
+        let mut docs: Vec<String> = Vec::new();
+        for i in 0..3 {
+            let pid = format!("fleet-{i}");
+            for seq in 0.. {
+                match sys.retrieve_version(&pid, seq) {
+                    Some(xml) => docs.push(xml),
+                    None => break,
+                }
+            }
+        }
+        (pool_hash, docs)
+    };
+    let (concurrent_hash, concurrent_docs) = run_fleet(true);
+    let (_, sequential_docs) = run_fleet(false);
+    assert_eq!(concurrent_docs.len(), 30, "initial + 9 versions per instance");
+    assert_eq!(concurrent_docs, sequential_docs, "fleet interleaving changed document bytes");
+    let (concurrent_hash_again, _) = run_fleet(true);
+    assert_eq!(concurrent_hash, concurrent_hash_again, "concurrent fleet must be deterministic");
+}
