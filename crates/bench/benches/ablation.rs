@@ -23,10 +23,13 @@ fn bench_parallel_verify(c: &mut Criterion) {
     let doc = DraDocument::parse(&xml).unwrap();
     let mut g = c.benchmark_group("ablation/verify_32cers");
     g.sample_size(15);
-    g.bench_function("sequential", |b| b.iter(|| verify_document(&doc, &dir).unwrap()));
+    g.bench_function("sequential", |b| {
+        b.iter(|| Verifier::new(&dir).batched(false).run(&doc).unwrap())
+    });
+    g.bench_function("batched", |b| b.iter(|| Verifier::new(&dir).run(&doc).unwrap()));
     for threads in [2usize, 4, 8] {
         g.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &threads| {
-            b.iter(|| verify_document_parallel(&doc, &dir, threads).unwrap())
+            b.iter(|| Verifier::new(&dir).batched(false).threads(threads).run(&doc).unwrap())
         });
     }
     g.finish();
@@ -117,16 +120,16 @@ fn bench_incremental_verify(c: &mut Criterion) {
     for n in [8usize, 32] {
         let (xml, dir) = finished_chain_document(n, true);
         let doc = DraDocument::parse(&xml).unwrap();
-        let report = verify_document(&doc, &dir).unwrap();
+        let report = Verifier::new(&dir).run(&doc).unwrap().report;
         let mut mark = trust_mark_for(&doc, &report, 0).unwrap();
         mark.verified_cers = n - 1;
         mark.prefix_digest = prefix_digest(&doc, n - 1).unwrap();
         g.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
-            b.iter(|| verify_document(&doc, &dir).unwrap())
+            b.iter(|| Verifier::new(&dir).run(&doc).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("incremental_1_new_cer", n), &n, |b, _| {
             b.iter(|| {
-                let outcome = verify_incremental(&doc, &dir, Some(&mark)).unwrap();
+                let outcome = Verifier::new(&dir).with_mark(&mark).run(&doc).unwrap();
                 assert!(!outcome.fell_back);
                 outcome
             })

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dra4wfms_core::prelude::*;
-use dra4wfms_core::verify::verify_document;
+use dra4wfms_core::verify::Verifier;
 use dra_bench::chain::{chain_cast, finished_chain_document};
 
 fn bench_scaling(c: &mut Criterion) {
@@ -15,7 +15,7 @@ fn bench_scaling(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let doc = DraDocument::parse(&xml).unwrap();
-                verify_document(&doc, &dir).unwrap()
+                Verifier::new(&dir).run(&doc).unwrap()
             })
         });
     }

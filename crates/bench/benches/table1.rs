@@ -34,7 +34,7 @@ fn bench_table1(c: &mut Criterion) {
     g.bench_function("alpha_nine_cers_verify", |b| {
         b.iter(|| {
             let doc = DraDocument::parse(&xml9).unwrap();
-            dra4wfms_core::verify::verify_document(&doc, &dir9).unwrap()
+            dra4wfms_core::verify::Verifier::new(&dir9).run(&doc).unwrap()
         })
     });
 

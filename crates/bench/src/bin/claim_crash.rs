@@ -161,7 +161,7 @@ fn run_cell(mode: &'static str, advanced: bool, plan: Arc<CrashPlan>, seed: u64)
         }
         if let Ok(out) = run.run() {
             if out.steps == 9 {
-                verify_document(&out.document, &dir).expect("final document verifies");
+                Verifier::new(&dir).run(&out.document).expect("final document verifies");
                 completed += 1;
             }
             leases_expired += out.delivery.map(|s| s.leases_expired).unwrap_or(0);

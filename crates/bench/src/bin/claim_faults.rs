@@ -101,7 +101,7 @@ fn run_cell(name: &'static str, profile: FaultProfile, seed: u64) -> Cell {
             .run();
         if let Ok(out) = out {
             assert_eq!(out.steps, 9, "Fig. 9 with the loop taken once");
-            verify_document(&out.document, &dir).expect("final document verifies");
+            Verifier::new(&dir).run(&out.document).expect("final document verifies");
             finals.push_str(&out.document.wire());
             completed += 1;
         }

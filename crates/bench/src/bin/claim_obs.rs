@@ -133,7 +133,7 @@ fn run_cell(
         run = run.tfc(server);
     }
     let out = run.run().expect("instrumented run completes");
-    verify_document(out.document.document(), &dir).expect("final document verifies");
+    Verifier::new(&dir).run(out.document.document()).expect("final document verifies");
 
     let events = tracer.events();
     let report = reconcile(&events, out.document.document());

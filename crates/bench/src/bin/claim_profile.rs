@@ -105,7 +105,7 @@ fn run_cell(mode: &str, advanced: bool, channel: &str, hostile: bool, seed: u64)
         run = run.tfc(server);
     }
     let out = run.run().expect("instrumented run completes");
-    verify_document(out.document.document(), &dir).expect("final document verifies");
+    Verifier::new(&dir).run(out.document.document()).expect("final document verifies");
 
     let events = tracer.events();
     CellResult {

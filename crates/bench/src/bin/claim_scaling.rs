@@ -4,42 +4,150 @@
 //! encrypt and embed signatures."
 //!
 //! Sweep chain workflows of length 1…64 and print α, β, Σ per step count —
-//! once over the paper's baseline (every hop re-parses and re-verifies the
-//! whole cascade, Σα = O(n²) signature checks) and once over the sealed
-//! hand-off pipeline (each hop re-checks only the one new CER, Σα = O(n)).
-//! Writes the sweep to `BENCH_scaling.json`.
+//! over the paper's baseline (every hop re-verifies the whole cascade, one
+//! signature at a time), over the batched verifier (one aggregate equation
+//! per hop), and over the sealed hand-off pipeline (each hop re-checks only
+//! the one new CER).
+//!
+//! Wall-clock numbers go to stdout only. `BENCH_scaling.json` instead
+//! records *deterministic* cost counters — elliptic-curve group operations
+//! and canonicalization allocation bytes over a seeded synthetic workload —
+//! so the file is byte-identical across runs and machines and can sit
+//! behind the perf gate (`perf/BENCH_scaling.baseline.json`). The live
+//! chain run cannot serve that purpose: ephemeral encryption keys and CER
+//! timestamps randomize the scalars, which changes the MSM digit patterns
+//! and therefore the op counts.
 //!
 //! Run with: `cargo run --release -p dra-bench --bin claim_scaling`
 //!
-//! Pass `--trace-out PATH` to additionally record the sealed-hand-off
-//! sweep as a structured span trace (JSONL, one event per line; see
-//! `dra-obs`) in deterministic logical time. `PATH.chrome.json` gets the
-//! same trace in Chrome-trace format for `chrome://tracing`.
+//! Pass `--batch` to add the batched-verification cells (`batch_ec_ops`)
+//! to the JSON — the mode CI double-runs and byte-compares. Pass
+//! `--trace-out PATH` to additionally record the sealed-hand-off sweep as
+//! a structured span trace (JSONL; `PATH.chrome.json` gets the Chrome
+//! format) in deterministic logical time.
 
-use dra_bench::chain::{run_chain, run_chain_incremental, run_chain_incremental_traced};
+use dra_bench::chain::{
+    receive_alpha_best_of, run_chain, run_chain_incremental, run_chain_incremental_traced,
+    run_chain_with,
+};
+use dra_crypto::ed25519::{ec_ops, ec_ops_reset};
+use dra_crypto::{verify_batch, BatchEntry, Keypair};
 use dra_obs::{events_to_chrome, events_to_jsonl, Tracer};
+use dra_xml::{canon_alloc_bytes, canon_alloc_reset, CanonArena, Element};
+
+/// Chain lengths for the deterministic counter cells.
+const CELLS: [usize; 8] = [1, 2, 4, 8, 16, 32, 48, 64];
+
+/// Deterministic keypair `i` of cell `n` — fixed seeds, so the signatures
+/// (RFC 8032 signing is deterministic) and every derived scalar are
+/// identical on every run.
+fn seeded_keypair(n: usize, i: usize) -> Keypair {
+    let mut seed = [0u8; 32];
+    seed[..8].copy_from_slice(b"scaling!");
+    seed[8..16].copy_from_slice(&(n as u64).to_le_bytes());
+    seed[16..24].copy_from_slice(&(i as u64).to_le_bytes());
+    Keypair::from_seed(seed)
+}
+
+/// Synthetic stand-in for an `n`-CER cascade prefix: fixed contents, so
+/// canonical byte counts are exactly reproducible.
+fn synthetic_parts(n: usize) -> Vec<Element> {
+    (0..=n)
+        .map(|i| {
+            Element::new("cer")
+                .attr("activity", format!("S{i}"))
+                .child(Element::new("payload").text(format!("value-{i:04}")))
+                .child(Element::new("signature").text("ab".repeat(64)))
+        })
+        .collect()
+}
+
+/// One deterministic measurement cell.
+struct Cell {
+    n: usize,
+    sigs: usize,
+    /// EC group ops to verify the cell's signatures one at a time.
+    seq_ec_ops: u64,
+    /// EC group ops for the same set through one batch equation (`--batch`).
+    batch_ec_ops: Option<u64>,
+    /// Canonicalization bytes allocated by the plain (fresh-`Vec`) path.
+    canon_bytes: u64,
+    /// Canonicalization bytes allocated by a warmed arena (expected 0).
+    arena_steady_alloc: u64,
+}
+
+fn measure_cell(n: usize, batch: bool) -> Cell {
+    // n CER signatures + the designer's definition signature
+    let sigs = n + 1;
+    let keys: Vec<Keypair> = (0..sigs).map(|i| seeded_keypair(n, i)).collect();
+    let msgs: Vec<Vec<u8>> = (0..sigs)
+        .map(|i| format!("dra4wfms scaling cell n={n} sig {i} ").repeat(4).into_bytes())
+        .collect();
+    let signatures: Vec<_> = keys.iter().zip(&msgs).map(|(k, m)| k.sign(m)).collect();
+
+    ec_ops_reset();
+    for ((k, m), s) in keys.iter().zip(&msgs).zip(&signatures) {
+        assert!(k.public.verify(m, s), "seeded signature must verify");
+    }
+    let seq_ec_ops = ec_ops();
+
+    let batch_ec_ops = batch.then(|| {
+        let entries: Vec<BatchEntry> = keys
+            .iter()
+            .zip(&msgs)
+            .zip(&signatures)
+            .map(|((k, m), s)| (m.as_slice(), *s, k.public))
+            .collect();
+        ec_ops_reset();
+        assert!(verify_batch(&entries), "seeded batch must verify");
+        ec_ops()
+    });
+
+    let parts = synthetic_parts(n);
+    canon_alloc_reset();
+    let cold = dra_xml::canon::canonicalize_all(&parts);
+    let canon_bytes = canon_alloc_bytes();
+
+    let mut arena = CanonArena::new();
+    let warm = arena.canonicalize_all(&parts).to_vec();
+    assert_eq!(cold, warm, "arena and allocating paths must agree");
+    canon_alloc_reset();
+    for _ in 0..3 {
+        arena.canonicalize_all(&parts);
+    }
+    let arena_steady_alloc = canon_alloc_bytes();
+
+    Cell { n, sigs, seq_ec_ops, batch_ec_ops, canon_bytes, arena_steady_alloc }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let trace_out =
         args.iter().position(|a| a == "--trace-out").and_then(|i| args.get(i + 1)).cloned();
+    let with_batch_cells = args.iter().any(|a| a == "--batch");
+
     println!("chain length sweep (element-wise encrypted payloads, 64-byte values)\n");
     println!(
-        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12}",
-        "step", "#sigs", "alpha(ms)", "inc-α(ms)", "beta(ms)", "size(B)"
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "step", "#sigs", "alpha(ms)", "batch-α(ms)", "inc-α(ms)", "beta(ms)", "size(B)"
     );
     let payload = "x".repeat(64);
     // one long chain gives every intermediate point of the sweep
     let records = run_chain(64, true, &payload);
+    let batched = run_chain_with(64, true, &payload, true);
     let incremental = run_chain_incremental(64, true, &payload);
-    for (r, inc) in
-        records.iter().zip(incremental.iter()).filter(|(r, _)| r.step < 4 || (r.step + 1) % 8 == 0)
+    for ((r, b), inc) in records
+        .iter()
+        .zip(batched.iter())
+        .zip(incremental.iter())
+        .filter(|((r, _), _)| r.step < 4 || (r.step + 1) % 8 == 0)
     {
         println!(
-            "{:>6} {:>8} {:>12.3} {:>12.3} {:>12.3} {:>12}",
+            "{:>6} {:>8} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>12}",
             r.step + 1,
             r.sigs_verified,
             r.alpha.as_secs_f64() * 1e3,
+            b.alpha.as_secs_f64() * 1e3,
             inc.alpha.as_secs_f64() * 1e3,
             r.beta.as_secs_f64() * 1e3,
             r.size
@@ -55,6 +163,7 @@ fn main() {
     let b64 = records[63].beta.as_secs_f64();
     let i8_ = incremental[7].alpha.as_secs_f64();
     let i64_ = incremental[63].alpha.as_secs_f64();
+    let bat64 = batched[63].alpha.as_secs_f64();
     let early_slope = (records[15].size - records[7].size) as f64 / 8.0;
     let late_slope = (records[63].size - records[55].size) as f64 / 8.0;
     println!("\nstep 8 → step 64 (8× more signatures to verify):");
@@ -70,32 +179,67 @@ fn main() {
         late_slope,
         late_slope / early_slope
     );
+    // one-shot per-hop α is at the mercy of scheduler jitter on a shared
+    // box; the headline comparison re-receives the final hand-off and
+    // takes the best of several reps for both modes
+    let (seq_best, _) = receive_alpha_best_of(64, true, &payload, false, 5);
+    let (bat_best, _) = receive_alpha_best_of(64, true, &payload, true, 5);
+    println!("\nbatched verification at n=64:");
+    println!(
+        "  full α {:.3} ms sequential vs {:.3} ms batched — {:.1}× speedup (single hop)",
+        a64 * 1e3,
+        bat64 * 1e3,
+        a64 / bat64
+    );
+    println!(
+        "  full α {:.3} ms sequential vs {:.3} ms batched — {:.1}× speedup (best of 5)",
+        seq_best.as_secs_f64() * 1e3,
+        bat_best.as_secs_f64() * 1e3,
+        seq_best.as_secs_f64() / bat_best.as_secs_f64()
+    );
+    println!(
+        "  EC ops {} sequential vs {} batched — {:.1}× fewer group operations",
+        records[63].ec_ops,
+        batched[63].ec_ops,
+        records[63].ec_ops as f64 / batched[63].ec_ops as f64
+    );
+    println!(
+        "  incremental canonicalization alloc at step 64: {} B (warm prefix arena)",
+        incremental[63].canon_alloc
+    );
 
-    // machine-readable sweep for plotting / regression tracking: the full-α
-    // column grows with n while the incremental-α column stays flat.
+    // machine-readable, byte-deterministic cost cells for the perf gate:
+    // the sequential EC-op column grows ∝ n while the batched column grows
+    // with a much flatter slope, and the warm arena allocates nothing.
+    let cells: Vec<Cell> = CELLS.iter().map(|&n| measure_cell(n, with_batch_cells)).collect();
     let mut json = String::from("[\n");
-    for (i, (r, inc)) in records.iter().zip(incremental.iter()).enumerate() {
+    for (i, c) in cells.iter().enumerate() {
+        let batch_field =
+            c.batch_ec_ops.map_or(String::new(), |b| format!(" \"batch_ec_ops\": {b},"));
         json.push_str(&format!(
-            "  {{\"n\": {}, \"sigs_full\": {}, \"sigs_incremental\": {}, \
-             \"full_alpha_ms\": {:.4}, \"incremental_alpha_ms\": {:.4}, \
-             \"beta_ms\": {:.4}, \"size_bytes\": {}}}{}\n",
-            r.step + 1,
-            r.sigs_verified,
-            inc.sigs_verified,
-            r.alpha.as_secs_f64() * 1e3,
-            inc.alpha.as_secs_f64() * 1e3,
-            r.beta.as_secs_f64() * 1e3,
-            r.size,
-            if i + 1 == records.len() { "" } else { "," }
+            "  {{\"cell\": \"n={}\", \"sigs\": {}, \"seq_ec_ops\": {},{} \
+             \"canon_bytes\": {}, \"arena_steady_alloc\": {}}}{}\n",
+            c.n,
+            c.sigs,
+            c.seq_ec_ops,
+            batch_field,
+            c.canon_bytes,
+            c.arena_steady_alloc,
+            if i + 1 == cells.len() { "" } else { "," }
         ));
     }
     json.push_str("]\n");
     match std::fs::write("BENCH_scaling.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_scaling.json ({} rows)", records.len()),
+        Ok(()) => println!(
+            "\nwrote BENCH_scaling.json ({} deterministic cells{})",
+            cells.len(),
+            if with_batch_cells { ", with batch cells" } else { "" }
+        ),
         Err(e) => eprintln!("\ncould not write BENCH_scaling.json: {e}"),
     }
     let metrics = dra_obs::MetricsRegistry::new();
     metrics.incr("scaling.sweep_rows", records.len() as u64);
+    metrics.incr("scaling.counter_cells", cells.len() as u64);
 
     if let Some(path) = trace_out {
         // deterministic logical-time trace of the sealed hand-off sweep:
@@ -114,10 +258,13 @@ fn main() {
     }
 
     let slope_ratio = late_slope / early_slope;
+    let batch_cell_64 = cells.last().expect("cells");
     let pass = a64 / a8 > 3.0
         && b64 / b8 < 2.5
         && (0.7..1.4).contains(&slope_ratio)
-        && i64_ / i8_ < a64 / a8;
+        && i64_ / i8_ < a64 / a8
+        && bat_best < seq_best
+        && batch_cell_64.arena_steady_alloc == 0;
     println!("\nC1 verdict: {}", if pass { "SHAPE REPRODUCED" } else { "SHAPE NOT REPRODUCED" });
     dra_bench::enforce_metric_invariants(&metrics);
 }

@@ -52,7 +52,7 @@ fn main() {
         applied += 1;
         match DraDocument::parse(&t) {
             Err(_) => detected += 1, // mangled structure is detected at parse
-            Ok(doc) => match verify_document(&doc, &dir) {
+            Ok(doc) => match Verifier::new(&dir).run(&doc) {
                 Err(_) => detected += 1,
                 Ok(_) => {
                     // a flip inside free text the signature does not cover

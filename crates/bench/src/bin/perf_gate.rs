@@ -14,8 +14,26 @@
 //!
 //! Run with: `cargo run --release -p dra-bench --bin perf_gate -- \
 //!     BENCH_profile.json perf/BENCH_profile.baseline.json perf/perf_tolerances.json`
+//!
+//! The gate also accepts the scaling counter file (`BENCH_scaling.json` vs
+//! `perf/BENCH_scaling.baseline.json`): a document starting with `[` is a
+//! scaling cell array, anything else a profile. Scaling counters are
+//! EC-op and allocation counts — deterministic by construction, so their
+//! stage tolerances can be 0.
 
-use dra_bench::perfgate::{gate, parse_profile, parse_tolerances, report};
+use dra_bench::perfgate::{
+    gate, parse_profile, parse_scaling, parse_tolerances, report, ProfileIndex,
+};
+
+/// Sniff the document format: scaling cell arrays are `[ … ]`, profiles
+/// are `{ … }`.
+fn parse_any(text: &str) -> ProfileIndex {
+    if text.trim_start().starts_with('[') {
+        parse_scaling(text)
+    } else {
+        parse_profile(text)
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,8 +51,8 @@ fn main() {
             std::process::exit(2);
         })
     };
-    let new = parse_profile(&read(&new_path));
-    let baseline = parse_profile(&read(&base_path));
+    let new = parse_any(&read(&new_path));
+    let baseline = parse_any(&read(&base_path));
     let tol = parse_tolerances(&read(&tol_path)).unwrap_or_else(|| {
         eprintln!("perf_gate: {tol_path} is malformed (no default_pct)");
         std::process::exit(2);

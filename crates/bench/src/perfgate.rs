@@ -72,6 +72,28 @@ pub fn parse_profile(text: &str) -> ProfileIndex {
     out
 }
 
+/// Parse a `BENCH_scaling.json` (one object per line, a `"cell"` string
+/// plus deterministic numeric counters) into `(cell, counter) → value`.
+/// Every numeric field on a cell row becomes a gated stage, so new
+/// counters join the gate without a parser change.
+#[must_use]
+pub fn parse_scaling(text: &str) -> ProfileIndex {
+    let mut out = ProfileIndex::new();
+    for line in text.lines() {
+        let Some(cell) = str_field(line, "cell") else { continue };
+        // quoted substrings alternate key/value; keys are the even ones
+        for key in line.split('"').skip(1).step_by(2) {
+            if key == "cell" {
+                continue;
+            }
+            if let Some(v) = num_field(line, key) {
+                out.insert((cell.clone(), key.to_string()), v as u64);
+            }
+        }
+    }
+    out
+}
+
 /// Parse a tolerance file: `{"default_pct": N, "stages": {"hop": N, …}}`.
 /// Returns `None` when no `default_pct` is present (malformed file —
 /// better to fail the gate than to silently wave regressions through).
@@ -199,6 +221,35 @@ mod tests {
     "hop": 10
   }
 }"#;
+
+    const SCALING: &str = r#"[
+  {"cell": "n=1", "sigs": 2, "seq_ec_ops": 1000, "batch_ec_ops": 700, "canon_bytes": 512, "arena_steady_alloc": 0},
+  {"cell": "n=8", "sigs": 9, "seq_ec_ops": 4500, "batch_ec_ops": 1500, "canon_bytes": 2048, "arena_steady_alloc": 0}
+]"#;
+
+    #[test]
+    fn parses_scaling_cells() {
+        let idx = parse_scaling(SCALING);
+        assert_eq!(idx.len(), 10, "2 cells × 5 counters");
+        assert_eq!(idx[&("n=1".to_string(), "seq_ec_ops".to_string())], 1000);
+        assert_eq!(idx[&("n=8".to_string(), "batch_ec_ops".to_string())], 1500);
+        assert_eq!(idx[&("n=8".to_string(), "arena_steady_alloc".to_string())], 0);
+    }
+
+    #[test]
+    fn scaling_gate_catches_ec_op_regressions() {
+        let base = parse_scaling(SCALING);
+        let tol = Tolerances { default_pct: 0.0, stages: BTreeMap::new() };
+        assert_eq!(gate(&base, &base, &tol), vec![]);
+        let worse =
+            parse_scaling(&SCALING.replace("\"batch_ec_ops\": 1500", "\"batch_ec_ops\": 1501"));
+        let violations = gate(&base, &worse, &tol);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].key, "n=8/batch_ec_ops");
+        // a dropped counter (e.g. running without --batch) is a violation too
+        let missing = parse_scaling(&SCALING.replace(" \"batch_ec_ops\": 1500,", ""));
+        assert_eq!(gate(&base, &missing, &tol).len(), 1);
+    }
 
     #[test]
     fn parses_cells_and_stages() {

@@ -12,7 +12,6 @@ use crate::sched::{Activation, ActivationBus};
 use crate::trustcache::TrustCache;
 use dra4wfms_core::monitor::ProcessStatus;
 use dra4wfms_core::prelude::*;
-use dra4wfms_core::verify::verify_document;
 use dra_docpool::{map_reduce, HTable, Journal, PutOp, TableConfig};
 use dra_obs::{stage, MetricsRegistry, Tracer};
 use std::collections::BTreeMap;
@@ -353,13 +352,13 @@ impl CloudSystem {
             Some(m) => Some(m.clone()),
             None => self.trust_cache.get(&digest),
         };
-        let outcome = verify_incremental(sealed, &self.directory, mark.as_ref())?;
+        let outcome = Verifier::new(&self.directory).with_mark(mark.as_ref()).run(sealed)?;
         stats.verifications.fetch_add(1, Ordering::Relaxed);
         stats.signature_checks.fetch_add(outcome.report.signatures_verified, Ordering::Relaxed);
         if outcome.reused_cers > 0 {
             stats.incremental_verifications.fetch_add(1, Ordering::Relaxed);
         }
-        self.trust_cache.put(digest, outcome.mark);
+        self.trust_cache.put(digest, outcome.mark.expect("incremental mode issues a mark"));
         let report = outcome.report;
 
         let pid = report.process_id.clone();
@@ -589,7 +588,7 @@ impl CloudSystem {
         let stats = &self.portals[portal % self.portals.len()];
         self.network.transfer(xml.len());
         let doc = DraDocument::parse(xml)?;
-        let report = verify_document(&doc, &self.directory)?;
+        let report = Verifier::new(&self.directory).run(&doc)?.report;
         stats.verifications.fetch_add(1, Ordering::Relaxed);
         if !report.cers.is_empty() {
             return Err(WfError::Malformed(

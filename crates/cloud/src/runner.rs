@@ -535,7 +535,7 @@ mod tests {
     use crate::faults::FaultProfile;
     use crate::netsim::NetworkSim;
     use dra4wfms_core::monitor::ProcessStatus;
-    use dra4wfms_core::verify::verify_document;
+    use dra4wfms_core::verify::Verifier;
 
     /// The Fig. 9A workflow: A → AND-split(B1,B2) → AND-join C → (loop to A
     /// on "insufficient" | D on accept) → end.
@@ -620,7 +620,7 @@ mod tests {
         assert_eq!(status.counts_per_activity()["C"], 2);
         assert_eq!(status.counts_per_activity()["D"], 1);
         // the final document verifies end-to-end
-        let report = verify_document(&out.document, &dir).unwrap();
+        let report = Verifier::new(&dir).run(&out.document).unwrap().report;
         assert_eq!(report.signatures_verified, 10, "designer + 9 CERs");
         // and the pool has every intermediate version
         assert_eq!(sys.pool.scan_prefix("doc/fig9a-run/").len(), 10);
@@ -660,7 +660,7 @@ mod tests {
         let status = ProcessStatus::from_document(&out.document).unwrap();
         assert!(status.executed.iter().all(|e| e.timestamp == Some(1_000)));
         // designer + 9 participant sigs + 9 TFC sigs
-        let report = verify_document(&out.document, &dir).unwrap();
+        let report = Verifier::new(&dir).run(&out.document).unwrap().report;
         assert_eq!(report.signatures_verified, 19);
     }
 
@@ -746,7 +746,7 @@ mod tests {
         );
         // no version lost, none duplicated
         assert_eq!(sys.pool.scan_prefix("doc/crash-run/").len(), 10);
-        verify_document(&out.document, &dir).unwrap();
+        Verifier::new(&dir).run(&out.document).unwrap();
     }
 
     #[test]
@@ -784,7 +784,7 @@ mod tests {
         // the pool holds exactly the 10 versions despite duplicated copies
         assert_eq!(sys.pool.scan_prefix("doc/faulty-run/").len(), 10);
         // the final document still verifies end to end
-        verify_document(&out.document, &dir).unwrap();
+        Verifier::new(&dir).run(&out.document).unwrap();
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the same bytes come back (a re-store, a retrieve-then-store round trip,
 //! a monitoring read), the mark turns the full O(n) signature pass into an
 //! O(1) digest comparison; when a successor version comes back, the mark
-//! handed to [`dra4wfms_core::verify::verify_incremental`] limits the work
+//! handed to [`dra4wfms_core::verify::Verifier::with_mark`] limits the work
 //! to the newly appended CERs.
 //!
 //! Losing the cache (restart, eviction) costs performance, never safety:

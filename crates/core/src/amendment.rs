@@ -194,7 +194,7 @@ pub fn is_amendment_key(key: &CerKey) -> bool {
 
 /// Fold all amendment CERs of `doc` into its base definition and policy,
 /// returning the effective pair. Amendment payloads are **not** verified
-/// here — run [`crate::verify::verify_document`] first.
+/// here — run a [`crate::verify::Verifier`] first.
 pub fn effective_definition(doc: &DraDocument) -> WfResult<(WorkflowDefinition, SecurityPolicy)> {
     let mut def = doc.workflow_definition()?;
     let mut policy = doc.security_policy()?;
@@ -266,7 +266,7 @@ mod tests {
     use crate::aea::Aea;
     use crate::identity::Directory;
     use crate::policy::Readers;
-    use crate::verify::verify_document;
+    use crate::verify::Verifier;
 
     fn setup() -> (WorkflowDefinition, Credentials, Vec<Credentials>, Directory) {
         let designer = Credentials::from_seed("designer", "amd-d");
@@ -337,7 +337,7 @@ mod tests {
 
         // designer amends mid-flight: append an audit step after s2
         let amended = amend_document(&done.document, &designer, &audit_delta()).unwrap();
-        verify_document(&amended, &dir).expect("amended document verifies");
+        Verifier::new(&dir).run(&amended).expect("amended document verifies");
 
         // bob executes s2 — the route now goes to audit, not End
         let aea_bob = Aea::new(people[1].clone(), dir.clone());
@@ -353,7 +353,7 @@ mod tests {
         assert!(done.route.ends);
 
         // the final document verifies, amendment CER included
-        let report = verify_document(&done.document, &dir).unwrap();
+        let report = Verifier::new(&dir).run(&done.document).unwrap().report;
         assert_eq!(report.cers.len(), 4, "s1 + __amend + s2 + audit");
         // and the dynamic policy applied: the stamp is encrypted for alice
         let cer = done.document.find_cer(&CerKey::new("audit", 0)).unwrap().unwrap();
@@ -392,7 +392,7 @@ mod tests {
             amended.to_xml_string().replace("participant=\"carol\"", "participant=\"alice\"");
         assert_ne!(forged, amended.to_xml_string());
         let parsed = DraDocument::parse(&forged).unwrap();
-        assert!(verify_document(&parsed, &dir).is_err(), "amendment tamper detected");
+        assert!(Verifier::new(&dir).run(&parsed).is_err(), "amendment tamper detected");
     }
 
     #[test]
@@ -415,7 +415,7 @@ mod tests {
             _ => true,
         });
         assert_eq!(results.children.len(), before - 1);
-        assert!(verify_document(&stripped, &dir).is_err(), "removal breaks the cascade");
+        assert!(Verifier::new(&dir).run(&stripped).is_err(), "removal breaks the cascade");
     }
 
     #[test]
@@ -464,7 +464,7 @@ mod tests {
             add_policy_rules: vec![],
         };
         let twice = amend_document(&once, &designer, &second).unwrap();
-        verify_document(&twice, &dir).unwrap();
+        Verifier::new(&dir).run(&twice).unwrap();
         let (eff, _) = effective_definition(&twice).unwrap();
         assert!(eff.activity("audit").is_ok());
         assert!(eff.activity("archive").is_ok());

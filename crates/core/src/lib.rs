@@ -14,7 +14,7 @@
 //! * **Confidentiality** — element-wise encryption ([`fields`]): each form
 //!   field is encrypted to exactly its policy-defined audience.
 //! * **Integrity** — any alteration of the routed document breaks a
-//!   signature during [`verify::verify_document`].
+//!   signature during verification ([`verify::Verifier`]).
 //! * **Nonrepudiation** — the cascade of signatures: each participant signs
 //!   its result *and the signatures of all predecessor activities*
 //!   ([`aea`]); Algorithm 1 ([`scope`]) derives who cannot deny what.
@@ -111,9 +111,11 @@ pub mod prelude {
     pub use crate::scope::{all_scopes, nonrepudiation_scope};
     pub use crate::sealed::{prefix_digest, SealedDocument, TrustMark};
     pub use crate::tfc::{TfcProcessed, TfcServer};
+    pub use crate::verify::{trust_mark_for, VerificationReport, Verifier, VerifyOutcome};
+    #[allow(deprecated)] // legacy one-release shims stay importable via the prelude
     pub use crate::verify::{
-        trust_mark_for, verify_document, verify_document_parallel, verify_documents_parallel,
-        verify_incremental, IncrementalOutcome, VerificationReport,
+        verify_document, verify_document_parallel, verify_documents_parallel, verify_incremental,
+        IncrementalOutcome,
     };
 }
 

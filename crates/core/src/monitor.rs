@@ -38,7 +38,7 @@ pub struct ProcessStatus {
 
 impl ProcessStatus {
     /// Extract the status of a document. Does not verify signatures — run
-    /// [`crate::verify::verify_document`] first when trust matters.
+    /// a [`crate::verify::Verifier`] first when trust matters.
     pub fn from_document(doc: &DraDocument) -> WfResult<ProcessStatus> {
         let def = doc.workflow_definition()?;
         let executed = doc
@@ -60,7 +60,7 @@ impl ProcessStatus {
     /// (forged participant, altered result, edited timestamp) fails
     /// verification, so the returned status is backed by the full cascade.
     pub fn verified_status(doc: &DraDocument, directory: &Directory) -> WfResult<ProcessStatus> {
-        crate::verify::verify_document(doc, directory)?;
+        crate::verify::Verifier::new(directory).run(doc)?;
         Self::from_document(doc)
     }
 

@@ -17,16 +17,26 @@
 //! tampered result, a stripped amendment, a TFC finalization of a
 //! previously intermediate CER — changes the digest, and verification
 //! falls back to the full pass (and fails loudly if the change was
-//! malicious). See [`crate::verify::verify_incremental`].
+//! malicious). See [`crate::verify::Verifier::with_mark`].
 
 use crate::document::DraDocument;
 use crate::error::WfResult;
-use dra_xml::canon::canonicalize_all;
+use dra_xml::canon::CanonArena;
+use std::cell::RefCell;
 use std::sync::{Arc, OnceLock};
+
+thread_local! {
+    /// Reusable canonicalization buffer for [`prefix_digest`]. Incremental
+    /// verification recomputes the prefix digest on every hop; routing it
+    /// through a thread-local arena means the per-hop cost settles at zero
+    /// heap allocation once the buffer has grown to the largest prefix seen
+    /// on this thread.
+    static PREFIX_ARENA: RefCell<CanonArena> = RefCell::new(CanonArena::new());
+}
 
 /// Evidence that a prefix of a document has already been fully verified.
 ///
-/// Issued by [`crate::verify::verify_incremental`] (and by the full
+/// Issued by [`crate::verify::Verifier::with_mark`] (and by the full
 /// verifiers via [`crate::verify::trust_mark_for`]); consumed on the next
 /// hop to skip re-verification of the pinned prefix.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,7 +60,7 @@ pub fn prefix_digest(doc: &DraDocument, cer_count: usize) -> WfResult<[u8; 32]> 
     let app = doc.app_definition()?;
     let mut parts: Vec<&dra_xml::Element> = vec![header, app];
     parts.extend(doc.results()?.find_children("CER").take(cer_count));
-    Ok(dra_crypto::sha256(&canonicalize_all(parts)))
+    Ok(PREFIX_ARENA.with(|arena| dra_crypto::sha256(arena.borrow_mut().canonicalize_all(parts))))
 }
 
 /// A parsed document plus its memoized wire form and verification trust.

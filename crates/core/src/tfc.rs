@@ -28,7 +28,7 @@ use crate::ingest::Inbound;
 use crate::model::WorkflowDefinition;
 use crate::policy::SecurityPolicy;
 use crate::sealed::{prefix_digest, SealedDocument, TrustMark};
-use crate::verify::{tfc_attest_bytes, verify_incremental};
+use crate::verify::{tfc_attest_bytes, Verifier};
 use dra_obs::{stage, Tracer};
 use dra_xml::sig::sign_detached;
 use dra_xml::Element;
@@ -186,7 +186,7 @@ impl TfcServer {
                 actual: self.creds.name.clone(),
             });
         }
-        let outcome = verify_incremental(&sealed, &self.directory, sealed.trust())?;
+        let outcome = Verifier::new(&self.directory).with_mark(sealed.trust()).run(&sealed)?;
         let report = outcome.report;
         if !report.ends_with_intermediate {
             return Err(WfError::Malformed(
@@ -196,11 +196,12 @@ impl TfcServer {
         let doc = sealed.into_document();
         // The onward mark stops short of the intermediate CER, which
         // finalization is about to mutate in place.
+        let fresh = outcome.mark.expect("incremental mode issues a mark");
         let trust = TrustMark {
             process_id: report.process_id.clone(),
             verified_cers: report.cers.len() - 1,
             prefix_digest: prefix_digest(&doc, report.cers.len() - 1)?,
-            signatures_verified: outcome.mark.signatures_verified,
+            signatures_verified: fresh.signatures_verified,
         };
 
         let (key, participant, sealed_hex) = {
@@ -363,7 +364,7 @@ mod tests {
     use super::*;
     use crate::aea::Aea;
     use crate::model::{Condition, JoinKind};
-    use crate::verify::verify_document;
+    use crate::verify::Verifier;
 
     /// The Fig. 4 workflow: Peter inputs X (readable only by Amy and the
     /// TFC), Tony inputs Y whose audience depends on Func(X), then an
@@ -460,7 +461,7 @@ mod tests {
         assert!(!readers.contains(&"mary"));
 
         // Full final document verifies (designer + 2 participants + 2 TFC).
-        let report = verify_document(&done.document, &f.dir).unwrap();
+        let report = Verifier::new(&f.dir).run(&done.document).unwrap().report;
         assert_eq!(report.signatures_verified, 5);
         assert!(!report.ends_with_intermediate);
     }
@@ -582,7 +583,7 @@ mod tests {
         assert_eq!(done.timestamp, 100, "the logged intent, not a second draw");
         assert_eq!(counter.load(Ordering::SeqCst), 101, "clock consulted exactly once");
         assert_eq!(tfc.redo_reuses(), 1);
-        verify_document(&done.document, &f.dir).unwrap();
+        Verifier::new(&f.dir).run(&done.document).unwrap();
         // exactly one Timestamp element on the finalized CER
         let wire = done.document.to_xml_string();
         assert_eq!(wire.matches("<Timestamp").count(), 1, "no double-timestamp");
@@ -607,6 +608,6 @@ mod tests {
         let done = tfc.process(inter.document.to_xml_string()).unwrap();
         let tampered = done.document.to_xml_string().replace("time=\"777\"", "time=\"778\"");
         let doc = DraDocument::parse(&tampered).unwrap();
-        assert!(matches!(verify_document(&doc, &f.dir), Err(WfError::Verify(_))));
+        assert!(matches!(Verifier::new(&f.dir).run(&doc), Err(WfError::Verify(_))));
     }
 }

@@ -5,12 +5,13 @@
 //! are valid", §2.1), and what a portal server performs before storing a
 //! document into the pool.
 
-use crate::document::{CerView, DraDocument};
+use crate::document::{CerKey, CerView, DraDocument, PredRef};
 use crate::error::{WfError, WfResult};
 use crate::identity::Directory;
 use crate::model::WorkflowDefinition;
 use crate::sealed::{prefix_digest, TrustMark};
 use dra_xml::canon::canonicalize_all;
+use std::collections::HashMap;
 
 use dra_xml::Element;
 
@@ -44,8 +45,8 @@ pub fn tfc_attest_bytes(header: &Element, cer: &CerView<'_>) -> WfResult<Vec<u8>
 }
 
 /// One planned signature check: verify `signature` over `bytes` under
-/// `signer`. Tasks are independent once planned, which is what makes
-/// [`verify_document_parallel`] possible.
+/// `signer`. Tasks are independent once planned, which is what makes them
+/// both parallelizable and batch-schedulable (see [`Verifier::batched`]).
 struct SigTask {
     label: String,
     signer: dra_crypto::ed25519::PublicKey,
@@ -114,6 +115,14 @@ fn plan_verification(
     let mut eff_pol = doc.security_policy()?;
 
     let cers = doc.cers()?;
+    // Pred lookup map, built once: resolving predecessors through
+    // `DraDocument::find_cer` re-scans every CER per lookup, which turns
+    // planning into an O(n²) pass on long cascades. First match wins, as
+    // in document-order search.
+    let mut by_key: HashMap<&CerKey, &CerView<'_>> = HashMap::with_capacity(cers.len());
+    for cer in &cers {
+        by_key.entry(&cer.key).or_insert(cer);
+    }
     let mut ends_with_intermediate = false;
     let header = doc.header()?;
     for (idx, cer) in cers.iter().enumerate() {
@@ -148,10 +157,28 @@ fn plan_verification(
                     cer.key
                 )));
             }
+            // cascade bytes with preds resolved through the map — same
+            // parts as `DraDocument::cascade_bytes`
+            let mut parts: Vec<&Element> = vec![header, body];
+            for p in &cer.preds {
+                match p {
+                    PredRef::Def => parts.push(doc.designer_signature()?),
+                    PredRef::Cer(k) => {
+                        let pred = by_key
+                            .get(k)
+                            .ok_or_else(|| WfError::Malformed(format!("pred CER {k} not found")))?;
+                        let sigs = pred.signatures();
+                        if sigs.is_empty() {
+                            return Err(WfError::Malformed(format!("pred CER {k} unsigned")));
+                        }
+                        parts.extend(sigs);
+                    }
+                }
+            }
             tasks.push(SigTask {
                 label: format!("CER {} participant", cer.key),
                 signer: block.signer,
-                bytes: doc.cascade_bytes(body, &cer.preds)?,
+                bytes: canonicalize_all(parts),
                 signature: block.signature,
             });
         }
@@ -216,9 +243,25 @@ fn plan_verification(
     Ok((tasks, report))
 }
 
-/// Verify every signature embedded in `doc` against `directory`.
+/// Unified verification entry point — a builder replacing the former five
+/// free functions (`verify_document`, `verify_document_with_def`,
+/// `verify_incremental`, `verify_document_parallel`,
+/// `verify_documents_parallel`).
 ///
-/// Checks, in order:
+/// ```
+/// # use dra4wfms_core::prelude::*;
+/// # use dra4wfms_core::verify::Verifier;
+/// # let designer = Credentials::from_seed("designer", "d");
+/// # let def = WorkflowDefinition::builder("w", "designer")
+/// #     .simple_activity("A", "designer", &["x"]).flow_end("A").build().unwrap();
+/// # let directory = Directory::from_credentials([&designer]);
+/// # let doc = DraDocument::new_initial(&def, &SecurityPolicy::public(), &designer).unwrap();
+/// let outcome = Verifier::new(&directory).threads(1).batched(true).run(&doc)?;
+/// assert_eq!(outcome.report.signatures_verified, 1);
+/// # Ok::<(), dra4wfms_core::error::WfError>(())
+/// ```
+///
+/// The checks performed are unchanged:
 /// 1. the embedded workflow definition is structurally valid;
 /// 2. the designer's signature over `[Header, WorkflowDefinition,
 ///    SecurityDefinition]` — a forged or altered definition fails here;
@@ -230,23 +273,191 @@ fn plan_verification(
 ///
 /// An *intermediate* CER (sealed to the TFC, not yet re-encrypted) is only
 /// legal as the final CER of an in-flight document.
+///
+/// Knobs:
+/// * [`threads`](Verifier::threads) — worker threads for the signature
+///   checks (default 1).
+/// * [`batched`](Verifier::batched) — verify signatures with the shared
+///   multi-scalar batch equation, falling back to per-signature checks on
+///   batch failure so the culprit and error variant match the sequential
+///   path exactly (default on).
+/// * [`with_def`](Verifier::with_def) — reuse an already parsed/validated
+///   definition instead of re-extracting it from the document.
+/// * [`with_mark`](Verifier::with_mark) — incremental mode: skip the CERs a
+///   [`TrustMark`] pins (when its prefix digest still matches) and issue a
+///   fresh mark covering the whole document.
+#[derive(Clone, Copy)]
+pub struct Verifier<'a> {
+    directory: &'a Directory,
+    threads: usize,
+    batched: bool,
+    def: Option<&'a WorkflowDefinition>,
+    mark: Option<&'a TrustMark>,
+    incremental: bool,
+}
+
+/// What a [`Verifier`] run produced.
+#[derive(Debug, Clone)]
+pub struct VerifyOutcome {
+    /// The verification report. `signatures_verified` counts only the
+    /// checks executed *this pass* (in incremental mode with a matching
+    /// mark and k new CERs it is exactly the k participant checks plus any
+    /// new TFC attestation).
+    pub report: VerificationReport,
+    /// A fresh mark pinning the whole document as now verified — issued in
+    /// incremental mode ([`Verifier::with_mark`]); hand it to the next hop.
+    pub mark: Option<TrustMark>,
+    /// CERs skipped because the supplied trust mark's prefix digest matched.
+    pub reused_cers: usize,
+    /// True when a supplied mark was unusable (wrong process, or digest
+    /// mismatch) and a full verification ran instead.
+    pub fell_back: bool,
+}
+
+impl<'a> Verifier<'a> {
+    /// A verifier resolving signers against `directory`: single-threaded,
+    /// batched, full (non-incremental) scope.
+    pub fn new(directory: &'a Directory) -> Verifier<'a> {
+        Verifier { directory, threads: 1, batched: true, def: None, mark: None, incremental: false }
+    }
+
+    /// Use up to `n` worker threads for the planned signature checks
+    /// (clamped to at least 1; values ≤ 1 mean sequential).
+    pub fn threads(mut self, n: usize) -> Verifier<'a> {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Enable or disable batch verification of the planned signature
+    /// checks. Batched and sequential verification always agree on the
+    /// verdict: a failing batch falls back to per-signature checks, which
+    /// report the same culprit with the same error variant.
+    pub fn batched(mut self, on: bool) -> Verifier<'a> {
+        self.batched = on;
+        self
+    }
+
+    /// Supply an already parsed **and validated** workflow definition,
+    /// skipping re-extraction from the document.
+    pub fn with_def(mut self, def: &'a WorkflowDefinition) -> Verifier<'a> {
+        self.def = Some(def);
+        self
+    }
+
+    /// Incremental mode: prove the prefix a [`TrustMark`] pins is
+    /// byte-identical via its canonical digest and re-check only the CERs
+    /// appended since; issue a fresh mark for the next hop.
+    ///
+    /// Accepts `&TrustMark` or `Option<&TrustMark>` (pass a seal's
+    /// [`trust()`](crate::sealed::SealedDocument::trust) straight through —
+    /// `None` simply means a full pass that still issues a mark).
+    ///
+    /// Fallback semantics keep security identical to the full pass: if the
+    /// mark names a different process, claims more CERs than the document
+    /// has, or its digest no longer matches (any tamper — or any
+    /// legitimate in-place change, like a TFC finalizing a previously
+    /// intermediate CER), the *full* verification runs and its verdict
+    /// stands. A tampered prefix therefore still fails loudly, stale mark
+    /// or not.
+    pub fn with_mark(mut self, mark: impl Into<Option<&'a TrustMark>>) -> Verifier<'a> {
+        self.mark = mark.into();
+        self.incremental = true;
+        self
+    }
+
+    /// Verify `doc`, returning the unified outcome.
+    pub fn run(&self, doc: &DraDocument) -> WfResult<VerifyOutcome> {
+        let owned_def;
+        let def = match self.def {
+            Some(d) => d,
+            None => {
+                owned_def = doc.workflow_definition()?;
+                owned_def.validate()?;
+                &owned_def
+            }
+        };
+
+        let usable_prefix = match self.mark {
+            Some(m) => {
+                let total = doc.cers()?.len();
+                if m.process_id == doc.process_id()?
+                    && m.verified_cers <= total
+                    && prefix_digest(doc, m.verified_cers)? == m.prefix_digest
+                {
+                    Some(m.verified_cers)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        let (scope, fell_back) = match usable_prefix {
+            Some(n) => (VerifyScope::TrustedPrefix(n), false),
+            None => (VerifyScope::Full, self.mark.is_some()),
+        };
+
+        let (tasks, report) = plan_verification(doc, self.directory, def, scope)?;
+        run_tasks(&tasks, self.threads, self.batched)?;
+
+        let reused_cers = match scope {
+            VerifyScope::TrustedPrefix(n) => n,
+            VerifyScope::Full => 0,
+        };
+        let mark = if self.incremental {
+            // Cumulative count carries over only when the mark was used.
+            let prior = match (usable_prefix, self.mark) {
+                (Some(_), Some(m)) => m.signatures_verified,
+                _ => 0,
+            };
+            Some(trust_mark_for(doc, &report, prior)?)
+        } else {
+            None
+        };
+        Ok(VerifyOutcome { report, mark, reused_cers, fell_back })
+    }
+
+    /// Verify a batch of independent documents (the portal-server bulk
+    /// path), each under this verifier's configuration, with up to
+    /// [`threads`](Verifier::threads) documents in flight at once.
+    /// Failures are reported per document; workers write disjoint result
+    /// slots directly, no locking.
+    pub fn run_many(&self, docs: &[DraDocument]) -> Vec<WfResult<VerifyOutcome>> {
+        let threads = self.threads.min(docs.len().max(1));
+        // Parallelism moves across documents; each one is verified on a
+        // single thread.
+        let per_doc = Verifier { threads: 1, ..*self };
+        if threads <= 1 {
+            return docs.iter().map(|d| per_doc.run(d)).collect();
+        }
+        let chunk = docs.len().div_ceil(threads);
+        let mut out: Vec<Option<WfResult<VerifyOutcome>>> = (0..docs.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            for (doc_chunk, slot_chunk) in docs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (doc, slot) in doc_chunk.iter().zip(slot_chunk.iter_mut()) {
+                        *slot = Some(per_doc.run(doc));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|slot| slot.expect("every slot filled")).collect()
+    }
+}
+
+/// Verify every signature embedded in `doc` against `directory`.
+#[deprecated(since = "0.7.0", note = "use `Verifier::new(&directory).run(&doc)`")]
 pub fn verify_document(doc: &DraDocument, directory: &Directory) -> WfResult<VerificationReport> {
-    let def = doc.workflow_definition()?;
-    def.validate()?;
-    verify_document_with_def(doc, directory, &def)
+    Verifier::new(directory).batched(false).run(doc).map(|o| o.report)
 }
 
 /// Variant for callers that already parsed/validated the definition.
+#[deprecated(since = "0.7.0", note = "use `Verifier::new(&directory).with_def(&def).run(&doc)`")]
 pub fn verify_document_with_def(
     doc: &DraDocument,
     directory: &Directory,
     def: &WorkflowDefinition,
 ) -> WfResult<VerificationReport> {
-    let (tasks, report) = plan_verification(doc, directory, def, VerifyScope::Full)?;
-    for t in &tasks {
-        t.run()?;
-    }
-    Ok(report)
+    Verifier::new(directory).batched(false).with_def(def).run(doc).map(|o| o.report)
 }
 
 /// Issue a [`TrustMark`] pinning the whole current document, given a report
@@ -267,6 +478,7 @@ pub fn trust_mark_for(
 }
 
 /// Outcome of [`verify_incremental`].
+#[deprecated(since = "0.7.0", note = "use `VerifyOutcome` from `Verifier::with_mark`")]
 #[derive(Debug, Clone)]
 pub struct IncrementalOutcome {
     /// The verification report. `signatures_verified` counts only the
@@ -287,91 +499,64 @@ pub struct IncrementalOutcome {
 /// Incremental verification: re-check only the CERs appended since `mark`
 /// was issued, after proving the marked prefix byte-identical via its
 /// canonical digest.
-///
-/// Fallback semantics keep security identical to [`verify_document`]: if
-/// the mark is absent, names a different process, claims more CERs than
-/// the document has, or its digest no longer matches (any tamper —
-/// or any legitimate in-place change, like a TFC finalizing a previously
-/// intermediate CER), the *full* verification runs and its verdict stands.
-/// A tampered prefix therefore still fails loudly, stale mark or not.
+#[deprecated(since = "0.7.0", note = "use `Verifier::new(&directory).with_mark(mark).run(&doc)`")]
+#[allow(deprecated)]
 pub fn verify_incremental(
     doc: &DraDocument,
     directory: &Directory,
     mark: Option<&TrustMark>,
 ) -> WfResult<IncrementalOutcome> {
-    let def = doc.workflow_definition()?;
-    def.validate()?;
-
-    let usable_prefix = match mark {
-        Some(m) => {
-            let total = doc.cers()?.len();
-            if m.process_id == doc.process_id()?
-                && m.verified_cers <= total
-                && prefix_digest(doc, m.verified_cers)? == m.prefix_digest
-            {
-                Some(m.verified_cers)
-            } else {
-                None
-            }
-        }
-        None => None,
-    };
-
-    let (scope, fell_back) = match usable_prefix {
-        Some(n) => (VerifyScope::TrustedPrefix(n), false),
-        None => (VerifyScope::Full, mark.is_some()),
-    };
-    let (tasks, report) = plan_verification(doc, directory, &def, scope)?;
-    for t in &tasks {
-        t.run()?;
-    }
-
-    let reused_cers = match scope {
-        VerifyScope::TrustedPrefix(n) => n,
-        VerifyScope::Full => 0,
-    };
-    // Cumulative count carries over only when the mark was actually used.
-    let prior = match (usable_prefix, mark) {
-        (Some(_), Some(m)) => m.signatures_verified,
-        _ => 0,
-    };
-    let mark = trust_mark_for(doc, &report, prior)?;
-    Ok(IncrementalOutcome { report, reused_cers, fell_back, mark })
+    let o = Verifier::new(directory).batched(false).with_mark(mark).run(doc)?;
+    Ok(IncrementalOutcome {
+        report: o.report,
+        reused_cers: o.reused_cers,
+        fell_back: o.fell_back,
+        mark: o.mark.expect("incremental mode issues a mark"),
+    })
 }
 
-/// Parallel variant: the sequential structural pass plans one independent
-/// signature check per embedded signature, then `threads` worker threads
-/// execute the checks concurrently. Signature verification dominates α for
-/// long cascades (see Table 1/C1), so this parallelizes the hot loop.
+/// Parallel variant: `threads` worker threads execute the planned
+/// signature checks concurrently.
+#[deprecated(since = "0.7.0", note = "use `Verifier::new(&directory).threads(n).run(&doc)`")]
 pub fn verify_document_parallel(
     doc: &DraDocument,
     directory: &Directory,
     threads: usize,
 ) -> WfResult<VerificationReport> {
-    let def = doc.workflow_definition()?;
-    def.validate()?;
-    let (tasks, report) = plan_verification(doc, directory, &def, VerifyScope::Full)?;
-    run_tasks_parallel(&tasks, threads)?;
-    Ok(report)
+    Verifier::new(directory).batched(false).threads(threads).run(doc).map(|o| o.report)
 }
 
-fn run_tasks_parallel(tasks: &[SigTask], threads: usize) -> WfResult<()> {
+/// Execute planned signature checks: batched when requested (aggregate
+/// batch equation first, per-signature fallback on failure) and across
+/// `threads` workers when more than one.
+fn run_tasks(tasks: &[SigTask], threads: usize, batched: bool) -> WfResult<()> {
     let threads = threads.max(1).min(tasks.len().max(1));
     if threads <= 1 || tasks.len() <= 1 {
-        for t in tasks {
-            t.run()?;
-        }
-        return Ok(());
+        return run_chunk(tasks, batched);
     }
+    // Workers claim contiguous chunks so a batched worker amortizes the
+    // shared multi-scalar multiplication over its whole claim; a poison
+    // flag stops sibling workers early once any chunk fails.
+    let stride = if batched { tasks.len().div_ceil(threads) } else { 1 };
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let poisoned = std::sync::atomic::AtomicBool::new(false);
     let results: Vec<WfResult<()>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                let next = &next;
+                let (next, poisoned) = (&next, &poisoned);
                 s.spawn(move || loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(t) = tasks.get(i) else { return Ok(()) };
-                    t.run()?;
+                    if poisoned.load(std::sync::atomic::Ordering::Relaxed) {
+                        return Ok(());
+                    }
+                    let start = next.fetch_add(stride, std::sync::atomic::Ordering::Relaxed);
+                    if start >= tasks.len() {
+                        return Ok(());
+                    }
+                    let chunk = &tasks[start..(start + stride).min(tasks.len())];
+                    if let Err(e) = run_chunk(chunk, batched) {
+                        poisoned.store(true, std::sync::atomic::Ordering::Relaxed);
+                        return Err(e);
+                    }
                 })
             })
             .collect();
@@ -383,35 +568,41 @@ fn run_tasks_parallel(tasks: &[SigTask], threads: usize) -> WfResult<()> {
     Ok(())
 }
 
+/// Verify one contiguous run of tasks. Batched mode checks the aggregate
+/// equation over the whole chunk first — one shared multi-scalar
+/// multiplication instead of `len` double-scalar ones — and on failure
+/// falls back to per-signature checks, so the reported culprit and error
+/// variant are identical to the sequential path.
+fn run_chunk(tasks: &[SigTask], batched: bool) -> WfResult<()> {
+    if batched && tasks.len() >= 2 {
+        let entries: Vec<dra_crypto::BatchEntry<'_>> =
+            tasks.iter().map(|t| (t.bytes.as_slice(), t.signature, t.signer)).collect();
+        if dra_crypto::verify_batch(&entries) {
+            return Ok(());
+        }
+    }
+    for t in tasks {
+        t.run()?;
+    }
+    Ok(())
+}
+
 /// Verify a batch of independent documents in parallel (the portal-server
 /// bulk path): each document gets its own full verification; failures are
 /// reported per document.
+#[deprecated(since = "0.7.0", note = "use `Verifier::new(&directory).threads(n).run_many(&docs)`")]
 pub fn verify_documents_parallel(
     docs: &[DraDocument],
     directory: &Directory,
     threads: usize,
 ) -> Vec<WfResult<VerificationReport>> {
-    let threads = threads.max(1).min(docs.len().max(1));
-    if threads <= 1 {
-        return docs.iter().map(|d| verify_document(d, directory)).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut out: Vec<Option<WfResult<VerificationReport>>> =
-        (0..docs.len()).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<Option<WfResult<VerificationReport>>>> =
-        out.iter_mut().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            let next = &next;
-            let slots = &slots;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(doc) = docs.get(i) else { break };
-                *slots[i].lock().expect("slot") = Some(verify_document(doc, directory));
-            });
-        }
-    });
-    slots.into_iter().map(|m| m.into_inner().expect("slot").expect("every slot filled")).collect()
+    Verifier::new(directory)
+        .batched(false)
+        .threads(threads)
+        .run_many(docs)
+        .into_iter()
+        .map(|r| r.map(|o| o.report))
+        .collect()
 }
 
 #[cfg(test)]
@@ -438,7 +629,7 @@ mod tests {
     fn initial_document_verifies() {
         let (def, pol, designer, dir) = fixture();
         let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "pid").unwrap();
-        let report = verify_document(&doc, &dir).unwrap();
+        let report = Verifier::new(&dir).run(&doc).unwrap().report;
         assert_eq!(report.signatures_verified, 1);
         assert!(report.cers.is_empty());
         assert!(!report.ends_with_intermediate);
@@ -455,7 +646,7 @@ mod tests {
         tampered = tampered.replace("participant=\"peter\"", "participant=\"mallory\"");
         let doc2 = DraDocument::parse(&tampered).unwrap();
         // verification must fail — either unknown identity or bad signature
-        assert!(verify_document(&doc2, &dir).is_err());
+        assert!(Verifier::new(&dir).run(&doc2).is_err());
     }
 
     #[test]
@@ -464,7 +655,7 @@ mod tests {
         let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "pid-A").unwrap();
         let tampered = doc.to_xml_string().replace("pid-A", "pid-B");
         let doc2 = DraDocument::parse(&tampered).unwrap();
-        let err = verify_document(&doc2, &dir).unwrap_err();
+        let err = Verifier::new(&dir).run(&doc2).unwrap_err();
         assert!(matches!(err, WfError::Verify(_)), "replay/renumber attack detected: {err}");
     }
 
@@ -473,7 +664,7 @@ mod tests {
         let (def, pol, designer, _) = fixture();
         let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "pid").unwrap();
         let empty = Directory::new();
-        assert!(matches!(verify_document(&doc, &empty), Err(WfError::UnknownIdentity(_))));
+        assert!(matches!(Verifier::new(&empty).run(&doc), Err(WfError::UnknownIdentity(_))));
     }
 
     // CER-level verification is exercised end-to-end in the aea/tfc module

@@ -70,6 +70,7 @@ impl Point {
     /// Point addition (complete formulas for a = −1 twisted Edwards;
     /// "add-2008-hwcd-3").
     pub fn add(&self, other: &Point) -> Point {
+        count_ec_op();
         let a = self.y.sub(&self.x).mul(&other.y.sub(&other.x));
         let b = self.y.add(&self.x).mul(&other.y.add(&other.x));
         let c = self.t.mul(&d2()).mul(&other.t);
@@ -84,6 +85,7 @@ impl Point {
 
     /// Point doubling ("dbl-2008-hwcd" with a = −1).
     pub fn double(&self) -> Point {
+        count_ec_op();
         let a = self.x.square();
         let b = self.y.square();
         let c = self.z.square();
@@ -99,6 +101,25 @@ impl Point {
     /// Negate the point: (x, y) → (−x, y).
     pub fn neg(&self) -> Point {
         Point { x: self.x.neg(), y: self.y, z: self.z, t: self.t.neg() }
+    }
+
+    /// Addition against a precomputed [`CachedPoint`]: the same complete
+    /// formulas as [`Point::add`] with the addend's `y±x` and `t·2d`
+    /// factored out, saving two multiplications per addition — the form
+    /// the multi-scalar bucket accumulation uses, where each input point
+    /// is added many times.
+    fn add_cached(&self, other: &CachedPoint) -> Point {
+        count_ec_op();
+        let a = self.y.sub(&self.x).mul(&other.y_minus_x);
+        let b = self.y.add(&self.x).mul(&other.y_plus_x);
+        let c = self.t.mul(&other.t2d);
+        let dd = self.z.mul(&other.z);
+        let dd = dd.add(&dd);
+        let e = b.sub(&a);
+        let f = dd.sub(&c);
+        let g = dd.add(&c);
+        let h = b.add(&a);
+        Point { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
     }
 
     /// Scalar multiplication, MSB-first double-and-add over a 32-byte
@@ -157,11 +178,218 @@ impl Point {
         Some(Point { x, y, z: Fe::ONE, t: x.mul(&y) })
     }
 
+    /// [`Point::decompress`] through a thread-local memo. Decompression is
+    /// a pure function whose cost is one field exponentiation, and
+    /// verification workloads decode the same encodings over and over —
+    /// every hop of a cascade re-checks the whole prefix, so each key and
+    /// each signature's R point recurs on every later hop. Invalid
+    /// encodings are memoized as `None` too. The memo is bounded: it is
+    /// cleared wholesale when full (verification working sets are far
+    /// smaller than the cap, so eviction order does not matter).
+    pub fn decompress_cached(enc: &[u8; 32]) -> Option<Point> {
+        const CAP: usize = 4096;
+        DECOMPRESS_MEMO.with(|m| {
+            let mut m = m.borrow_mut();
+            if let Some(hit) = m.get(enc) {
+                return *hit;
+            }
+            let p = Point::decompress(enc);
+            if m.len() >= CAP {
+                m.clear();
+            }
+            m.insert(*enc, p);
+            p
+        })
+    }
+
     /// Affine equality check.
     pub fn eq_affine(&self, other: &Point) -> bool {
         // x1/z1 == x2/z2  <=>  x1*z2 == x2*z1, same for y.
         self.x.mul(&other.z) == other.x.mul(&self.z) && self.y.mul(&other.z) == other.y.mul(&self.z)
     }
+
+    /// True if this is the identity element (0, 1) — x = 0 and y = z in
+    /// projective coordinates. No inversion needed.
+    pub fn is_identity(&self) -> bool {
+        self.x.is_zero() && self.y.sub(&self.z).is_zero()
+    }
+}
+
+/// A point pre-arranged for repeated addition ("Niels coordinates"):
+/// `(y+x, y−x, z, t·2d)`. Building one costs a single multiplication;
+/// every subsequent [`Point::add_cached`] then runs two multiplications
+/// cheaper than a generic add.
+#[derive(Clone, Copy, Debug)]
+struct CachedPoint {
+    y_plus_x: Fe,
+    y_minus_x: Fe,
+    z: Fe,
+    t2d: Fe,
+}
+
+impl CachedPoint {
+    fn from_point(p: &Point) -> CachedPoint {
+        CachedPoint {
+            y_plus_x: p.y.add(&p.x),
+            y_minus_x: p.y.sub(&p.x),
+            z: p.z,
+            t2d: p.t.mul(&d2()),
+        }
+    }
+
+    /// Negation swaps `y+x`/`y−x` and flips `t·2d`.
+    fn neg(&self) -> CachedPoint {
+        CachedPoint {
+            y_plus_x: self.y_minus_x,
+            y_minus_x: self.y_plus_x,
+            z: self.z,
+            t2d: self.t2d.neg(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-scalar multiplication (the batch-verification workhorse)
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Point operations (adds + doubles) performed by this thread — a
+    /// deterministic, machine-independent cost measure for benches.
+    static EC_OPS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+
+    /// Memoized decompressions for [`Point::decompress_cached`].
+    static DECOMPRESS_MEMO: std::cell::RefCell<std::collections::HashMap<[u8; 32], Option<Point>>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+#[inline]
+fn count_ec_op() {
+    EC_OPS.with(|c| c.set(c.get() + 1));
+}
+
+/// Curve point operations (adds + doubles) performed by the current thread
+/// so far. The counter is thread-local: single-threaded measurements are
+/// byte-deterministic for a fixed workload, which is what the scaling bench
+/// writes into `BENCH_scaling.json` instead of wall-clock noise.
+pub fn ec_ops() -> u64 {
+    EC_OPS.with(std::cell::Cell::get)
+}
+
+/// Reset the current thread's point-operation counter to zero.
+pub fn ec_ops_reset() {
+    EC_OPS.with(|c| c.set(0));
+}
+
+/// Extract `width` bits of a little-endian scalar starting at bit `pos`.
+fn scalar_bits(s: &[u8; 32], pos: usize, width: usize) -> u32 {
+    let mut v: u32 = 0;
+    for i in 0..width {
+        let bit = pos + i;
+        if bit < 256 {
+            v |= u32::from((s[bit / 8] >> (bit % 8)) & 1) << i;
+        }
+    }
+    v
+}
+
+/// Recode a scalar into base-2^c signed digits in `[−2^(c−1), 2^(c−1))`,
+/// least-significant first. One extra window absorbs the final carry, so
+/// any 256-bit scalar recodes exactly.
+fn recode_signed(s: &[u8; 32], c: usize) -> Vec<i32> {
+    let windows = 256usize.div_ceil(c) + 1;
+    let half = 1i32 << (c - 1);
+    let full = 1i32 << c;
+    let mut digits = vec![0i32; windows];
+    let mut carry = 0i32;
+    for (w, d) in digits.iter_mut().enumerate() {
+        let mut v = carry + scalar_bits(s, w * c, c) as i32;
+        if v >= half {
+            v -= full;
+            carry = 1;
+        } else {
+            carry = 0;
+        }
+        *d = v;
+    }
+    debug_assert_eq!(carry, 0, "a 256-bit scalar fits in the extra window");
+    digits
+}
+
+/// Σ scalars[i]·points[i] via a signed-digit Pippenger bucket method: all
+/// points share one run of doublings per window, so the per-point cost is a
+/// handful of additions instead of a full double-and-add ladder. This is
+/// what makes batch signature verification cheaper than checking each
+/// signature alone.
+pub fn multiscalar_mul(scalars: &[[u8; 32]], points: &[Point]) -> Point {
+    assert_eq!(scalars.len(), points.len(), "multiscalar_mul: length mismatch");
+    let n = points.len();
+    if n == 0 {
+        return Point::identity();
+    }
+    // Window size tuned for the bucket-aggregation trade-off: larger
+    // windows amortize better once there are enough points to fill them.
+    let c: usize = match n {
+        1..=7 => 4,
+        8..=99 => 5,
+        _ => 6,
+    };
+    let digits: Vec<Vec<i32>> = scalars.iter().map(|s| recode_signed(s, c)).collect();
+    let windows = digits[0].len();
+    let negs: Vec<Point> = points.iter().map(Point::neg).collect();
+    // Niels form of every input (and its negation): one multiplication
+    // each up front, two saved on every bucket accumulation below.
+    let cached: Vec<CachedPoint> = points.iter().map(CachedPoint::from_point).collect();
+    let cached_negs: Vec<CachedPoint> = cached.iter().map(CachedPoint::neg).collect();
+    let half = 1usize << (c - 1);
+
+    let mut acc: Option<Point> = None;
+    let mut buckets: Vec<Option<Point>> = vec![None; half];
+    for w in (0..windows).rev() {
+        if let Some(a) = &acc {
+            let mut d = *a;
+            for _ in 0..c {
+                d = d.double();
+            }
+            acc = Some(d);
+        }
+        buckets.fill(None);
+        for i in 0..n {
+            let d = digits[i][w];
+            let (idx, first, rest) = match d.cmp(&0) {
+                std::cmp::Ordering::Greater => ((d - 1) as usize, &points[i], &cached[i]),
+                std::cmp::Ordering::Less => ((-d - 1) as usize, &negs[i], &cached_negs[i]),
+                std::cmp::Ordering::Equal => continue,
+            };
+            buckets[idx] = Some(match &buckets[idx] {
+                Some(b) => b.add_cached(rest),
+                None => *first,
+            });
+        }
+        // Σ (j+1)·buckets[j] via running partial sums, highest bucket first.
+        let mut running: Option<Point> = None;
+        let mut total: Option<Point> = None;
+        for b in buckets.iter().rev() {
+            if let Some(p) = b {
+                running = Some(match &running {
+                    Some(r) => r.add(p),
+                    None => *p,
+                });
+            }
+            if let Some(r) = &running {
+                total = Some(match &total {
+                    Some(t) => t.add(r),
+                    None => *r,
+                });
+            }
+        }
+        if let Some(t) = total {
+            acc = Some(match &acc {
+                Some(a) => a.add(&t),
+                None => t,
+            });
+        }
+    }
+    acc.unwrap_or_else(Point::identity)
 }
 
 // ---------------------------------------------------------------------------
@@ -368,11 +596,11 @@ impl PublicKey {
         if !scalar_is_canonical(&s) {
             return false;
         }
-        let a = match Point::decompress(&self.0) {
+        let a = match Point::decompress_cached(&self.0) {
             Some(p) => p,
             None => return false,
         };
-        let r = match Point::decompress(&r_enc) {
+        let r = match Point::decompress_cached(&r_enc) {
             Some(p) => p,
             None => return false,
         };
@@ -392,6 +620,122 @@ impl PublicKey {
     pub fn fingerprint(&self) -> String {
         crate::hex::encode(&self.0[..8])
     }
+}
+
+// ---------------------------------------------------------------------------
+// Batch verification
+// ---------------------------------------------------------------------------
+
+/// One batch-verification input: message, signature, and the public key the
+/// signature must verify under.
+pub type BatchEntry<'a> = (&'a [u8], Signature, PublicKey);
+
+/// Verify a batch of independent Ed25519 signatures with one shared
+/// multi-scalar multiplication.
+///
+/// Instead of checking `[Sᵢ]B == Rᵢ + [kᵢ]Aᵢ` once per signature, the batch
+/// draws a deterministic 128-bit coefficient `zᵢ` per entry and checks the
+/// aggregate
+///
+/// ```text
+/// [Σ zᵢ·sᵢ]B − Σ [zᵢ]Rᵢ − Σ [zᵢ·kᵢ]Aᵢ == identity
+/// ```
+///
+/// in a single [`multiscalar_mul`] over `2n+1` points, whose shared
+/// doublings make the per-signature cost a few point additions. The
+/// coefficients are derived by hashing the whole batch transcript (every
+/// `Rᵢ`, `Aᵢ`, `sᵢ` and the message-binding scalar `kᵢ`), so an adversary
+/// cannot pick signatures whose defects cancel without breaking SHA-512 —
+/// the standard deterministic replacement for a random-coefficient batch.
+///
+/// Verdicts agree with [`PublicKey::verify`]: if every signature is
+/// individually valid the aggregate holds identically, and a `false` here
+/// means at least one entry is invalid — re-check entries individually to
+/// identify the culprit (that is what `dra4wfms-core`'s verifier does on
+/// fallback). An empty batch is vacuously valid; a singleton delegates to
+/// the per-signature check.
+#[must_use]
+pub fn verify_batch(entries: &[BatchEntry<'_>]) -> bool {
+    let n = entries.len();
+    if n == 0 {
+        return true;
+    }
+    if n == 1 {
+        let (msg, sig, pk) = &entries[0];
+        return pk.verify(msg, sig);
+    }
+
+    // Decode every entry, rejecting exactly what the single verifier
+    // rejects (non-canonical s, invalid point encodings).
+    let mut s_scalars = Vec::with_capacity(n);
+    let mut r_points = Vec::with_capacity(n);
+    let mut a_points = Vec::with_capacity(n);
+    let mut ks = Vec::with_capacity(n);
+    for (msg, sig, pk) in entries {
+        let r_enc: [u8; 32] = sig.0[..32].try_into().expect("split");
+        let s: [u8; 32] = sig.0[32..].try_into().expect("split");
+        if !scalar_is_canonical(&s) {
+            return false;
+        }
+        let Some(a) = Point::decompress_cached(&pk.0) else {
+            return false;
+        };
+        let Some(r) = Point::decompress_cached(&r_enc) else {
+            return false;
+        };
+        let mut h = Sha512::new();
+        h.update(&r_enc);
+        h.update(&pk.0);
+        h.update(msg);
+        ks.push(scalar_reduce(&h.finalize()));
+        s_scalars.push(s);
+        r_points.push(r);
+        a_points.push(a);
+    }
+
+    // Batch transcript seed: binds n and every signature + key; the
+    // per-entry kᵢ (hashed in below) binds the messages.
+    let mut seed_h = Sha512::new();
+    seed_h.update(b"dra4wfms.ed25519.batchv1");
+    seed_h.update(&(n as u64).to_le_bytes());
+    for (_, sig, pk) in entries {
+        seed_h.update(&sig.0);
+        seed_h.update(&pk.0);
+    }
+    let seed = seed_h.finalize();
+
+    // zᵢ: 128-bit nonzero coefficients — half-width scalars keep the Rᵢ
+    // columns out of the upper windows of the multi-scalar multiplication.
+    let mut zs: Vec<[u8; 32]> = Vec::with_capacity(n);
+    for (i, k) in ks.iter().enumerate() {
+        let mut h = Sha512::new();
+        h.update(&seed);
+        h.update(&(i as u64).to_le_bytes());
+        h.update(k);
+        let wide = h.finalize();
+        let mut z = [0u8; 32];
+        z[..16].copy_from_slice(&wide[..16]);
+        z[0] |= 1; // never zero — a zero coefficient would drop the entry
+        zs.push(z);
+    }
+
+    // Scalars: Σ zᵢ·sᵢ on B, zᵢ on −Rᵢ, zᵢ·kᵢ on −Aᵢ.
+    let zero = [0u8; 32];
+    let mut s_coeff = zero;
+    for i in 0..n {
+        s_coeff = scalar_muladd(&zs[i], &s_scalars[i], &s_coeff);
+    }
+    let mut scalars = Vec::with_capacity(2 * n + 1);
+    let mut points = Vec::with_capacity(2 * n + 1);
+    scalars.push(s_coeff);
+    points.push(Point::basepoint());
+    for i in 0..n {
+        scalars.push(zs[i]);
+        points.push(r_points[i].neg());
+        scalars.push(scalar_muladd(&zs[i], &ks[i], &zero));
+        points.push(a_points[i].neg());
+    }
+    multiscalar_mul(&scalars, &points).is_identity()
 }
 
 impl Signature {
@@ -626,5 +970,220 @@ mod tests {
         let a = Keypair::from_seed([6u8; 32]);
         let b = Keypair::from_seed([7u8; 32]);
         assert_ne!(a.public, b.public);
+    }
+
+    // --- multi-scalar multiplication ---
+
+    fn scalar(v: u64) -> [u8; 32] {
+        let mut s = [0u8; 32];
+        s[..8].copy_from_slice(&v.to_le_bytes());
+        s
+    }
+
+    #[test]
+    fn msm_empty_is_identity() {
+        assert!(multiscalar_mul(&[], &[]).is_identity());
+    }
+
+    #[test]
+    fn msm_matches_naive_small() {
+        let b = Point::basepoint();
+        let p2 = b.double();
+        let p3 = p2.add(&b);
+        // 5·B + 7·2B + 11·3B = 52·B
+        let got = multiscalar_mul(&[scalar(5), scalar(7), scalar(11)], &[b, p2, p3]);
+        assert!(got.eq_affine(&b.scalar_mul(&scalar(52))));
+    }
+
+    #[test]
+    fn msm_matches_naive_wide_scalars() {
+        // Full-width pseudo-random scalars across the small/large window cut.
+        for n in [1usize, 2, 7, 8, 20] {
+            let mut scalars = Vec::new();
+            let mut points = Vec::new();
+            let mut expect: Option<Point> = None;
+            for i in 0..n {
+                let s = scalar_reduce(&crate::sha2::sha512(&[i as u8, n as u8, 0x5a]));
+                let p = Point::basepoint()
+                    .scalar_mul(&scalar_reduce(&crate::sha2::sha512(&[i as u8, n as u8, 0xa5])));
+                let term = p.scalar_mul(&s);
+                expect = Some(match &expect {
+                    Some(e) => e.add(&term),
+                    None => term,
+                });
+                scalars.push(s);
+                points.push(p);
+            }
+            let got = multiscalar_mul(&scalars, &points);
+            assert!(got.eq_affine(&expect.unwrap()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn msm_cancellation_hits_identity() {
+        let b = Point::basepoint();
+        // 3·B + 3·(−B) = identity
+        let got = multiscalar_mul(&[scalar(3), scalar(3)], &[b, b.neg()]);
+        assert!(got.is_identity());
+    }
+
+    #[test]
+    fn recode_signed_roundtrip() {
+        for c in [4usize, 5, 6] {
+            for seed in 0u8..8 {
+                let s = scalar_reduce(&crate::sha2::sha512(&[seed, c as u8]));
+                let digits = recode_signed(&s, c);
+                // Reconstruct the scalar as Σ dᵢ·2^(c·i) over i128 chunks and
+                // compare against the little-endian value (fits: < 2^253).
+                let mut acc = [0i64; 64];
+                for (i, &d) in digits.iter().enumerate() {
+                    let bit = i * c;
+                    // add d · 2^bit in byte-granular pieces
+                    let byte = bit / 8;
+                    let shift = bit % 8;
+                    let v = i64::from(d) << shift;
+                    acc[byte] += v & 0xff;
+                    acc[byte + 1] += (v >> 8) & 0xff;
+                    acc[byte + 2] += v >> 16;
+                }
+                // normalize carries (signed)
+                let mut carry = 0i64;
+                let mut bytes = [0u8; 32];
+                for i in 0..64 {
+                    let v = acc[i] + carry;
+                    let b = v & 0xff;
+                    carry = (v - b) >> 8;
+                    if i < 32 {
+                        bytes[i] = b as u8;
+                    } else {
+                        assert_eq!(b, 0, "no overflow past 256 bits");
+                    }
+                }
+                assert_eq!(carry, 0);
+                assert_eq!(bytes, s, "c={c} seed={seed}");
+            }
+        }
+    }
+
+    // --- batch verification ---
+
+    fn batch_of(n: usize) -> (Vec<Vec<u8>>, Vec<Signature>, Vec<PublicKey>) {
+        let mut msgs = Vec::new();
+        let mut sigs = Vec::new();
+        let mut keys = Vec::new();
+        for i in 0..n {
+            let kp = Keypair::from_seed([i as u8 + 1; 32]);
+            let msg = format!("activity A{i} execution result").into_bytes();
+            sigs.push(kp.sign(&msg));
+            keys.push(kp.public);
+            msgs.push(msg);
+        }
+        (msgs, sigs, keys)
+    }
+
+    fn entries<'a>(
+        msgs: &'a [Vec<u8>],
+        sigs: &[Signature],
+        keys: &[PublicKey],
+    ) -> Vec<BatchEntry<'a>> {
+        msgs.iter().zip(sigs).zip(keys).map(|((m, s), k)| (m.as_slice(), *s, *k)).collect()
+    }
+
+    #[test]
+    fn batch_empty_and_singleton() {
+        assert!(verify_batch(&[]));
+        let (msgs, sigs, keys) = batch_of(1);
+        assert!(verify_batch(&entries(&msgs, &sigs, &keys)));
+    }
+
+    #[test]
+    fn batch_valid_batches_pass() {
+        for n in [2usize, 3, 9, 33] {
+            let (msgs, sigs, keys) = batch_of(n);
+            assert!(verify_batch(&entries(&msgs, &sigs, &keys)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn batch_detects_single_tamper() {
+        for tampered in [0usize, 3, 7] {
+            let (mut msgs, sigs, keys) = batch_of(8);
+            msgs[tampered][0] ^= 1;
+            assert!(!verify_batch(&entries(&msgs, &sigs, &keys)), "tampered={tampered}");
+        }
+    }
+
+    #[test]
+    fn batch_detects_tampered_signature_and_wrong_key() {
+        let (msgs, mut sigs, mut keys) = batch_of(5);
+        sigs[2].0[40] ^= 0x10;
+        assert!(!verify_batch(&entries(&msgs, &sigs, &keys)));
+
+        let (msgs, sigs2, _) = batch_of(5);
+        keys[4] = Keypair::from_seed([99u8; 32]).public;
+        assert!(!verify_batch(&entries(&msgs, &sigs2, &keys)));
+    }
+
+    #[test]
+    fn batch_rejects_non_canonical_s() {
+        let (msgs, mut sigs, keys) = batch_of(3);
+        let mut s: [u8; 32] = sigs[1].0[32..].try_into().unwrap();
+        let mut carry = 0u16;
+        for i in 0..32 {
+            let v = s[i] as u16 + L[i] as u16 + carry;
+            s[i] = v as u8;
+            carry = v >> 8;
+        }
+        sigs[1].0[32..].copy_from_slice(&s);
+        assert!(!verify_batch(&entries(&msgs, &sigs, &keys)));
+    }
+
+    #[test]
+    fn batch_rejects_bad_point_encoding() {
+        let (msgs, sigs, mut keys) = batch_of(3);
+        let mut enc = [0u8; 32];
+        enc[0] = 2; // not on the curve
+        keys[0] = PublicKey(enc);
+        assert!(!verify_batch(&entries(&msgs, &sigs, &keys)));
+    }
+
+    #[test]
+    fn batch_with_rfc8032_vectors() {
+        // The three RFC test keys/messages batched together must pass.
+        let cases: [(&str, &[u8]); 3] = [
+            ("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60", b""),
+            ("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb", &[0x72]),
+            ("c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7", &[0xaf, 0x82]),
+        ];
+        let mut msgs = Vec::new();
+        let mut sigs = Vec::new();
+        let mut keys = Vec::new();
+        for (seed_hex, msg) in cases {
+            let kp = Keypair::from_seed(hex::decode_array::<32>(seed_hex).unwrap());
+            sigs.push(kp.sign(msg));
+            keys.push(kp.public);
+            msgs.push(msg.to_vec());
+        }
+        assert!(verify_batch(&entries(&msgs, &sigs, &keys)));
+    }
+
+    #[test]
+    fn batch_shares_work() {
+        // The whole point: batch verification must cost far fewer curve
+        // operations than per-signature verification.
+        let (msgs, sigs, keys) = batch_of(32);
+        let es = entries(&msgs, &sigs, &keys);
+        ec_ops_reset();
+        for (m, s, k) in &es {
+            assert!(k.verify(m, s));
+        }
+        let sequential = ec_ops();
+        ec_ops_reset();
+        assert!(verify_batch(&es));
+        let batched = ec_ops();
+        assert!(
+            batched * 3 < sequential,
+            "batch must be ≥3× cheaper in point ops: {batched} vs {sequential}"
+        );
     }
 }

@@ -42,7 +42,7 @@ pub mod sha2;
 pub mod x25519;
 
 pub use chacha20::ChaCha20;
-pub use ed25519::{Keypair, PublicKey, SecretKey, Signature};
+pub use ed25519::{verify_batch, BatchEntry, Keypair, PublicKey, SecretKey, Signature};
 pub use sealed::{open, seal, secretbox_open, secretbox_seal, SealError};
 pub use sha2::{sha256, sha512, Sha256, Sha512};
 pub use x25519::{x25519, X25519PublicKey, X25519Secret};

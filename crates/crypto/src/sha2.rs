@@ -306,21 +306,31 @@ impl Sha512 {
             w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
         }
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..80 {
-            let s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h.wrapping_add(s1).wrapping_add(ch).wrapping_add(K512[i]).wrapping_add(w[i]);
-            let s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
+        // one round, with the working variables passed in rotated order so
+        // the 8-way register shuffle of the textbook loop disappears
+        macro_rules! round {
+            ($a:ident $b:ident $c:ident $d:ident $e:ident $f:ident $g:ident $h:ident, $i:expr) => {
+                let s1 = $e.rotate_right(14) ^ $e.rotate_right(18) ^ $e.rotate_right(41);
+                let ch = ($e & $f) ^ (!$e & $g);
+                let t1 =
+                    $h.wrapping_add(s1).wrapping_add(ch).wrapping_add(K512[$i]).wrapping_add(w[$i]);
+                let s0 = $a.rotate_right(28) ^ $a.rotate_right(34) ^ $a.rotate_right(39);
+                let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+                $d = $d.wrapping_add(t1);
+                $h = t1.wrapping_add(s0).wrapping_add(maj);
+            };
+        }
+        let mut i = 0;
+        while i < 80 {
+            round!(a b c d e f g h, i);
+            round!(h a b c d e f g, i + 1);
+            round!(g h a b c d e f, i + 2);
+            round!(f g h a b c d e, i + 3);
+            round!(e f g h a b c d, i + 4);
+            round!(d e f g h a b c, i + 5);
+            round!(c d e f g h a b, i + 6);
+            round!(b c d e f g h a, i + 7);
+            i += 8;
         }
         self.state[0] = self.state[0].wrapping_add(a);
         self.state[1] = self.state[1].wrapping_add(b);

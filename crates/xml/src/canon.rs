@@ -12,7 +12,7 @@
 //! Since our writer never emits insignificant whitespace and the parser
 //! preserves text verbatim, canonical bytes are stable across round trips.
 
-use crate::escape::{escape_attr, escape_text};
+use crate::escape::{escape_attr_into, escape_text_into};
 use crate::node::{Element, Node};
 use std::sync::Arc;
 
@@ -31,6 +31,7 @@ pub fn canonicalize_shared(el: &Element) -> Arc<Vec<u8>> {
     }
     let mut out = Vec::new();
     write_canon(el, &mut out);
+    count_alloc(out.len() as u64);
     let bytes = Arc::new(out);
     el.canon_store(Arc::clone(&bytes));
     bytes
@@ -41,12 +42,89 @@ pub fn canonicalize_shared(el: &Element) -> Arc<Vec<u8>> {
 /// Each part comes from the per-element memo when available.
 pub fn canonicalize_all<'a>(els: impl IntoIterator<Item = &'a Element>) -> Vec<u8> {
     let mut out = Vec::new();
+    canonicalize_all_into(els, &mut out);
+    count_alloc(out.len() as u64);
+    out
+}
+
+/// The buffer-reuse form of [`canonicalize_all`]: append the framed
+/// canonical bytes to `out` instead of allocating a fresh vector. Pairs
+/// with [`CanonArena`] for the steady-state zero-allocation path.
+pub fn canonicalize_all_into<'a>(els: impl IntoIterator<Item = &'a Element>, out: &mut Vec<u8>) {
     for el in els {
         let part = canonicalize_shared(el);
         out.extend_from_slice(&(part.len() as u64).to_be_bytes());
         out.extend_from_slice(&part);
     }
-    out
+}
+
+thread_local! {
+    /// Bytes of canonical output that required a fresh heap allocation on
+    /// this thread — the deterministic cost measure the scaling bench
+    /// tracks to show the arena path flattening the incremental slope.
+    static CANON_ALLOC: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn count_alloc(bytes: u64) {
+    CANON_ALLOC.with(|c| c.set(c.get() + bytes));
+}
+
+/// Canonicalization bytes freshly allocated by the current thread so far
+/// (memo builds, [`canonicalize_all`] result vectors, and arena *growth* —
+/// an arena reuse that fits in existing capacity counts zero).
+pub fn canon_alloc_bytes() -> u64 {
+    CANON_ALLOC.with(std::cell::Cell::get)
+}
+
+/// Reset the current thread's canonicalization-allocation counter.
+pub fn canon_alloc_reset() {
+    CANON_ALLOC.with(|c| c.set(0));
+}
+
+/// A reusable canonicalization buffer.
+///
+/// Incremental verification canonicalizes the same growing prefix on every
+/// hop — with [`canonicalize_all`] that is a fresh `Vec` allocation of the
+/// whole prefix each time, even though every element's bytes come straight
+/// out of the memo. An arena keeps one buffer alive across calls: the
+/// buffer is cleared (capacity retained) and refilled, so the steady state
+/// allocates nothing and the per-hop cost is a pure memcpy of memoized
+/// parts.
+#[derive(Debug, Default)]
+pub struct CanonArena {
+    buf: Vec<u8>,
+}
+
+impl CanonArena {
+    /// An arena with no buffer yet; the first use sizes it.
+    pub fn new() -> CanonArena {
+        CanonArena::default()
+    }
+
+    /// An arena pre-sized to `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> CanonArena {
+        CanonArena { buf: Vec::with_capacity(capacity) }
+    }
+
+    /// Framed canonical bytes of `els` (same framing as
+    /// [`canonicalize_all`]), borrowed from the arena's buffer. The buffer
+    /// is reused across calls; only growth beyond the high-water mark
+    /// allocates.
+    pub fn canonicalize_all<'a>(&mut self, els: impl IntoIterator<Item = &'a Element>) -> &[u8] {
+        let before = self.buf.capacity();
+        self.buf.clear();
+        canonicalize_all_into(els, &mut self.buf);
+        let grown = self.buf.capacity().saturating_sub(before);
+        if grown > 0 {
+            count_alloc(grown as u64);
+        }
+        &self.buf
+    }
+
+    /// Current buffer capacity (the arena's high-water mark).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
 }
 
 fn write_canon(el: &Element, out: &mut Vec<u8>) {
@@ -64,14 +142,14 @@ fn write_canon(el: &Element, out: &mut Vec<u8>) {
         out.push(b' ');
         out.extend_from_slice(k.as_bytes());
         out.extend_from_slice(b"=\"");
-        out.extend_from_slice(escape_attr(v).as_bytes());
+        escape_attr_into(v, out);
         out.push(b'"');
     }
     out.push(b'>');
     for child in &el.children {
         match child {
             Node::Element(e) => write_canon(e, out),
-            Node::Text(t) => out.extend_from_slice(escape_text(t).as_bytes()),
+            Node::Text(t) => escape_text_into(t, out),
         }
     }
     out.extend_from_slice(b"</");
@@ -128,6 +206,48 @@ mod tests {
     #[test]
     fn empty_sequence() {
         assert!(canonicalize_all(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn arena_matches_allocating_path() {
+        let els =
+            [Element::new("a").text("bc"), Element::new("b").attr("k", "v"), Element::new("c")];
+        let mut arena = CanonArena::new();
+        assert_eq!(arena.canonicalize_all(els.iter()), canonicalize_all(els.iter()).as_slice());
+        // and again, reusing the buffer
+        assert_eq!(arena.canonicalize_all(els.iter()), canonicalize_all(els.iter()).as_slice());
+        assert!(arena.canonicalize_all(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn arena_reuse_allocates_nothing_in_steady_state() {
+        let els: Vec<Element> =
+            (0..8).map(|i| Element::new(format!("e{i}")).text("payload")).collect();
+        let mut arena = CanonArena::new();
+        let _ = arena.canonicalize_all(els.iter()); // warm: memos + buffer
+        let cap = arena.capacity();
+        canon_alloc_reset();
+        for _ in 0..10 {
+            let _ = arena.canonicalize_all(els.iter());
+        }
+        assert_eq!(canon_alloc_bytes(), 0, "warm arena reuse must not allocate");
+        assert_eq!(arena.capacity(), cap, "capacity is the high-water mark");
+
+        // the allocating path keeps paying per call
+        canon_alloc_reset();
+        let bytes = canonicalize_all(els.iter());
+        assert!(canon_alloc_bytes() >= bytes.len() as u64);
+    }
+
+    #[test]
+    fn arena_sees_mutations() {
+        let mut e = Element::new("e").attr("a", "1");
+        let mut arena = CanonArena::new();
+        let before = arena.canonicalize_all([&e]).to_vec();
+        e.set_attr("a", "2");
+        let after = arena.canonicalize_all([&e]).to_vec();
+        assert_ne!(before, after, "memo invalidation must reach the arena path");
+        assert_eq!(after, canonicalize_all([&e]));
     }
 
     #[test]

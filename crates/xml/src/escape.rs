@@ -2,35 +2,50 @@
 
 /// Escape text content: `&`, `<`, `>`.
 pub fn escape_text(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            _ => out.push(c),
-        }
+    let mut out = Vec::with_capacity(s.len());
+    escape_text_into(s, &mut out);
+    String::from_utf8(out).expect("escaping preserves UTF-8")
+}
+
+/// [`escape_text`] writing straight into `out` — the allocation-free path
+/// used by canonicalization. Clean spans between escapes are copied with a
+/// single `extend_from_slice` instead of per-character pushes.
+pub fn escape_text_into(s: &str, out: &mut Vec<u8>) {
+    escape_into(s, out, false);
+}
+
+/// [`escape_attr`] writing straight into `out` (see [`escape_text_into`]).
+pub fn escape_attr_into(s: &str, out: &mut Vec<u8>) {
+    escape_into(s, out, true);
+}
+
+fn escape_into(s: &str, out: &mut Vec<u8>, attr: bool) {
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let rep: &[u8] = match b {
+            b'&' => b"&amp;",
+            b'<' => b"&lt;",
+            b'>' => b"&gt;",
+            b'"' if attr => b"&quot;",
+            b'\n' if attr => b"&#10;",
+            b'\r' if attr => b"&#13;",
+            b'\t' if attr => b"&#9;",
+            _ => continue,
+        };
+        out.extend_from_slice(&bytes[start..i]);
+        out.extend_from_slice(rep);
+        start = i + 1;
     }
-    out
+    out.extend_from_slice(&bytes[start..]);
 }
 
 /// Escape attribute values (double-quote delimited): text escapes plus `"`,
 /// and control characters as numeric references so round-trips are exact.
 pub fn escape_attr(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' => out.push_str("&quot;"),
-            '\n' => out.push_str("&#10;"),
-            '\r' => out.push_str("&#13;"),
-            '\t' => out.push_str("&#9;"),
-            _ => out.push(c),
-        }
-    }
-    out
+    let mut out = Vec::with_capacity(s.len());
+    escape_attr_into(s, &mut out);
+    String::from_utf8(out).expect("escaping preserves UTF-8")
 }
 
 /// Unescape entity and numeric character references. Returns `None` on a

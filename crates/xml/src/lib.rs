@@ -28,6 +28,7 @@ pub mod parser;
 pub mod sig;
 pub mod writer;
 
+pub use canon::{canon_alloc_bytes, canon_alloc_reset, CanonArena};
 pub use enc::{decrypt_element, encrypt_element, EncryptError, Recipient};
 pub use node::{Element, Node};
 pub use parser::{parse, ParseError};

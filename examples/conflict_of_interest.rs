@@ -119,7 +119,7 @@ fn main() -> WfResult<()> {
         dra4wfms::xml::enc::recipients_of(enc)
     );
 
-    let report = verify_document(&done.document, &c.directory)?;
+    let report = Verifier::new(&c.directory).run(&done.document)?.report;
     println!(
         "document verifies: {} signatures (participants + TFC attestations)",
         report.signatures_verified

@@ -59,7 +59,7 @@ fn main() -> WfResult<()> {
     let amended = amend_document(&done.document, &designer, &delta)?;
     println!(
         "amendment embedded as CER __amend#0; document verifies: {}",
-        verify_document(&amended, &directory).is_ok()
+        Verifier::new(&directory).run(&amended).is_ok()
     );
 
     // bob signs — and is routed to the NEW activity, not End
@@ -79,7 +79,7 @@ fn main() -> WfResult<()> {
     let done = aea_comp.complete(&received, &[("notes".into(), "clause 4 is risky".into())])?;
     assert!(done.route.ends);
 
-    let report = verify_document(&done.document, &directory)?;
+    let report = Verifier::new(&directory).run(&done.document)?.report;
     println!(
         "final document: {} CERs (incl. the amendment), {} signatures verified",
         report.cers.len(),

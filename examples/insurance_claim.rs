@@ -102,7 +102,7 @@ fn main() -> WfResult<()> {
         aea("settlement-office").complete(&received, &[("payout".into(), "17,900 EUR".into())])?;
     assert!(done.route.ends);
 
-    let report = verify_document(&done.document, &directory)?;
+    let report = Verifier::new(&directory).run(&done.document)?.report;
     println!(
         "claim settled: {} CERs, {} signatures verified, {} bytes",
         report.cers.len(),

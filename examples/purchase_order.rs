@@ -130,7 +130,7 @@ fn main() -> WfResult<()> {
     println!("elapsed between first/last TFC timestamps: {:?} ms", status.elapsed_millis());
 
     // the stored document verifies fully
-    let report = verify_document(&out.document, &directory)?;
+    let report = Verifier::new(&directory).run(&out.document)?.report;
     println!(
         "final verification: {} signatures over {} CERs, document {} bytes",
         report.signatures_verified,

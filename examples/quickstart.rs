@@ -67,7 +67,7 @@ fn main() -> WfResult<()> {
     assert!(done.route.ends);
 
     // 7. Anyone can audit the finished document.
-    let report = verify_document(&done.document, &directory)?;
+    let report = Verifier::new(&directory).run(&done.document)?.report;
     println!(
         "final audit: {} CER(s), {} signatures verified, {} bytes",
         report.cers.len(),

@@ -85,13 +85,13 @@ fn main() -> WfResult<()> {
     assert_ne!(tampered_xml, done.document.to_xml_string(), "tamper applied");
     let tampered = DraDocument::parse(&tampered_xml)?;
 
-    match verify_document(&tampered, &directory) {
+    match Verifier::new(&directory).run(&tampered) {
         Err(e) => println!("verification of tampered document FAILED as required:\n  {e}"),
         Ok(_) => unreachable!("tampering must be detected"),
     }
 
     // the genuine document still verifies, and Algorithm 1 binds everyone
-    let report = verify_document(&done.document, &directory)?;
+    let report = Verifier::new(&directory).run(&done.document)?.report;
     println!(
         "\ngenuine document verifies: {} signatures over {} CERs",
         report.signatures_verified,

@@ -338,7 +338,7 @@ fn cmd_verify(opts: &Opts) -> Result<String, CliError> {
     let xml = std::fs::read_to_string(doc_path).map_err(|e| err(format!("{doc_path}: {e}")))?;
     let doc = DraDocument::parse(&xml).map_err(|e| err(e.to_string()))?;
     let directory = load_directory(&keys)?;
-    match verify_document(&doc, &directory) {
+    match Verifier::new(&directory).run(&doc).map(|o| o.report) {
         Ok(report) => Ok(format!(
             "OK: process {}, {} CERs, {} signatures verified{}\n",
             report.process_id,

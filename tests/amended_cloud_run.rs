@@ -77,7 +77,7 @@ fn pre_amended_document_runs_through_the_cloud_basic() {
     let keys: Vec<String> =
         out.document.cers().unwrap().iter().map(|c| c.key.to_string()).collect();
     assert_eq!(keys, vec!["__amend#0", "s1#0", "s2#0", "extra#0"]);
-    verify_document(&out.document, &dir).unwrap();
+    Verifier::new(&dir).run(&out.document).unwrap();
     // the post-amendment executions all sign over the amendment
     for cer in out.document.cers().unwrap().iter().skip(1) {
         let scope = nonrepudiation_scope(&out.document, &PredRef::Cer(cer.key.clone())).unwrap();
@@ -115,7 +115,7 @@ fn pre_amended_document_runs_through_the_cloud_advanced() {
         .unwrap();
     assert_eq!(out.steps, 3);
     // designer + amendment + 3 participants + 3 TFC attestations
-    let report = verify_document(&out.document, &dir).unwrap();
+    let report = Verifier::new(&dir).run(&out.document).unwrap().report;
     assert_eq!(report.signatures_verified, 8);
 
     // monitoring statistics over the pool see the timestamp gaps

@@ -1,0 +1,157 @@
+//! Property-based integration tests for batch verification: the batched
+//! verifier must be *observationally identical* to the sequential one on
+//! every document — same accept/reject verdict, and on rejection the same
+//! culprit signer and error variant (the batch equation only says "some
+//! signature is bad"; the per-signature fallback pinpoints which, exactly
+//! as the sequential pass would).
+
+use dra4wfms::prelude::*;
+use proptest::prelude::*;
+
+/// Deterministic cast shared by the generated workflows.
+fn cast(n: usize) -> (Vec<Credentials>, Directory) {
+    let mut creds = vec![Credentials::from_seed("designer", "bv-designer")];
+    for i in 0..n {
+        creds.push(Credentials::from_seed(format!("p{i}"), &format!("bv-p{i}")));
+    }
+    let dir = Directory::from_credentials(&creds);
+    (creds, dir)
+}
+
+/// Execute a linear `len`-step workflow with the given response values.
+fn run_linear(len: usize, values: &[String]) -> (DraDocument, Directory) {
+    let (creds, dir) = cast(len);
+    let mut b = WorkflowDefinition::builder("bv", "designer");
+    for i in 0..len {
+        b = b.simple_activity(format!("S{i}"), format!("p{i}"), &["f"]);
+    }
+    for i in 0..len - 1 {
+        b = b.flow(format!("S{i}"), format!("S{}", i + 1));
+    }
+    let def = b.flow_end(format!("S{}", len - 1)).build().unwrap();
+    let mut doc =
+        DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "bv-pid")
+            .unwrap();
+    for i in 0..len {
+        let aea = Aea::new(creds[i + 1].clone(), dir.clone());
+        let recv = aea.receive(doc.to_xml_string(), &format!("S{i}")).unwrap();
+        doc = aea
+            .complete(&recv, &[("f".into(), values[i].clone())])
+            .unwrap()
+            .document
+            .into_document();
+    }
+    (doc, dir)
+}
+
+fn arb_value() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~]{1,16}").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Batched ≡ sequential on genuine random workflows: same verdict, same
+    /// report, and the batched pass never falls back.
+    #[test]
+    fn batched_accepts_what_sequential_accepts(
+        len in 2usize..6,
+        values in proptest::collection::vec(arb_value(), 6),
+    ) {
+        let (doc, dir) = run_linear(len, &values[..len]);
+        let sequential = Verifier::new(&dir).batched(false).run(&doc).unwrap().report;
+        let batched = Verifier::new(&dir).batched(true).run(&doc).unwrap().report;
+        prop_assert_eq!(sequential, batched);
+    }
+
+    /// Exactly one tampered CER: the batch equation fails, the fallback
+    /// pinpoints the same signer with the same error variant and message as
+    /// the sequential pass.
+    #[test]
+    fn batched_pinpoints_the_same_culprit(
+        len in 2usize..6,
+        culprit in 0usize..6,
+        values in proptest::collection::vec("[a-z]{4,12}", 6),
+    ) {
+        let culprit = culprit.min(len - 1);
+        let (doc, dir) = run_linear(len, &values[..len]);
+        let xml = doc.to_xml_string().replace(&values[culprit], "EVIL");
+        prop_assume!(xml != doc.to_xml_string());
+        let tampered = DraDocument::parse(&xml).unwrap();
+
+        let seq_err = Verifier::new(&dir).batched(false).run(&tampered).unwrap_err();
+        let bat_err = Verifier::new(&dir).batched(true).run(&tampered).unwrap_err();
+        prop_assert!(matches!(seq_err, WfError::Verify(_)), "sequential: {seq_err}");
+        prop_assert!(matches!(bat_err, WfError::Verify(_)), "batched: {bat_err}");
+        // identical culprit and variant ⇒ identical rendered error
+        prop_assert_eq!(seq_err.to_string(), bat_err.to_string());
+        // and the message names the culprit CER
+        prop_assert!(
+            seq_err.to_string().contains(&format!("S{culprit}")),
+            "error '{seq_err}' should name S{culprit}"
+        );
+    }
+
+    /// Incremental + batched: same verdict and same fresh mark as
+    /// incremental + sequential, at every mark staleness.
+    #[test]
+    fn batched_incremental_matches_sequential_incremental(
+        len in 2usize..6,
+        mark_at in 0usize..6,
+        values in proptest::collection::vec(arb_value(), 6),
+    ) {
+        let mark_at = mark_at.min(len);
+        let (doc, dir) = run_linear(len, &values[..len]);
+        let report = Verifier::new(&dir).run(&doc).unwrap().report;
+        let mut mark = trust_mark_for(&doc, &report, 0).unwrap();
+        mark.verified_cers = mark_at;
+        mark.prefix_digest = dra4wfms::core::sealed::prefix_digest(&doc, mark_at).unwrap();
+
+        let seq = Verifier::new(&dir).batched(false).with_mark(&mark).run(&doc).unwrap();
+        let bat = Verifier::new(&dir).batched(true).with_mark(&mark).run(&doc).unwrap();
+        prop_assert_eq!(seq.report, bat.report);
+        prop_assert_eq!(seq.reused_cers, bat.reused_cers);
+        prop_assert_eq!(seq.fell_back, bat.fell_back);
+        prop_assert_eq!(seq.mark.unwrap(), bat.mark.unwrap());
+    }
+}
+
+/// Empty batch: a mark covering the entire document leaves zero signature
+/// checks to schedule — the batched path must accept without touching the
+/// batch equation.
+#[test]
+fn empty_task_batch_verifies() {
+    let values: Vec<String> = (0..3).map(|i| format!("v{i}")).collect();
+    let (doc, dir) = run_linear(3, &values);
+    let report = Verifier::new(&dir).run(&doc).unwrap().report;
+    let mark = trust_mark_for(&doc, &report, 0).unwrap();
+    let outcome = Verifier::new(&dir).batched(true).with_mark(&mark).run(&doc).unwrap();
+    assert_eq!(outcome.report.signatures_verified, 0);
+    assert_eq!(outcome.reused_cers, 3);
+}
+
+/// Singleton batch: an initial document plans exactly one signature check
+/// (the designer's); batched and sequential must agree on it.
+#[test]
+fn singleton_task_batch_verifies() {
+    let (creds, dir) = cast(1);
+    let def = WorkflowDefinition::builder("bv1", "designer")
+        .simple_activity("S0", "p0", &["f"])
+        .flow_end("S0")
+        .build()
+        .unwrap();
+    let doc =
+        DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "bv1-pid")
+            .unwrap();
+    let b = Verifier::new(&dir).batched(true).run(&doc).unwrap().report;
+    let s = Verifier::new(&dir).batched(false).run(&doc).unwrap().report;
+    assert_eq!(b, s);
+    assert_eq!(b.signatures_verified, 1);
+
+    // tampered singleton: same rejection either way
+    let tampered = doc.to_xml_string().replace("S0", "S0x");
+    if let Ok(parsed) = DraDocument::parse(&tampered) {
+        assert!(Verifier::new(&dir).batched(true).run(&parsed).is_err());
+        assert!(Verifier::new(&dir).batched(false).run(&parsed).is_err());
+    }
+}

@@ -81,7 +81,7 @@ fn concurrent_instances_share_the_pool() {
         assert_eq!(sys.pool.scan_prefix(&format!("doc/{pid}/")).len(), 3);
         // the stored final document verifies
         let xml = sys.retrieve_latest(0, &pid).unwrap();
-        verify_document(&DraDocument::parse(&xml).unwrap(), &dir).unwrap();
+        Verifier::new(&dir).run(&DraDocument::parse(&xml).unwrap()).unwrap();
     }
     let steps = sys.steps_per_workflow(4);
     assert_eq!(steps["ticket"], 2 * n);

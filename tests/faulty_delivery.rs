@@ -123,7 +123,7 @@ fn lossy_run_matches_lossless_byte_for_byte() {
     // every stored version still verifies in full
     let (_, dir) = cast();
     for xml in &lossy_versions {
-        verify_document(&DraDocument::parse(xml).unwrap(), &dir).unwrap();
+        Verifier::new(&dir).run(&DraDocument::parse(xml).unwrap()).unwrap();
     }
 
     // faults showed up and cost time, not correctness
@@ -190,7 +190,7 @@ fn heavy_duplication_never_grows_the_pool() {
     assert!(stats.duplicates_suppressed >= 10, "portal suppressed the extra copies");
     assert_eq!(stored_versions(&sys, "dup").len(), 10, "no phantom versions");
     let (_, dir) = cast();
-    verify_document(&doc, &dir).unwrap();
+    Verifier::new(&dir).run(&doc).unwrap();
 }
 
 #[test]

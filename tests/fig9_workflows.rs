@@ -104,7 +104,7 @@ fn fig9a_basic_model_structure_matches_table1() {
     assert!(*sizes.last().unwrap() > 4 * initial_size / 2, "final ≫ initial");
 
     // number of signatures to verify grows linearly with CERs
-    let report = verify_document(&out.document, &dir).unwrap();
+    let report = Verifier::new(&dir).run(&out.document).unwrap().report;
     assert_eq!(report.cers.len(), 9);
     assert_eq!(report.signatures_verified, 10);
 }
@@ -146,7 +146,7 @@ fn fig9b_advanced_model_structure_matches_table2() {
     assert_eq!(times.len(), 9);
 
     // designer + 9 participant + 9 TFC signatures
-    let report = verify_document(&out.document, &dir).unwrap();
+    let report = Verifier::new(&dir).run(&out.document).unwrap().report;
     assert_eq!(report.signatures_verified, 19);
 
     // the advanced-model document is larger than the basic one (extra sealed

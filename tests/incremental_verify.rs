@@ -61,7 +61,7 @@ fn run_chain(n: usize, values: &[String]) -> (Vec<DraDocument>, Directory) {
 
 /// A mark a hop would legitimately hold after fully verifying `doc`.
 fn mark_for(doc: &DraDocument, dir: &Directory) -> TrustMark {
-    let report = verify_document(doc, dir).unwrap();
+    let report = Verifier::new(dir).run(doc).unwrap().report;
     trust_mark_for(doc, &report, 0).unwrap()
 }
 
@@ -73,12 +73,12 @@ fn k_new_cers_cost_exactly_k_signature_checks() {
     let final_doc = snapshots.last().unwrap();
 
     // the full pass costs designer + n participant checks
-    let full = verify_document(final_doc, &dir).unwrap();
+    let full = Verifier::new(&dir).run(final_doc).unwrap().report;
     assert_eq!(full.signatures_verified, 1 + n);
 
     for (j, snapshot) in snapshots.iter().enumerate() {
         let mark = mark_for(snapshot, &dir);
-        let outcome = verify_incremental(final_doc, &dir, Some(&mark)).unwrap();
+        let outcome = Verifier::new(&dir).with_mark(&mark).run(final_doc).unwrap();
         assert!(!outcome.fell_back, "valid mark at j={j} must be used");
         assert_eq!(outcome.reused_cers, j);
         // the acceptance criterion: exactly k = n - j checks, no designer
@@ -89,9 +89,10 @@ fn k_new_cers_cost_exactly_k_signature_checks() {
             "mark covering {j} CERs over a {n}-CER document"
         );
         // the fresh mark pins the whole document
-        assert_eq!(outcome.mark.verified_cers, n);
+        let fresh = outcome.mark.expect("incremental mode issues a mark");
+        assert_eq!(fresh.verified_cers, n);
         assert_eq!(
-            outcome.mark.prefix_digest,
+            fresh.prefix_digest,
             dra4wfms::core::sealed::prefix_digest(final_doc, n).unwrap()
         );
     }
@@ -101,7 +102,7 @@ fn k_new_cers_cost_exactly_k_signature_checks() {
 fn no_mark_is_a_plain_full_verification() {
     let values: Vec<String> = (0..3).map(|i| format!("v{i}")).collect();
     let (snapshots, dir) = run_chain(3, &values);
-    let outcome = verify_incremental(snapshots.last().unwrap(), &dir, None).unwrap();
+    let outcome = Verifier::new(&dir).with_mark(None).run(snapshots.last().unwrap()).unwrap();
     assert!(!outcome.fell_back, "no mark offered, so nothing to fall back from");
     assert_eq!(outcome.reused_cers, 0);
     assert_eq!(outcome.report.signatures_verified, 4, "designer + 3 CERs");
@@ -121,7 +122,7 @@ fn tampered_prefix_detected_despite_stale_mark() {
     let tampered = DraDocument::parse(&tampered_xml).unwrap();
 
     // the digest no longer matches, so the full pass runs — and fails
-    let err = verify_incremental(&tampered, &dir, Some(&mark)).unwrap_err();
+    let err = Verifier::new(&dir).with_mark(&mark).run(&tampered).unwrap_err();
     assert!(matches!(err, WfError::Verify(_)), "tamper detected: {err}");
 
     // the same attack against a sealed, trust-marked hand-off: the receiving
@@ -142,20 +143,20 @@ fn unusable_marks_fall_back_to_full_verification() {
     // wrong process id
     let mut wrong_pid = good.clone();
     wrong_pid.process_id = "someone-else".into();
-    let outcome = verify_incremental(final_doc, &dir, Some(&wrong_pid)).unwrap();
+    let outcome = Verifier::new(&dir).with_mark(&wrong_pid).run(final_doc).unwrap();
     assert!(outcome.fell_back);
     assert_eq!(outcome.report.signatures_verified, 1 + n, "full pass ran");
 
     // claims more CERs than the document has
     let mut too_many = good.clone();
     too_many.verified_cers = n + 3;
-    let outcome = verify_incremental(final_doc, &dir, Some(&too_many)).unwrap();
+    let outcome = Verifier::new(&dir).with_mark(&too_many).run(final_doc).unwrap();
     assert!(outcome.fell_back);
 
     // digest of a different run
     let mut bad_digest = good;
     bad_digest.prefix_digest[0] ^= 0xff;
-    let outcome = verify_incremental(final_doc, &dir, Some(&bad_digest)).unwrap();
+    let outcome = Verifier::new(&dir).with_mark(&bad_digest).run(final_doc).unwrap();
     assert!(outcome.fell_back);
     assert_eq!(outcome.reused_cers, 0);
 }
@@ -204,7 +205,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Equivalence: on random linear runs — with a mark of random staleness
-    /// and an optional tamper at a random step — `verify_incremental`
+    /// and an optional tamper at a random step — the incremental verifier
     /// accepts/rejects exactly the documents the full verifier does, and
     /// reports the same CER list when both accept.
     #[test]
@@ -231,13 +232,13 @@ proptest! {
             snapshots[len].clone()
         };
 
-        let full = verify_document(&doc, &dir);
-        let inc = verify_incremental(&doc, &dir, Some(&mark));
+        let full = Verifier::new(&dir).run(&doc);
+        let inc = Verifier::new(&dir).with_mark(&mark).run(&doc);
         prop_assert_eq!(full.is_ok(), inc.is_ok(), "verdicts must agree");
         if let (Ok(f), Ok(i)) = (full, inc) {
-            prop_assert_eq!(f.process_id, i.report.process_id);
-            prop_assert_eq!(f.cers, i.report.cers);
-            prop_assert_eq!(f.ends_with_intermediate, i.report.ends_with_intermediate);
+            prop_assert_eq!(f.report.process_id, i.report.process_id);
+            prop_assert_eq!(f.report.cers, i.report.cers);
+            prop_assert_eq!(f.report.ends_with_intermediate, i.report.ends_with_intermediate);
             prop_assert!(!tamper, "tampered documents must not verify");
         }
     }

@@ -43,7 +43,7 @@ fn run_chain(n: usize) -> (DraDocument, Directory) {
 #[test]
 fn chain_scopes_are_nested_prefixes() {
     let (doc, dir) = run_chain(5);
-    verify_document(&doc, &dir).unwrap();
+    Verifier::new(&dir).run(&doc).unwrap();
     let mut previous: Option<BTreeSet<PredRef>> = None;
     for i in 0..5 {
         let scope =
@@ -75,7 +75,7 @@ fn repudiation_attempt_is_defeated_by_the_cascade() {
     // the fact breaks verification, so the stored state is provably what p1
     // signed.
     let (doc, dir) = run_chain(3);
-    let report = verify_document(&doc, &dir).unwrap();
+    let report = Verifier::new(&dir).run(&doc).unwrap().report;
     assert_eq!(report.signatures_verified, 4);
 
     // if p1's claim were true, the document would have had to change after
@@ -84,7 +84,7 @@ fn repudiation_attempt_is_defeated_by_the_cascade() {
     assert_ne!(altered, doc.to_xml_string());
     let parsed = DraDocument::parse(&altered).unwrap();
     assert!(
-        verify_document(&parsed, &dir).is_err(),
+        Verifier::new(&dir).run(&parsed).is_err(),
         "the alleged alteration is distinguishable from the genuine document"
     );
 }
@@ -130,7 +130,7 @@ fn parallel_branches_do_not_bind_each_other() {
         .receive_merged(&[&b1.document.to_xml_string(), &b2.document.to_xml_string()], "C")
         .unwrap();
     let c = aea(4).complete(&recv, &[("w".into(), "4".into())]).unwrap();
-    verify_document(&c.document, &dir).unwrap();
+    Verifier::new(&dir).run(&c.document).unwrap();
 
     let b1_scope = nonrepudiation_scope(&c.document, &PredRef::Cer(CerKey::new("B1", 0))).unwrap();
     assert!(!b1_scope.contains(&PredRef::Cer(CerKey::new("B2", 0))));
@@ -173,7 +173,7 @@ fn scope_grows_through_loop_iterations() {
         let ok = if round < 2 { "no" } else { "yes" };
         doc = pb.complete(&recv, &[("ok".into(), ok.into())]).unwrap().document.into_document();
     }
-    verify_document(&doc, &dir).unwrap();
+    Verifier::new(&dir).run(&doc).unwrap();
     // B#2's scope covers every iteration of both activities
     let scope = nonrepudiation_scope(&doc, &PredRef::Cer(CerKey::new("B", 2))).unwrap();
     assert_eq!(scope.len(), 7, "Def + 3×A + 3×B");

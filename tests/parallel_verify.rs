@@ -33,9 +33,10 @@ fn chain(n: usize) -> (DraDocument, Directory) {
 #[test]
 fn parallel_matches_serial_on_genuine_document() {
     let (doc, dir) = chain(12);
-    let serial = verify_document(&doc, &dir).unwrap();
+    let serial = Verifier::new(&dir).run(&doc).unwrap().report;
     for threads in [1, 2, 4, 8, 64] {
-        let parallel = verify_document_parallel(&doc, &dir, threads).unwrap();
+        let parallel =
+            Verifier::new(&dir).batched(false).threads(threads).run(&doc).unwrap().report;
         assert_eq!(parallel, serial, "threads={threads}");
     }
     assert_eq!(serial.signatures_verified, 13);
@@ -48,7 +49,10 @@ fn parallel_detects_tampering() {
     assert_ne!(tampered, doc.to_xml_string());
     let parsed = DraDocument::parse(&tampered).unwrap();
     for threads in [1, 4] {
-        assert!(verify_document_parallel(&parsed, &dir, threads).is_err(), "threads={threads}");
+        assert!(
+            Verifier::new(&dir).batched(false).threads(threads).run(&parsed).is_err(),
+            "threads={threads}"
+        );
     }
 }
 
@@ -61,7 +65,7 @@ fn batch_reports_per_document_verdicts() {
     };
     let docs = vec![good.clone(), bad, good.clone()];
     for threads in [1, 3, 8] {
-        let verdicts = verify_documents_parallel(&docs, &dir, threads);
+        let verdicts = Verifier::new(&dir).batched(false).threads(threads).run_many(&docs);
         assert_eq!(verdicts.len(), 3);
         assert!(verdicts[0].is_ok(), "threads={threads}");
         assert!(verdicts[1].is_err(), "threads={threads}");
@@ -72,7 +76,7 @@ fn batch_reports_per_document_verdicts() {
 #[test]
 fn empty_batch_is_fine() {
     let (_, dir) = chain(2);
-    assert!(verify_documents_parallel(&[], &dir, 4).is_empty());
+    assert!(Verifier::new(&dir).batched(false).threads(4).run_many(&[]).is_empty());
 }
 
 #[test]
@@ -114,8 +118,9 @@ fn parallel_verify_amended_document() {
     let recv = aea.receive(done.document.to_xml_string(), "s2").unwrap();
     let done = aea.complete(&recv, &[("y".into(), "2".into())]).unwrap();
 
-    let serial = verify_document(&done.document, &dir).unwrap();
-    let parallel = verify_document_parallel(&done.document, &dir, 4).unwrap();
+    let serial = Verifier::new(&dir).run(&done.document).unwrap().report;
+    let parallel =
+        Verifier::new(&dir).batched(false).threads(4).run(&done.document).unwrap().report;
     assert_eq!(serial, parallel);
     assert_eq!(serial.signatures_verified, 4, "designer + amendment + s1 + s2");
 }

@@ -73,7 +73,7 @@ proptest! {
         values in proptest::collection::vec(arb_value(), 6),
     ) {
         let (doc, dir, _) = run_linear(len, &restrict[..len], &values[..len]);
-        let report = verify_document(&doc, &dir).unwrap();
+        let report = Verifier::new(&dir).run(&doc).unwrap().report;
         prop_assert_eq!(report.cers.len(), len);
         prop_assert_eq!(report.signatures_verified, len + 1);
 
@@ -95,7 +95,7 @@ proptest! {
         let (doc, dir, _) = run_linear(len, &vec![false; len], &values[..len]);
         let once = DraDocument::parse(&doc.to_xml_string()).unwrap();
         let twice = DraDocument::parse(&once.to_xml_string()).unwrap();
-        verify_document(&twice, &dir).unwrap();
+        Verifier::new(&dir).run(&twice).unwrap();
     }
 
     /// Flipping any single byte of a signature value breaks verification.
@@ -119,7 +119,7 @@ proptest! {
         let xml = doc.to_xml_string().replace(&sig_text, &flipped);
         prop_assume!(xml != doc.to_xml_string());
         let parsed = DraDocument::parse(&xml).unwrap();
-        prop_assert!(verify_document(&parsed, &dir).is_err());
+        prop_assert!(Verifier::new(&dir).run(&parsed).is_err());
     }
 
     /// Restricted fields stay unreadable to outsiders across the whole run.
@@ -130,7 +130,7 @@ proptest! {
     ) {
         // restrict every field
         let (doc, dir, _) = run_linear(len, &vec![true; len], &values[..len]);
-        verify_document(&doc, &dir).unwrap();
+        Verifier::new(&dir).run(&doc).unwrap();
         // an outsider with fresh keys can read nothing restricted
         let outsider = Credentials::from_seed("outsider", "rw-outsider");
         use dra4wfms::core::fields::read_field_from_result;

@@ -45,7 +45,10 @@ fn assert_detected(xml: &str, dir: &Directory, what: &str) {
     match DraDocument::parse(xml) {
         Err(_) => {} // mangled beyond parsing — also "detected"
         Ok(doc) => {
-            assert!(verify_document(&doc, dir).is_err(), "tamper class '{what}' must be detected");
+            assert!(
+                Verifier::new(dir).run(&doc).is_err(),
+                "tamper class '{what}' must be detected"
+            );
         }
     }
 }
@@ -173,7 +176,7 @@ fn stale_trust_mark_does_not_launder_prefix_tamper() {
     // skips the signature that would expose the rewrite.
     let (def, dir, creds) = setup();
     let doc = run(&def, &dir, &creds);
-    let report = verify_document(&doc, &dir).unwrap();
+    let report = Verifier::new(&dir).run(&doc).unwrap().report;
     let mark = trust_mark_for(&doc, &report, 0).unwrap();
 
     let tampered_xml = doc.to_xml_string().replace(">100<", ">1000000<");
@@ -183,7 +186,7 @@ fn stale_trust_mark_does_not_launder_prefix_tamper() {
     // the prefix digest no longer matches, so the full pass runs and fails
     let sealed = SealedDocument::with_trust(tampered, mark);
     assert!(
-        verify_incremental(&sealed, &dir, sealed.trust()).is_err(),
+        Verifier::new(&dir).with_mark(sealed.trust()).run(&sealed).is_err(),
         "stale mark must not make a tampered prefix verify"
     );
 
