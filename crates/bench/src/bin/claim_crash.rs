@@ -29,7 +29,7 @@ use dra4wfms_core::prelude::*;
 use dra_bench::fig9;
 use dra_cloud::{
     alerts_to_jsonl, check_metric_invariants, tracer_for, Alert, CloudSystem, CrashPlan,
-    CrashPoint, Delivery, HealthMonitor, HealthPolicy, InstanceRun, NetworkSim,
+    CrashPoint, Delivery, HealthMonitor, InstanceRun, MonitorConfig, NetworkSim,
 };
 use dra_obs::{events_to_jsonl, TraceEvent};
 use std::collections::HashMap;
@@ -54,26 +54,6 @@ fn respond(received: &ReceivedActivity) -> Vec<(String, String)> {
         "D" => vec![("ack".into(), "done".into())],
         _ => vec![],
     }
-}
-
-/// SHA-256 over every stored document row (key order): the byte-identity
-/// fingerprint of a run's pool.
-fn pool_digest(sys: &CloudSystem) -> String {
-    let mut rows: Vec<(String, String)> = sys
-        .pool
-        .scan_prefix("doc/")
-        .into_iter()
-        .filter_map(|(k, row)| row.get_str("doc", "xml").map(|v| (k, v)))
-        .collect();
-    rows.sort();
-    let mut buf = String::new();
-    for (k, v) in rows {
-        buf.push_str(&k);
-        buf.push('\0');
-        buf.push_str(&v);
-        buf.push('\0');
-    }
-    dra_crypto::hex::encode(&dra_crypto::sha256(buf.as_bytes()))
 }
 
 struct Cell {
@@ -105,7 +85,7 @@ fn run_cell(mode: &'static str, advanced: bool, plan: Arc<CrashPlan>, seed: u64)
     // one monitor watches the whole cell: per-pid state keeps the
     // instances separate, and the stuck/crash-loop alerts it raises are
     // reconciled against the runner's takeover counters below
-    let monitor = HealthMonitor::new(HealthPolicy::default());
+    let monitor = HealthMonitor::new(MonitorConfig::default());
     let sys = CloudSystem::new(dir.clone(), 3, Arc::clone(&network))
         .with_crash_plan(Arc::clone(&plan))
         .with_tracer(tracer.clone());
@@ -186,7 +166,7 @@ fn run_cell(mode: &'static str, advanced: bool, plan: Arc<CrashPlan>, seed: u64)
         attempts: stats.attempts,
         duplicates_suppressed: stats.duplicates_suppressed,
         virtual_time_us: stats.virtual_time_us,
-        pool_sha256: pool_digest(&sys),
+        pool_sha256: sys.pool_digest(),
         alerts: monitor.alerts(),
         invariants: check_metric_invariants(&metrics.snapshot()),
         events: tracer.events(),

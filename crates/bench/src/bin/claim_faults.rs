@@ -23,7 +23,7 @@ use dra4wfms_core::prelude::*;
 use dra_bench::fig9;
 use dra_cloud::{
     alerts_to_jsonl, check_metric_invariants, tracer_for, Alert, CloudSystem, Delivery,
-    DeliveryPolicy, FaultProfile, HealthMonitor, HealthPolicy, InstanceRun, NetworkSim,
+    DeliveryPolicy, FaultProfile, HealthMonitor, InstanceRun, MonitorConfig, NetworkSim,
 };
 use dra_obs::{events_to_jsonl, TraceEvent};
 use std::collections::HashMap;
@@ -68,7 +68,7 @@ fn run_cell(name: &'static str, profile: FaultProfile, seed: u64) -> Cell {
     let metrics = dra_obs::MetricsRegistry::new();
     // one monitor watches the whole cell: per-pid state keeps the 8
     // instances separate, and its alert stream covers the sweep
-    let monitor = HealthMonitor::new(HealthPolicy::default());
+    let monitor = HealthMonitor::new(MonitorConfig::default());
     let sys = CloudSystem::new(dir.clone(), 3, Arc::clone(&network)).with_tracer(tracer.clone());
     let delivery = Delivery::new(Arc::clone(&network), profile, DeliveryPolicy::default(), seed)
         .expect("valid profile")

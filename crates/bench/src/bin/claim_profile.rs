@@ -16,7 +16,7 @@ use dra4wfms_core::prelude::*;
 use dra_bench::fig9;
 use dra_cloud::{
     alerts_to_jsonl, check_metric_invariants, tracer_for, Alert, CloudSystem, Delivery,
-    DeliveryPolicy, FaultProfile, HealthMonitor, HealthPolicy, InstanceRun, NetworkSim,
+    DeliveryPolicy, FaultProfile, HealthMonitor, InstanceRun, MonitorConfig, NetworkSim,
 };
 use dra_obs::{LatencyProfile, MetricsRegistry};
 use std::collections::HashMap;
@@ -53,7 +53,7 @@ fn run_cell(mode: &str, advanced: bool, channel: &str, hostile: bool, seed: u64)
     let network = Arc::new(NetworkSim::lan());
     let tracer = tracer_for(&network);
     let metrics = MetricsRegistry::new();
-    let monitor = HealthMonitor::new(HealthPolicy::default());
+    let monitor = HealthMonitor::new(MonitorConfig::default());
     let sys = CloudSystem::new(dir.clone(), 3, Arc::clone(&network)).with_tracer(tracer.clone());
     let delivery = if hostile {
         Delivery::new(

@@ -29,10 +29,16 @@ pub enum CrashPoint {
     TfcAfterTimestamp,
     /// The portal dies between the seen-row and the document row.
     PortalBetweenSeenAndStore,
+    /// A replica cloud dies after journalling an admission's ops but
+    /// before committing them — the torn-replication hazard. Deliberately
+    /// *not* part of [`CrashPoint::ALL`]/[`CrashPoint::BASIC`]: those
+    /// sweep single-cloud deployments where the site is never visited;
+    /// federation sweeps and tests schedule it explicitly.
+    ReplicaBeforeCommit,
 }
 
 impl CrashPoint {
-    /// Every injection point, in sweep order.
+    /// Every single-cloud injection point, in sweep order.
     pub const ALL: [CrashPoint; 5] = [
         CrashPoint::AeaAfterVerify,
         CrashPoint::AeaBeforeSign,
@@ -57,11 +63,15 @@ impl CrashPoint {
             CrashPoint::AeaAfterSign => site::AEA_AFTER_SIGN,
             CrashPoint::TfcAfterTimestamp => site::TFC_AFTER_TIMESTAMP,
             CrashPoint::PortalBetweenSeenAndStore => site::PORTAL_BETWEEN_SEEN_AND_STORE,
+            CrashPoint::ReplicaBeforeCommit => site::PORTAL_REPLICA_BEFORE_COMMIT,
         }
     }
 
     fn from_site(name: &str) -> Option<CrashPoint> {
-        CrashPoint::ALL.into_iter().find(|p| p.site() == name)
+        CrashPoint::ALL
+            .into_iter()
+            .chain([CrashPoint::ReplicaBeforeCommit])
+            .find(|p| p.site() == name)
     }
 }
 
@@ -136,8 +146,9 @@ impl CrashPlan {
     }
 }
 
-/// SplitMix64 — tiny seeded mixer, enough to spread sweep seeds over visits.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64 — tiny seeded mixer, enough to spread sweep seeds over visits
+/// (shared with the federation layer's seeded outage/tamper plans).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

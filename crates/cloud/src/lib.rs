@@ -40,7 +40,13 @@
 //!   dispatch hops — so `notify` wakes the next participant at O(1), and
 //!   whole fleets of instances interleave over shared portals, delivery,
 //!   leases and the monitor ([`InstanceRun`] is a single-instance facade
-//!   over it).
+//!   over it),
+//! * [`federation`] — multi-cloud deployments: a [`Topology`] groups
+//!   portals into named clouds with replicated pools/journals, and a
+//!   [`FederationController`] consumes [`HealthMonitor`] alerts (including
+//!   the typed `portal_tampered` integrity alert) to quarantine portals
+//!   and fail admissions over to a healthy cloud — a bad cloud costs time,
+//!   never safety.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +54,7 @@
 pub mod crash;
 pub mod delivery;
 pub mod faults;
+pub mod federation;
 pub mod monitor;
 pub mod netsim;
 pub mod obs;
@@ -59,7 +66,11 @@ pub mod trustcache;
 pub use crash::{CrashPlan, CrashPoint};
 pub use delivery::{Delivery, DeliveryPolicy, DeliveryStats};
 pub use faults::{FaultCounts, FaultProfile, FaultyNetwork};
-pub use monitor::{alerts_to_jsonl, Alert, AlertKind, HealthMonitor, HealthPolicy};
+pub use federation::{
+    CloudSpec, FederationController, FederationPolicy, FederationStats, OutagePlan, TamperPlan,
+    Topology,
+};
+pub use monitor::{alerts_to_jsonl, Alert, AlertKind, HealthMonitor, MonitorConfig};
 pub use netsim::NetworkSim;
 pub use obs::{check_metric_invariants, tracer_for};
 pub use portal::{CloudSystem, PortalStats, StoreAck, TodoEntry};

@@ -17,7 +17,10 @@
 //! * [`AlertKind::CrashLoop`] — hop takeovers reached the supervisor's
 //!   whole-budget (the instance survives only as long as the budget does);
 //! * [`AlertKind::SloBreach`] — end-to-end latency exceeded the
-//!   per-workflow SLO declared on the run builder.
+//!   per-workflow SLO declared on the run builder;
+//! * [`AlertKind::PortalTampered`] — a portal served bytes whose wire
+//!   digest failed full verification (raised by the federation layer,
+//!   which also quarantines the portal — see `cloud::federation`).
 //!
 //! Alerts are **advisory**: they route attention, they never decide
 //! outcomes. The signed document remains the only authority on what
@@ -38,9 +41,21 @@ use dra_obs::{json_escape, stage, MetricsRegistry, TraceEvent, TraceSink, OUTCOM
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, PoisonError};
 
-/// Thresholds for the monitor's detectors.
+/// Thresholds for the monitor's detectors, as a chainable builder.
+///
+/// The defaults are the values the repo's goldens were recorded under
+/// (15 ms progress deadline, 4-attempt storm window, 4-takeover budget);
+/// callers that need different trigger points — the federation controller,
+/// threshold-sensitive tests — override per field:
+///
+/// ```
+/// # use dra_cloud::MonitorConfig;
+/// let cfg = MonitorConfig::new().with_retry_storm_attempts(2);
+/// assert_eq!(cfg.retry_storm_attempts, 2);
+/// assert_eq!(cfg.progress_deadline_us, MonitorConfig::new().progress_deadline_us);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct HealthPolicy {
+pub struct MonitorConfig {
     /// An instance with no closed span for this long (virtual µs) is
     /// declared stuck. Deliberately shorter than the default supervisor
     /// lease (20 000 µs) so observation beats pessimistic waiting.
@@ -53,13 +68,42 @@ pub struct HealthPolicy {
     pub crash_loop_takeovers: u64,
 }
 
-impl Default for HealthPolicy {
-    fn default() -> HealthPolicy {
-        HealthPolicy {
+impl Default for MonitorConfig {
+    fn default() -> MonitorConfig {
+        MonitorConfig {
             progress_deadline_us: 15_000,
             retry_storm_attempts: 4,
             crash_loop_takeovers: 4,
         }
+    }
+}
+
+impl MonitorConfig {
+    /// The default thresholds (identical to [`Default`]).
+    #[must_use]
+    pub fn new() -> MonitorConfig {
+        MonitorConfig::default()
+    }
+
+    /// Override the progress deadline (virtual µs).
+    #[must_use]
+    pub fn with_progress_deadline_us(mut self, us: u64) -> MonitorConfig {
+        self.progress_deadline_us = us;
+        self
+    }
+
+    /// Override the retry-storm attempt threshold.
+    #[must_use]
+    pub fn with_retry_storm_attempts(mut self, attempts: u64) -> MonitorConfig {
+        self.retry_storm_attempts = attempts;
+        self
+    }
+
+    /// Override the crash-loop takeover budget.
+    #[must_use]
+    pub fn with_crash_loop_takeovers(mut self, takeovers: u64) -> MonitorConfig {
+        self.crash_loop_takeovers = takeovers;
+        self
     }
 }
 
@@ -108,6 +152,15 @@ pub enum AlertKind {
         /// The declared SLO, virtual µs.
         slo_us: u64,
     },
+    /// A portal served bytes whose wire digest failed full verification —
+    /// the pool copy behind that portal can no longer be trusted. Raised
+    /// by the federation layer, which also quarantines the portal.
+    PortalTampered {
+        /// The portal index that served the tampered bytes.
+        portal: u64,
+        /// Hex sha256 of the served (tampered) wire bytes.
+        digest: String,
+    },
 }
 
 impl AlertKind {
@@ -119,6 +172,7 @@ impl AlertKind {
             AlertKind::RetryStorm { .. } => "retry_storm",
             AlertKind::CrashLoop { .. } => "crash_loop",
             AlertKind::SloBreach { .. } => "slo_breach",
+            AlertKind::PortalTampered { .. } => "portal_tampered",
         }
     }
 }
@@ -145,20 +199,20 @@ struct MonitorInner {
 /// `InstanceRun::monitor(..)` so the supervisor can act on `StuckInstance`
 /// observations.
 pub struct HealthMonitor {
-    policy: HealthPolicy,
+    config: MonitorConfig,
     inner: Mutex<MonitorInner>,
 }
 
 impl HealthMonitor {
     /// A monitor with the given thresholds, ready to install as a sink.
-    pub fn new(policy: HealthPolicy) -> Arc<HealthMonitor> {
-        Arc::new(HealthMonitor { policy, inner: Mutex::new(MonitorInner::default()) })
+    pub fn new(config: MonitorConfig) -> Arc<HealthMonitor> {
+        Arc::new(HealthMonitor { config, inner: Mutex::new(MonitorInner::default()) })
     }
 
     /// The thresholds this monitor applies.
     #[must_use]
-    pub fn policy(&self) -> HealthPolicy {
-        self.policy
+    pub fn config(&self) -> MonitorConfig {
+        self.config
     }
 
     /// Declare an instance under watch, optionally with an end-to-end SLO
@@ -195,7 +249,7 @@ impl HealthMonitor {
     /// advanced without spans closing.
     pub fn tick(&self, now_us: u64) {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        let deadline_us = self.policy.progress_deadline_us;
+        let deadline_us = self.config.progress_deadline_us;
         let mut fired: Vec<Alert> = Vec::new();
         for (pid, st) in &mut inner.instances {
             let idle_us = now_us.saturating_sub(st.last_progress_us);
@@ -217,7 +271,7 @@ impl HealthMonitor {
     #[must_use]
     pub fn time_until_stuck(&self, process_id: &str, now_us: u64) -> u64 {
         let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
-        let horizon = self.policy.progress_deadline_us + 1;
+        let horizon = self.config.progress_deadline_us + 1;
         match inner.instances.get(process_id) {
             Some(st) => (st.last_progress_us + horizon).saturating_sub(now_us),
             None => horizon,
@@ -230,8 +284,28 @@ impl HealthMonitor {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner).alerts.clone()
     }
 
+    /// Incremental alert feed: every alert fired since `cursor`, plus the
+    /// new cursor. Consumers that must *react* to alerts (the federation
+    /// controller) poll this instead of re-scanning the whole stream, so
+    /// each alert is acted on exactly once.
+    #[must_use]
+    pub fn alerts_since(&self, cursor: usize) -> (Vec<Alert>, usize) {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let fresh = inner.alerts.get(cursor..).unwrap_or(&[]).to_vec();
+        (fresh, inner.alerts.len())
+    }
+
+    /// Push an externally observed alert through the monitor's stream, so
+    /// control-plane observations (e.g. [`AlertKind::PortalTampered`] from
+    /// the federation layer) interleave with the sink-derived ones in one
+    /// deterministic, exportable sequence.
+    pub fn raise(&self, alert: Alert) {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).alerts.push(alert);
+    }
+
     /// Export alert counts: `alerts.stuck`, `alerts.retry_storm`,
-    /// `alerts.crash_loop`, `alerts.slo_breach` and `alerts.total`.
+    /// `alerts.crash_loop`, `alerts.slo_breach`, `alerts.portal_tampered`
+    /// and `alerts.total`.
     pub fn export_metrics(&self, metrics: &MetricsRegistry) {
         let alerts = self.alerts();
         let count = |tag: &str| alerts.iter().filter(|a| a.kind.tag() == tag).count() as u64;
@@ -239,6 +313,7 @@ impl HealthMonitor {
         metrics.set_counter("alerts.retry_storm", count("retry_storm"));
         metrics.set_counter("alerts.crash_loop", count("crash_loop"));
         metrics.set_counter("alerts.slo_breach", count("slo_breach"));
+        metrics.set_counter("alerts.portal_tampered", count("portal_tampered"));
         metrics.set_counter("alerts.total", alerts.len() as u64);
     }
 }
@@ -255,14 +330,14 @@ impl TraceSink for HealthMonitor {
         if event.stage == stage::HOP && event.outcome == OUTCOME_CRASH {
             // a crashed hop is not progress — it is evidence of the opposite
             st.crashes += 1;
-            if st.crashes >= self.policy.crash_loop_takeovers && !st.crash_alerted {
+            if st.crashes >= self.config.crash_loop_takeovers && !st.crash_alerted {
                 st.crash_alerted = true;
                 fired.push(Alert {
                     at_us: event.end_us,
                     process_id: event.process_id.clone(),
                     kind: AlertKind::CrashLoop {
                         crashes: st.crashes,
-                        budget: self.policy.crash_loop_takeovers,
+                        budget: self.config.crash_loop_takeovers,
                     },
                 });
             }
@@ -273,7 +348,7 @@ impl TraceSink for HealthMonitor {
 
         if event.stage == stage::DELIVER {
             let attempts = event.attr("attempts").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
-            if attempts >= self.policy.retry_storm_attempts {
+            if attempts >= self.config.retry_storm_attempts {
                 let target = event.attr("target").unwrap_or("").to_string();
                 fired.push(Alert {
                     at_us: event.end_us,
@@ -281,7 +356,7 @@ impl TraceSink for HealthMonitor {
                     kind: AlertKind::RetryStorm {
                         target,
                         attempts,
-                        threshold: self.policy.retry_storm_attempts,
+                        threshold: self.config.retry_storm_attempts,
                     },
                 });
             }
@@ -319,6 +394,12 @@ pub fn alerts_to_jsonl(alerts: &[Alert]) -> String {
             AlertKind::SloBreach { elapsed_us, slo_us } => {
                 out.push_str(&format!(",\"elapsed_us\":{elapsed_us},\"slo_us\":{slo_us}"));
             }
+            AlertKind::PortalTampered { portal, digest } => {
+                out.push_str(&format!(
+                    ",\"portal\":{portal},\"digest\":\"{}\"",
+                    json_escape(digest)
+                ));
+            }
         }
         out.push_str("}\n");
     }
@@ -331,7 +412,7 @@ mod tests {
     use dra_obs::Tracer;
 
     fn monitor() -> Arc<HealthMonitor> {
-        HealthMonitor::new(HealthPolicy::default())
+        HealthMonitor::new(MonitorConfig::default())
     }
 
     #[test]
@@ -432,6 +513,60 @@ mod tests {
         let rendered = alerts_to_jsonl(&m.alerts());
         assert_eq!(rendered, "{\"at_us\":10,\"process\":\"p\",\"kind\":\"slo_breach\",\"elapsed_us\":10,\"slo_us\":1}\n");
         assert_eq!(rendered, alerts_to_jsonl(&m.alerts()));
+    }
+
+    #[test]
+    fn config_builder_overrides_one_field_at_a_time() {
+        let cfg = MonitorConfig::new()
+            .with_progress_deadline_us(9_000)
+            .with_retry_storm_attempts(2)
+            .with_crash_loop_takeovers(1);
+        assert_eq!(cfg.progress_deadline_us, 9_000);
+        assert_eq!(cfg.retry_storm_attempts, 2);
+        assert_eq!(cfg.crash_loop_takeovers, 1);
+        // defaults match the golden-recorded thresholds exactly
+        assert_eq!(
+            MonitorConfig::new(),
+            MonitorConfig {
+                progress_deadline_us: 15_000,
+                retry_storm_attempts: 4,
+                crash_loop_takeovers: 4
+            }
+        );
+    }
+
+    #[test]
+    fn alerts_since_is_an_exactly_once_cursor() {
+        let m = monitor();
+        let (fresh, cursor) = m.alerts_since(0);
+        assert!(fresh.is_empty());
+        m.raise(Alert {
+            at_us: 5,
+            process_id: "p".into(),
+            kind: AlertKind::PortalTampered { portal: 2, digest: "ab".into() },
+        });
+        let (fresh, cursor) = m.alerts_since(cursor);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].kind.tag(), "portal_tampered");
+        let (fresh, _) = m.alerts_since(cursor);
+        assert!(fresh.is_empty(), "already consumed");
+    }
+
+    #[test]
+    fn portal_tampered_renders_and_counts() {
+        let m = monitor();
+        m.raise(Alert {
+            at_us: 7,
+            process_id: "p".into(),
+            kind: AlertKind::PortalTampered { portal: 1, digest: "deadbeef".into() },
+        });
+        assert_eq!(
+            alerts_to_jsonl(&m.alerts()),
+            "{\"at_us\":7,\"process\":\"p\",\"kind\":\"portal_tampered\",\"portal\":1,\"digest\":\"deadbeef\"}\n"
+        );
+        let metrics = MetricsRegistry::new();
+        m.export_metrics(&metrics);
+        assert_eq!(metrics.snapshot().counter("alerts.portal_tampered"), 1);
     }
 
     #[test]

@@ -45,11 +45,22 @@ pub fn tracer_for(network: &Arc<NetworkSim>) -> Tracer {
 ///   a hop it was not woken for;
 /// * on a fault-free run that actually dispatched hops, the bus drains to
 ///   empty (`sched.bus_depth == 0`): with no duplicates in flight, every
-///   wake-up is consumed.
+///   wake-up is consumed;
+/// * `federation.failovers ≤ federation.quarantines + federation.outages`
+///   — the active cloud only ever moves on evidence: a confirmed outage or
+///   a quarantine that emptied it;
+/// * `alerts.portal_tampered ≤ federation.quarantines` — every tamper
+///   alert is answered by a quarantine (the controller may also quarantine
+///   on retry-storm evidence, so the right side can exceed the left);
+/// * the fault-free clause above also demands
+///   `federation.tampered_serves == 0` and counts `alerts.portal_tampered`
+///   toward the forbidden alert noise.
 ///
 /// Counters a run never touched read as zero, so the checks degrade
-/// gracefully on direct-path (no-delivery) runs. Returns a description of
-/// the first violated invariant.
+/// gracefully on direct-path (no-delivery) and single-cloud runs (the
+/// `federation.*` counters — `replicas_acked`, `quarantines`, `failovers`,
+/// `outages`, `reroutes`, `tampered_serves` — only exist on federated
+/// deployments). Returns a description of the first violated invariant.
 pub fn check_metric_invariants(snapshot: &MetricsSnapshot) -> Result<(), String> {
     let sends = snapshot.counter("delivery.sends");
     let delivered = snapshot.counter("delivery.delivered");
@@ -90,18 +101,37 @@ pub fn check_metric_invariants(snapshot: &MetricsSnapshot) -> Result<(), String>
         && timeouts == 0
         && replays == 0
         && snapshot.counter("delivery.retries") == 0
+        && snapshot.counter("federation.tampered_serves") == 0
         && ["dropped", "duplicated", "reordered", "delayed_us", "corrupted"]
             .iter()
             .all(|f| snapshot.counter(&format!("delivery.faults.{f}")) == 0);
     if fault_free {
-        let noise =
-            stuck + snapshot.counter("alerts.retry_storm") + snapshot.counter("alerts.crash_loop");
+        let noise = stuck
+            + snapshot.counter("alerts.retry_storm")
+            + snapshot.counter("alerts.crash_loop")
+            + snapshot.counter("alerts.portal_tampered");
         if noise > 0 {
             return Err(format!(
                 "{noise} fault alert(s) on a fault-free run: \
                  the monitor raised false alarms with nothing injected"
             ));
         }
+    }
+    let failovers = snapshot.counter("federation.failovers");
+    let quarantines = snapshot.counter("federation.quarantines");
+    let outages = snapshot.counter("federation.outages");
+    if failovers > quarantines + outages {
+        return Err(format!(
+            "federation.failovers ({failovers}) > federation.quarantines ({quarantines}) + \
+             federation.outages ({outages}): the active cloud moved without evidence"
+        ));
+    }
+    let tampered_alerts = snapshot.counter("alerts.portal_tampered");
+    if tampered_alerts > quarantines {
+        return Err(format!(
+            "alerts.portal_tampered ({tampered_alerts}) > federation.quarantines ({quarantines}): \
+             a tamper alert went unanswered"
+        ));
     }
     let activations = snapshot.counter("sched.activations");
     let notifications = snapshot.counter("portal.notifications");
@@ -167,5 +197,38 @@ mod tests {
         metrics.set_counter("delivery.crashes_injected", 1);
         let err = check_metric_invariants(&metrics.snapshot()).unwrap_err();
         assert!(err.contains("replay"), "got: {err}");
+    }
+
+    #[test]
+    fn invariants_catch_evidence_free_failovers() {
+        let metrics = MetricsRegistry::new();
+        metrics.set_counter("federation.failovers", 2);
+        metrics.set_counter("federation.quarantines", 1);
+        let err = check_metric_invariants(&metrics.snapshot()).unwrap_err();
+        assert!(err.contains("without evidence"), "got: {err}");
+        metrics.set_counter("federation.outages", 1);
+        check_metric_invariants(&metrics.snapshot()).unwrap();
+    }
+
+    #[test]
+    fn invariants_catch_unanswered_tamper_alerts() {
+        let metrics = MetricsRegistry::new();
+        metrics.set_counter("alerts.portal_tampered", 1);
+        metrics.set_counter("federation.tampered_serves", 1);
+        let err = check_metric_invariants(&metrics.snapshot()).unwrap_err();
+        assert!(err.contains("unanswered"), "got: {err}");
+        metrics.set_counter("federation.quarantines", 1);
+        check_metric_invariants(&metrics.snapshot()).unwrap();
+    }
+
+    #[test]
+    fn tampered_serves_break_fault_free_silence() {
+        let metrics = MetricsRegistry::new();
+        metrics.set_counter("federation.tampered_serves", 1);
+        metrics.set_counter("federation.quarantines", 1);
+        metrics.set_counter("alerts.portal_tampered", 1);
+        // a tampered serve disqualifies the run from the fault-free clause,
+        // so the (correct) tamper alert is not treated as a false alarm
+        check_metric_invariants(&metrics.snapshot()).unwrap();
     }
 }

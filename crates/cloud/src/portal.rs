@@ -7,6 +7,9 @@
 //! deployment (the scalability story of the paper).
 
 use crate::crash::{CrashPlan, CrashPoint};
+use crate::federation::{
+    tamper_bytes, FedReplica, Federation, FederationController, FederationPolicy, Topology,
+};
 use crate::netsim::NetworkSim;
 use crate::sched::{Activation, ActivationBus};
 use crate::trustcache::TrustCache;
@@ -100,6 +103,13 @@ pub struct CloudSystem {
     /// Span recorder for portal admissions; disabled (free) unless
     /// [`CloudSystem::with_tracer`] is used.
     tracer: Tracer,
+    /// Multi-cloud half, present only on deployments built with
+    /// [`CloudSystem::federated`]: one storage replica per member cloud
+    /// plus the controller that owns quarantine/failover state. When
+    /// absent (`CloudSystem::new`), every path below behaves exactly as a
+    /// single-cloud deployment — `pool`/`journal` above then *are* the
+    /// deployment.
+    federation: Option<Federation>,
 }
 
 impl CloudSystem {
@@ -115,6 +125,97 @@ impl CloudSystem {
             bus: Arc::new(ActivationBus::new()),
             crash_plan: CrashPlan::none(),
             tracer: Tracer::disabled(),
+            federation: None,
+        }
+    }
+
+    /// Create a **federated** deployment from a [`Topology`]: one pool +
+    /// write-ahead journal per named cloud, portal indices spread across
+    /// the clouds in declaration order, default [`FederationPolicy`]
+    /// thresholds. Cloud 0 starts active; its pool/journal double as the
+    /// system's `pool`/`journal` fields for single-cloud-shaped callers.
+    pub fn federated(
+        directory: Directory,
+        topology: Topology,
+        network: Arc<NetworkSim>,
+    ) -> WfResult<CloudSystem> {
+        Self::federated_with(directory, topology, FederationPolicy::default(), network)
+    }
+
+    /// [`CloudSystem::federated`] with explicit controller thresholds.
+    pub fn federated_with(
+        directory: Directory,
+        topology: Topology,
+        policy: FederationPolicy,
+        network: Arc<NetworkSim>,
+    ) -> WfResult<CloudSystem> {
+        topology.validate()?;
+        let replicas: Vec<FedReplica> = topology
+            .clouds
+            .iter()
+            .map(|c| FedReplica {
+                name: c.name.clone(),
+                pool: Arc::new(HTable::new(TableConfig { max_versions: 4, max_region_rows: 1024 })),
+                journal: Arc::new(Journal::new()),
+            })
+            .collect();
+        let total = topology.total_portals();
+        let controller = Arc::new(FederationController::new(topology, policy));
+        Ok(CloudSystem {
+            pool: Arc::clone(&replicas[0].pool),
+            directory,
+            portals: (0..total).map(|_| PortalStats::default()).collect(),
+            network,
+            trust_cache: TrustCache::new(256),
+            journal: Arc::clone(&replicas[0].journal),
+            bus: Arc::new(ActivationBus::new()),
+            crash_plan: CrashPlan::none(),
+            tracer: Tracer::disabled(),
+            federation: Some(Federation { controller, replicas }),
+        })
+    }
+
+    /// The federation's control plane, when this deployment is federated.
+    pub fn federation_controller(&self) -> Option<&Arc<FederationController>> {
+        self.federation.as_ref().map(|f| &f.controller)
+    }
+
+    /// Give the federation controller a chance to consume fresh health
+    /// alerts (retry storms quarantine their portal at the policy
+    /// threshold). No-op on single-cloud deployments; the scheduler calls
+    /// this between dispatches.
+    pub fn federation_poll(&self) {
+        if let Some(fed) = &self.federation {
+            fed.controller.pump();
+        }
+    }
+
+    /// Remap a requested portal to an eligible one — skip quarantined
+    /// portals and down clouds — without counters or errors (the admission
+    /// itself re-resolves authoritatively). Identity on single-cloud
+    /// deployments, so the legacy/scheduler parity goldens are untouched.
+    pub fn route_portal(&self, requested: usize) -> usize {
+        match &self.federation {
+            Some(fed) => fed.controller.route(requested),
+            None => requested,
+        }
+    }
+
+    /// The pool serving reads right now: the active cloud's replica on a
+    /// federated deployment, `self.pool` otherwise.
+    pub fn active_pool(&self) -> &Arc<HTable> {
+        self.active_store().0
+    }
+
+    /// The active cloud's (pool, journal) — the primary an admission
+    /// journals/commits on before replicating to peers.
+    fn active_store(&self) -> (&Arc<HTable>, &Arc<Journal>) {
+        match &self.federation {
+            Some(fed) => {
+                let active = fed.controller.active_cloud();
+                (&fed.replicas[active].pool, &fed.replicas[active].journal)
+            }
+            None => (&self.pool, &self.journal),
         }
     }
 
@@ -169,6 +270,13 @@ impl CloudSystem {
     /// into `tracer`.
     pub fn with_tracer(mut self, tracer: Tracer) -> CloudSystem {
         self.journal.set_tracer(tracer.clone());
+        if let Some(fed) = &self.federation {
+            // replica journals share the primary's tracer (replicas[0] is
+            // self.journal, already set — set_tracer is idempotent)
+            for replica in &fed.replicas {
+                replica.journal.set_tracer(tracer.clone());
+            }
+        }
         self.tracer = tracer;
         self
     }
@@ -191,8 +299,28 @@ impl CloudSystem {
         metrics.set_gauge("sched.bus_depth", self.bus.len() as i64);
         metrics.set_counter("trust_cache.hits", self.trust_cache.hits() as u64);
         metrics.set_counter("trust_cache.misses", self.trust_cache.misses() as u64);
-        metrics.set_counter("journal.records", self.journal.len() as u64);
-        metrics.set_counter("journal.replayed_records", self.journal.replayed_records());
+        match &self.federation {
+            None => {
+                metrics.set_counter("journal.records", self.journal.len() as u64);
+                metrics.set_counter("journal.replayed_records", self.journal.replayed_records());
+            }
+            Some(fed) => {
+                // journals exist per cloud: export deployment-wide sums
+                let records: u64 = fed.replicas.iter().map(|r| r.journal.len() as u64).sum();
+                let replayed: u64 = fed.replicas.iter().map(|r| r.journal.replayed_records()).sum();
+                metrics.set_counter("journal.records", records);
+                metrics.set_counter("journal.replayed_records", replayed);
+                let stats = fed.controller.stats();
+                metrics.set_counter("federation.replicas_acked", stats.replicas_acked);
+                metrics.set_counter("federation.quarantines", stats.quarantines);
+                metrics.set_counter("federation.failovers", stats.failovers);
+                metrics.set_counter("federation.outages", stats.outages);
+                metrics.set_counter("federation.reroutes", stats.reroutes);
+                metrics.set_counter("federation.tampered_serves", stats.tampered_serves);
+                metrics.set_gauge("federation.active_cloud", stats.active_cloud as i64);
+                metrics.set_gauge("federation.clouds", fed.replicas.len() as i64);
+            }
+        }
         metrics.set_gauge("trust_cache.entries", self.trust_cache.len() as i64);
     }
 
@@ -202,7 +330,7 @@ impl CloudSystem {
     /// notify). Returns how many records were replayed (0 when no portal
     /// died mid-admission).
     pub fn recover_portals(&self) -> usize {
-        self.journal.replay_into_with(&self.pool, |op| {
+        let observer = |op: &PutOp| {
             let Some(rest) = op.key.strip_prefix("todo/") else { return };
             let Some((participant, rest)) = rest.split_once('/') else { return };
             let Some((pid, activity)) = rest.rsplit_once('/') else { return };
@@ -211,12 +339,26 @@ impl CloudSystem {
                 .and_then(|s| s.parse::<usize>().ok())
                 .unwrap_or(0);
             self.notify(0, participant, pid, activity, seq);
-        })
+        };
+        match &self.federation {
+            None => self.journal.replay_into_with(&self.pool, observer),
+            // every cloud replays its own journal into its own pool: a
+            // replica torn between journal-append and commit is repaired
+            // exactly like a torn primary. Re-emitted activations that turn
+            // out to be duplicates are skipped harmlessly by the scheduler.
+            Some(fed) => {
+                fed.replicas.iter().map(|r| r.journal.replay_into_with(&r.pool, observer)).sum()
+            }
+        }
     }
 
-    /// Total journal records replayed by portal recoveries so far.
+    /// Total journal records replayed by portal recoveries so far (summed
+    /// across clouds on a federated deployment).
     pub fn journal_replays(&self) -> u64 {
-        self.journal.replayed_records()
+        match &self.federation {
+            None => self.journal.replayed_records(),
+            Some(fed) => fed.replicas.iter().map(|r| r.journal.replayed_records()).sum(),
+        }
     }
 
     /// Look up the sequence number some exact wire bytes were stored under
@@ -224,7 +366,9 @@ impl CloudSystem {
     /// these bytes never completed admission.
     pub fn stored_seq_for(&self, wire: &str) -> Option<usize> {
         let digest = dra_crypto::sha256(wire.as_bytes());
-        self.pool.get_str(&Self::seen_key(&digest), FAM_META, "seq").and_then(|s| s.parse().ok())
+        self.active_pool()
+            .get_str(&Self::seen_key(&digest), FAM_META, "seq")
+            .and_then(|s| s.parse().ok())
     }
 
     fn doc_key(process_id: &str, seq: usize) -> String {
@@ -299,7 +443,18 @@ impl CloudSystem {
     /// which also charges the network) and the delivery path
     /// ([`CloudSystem::ingest_wire`], which does not).
     fn admit(&self, portal: usize, sealed: &SealedDocument, route: &Route) -> WfResult<StoreAck> {
-        let portal_idx = portal % self.portals.len();
+        // On a federated deployment the controller owns the final portal
+        // choice: it runs the outage dance for the target cloud (touches of
+        // an unconfirmed-dead cloud surface as retriable crashes), then
+        // re-routes past quarantined portals and down clouds. Single-cloud:
+        // plain modulo, as ever.
+        let portal_idx = match &self.federation {
+            Some(fed) => {
+                fed.controller.resolve_admission(portal, self.network.virtual_time_us())?
+            }
+            None => portal % self.portals.len(),
+        };
+        let (pool, journal) = self.active_store();
         let stats = &self.portals[portal_idx];
         let mut span = self.tracer.span(stage::PORTAL_ADMIT).actor(&format!("portal:{portal_idx}"));
         if span.enabled() {
@@ -313,8 +468,7 @@ impl CloudSystem {
         // idempotency: bytes we have already stored are acked, not
         // re-stored — a duplicated or retransmitted copy costs nothing but
         // the transfer. Keyed by the same digest the trust cache uses.
-        if let Some(seq) = self
-            .pool
+        if let Some(seq) = pool
             .get_str(&Self::seen_key(&digest), FAM_META, "seq")
             .and_then(|s| s.parse::<usize>().ok())
         {
@@ -329,8 +483,7 @@ impl CloudSystem {
                 for target in &route.targets {
                     let Ok(act) = def.activity(target) else { continue };
                     let participant = act.participant.clone();
-                    if self
-                        .pool
+                    if pool
                         .get_str(&Self::todo_key(&participant, &pid, target), FAM_META, "seq")
                         .is_some()
                     {
@@ -365,7 +518,7 @@ impl CloudSystem {
         // storage sequence = number of versions already stored for this
         // process (parallel AND-split branches have equal CER counts, so the
         // CER count alone would collide)
-        let seq = self.pool.scan_prefix(&format!("doc/{pid}/")).len();
+        let seq = pool.scan_prefix(&format!("doc/{pid}/")).len();
         let (def, _) = dra4wfms_core::amendment::effective_definition(sealed)?;
         let status = if route.is_final() { "complete" } else { "running" };
 
@@ -397,13 +550,32 @@ impl CloudSystem {
         // WAL discipline: log the intent, apply, commit. The seen row goes
         // first — the worst-case crash window is then "pool claims stored,
         // document row missing", exactly what replay repairs.
-        let record = self.journal.append(ops.clone());
-        ops[0].apply(&self.pool);
+        let record = journal.append(ops.clone());
+        ops[0].apply(pool);
         self.crash_plan.check(CrashPoint::PortalBetweenSeenAndStore)?;
         for op in &ops[1..] {
-            op.apply(&self.pool);
+            op.apply(pool);
         }
-        self.journal.commit_through(record);
+        journal.commit_through(record);
+        // Replication: the admission is durable on the active cloud; now
+        // charge and journal-commit the identical batch on every reachable
+        // peer cloud before acking. Each replica obeys the same WAL
+        // discipline, so a replica torn between append and commit (the
+        // `ReplicaBeforeCommit` injection point) is repaired by its own
+        // journal's replay in [`CloudSystem::recover_portals`].
+        if let Some(fed) = &self.federation {
+            for cloud in fed.controller.replica_targets(self.network.virtual_time_us()) {
+                let replica = &fed.replicas[cloud];
+                self.network.transfer(wire.len());
+                let rec = replica.journal.append(ops.clone());
+                self.crash_plan.check(CrashPoint::ReplicaBeforeCommit)?;
+                for op in &ops {
+                    op.apply(&replica.pool);
+                }
+                replica.journal.commit_through(rec);
+                fed.controller.ack_replica();
+            }
+        }
         // notify after commit: an activation must never outrun its TO-DO
         // row. The crash window above never reaches this point — replay
         // re-emits the repaired admission's notifications instead.
@@ -419,13 +591,72 @@ impl CloudSystem {
     }
 
     /// Retrieve the latest stored document of a process (step 2 of Fig. 7).
+    ///
+    /// On a federated deployment the serve is resolved to an eligible
+    /// portal and integrity-probed before it leaves: the served bytes'
+    /// wire digest must match a `seen/` row of the serving cloud (every
+    /// honestly admitted version has one); an unknown digest falls back to
+    /// a full signature pass, and a failure raises the typed
+    /// `portal_tampered` alert, quarantines the serving portal and
+    /// re-serves from the next eligible one.
     pub fn retrieve_latest(&self, portal: usize, process_id: &str) -> Option<String> {
-        let stats = &self.portals[portal % self.portals.len()];
-        let rows = self.pool.scan_prefix(&format!("doc/{process_id}/"));
-        let xml = rows.last()?.1.get_str(FAM_DOC, QUAL_XML)?;
-        self.network.transfer(xml.len());
-        stats.retrieved.fetch_add(1, Ordering::Relaxed);
-        Some(xml)
+        match &self.federation {
+            None => {
+                let stats = &self.portals[portal % self.portals.len()];
+                let rows = self.pool.scan_prefix(&format!("doc/{process_id}/"));
+                let xml = rows.last()?.1.get_str(FAM_DOC, QUAL_XML)?;
+                self.network.transfer(xml.len());
+                stats.retrieved.fetch_add(1, Ordering::Relaxed);
+                Some(xml)
+            }
+            Some(fed) => self.retrieve_latest_federated(fed, portal, process_id),
+        }
+    }
+
+    fn retrieve_latest_federated(
+        &self,
+        fed: &Federation,
+        portal: usize,
+        process_id: &str,
+    ) -> Option<String> {
+        // bounded by the portal count: every failed probe quarantines its
+        // serving portal, so the candidate set strictly shrinks
+        for _ in 0..self.portals.len() {
+            let serving = fed.controller.resolve_serve(portal)?;
+            let cloud = fed.controller.topology().cloud_of(serving);
+            let pool = &fed.replicas[cloud].pool;
+            let rows = pool.scan_prefix(&format!("doc/{process_id}/"));
+            let stored = rows.last()?.1.get_str(FAM_DOC, QUAL_XML)?;
+            // the tamper injector corrupts the *served copy*, never the pool
+            let served =
+                if fed.controller.tamper_fires(serving) { tamper_bytes(&stored) } else { stored };
+            let digest = dra_crypto::sha256(served.as_bytes());
+            let known = pool.get_str(&Self::seen_key(&digest), FAM_META, "seq").is_some()
+                || Self::full_verify_serves(&self.directory, &served);
+            if !known {
+                fed.controller.on_tamper(
+                    serving,
+                    process_id,
+                    &dra_crypto::hex::encode(&digest),
+                    self.network.virtual_time_us(),
+                );
+                continue;
+            }
+            self.network.transfer(served.len());
+            self.portals[serving].retrieved.fetch_add(1, Ordering::Relaxed);
+            return Some(served);
+        }
+        None
+    }
+
+    /// Integrity fallback for a serve whose digest has no `seen/` row: the
+    /// full signature pass decides. Tampered bytes cannot pass — every
+    /// content byte is covered by a signature — so `false` here means the
+    /// serving portal is compromised.
+    fn full_verify_serves(directory: &Directory, served: &str) -> bool {
+        SealedDocument::from_wire(served)
+            .and_then(|sealed| Verifier::new(directory).run(&sealed).map(|_| ()))
+            .is_ok()
     }
 
     /// Retrieve the latest stored document in sealed form: the stored bytes
@@ -447,9 +678,9 @@ impl CloudSystem {
         Ok(Some(sealed))
     }
 
-    /// Retrieve a specific stored version.
+    /// Retrieve a specific stored version (from the active cloud's pool).
     pub fn retrieve_version(&self, process_id: &str, seq: usize) -> Option<String> {
-        self.pool.get_str(&Self::doc_key(process_id, seq), FAM_DOC, QUAL_XML)
+        self.active_pool().get_str(&Self::doc_key(process_id, seq), FAM_DOC, QUAL_XML)
     }
 
     /// The TO-DO list of a participant ("a list of links of DRA4WfMS
@@ -457,7 +688,7 @@ impl CloudSystem {
     /// activities", §4.2).
     pub fn search_todo(&self, participant: &str) -> Vec<TodoEntry> {
         let prefix = format!("todo/{participant}/");
-        self.pool
+        self.active_pool()
             .scan_prefix(&prefix)
             .into_iter()
             .filter_map(|(key, _)| {
@@ -468,9 +699,24 @@ impl CloudSystem {
             .collect()
     }
 
-    /// Remove a consumed TO-DO entry (after the activity executed).
+    /// Remove a consumed TO-DO entry (after the activity executed). On a
+    /// federated deployment the consumption propagates to every replica —
+    /// a failover must not resurrect work a participant already finished.
     pub fn consume_todo(&self, participant: &str, process_id: &str, activity: &str) -> bool {
-        self.pool.delete_row(&Self::todo_key(participant, process_id, activity))
+        let key = Self::todo_key(participant, process_id, activity);
+        match &self.federation {
+            None => self.pool.delete_row(&key),
+            Some(fed) => {
+                let active = fed.controller.active_cloud();
+                let on_active = fed.replicas[active].pool.delete_row(&key);
+                for (i, replica) in fed.replicas.iter().enumerate() {
+                    if i != active {
+                        replica.pool.delete_row(&key);
+                    }
+                }
+                on_active
+            }
+        }
     }
 
     /// Monitoring: the status of one process instance, derived from its
@@ -484,7 +730,7 @@ impl CloudSystem {
     }
 
     fn retrieve_version_latest_xml(&self, process_id: &str) -> Option<String> {
-        let rows = self.pool.scan_prefix(&format!("doc/{process_id}/"));
+        let rows = self.active_pool().scan_prefix(&format!("doc/{process_id}/"));
         rows.last()?.1.get_str(FAM_DOC, QUAL_XML)
     }
 
@@ -493,7 +739,7 @@ impl CloudSystem {
     /// instances stored in the DRA4WfMS cloud system").
     pub fn statistics_by_status(&self, threads: usize) -> BTreeMap<String, usize> {
         map_reduce(
-            &self.pool,
+            self.active_pool(),
             threads,
             |key, row| {
                 if !key.starts_with("meta/") {
@@ -515,7 +761,7 @@ impl CloudSystem {
     /// `activity -> (executions, mean gap ms)`.
     pub fn activity_latency_stats(&self, threads: usize) -> BTreeMap<String, (usize, f64)> {
         let sums = map_reduce(
-            &self.pool,
+            self.active_pool(),
             threads,
             |key, row| {
                 if !key.starts_with("meta/") {
@@ -553,7 +799,7 @@ impl CloudSystem {
     /// MapReduce: total executed steps per workflow name.
     pub fn steps_per_workflow(&self, threads: usize) -> BTreeMap<String, usize> {
         map_reduce(
-            &self.pool,
+            self.active_pool(),
             threads,
             |key, row| {
                 if !key.starts_with("meta/") {
@@ -596,13 +842,13 @@ impl CloudSystem {
             ));
         }
         let pid = report.process_id;
-        self.pool.put(&format!("initial/{pid}"), FAM_DOC, QUAL_XML, xml.to_string());
+        self.active_pool().put(&format!("initial/{pid}"), FAM_DOC, QUAL_XML, xml.to_string());
         Ok(pid)
     }
 
     /// List uploaded initial documents not yet started.
     pub fn pending_initials(&self) -> Vec<String> {
-        self.pool
+        self.active_pool()
             .scan_prefix("initial/")
             .into_iter()
             .filter_map(|(k, _)| k.strip_prefix("initial/").map(str::to_string))
@@ -612,10 +858,10 @@ impl CloudSystem {
     /// Start a previously uploaded process: move the initial document into
     /// the document store and notify the start activity's participant.
     pub fn start_uploaded(&self, portal: usize, process_id: &str) -> WfResult<()> {
-        let xml = self
-            .pool
-            .get_str(&format!("initial/{process_id}"), FAM_DOC, QUAL_XML)
-            .ok_or_else(|| WfError::Malformed(format!("no pending initial '{process_id}'")))?;
+        let xml =
+            self.active_pool()
+                .get_str(&format!("initial/{process_id}"), FAM_DOC, QUAL_XML)
+                .ok_or_else(|| WfError::Malformed(format!("no pending initial '{process_id}'")))?;
         let doc = DraDocument::parse(&xml)?;
         let (def, _) = dra4wfms_core::amendment::effective_definition(&doc)?;
         self.store_document(
@@ -623,14 +869,79 @@ impl CloudSystem {
             &xml,
             &Route { targets: vec![def.start.clone()], ends: false },
         )?;
-        self.pool.delete_row(&format!("initial/{process_id}"));
+        self.active_pool().delete_row(&format!("initial/{process_id}"));
         Ok(())
     }
 
     /// Snapshot the entire document pool (disaster recovery; the HDFS role
-    /// in the paper's stack).
+    /// in the paper's stack). On a federated deployment this snapshots the
+    /// active cloud's pool — the surviving truth.
     pub fn snapshot_pool(&self) -> Vec<u8> {
-        self.pool.export_snapshot()
+        self.active_pool().export_snapshot()
+    }
+
+    /// SHA-256 digest over every stored document row (`doc/…`) of the
+    /// active pool, keys and bytes, in key order — the byte-identity
+    /// oracle the crash and federation sweeps compare runs with. Two
+    /// deployments with equal digests hold exactly the same documents
+    /// under exactly the same sequence numbers.
+    pub fn pool_digest(&self) -> String {
+        let mut rows: Vec<(String, String)> = self
+            .active_pool()
+            .scan_prefix("doc/")
+            .into_iter()
+            .filter_map(|(k, row)| row.get_str(FAM_DOC, QUAL_XML).map(|v| (k, v)))
+            .collect();
+        rows.sort();
+        let mut buf = String::new();
+        for (k, v) in rows {
+            buf.push_str(&k);
+            buf.push('\0');
+            buf.push_str(&v);
+            buf.push('\0');
+        }
+        dra_crypto::hex::encode(&dra_crypto::sha256(buf.as_bytes()))
+    }
+
+    /// Per-cloud content fingerprints of the document rows: `(cloud name,
+    /// fingerprint)` in declaration order. Single-cloud deployments report
+    /// one entry named `cloud0`.
+    pub fn cloud_digests(&self) -> Vec<(String, u64)> {
+        match &self.federation {
+            None => vec![("cloud0".to_string(), self.pool.fingerprint("doc/"))],
+            Some(fed) => {
+                fed.replicas.iter().map(|r| (r.name.clone(), r.pool.fingerprint("doc/"))).collect()
+            }
+        }
+    }
+
+    /// Export every cloud's write-ahead journal as `(name, bytes)` — the
+    /// persistence seam a real deployment would fsync per cloud; the bytes
+    /// round-trip through [`dra_docpool::Journal::import`], which drops a
+    /// torn final record. Single-cloud deployments export one entry named
+    /// `cloud0`.
+    pub fn journal_snapshots(&self) -> Vec<(String, Vec<u8>)> {
+        match &self.federation {
+            None => vec![("cloud0".to_string(), self.journal.export())],
+            Some(fed) => {
+                fed.replicas.iter().map(|r| (r.name.clone(), r.journal.export())).collect()
+            }
+        }
+    }
+
+    /// Do all clouds that are still up hold byte-identical document rows?
+    /// (Down clouds are excluded: a confirmed-dead replica legitimately
+    /// stops at the admission where it died.) Trivially true single-cloud.
+    pub fn replicas_consistent(&self) -> bool {
+        let Some(fed) = &self.federation else { return true };
+        let mut live = fed
+            .replicas
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !fed.controller.cloud_down(*i))
+            .map(|(_, r)| r.pool.fingerprint("doc/"));
+        let Some(first) = live.next() else { return true };
+        live.all(|fp| fp == first)
     }
 
     /// Rebuild a cloud system from a pool snapshot — a cold restart of the
@@ -654,6 +965,7 @@ impl CloudSystem {
             bus: Arc::new(ActivationBus::new()),
             crash_plan: CrashPlan::none(),
             tracer: Tracer::disabled(),
+            federation: None,
         })
     }
 }

@@ -227,13 +227,18 @@ impl<'a> Scheduler<'a> {
         if let Some(mon) = &run.monitor {
             run.tracer.add_sink(Arc::clone(mon) as Arc<dyn dra_obs::TraceSink>);
             mon.instance_started(&pid, run.slo_us, run.tracer.now_us());
+            // on a federated deployment, the monitor's alert stream drives
+            // the controller's quarantines — wire it up automatically
+            if let Some(fed) = self.system.federation_controller() {
+                fed.set_monitor(mon);
+            }
         }
 
         // the initial document enters the pool; admission emits the
         // activation that wakes the start activity's participant
         let sealed_initial = SealedDocument::new(run.initial.clone());
         run.store(
-            self.system.portal_for(&pid, 0),
+            self.system.route_portal(self.system.portal_for(&pid, 0)),
             &sealed_initial,
             &Route { targets: vec![def.start.clone()], ends: false },
         )?;
@@ -439,7 +444,11 @@ fn dispatch_one<'a>(
         let hop_start = inst.run.tracer.now_us();
         let mut hop_span =
             inst.run.tracer.span(stage::HOP).actor(&act_def.participant).process(&inst.pid);
-        let portal = system.portal_for(&inst.pid, inst.steps + 1);
+        // re-route the in-flight activation: fresh alerts may have
+        // quarantined the hashed portal (or failed its cloud over) since
+        // the activation was emitted. Identity on single-cloud systems.
+        system.federation_poll();
+        let portal = system.route_portal(system.portal_for(&inst.pid, inst.steps + 1));
         match inst.run.execute_hop(aea, &act.activity, &merged, inst.respond, use_tfc, portal) {
             Ok(done) => {
                 hop_span.set_activity(&act.activity, done.3);

@@ -39,6 +39,11 @@ pub mod site {
     /// atomicity hazard the write-ahead journal closes. Defined here for a
     /// single authoritative list; core itself never visits it.
     pub const PORTAL_BETWEEN_SEEN_AND_STORE: &str = "portal:between-seen-and-store";
+    /// Federation-side: after a replica cloud journalled an admission's ops
+    /// but before it committed/applied them — the torn-replication hazard
+    /// each replica's own write-ahead journal closes. Defined here for the
+    /// same single-authoritative-list reason; core never visits it.
+    pub const PORTAL_REPLICA_BEFORE_COMMIT: &str = "portal:replica-before-commit";
 }
 
 #[cfg(test)]

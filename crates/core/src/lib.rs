@@ -112,11 +112,6 @@ pub mod prelude {
     pub use crate::sealed::{prefix_digest, SealedDocument, TrustMark};
     pub use crate::tfc::{TfcProcessed, TfcServer};
     pub use crate::verify::{trust_mark_for, VerificationReport, Verifier, VerifyOutcome};
-    #[allow(deprecated)] // legacy one-release shims stay importable via the prelude
-    pub use crate::verify::{
-        verify_document, verify_document_parallel, verify_documents_parallel, verify_incremental,
-        IncrementalOutcome,
-    };
 }
 
 pub use prelude::*;

@@ -243,10 +243,9 @@ fn plan_verification(
     Ok((tasks, report))
 }
 
-/// Unified verification entry point — a builder replacing the former five
-/// free functions (`verify_document`, `verify_document_with_def`,
-/// `verify_incremental`, `verify_document_parallel`,
-/// `verify_documents_parallel`).
+/// Unified verification entry point — a builder covering full, incremental
+/// (trust-marked), parallel and batched verification behind one
+/// configuration surface.
 ///
 /// ```
 /// # use dra4wfms_core::prelude::*;
@@ -444,22 +443,6 @@ impl<'a> Verifier<'a> {
     }
 }
 
-/// Verify every signature embedded in `doc` against `directory`.
-#[deprecated(since = "0.7.0", note = "use `Verifier::new(&directory).run(&doc)`")]
-pub fn verify_document(doc: &DraDocument, directory: &Directory) -> WfResult<VerificationReport> {
-    Verifier::new(directory).batched(false).run(doc).map(|o| o.report)
-}
-
-/// Variant for callers that already parsed/validated the definition.
-#[deprecated(since = "0.7.0", note = "use `Verifier::new(&directory).with_def(&def).run(&doc)`")]
-pub fn verify_document_with_def(
-    doc: &DraDocument,
-    directory: &Directory,
-    def: &WorkflowDefinition,
-) -> WfResult<VerificationReport> {
-    Verifier::new(directory).batched(false).with_def(def).run(doc).map(|o| o.report)
-}
-
 /// Issue a [`TrustMark`] pinning the whole current document, given a report
 /// from a verification pass that just succeeded on it. `prior_signatures`
 /// is the signature-check count already spent on the pinned prefix by
@@ -475,55 +458,6 @@ pub fn trust_mark_for(
         prefix_digest: prefix_digest(doc, report.cers.len())?,
         signatures_verified: prior_signatures + report.signatures_verified,
     })
-}
-
-/// Outcome of [`verify_incremental`].
-#[deprecated(since = "0.7.0", note = "use `VerifyOutcome` from `Verifier::with_mark`")]
-#[derive(Debug, Clone)]
-pub struct IncrementalOutcome {
-    /// The verification report. `signatures_verified` counts only the
-    /// checks executed *this pass* (so with a matching mark and k new CERs
-    /// it is exactly the k participant checks plus any new TFC
-    /// attestation).
-    pub report: VerificationReport,
-    /// CERs skipped because the trust mark's prefix digest matched.
-    pub reused_cers: usize,
-    /// True when the mark was unusable (missing, wrong process, or digest
-    /// mismatch) and a full verification ran instead.
-    pub fell_back: bool,
-    /// A fresh mark pinning the whole document as now verified; hand it to
-    /// the next hop.
-    pub mark: TrustMark,
-}
-
-/// Incremental verification: re-check only the CERs appended since `mark`
-/// was issued, after proving the marked prefix byte-identical via its
-/// canonical digest.
-#[deprecated(since = "0.7.0", note = "use `Verifier::new(&directory).with_mark(mark).run(&doc)`")]
-#[allow(deprecated)]
-pub fn verify_incremental(
-    doc: &DraDocument,
-    directory: &Directory,
-    mark: Option<&TrustMark>,
-) -> WfResult<IncrementalOutcome> {
-    let o = Verifier::new(directory).batched(false).with_mark(mark).run(doc)?;
-    Ok(IncrementalOutcome {
-        report: o.report,
-        reused_cers: o.reused_cers,
-        fell_back: o.fell_back,
-        mark: o.mark.expect("incremental mode issues a mark"),
-    })
-}
-
-/// Parallel variant: `threads` worker threads execute the planned
-/// signature checks concurrently.
-#[deprecated(since = "0.7.0", note = "use `Verifier::new(&directory).threads(n).run(&doc)`")]
-pub fn verify_document_parallel(
-    doc: &DraDocument,
-    directory: &Directory,
-    threads: usize,
-) -> WfResult<VerificationReport> {
-    Verifier::new(directory).batched(false).threads(threads).run(doc).map(|o| o.report)
 }
 
 /// Execute planned signature checks: batched when requested (aggregate
@@ -585,24 +519,6 @@ fn run_chunk(tasks: &[SigTask], batched: bool) -> WfResult<()> {
         t.run()?;
     }
     Ok(())
-}
-
-/// Verify a batch of independent documents in parallel (the portal-server
-/// bulk path): each document gets its own full verification; failures are
-/// reported per document.
-#[deprecated(since = "0.7.0", note = "use `Verifier::new(&directory).threads(n).run_many(&docs)`")]
-pub fn verify_documents_parallel(
-    docs: &[DraDocument],
-    directory: &Directory,
-    threads: usize,
-) -> Vec<WfResult<VerificationReport>> {
-    Verifier::new(directory)
-        .batched(false)
-        .threads(threads)
-        .run_many(docs)
-        .into_iter()
-        .map(|r| r.map(|o| o.report))
-        .collect()
 }
 
 #[cfg(test)]

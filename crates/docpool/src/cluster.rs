@@ -286,6 +286,38 @@ impl HTable {
     pub fn regions(&self) -> Vec<Arc<Region>> {
         self.regions.read().clone()
     }
+
+    /// Content fingerprint of every row under `prefix`: FNV-1a over the
+    /// row keys and latest cell values of all columns, in key order.
+    ///
+    /// Region boundaries and split schedules do not affect the result, so
+    /// two tables holding the same logical rows report the same value even
+    /// when their region layouts differ — a cheap divergence probe for
+    /// replicated pools (a cryptographic byte-identity proof is the
+    /// caller's job; this is the fast first look).
+    pub fn fingerprint(&self, prefix: &str) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            // terminator so ("ab","c") and ("a","bc") cannot collide
+            h ^= 0xff;
+            h.wrapping_mul(FNV_PRIME)
+        }
+        let mut h = FNV_OFFSET;
+        for (key, row) in self.scan_prefix(prefix) {
+            h = mix(h, key.as_bytes());
+            for (family, qualifier, cell) in row.columns() {
+                h = mix(h, family.as_bytes());
+                h = mix(h, qualifier.as_bytes());
+                h = mix(h, &cell.value);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +341,24 @@ mod tests {
         let row = t.get_row("k").unwrap();
         assert_eq!(row.versions("f", "q").len(), 2);
         assert_eq!(row.get_str("f", "q").unwrap(), "2");
+    }
+
+    #[test]
+    fn fingerprint_ignores_region_layout_but_sees_content() {
+        let small = HTable::new(TableConfig { max_versions: 3, max_region_rows: 4 });
+        let big = HTable::new(TableConfig { max_versions: 3, max_region_rows: 1_000 });
+        for i in 0..50 {
+            small.put(&format!("doc/p/{i:03}"), "doc", "xml", format!("<v{i}/>"));
+            big.put(&format!("doc/p/{i:03}"), "doc", "xml", format!("<v{i}/>"));
+        }
+        assert!(small.stats().regions > big.stats().regions, "layouts actually differ");
+        assert_eq!(small.fingerprint("doc/"), big.fingerprint("doc/"));
+        assert_eq!(small.fingerprint(""), big.fingerprint(""));
+        // one diverged cell flips the fingerprint
+        big.put("doc/p/007", "doc", "xml", "<tampered/>");
+        assert_ne!(small.fingerprint("doc/"), big.fingerprint("doc/"));
+        // rows outside the prefix are invisible to it
+        assert_eq!(small.fingerprint("meta/"), HTable::default().fingerprint("meta/"));
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! ```
 
 use dra4wfms::cloud::{
-    alerts_to_jsonl, tracer_for, CloudSystem, CrashPlan, CrashPoint, HealthMonitor, HealthPolicy,
-    InstanceRun, NetworkSim,
+    alerts_to_jsonl, tracer_for, CloudSystem, CrashPlan, CrashPoint, HealthMonitor, InstanceRun,
+    MonitorConfig, NetworkSim,
 };
 use dra4wfms::core::document::CerKey;
 use dra4wfms::core::reconcile::ReconcileError;
@@ -61,7 +61,7 @@ fn monitored_alerts() -> String {
     let sys = CloudSystem::new(dir.clone(), 3, Arc::clone(&network))
         .with_crash_plan(Arc::clone(&plan))
         .with_tracer(tracer.clone());
-    let monitor = HealthMonitor::new(HealthPolicy::default());
+    let monitor = HealthMonitor::new(MonitorConfig::default());
     let agents: HashMap<String, Arc<Aea>> = creds
         .iter()
         .map(|c| {

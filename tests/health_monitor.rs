@@ -10,7 +10,7 @@
 use dra4wfms::cloud::monitor::AlertKind;
 use dra4wfms::cloud::{
     check_metric_invariants, tracer_for, CloudSystem, CrashPlan, CrashPoint, Delivery,
-    DeliveryPolicy, FaultProfile, HealthMonitor, HealthPolicy, InstanceRun, NetworkSim,
+    DeliveryPolicy, FaultProfile, HealthMonitor, InstanceRun, MonitorConfig, NetworkSim,
     SupervisorPolicy,
 };
 use dra4wfms::obs::MetricsRegistry;
@@ -104,7 +104,7 @@ fn stuck_hop_is_detected_and_taken_over_early() {
     let sys = CloudSystem::new(s.dir.clone(), 3, Arc::clone(&s.network))
         .with_crash_plan(Arc::clone(&s.plan))
         .with_tracer(tracer.clone());
-    let monitor = HealthMonitor::new(HealthPolicy::default());
+    let monitor = HealthMonitor::new(MonitorConfig::default());
     let metrics = MetricsRegistry::new();
     let doc = initial(&s, "stuck-run");
     let ags = agents(&s, &tracer);
@@ -147,7 +147,7 @@ fn retry_storm_is_detected_on_a_hostile_channel() {
         CloudSystem::new(s.dir.clone(), 3, Arc::clone(&s.network)).with_tracer(tracer.clone());
     // storm threshold 2: any delivery that needed a retry counts, so a
     // hostile channel is guaranteed to trip it
-    let policy = HealthPolicy { retry_storm_attempts: 2, ..HealthPolicy::default() };
+    let policy = MonitorConfig { retry_storm_attempts: 2, ..MonitorConfig::default() };
     let monitor = HealthMonitor::new(policy);
     let metrics = MetricsRegistry::new();
     let delivery = Delivery::new(
@@ -194,7 +194,7 @@ fn crash_loop_is_detected_when_takeovers_hit_the_budget() {
     let sys = CloudSystem::new(s.dir.clone(), 3, Arc::clone(&s.network))
         .with_crash_plan(Arc::clone(&s.plan))
         .with_tracer(tracer.clone());
-    let policy = HealthPolicy { crash_loop_takeovers: 1, ..HealthPolicy::default() };
+    let policy = MonitorConfig { crash_loop_takeovers: 1, ..MonitorConfig::default() };
     let monitor = HealthMonitor::new(policy);
     let metrics = MetricsRegistry::new();
     let doc = initial(&s, "loop-run");
@@ -225,7 +225,7 @@ fn slo_breach_fires_only_when_the_budget_is_blown() {
         let tracer = tracer_for(&s.network);
         let sys =
             CloudSystem::new(s.dir.clone(), 3, Arc::clone(&s.network)).with_tracer(tracer.clone());
-        let monitor = HealthMonitor::new(HealthPolicy::default());
+        let monitor = HealthMonitor::new(MonitorConfig::default());
         let doc = initial(&s, "slo-run");
         let ags = agents(&s, &tracer);
         InstanceRun::new(&sys, &doc)
@@ -252,7 +252,7 @@ fn lossless_no_crash_baseline_raises_zero_alerts() {
     let tracer = tracer_for(&s.network);
     let sys =
         CloudSystem::new(s.dir.clone(), 3, Arc::clone(&s.network)).with_tracer(tracer.clone());
-    let monitor = HealthMonitor::new(HealthPolicy::default());
+    let monitor = HealthMonitor::new(MonitorConfig::default());
     let metrics = MetricsRegistry::new();
     let delivery = Delivery::lossless(Arc::clone(&s.network)).with_tracer(tracer.clone());
     let doc = initial(&s, "baseline-run");
