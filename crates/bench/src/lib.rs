@@ -17,6 +17,7 @@
 
 pub mod chain;
 pub mod fig9;
+pub mod fuzz;
 pub mod perfgate;
 pub mod table;
 

@@ -46,6 +46,12 @@ pub fn tracer_for(network: &Arc<NetworkSim>) -> Tracer {
 /// * on a fault-free run that actually dispatched hops, the bus drains to
 ///   empty (`sched.bus_depth == 0`): with no duplicates in flight, every
 ///   wake-up is consumed;
+/// * on the same fault-free drain, `sched.or_join_parked == 0` — every
+///   OR-join deferral resolves by drain end (sound definitions guarantee
+///   upstream quiescence);
+/// * `sched.cancelled_dispatches == 0` unconditionally — work withdrawn by
+///   a cancellation region must never reach dispatch with a live inbox
+///   entry;
 /// * `federation.failovers ≤ federation.quarantines + federation.outages`
 ///   — the active cloud only ever moves on evidence: a confirmed outage or
 ///   a quarantine that emptied it;
@@ -156,6 +162,20 @@ pub fn check_metric_invariants(snapshot: &MetricsSnapshot) -> Result<(), String>
                  activations were left stranded on the bus"
             ));
         }
+        let parked = snapshot.gauge("sched.or_join_parked");
+        if parked != 0 {
+            return Err(format!(
+                "sched.or_join_parked ({parked}) != 0 after a fault-free drain: \
+                 a synchronizing merge never resolved"
+            ));
+        }
+    }
+    let cancelled_dispatches = snapshot.counter("sched.cancelled_dispatches");
+    if cancelled_dispatches != 0 {
+        return Err(format!(
+            "sched.cancelled_dispatches ({cancelled_dispatches}) != 0: \
+             work a cancellation region withdrew was still about to dispatch"
+        ));
     }
     Ok(())
 }

@@ -100,6 +100,10 @@ pub struct CloudSystem {
     bus: Arc<ActivationBus>,
     /// The crash schedule portals consult mid-admission.
     crash_plan: Arc<CrashPlan>,
+    /// Digests of canonical definition XML already proven sound, shared by
+    /// the portals: the reachability analysis runs once per *definition*,
+    /// not once per admitted document version.
+    sound_defs: std::sync::Mutex<std::collections::BTreeSet<[u8; 32]>>,
     /// Span recorder for portal admissions; disabled (free) unless
     /// [`CloudSystem::with_tracer`] is used.
     tracer: Tracer,
@@ -124,6 +128,7 @@ impl CloudSystem {
             journal: Arc::new(Journal::new()),
             bus: Arc::new(ActivationBus::new()),
             crash_plan: CrashPlan::none(),
+            sound_defs: Default::default(),
             tracer: Tracer::disabled(),
             federation: None,
         }
@@ -170,6 +175,7 @@ impl CloudSystem {
             journal: Arc::clone(&replicas[0].journal),
             bus: Arc::new(ActivationBus::new()),
             crash_plan: CrashPlan::none(),
+            sound_defs: Default::default(),
             tracer: Tracer::disabled(),
             federation: Some(Federation { controller, replicas }),
         })
@@ -520,6 +526,21 @@ impl CloudSystem {
         // CER count alone would collide)
         let seq = pool.scan_prefix(&format!("doc/{pid}/")).len();
         let (def, _) = dra4wfms_core::amendment::effective_definition(sealed)?;
+        // design-time soundness gate: a definition that can deadlock, starve
+        // an activity or orphan a join is rejected *here*, before any row is
+        // written — the designer gets the diagnostic while the fix is still
+        // a document edit, not a stranded instance. Amendments re-enter the
+        // gate because the folded definition's canonical bytes change.
+        let def_digest = dra_crypto::sha256(&dra_xml::canon::canonicalize(&def.to_xml()));
+        let known_sound = self
+            .sound_defs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains(&def_digest);
+        if !known_sound {
+            dra4wfms_core::soundness::require_sound(&def)?;
+            self.sound_defs.lock().unwrap_or_else(|e| e.into_inner()).insert(def_digest);
+        }
         let status = if route.is_final() { "complete" } else { "running" };
 
         // Assemble the full admission as one journaled batch: the digest →
@@ -964,6 +985,7 @@ impl CloudSystem {
             journal: Arc::new(Journal::new()),
             bus: Arc::new(ActivationBus::new()),
             crash_plan: CrashPlan::none(),
+            sound_defs: Default::default(),
             tracer: Tracer::disabled(),
             federation: None,
         })

@@ -135,6 +135,24 @@ impl ActivationBus {
         q.ready.retain(|_, a| a.process_id != process_id);
         before - q.ready.len()
     }
+
+    /// Drop the pending activations of one `(process, activity)` pair;
+    /// returns how many were removed. Used when a cancellation region
+    /// withdraws work a portal had already announced.
+    pub fn drain_activity(&self, process_id: &str, activity: &str) -> usize {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let before = q.ready.len();
+        q.ready.retain(|_, a| !(a.process_id == process_id && a.activity == activity));
+        before - q.ready.len()
+    }
+
+    /// Whether some pending activation of `process_id` targets an activity
+    /// satisfying `matches`. The OR-join readiness probe: a synchronizing
+    /// merge fires only once no upstream branch can still deliver.
+    pub fn has_pending(&self, process_id: &str, matches: impl Fn(&str) -> bool) -> bool {
+        let q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.ready.values().any(|a| a.process_id == process_id && matches(&a.activity))
+    }
 }
 
 /// Scheduler-side accounting, exported as `sched.*` counters.
@@ -147,6 +165,17 @@ pub struct SchedStats {
     pub skipped: u64,
     /// Activations parked on an AND-join awaiting sibling branches.
     pub deferred: u64,
+    /// Activations parked on an OR-join while an upstream branch could
+    /// still deliver (the synchronizing-merge wait).
+    pub or_join_waits: u64,
+    /// Work items withdrawn by cancellation regions: inbox entries and bus
+    /// activations removed when a trigger completed, plus late activations
+    /// arriving for already-cancelled work.
+    pub cancelled: u64,
+    /// Activations for cancelled work that still found a live inbox entry —
+    /// a withdrawal that failed to actually withdraw. Must stay zero; the
+    /// metric invariants treat any other value as a scheduler bug.
+    pub cancelled_dispatches: u64,
     /// Activations popped for processes this scheduler never admitted
     /// (dropped; defensive — `pop_owned` filters them out before the pop).
     pub foreign: u64,
@@ -160,6 +189,13 @@ struct Instance<'a> {
     respond: &'a crate::runner::Responder,
     pid: String,
     inbox: HashMap<String, Vec<SealedDocument>>,
+    /// Activities whose pending work a cancellation region withdrew; their
+    /// activations must never dispatch again (regions are acyclic by the
+    /// soundness gate, so membership is permanent for the run).
+    cancelled: std::collections::BTreeSet<String>,
+    /// OR-joins parked until their upstream goes quiet; revisited after the
+    /// bus drains (and by any later duplicate activation).
+    or_parked: std::collections::BTreeSet<String>,
     steps: usize,
     signature_checks: usize,
     last_doc: SealedDocument,
@@ -215,6 +251,10 @@ impl<'a> Scheduler<'a> {
 
         let (def, _) = dra4wfms_core::amendment::effective_definition(run.initial)?;
         def.validate()?;
+        // unsound models never enter the run loop: a deadlocking join or an
+        // orphaning cancellation would strand the instance mid-flight, long
+        // after the designer could cheaply fix the definition
+        dra4wfms_core::soundness::require_sound(&def)?;
         let pid = run.initial.process_id()?;
         if def.tfc.is_some() && run.tfc.is_none() {
             return Err(WfError::Policy(
@@ -256,6 +296,8 @@ impl<'a> Scheduler<'a> {
                 respond,
                 pid: pid.clone(),
                 inbox,
+                cancelled: Default::default(),
+                or_parked: Default::default(),
                 steps: 0,
                 signature_checks: 0,
                 last_doc: sealed_initial,
@@ -276,25 +318,61 @@ impl<'a> Scheduler<'a> {
     /// family) and build each [`RunOutcome`].
     pub fn run_to_completion(&mut self) -> Vec<(String, WfResult<RunOutcome>)> {
         let bus = self.system.activation_bus();
-        // pop only own instances' activations: schedulers running
-        // concurrently over one deployment share the bus, and a wake-up
-        // taken by the wrong scheduler would strand the instance it woke
-        while let Some(act) = bus.pop_owned(|pid| self.instances.contains_key(pid)) {
-            let Some(inst) = self.instances.get_mut(&act.process_id) else {
-                self.stats.foreign += 1;
-                continue;
-            };
-            if inst.failed.is_some() {
-                self.stats.skipped += 1;
-                continue;
+        loop {
+            // pop only own instances' activations: schedulers running
+            // concurrently over one deployment share the bus, and a wake-up
+            // taken by the wrong scheduler would strand the instance it woke
+            while let Some(act) = bus.pop_owned(|pid| self.instances.contains_key(pid)) {
+                let Some(inst) = self.instances.get_mut(&act.process_id) else {
+                    self.stats.foreign += 1;
+                    continue;
+                };
+                if inst.failed.is_some() {
+                    self.stats.skipped += 1;
+                    continue;
+                }
+                if let Err(e) = dispatch_one(self.system, inst, &act, &mut self.stats) {
+                    inst.failed = Some(e);
+                    // a dead instance's remaining activations are noise
+                    self.stats.skipped += bus.drain_process(&act.process_id) as u64;
+                }
             }
-            if let Err(e) = dispatch_one(self.system, inst, &act, &mut self.stats) {
-                inst.failed = Some(e);
-                // a dead instance's remaining activations are noise
-                self.stats.skipped += bus.drain_process(&act.process_id) as u64;
+            // drain end: every upstream branch of a parked OR-join has now
+            // either delivered or provably never will — fire the first
+            // quiet one and rescan (its hop may refill the bus)
+            if !self.fire_one_parked_or_join() {
+                break;
             }
         }
         self.finalize_all()
+    }
+
+    /// Dispatch the first parked OR-join whose upstream is quiet, in
+    /// admission order then activity order: deterministic. Returns whether
+    /// one fired. Dispatch is direct — not a bus emission — so
+    /// `sched.activations == portal.notifications` keeps holding.
+    fn fire_one_parked_or_join(&mut self) -> bool {
+        let bus = self.system.activation_bus();
+        for pid in &self.order {
+            let Some(inst) = self.instances.get_mut(pid) else { continue };
+            if inst.failed.is_some() || inst.or_parked.is_empty() {
+                continue;
+            }
+            let Some(activity) = inst.or_parked.iter().next().cloned() else { continue };
+            let synthetic = Activation {
+                participant: String::new(),
+                process_id: pid.clone(),
+                activity,
+                seq: 0,
+                at_us: inst.run.tracer.now_us(),
+            };
+            if let Err(e) = dispatch_one(self.system, inst, &synthetic, &mut self.stats) {
+                inst.failed = Some(e);
+                self.stats.skipped += bus.drain_process(pid) as u64;
+            }
+            return true;
+        }
+        false
     }
 
     /// Finalize and drain every admitted instance, in admission order.
@@ -303,6 +381,10 @@ impl<'a> Scheduler<'a> {
         let bus = system.activation_bus();
         let mut results = Vec::with_capacity(self.order.len());
         let mut exported: Vec<&'a MetricsRegistry> = Vec::new();
+        // parked OR-joins remaining at finalize: non-zero on a fault-free
+        // drain means a synchronizing merge never resolved (a scheduler
+        // bug — sound definitions guarantee quiescence by drain end)
+        let or_join_parked: usize = self.instances.values().map(|i| i.or_parked.len()).sum();
         for pid in self.order.drain(..) {
             let Some(mut inst) = self.instances.remove(&pid) else { continue };
             if let Some(e) = inst.failed.take() {
@@ -379,9 +461,13 @@ impl<'a> Scheduler<'a> {
             m.incr("sched.dispatched", self.stats.dispatched);
             m.incr("sched.skipped", self.stats.skipped);
             m.incr("sched.deferred", self.stats.deferred);
+            m.incr("sched.or_join_waits", self.stats.or_join_waits);
+            m.incr("sched.cancelled", self.stats.cancelled);
+            m.incr("sched.cancelled_dispatches", self.stats.cancelled_dispatches);
             m.incr("sched.foreign", self.stats.foreign);
             // re-read the bus gauge now that every instance drained
             m.set_gauge("sched.bus_depth", bus.len() as i64);
+            m.set_gauge("sched.or_join_parked", or_join_parked as i64);
         }
         self.stats = SchedStats::default();
         results
@@ -397,6 +483,20 @@ fn dispatch_one<'a>(
     act: &Activation,
     stats: &mut SchedStats,
 ) -> WfResult<()> {
+    // any activation (duplicate, synthetic revisit) supersedes a parking:
+    // it re-runs the readiness check below and re-parks if still not quiet
+    inst.or_parked.remove(&act.activity);
+    if inst.cancelled.contains(&act.activity) {
+        // work withdrawn by a cancellation region: the activation is void.
+        // Withdrawal already emptied the inbox — a surviving entry means a
+        // cancelled hop was one step from dispatching, which the metric
+        // invariants flag (`sched.cancelled_dispatches` must stay zero).
+        if inst.inbox.remove(&act.activity).is_some() {
+            stats.cancelled_dispatches += 1;
+        }
+        stats.cancelled += 1;
+        return Ok(());
+    }
     let Some(arrived) = inst.inbox.remove(&act.activity) else {
         // duplicate notification (retransmitted copy, replay re-emission):
         // the inbox was already drained by the first activation
@@ -427,6 +527,22 @@ fn dispatch_one<'a>(
         inst.inbox.entry(act.activity.clone()).or_default().push(merged);
         stats.deferred += 1;
         return Ok(());
+    }
+
+    // OR-join (synchronizing merge): fire only once upstream is quiet — no
+    // inbox entry and no announced activation on any transitive
+    // predecessor could still deliver another branch. Parked joins are
+    // revisited by later duplicate activations and at bus-drain end.
+    if act_def.join == JoinKind::Or {
+        let upstream = def_now.upstream_of(&act.activity);
+        let busy = inst.inbox.keys().any(|k| upstream.contains(k.as_str()))
+            || system.activation_bus().has_pending(&inst.pid, |a| upstream.contains(a));
+        if busy {
+            inst.inbox.entry(act.activity.clone()).or_default().push(merged);
+            inst.or_parked.insert(act.activity.clone());
+            stats.or_join_waits += 1;
+            return Ok(());
+        }
     }
 
     // dispatch the hop under a virtual-time lease; a crash fault surfaces
@@ -505,6 +621,21 @@ fn dispatch_one<'a>(
     inst.steps += 1;
     inst.signature_checks += hop_checks;
     system.consume_todo(&act_def.participant, &inst.pid, &act.activity);
+
+    // completing this activity may fire cancellation regions: withdraw
+    // every pending piece of region work — inbox entries, parked OR-joins
+    // and already-announced bus activations alike
+    let reader = DocFieldReader::public(document.document());
+    for region in dra4wfms_core::flow::fired_cancellations(&def_now, &act.activity, &reader)? {
+        for member in &region.region {
+            if inst.inbox.remove(member).is_some() {
+                stats.cancelled += 1;
+            }
+            inst.or_parked.remove(member);
+            stats.cancelled += system.activation_bus().drain_activity(&inst.pid, member) as u64;
+            inst.cancelled.insert(member.clone());
+        }
+    }
 
     for target in &route.targets {
         inst.inbox.entry(target.clone()).or_default().push(document.clone());

@@ -20,7 +20,7 @@ use crate::document::{preds_to_attr, CerKey, DraDocument, PredRef};
 use crate::error::{WfError, WfResult};
 use crate::faultpoint::{site, CrashHook};
 use crate::fields::{build_plain_result_element, build_result_element};
-use crate::flow::{evaluate_route, join_ready, merge_documents, DocFieldReader, Route};
+use crate::flow::{evaluate_route_after, join_ready, merge_documents, DocFieldReader, Route};
 use crate::identity::{Credentials, Directory};
 use crate::ingest::Inbound;
 use crate::model::{FieldRef, JoinKind, WorkflowDefinition};
@@ -316,7 +316,8 @@ impl Aea {
         span_sign.attr("model", "basic");
         span_sign.end();
 
-        let route = evaluate_route(&received.def, &received.activity, &reader)?;
+        let route =
+            evaluate_route_after(&received.def, &received.activity, received.iter, &reader)?;
         self.crash_point(site::AEA_AFTER_SIGN)?;
         // The prefix pinned at receive time is untouched by push_cer, so the
         // mark stays valid: the next hop re-verifies exactly this new CER.

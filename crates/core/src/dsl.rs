@@ -30,7 +30,8 @@
 
 use crate::error::{WfError, WfResult};
 use crate::model::{
-    Activity, Condition, FieldRef, JoinKind, Target, Transition, WorkflowDefinition,
+    Activity, CancelRegion, Cardinality, Condition, FieldRef, JoinKind, MultiInstance, Target,
+    Transition, WorkflowDefinition,
 };
 
 /// Parse the DSL into a validated [`WorkflowDefinition`].
@@ -41,6 +42,8 @@ pub fn parse_workflow(src: &str) -> WfResult<WorkflowDefinition> {
     let mut start: Option<String> = None;
     let mut activities: Vec<Activity> = Vec::new();
     let mut transitions: Vec<Transition> = Vec::new();
+    let mut multi: Vec<MultiInstance> = Vec::new();
+    let mut cancellations: Vec<CancelRegion> = Vec::new();
 
     let mut lines = src.lines().enumerate().peekable();
     while let Some((lineno, raw)) = lines.next() {
@@ -115,6 +118,10 @@ pub fn parse_workflow(src: &str) -> WfResult<WorkflowDefinition> {
             activities.push(act);
         } else if let Some(rest) = line.strip_prefix("flow ") {
             transitions.push(parse_flow(rest).map_err(|m| err(&m))?);
+        } else if let Some(rest) = line.strip_prefix("multi ") {
+            multi.push(parse_multi(rest).map_err(|m| err(&m))?);
+        } else if let Some(rest) = line.strip_prefix("cancel ") {
+            cancellations.push(parse_cancel(rest).map_err(|m| err(&m))?);
         } else {
             return Err(err(&format!("unrecognized statement: '{line}'")));
         }
@@ -126,6 +133,8 @@ pub fn parse_workflow(src: &str) -> WfResult<WorkflowDefinition> {
         start: String::new(),
         activities,
         transitions,
+        multi,
+        cancellations,
         tfc,
     };
     def.start = match start {
@@ -155,7 +164,7 @@ fn take_quoted(s: &str) -> Option<(String, &str)> {
     Some((rest[..end].to_string(), &rest[end + 1..]))
 }
 
-/// `A by participant [join all|any] {`
+/// `A by participant [join all|any|or] {`
 fn parse_activity_header(rest: &str) -> Result<Activity, String> {
     let rest = rest.trim().trim_end_matches("{}").trim_end_matches('{').trim();
     let mut tokens = rest.split_whitespace();
@@ -171,7 +180,8 @@ fn parse_activity_header(rest: &str) -> Result<Activity, String> {
         Some("join") => match tokens.next() {
             Some("all") => join = JoinKind::All,
             Some("any") => join = JoinKind::Any,
-            other => return Err(format!("expected 'all' or 'any', found {other:?}")),
+            Some("or") => join = JoinKind::Or,
+            other => return Err(format!("expected 'all', 'any' or 'or', found {other:?}")),
         },
         Some(t) => return Err(format!("unexpected token '{t}'")),
     }
@@ -179,6 +189,70 @@ fn parse_activity_header(rest: &str) -> Result<Activity, String> {
         return Err(format!("unexpected token '{t}'"));
     }
     Ok(Activity { id, participant, join, requests: Vec::new(), responses: Vec::new() })
+}
+
+/// `B 3` (static) or `B from A.n` (runtime cardinality)
+fn parse_multi(rest: &str) -> Result<MultiInstance, String> {
+    let mut tokens = rest.split_whitespace();
+    let activity = tokens.next().ok_or("expected activity id after 'multi'")?.to_string();
+    let cardinality = match tokens.next() {
+        Some("from") => {
+            let r = tokens.next().ok_or("expected activity.field after 'from'")?;
+            let (a, f) = r.split_once('.').ok_or("cardinality source must be activity.field")?;
+            Cardinality::Runtime(FieldRef::new(a, f))
+        }
+        Some(count) => {
+            let k: u32 =
+                count.parse().map_err(|_| format!("'{count}' is not an instance count"))?;
+            Cardinality::Static(k)
+        }
+        None => return Err("expected instance count or 'from activity.field'".into()),
+    };
+    if let Some(t) = tokens.next() {
+        return Err(format!("unexpected token '{t}'"));
+    }
+    Ok(MultiInstance { activity, cardinality })
+}
+
+/// `C, D on B [when A.mode == "solo"]`
+fn parse_cancel(rest: &str) -> Result<CancelRegion, String> {
+    let (rest, condition) = match rest.find(" when ") {
+        Some(i) => {
+            let cond = parse_condition(rest[i + 6..].trim())?;
+            (&rest[..i], Some(cond))
+        }
+        None => (rest, None),
+    };
+    let (region_part, trigger) = rest.split_once(" on ").ok_or("expected 'region on trigger'")?;
+    let region: Vec<String> = region_part
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if region.is_empty() {
+        return Err("expected at least one activity before 'on'".into());
+    }
+    Ok(CancelRegion { trigger: trigger.trim().to_string(), condition, region })
+}
+
+/// `A.field == "v"` or `A.field != "v"`
+fn parse_condition(c: &str) -> Result<Condition, String> {
+    let (lhs, negate, value) = if let Some((l, v)) = c.split_once("==") {
+        (l, false, v)
+    } else if let Some((l, v)) = c.split_once("!=") {
+        (l, true, v)
+    } else {
+        return Err("condition must use == or !=".into());
+    };
+    let (activity, field) =
+        lhs.trim().split_once('.').ok_or("condition left side must be activity.field")?;
+    let (value, _) = take_quoted(value).ok_or("condition value must be quoted")?;
+    Ok(Condition {
+        activity: activity.trim().to_string(),
+        field: field.trim().to_string(),
+        equals: value,
+        negate,
+    })
 }
 
 /// `A -> B [when A.field == "v" | when A.field != "v"]` (or `-> end`)
@@ -194,26 +268,19 @@ fn parse_flow(rest: &str) -> Result<Transition, String> {
         if to.eq_ignore_ascii_case("end") { Target::End } else { Target::Activity(to.to_string()) };
     let condition = match cond {
         None => None,
-        Some(c) => {
-            let (lhs, negate, value) = if let Some((l, v)) = c.split_once("==") {
-                (l, false, v)
-            } else if let Some((l, v)) = c.split_once("!=") {
-                (l, true, v)
-            } else {
-                return Err("condition must use == or !=".into());
-            };
-            let (activity, field) =
-                lhs.trim().split_once('.').ok_or("condition left side must be activity.field")?;
-            let (value, _) = take_quoted(value).ok_or("condition value must be quoted")?;
-            Some(Condition {
-                activity: activity.trim().to_string(),
-                field: field.trim().to_string(),
-                equals: value,
-                negate,
-            })
-        }
+        Some(c) => Some(parse_condition(c)?),
     };
     Ok(Transition { from, to, condition })
+}
+
+fn condition_to_dsl(c: &Condition) -> String {
+    format!(
+        "{}.{} {} \"{}\"",
+        c.activity,
+        c.field,
+        if c.negate { "!=" } else { "==" },
+        c.equals
+    )
 }
 
 /// Render a definition back into the DSL (inverse of [`parse_workflow`]).
@@ -229,8 +296,10 @@ pub fn to_dsl(def: &WorkflowDefinition) -> String {
     out.push('\n');
     for a in &def.activities {
         out.push_str(&format!("activity {} by {}", a.id, a.participant));
-        if a.join == JoinKind::All {
-            out.push_str(" join all");
+        match a.join {
+            JoinKind::Any => {}
+            JoinKind::All => out.push_str(" join all"),
+            JoinKind::Or => out.push_str(" join or"),
         }
         if a.requests.is_empty() && a.responses.is_empty() {
             out.push_str(" {}\n");
@@ -255,13 +324,22 @@ pub fn to_dsl(def: &WorkflowDefinition) -> String {
         };
         out.push_str(&format!("flow {} -> {}", t.from, to));
         if let Some(c) = &t.condition {
-            out.push_str(&format!(
-                " when {}.{} {} \"{}\"",
-                c.activity,
-                c.field,
-                if c.negate { "!=" } else { "==" },
-                c.equals
-            ));
+            out.push_str(&format!(" when {}", condition_to_dsl(c)));
+        }
+        out.push('\n');
+    }
+    for m in &def.multi {
+        match &m.cardinality {
+            Cardinality::Static(k) => out.push_str(&format!("multi {} {k}\n", m.activity)),
+            Cardinality::Runtime(r) => {
+                out.push_str(&format!("multi {} from {}.{}\n", m.activity, r.activity, r.field))
+            }
+        }
+    }
+    for c in &def.cancellations {
+        out.push_str(&format!("cancel {} on {}", c.region.join(", "), c.trigger));
+        if let Some(cond) = &c.condition {
+            out.push_str(&format!(" when {}", condition_to_dsl(cond)));
         }
         out.push('\n');
     }
@@ -333,6 +411,90 @@ flow D -> end
         let dsl = to_dsl(&def);
         let reparsed = parse_workflow(&dsl).unwrap();
         assert_eq!(reparsed, def);
+    }
+
+    const PATTERNED: &str = r#"
+workflow "patterned" designer "designer"
+
+activity A by planner {
+    respond n, mode
+}
+activity B by worker {
+    respond part
+}
+activity C by helper {
+    respond alt
+}
+activity J by merger join or {
+    respond merged
+}
+
+flow A -> B
+flow A -> C when A.mode == "both"
+flow B -> J
+flow C -> J
+flow J -> end
+
+multi B from A.n
+cancel C on B when A.mode == "solo"
+"#;
+
+    #[test]
+    fn parses_patterns() {
+        let def = parse_workflow(PATTERNED).unwrap();
+        assert_eq!(def.activity("J").unwrap().join, JoinKind::Or);
+        assert_eq!(
+            def.multi_for("B").map(|m| &m.cardinality),
+            Some(&Cardinality::Runtime(FieldRef::new("A", "n")))
+        );
+        let cx = &def.cancellations[0];
+        assert_eq!(cx.trigger, "B");
+        assert_eq!(cx.region, vec!["C"]);
+        let cond = cx.condition.as_ref().unwrap();
+        assert_eq!((cond.activity.as_str(), cond.equals.as_str()), ("A", "solo"));
+    }
+
+    #[test]
+    fn patterns_roundtrip_through_dsl() {
+        let def = parse_workflow(PATTERNED).unwrap();
+        let dsl = to_dsl(&def);
+        let reparsed = parse_workflow(&dsl).unwrap();
+        assert_eq!(reparsed, def);
+    }
+
+    #[test]
+    fn static_multi_and_unconditional_cancel() {
+        let src = r#"
+workflow "w" designer "d"
+activity A by p {}
+activity B by q {}
+activity C by r {}
+flow A -> B
+flow A -> C
+flow B -> end
+flow C -> end
+multi B 4
+cancel C on B
+"#;
+        let def = parse_workflow(src).unwrap();
+        assert_eq!(def.multi_for("B").map(|m| &m.cardinality), Some(&Cardinality::Static(4)));
+        assert!(def.cancellations[0].condition.is_none());
+        let reparsed = parse_workflow(&to_dsl(&def)).unwrap();
+        assert_eq!(reparsed, def);
+    }
+
+    #[test]
+    fn bad_multi_rejected() {
+        let src = "workflow \"w\" designer \"d\"\nactivity A by p {}\nflow A -> end\nmulti A lots\n";
+        assert!(matches!(parse_workflow(src), Err(WfError::Parse(m)) if m.contains("line 4")));
+        let src = "workflow \"w\" designer \"d\"\nactivity A by p {}\nflow A -> end\nmulti A from n\n";
+        assert!(parse_workflow(src).is_err());
+    }
+
+    #[test]
+    fn bad_cancel_rejected() {
+        let src = "workflow \"w\" designer \"d\"\nactivity A by p {}\nflow A -> end\ncancel A\n";
+        assert!(matches!(parse_workflow(src), Err(WfError::Parse(m)) if m.contains("on")));
     }
 
     #[test]

@@ -58,6 +58,11 @@ pub enum WfError {
     /// redo log) survives. Recovery machinery catches this variant; it must
     /// never be conflated with a document or policy fault.
     Crash(String),
+    /// The workflow definition failed design-time soundness analysis
+    /// (deadlock, dead activity, unbounded join, orphaning cancellation…).
+    /// Raised at admission, before any activity executes; the message is
+    /// the precise diagnostic from `core::soundness`.
+    Unsound(String),
 }
 
 impl std::fmt::Display for WfError {
@@ -81,6 +86,7 @@ impl std::fmt::Display for WfError {
             WfError::Config(m) => write!(f, "configuration error: {m}"),
             WfError::Delivery(m) => write!(f, "delivery failed: {m}"),
             WfError::Crash(m) => write!(f, "simulated crash: {m}"),
+            WfError::Unsound(m) => write!(f, "unsound workflow definition: {m}"),
         }
     }
 }

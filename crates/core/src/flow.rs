@@ -12,7 +12,7 @@ use crate::document::DraDocument;
 use crate::error::{WfError, WfResult};
 use crate::fields::{eval_condition, read_field_from_result, FieldReader};
 use crate::identity::Credentials;
-use crate::model::{ActivityId, JoinKind, Target, WorkflowDefinition};
+use crate::model::{ActivityId, CancelRegion, Cardinality, JoinKind, Target, WorkflowDefinition};
 use std::collections::HashMap;
 
 /// Where a document goes after an activity completes.
@@ -65,12 +65,93 @@ pub fn evaluate_route(
     Ok(route)
 }
 
+/// Resolve the instance count of a multi-instance activity. Static counts
+/// are returned as-is; runtime counts are read through `reader` and must
+/// parse as an integer ≥ 1.
+pub fn resolve_cardinality(
+    def: &WorkflowDefinition,
+    activity: &str,
+    reader: &dyn FieldReader,
+) -> WfResult<u32> {
+    let Some(m) = def.multi_for(activity) else {
+        return Ok(1);
+    };
+    match &m.cardinality {
+        Cardinality::Static(k) => Ok(*k),
+        Cardinality::Runtime(r) => {
+            let raw = reader.read_field(&r.activity, &r.field)?.ok_or_else(|| {
+                WfError::Flow(format!(
+                    "multi-instance '{activity}': cardinality field '{}.{}' not produced",
+                    r.activity, r.field
+                ))
+            })?;
+            let k: u32 = raw.trim().parse().map_err(|_| {
+                WfError::Flow(format!(
+                    "multi-instance '{activity}': cardinality field '{}.{}' = '{raw}' is not an integer",
+                    r.activity, r.field
+                ))
+            })?;
+            if k == 0 {
+                return Err(WfError::Flow(format!(
+                    "multi-instance '{activity}': cardinality resolved to 0"
+                )));
+            }
+            Ok(k)
+        }
+    }
+}
+
+/// Like [`evaluate_route`], but aware of multi-instance activities: if
+/// `from` is annotated multi-instance and the just-completed iteration
+/// `iter` leaves instances outstanding, the route loops back to `from`
+/// itself (the next instance); otherwise the normal outgoing transitions
+/// are evaluated. Soundness analysis bars multi-instance activities from
+/// control-flow cycles, so `iter` counts instances exactly.
+pub fn evaluate_route_after(
+    def: &WorkflowDefinition,
+    from: &str,
+    iter: u32,
+    reader: &dyn FieldReader,
+) -> WfResult<Route> {
+    if def.multi_for(from).is_some() {
+        let k = resolve_cardinality(def, from, reader)?;
+        if iter + 1 < k {
+            return Ok(Route { targets: vec![from.to_string()], ends: false });
+        }
+    }
+    evaluate_route(def, from, reader)
+}
+
+/// The cancellation regions triggered by the completion of `trigger` whose
+/// guard holds (an absent guard always fires).
+pub fn fired_cancellations<'a>(
+    def: &'a WorkflowDefinition,
+    trigger: &str,
+    reader: &dyn FieldReader,
+) -> WfResult<Vec<&'a CancelRegion>> {
+    let mut fired = Vec::new();
+    for c in def.cancellations_triggered_by(trigger) {
+        let holds = match &c.condition {
+            None => true,
+            Some(cond) => eval_condition(cond, reader)?,
+        };
+        if holds {
+            fired.push(c);
+        }
+    }
+    Ok(fired)
+}
+
 /// True when an AND-join activity has every incoming branch delivered: each
 /// control-flow predecessor has executed at least up to the join's next
-/// iteration. Activities with [`JoinKind::Any`] are always ready.
+/// iteration. Activities with [`JoinKind::Any`] are always ready, and so —
+/// at the document level — are [`JoinKind::Or`] joins: a synchronizing
+/// merge needs runtime knowledge of which branches can still deliver, which
+/// only the scheduler has (see `cloud::sched`); the document alone cannot
+/// refute readiness.
 pub fn join_ready(doc: &DraDocument, def: &WorkflowDefinition, activity: &str) -> WfResult<bool> {
     let act = def.activity(activity)?;
-    if act.join == JoinKind::Any {
+    if matches!(act.join, JoinKind::Any | JoinKind::Or) {
         return Ok(true);
     }
     let next_iter = match doc.latest_iter(activity)? {
@@ -323,6 +404,101 @@ mod tests {
         assert!(!join_ready(&doc, &def, "C").unwrap());
         // Any-join activities are always ready
         assert!(join_ready(&doc, &def, "D").unwrap());
+    }
+
+    #[test]
+    fn multi_instance_routes_back_until_cardinality_met() {
+        let def = WorkflowDefinition::builder("multi", "d")
+            .simple_activity("A", "p", &["n"])
+            .simple_activity("B", "q", &["part"])
+            .simple_activity("C", "r", &[])
+            .flow("A", "B")
+            .flow("B", "C")
+            .flow_end("C")
+            .multi_runtime("B", "A", "n")
+            .build()
+            .unwrap();
+        let r = reader(&[("A", "n", "3")]);
+        assert_eq!(resolve_cardinality(&def, "B", &r).unwrap(), 3);
+        let route = evaluate_route_after(&def, "B", 0, &r).unwrap();
+        assert_eq!(route.targets, vec!["B"], "instance 2 of 3");
+        let route = evaluate_route_after(&def, "B", 1, &r).unwrap();
+        assert_eq!(route.targets, vec!["B"], "instance 3 of 3");
+        let route = evaluate_route_after(&def, "B", 2, &r).unwrap();
+        assert_eq!(route.targets, vec!["C"], "all instances done");
+        // non-multi activities route normally
+        let route = evaluate_route_after(&def, "A", 0, &r).unwrap();
+        assert_eq!(route.targets, vec!["B"]);
+    }
+
+    #[test]
+    fn runtime_cardinality_must_be_positive_integer() {
+        let def = WorkflowDefinition::builder("multi", "d")
+            .simple_activity("A", "p", &["n"])
+            .simple_activity("B", "q", &[])
+            .flow("A", "B")
+            .flow_end("B")
+            .multi_runtime("B", "A", "n")
+            .build()
+            .unwrap();
+        assert!(matches!(
+            resolve_cardinality(&def, "B", &reader(&[("A", "n", "zero")])),
+            Err(WfError::Flow(m)) if m.contains("not an integer")
+        ));
+        assert!(matches!(
+            resolve_cardinality(&def, "B", &reader(&[("A", "n", "0")])),
+            Err(WfError::Flow(m)) if m.contains("resolved to 0")
+        ));
+        assert!(matches!(
+            resolve_cardinality(&def, "B", &reader(&[])),
+            Err(WfError::Flow(m)) if m.contains("not produced")
+        ));
+    }
+
+    #[test]
+    fn or_join_is_document_level_ready() {
+        let def = WorkflowDefinition::builder("orj", "d")
+            .simple_activity("A", "p", &["mode"])
+            .simple_activity("B1", "q", &["x"])
+            .simple_activity("B2", "r", &["y"])
+            .activity(crate::model::Activity {
+                id: "J".into(),
+                participant: "s".into(),
+                join: JoinKind::Or,
+                requests: vec![],
+                responses: vec![],
+            })
+            .flow("A", "B1")
+            .flow_if("A", "B2", Condition::field_equals("A", "mode", "both"))
+            .flow("B1", "J")
+            .flow("B2", "J")
+            .flow_end("J")
+            .build()
+            .unwrap();
+        let doc = structural_doc(&def, &[("A", 0), ("B1", 0)]);
+        assert!(join_ready(&doc, &def, "J").unwrap());
+    }
+
+    #[test]
+    fn cancellations_fire_by_condition() {
+        let def = WorkflowDefinition::builder("cx", "d")
+            .simple_activity("A", "p", &["mode"])
+            .simple_activity("B", "q", &["r"])
+            .simple_activity("C", "r", &["s"])
+            .flow("A", "B")
+            .flow("A", "C")
+            .flow_end("B")
+            .flow_end("C")
+            .cancel_on_if("B", Condition::field_equals("A", "mode", "solo"), &["C"])
+            .build()
+            .unwrap();
+        let fired = fired_cancellations(&def, "B", &reader(&[("A", "mode", "solo")])).unwrap();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].region, vec!["C"]);
+        let fired = fired_cancellations(&def, "B", &reader(&[("A", "mode", "both")])).unwrap();
+        assert!(fired.is_empty());
+        let fired = fired_cancellations(&def, "A", &reader(&[])).unwrap();
+        assert!(fired.is_empty(), "A triggers nothing");
     }
 
     #[test]

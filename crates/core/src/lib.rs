@@ -87,6 +87,7 @@ pub mod policy;
 pub mod reconcile;
 pub mod scope;
 pub mod sealed;
+pub mod soundness;
 pub mod tfc;
 pub mod verify;
 
@@ -99,17 +100,24 @@ pub mod prelude {
     pub use crate::error::{WfError, WfResult};
     pub use crate::faultpoint::CrashHook;
     pub use crate::fields::FieldReader;
-    pub use crate::flow::{evaluate_route, join_ready, merge_documents, DocFieldReader, Route};
+    pub use crate::flow::{
+        evaluate_route, evaluate_route_after, fired_cancellations, join_ready, merge_documents,
+        resolve_cardinality, DocFieldReader, Route,
+    };
     pub use crate::identity::{Credentials, Directory, Identity};
     pub use crate::ingest::Inbound;
     pub use crate::model::{
-        Activity, Condition, FieldRef, JoinKind, Target, Transition, WorkflowDefinition,
+        Activity, CancelRegion, Cardinality, Condition, FieldRef, JoinKind, MultiInstance, Target,
+        Transition, WorkflowDefinition,
     };
     pub use crate::monitor::{ProcessStatus, SloReport};
     pub use crate::policy::{FieldRule, Readers, SecurityPolicy};
     pub use crate::reconcile::{reconcile, ReconcileError, ReconcileReport};
     pub use crate::scope::{all_scopes, nonrepudiation_scope};
     pub use crate::sealed::{prefix_digest, SealedDocument, TrustMark};
+    pub use crate::soundness::{
+        check_soundness, require_sound, SoundnessError, SoundnessReport,
+    };
     pub use crate::tfc::{TfcProcessed, TfcServer};
     pub use crate::verify::{trust_mark_for, VerificationReport, Verifier, VerifyOutcome};
 }

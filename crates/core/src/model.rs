@@ -25,6 +25,12 @@ pub enum JoinKind {
     /// Enabled only when every incoming branch has delivered a document
     /// (AND-join). The branch documents are merged before execution.
     All,
+    /// Synchronizing merge (OR-join): waits for every incoming branch that
+    /// *can still deliver*, then fires once with whatever arrived. The
+    /// structural readiness rule is evaluated by the scheduler: the join is
+    /// enabled when at least one branch has delivered and no activity that
+    /// can reach the join still has work pending.
+    Or,
 }
 
 /// A reference to a response field produced by an earlier activity.
@@ -103,6 +109,42 @@ impl Condition {
     }
 }
 
+/// How many instances of a multi-instance activity run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Cardinality {
+    /// A fixed instance count known at design time (must be ≥ 1).
+    Static(u32),
+    /// The instance count is read at runtime from a field produced by an
+    /// earlier activity; the value must parse as an integer ≥ 1.
+    Runtime(FieldRef),
+}
+
+/// A multi-instance annotation: the named activity executes `cardinality`
+/// times (as consecutive iterations by the same participant) before its
+/// outgoing transitions are evaluated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiInstance {
+    /// The activity that runs multiple times.
+    pub activity: ActivityId,
+    /// How many instances.
+    pub cardinality: Cardinality,
+}
+
+/// A cancellation region: when `trigger` completes (and the optional
+/// condition over its result holds), every pending piece of work for the
+/// activities in `region` is withdrawn — their delivered-but-unexecuted
+/// documents are discarded and they are never dispatched again.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CancelRegion {
+    /// The activity whose completion triggers the cancellation.
+    pub trigger: ActivityId,
+    /// Optional guard over the trigger's (or an earlier) result; `None`
+    /// means the region is cancelled whenever `trigger` completes.
+    pub condition: Option<Condition>,
+    /// The activities whose pending work is withdrawn.
+    pub region: Vec<ActivityId>,
+}
+
 /// Where a transition leads.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Target {
@@ -139,6 +181,10 @@ pub struct WorkflowDefinition {
     pub activities: Vec<Activity>,
     /// All control-flow edges.
     pub transitions: Vec<Transition>,
+    /// Multi-instance annotations (at most one per activity).
+    pub multi: Vec<MultiInstance>,
+    /// Cancellation regions.
+    pub cancellations: Vec<CancelRegion>,
     /// Name of the TFC server identity when the advanced operational model
     /// is used; `None` selects the basic model.
     pub tfc: Option<String>,
@@ -154,6 +200,8 @@ impl WorkflowDefinition {
                 start: String::new(),
                 activities: Vec::new(),
                 transitions: Vec::new(),
+                multi: Vec::new(),
+                cancellations: Vec::new(),
                 tfc: None,
             },
         }
@@ -179,6 +227,59 @@ impl WorkflowDefinition {
     /// Transitions out of `id`.
     pub fn outgoing(&self, id: &str) -> Vec<&Transition> {
         self.transitions.iter().filter(|t| t.from == id).collect()
+    }
+
+    /// The multi-instance annotation for `id`, if any.
+    pub fn multi_for(&self, id: &str) -> Option<&MultiInstance> {
+        self.multi.iter().find(|m| m.activity == id)
+    }
+
+    /// All cancellation regions triggered by the completion of `id`.
+    pub fn cancellations_triggered_by(&self, id: &str) -> Vec<&CancelRegion> {
+        self.cancellations.iter().filter(|c| c.trigger == id).collect()
+    }
+
+    /// Whether `id` lies on a control-flow cycle (can reach itself).
+    pub fn on_cycle(&self, id: &str) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut queue: VecDeque<&str> = VecDeque::new();
+        for t in self.outgoing(id) {
+            if let Target::Activity(a) = &t.to {
+                queue.push_back(a.as_str());
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            if cur == id {
+                return true;
+            }
+            if !seen.insert(cur) {
+                continue;
+            }
+            for t in self.outgoing(cur) {
+                if let Target::Activity(a) = &t.to {
+                    queue.push_back(a.as_str());
+                }
+            }
+        }
+        false
+    }
+
+    /// All activities that can reach `id` through the control-flow graph
+    /// (transitive predecessors; excludes `id` itself unless it is on a
+    /// cycle through itself).
+    pub fn upstream_of(&self, id: &str) -> BTreeSet<ActivityId> {
+        let mut seen: BTreeSet<ActivityId> = BTreeSet::new();
+        let mut queue: VecDeque<String> =
+            self.incoming(id).into_iter().map(|a| a.to_string()).collect();
+        while let Some(cur) = queue.pop_front() {
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            for prev in self.incoming(&cur) {
+                queue.push_back(prev.to_string());
+            }
+        }
+        seen
     }
 
     /// Structural validation: unique ids, known references, reachability of
@@ -258,6 +359,65 @@ impl WorkflowDefinition {
                 }
             }
         }
+        // multi-instance annotations: known activity, at most one each,
+        // sensible cardinality
+        let mut multi_seen = BTreeSet::new();
+        for m in &self.multi {
+            self.activity(&m.activity)?;
+            if !multi_seen.insert(m.activity.as_str()) {
+                return Err(WfError::Flow(format!(
+                    "activity '{}' has more than one multi-instance annotation",
+                    m.activity
+                )));
+            }
+            match &m.cardinality {
+                Cardinality::Static(0) => {
+                    return Err(WfError::Flow(format!(
+                        "multi-instance activity '{}' has cardinality 0",
+                        m.activity
+                    )));
+                }
+                Cardinality::Static(_) => {}
+                Cardinality::Runtime(r) => {
+                    let src = self.activity(&r.activity)?;
+                    if !src.responses.contains(&r.field) {
+                        return Err(WfError::Flow(format!(
+                            "multi-instance activity '{}' reads unknown field '{}.{}'",
+                            m.activity, r.activity, r.field
+                        )));
+                    }
+                }
+            }
+        }
+        // cancellation regions: known trigger and region activities,
+        // non-empty region, conditions over declared fields
+        for c in &self.cancellations {
+            self.activity(&c.trigger)?;
+            if c.region.is_empty() {
+                return Err(WfError::Flow(format!(
+                    "cancellation triggered by '{}' has an empty region",
+                    c.trigger
+                )));
+            }
+            for a in &c.region {
+                self.activity(a)?;
+                if a == &c.trigger {
+                    return Err(WfError::Flow(format!(
+                        "cancellation triggered by '{}' cancels its own trigger",
+                        c.trigger
+                    )));
+                }
+            }
+            if let Some(cond) = &c.condition {
+                let src = self.activity(&cond.activity)?;
+                if !src.responses.contains(&cond.field) {
+                    return Err(WfError::Flow(format!(
+                        "cancellation on '{}' conditions on unknown field '{}.{}'",
+                        c.trigger, cond.activity, cond.field
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -265,11 +425,23 @@ impl WorkflowDefinition {
     /// readable by whoever evaluates routing — see
     /// `SecurityPolicy::with_tfc_access`).
     pub fn condition_fields(&self) -> BTreeSet<FieldRef> {
-        self.transitions
+        let mut fields: BTreeSet<FieldRef> = self
+            .transitions
             .iter()
             .filter_map(|t| t.condition.as_ref())
             .map(|c| FieldRef::new(c.activity.clone(), c.field.clone()))
-            .collect()
+            .collect();
+        for m in &self.multi {
+            if let Cardinality::Runtime(r) = &m.cardinality {
+                fields.insert(r.clone());
+            }
+        }
+        for c in &self.cancellations {
+            if let Some(cond) = &c.condition {
+                fields.insert(FieldRef::new(cond.activity.clone(), cond.field.clone()));
+            }
+        }
+        fields
     }
 
     // -- XML serialization ---------------------------------------------------
@@ -287,8 +459,10 @@ impl WorkflowDefinition {
             let mut el = Element::new("Activity")
                 .attr("id", a.id.clone())
                 .attr("participant", a.participant.clone());
-            if a.join == JoinKind::All {
-                el.set_attr("join", "all");
+            match a.join {
+                JoinKind::Any => {}
+                JoinKind::All => el.set_attr("join", "all"),
+                JoinKind::Or => el.set_attr("join", "or"),
             }
             for r in &a.requests {
                 el.push_child(
@@ -310,6 +484,27 @@ impl WorkflowDefinition {
             }
             if let Some(c) = &t.condition {
                 el.push_child(condition_to_xml(c));
+            }
+            root.push_child(el);
+        }
+        for m in &self.multi {
+            let mut el = Element::new("Multi").attr("activity", m.activity.clone());
+            match &m.cardinality {
+                Cardinality::Static(k) => el.set_attr("count", k.to_string()),
+                Cardinality::Runtime(r) => {
+                    el.set_attr("fromActivity", r.activity.clone());
+                    el.set_attr("fromField", r.field.clone());
+                }
+            }
+            root.push_child(el);
+        }
+        for c in &self.cancellations {
+            let mut el = Element::new("Cancel").attr("trigger", c.trigger.clone());
+            for a in &c.region {
+                el.push_child(Element::new("Region").attr("activity", a.clone()));
+            }
+            if let Some(cond) = &c.condition {
+                el.push_child(condition_to_xml(cond));
             }
             root.push_child(el);
         }
@@ -335,6 +530,8 @@ impl WorkflowDefinition {
             start: attr("start")?,
             activities: Vec::new(),
             transitions: Vec::new(),
+            multi: Vec::new(),
+            cancellations: Vec::new(),
             tfc: el.get_attr("tfc").map(str::to_string),
         };
         for a in el.find_children("Activity") {
@@ -347,7 +544,11 @@ impl WorkflowDefinition {
             let mut act = Activity {
                 id: id.to_string(),
                 participant: participant.to_string(),
-                join: if a.get_attr("join") == Some("all") { JoinKind::All } else { JoinKind::Any },
+                join: match a.get_attr("join") {
+                    Some("all") => JoinKind::All,
+                    Some("or") => JoinKind::Or,
+                    _ => JoinKind::Any,
+                },
                 requests: Vec::new(),
                 responses: Vec::new(),
             };
@@ -377,6 +578,48 @@ impl WorkflowDefinition {
             };
             def.transitions.push(Transition { from: from.to_string(), to, condition });
         }
+        for m in el.find_children("Multi") {
+            let activity = m
+                .get_attr("activity")
+                .ok_or_else(|| WfError::Malformed("Multi missing @activity".into()))?;
+            let cardinality = if let Some(count) = m.get_attr("count") {
+                let k: u32 = count.parse().map_err(|_| {
+                    WfError::Malformed(format!("Multi @count '{count}' is not an integer"))
+                })?;
+                Cardinality::Static(k)
+            } else {
+                let from = m
+                    .get_attr("fromActivity")
+                    .ok_or_else(|| WfError::Malformed("Multi missing @count/@fromActivity".into()))?;
+                let field = m
+                    .get_attr("fromField")
+                    .ok_or_else(|| WfError::Malformed("Multi missing @fromField".into()))?;
+                Cardinality::Runtime(FieldRef::new(from, field))
+            };
+            def.multi.push(MultiInstance { activity: activity.to_string(), cardinality });
+        }
+        for c in el.find_children("Cancel") {
+            let trigger = c
+                .get_attr("trigger")
+                .ok_or_else(|| WfError::Malformed("Cancel missing @trigger".into()))?;
+            let region = c
+                .find_children("Region")
+                .map(|r| {
+                    r.get_attr("activity")
+                        .map(str::to_string)
+                        .ok_or_else(|| WfError::Malformed("Region missing @activity".into()))
+                })
+                .collect::<WfResult<Vec<_>>>()?;
+            let condition = match c.find_child("Condition") {
+                Some(cond) => Some(condition_from_xml(cond)?),
+                None => None,
+            };
+            def.cancellations.push(CancelRegion {
+                trigger: trigger.to_string(),
+                condition,
+                region,
+            });
+        }
         Ok(def)
     }
 }
@@ -391,9 +634,18 @@ impl WorkflowDefinition {
             "  end [shape=doublecircle label=\"\" style=filled fillcolor=black width=0.15];\n",
         );
         for a in &self.activities {
-            let shape = if a.join == JoinKind::All { "box3d" } else { "box" };
+            let shape = match a.join {
+                JoinKind::All => "box3d",
+                JoinKind::Or => "component",
+                JoinKind::Any => "box",
+            };
+            let multi = match self.multi_for(&a.id).map(|m| &m.cardinality) {
+                Some(Cardinality::Static(k)) => format!(" ×{k}"),
+                Some(Cardinality::Runtime(r)) => format!(" ×{}.{}", r.activity, r.field),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                "  \"{}\" [shape={shape} label=\"{}\\n({})\"];\n",
+                "  \"{}\" [shape={shape} label=\"{}{multi}\\n({})\"];\n",
                 a.id, a.id, a.participant
             ));
         }
@@ -414,6 +666,14 @@ impl WorkflowDefinition {
                 None => String::new(),
             };
             out.push_str(&format!("  \"{}\" -> {to}{label};\n", t.from));
+        }
+        for c in &self.cancellations {
+            for a in &c.region {
+                out.push_str(&format!(
+                    "  \"{}\" -> \"{a}\" [style=dashed color=red label=\"cancel\"];\n",
+                    c.trigger
+                ));
+            }
         }
         out.push_str("}\n");
         out
@@ -524,6 +784,56 @@ impl WorkflowBuilder {
             from: from.into(),
             to: Target::End,
             condition: Some(condition),
+        });
+        self
+    }
+
+    /// Declare an activity as multi-instance with a fixed count.
+    pub fn multi_static(mut self, activity: impl Into<String>, count: u32) -> Self {
+        self.def.multi.push(MultiInstance {
+            activity: activity.into(),
+            cardinality: Cardinality::Static(count),
+        });
+        self
+    }
+
+    /// Declare an activity as multi-instance with the count read at runtime
+    /// from `from_activity.field`.
+    pub fn multi_runtime(
+        mut self,
+        activity: impl Into<String>,
+        from_activity: impl Into<String>,
+        field: impl Into<String>,
+    ) -> Self {
+        self.def.multi.push(MultiInstance {
+            activity: activity.into(),
+            cardinality: Cardinality::Runtime(FieldRef::new(from_activity, field)),
+        });
+        self
+    }
+
+    /// Cancel the pending work of `region` whenever `trigger` completes.
+    pub fn cancel_on(mut self, trigger: impl Into<String>, region: &[&str]) -> Self {
+        self.def.cancellations.push(CancelRegion {
+            trigger: trigger.into(),
+            condition: None,
+            region: region.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Cancel the pending work of `region` when `trigger` completes and
+    /// `condition` holds.
+    pub fn cancel_on_if(
+        mut self,
+        trigger: impl Into<String>,
+        condition: Condition,
+        region: &[&str],
+    ) -> Self {
+        self.def.cancellations.push(CancelRegion {
+            trigger: trigger.into(),
+            condition: Some(condition),
+            region: region.iter().map(|s| s.to_string()).collect(),
         });
         self
     }
@@ -715,6 +1025,147 @@ mod tests {
         let dot = def.to_dot();
         assert!(dot.contains("A.x == go"));
         assert!(dot.contains("A.x != go"));
+    }
+
+    fn patterned() -> WorkflowDefinition {
+        WorkflowDefinition::builder("patterned", "designer")
+            .simple_activity("A", "p1", &["n", "mode"])
+            .activity(Activity {
+                id: "B".into(),
+                participant: "p2".into(),
+                join: JoinKind::Any,
+                requests: vec![],
+                responses: vec!["part".into()],
+            })
+            .simple_activity("C", "p3", &["alt"])
+            .activity(Activity {
+                id: "J".into(),
+                participant: "p4".into(),
+                join: JoinKind::Or,
+                requests: vec![],
+                responses: vec!["merged".into()],
+            })
+            .flow("A", "B")
+            .flow_if("A", "C", Condition::field_equals("A", "mode", "both"))
+            .flow("B", "J")
+            .flow("C", "J")
+            .flow_end("J")
+            .multi_runtime("B", "A", "n")
+            .cancel_on_if("B", Condition::field_equals("A", "mode", "solo"), &["C"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn xml_roundtrip_patterned_workflow() {
+        let def = patterned();
+        let xml = def.to_xml();
+        let parsed = WorkflowDefinition::from_xml(&xml).unwrap();
+        assert_eq!(parsed, def);
+        let wire = dra_xml::writer::to_string(&xml);
+        let reparsed = WorkflowDefinition::from_xml(&dra_xml::parse(&wire).unwrap()).unwrap();
+        assert_eq!(reparsed, def);
+    }
+
+    #[test]
+    fn xml_roundtrip_static_multi() {
+        let def = WorkflowDefinition::builder("m", "d")
+            .simple_activity("A", "p", &["x"])
+            .simple_activity("B", "q", &[])
+            .flow("A", "B")
+            .flow_end("B")
+            .multi_static("B", 3)
+            .build()
+            .unwrap();
+        let parsed = WorkflowDefinition::from_xml(&def.to_xml()).unwrap();
+        assert_eq!(parsed, def);
+        assert_eq!(
+            parsed.multi_for("B").map(|m| &m.cardinality),
+            Some(&Cardinality::Static(3))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_cardinality() {
+        let err = WorkflowDefinition::builder("m", "d")
+            .simple_activity("A", "p", &[])
+            .flow_end("A")
+            .multi_static("A", 0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WfError::Flow(m) if m.contains("cardinality 0")));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_multi() {
+        let err = WorkflowDefinition::builder("m", "d")
+            .simple_activity("A", "p", &[])
+            .flow_end("A")
+            .multi_static("A", 2)
+            .multi_static("A", 3)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WfError::Flow(m) if m.contains("more than one")));
+    }
+
+    #[test]
+    fn validate_rejects_empty_cancel_region() {
+        let err = WorkflowDefinition::builder("c", "d")
+            .simple_activity("A", "p", &[])
+            .flow_end("A")
+            .cancel_on("A", &[])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WfError::Flow(m) if m.contains("empty region")));
+    }
+
+    #[test]
+    fn validate_rejects_self_cancelling_trigger() {
+        let err = WorkflowDefinition::builder("c", "d")
+            .simple_activity("A", "p", &[])
+            .simple_activity("B", "q", &[])
+            .flow("A", "B")
+            .flow_end("B")
+            .cancel_on("A", &["A"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WfError::Flow(m) if m.contains("its own trigger")));
+    }
+
+    #[test]
+    fn cycle_and_upstream_queries() {
+        let def = WorkflowDefinition::builder("loopy", "d")
+            .simple_activity("A", "p", &["x"])
+            .simple_activity("B", "q", &["y"])
+            .flow("A", "B")
+            .flow_if("B", "A", Condition::field_equals("B", "y", "again"))
+            .flow_end_if("B", Condition::field_not_equals("B", "y", "again"))
+            .build()
+            .unwrap();
+        assert!(def.on_cycle("A"));
+        assert!(def.on_cycle("B"));
+        let up = def.upstream_of("B");
+        assert!(up.contains("A") && up.contains("B"));
+        let lin = linear();
+        assert!(!lin.on_cycle("A1"));
+        assert_eq!(lin.upstream_of("A2").into_iter().collect::<Vec<_>>(), vec!["A1"]);
+    }
+
+    #[test]
+    fn condition_fields_include_pattern_sources() {
+        let def = patterned();
+        let fields = def.condition_fields();
+        assert!(fields.contains(&FieldRef::new("A", "n")), "runtime cardinality source");
+        assert!(fields.contains(&FieldRef::new("A", "mode")), "cancel condition source");
+    }
+
+    #[test]
+    fn dot_marks_patterns() {
+        let def = patterned();
+        let dot = def.to_dot();
+        assert!(dot.contains("shape=component"), "or-join shape");
+        assert!(dot.contains("×A.n"), "multi-instance label");
+        assert!(dot.contains("style=dashed color=red"), "cancel edge");
     }
 
     #[test]

@@ -94,6 +94,28 @@ pub enum ReconcileError {
         /// The successful hop's `[start, end]` in virtual µs.
         hop_us: (u64, u64),
     },
+    /// The document proves an execution of an activity whose pending work a
+    /// fired cancellation region had already withdrawn: the hop ran after
+    /// its region was cancelled.
+    CancelledExecution {
+        /// Index into the document's cascade.
+        position: usize,
+        /// The forbidden execution.
+        key: CerKey,
+        /// The trigger whose completion cancelled the region.
+        trigger: String,
+    },
+    /// A join fired without a branch the definition requires: an AND-join
+    /// executed before some incoming branch delivered, or a synchronizing
+    /// merge (OR-join) fired while a branch was still to deliver.
+    JoinMissingBranch {
+        /// Index into the document's cascade.
+        position: usize,
+        /// The join execution.
+        join: CerKey,
+        /// The incoming branch the join did not wait for.
+        branch: String,
+    },
 }
 
 impl fmt::Display for ReconcileError {
@@ -129,6 +151,14 @@ impl fmt::Display for ReconcileError {
                 "{key}: tfc:timestamp witness [{}..{}]µs lies outside its successful hop [{}..{}]µs",
                 witness_us.0, witness_us.1, hop_us.0, hop_us.1
             ),
+            ReconcileError::CancelledExecution { position, key, trigger } => write!(
+                f,
+                "cascade position {position}: {key} executed although completion of '{trigger}' had cancelled its region"
+            ),
+            ReconcileError::JoinMissingBranch { position, join, branch } => write!(
+                f,
+                "cascade position {position}: join {join} fired without incoming branch '{branch}'"
+            ),
         }
     }
 }
@@ -159,6 +189,11 @@ pub fn reconcile(
     let status = ProcessStatus::from_document(document)
         .map_err(|e| ReconcileError::Document(e.to_string()))?;
     let pid = &status.process_id;
+
+    // The cascade itself must respect the definition's join and
+    // cancellation semantics: forged instances can reorder or insert CERs
+    // the honest scheduler could never have produced.
+    check_cascade_semantics(document)?;
 
     let hops: Vec<&TraceEvent> = trace
         .iter()
@@ -266,6 +301,99 @@ pub fn reconcile(
         timestamps_witnessed,
         crashed_attempts,
     })
+}
+
+/// Document-side semantic checks over the cascade: no CER may follow a
+/// fired cancellation of its region, AND-joins must have every incoming
+/// branch delivered before they fire, and OR-joins must not leave a branch
+/// that delivers only after the merge. Amendments are folded in document
+/// order, exactly as verification does.
+fn check_cascade_semantics(document: &DraDocument) -> Result<(), ReconcileError> {
+    use crate::fields::eval_condition;
+    use crate::flow::DocFieldReader;
+    use crate::model::JoinKind;
+
+    let doc_err = |e: crate::error::WfError| ReconcileError::Document(e.to_string());
+    let mut eff_def = document.workflow_definition().map_err(doc_err)?;
+    let mut eff_pol = document.security_policy().map_err(doc_err)?;
+    let cers = document.cers().map_err(doc_err)?;
+    let reader = DocFieldReader::public(document);
+
+    for (idx, cer) in cers.iter().enumerate() {
+        if crate::amendment::is_amendment_key(&cer.key) {
+            if let Some(delta_el) = cer.result().and_then(|r| r.find_child("Delta")) {
+                let delta =
+                    crate::amendment::DefinitionDelta::from_xml(delta_el).map_err(doc_err)?;
+                let (d, p) = delta.apply(&eff_def, &eff_pol).map_err(doc_err)?;
+                eff_def = d;
+                eff_pol = p;
+            }
+            continue;
+        }
+        let Ok(act) = eff_def.activity(&cer.key.activity) else {
+            continue; // unknown activity is a verification failure, not ours
+        };
+
+        // executed after its region was cancelled?
+        for region in &eff_def.cancellations {
+            if !region.region.contains(&cer.key.activity) {
+                continue;
+            }
+            let trigger_completed =
+                cers[..idx].iter().any(|c| c.key.activity == region.trigger);
+            if !trigger_completed {
+                continue;
+            }
+            let fired = match &region.condition {
+                None => true,
+                // unreadable/unproduced guard fields cannot prove a firing
+                Some(cond) => eval_condition(cond, &reader).unwrap_or(false),
+            };
+            if fired {
+                return Err(ReconcileError::CancelledExecution {
+                    position: idx,
+                    key: cer.key.clone(),
+                    trigger: region.trigger.clone(),
+                });
+            }
+        }
+
+        // joins must have their branches
+        match act.join {
+            JoinKind::All => {
+                for inc in eff_def.incoming(&cer.key.activity) {
+                    let delivered = cers[..idx]
+                        .iter()
+                        .any(|c| c.key.activity == *inc && c.key.iter >= cer.key.iter);
+                    if !delivered {
+                        return Err(ReconcileError::JoinMissingBranch {
+                            position: idx,
+                            join: cer.key.clone(),
+                            branch: inc.clone(),
+                        });
+                    }
+                }
+            }
+            JoinKind::Or => {
+                // the synchronizing merge fires only once upstream is
+                // quiet: a branch CER appearing *after* the join proves
+                // the merge jumped the gun
+                for inc in eff_def.incoming(&cer.key.activity) {
+                    let before = cers[..idx].iter().any(|c| c.key.activity == *inc);
+                    let after = cers[idx + 1..].iter().any(|c| c.key.activity == *inc);
+                    if !before && after {
+                        return Err(ReconcileError::JoinMissingBranch {
+                            position: idx,
+                            join: cer.key.clone(),
+                            branch: inc.clone(),
+                        });
+                    }
+                }
+            }
+            JoinKind::Any => {}
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -481,6 +609,128 @@ mod tests {
                 key: CerKey::new("A", 0),
                 witness_us: (50, 60),
                 hop_us: (0, 10),
+            }
+        );
+    }
+
+    /// Build an unsigned structural document for `def` with the given
+    /// cascade of `(activity, iter)` CERs (participants from the def).
+    fn structural_doc(def: &WorkflowDefinition, cers: &[(&str, u32)]) -> DraDocument {
+        let designer = Credentials::from_seed("designer", "d");
+        let mut doc =
+            DraDocument::new_initial_with_pid(def, &SecurityPolicy::public(), &designer, "pid-r")
+                .unwrap();
+        for (act, iter) in cers {
+            let who = def.activity(act).unwrap().participant.clone();
+            doc.push_cer(
+                Element::new("CER")
+                    .attr("activity", *act)
+                    .attr("iter", iter.to_string())
+                    .attr("participant", who)
+                    .attr("preds", "Def")
+                    .child(Element::new("Result")),
+            )
+            .unwrap();
+        }
+        doc
+    }
+
+    fn cancel_def() -> WorkflowDefinition {
+        WorkflowDefinition::builder("cx", "designer")
+            .simple_activity("A", "peter", &[])
+            .simple_activity("B", "amy", &["x"])
+            .simple_activity("C", "cleo", &["y"])
+            .activity(crate::model::Activity {
+                id: "J".into(),
+                participant: "june".into(),
+                join: crate::model::JoinKind::Or,
+                requests: vec![],
+                responses: vec![],
+            })
+            .flow("A", "B")
+            .flow("A", "C")
+            .flow("B", "J")
+            .flow("C", "J")
+            .flow_end("J")
+            .cancel_on("B", &["C"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn forged_cancelled_execution_detected() {
+        // B completes (cancelling C), yet a C CER appears afterwards.
+        let doc = structural_doc(&cancel_def(), &[("A", 0), ("B", 0), ("C", 0), ("J", 0)]);
+        let err = reconcile(&[], &doc).unwrap_err();
+        assert_eq!(
+            err,
+            ReconcileError::CancelledExecution {
+                position: 2,
+                key: CerKey::new("C", 0),
+                trigger: "B".into(),
+            }
+        );
+        assert!(err.to_string().contains("cancelled its region"), "{err}");
+    }
+
+    #[test]
+    fn honest_cancellation_order_reconciles_structurally() {
+        // C completed before the trigger: legitimate — then B cancels
+        // nothing pending, and the merge fires with both branches in.
+        let doc = structural_doc(&cancel_def(), &[("A", 0), ("C", 0), ("B", 0), ("J", 0)]);
+        // trace empty => MissingFromTrace, but the semantic pass must be
+        // clean: check it directly by expecting the *trace* error.
+        let err = reconcile(&[], &doc).unwrap_err();
+        assert!(matches!(err, ReconcileError::MissingFromTrace { position: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn phantom_branch_or_join_detected() {
+        // J fires after only B, while C's CER turns up later: the merge
+        // fired while a branch was still to deliver.
+        let def = cancel_def();
+        let doc = structural_doc(&def, &[("A", 0), ("B", 0), ("J", 0), ("C", 0)]);
+        // The scan is positional: J at position 2 trips the join law
+        // before C at position 3 would trip the cancellation law.
+        let err = reconcile(&[], &doc).unwrap_err();
+        assert_eq!(
+            err,
+            ReconcileError::JoinMissingBranch {
+                position: 2,
+                join: CerKey::new("J", 0),
+                branch: "C".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn and_join_missing_branch_detected() {
+        let def = WorkflowDefinition::builder("aj", "designer")
+            .simple_activity("A", "peter", &[])
+            .simple_activity("B1", "amy", &[])
+            .simple_activity("B2", "bob", &[])
+            .activity(crate::model::Activity {
+                id: "C".into(),
+                participant: "cleo".into(),
+                join: crate::model::JoinKind::All,
+                requests: vec![],
+                responses: vec![],
+            })
+            .flow("A", "B1")
+            .flow("A", "B2")
+            .flow("B1", "C")
+            .flow("B2", "C")
+            .flow_end("C")
+            .build()
+            .unwrap();
+        let doc = structural_doc(&def, &[("A", 0), ("B1", 0), ("C", 0), ("B2", 0)]);
+        let err = reconcile(&[], &doc).unwrap_err();
+        assert_eq!(
+            err,
+            ReconcileError::JoinMissingBranch {
+                position: 2,
+                join: CerKey::new("C", 0),
+                branch: "B2".into(),
             }
         );
     }

@@ -22,7 +22,7 @@ use crate::document::{CerKey, DraDocument};
 use crate::error::{WfError, WfResult};
 use crate::faultpoint::{site, CrashHook};
 use crate::fields::{build_result_element, plain_fields};
-use crate::flow::{evaluate_route, DocFieldReader, Route};
+use crate::flow::{evaluate_route_after, DocFieldReader, Route};
 use crate::identity::{Credentials, Directory};
 use crate::ingest::Inbound;
 use crate::model::WorkflowDefinition;
@@ -317,7 +317,12 @@ impl TfcServer {
         span_reenc.attr("fields", received.responses.len());
         span_reenc.end();
 
-        let route = evaluate_route(&received.def, &received.key.activity, &reader)?;
+        let route = evaluate_route_after(
+            &received.def,
+            &received.key.activity,
+            received.key.iter,
+            &reader,
+        )?;
         let document = SealedDocument::with_trust(document, received.trust.clone());
         {
             let mut redo = self.redo.lock().unwrap_or_else(|e| e.into_inner());

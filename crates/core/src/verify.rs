@@ -102,6 +102,12 @@ fn plan_verification(
         if block.signer != designer.sign {
             return Err(WfError::Verify("designer signature: unexpected signer".into()));
         }
+        if block.covers != "Def" {
+            return Err(WfError::Verify(format!(
+                "designer signature: covers label '{}' is not 'Def'",
+                block.covers
+            )));
+        }
         tasks.push(SigTask {
             label: "designer".into(),
             signer: block.signer,
@@ -141,6 +147,21 @@ fn plan_verification(
                 cer.key, cer.participant, expected
             )));
         }
+        // multi-instance cardinality bound: an acyclic activity with a
+        // static instance count of k can never legitimately reach iter k —
+        // extra CERs beyond it are forged instances
+        if !crate::amendment::is_amendment_key(&cer.key) {
+            if let Some(crate::model::Cardinality::Static(k)) =
+                eff_def.multi_for(&cer.key.activity).map(|m| &m.cardinality)
+            {
+                if cer.key.iter >= *k && !eff_def.on_cycle(&cer.key.activity) {
+                    return Err(WfError::Verify(format!(
+                        "CER {}: multi-instance activity '{}' admits only {k} instances",
+                        cer.key, cer.key.activity
+                    )));
+                }
+            }
+        }
 
         let sealed = cer.tfc_sealed();
         let result = cer.result();
@@ -155,6 +176,15 @@ fn plan_verification(
                 return Err(WfError::Verify(format!(
                     "CER {} participant signature: unexpected signer",
                     cer.key
+                )));
+            }
+            // pin the covers label to the CER key: the label itself is not
+            // under the signature, so without this check those attribute
+            // bytes would be malleable in stored documents
+            if block.covers != format!("{}", cer.key) {
+                return Err(WfError::Verify(format!(
+                    "CER {} participant signature: covers label '{}' does not match the CER key",
+                    cer.key, block.covers
                 )));
             }
             // cascade bytes with preds resolved through the map — same
@@ -223,6 +253,12 @@ fn plan_verification(
                 return Err(WfError::Verify(format!(
                     "CER {} TFC signature: unexpected signer",
                     cer.key
+                )));
+            }
+            if block.covers != format!("tfc:{}", cer.key) {
+                return Err(WfError::Verify(format!(
+                    "CER {} TFC signature: covers label '{}' does not match the CER key",
+                    cer.key, block.covers
                 )));
             }
             tasks.push(SigTask {

@@ -7,11 +7,14 @@
 //! <Signature signer="d75a98…" covers="CER(A1),CER(A2)">e55643…</Signature>
 //! ```
 //!
-//! `covers` is an informational label; verification is always against the
-//! canonical bytes recomputed by the verifier, exactly as XML Signature
-//! verifies against re-canonicalized references. The cascade construction of
-//! the paper (each signature signs the predecessor signatures) is built on
-//! top of this in `dra4wfms-core`.
+//! `covers` labels the covered content; cryptographic verification is always
+//! against the canonical bytes recomputed by the verifier, exactly as XML
+//! Signature verifies against re-canonicalized references. Because the label
+//! itself sits outside the signed bytes, document-level verifiers must pin
+//! it to the content they recomputed (`dra4wfms-core` checks it against the
+//! CER key) — otherwise the attribute is malleable in stored documents. The
+//! cascade construction of the paper (each signature signs the predecessor
+//! signatures) is built on top of this in `dra4wfms-core`.
 
 use crate::node::Element;
 use dra_crypto::ed25519::{Keypair, PublicKey, Signature};

@@ -182,6 +182,22 @@ fn reconcile_error_display_snapshots() {
             },
             "B2#0: tfc:timestamp witness [10..20]µs lies outside its successful hop [30..40]µs",
         ),
+        (
+            ReconcileError::CancelledExecution {
+                position: 3,
+                key: CerKey::new("V", 0),
+                trigger: "T".into(),
+            },
+            "cascade position 3: V#0 executed although completion of 'T' had cancelled its region",
+        ),
+        (
+            ReconcileError::JoinMissingBranch {
+                position: 2,
+                join: CerKey::new("J", 0),
+                branch: "R2".into(),
+            },
+            "cascade position 2: join J#0 fired without incoming branch 'R2'",
+        ),
     ];
     for (err, expected) in cases {
         assert_eq!(err.to_string(), expected);

@@ -1,0 +1,356 @@
+//! End-to-end workflow-pattern coverage through the event-driven scheduler:
+//! OR-joins (synchronizing merges) that genuinely park and resume,
+//! multi-instance activities with static and runtime cardinality,
+//! cancellation regions that withdraw queued work, and design-time
+//! soundness rejection at both admission gates (`Scheduler::admit_instance`
+//! and the portal store path used by the legacy runner).
+
+use dra4wfms::cloud::{check_metric_invariants, CloudSystem, InstanceRun, NetworkSim, Scheduler};
+use dra4wfms::obs::{MetricsRegistry, MetricsSnapshot};
+use dra4wfms::prelude::*;
+use dra_bench::fuzz;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Drive `def` end to end through the scheduler with the fuzz cast
+/// (`designer`, `p0`–`p3`, `TFC`) and a fixed script; return the final
+/// document and the metrics snapshot.
+fn run_def(
+    def: WorkflowDefinition,
+    script: &[(&str, &[(&str, &str)])],
+    pid: &str,
+) -> (DraDocument, MetricsSnapshot) {
+    let (creds, dir) = fuzz::cast();
+    let network = Arc::new(NetworkSim::lan());
+    let metrics = MetricsRegistry::new();
+    let sys = CloudSystem::new(dir.clone(), 2, Arc::clone(&network));
+    let agents: HashMap<String, Arc<Aea>> = creds
+        .iter()
+        .map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone()))))
+        .collect();
+    let owned: BTreeMap<String, Vec<(String, String)>> = script
+        .iter()
+        .map(|(a, rs)| {
+            (a.to_string(), rs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect())
+        })
+        .collect();
+    let policy = if def.tfc.is_some() {
+        SecurityPolicy::public().with_tfc_access("TFC", &def)
+    } else {
+        SecurityPolicy::public()
+    };
+    let initial = DraDocument::new_initial_with_pid(&def, &policy, &creds[0], pid).unwrap();
+    let respond = move |r: &ReceivedActivity| owned.get(&r.activity).cloned().unwrap_or_default();
+    let tfc_creds = creds.iter().find(|c| c.name == "TFC").unwrap().clone();
+    let tfc = def
+        .tfc
+        .is_some()
+        .then(|| TfcServer::with_clock(tfc_creds, dir.clone(), Arc::new(|| 1_000)));
+    let mut run = InstanceRun::new(&sys, &initial)
+        .agents(&agents)
+        .respond(&respond)
+        .max_steps(200)
+        .metrics(&metrics);
+    if let Some(server) = tfc.as_ref() {
+        run = run.tfc(server);
+    }
+    let out = run.run().unwrap();
+    let snap = metrics.snapshot();
+    check_metric_invariants(&snap).unwrap();
+    (out.document.document().clone(), snap)
+}
+
+fn cer_keys(doc: &DraDocument) -> Vec<String> {
+    doc.cers().unwrap().iter().map(|c| format!("{}", c.key)).collect()
+}
+
+/// A `fork` whose short branch announces the OR-join while the long branch
+/// still has a queued activation — the join must park, then resume.
+fn asymmetric_or_join() -> WorkflowDefinition {
+    WorkflowDefinition::builder("or-join", "designer")
+        .simple_activity("A", "p0", &["f"])
+        .simple_activity("F", "p1", &["f"])
+        .simple_activity("L", "p2", &["f"])
+        .simple_activity("R1", "p3", &["f"])
+        .simple_activity("R2", "p0", &["f"])
+        .activity(Activity {
+            id: "J".into(),
+            participant: "p1".into(),
+            join: JoinKind::Or,
+            requests: vec![],
+            responses: vec!["f".into()],
+        })
+        .flow("A", "F")
+        .flow("F", "L")
+        .flow("F", "R1")
+        .flow("R1", "R2")
+        .flow("L", "J")
+        .flow("R2", "J")
+        .flow_end("J")
+        .build()
+        .unwrap()
+}
+
+const OR_SCRIPT: &[(&str, &[(&str, &str)])] = &[
+    ("A", &[("f", "a")]),
+    ("F", &[("f", "fork")]),
+    ("L", &[("f", "left")]),
+    ("R1", &[("f", "r1")]),
+    ("R2", &[("f", "r2")]),
+    ("J", &[("f", "merged")]),
+];
+
+#[test]
+fn or_join_parks_then_fires_once_with_both_branches() {
+    let (doc, snap) = run_def(asymmetric_or_join(), OR_SCRIPT, "p-or");
+    let keys = cer_keys(&doc);
+    assert!(keys.contains(&"L#0".into()) && keys.contains(&"R2#0".into()));
+    assert_eq!(keys.iter().filter(|k| k.starts_with("J#")).count(), 1, "join fired once: {keys:?}");
+    assert!(snap.counter("sched.or_join_waits") >= 1, "the merge never actually deferred");
+    assert_eq!(snap.gauge("sched.or_join_parked"), 0, "a parked join survived the drain");
+}
+
+#[test]
+fn or_join_does_not_wait_for_a_branch_not_taken() {
+    // the long branch is conditional and the guard says no: the OR-join
+    // must fire on the short branch alone instead of deadlocking
+    let def = WorkflowDefinition::builder("or-skip", "designer")
+        .simple_activity("A", "p0", &["f", "go"])
+        .simple_activity("L", "p1", &["f"])
+        .simple_activity("R1", "p2", &["f"])
+        .simple_activity("R2", "p3", &["f"])
+        .activity(Activity {
+            id: "J".into(),
+            participant: "p0".into(),
+            join: JoinKind::Or,
+            requests: vec![],
+            responses: vec!["f".into()],
+        })
+        .flow("A", "L")
+        .flow_if("A", "R1", Condition::field_equals("A", "go", "yes"))
+        .flow("R1", "R2")
+        .flow("L", "J")
+        .flow("R2", "J")
+        .flow_end("J")
+        .build()
+        .unwrap();
+    let script: &[(&str, &[(&str, &str)])] = &[
+        ("A", &[("f", "a"), ("go", "no")]),
+        ("L", &[("f", "left")]),
+        ("J", &[("f", "merged")]),
+    ];
+    let (doc, snap) = run_def(def, script, "p-or-skip");
+    let keys = cer_keys(&doc);
+    assert!(keys.contains(&"J#0".into()), "{keys:?}");
+    assert!(!keys.iter().any(|k| k.starts_with("R1#") || k.starts_with("R2#")), "{keys:?}");
+    assert_eq!(snap.gauge("sched.or_join_parked"), 0);
+}
+
+#[test]
+fn chained_or_joins_terminate() {
+    // two parked merges in sequence: the drain-end resume path must make
+    // progress on each without spinning
+    let def = WorkflowDefinition::builder("or-chain", "designer")
+        .simple_activity("A", "p0", &["f"])
+        .simple_activity("L1", "p1", &["f"])
+        .simple_activity("M1", "p2", &["f"])
+        .simple_activity("M2", "p3", &["f"])
+        .activity(Activity {
+            id: "J1".into(),
+            participant: "p0".into(),
+            join: JoinKind::Or,
+            requests: vec![],
+            responses: vec!["f".into()],
+        })
+        .simple_activity("L2", "p1", &["f"])
+        .simple_activity("N1", "p2", &["f"])
+        .simple_activity("N2", "p3", &["f"])
+        .activity(Activity {
+            id: "J2".into(),
+            participant: "p1".into(),
+            join: JoinKind::Or,
+            requests: vec![],
+            responses: vec!["f".into()],
+        })
+        .flow("A", "L1")
+        .flow("A", "M1")
+        .flow("M1", "M2")
+        .flow("L1", "J1")
+        .flow("M2", "J1")
+        .flow("J1", "L2")
+        .flow("J1", "N1")
+        .flow("N1", "N2")
+        .flow("L2", "J2")
+        .flow("N2", "J2")
+        .flow_end("J2")
+        .build()
+        .unwrap();
+    let script: &[(&str, &[(&str, &str)])] = &[
+        ("A", &[("f", "a")]),
+        ("L1", &[("f", "l1")]),
+        ("M1", &[("f", "m1")]),
+        ("M2", &[("f", "m2")]),
+        ("J1", &[("f", "j1")]),
+        ("L2", &[("f", "l2")]),
+        ("N1", &[("f", "n1")]),
+        ("N2", &[("f", "n2")]),
+        ("J2", &[("f", "j2")]),
+    ];
+    let (doc, snap) = run_def(def, script, "p-or-chain");
+    let keys = cer_keys(&doc);
+    assert!(keys.contains(&"J1#0".into()) && keys.contains(&"J2#0".into()), "{keys:?}");
+    assert_eq!(snap.gauge("sched.or_join_parked"), 0);
+}
+
+#[test]
+fn multi_instance_static_produces_k_cers() {
+    let def = WorkflowDefinition::builder("mi-static", "designer")
+        .simple_activity("A", "p0", &["f"])
+        .simple_activity("M", "p1", &["f"])
+        .simple_activity("Z", "p2", &["f"])
+        .flow("A", "M")
+        .flow("M", "Z")
+        .multi_static("M", 3)
+        .flow_end("Z")
+        .build()
+        .unwrap();
+    let script: &[(&str, &[(&str, &str)])] =
+        &[("A", &[("f", "a")]), ("M", &[("f", "m")]), ("Z", &[("f", "z")])];
+    let (doc, _) = run_def(def, script, "p-mi-s");
+    let keys = cer_keys(&doc);
+    for iter in 0..3 {
+        assert!(keys.contains(&format!("M#{iter}")), "{keys:?}");
+    }
+    assert!(!keys.contains(&"M#3".into()), "{keys:?}");
+}
+
+#[test]
+fn multi_instance_runtime_cardinality_reads_producer_field() {
+    let def = WorkflowDefinition::builder("mi-runtime", "designer")
+        .simple_activity("A", "p0", &["f", "n"])
+        .simple_activity("M", "p1", &["f"])
+        .simple_activity("Z", "p2", &["f"])
+        .flow("A", "M")
+        .flow("M", "Z")
+        .multi_runtime("M", "A", "n")
+        .flow_end("Z")
+        .build()
+        .unwrap();
+    let script: &[(&str, &[(&str, &str)])] =
+        &[("A", &[("f", "a"), ("n", "2")]), ("M", &[("f", "m")]), ("Z", &[("f", "z")])];
+    let (doc, _) = run_def(def, script, "p-mi-r");
+    let keys = cer_keys(&doc);
+    assert!(keys.contains(&"M#0".into()) && keys.contains(&"M#1".into()), "{keys:?}");
+    assert!(!keys.contains(&"M#2".into()), "{keys:?}");
+}
+
+fn cancel_def(conditional: bool) -> WorkflowDefinition {
+    let mut b = WorkflowDefinition::builder("cancel", "designer")
+        .simple_activity("F", "p0", &["f"]);
+    b = if conditional {
+        b.simple_activity("T", "p1", &["f", "cond"])
+    } else {
+        b.simple_activity("T", "p1", &["f"])
+    };
+    b = b
+        .simple_activity("V", "p2", &["f"])
+        .activity(Activity {
+            id: "J".into(),
+            participant: "p3".into(),
+            join: JoinKind::Or,
+            requests: vec![],
+            responses: vec!["f".into()],
+        })
+        .flow("F", "T")
+        .flow("F", "V")
+        .flow("T", "J")
+        .flow("V", "J");
+    b = if conditional {
+        b.cancel_on_if("T", Condition::field_equals("T", "cond", "yes"), &["V"])
+    } else {
+        b.cancel_on("T", &["V"])
+    };
+    b.flow_end("J").build().unwrap()
+}
+
+#[test]
+fn cancellation_withdraws_the_queued_victim() {
+    // T is announced before V, so V's activation is still queued when the
+    // trigger completes — the region must withdraw it before it dispatches
+    let script: &[(&str, &[(&str, &str)])] =
+        &[("F", &[("f", "fork")]), ("T", &[("f", "trig")]), ("J", &[("f", "after")])];
+    let (doc, snap) = run_def(cancel_def(false), script, "p-cancel");
+    let keys = cer_keys(&doc);
+    assert!(!keys.iter().any(|k| k.starts_with("V#")), "victim executed: {keys:?}");
+    assert!(keys.contains(&"J#0".into()), "{keys:?}");
+    assert!(snap.counter("sched.cancelled") >= 1);
+    assert_eq!(snap.counter("sched.cancelled_dispatches"), 0);
+}
+
+#[test]
+fn cancellation_guard_false_leaves_the_region_alone() {
+    let script: &[(&str, &[(&str, &str)])] = &[
+        ("F", &[("f", "fork")]),
+        ("T", &[("f", "trig"), ("cond", "no")]),
+        ("V", &[("f", "victim")]),
+        ("J", &[("f", "after")]),
+    ];
+    let (doc, snap) = run_def(cancel_def(true), script, "p-cancel-no");
+    let keys = cer_keys(&doc);
+    assert!(keys.contains(&"V#0".into()), "guarded cancel fired anyway: {keys:?}");
+    assert_eq!(snap.counter("sched.cancelled"), 0);
+}
+
+#[test]
+fn unsound_definition_rejected_at_scheduler_admission() {
+    let def = fuzz::canned_deadlock();
+    let (creds, dir) = fuzz::cast();
+    let network = Arc::new(NetworkSim::lan());
+    let sys = CloudSystem::new(dir.clone(), 1, Arc::clone(&network));
+    let agents: HashMap<String, Arc<Aea>> = creds
+        .iter()
+        .map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone()))))
+        .collect();
+    let initial =
+        DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "p-unsound")
+            .unwrap();
+    let respond = |_: &ReceivedActivity| Vec::new();
+    let mut sched = Scheduler::new(&sys);
+    let err = sched
+        .admit_instance(InstanceRun::new(&sys, &initial).agents(&agents).respond(&respond))
+        .unwrap_err();
+    match err {
+        WfError::Unsound(diag) => {
+            assert!(diag.contains("J"), "diagnostic should name the stuck join: {diag}")
+        }
+        other => panic!("expected WfError::Unsound, got {other}"),
+    }
+}
+
+#[test]
+fn unsound_definition_rejected_at_portal_store() {
+    // the legacy runner bypasses `admit_instance`, so the rejection must
+    // come from the portal's own store-time gate
+    let def = fuzz::canned_deadlock();
+    let (creds, dir) = fuzz::cast();
+    let network = Arc::new(NetworkSim::lan());
+    let sys = CloudSystem::new(dir.clone(), 1, Arc::clone(&network));
+    let agents: HashMap<String, Arc<Aea>> = creds
+        .iter()
+        .map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone()))))
+        .collect();
+    let initial =
+        DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "p-unsound-l")
+            .unwrap();
+    let respond = |r: &ReceivedActivity| vec![("x".to_string(), format!("v-{}", r.activity))];
+    let err = InstanceRun::new(&sys, &initial)
+        .agents(&agents)
+        .respond(&respond)
+        .max_steps(20)
+        .run_legacy()
+        .unwrap_err();
+    match err {
+        WfError::Unsound(_) => {}
+        other => panic!("expected WfError::Unsound, got {other}"),
+    }
+}

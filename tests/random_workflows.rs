@@ -2,8 +2,13 @@
 //! executed end to end through real AEAs; the resulting documents must
 //! always verify, always bind the cascade, and always detect bit-level
 //! tampering.
+//!
+//! The pattern-rich properties at the bottom draw from the same seeded
+//! generator the differential fuzzer uses (`dra_bench::fuzz`), so the
+//! corpus the proptests shrink over is exactly the corpus CI fuzzes.
 
 use dra4wfms::prelude::*;
+use dra_bench::fuzz;
 use proptest::prelude::*;
 
 /// Deterministic cast shared by the generated workflows.
@@ -147,5 +152,58 @@ proptest! {
             prop_assert!(denied);
         }
         let _ = dir;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every pattern-rich definition the fuzz generator draws is accepted
+    /// by the static soundness analysis (the generator only composes
+    /// well-structured blocks — a rejection is an analysis bug).
+    #[test]
+    fn pattern_rich_definitions_are_sound(seed in any::<u64>()) {
+        let gw = fuzz::generate(seed);
+        let report = dra4wfms::core::soundness::check_soundness(&gw.def).unwrap();
+        prop_assert!(report.states_explored > 0);
+    }
+
+    /// OR-joins, multi-instance annotations and cancellation regions all
+    /// survive the definition's XML round trip and its DSL rendering.
+    #[test]
+    fn pattern_annotations_survive_roundtrips(seed in any::<u64>()) {
+        let gw = fuzz::generate(seed);
+        let back = WorkflowDefinition::from_xml(&gw.def.to_xml()).unwrap();
+        prop_assert_eq!(&back, &gw.def);
+        let reparsed = dra4wfms::core::dsl::parse_workflow(
+            &dra4wfms::core::dsl::to_dsl(&gw.def),
+        ).unwrap();
+        prop_assert_eq!(&reparsed.multi, &gw.def.multi);
+        prop_assert_eq!(&reparsed.cancellations, &gw.def.cancellations);
+    }
+
+    /// Downgrading a synchronizing join over exclusive branches always
+    /// yields a definition the analysis rejects.
+    #[test]
+    fn poisoned_twins_are_rejected(seed in any::<u64>()) {
+        let gw = fuzz::generate(seed);
+        let twin = fuzz::poison(&gw.def).unwrap_or_else(fuzz::canned_deadlock);
+        prop_assert!(dra4wfms::core::soundness::check_soundness(&twin).is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Honest scheduler runs of pattern-rich workflows verify and
+    /// reconcile cleanly against their span traces (the heavy end-to-end
+    /// property; the full matrix runs in `claim_fuzz`).
+    #[test]
+    fn pattern_rich_runs_verify_and_reconcile(seed in any::<u64>()) {
+        let gw = fuzz::generate(seed);
+        let art = fuzz::run_generated(&gw, false, fuzz::Variant::Honest).unwrap();
+        prop_assert!(art.steps > 0);
+        prop_assert!(art.invariants.is_ok());
+        reconcile(&art.events, &art.document).unwrap();
     }
 }

@@ -269,6 +269,129 @@ fn forged_timestamp_detected() {
     );
 }
 
+/// Honest pattern run through the shared fuzz cast, returning the trace
+/// and final document for document-side forgery.
+fn pattern_run(
+    def: WorkflowDefinition,
+    script: &[(&str, &[(&str, &str)])],
+) -> (Vec<TraceEvent>, DraDocument) {
+    let gw = dra_bench::fuzz::GeneratedWorkflow {
+        seed: 0,
+        def,
+        script: script
+            .iter()
+            .map(|(a, rs)| {
+                (a.to_string(), rs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect())
+            })
+            .collect(),
+    };
+    let art = dra_bench::fuzz::run_generated(&gw, false, dra_bench::fuzz::Variant::Honest).unwrap();
+    reconcile(&art.events, &art.document).expect("honest pattern run reconciles");
+    (art.events, art.document)
+}
+
+#[test]
+fn forged_cancellation_violation_detected() {
+    // honest run: T completes and cancels V, so V never executes. The
+    // attack appends an (unsigned) V CER to the document — reconcile's
+    // cascade-semantics pass must flag the execution of a cancelled hop
+    // even though the trace itself is untouched.
+    let def = WorkflowDefinition::builder("recon-cancel", "designer")
+        .simple_activity("F", "p0", &["f"])
+        .simple_activity("T", "p1", &["f"])
+        .simple_activity("V", "p2", &["f"])
+        .activity(Activity {
+            id: "J".into(),
+            participant: "p3".into(),
+            join: JoinKind::Or,
+            requests: vec![],
+            responses: vec!["f".into()],
+        })
+        .flow("F", "T")
+        .flow("F", "V")
+        .flow("T", "J")
+        .flow("V", "J")
+        .cancel_on("T", &["V"])
+        .flow_end("J")
+        .build()
+        .unwrap();
+    let script: &[(&str, &[(&str, &str)])] =
+        &[("F", &[("f", "fork")]), ("T", &[("f", "trig")]), ("J", &[("f", "after")])];
+    let (events, doc) = pattern_run(def, script);
+    // splice an unsigned V CER in front of the join's CER: the cascade now
+    // claims the victim ran after the trigger had already cancelled it
+    let wire = doc.to_xml_string();
+    let at = wire.find("<CER activity=\"J\"").expect("join executed");
+    let phantom = "<CER activity=\"V\" iter=\"0\" participant=\"p2\" preds=\"Def\"><Result/></CER>";
+    let forged =
+        DraDocument::parse(&format!("{}{}{}", &wire[..at], phantom, &wire[at..])).unwrap();
+    let err = reconcile(&events, &forged).unwrap_err();
+    match err {
+        ReconcileError::CancelledExecution { key, trigger, .. } => {
+            assert_eq!(format!("{key}"), "V#0");
+            assert_eq!(trigger, "T");
+        }
+        other => panic!("expected CancelledExecution, got {other}"),
+    }
+}
+
+#[test]
+fn phantom_branch_or_join_detected() {
+    // honest run: both branches deliver before the OR-join fires. The
+    // attack moves the long branch's final CER behind the join's, making
+    // the cascade claim the merge fired while that branch was still to
+    // deliver — the join law must flag it.
+    let def = WorkflowDefinition::builder("recon-or", "designer")
+        .simple_activity("A", "p0", &["f"])
+        .simple_activity("L", "p1", &["f"])
+        .simple_activity("R1", "p2", &["f"])
+        .simple_activity("R2", "p3", &["f"])
+        .activity(Activity {
+            id: "J".into(),
+            participant: "p0".into(),
+            join: JoinKind::Or,
+            requests: vec![],
+            responses: vec!["f".into()],
+        })
+        .flow("A", "L")
+        .flow("A", "R1")
+        .flow("R1", "R2")
+        .flow("L", "J")
+        .flow("R2", "J")
+        .flow_end("J")
+        .build()
+        .unwrap();
+    let script: &[(&str, &[(&str, &str)])] = &[
+        ("A", &[("f", "a")]),
+        ("L", &[("f", "l")]),
+        ("R1", &[("f", "r1")]),
+        ("R2", &[("f", "r2")]),
+        ("J", &[("f", "j")]),
+    ];
+    let (events, doc) = pattern_run(def, script);
+    let wire = doc.to_xml_string();
+    let start = wire.find("<CER activity=\"R2\"").expect("R2 executed");
+    let end = start + wire[start..].find("</CER>").unwrap() + "</CER>".len();
+    let r2 = wire[start..end].to_string();
+    let without = format!("{}{}", &wire[..start], &wire[end..]);
+    let tail = without.find("</ActivityResults>").unwrap();
+    let forged = DraDocument::parse(&format!(
+        "{}{}{}",
+        &without[..tail],
+        r2,
+        &without[tail..]
+    ))
+    .unwrap();
+    let err = reconcile(&events, &forged).unwrap_err();
+    match err {
+        ReconcileError::JoinMissingBranch { join, branch, .. } => {
+            assert_eq!(format!("{join}"), "J#0");
+            assert_eq!(branch, "R2");
+        }
+        other => panic!("expected JoinMissingBranch, got {other}"),
+    }
+}
+
 #[test]
 fn disabled_tracer_records_nothing_and_cannot_reconcile() {
     let tracer = Tracer::disabled();
