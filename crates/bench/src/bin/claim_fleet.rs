@@ -52,6 +52,10 @@ struct CellResult {
     activations: u64,
     dispatched: u64,
     bus_depth: i64,
+    complete_statuses: usize,
+    pool_rows: u64,
+    scanned_rows: u64,
+    scanned_regions: u64,
 }
 
 /// Admit `n` Fig. 9A instances into one scheduler over a fresh deployment
@@ -114,6 +118,13 @@ fn run_cell(n: usize, portals: usize) -> CellResult {
         stored
     );
 
+    // end-of-run aggregation rides the typed scan API: a projected `meta/`
+    // prefix scan feeds MapReduce, never a full table read
+    let statuses = sys.statistics_by_status(4);
+    let complete_statuses = statuses.get("complete").copied().unwrap_or(0);
+    sys.export_metrics(&metrics);
+    let snap = metrics.snapshot();
+
     dra_bench::enforce_metric_invariants(&metrics);
 
     CellResult {
@@ -135,6 +146,10 @@ fn run_cell(n: usize, portals: usize) -> CellResult {
         activations: snap.counter("sched.activations"),
         dispatched: snap.counter("sched.dispatched"),
         bus_depth: snap.gauge("sched.bus_depth"),
+        complete_statuses,
+        pool_rows: snap.counter("pool.rows"),
+        scanned_rows: snap.counter("pool.scanned_rows"),
+        scanned_regions: snap.counter("pool.scanned_regions"),
     }
 }
 
@@ -157,7 +172,8 @@ fn main() {
             "{{\"cell\": \"{}\", \"instances\": {}, \"completed\": {}, \"hops\": {}, \
              \"virtual_us\": {}, \"hops_per_vsec\": {}, \"instances_per_vsec\": {}, \
              \"portal_min_stored\": {}, \"portal_max_stored\": {}, \"activations\": {}, \
-             \"dispatched\": {}, \"bus_depth\": {}, \"stages\": [\n",
+             \"dispatched\": {}, \"bus_depth\": {}, \"complete_statuses\": {}, \
+             \"pool_rows\": {}, \"scanned_rows\": {}, \"scanned_regions\": {}, \"stages\": [\n",
             c.cell,
             c.instances,
             c.completed,
@@ -169,7 +185,11 @@ fn main() {
             c.portal_max_stored,
             c.activations,
             c.dispatched,
-            c.bus_depth
+            c.bus_depth,
+            c.complete_statuses,
+            c.pool_rows,
+            c.scanned_rows,
+            c.scanned_regions
         ));
         json.push_str(&format!(
             "{{\"stage\": \"hop\", \"count\": {}, \"total_us\": {}, \"self_us\": {}, \
@@ -201,13 +221,16 @@ fn main() {
     let spread = cells
         .iter()
         .all(|c| c.portal_min_stored > 0 && c.portal_max_stored < 2 * c.portal_min_stored);
+    let statuses_agree = cells.iter().all(|c| c.complete_statuses == c.completed);
     println!("\nevery fleet completed all instances: {all_complete}");
     println!("a 1000-instance fleet completed: {thousand_strong}");
     println!("bus drained to empty in every cell: {bus_drained}");
     println!("dispatches never exceed activations: {books_balance}");
     println!("stores spread across portals (max < 2·min): {spread}");
+    println!("scan-backed status aggregation agrees with the runner: {statuses_agree}");
 
-    let pass = all_complete && thousand_strong && bus_drained && books_balance && spread;
+    let pass =
+        all_complete && thousand_strong && bus_drained && books_balance && spread && statuses_agree;
     println!(
         "\nC11 verdict: {}",
         if pass { "FLEET-SCALE EXECUTION REPRODUCED" } else { "NOT REPRODUCED" }

@@ -19,10 +19,7 @@ use dra_bench::fuzz;
 const DEFAULT_SEEDS: u64 = 64;
 
 fn main() {
-    let seeds: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEEDS);
+    let seeds: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SEEDS);
 
     println!("C14: differential fuzz over the pattern catalogue — {seeds} seeds\n");
     println!(

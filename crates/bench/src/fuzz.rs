@@ -98,7 +98,8 @@ pub fn generate(seed: u64) -> GeneratedWorkflow {
             0..=2 => {
                 let x = aid(&mut n);
                 b = b.simple_activity(&x, participant(&x), &["f"]);
-                script.insert(x.clone(), vec![("f".into(), format!("s{}", rng.gen_range(0u32..97)))]);
+                script
+                    .insert(x.clone(), vec![("f".into(), format!("s{}", rng.gen_range(0u32..97)))]);
                 b = b.flow(&exit, &x);
                 exit = x;
             }
@@ -370,8 +371,13 @@ pub fn run_generated(
         .with_crash_plan(Arc::clone(&plan))
         .with_tracer(tracer.clone());
     let delivery = if variant == Variant::Hostile {
-        Delivery::new(Arc::clone(&network), FaultProfile::hostile(), DeliveryPolicy::default(), gw.seed)
-            .map_err(|e| format!("delivery: {e}"))?
+        Delivery::new(
+            Arc::clone(&network),
+            FaultProfile::hostile(),
+            DeliveryPolicy::default(),
+            gw.seed,
+        )
+        .map_err(|e| format!("delivery: {e}"))?
     } else {
         Delivery::lossless(Arc::clone(&network))
     }
@@ -396,9 +402,13 @@ pub fn run_generated(
     } else {
         SecurityPolicy::public()
     };
-    let initial =
-        DraDocument::new_initial_with_pid(&def, &policy, &creds[0], &format!("fuzz-{:04}", gw.seed))
-            .map_err(|e| format!("initial: {e}"))?;
+    let initial = DraDocument::new_initial_with_pid(
+        &def,
+        &policy,
+        &creds[0],
+        &format!("fuzz-{:04}", gw.seed),
+    )
+    .map_err(|e| format!("initial: {e}"))?;
     let script = gw.script.clone();
     let respond = move |r: &ReceivedActivity| script.get(&r.activity).cloned().unwrap_or_default();
     let mut run = InstanceRun::new(&sys, &initial)
@@ -501,9 +511,13 @@ fn unsound_twin_rejected(def: &WorkflowDefinition) -> Result<bool, String> {
         .iter()
         .map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone()))))
         .collect();
-    let initial =
-        DraDocument::new_initial_with_pid(def, &SecurityPolicy::public(), &creds[0], "unsound-twin")
-            .map_err(|e| format!("unsound twin initial: {e}"))?;
+    let initial = DraDocument::new_initial_with_pid(
+        def,
+        &SecurityPolicy::public(),
+        &creds[0],
+        "unsound-twin",
+    )
+    .map_err(|e| format!("unsound twin initial: {e}"))?;
     let respond = |_: &ReceivedActivity| Vec::new();
     let mut sched = Scheduler::new(&sys);
     match sched.admit_instance(InstanceRun::new(&sys, &initial).agents(&agents).respond(&respond)) {
@@ -530,8 +544,8 @@ pub fn fuzz_seed(seed: u64) -> Result<SeedReport, String> {
             .as_ref()
             .map_err(|e| format!("seed {seed}: metric invariants violated: {e}"))?;
         for variant in [Variant::Hostile, Variant::Crash] {
-            let alt = run_generated(&gw, advanced, variant)
-                .map_err(|e| format!("seed {seed}: {e}"))?;
+            let alt =
+                run_generated(&gw, advanced, variant).map_err(|e| format!("seed {seed}: {e}"))?;
             reconcile(&alt.events, &alt.document)
                 .map_err(|e| format!("seed {seed}: {variant:?} run fails reconciliation: {e}"))?;
             alt.invariants
@@ -673,8 +687,7 @@ mod tests {
             let gw = generate(seed);
             multi += gw.def.multi.len();
             cancels += gw.def.cancellations.len();
-            or_joins +=
-                gw.def.activities.iter().filter(|a| a.join == JoinKind::Or).count();
+            or_joins += gw.def.activities.iter().filter(|a| a.join == JoinKind::Or).count();
         }
         assert!(multi > 0, "no multi-instance activity in 32 seeds");
         assert!(cancels > 0, "no cancellation region in 32 seeds");

@@ -1,0 +1,403 @@
+//! Continuous nonrepudiation auditor over the pool of stored documents.
+//!
+//! The serve-side integrity probe (PR 7) only inspects documents a user
+//! actually asks for — a forged row that is *never served* sits in the pool
+//! unchallenged. This module closes that gap: a [`PoolAuditor`] runs a
+//! background pass in virtual time that samples stored `doc/` rows through
+//! the typed scan API (bounded batches, family projection — never a full
+//! table read), spot-checks every sampled version with the batched
+//! [`Verifier`], and optionally reconciles completed processes against
+//! their span trace via [`reconcile`].
+//!
+//! A row that fails any check raises a typed
+//! [`AlertKind::AuditDivergence`] into the [`HealthMonitor`]; on federated
+//! deployments the [`FederationController`] pump consumes the alert and
+//! quarantines every portal of the indicted cloud. Divergences are
+//! deduplicated per `(cloud, key)` so repeated sweeps over the same forged
+//! row raise exactly one alert — `audit.divergences` counts *rows caught*,
+//! not passes that saw them.
+//!
+//! Everything is deterministic: cursors advance in key order, sampling is
+//! a bounded prefix scan, and the virtual clock decides when a pass is
+//! due, so a double run of the same schedule audits the same rows in the
+//! same order.
+//!
+//! [`FederationController`]: crate::federation::FederationController
+
+use crate::monitor::{Alert, AlertKind, HealthMonitor};
+use crate::portal::{CloudSystem, FAM_DOC, FAM_META, QUAL_XML};
+use dra4wfms_core::prelude::*;
+use dra_docpool::Scan;
+use dra_obs::{MetricsRegistry, TraceEvent};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, PoisonError};
+
+/// Tuning knobs for the continuous auditor.
+#[derive(Clone, Copy, Debug)]
+pub struct AuditConfig {
+    /// Rows sampled per member cloud per pass.
+    pub batch: usize,
+    /// Virtual-time interval between passes ([`PoolAuditor::due`]).
+    pub period_us: u64,
+    /// Worker threads for the scan and the batched signature checks.
+    pub threads: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> AuditConfig {
+        AuditConfig { batch: 16, period_us: 250_000, threads: 2 }
+    }
+}
+
+#[derive(Default)]
+struct AuditState {
+    /// Per-cloud resume cursor: the next `doc/` key to sample from.
+    cursors: BTreeMap<String, String>,
+    /// Distinct `(cloud, key)` pairs ever sampled — `audit.sampled` counts
+    /// rows, not visits, so it stays ≤ the pool's row count across sweeps.
+    sampled: BTreeSet<(String, String)>,
+    /// Distinct `(cloud, key)` pairs that failed a check — alert once each.
+    divergent: BTreeSet<(String, String)>,
+    passes: u64,
+    sweeps: u64,
+    verified: u64,
+    seen_misses: u64,
+    reconciles: u64,
+    next_due_us: u64,
+}
+
+/// The continuous audit sampler. One instance per deployment; drive it from
+/// the scheduler loop (or any monitoring path) with
+/// [`run_pass`](PoolAuditor::run_pass) whenever [`due`](PoolAuditor::due)
+/// says the virtual period elapsed.
+pub struct PoolAuditor {
+    config: AuditConfig,
+    state: Mutex<AuditState>,
+}
+
+impl PoolAuditor {
+    /// An auditor with the given knobs; no pass has run yet, so the first
+    /// [`due`](PoolAuditor::due) fires immediately.
+    #[must_use]
+    pub fn new(config: AuditConfig) -> PoolAuditor {
+        PoolAuditor { config, state: Mutex::new(AuditState::default()) }
+    }
+
+    /// The knobs this auditor runs with.
+    #[must_use]
+    pub fn config(&self) -> AuditConfig {
+        self.config
+    }
+
+    /// Has the virtual-time period elapsed since the last pass?
+    #[must_use]
+    pub fn due(&self, now_us: u64) -> bool {
+        now_us >= self.lock().next_due_us
+    }
+
+    /// Run one audit pass at virtual instant `now_us`: per member cloud,
+    /// sample the next [`AuditConfig::batch`] `doc/` rows after the cloud's
+    /// cursor (projection-scanned, never a full table read), verify every
+    /// sampled version with the batched [`Verifier`], and raise a typed
+    /// [`AlertKind::AuditDivergence`] into `monitor` for each newly caught
+    /// row. A cloud whose cursor runs off the end of its `doc/` range
+    /// completes a sweep and wraps. Returns the number of *new* divergent
+    /// rows this pass caught.
+    pub fn run_pass(
+        &self,
+        sys: &CloudSystem,
+        monitor: Option<&HealthMonitor>,
+        now_us: u64,
+    ) -> usize {
+        let mut st = self.lock();
+        st.passes += 1;
+        st.next_due_us = now_us + self.config.period_us;
+        let mut caught = 0usize;
+
+        for (cloud_name, cloud_idx, pool) in sys.audit_pools() {
+            let cursor = st.cursors.get(&cloud_name).cloned().unwrap_or_else(|| "doc/".to_string());
+            let scan = Scan::prefix("doc/")
+                .family(FAM_DOC)
+                .starting_at(&cursor)
+                .limit(self.config.batch)
+                .threads(self.config.threads);
+            let result = pool.query(&scan);
+            if result.rows.is_empty() {
+                // the cursor ran off the end of the doc/ range: sweep done
+                if cursor != "doc/" {
+                    st.sweeps += 1;
+                    st.cursors.insert(cloud_name.clone(), "doc/".to_string());
+                }
+                continue;
+            }
+
+            // Parse every sampled version; a missing cell, unparseable
+            // bytes or a digest with no `seen/` admission row are already
+            // suspicious, but the signature pass is the authority.
+            let mut keys: Vec<String> = Vec::new();
+            let mut docs: Vec<DraDocument> = Vec::new();
+            for (key, snap) in &result.rows {
+                st.sampled.insert((cloud_name.clone(), key.clone()));
+                let Some(xml) = snap.get_str(FAM_DOC, QUAL_XML) else {
+                    caught += usize::from(Self::flag(
+                        &mut st,
+                        monitor,
+                        now_us,
+                        &cloud_name,
+                        cloud_idx,
+                        key,
+                    ));
+                    continue;
+                };
+                let digest = dra_crypto::sha256(xml.as_bytes());
+                let seen_key = format!("seen/{}", dra_crypto::hex::encode(&digest));
+                if pool.get_str(&seen_key, FAM_META, "seq").is_none() {
+                    st.seen_misses += 1;
+                }
+                match DraDocument::parse(&xml) {
+                    Ok(doc) => {
+                        keys.push(key.clone());
+                        docs.push(doc);
+                    }
+                    Err(_) => {
+                        caught += usize::from(Self::flag(
+                            &mut st,
+                            monitor,
+                            now_us,
+                            &cloud_name,
+                            cloud_idx,
+                            key,
+                        ));
+                    }
+                }
+            }
+
+            // Batched spot-check: one bulk verifier run over the sample.
+            let outcomes = Verifier::new(&sys.directory)
+                .threads(self.config.threads)
+                .batched(true)
+                .run_many(&docs);
+            for ((key, doc), outcome) in keys.iter().zip(&docs).zip(outcomes) {
+                // a stored row must also live under the process it proves
+                let pid_matches = doc
+                    .process_id()
+                    .map(|pid| key.starts_with(&format!("doc/{pid}/")))
+                    .unwrap_or(false);
+                if outcome.is_ok() && pid_matches {
+                    st.verified += 1;
+                } else {
+                    caught += usize::from(Self::flag(
+                        &mut st,
+                        monitor,
+                        now_us,
+                        &cloud_name,
+                        cloud_idx,
+                        key,
+                    ));
+                }
+            }
+
+            // resume strictly after the last sampled key next pass
+            let last = &result.rows[result.rows.len() - 1].0;
+            st.cursors.insert(cloud_name.clone(), format!("{last}\u{0}"));
+        }
+        caught
+    }
+
+    /// Spot-reconcile one *completed* process against its observed span
+    /// trace: the latest stored version must prove exactly the executions
+    /// the trace completed ([`reconcile`]). Running instances are skipped —
+    /// their traces legitimately lead the stored document. Returns `false`
+    /// (and raises [`AlertKind::AuditDivergence`]) when the oracle rejects.
+    pub fn spot_reconcile(
+        &self,
+        sys: &CloudSystem,
+        monitor: Option<&HealthMonitor>,
+        process_id: &str,
+        trace: &[TraceEvent],
+        now_us: u64,
+    ) -> bool {
+        for (cloud_name, cloud_idx, pool) in sys.audit_pools() {
+            let status = pool.get_str(&format!("meta/{process_id}"), FAM_META, "status");
+            if status.as_deref() != Some("complete") {
+                continue;
+            }
+            let rows = pool.query(&Scan::prefix(&format!("doc/{process_id}/")).family(FAM_DOC));
+            let Some((key, snap)) = rows.rows.last() else { continue };
+            let mut st = self.lock();
+            st.reconciles += 1;
+            let ok = snap
+                .get_str(FAM_DOC, QUAL_XML)
+                .and_then(|xml| DraDocument::parse(&xml).ok())
+                .is_some_and(|doc| reconcile(trace, &doc).is_ok());
+            if !ok {
+                Self::flag(&mut st, monitor, now_us, &cloud_name, cloud_idx, key);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Export `audit.*` counters: passes, completed sweeps, distinct rows
+    /// sampled, versions verified, `seen/`-probe misses, reconciliations
+    /// run, and distinct divergent rows caught.
+    pub fn export_metrics(&self, metrics: &MetricsRegistry) {
+        let st = self.lock();
+        metrics.set_counter("audit.passes", st.passes);
+        metrics.set_counter("audit.sweeps", st.sweeps);
+        metrics.set_counter("audit.sampled", st.sampled.len() as u64);
+        metrics.set_counter("audit.verified", st.verified);
+        metrics.set_counter("audit.seen_misses", st.seen_misses);
+        metrics.set_counter("audit.reconciles", st.reconciles);
+        metrics.set_counter("audit.divergences", st.divergent.len() as u64);
+    }
+
+    /// The distinct divergent rows caught so far, as `(cloud, key)` pairs.
+    #[must_use]
+    pub fn divergent_rows(&self) -> Vec<(String, String)> {
+        self.lock().divergent.iter().cloned().collect()
+    }
+
+    /// Distinct rows sampled so far.
+    #[must_use]
+    pub fn sampled_rows(&self) -> usize {
+        self.lock().sampled.len()
+    }
+
+    /// Record a newly divergent row (idempotent per `(cloud, key)`); raise
+    /// the typed alert only on first detection.
+    fn flag(
+        st: &mut AuditState,
+        monitor: Option<&HealthMonitor>,
+        now_us: u64,
+        cloud_name: &str,
+        cloud_idx: usize,
+        key: &str,
+    ) -> bool {
+        if !st.divergent.insert((cloud_name.to_string(), key.to_string())) {
+            return false;
+        }
+        if let Some(monitor) = monitor {
+            let pid = key
+                .strip_prefix("doc/")
+                .and_then(|rest| rest.split('/').next())
+                .unwrap_or(key)
+                .to_string();
+            monitor.raise(Alert {
+                at_us: now_us,
+                process_id: pid,
+                kind: AlertKind::AuditDivergence { cloud: cloud_idx as u64, key: key.to_string() },
+            });
+        }
+        true
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, AuditState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::MonitorConfig;
+    use crate::netsim::NetworkSim;
+    use std::sync::Arc;
+
+    fn setup(instances: usize) -> CloudSystem {
+        let designer = Credentials::from_seed("designer", "d");
+        let alice = Credentials::from_seed("alice", "a");
+        let bob = Credentials::from_seed("bob", "b");
+        let def = WorkflowDefinition::builder("po", "designer")
+            .simple_activity("submit", "alice", &["amount"])
+            .simple_activity("approve", "bob", &["decision"])
+            .flow("submit", "approve")
+            .flow_end("approve")
+            .build()
+            .unwrap();
+        let dir = Directory::from_credentials([&designer, &alice, &bob]);
+        let sys = CloudSystem::new(dir, 2, Arc::new(NetworkSim::lan()));
+        let pol = SecurityPolicy::public();
+        for i in 0..instances {
+            let doc =
+                DraDocument::new_initial_with_pid(&def, &pol, &designer, &format!("a-{i:02}"))
+                    .unwrap();
+            let route = Route { targets: vec!["submit".into()], ends: false };
+            sys.store_document(i % 2, &doc.to_xml_string(), &route).unwrap();
+        }
+        sys
+    }
+
+    #[test]
+    fn honest_pool_audits_clean_across_full_sweep() {
+        let sys = setup(5);
+        let auditor = PoolAuditor::new(AuditConfig { batch: 2, period_us: 100, threads: 2 });
+        assert!(auditor.due(0));
+        let mut clock = 0;
+        // batch 2 over 5 rows: 3 passes drain, a 4th wraps the sweep
+        for _ in 0..4 {
+            assert_eq!(auditor.run_pass(&sys, None, clock), 0);
+            clock += 100;
+        }
+        let metrics = MetricsRegistry::new();
+        auditor.export_metrics(&metrics);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("audit.divergences"), 0);
+        assert_eq!(snap.counter("audit.sampled"), 5);
+        assert_eq!(snap.counter("audit.verified"), 5);
+        assert_eq!(snap.counter("audit.sweeps"), 1);
+        assert_eq!(snap.counter("audit.seen_misses"), 0);
+        assert_eq!(snap.counter("audit.passes"), 4);
+        // periodicity: not due right after a pass, due after the period
+        assert!(!auditor.due(clock - 50));
+        assert!(auditor.due(clock + 100));
+    }
+
+    #[test]
+    fn tampered_stored_row_is_caught_and_alerted_exactly_once() {
+        let sys = setup(4);
+        let monitor = HealthMonitor::new(MonitorConfig::default());
+        // forge one stored row in place: case-flip a byte of a-01's version 0
+        let key = "doc/a-01/000000";
+        let xml = sys.pool.get_str(key, FAM_DOC, QUAL_XML).unwrap();
+        let forged = crate::federation::tamper_bytes(&xml);
+        assert_ne!(forged, xml);
+        sys.pool.put(key, FAM_DOC, QUAL_XML, forged);
+
+        let auditor = PoolAuditor::new(AuditConfig { batch: 16, period_us: 100, threads: 2 });
+        let caught = auditor.run_pass(&sys, Some(&monitor), 7);
+        assert_eq!(caught, 1);
+        assert_eq!(auditor.divergent_rows(), vec![("cloud0".into(), key.to_string())]);
+        let (alerts, _) = monitor.alerts_since(0);
+        assert_eq!(alerts.len(), 1);
+        assert!(matches!(
+            &alerts[0].kind,
+            AlertKind::AuditDivergence { cloud: 0, key: k } if k == key
+        ));
+        assert_eq!(alerts[0].process_id, "a-01");
+
+        // a second sweep re-samples the same forged row but raises nothing new
+        assert_eq!(auditor.run_pass(&sys, Some(&monitor), 207), 0);
+        assert_eq!(auditor.run_pass(&sys, Some(&monitor), 307), 0);
+        let (alerts, _) = monitor.alerts_since(0);
+        assert_eq!(alerts.len(), 1, "alert per divergent row, not per pass");
+
+        let metrics = MetricsRegistry::new();
+        auditor.export_metrics(&metrics);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("audit.divergences"), 1);
+        assert!(snap.counter("audit.seen_misses") >= 1, "forged digest has no seen/ row");
+        assert_eq!(snap.counter("audit.sampled"), 4);
+    }
+
+    #[test]
+    fn spot_reconcile_accepts_empty_trace_only_for_unstarted_processes() {
+        let sys = setup(1);
+        let auditor = PoolAuditor::new(AuditConfig::default());
+        // a-00 is not complete: the spot check skips it and stays clean
+        assert!(auditor.spot_reconcile(&sys, None, "a-00", &[], 5));
+        let metrics = MetricsRegistry::new();
+        auditor.export_metrics(&metrics);
+        assert_eq!(metrics.snapshot().counter("audit.reconciles"), 0);
+    }
+}

@@ -366,8 +366,10 @@ impl FederationController {
 
     /// Drain fresh monitor alerts and act on them: `retry_storm` alerts
     /// naming `portal:N` accumulate per portal and quarantine it at the
-    /// policy threshold. Called by the scheduler between dispatches and by
-    /// every admission resolution.
+    /// policy threshold; `audit_divergence` alerts quarantine every portal
+    /// of the named cloud at once — a stored-row forgery indicts the whole
+    /// member, not one front door. Called by the scheduler between
+    /// dispatches and by every admission resolution.
     pub fn pump(&self) {
         let monitor = self.monitor.lock().unwrap_or_else(PoisonError::into_inner).clone();
         let Some(monitor) = monitor else { return };
@@ -375,17 +377,31 @@ impl FederationController {
         let (fresh, cursor) = monitor.alerts_since(st.alert_cursor);
         st.alert_cursor = cursor;
         for alert in fresh {
-            let AlertKind::RetryStorm { target, .. } = &alert.kind else { continue };
-            let Some(idx) = target.strip_prefix("portal:").and_then(|n| n.parse().ok()) else {
-                continue;
-            };
-            if idx >= st.quarantined.len() {
-                continue;
-            }
-            let hits = st.storm_alerts.entry(idx).or_insert(0);
-            *hits += 1;
-            if *hits >= self.policy.storm_quarantine_alerts {
-                Self::quarantine_locked(&mut st, &self.topology, idx);
+            match &alert.kind {
+                AlertKind::RetryStorm { target, .. } => {
+                    let Some(idx) = target.strip_prefix("portal:").and_then(|n| n.parse().ok())
+                    else {
+                        continue;
+                    };
+                    if idx >= st.quarantined.len() {
+                        continue;
+                    }
+                    let hits = st.storm_alerts.entry(idx).or_insert(0);
+                    *hits += 1;
+                    if *hits >= self.policy.storm_quarantine_alerts {
+                        Self::quarantine_locked(&mut st, &self.topology, idx);
+                    }
+                }
+                AlertKind::AuditDivergence { cloud, .. } => {
+                    let cloud = *cloud as usize;
+                    if cloud >= self.topology.clouds.len() {
+                        continue;
+                    }
+                    for portal in self.topology.portal_range(cloud) {
+                        Self::quarantine_locked(&mut st, &self.topology, portal);
+                    }
+                }
+                _ => {}
             }
         }
     }
@@ -784,6 +800,37 @@ mod tests {
         });
         c.pump();
         assert_eq!(c.stats().quarantines, 1);
+    }
+
+    #[test]
+    fn audit_divergence_quarantines_the_whole_cloud_through_the_pump() {
+        use crate::monitor::MonitorConfig;
+        let c = FederationController::new(two_clouds(), FederationPolicy::default());
+        let monitor = HealthMonitor::new(MonitorConfig::default());
+        c.set_monitor(&monitor);
+        monitor.raise(Alert {
+            at_us: 9,
+            process_id: "p-aud".into(),
+            kind: AlertKind::AuditDivergence { cloud: 0, key: "doc/p-aud/000001".into() },
+        });
+        c.pump();
+        // the whole east cloud is gone in one pump, and the active cloud
+        // failed over to west
+        assert!(c.is_quarantined(0) && c.is_quarantined(1));
+        assert!(!c.is_quarantined(2) && !c.is_quarantined(3));
+        assert_eq!(c.stats().quarantines, 2);
+        assert_eq!(c.stats().failovers, 1);
+        assert_eq!(c.active_cloud(), 1);
+        // out-of-range cloud indices are ignored, and the pump is
+        // exactly-once: re-pumping changes nothing
+        monitor.raise(Alert {
+            at_us: 10,
+            process_id: "p-aud".into(),
+            kind: AlertKind::AuditDivergence { cloud: 9, key: "doc/p-aud/000001".into() },
+        });
+        c.pump();
+        c.pump();
+        assert_eq!(c.stats().quarantines, 2);
     }
 
     #[test]

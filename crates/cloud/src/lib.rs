@@ -46,11 +46,17 @@
 //!   [`FederationController`] consumes [`HealthMonitor`] alerts (including
 //!   the typed `portal_tampered` integrity alert) to quarantine portals
 //!   and fail admissions over to a healthy cloud — a bad cloud costs time,
-//!   never safety.
+//!   never safety,
+//! * [`audit`] — a continuous nonrepudiation auditor: a [`PoolAuditor`]
+//!   samples stored rows through the scan API in virtual time, spot-checks
+//!   them with the batched verifier, and raises a typed `audit_divergence`
+//!   alert the federation pump turns into quarantine — forged rows are
+//!   caught even when nobody ever serves them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod crash;
 pub mod delivery;
 pub mod faults;
@@ -63,6 +69,7 @@ pub mod runner;
 pub mod sched;
 pub mod trustcache;
 
+pub use audit::{AuditConfig, PoolAuditor};
 pub use crash::{CrashPlan, CrashPoint};
 pub use delivery::{Delivery, DeliveryPolicy, DeliveryStats};
 pub use faults::{FaultCounts, FaultProfile, FaultyNetwork};

@@ -161,6 +161,16 @@ pub enum AlertKind {
         /// Hex sha256 of the served (tampered) wire bytes.
         digest: String,
     },
+    /// The continuous audit sampler found a stored document row that fails
+    /// verification — the cloud holding it is storing bytes it cannot prove
+    /// were honestly admitted. Raised by `cloud::audit`; the federation
+    /// controller pumps it into quarantine of that cloud's portals.
+    AuditDivergence {
+        /// Index of the member cloud whose pool holds the divergent row.
+        cloud: u64,
+        /// The divergent row's pool key (`doc/{pid}/{seq}`).
+        key: String,
+    },
 }
 
 impl AlertKind {
@@ -173,6 +183,7 @@ impl AlertKind {
             AlertKind::CrashLoop { .. } => "crash_loop",
             AlertKind::SloBreach { .. } => "slo_breach",
             AlertKind::PortalTampered { .. } => "portal_tampered",
+            AlertKind::AuditDivergence { .. } => "audit_divergence",
         }
     }
 }
@@ -304,8 +315,8 @@ impl HealthMonitor {
     }
 
     /// Export alert counts: `alerts.stuck`, `alerts.retry_storm`,
-    /// `alerts.crash_loop`, `alerts.slo_breach`, `alerts.portal_tampered`
-    /// and `alerts.total`.
+    /// `alerts.crash_loop`, `alerts.slo_breach`, `alerts.portal_tampered`,
+    /// `alerts.audit_divergence` and `alerts.total`.
     pub fn export_metrics(&self, metrics: &MetricsRegistry) {
         let alerts = self.alerts();
         let count = |tag: &str| alerts.iter().filter(|a| a.kind.tag() == tag).count() as u64;
@@ -314,6 +325,7 @@ impl HealthMonitor {
         metrics.set_counter("alerts.crash_loop", count("crash_loop"));
         metrics.set_counter("alerts.slo_breach", count("slo_breach"));
         metrics.set_counter("alerts.portal_tampered", count("portal_tampered"));
+        metrics.set_counter("alerts.audit_divergence", count("audit_divergence"));
         metrics.set_counter("alerts.total", alerts.len() as u64);
     }
 }
@@ -399,6 +411,9 @@ pub fn alerts_to_jsonl(alerts: &[Alert]) -> String {
                     ",\"portal\":{portal},\"digest\":\"{}\"",
                     json_escape(digest)
                 ));
+            }
+            AlertKind::AuditDivergence { cloud, key } => {
+                out.push_str(&format!(",\"cloud\":{cloud},\"key\":\"{}\"", json_escape(key)));
             }
         }
         out.push_str("}\n");
@@ -567,6 +582,23 @@ mod tests {
         let metrics = MetricsRegistry::new();
         m.export_metrics(&metrics);
         assert_eq!(metrics.snapshot().counter("alerts.portal_tampered"), 1);
+    }
+
+    #[test]
+    fn audit_divergence_renders_and_counts() {
+        let m = monitor();
+        m.raise(Alert {
+            at_us: 11,
+            process_id: "p".into(),
+            kind: AlertKind::AuditDivergence { cloud: 1, key: "doc/p/000002".into() },
+        });
+        assert_eq!(
+            alerts_to_jsonl(&m.alerts()),
+            "{\"at_us\":11,\"process\":\"p\",\"kind\":\"audit_divergence\",\"cloud\":1,\"key\":\"doc/p/000002\"}\n"
+        );
+        let metrics = MetricsRegistry::new();
+        m.export_metrics(&metrics);
+        assert_eq!(metrics.snapshot().counter("alerts.audit_divergence"), 1);
     }
 
     #[test]

@@ -60,7 +60,25 @@ pub fn tracer_for(network: &Arc<NetworkSim>) -> Tracer {
 ///   on retry-storm evidence, so the right side can exceed the left);
 /// * the fault-free clause above also demands
 ///   `federation.tampered_serves == 0` and counts `alerts.portal_tampered`
-///   toward the forbidden alert noise.
+///   toward the forbidden alert noise;
+/// * `audit.divergences == 0` on honest runs — the fault-free clause also
+///   demands the continuous auditor found nothing, and counts
+///   `alerts.audit_divergence` toward the forbidden alert noise (the
+///   auditor must never raise false alarms on an honest pool). A run that
+///   deliberately forges stored rows must say so via the
+///   injector-maintained `audit.tampered_rows` counter — like
+///   `delivery.crashes_injected`, it is the evidence that disqualifies the
+///   run from the silence clause;
+/// * `audit.divergences ≤ audit.tampered_rows` unconditionally — the
+///   auditor only ever catches rows an injector actually forged: anything
+///   beyond that count is a false positive;
+/// * `audit.sampled ≤ pool.rows` — the auditor counts *distinct* rows, so
+///   any number of sweeps can never claim more coverage than the pool
+///   holds;
+/// * `alerts.audit_divergence ≤ federation.quarantines + audit.divergences`
+///   — on federated deployments every audit alert is answered by
+///   quarantine; on single-cloud deployments (no controller) each alert is
+///   at least backed by a recorded divergent row.
 ///
 /// Counters a run never touched read as zero, so the checks degrade
 /// gracefully on direct-path (no-delivery) and single-cloud runs (the
@@ -108,20 +126,44 @@ pub fn check_metric_invariants(snapshot: &MetricsSnapshot) -> Result<(), String>
         && replays == 0
         && snapshot.counter("delivery.retries") == 0
         && snapshot.counter("federation.tampered_serves") == 0
+        && snapshot.counter("audit.tampered_rows") == 0
         && ["dropped", "duplicated", "reordered", "delayed_us", "corrupted"]
             .iter()
             .all(|f| snapshot.counter(&format!("delivery.faults.{f}")) == 0);
+    let audit_divergences = snapshot.counter("audit.divergences");
     if fault_free {
         let noise = stuck
             + snapshot.counter("alerts.retry_storm")
             + snapshot.counter("alerts.crash_loop")
-            + snapshot.counter("alerts.portal_tampered");
+            + snapshot.counter("alerts.portal_tampered")
+            + snapshot.counter("alerts.audit_divergence");
         if noise > 0 {
             return Err(format!(
                 "{noise} fault alert(s) on a fault-free run: \
                  the monitor raised false alarms with nothing injected"
             ));
         }
+        if audit_divergences > 0 {
+            return Err(format!(
+                "audit.divergences ({audit_divergences}) > 0 on a fault-free run: \
+                 the auditor flagged rows of an honest pool"
+            ));
+        }
+    }
+    let tampered_rows = snapshot.counter("audit.tampered_rows");
+    if audit_divergences > tampered_rows {
+        return Err(format!(
+            "audit.divergences ({audit_divergences}) > audit.tampered_rows ({tampered_rows}): \
+             the auditor flagged more rows than were ever forged"
+        ));
+    }
+    let sampled = snapshot.counter("audit.sampled");
+    let pool_rows = snapshot.counter("pool.rows");
+    if sampled > pool_rows {
+        return Err(format!(
+            "audit.sampled ({sampled}) > pool.rows ({pool_rows}): \
+             the auditor claims to have sampled rows the pool does not hold"
+        ));
     }
     let failovers = snapshot.counter("federation.failovers");
     let quarantines = snapshot.counter("federation.quarantines");
@@ -137,6 +179,14 @@ pub fn check_metric_invariants(snapshot: &MetricsSnapshot) -> Result<(), String>
         return Err(format!(
             "alerts.portal_tampered ({tampered_alerts}) > federation.quarantines ({quarantines}): \
              a tamper alert went unanswered"
+        ));
+    }
+    let audit_alerts = snapshot.counter("alerts.audit_divergence");
+    if audit_alerts > quarantines + audit_divergences {
+        return Err(format!(
+            "alerts.audit_divergence ({audit_alerts}) > federation.quarantines ({quarantines}) + \
+             audit.divergences ({audit_divergences}): an audit alert has no divergent row \
+             or quarantine behind it"
         ));
     }
     let activations = snapshot.counter("sched.activations");
@@ -237,6 +287,56 @@ mod tests {
         metrics.set_counter("federation.tampered_serves", 1);
         let err = check_metric_invariants(&metrics.snapshot()).unwrap_err();
         assert!(err.contains("unanswered"), "got: {err}");
+        metrics.set_counter("federation.quarantines", 1);
+        check_metric_invariants(&metrics.snapshot()).unwrap();
+    }
+
+    #[test]
+    fn invariants_catch_auditor_false_alarms_on_honest_runs() {
+        let metrics = MetricsRegistry::new();
+        metrics.set_counter("pool.rows", 10);
+        metrics.set_counter("audit.sampled", 10);
+        metrics.set_counter("audit.divergences", 1);
+        metrics.set_counter("alerts.audit_divergence", 1);
+        let err = check_metric_invariants(&metrics.snapshot()).unwrap_err();
+        assert!(err.contains("false alarms"), "got: {err}");
+        // declared forgeries exempt the run from the silence clause and
+        // back the divergence one-to-one
+        metrics.set_counter("audit.tampered_rows", 1);
+        check_metric_invariants(&metrics.snapshot()).unwrap();
+    }
+
+    #[test]
+    fn invariants_catch_divergences_beyond_declared_forgeries() {
+        let metrics = MetricsRegistry::new();
+        metrics.set_counter("audit.tampered_rows", 1);
+        metrics.set_counter("audit.divergences", 2);
+        metrics.set_counter("pool.rows", 10);
+        let err = check_metric_invariants(&metrics.snapshot()).unwrap_err();
+        assert!(err.contains("more rows than were ever forged"), "got: {err}");
+        metrics.set_counter("audit.tampered_rows", 2);
+        check_metric_invariants(&metrics.snapshot()).unwrap();
+    }
+
+    #[test]
+    fn invariants_catch_phantom_audit_coverage() {
+        let metrics = MetricsRegistry::new();
+        metrics.set_counter("pool.rows", 5);
+        metrics.set_counter("audit.sampled", 6);
+        let err = check_metric_invariants(&metrics.snapshot()).unwrap_err();
+        assert!(err.contains("does not hold"), "got: {err}");
+        metrics.set_counter("audit.sampled", 5);
+        check_metric_invariants(&metrics.snapshot()).unwrap();
+    }
+
+    #[test]
+    fn invariants_catch_unbacked_audit_alerts() {
+        let metrics = MetricsRegistry::new();
+        metrics.set_counter("audit.tampered_rows", 1); // declared forgery
+        metrics.set_counter("alerts.audit_divergence", 2);
+        metrics.set_counter("audit.divergences", 1);
+        let err = check_metric_invariants(&metrics.snapshot()).unwrap_err();
+        assert!(err.contains("audit alert"), "got: {err}");
         metrics.set_counter("federation.quarantines", 1);
         check_metric_invariants(&metrics.snapshot()).unwrap();
     }

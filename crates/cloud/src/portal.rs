@@ -15,16 +15,16 @@ use crate::sched::{Activation, ActivationBus};
 use crate::trustcache::TrustCache;
 use dra4wfms_core::monitor::ProcessStatus;
 use dra4wfms_core::prelude::*;
-use dra_docpool::{map_reduce, HTable, Journal, PutOp, TableConfig};
+use dra_docpool::{map_reduce_scan, FleetViews, HTable, Journal, PutOp, Scan, TableConfig};
 use dra_obs::{stage, MetricsRegistry, Tracer};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Column family / qualifier layout of the pool.
-const FAM_DOC: &str = "doc";
-const QUAL_XML: &str = "xml";
-const FAM_META: &str = "meta";
+pub(crate) const FAM_DOC: &str = "doc";
+pub(crate) const QUAL_XML: &str = "xml";
+pub(crate) const FAM_META: &str = "meta";
 
 /// A portal's acknowledgement of a store request.
 ///
@@ -114,6 +114,11 @@ pub struct CloudSystem {
     /// single-cloud deployment — `pool`/`journal` above then *are* the
     /// deployment.
     federation: Option<Federation>,
+    /// Incrementally maintained fleet views, fed by the journal-commit and
+    /// activation-bus hooks below. Dashboards read these in O(view size);
+    /// the differential check [`CloudSystem::views_match_scan`] proves them
+    /// equivalent to a fresh scan recompute.
+    views: Arc<FleetViews>,
 }
 
 impl CloudSystem {
@@ -131,6 +136,7 @@ impl CloudSystem {
             sound_defs: Default::default(),
             tracer: Tracer::disabled(),
             federation: None,
+            views: Arc::new(FleetViews::new()),
         }
     }
 
@@ -178,6 +184,7 @@ impl CloudSystem {
             sound_defs: Default::default(),
             tracer: Tracer::disabled(),
             federation: Some(Federation { controller, replicas }),
+            views: Arc::new(FleetViews::new()),
         })
     }
 
@@ -256,6 +263,8 @@ impl CloudSystem {
         seq: usize,
     ) {
         self.portals[portal_idx % self.portals.len()].notifications.fetch_add(1, Ordering::Relaxed);
+        // activation-bus hook: the notification view moves with the counter
+        self.views.record_notification((portal_idx % self.portals.len()) as u64);
         self.bus.emit(Activation {
             participant: participant.to_string(),
             process_id: process_id.to_string(),
@@ -327,6 +336,21 @@ impl CloudSystem {
                 metrics.set_gauge("federation.clouds", fed.replicas.len() as i64);
             }
         }
+        // pool inventory and scan-API accounting: how many rows the
+        // deployment holds vs how many monitoring queries actually touched
+        let (rows, scanned_rows, scanned_regions) = match &self.federation {
+            None => {
+                let (sr, sg) = self.pool.scan_counters();
+                (self.pool.row_count(), sr, sg)
+            }
+            Some(fed) => fed.replicas.iter().fold((0, 0, 0), |(rows, sr, sg), r| {
+                let (a, b) = r.pool.scan_counters();
+                (rows + r.pool.row_count(), sr + a, sg + b)
+            }),
+        };
+        metrics.set_counter("pool.rows", rows as u64);
+        metrics.set_counter("pool.scanned_rows", scanned_rows as u64);
+        metrics.set_counter("pool.scanned_regions", scanned_regions as u64);
         metrics.set_gauge("trust_cache.entries", self.trust_cache.len() as i64);
     }
 
@@ -337,6 +361,10 @@ impl CloudSystem {
     /// died mid-admission).
     pub fn recover_portals(&self) -> usize {
         let observer = |op: &PutOp| {
+            // journal-replay hook: recovery feeds the views through the same
+            // per-op parser live admissions use, so a torn admission leaves
+            // the views exactly as consistent as the pool it repaired
+            self.apply_op_to_views(op);
             let Some(rest) = op.key.strip_prefix("todo/") else { return };
             let Some((participant, rest)) = rest.split_once('/') else { return };
             let Some((pid, activity)) = rest.rsplit_once('/') else { return };
@@ -347,14 +375,24 @@ impl CloudSystem {
             self.notify(0, participant, pid, activity, seq);
         };
         match &self.federation {
-            None => self.journal.replay_into_with(&self.pool, observer),
+            None => {
+                let replayed = self.journal.replay_into_with(&self.pool, observer);
+                self.views.record_commit("cloud0", self.journal.len() as u64);
+                replayed
+            }
             // every cloud replays its own journal into its own pool: a
             // replica torn between journal-append and commit is repaired
             // exactly like a torn primary. Re-emitted activations that turn
             // out to be duplicates are skipped harmlessly by the scheduler.
-            Some(fed) => {
-                fed.replicas.iter().map(|r| r.journal.replay_into_with(&r.pool, observer)).sum()
-            }
+            Some(fed) => fed
+                .replicas
+                .iter()
+                .map(|r| {
+                    let replayed = r.journal.replay_into_with(&r.pool, observer);
+                    self.views.record_commit(&r.name, r.journal.len() as u64);
+                    replayed
+                })
+                .sum(),
         }
     }
 
@@ -523,8 +561,8 @@ impl CloudSystem {
         let pid = report.process_id.clone();
         // storage sequence = number of versions already stored for this
         // process (parallel AND-split branches have equal CER counts, so the
-        // CER count alone would collide)
-        let seq = pool.scan_prefix(&format!("doc/{pid}/")).len();
+        // CER count alone would collide); counted without cloning snapshots
+        let seq = pool.query_count(&Scan::prefix(&format!("doc/{pid}/")));
         let (def, _) = dra4wfms_core::amendment::effective_definition(sealed)?;
         // design-time soundness gate: a definition that can deadlock, starve
         // an activity or orphan a join is rejected *here*, before any row is
@@ -532,11 +570,8 @@ impl CloudSystem {
         // a document edit, not a stranded instance. Amendments re-enter the
         // gate because the folded definition's canonical bytes change.
         let def_digest = dra_crypto::sha256(&dra_xml::canon::canonicalize(&def.to_xml()));
-        let known_sound = self
-            .sound_defs
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .contains(&def_digest);
+        let known_sound =
+            self.sound_defs.lock().unwrap_or_else(|e| e.into_inner()).contains(&def_digest);
         if !known_sound {
             dra4wfms_core::soundness::require_sound(&def)?;
             self.sound_defs.lock().unwrap_or_else(|e| e.into_inner()).insert(def_digest);
@@ -578,6 +613,14 @@ impl CloudSystem {
             op.apply(pool);
         }
         journal.commit_through(record);
+        // journal-commit hook: the admission is durable — fold its ops into
+        // the fleet views through the same parser crash replay uses, and
+        // advance the active cloud's commit watermark
+        for op in &ops {
+            self.apply_op_to_views(op);
+        }
+        self.views.record_admission(portal_idx as u64);
+        self.views.record_commit(&self.active_cloud_name(), journal.len() as u64);
         // Replication: the admission is durable on the active cloud; now
         // charge and journal-commit the identical batch on every reachable
         // peer cloud before acking. Each replica obeys the same WAL
@@ -594,6 +637,7 @@ impl CloudSystem {
                     op.apply(&replica.pool);
                 }
                 replica.journal.commit_through(rec);
+                self.views.record_commit(&replica.name, replica.journal.len() as u64);
                 fed.controller.ack_replica();
             }
         }
@@ -624,8 +668,9 @@ impl CloudSystem {
         match &self.federation {
             None => {
                 let stats = &self.portals[portal % self.portals.len()];
-                let rows = self.pool.scan_prefix(&format!("doc/{process_id}/"));
-                let xml = rows.last()?.1.get_str(FAM_DOC, QUAL_XML)?;
+                let rows =
+                    self.pool.query(&Scan::prefix(&format!("doc/{process_id}/")).family(FAM_DOC));
+                let xml = rows.rows.last()?.1.get_str(FAM_DOC, QUAL_XML)?;
                 self.network.transfer(xml.len());
                 stats.retrieved.fetch_add(1, Ordering::Relaxed);
                 Some(xml)
@@ -646,8 +691,8 @@ impl CloudSystem {
             let serving = fed.controller.resolve_serve(portal)?;
             let cloud = fed.controller.topology().cloud_of(serving);
             let pool = &fed.replicas[cloud].pool;
-            let rows = pool.scan_prefix(&format!("doc/{process_id}/"));
-            let stored = rows.last()?.1.get_str(FAM_DOC, QUAL_XML)?;
+            let rows = pool.query(&Scan::prefix(&format!("doc/{process_id}/")).family(FAM_DOC));
+            let stored = rows.rows.last()?.1.get_str(FAM_DOC, QUAL_XML)?;
             // the tamper injector corrupts the *served copy*, never the pool
             let served =
                 if fed.controller.tamper_fires(serving) { tamper_bytes(&stored) } else { stored };
@@ -710,7 +755,8 @@ impl CloudSystem {
     pub fn search_todo(&self, participant: &str) -> Vec<TodoEntry> {
         let prefix = format!("todo/{participant}/");
         self.active_pool()
-            .scan_prefix(&prefix)
+            .query(&Scan::prefix(&prefix).family(FAM_META))
+            .rows
             .into_iter()
             .filter_map(|(key, _)| {
                 let rest = key.strip_prefix(&prefix)?;
@@ -751,25 +797,23 @@ impl CloudSystem {
     }
 
     fn retrieve_version_latest_xml(&self, process_id: &str) -> Option<String> {
-        let rows = self.active_pool().scan_prefix(&format!("doc/{process_id}/"));
-        rows.last()?.1.get_str(FAM_DOC, QUAL_XML)
+        let rows =
+            self.active_pool().query(&Scan::prefix(&format!("doc/{process_id}/")).family(FAM_DOC));
+        rows.rows.last()?.1.get_str(FAM_DOC, QUAL_XML)
     }
 
     /// MapReduce statistics over every stored process: instance counts per
     /// status (the paper's "statistical analyses to workflow processes or
-    /// instances stored in the DRA4WfMS cloud system").
+    /// instances stored in the DRA4WfMS cloud system"). Runs over a `meta/`
+    /// prefix scan with family projection — document rows are never touched.
     pub fn statistics_by_status(&self, threads: usize) -> BTreeMap<String, usize> {
-        map_reduce(
+        map_reduce_scan(
             self.active_pool(),
+            &Scan::prefix("meta/").family(FAM_META).threads(threads),
             threads,
-            |key, row| {
-                if !key.starts_with("meta/") {
-                    return vec![];
-                }
-                match row.get_str(FAM_META, "status") {
-                    Some(s) => vec![(s, 1usize)],
-                    None => vec![],
-                }
+            |_, row| match row.get_str(FAM_META, "status") {
+                Some(s) => vec![(s, 1usize)],
+                None => vec![],
             },
             |_, vs| vs.len(),
         )
@@ -781,13 +825,11 @@ impl CloudSystem {
     /// §2.2 says monitoring must provide. Returns
     /// `activity -> (executions, mean gap ms)`.
     pub fn activity_latency_stats(&self, threads: usize) -> BTreeMap<String, (usize, f64)> {
-        let sums = map_reduce(
+        let sums = map_reduce_scan(
             self.active_pool(),
+            &Scan::prefix("meta/").family(FAM_META).threads(threads),
             threads,
             |key, row| {
-                if !key.starts_with("meta/") {
-                    return vec![];
-                }
                 // load the latest stored document of this process
                 let pid = key.trim_start_matches("meta/");
                 let _ = row;
@@ -819,13 +861,11 @@ impl CloudSystem {
 
     /// MapReduce: total executed steps per workflow name.
     pub fn steps_per_workflow(&self, threads: usize) -> BTreeMap<String, usize> {
-        map_reduce(
+        map_reduce_scan(
             self.active_pool(),
+            &Scan::prefix("meta/").family(FAM_META).threads(threads),
             threads,
-            |key, row| {
-                if !key.starts_with("meta/") {
-                    return vec![];
-                }
+            |_, row| {
                 let wf = row.get_str(FAM_META, "workflow");
                 let steps = row.get_str(FAM_META, "steps").and_then(|s| s.parse::<usize>().ok());
                 match (wf, steps) {
@@ -835,6 +875,125 @@ impl CloudSystem {
             },
             |_, vs| vs.iter().sum(),
         )
+    }
+
+    /// The deployment's incremental fleet views.
+    pub fn fleet_views(&self) -> &Arc<FleetViews> {
+        &self.views
+    }
+
+    /// The full fleet dashboard as byte-deterministic JSON — read entirely
+    /// from the incremental views, no pool scan involved.
+    pub fn fleet_dashboard_json(&self) -> String {
+        self.views.dashboard_json()
+    }
+
+    /// The name of the cloud currently serving as primary.
+    fn active_cloud_name(&self) -> String {
+        match &self.federation {
+            None => "cloud0".to_string(),
+            Some(fed) => fed.replicas[fed.controller.active_cloud()].name.clone(),
+        }
+    }
+
+    /// Fold one applied pool mutation into the fleet views. Both the live
+    /// admission path (post-commit) and crash recovery (journal replay) go
+    /// through here, so the views stay exactly as consistent as the pool.
+    fn apply_op_to_views(&self, op: &PutOp) {
+        if let Some(rest) = op.key.strip_prefix("doc/") {
+            if let Some((pid, seq)) = rest.rsplit_once('/') {
+                if let Ok(seq) = seq.parse::<u64>() {
+                    self.views.record_doc(pid, seq);
+                }
+            }
+        } else if let Some(pid) = op.key.strip_prefix("meta/") {
+            if op.qualifier == "status" {
+                self.views.record_status(pid, &String::from_utf8_lossy(&op.value));
+            }
+        }
+    }
+
+    /// Rebuild the pool-derived views from the pool itself (cold restart:
+    /// the views are memory, the pool is truth). One bounded scan per view.
+    fn seed_views_from_pool(&self) {
+        let pool = self.active_pool();
+        for (key, row) in pool.query(&Scan::prefix("meta/").family(FAM_META)).rows {
+            if let (Some(pid), Some(status)) =
+                (key.strip_prefix("meta/"), row.get_str(FAM_META, "status"))
+            {
+                self.views.record_status(pid, &status);
+            }
+        }
+        // key-only walk of the document rows: project a family doc rows
+        // don't carry, so no XML bytes are cloned
+        for (key, _) in pool.query(&Scan::prefix("doc/").family(FAM_META)).rows {
+            if let Some((pid, seq)) = key.strip_prefix("doc/").and_then(|r| r.rsplit_once('/')) {
+                if let Ok(seq) = seq.parse::<u64>() {
+                    self.views.record_doc(pid, seq);
+                }
+            }
+        }
+    }
+
+    /// Full MapReduce recompute of the pool-derived views over the scan API.
+    fn recompute_views_from_pool(
+        &self,
+        threads: usize,
+    ) -> (BTreeMap<String, u64>, BTreeMap<String, u64>) {
+        let pool = self.active_pool();
+        let status = map_reduce_scan(
+            pool,
+            &Scan::prefix("meta/").family(FAM_META).threads(threads),
+            threads,
+            |_, row| row.get_str(FAM_META, "status").map(|s| (s, 1u64)).into_iter().collect(),
+            |_, vs| vs.iter().sum::<u64>(),
+        );
+        let progress = map_reduce_scan(
+            pool,
+            &Scan::prefix("doc/").family(FAM_META).threads(threads),
+            threads,
+            |key, _| {
+                key.strip_prefix("doc/")
+                    .and_then(|rest| rest.rsplit_once('/'))
+                    .and_then(|(pid, seq)| seq.parse::<u64>().ok().map(|s| (pid.to_string(), s)))
+                    .into_iter()
+                    .collect()
+            },
+            |_, seqs| seqs.iter().copied().max().unwrap_or(0) + 1,
+        );
+        (status, progress)
+    }
+
+    /// The differential check `views ≡ scan`: recompute the pool-derived
+    /// views (status counts, per-process progress) with a fresh MapReduce
+    /// over the scan API and compare cell by cell. `Ok(())` when identical;
+    /// `Err` names the first divergent cell.
+    pub fn views_match_scan(&self, threads: usize) -> Result<(), String> {
+        let (status, progress) = self.recompute_views_from_pool(threads);
+        self.views.diff_against(&status, &progress)
+    }
+
+    /// The scan-recomputed pool views rendered in the identical byte format
+    /// as [`FleetViews::pool_view_json`] — the byte-identity half of the
+    /// differential check for benches that compare whole renderings.
+    pub fn recompute_pool_view_json(&self, threads: usize) -> String {
+        let (status, progress) = self.recompute_views_from_pool(threads);
+        FleetViews::render_pool_view(&status, &progress)
+    }
+
+    /// The pools the continuous auditor samples, as `(cloud name, cloud
+    /// index, pool)` per member cloud; single-cloud deployments expose their
+    /// one pool as `("cloud0", 0, …)`.
+    pub fn audit_pools(&self) -> Vec<(String, usize, Arc<HTable>)> {
+        match &self.federation {
+            None => vec![("cloud0".to_string(), 0, Arc::clone(&self.pool))],
+            Some(fed) => fed
+                .replicas
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (r.name.clone(), i, Arc::clone(&r.pool)))
+                .collect(),
+        }
     }
 
     /// Total documents stored across portals.
@@ -870,7 +1029,8 @@ impl CloudSystem {
     /// List uploaded initial documents not yet started.
     pub fn pending_initials(&self) -> Vec<String> {
         self.active_pool()
-            .scan_prefix("initial/")
+            .query(&Scan::prefix("initial/").family(FAM_DOC))
+            .rows
             .into_iter()
             .filter_map(|(k, _)| k.strip_prefix("initial/").map(str::to_string))
             .collect()
@@ -907,13 +1067,14 @@ impl CloudSystem {
     /// deployments with equal digests hold exactly the same documents
     /// under exactly the same sequence numbers.
     pub fn pool_digest(&self) -> String {
-        let mut rows: Vec<(String, String)> = self
+        // the typed scan returns rows in key order already
+        let rows: Vec<(String, String)> = self
             .active_pool()
-            .scan_prefix("doc/")
+            .query(&Scan::prefix("doc/").family(FAM_DOC))
+            .rows
             .into_iter()
             .filter_map(|(k, row)| row.get_str(FAM_DOC, QUAL_XML).map(|v| (k, v)))
             .collect();
-        rows.sort();
         let mut buf = String::new();
         for (k, v) in rows {
             buf.push_str(&k);
@@ -976,7 +1137,7 @@ impl CloudSystem {
     ) -> WfResult<CloudSystem> {
         let pool = dra_docpool::HTable::import_snapshot(snapshot)
             .map_err(|e| WfError::Malformed(format!("pool snapshot: {e}")))?;
-        Ok(CloudSystem {
+        let sys = CloudSystem {
             pool: Arc::new(pool),
             directory,
             portals: (0..portals.max(1)).map(|_| PortalStats::default()).collect(),
@@ -988,7 +1149,10 @@ impl CloudSystem {
             sound_defs: Default::default(),
             tracer: Tracer::disabled(),
             federation: None,
-        })
+            views: Arc::new(FleetViews::new()),
+        };
+        sys.seed_views_from_pool();
+        Ok(sys)
     }
 }
 
@@ -1078,6 +1242,54 @@ mod tests {
         let status = sys.process_status("p-0").unwrap().unwrap();
         assert_eq!(status.process_id, "p-0");
         assert!(sys.process_status("nope").unwrap().is_none());
+    }
+
+    #[test]
+    fn views_track_admissions_and_match_scan() {
+        let (sys, def, pol, designer, _) = setup();
+        for i in 0..5 {
+            let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, &format!("v-{i}"))
+                .unwrap();
+            let route = if i % 2 == 0 {
+                Route { targets: vec![], ends: true }
+            } else {
+                Route { targets: vec!["submit".into()], ends: false }
+            };
+            sys.store_document(i, &doc.to_xml_string(), &route).unwrap();
+        }
+        let counts = sys.fleet_views().status_counts();
+        assert_eq!(counts["complete"], 3);
+        assert_eq!(counts["running"], 2);
+        sys.views_match_scan(4).expect("views ≡ scan");
+        assert_eq!(sys.fleet_views().pool_view_json(), sys.recompute_pool_view_json(4));
+        let dash = sys.fleet_dashboard_json();
+        assert_eq!(dash, sys.fleet_dashboard_json(), "byte-deterministic");
+        assert!(dash.contains("\"totals\":{\"processes\":5,\"docs\":5}"), "{dash}");
+    }
+
+    #[test]
+    fn views_survive_crash_replay_and_cold_restart() {
+        let (sys, def, pol, designer, _) = setup();
+        let sys = sys.with_crash_plan(CrashPlan::once(CrashPoint::PortalBetweenSeenAndStore, 1));
+        let doc = DraDocument::new_initial_with_pid(&def, &pol, &designer, "v-cr").unwrap();
+        let route = Route { targets: vec!["submit".into()], ends: false };
+        assert!(sys.store_document(0, &doc.to_xml_string(), &route).is_err());
+        // torn admission: neither the pool nor the views saw the meta rows
+        sys.views_match_scan(2).expect("views ≡ scan in the crash window");
+        sys.recover_portals();
+        sys.views_match_scan(2).expect("views ≡ scan after replay");
+        assert_eq!(sys.fleet_views().status_counts()["running"], 1);
+
+        // a cold restart reseeds the views from the pool snapshot
+        let restored = CloudSystem::restore(
+            sys.directory.clone(),
+            2,
+            Arc::new(NetworkSim::lan()),
+            &sys.snapshot_pool(),
+        )
+        .unwrap();
+        restored.views_match_scan(2).expect("views ≡ scan after restore");
+        assert_eq!(restored.fleet_views().progress()["v-cr"], 1);
     }
 
     #[test]

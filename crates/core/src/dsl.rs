@@ -224,11 +224,8 @@ fn parse_cancel(rest: &str) -> Result<CancelRegion, String> {
         None => (rest, None),
     };
     let (region_part, trigger) = rest.split_once(" on ").ok_or("expected 'region on trigger'")?;
-    let region: Vec<String> = region_part
-        .split(',')
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .collect();
+    let region: Vec<String> =
+        region_part.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
     if region.is_empty() {
         return Err("expected at least one activity before 'on'".into());
     }
@@ -274,13 +271,7 @@ fn parse_flow(rest: &str) -> Result<Transition, String> {
 }
 
 fn condition_to_dsl(c: &Condition) -> String {
-    format!(
-        "{}.{} {} \"{}\"",
-        c.activity,
-        c.field,
-        if c.negate { "!=" } else { "==" },
-        c.equals
-    )
+    format!("{}.{} {} \"{}\"", c.activity, c.field, if c.negate { "!=" } else { "==" }, c.equals)
 }
 
 /// Render a definition back into the DSL (inverse of [`parse_workflow`]).
@@ -485,9 +476,11 @@ cancel C on B
 
     #[test]
     fn bad_multi_rejected() {
-        let src = "workflow \"w\" designer \"d\"\nactivity A by p {}\nflow A -> end\nmulti A lots\n";
+        let src =
+            "workflow \"w\" designer \"d\"\nactivity A by p {}\nflow A -> end\nmulti A lots\n";
         assert!(matches!(parse_workflow(src), Err(WfError::Parse(m)) if m.contains("line 4")));
-        let src = "workflow \"w\" designer \"d\"\nactivity A by p {}\nflow A -> end\nmulti A from n\n";
+        let src =
+            "workflow \"w\" designer \"d\"\nactivity A by p {}\nflow A -> end\nmulti A from n\n";
         assert!(parse_workflow(src).is_err());
     }
 

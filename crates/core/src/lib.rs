@@ -115,9 +115,7 @@ pub mod prelude {
     pub use crate::reconcile::{reconcile, ReconcileError, ReconcileReport};
     pub use crate::scope::{all_scopes, nonrepudiation_scope};
     pub use crate::sealed::{prefix_digest, SealedDocument, TrustMark};
-    pub use crate::soundness::{
-        check_soundness, require_sound, SoundnessError, SoundnessReport,
-    };
+    pub use crate::soundness::{check_soundness, require_sound, SoundnessError, SoundnessReport};
     pub use crate::tfc::{TfcProcessed, TfcServer};
     pub use crate::verify::{trust_mark_for, VerificationReport, Verifier, VerifyOutcome};
 }

@@ -588,9 +588,9 @@ impl WorkflowDefinition {
                 })?;
                 Cardinality::Static(k)
             } else {
-                let from = m
-                    .get_attr("fromActivity")
-                    .ok_or_else(|| WfError::Malformed("Multi missing @count/@fromActivity".into()))?;
+                let from = m.get_attr("fromActivity").ok_or_else(|| {
+                    WfError::Malformed("Multi missing @count/@fromActivity".into())
+                })?;
                 let field = m
                     .get_attr("fromField")
                     .ok_or_else(|| WfError::Malformed("Multi missing @fromField".into()))?;
@@ -1079,10 +1079,7 @@ mod tests {
             .unwrap();
         let parsed = WorkflowDefinition::from_xml(&def.to_xml()).unwrap();
         assert_eq!(parsed, def);
-        assert_eq!(
-            parsed.multi_for("B").map(|m| &m.cardinality),
-            Some(&Cardinality::Static(3))
-        );
+        assert_eq!(parsed.multi_for("B").map(|m| &m.cardinality), Some(&Cardinality::Static(3)));
     }
 
     #[test]

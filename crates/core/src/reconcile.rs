@@ -339,8 +339,7 @@ fn check_cascade_semantics(document: &DraDocument) -> Result<(), ReconcileError>
             if !region.region.contains(&cer.key.activity) {
                 continue;
             }
-            let trigger_completed =
-                cers[..idx].iter().any(|c| c.key.activity == region.trigger);
+            let trigger_completed = cers[..idx].iter().any(|c| c.key.activity == region.trigger);
             if !trigger_completed {
                 continue;
             }

@@ -243,10 +243,7 @@ type Valuation = BTreeMap<(String, String), String>;
 fn valuations(conds: &[&Condition]) -> Vec<Valuation> {
     let mut domains: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
     for c in conds {
-        domains
-            .entry((c.activity.clone(), c.field.clone()))
-            .or_default()
-            .insert(c.equals.clone());
+        domains.entry((c.activity.clone(), c.field.clone())).or_default().insert(c.equals.clone());
     }
     let mut worlds: Vec<Valuation> = vec![BTreeMap::new()];
     for (key, constants) in &domains {
@@ -346,8 +343,7 @@ pub fn check_soundness(def: &WorkflowDefinition) -> Result<SoundnessReport, Soun
         let mut any_enabled = false;
         for act in &def.activities {
             let in_edges = &net.in_edges[act.id.as_str()];
-            let marked: Vec<usize> =
-                in_edges.iter().copied().filter(|&i| marking[i] > 0).collect();
+            let marked: Vec<usize> = in_edges.iter().copied().filter(|&i| marking[i] > 0).collect();
             if marked.is_empty() {
                 continue;
             }
@@ -361,9 +357,8 @@ pub fn check_soundness(def: &WorkflowDefinition) -> Result<SoundnessReport, Soun
                     vec![in_edges.clone()]
                 }
                 JoinKind::Or => {
-                    let empty_live = in_edges
-                        .iter()
-                        .any(|&i| marking[i] == 0 && net.place_live(&marking, i));
+                    let empty_live =
+                        in_edges.iter().any(|&i| marking[i] == 0 && net.place_live(&marking, i));
                     if empty_live {
                         continue; // an unmarked branch can still deliver
                     }
@@ -375,11 +370,8 @@ pub fn check_soundness(def: &WorkflowDefinition) -> Result<SoundnessReport, Soun
 
             // All guards this firing decides: outgoing transitions + the
             // cancellation regions it triggers, under one consistent world.
-            let route_conds: Vec<&Condition> = def
-                .outgoing(&act.id)
-                .iter()
-                .filter_map(|t| t.condition.as_ref())
-                .collect();
+            let route_conds: Vec<&Condition> =
+                def.outgoing(&act.id).iter().filter_map(|t| t.condition.as_ref()).collect();
             let cancel_conds: Vec<&Condition> = def
                 .cancellations_triggered_by(&act.id)
                 .iter()
@@ -478,11 +470,7 @@ pub fn check_soundness(def: &WorkflowDefinition) -> Result<SoundnessReport, Soun
         }
     }
 
-    Ok(SoundnessReport {
-        states_explored: visited.len(),
-        activities_fired: fired.len(),
-        terminals,
-    })
+    Ok(SoundnessReport { states_explored: visited.len(), activities_fired: fired.len(), terminals })
 }
 
 /// Convenience wrapper returning [`WfError::Unsound`] for admission paths.
@@ -561,7 +549,10 @@ mod tests {
             .build()
             .unwrap();
         let err = check_soundness(&def).unwrap_err();
-        assert!(matches!(err, SoundnessError::Deadlock { ref waiting } if waiting.contains(&"J".to_string())), "{err}");
+        assert!(
+            matches!(err, SoundnessError::Deadlock { ref waiting } if waiting.contains(&"J".to_string())),
+            "{err}"
+        );
     }
 
     #[test]
@@ -603,7 +594,10 @@ mod tests {
         let err = check_soundness(&def).unwrap_err();
         // The branch that arrives at J parks forever: deadlock, with the
         // specific waiter named.
-        assert!(matches!(err, SoundnessError::Deadlock { ref waiting } if waiting == &["J"]), "{err}");
+        assert!(
+            matches!(err, SoundnessError::Deadlock { ref waiting } if waiting == &["J"]),
+            "{err}"
+        );
     }
 
     #[test]

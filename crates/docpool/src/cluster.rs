@@ -2,11 +2,18 @@
 //! routing, automatic region splits, scans and statistics.
 
 use crate::region::{KeyRange, Region};
-use crate::row::RowSnapshot;
+use crate::row::{RowPredicate, RowSnapshot};
+use crate::scan::{prefix_end, Scan, ScanResult, ScanStats};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// One region a scan window intersects, with its clamped `[lo, hi)` bounds.
+type ScanWindow = (Arc<Region>, String, Option<String>);
+
+/// A region worker's scan output: `(rows, examined, matched)`.
+type RegionScanOut = (Vec<(String, RowSnapshot)>, usize, usize);
 
 /// Tuning knobs of a table.
 #[derive(Clone, Debug)]
@@ -47,6 +54,10 @@ pub struct HTable {
     regions: RwLock<Vec<Arc<Region>>>,
     clock: AtomicU64,
     splits: AtomicUsize,
+    /// Cumulative rows examined by scan-API queries (monitoring evidence).
+    scanned_rows: AtomicUsize,
+    /// Cumulative regions visited by scan-API queries.
+    scanned_regions: AtomicUsize,
 }
 
 impl Default for HTable {
@@ -63,6 +74,8 @@ impl HTable {
             regions: RwLock::new(vec![Arc::new(Region::new(KeyRange::all()))]),
             clock: AtomicU64::new(1),
             splits: AtomicUsize::new(0),
+            scanned_rows: AtomicUsize::new(0),
+            scanned_regions: AtomicUsize::new(0),
         }
     }
 
@@ -87,6 +100,8 @@ impl HTable {
             regions: RwLock::new(regions),
             clock: AtomicU64::new(1),
             splits: AtomicUsize::new(0),
+            scanned_rows: AtomicUsize::new(0),
+            scanned_regions: AtomicUsize::new(0),
         }
     }
 
@@ -239,21 +254,135 @@ impl HTable {
 
     /// Scan rows whose key starts with `prefix`.
     pub fn scan_prefix(&self, prefix: &str) -> Vec<(String, RowSnapshot)> {
-        // end bound: prefix with last byte incremented
-        let mut end = prefix.as_bytes().to_vec();
-        let to = loop {
-            match end.last_mut() {
-                Some(b) if *b < 0xff => {
-                    *b += 1;
-                    break Some(String::from_utf8_lossy(&end).into_owned());
-                }
-                Some(_) => {
-                    end.pop();
-                }
-                None => break None,
-            }
-        };
+        let to = prefix_end(prefix);
         self.scan(prefix, to.as_deref())
+    }
+
+    /// Clamp a [`Scan`] window to the current region layout: returns the
+    /// regions the window intersects (with per-region `[lo, hi)` bounds) and
+    /// the total region count, so callers can report how many were pruned.
+    fn scan_windows(&self, scan: &Scan) -> (Vec<ScanWindow>, usize) {
+        let regions: Vec<Arc<Region>> = self.regions.read().clone();
+        let total = regions.len();
+        let mut live = Vec::new();
+        for region in regions {
+            if let Some(t) = &scan.to {
+                if region.range.start.as_str() >= t.as_str() {
+                    break;
+                }
+            }
+            if let Some(e) = &region.range.end {
+                if e.as_str() <= scan.from.as_str() {
+                    continue;
+                }
+            }
+            let lo = if scan.from.as_str() > region.range.start.as_str() {
+                scan.from.clone()
+            } else {
+                region.range.start.clone()
+            };
+            let hi = match (&region.range.end, &scan.to) {
+                (Some(e), Some(t)) => Some(if e < t { e.clone() } else { t.clone() }),
+                (Some(e), None) => Some(e.clone()),
+                (None, Some(t)) => Some(t.clone()),
+                (None, None) => None,
+            };
+            live.push((region, lo, hi));
+        }
+        (live, total)
+    }
+
+    /// Execute a scan per region in parallel (chunks of `scan.threads`),
+    /// returning one row vector per visited region in region order. The
+    /// shared engine behind [`HTable::query`], [`HTable::query_where`],
+    /// [`HTable::query_count`] and `map_reduce_scan`.
+    pub(crate) fn query_partitions(
+        &self,
+        scan: &Scan,
+        predicate: Option<RowPredicate<'_>>,
+        count_only: bool,
+    ) -> (Vec<Vec<(String, RowSnapshot)>>, ScanStats) {
+        let (live, total) = self.scan_windows(scan);
+        let visited = live.len();
+        let mut parts = Vec::with_capacity(visited);
+        let mut examined = 0usize;
+        let mut matched = 0usize;
+        for chunk in live.chunks(scan.threads.max(1)) {
+            let results: Vec<RegionScanOut> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = chunk
+                    .iter()
+                    .map(|(region, lo, hi)| {
+                        s.spawn(move |_| {
+                            region.scan_select(
+                                lo,
+                                hi.as_deref(),
+                                scan.families.as_deref(),
+                                predicate,
+                                scan.limit,
+                                count_only,
+                            )
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("scan worker")).collect()
+            })
+            .expect("scan scope");
+            for (rows, ex, m) in results {
+                examined += ex;
+                matched += m;
+                parts.push(rows);
+            }
+        }
+        self.scanned_rows.fetch_add(examined, Ordering::Relaxed);
+        self.scanned_regions.fetch_add(visited, Ordering::Relaxed);
+        let stats = ScanStats {
+            rows_examined: examined,
+            rows_returned: matched,
+            regions_visited: visited,
+            regions_pruned: total - visited,
+        };
+        (parts, stats)
+    }
+
+    /// Run a [`Scan`]: prune regions outside the window, walk the survivors
+    /// in parallel, and return the matching rows in key order together with
+    /// the work accounting. Deterministic for any thread count.
+    pub fn query(&self, scan: &Scan) -> ScanResult {
+        self.query_with(scan, None)
+    }
+
+    /// Run a [`Scan`] with a predicate pushed down to the regions: rows are
+    /// tested live under the region read lock and non-matches are never
+    /// snapshot-cloned (unlike [`HTable::scan_filter`], which copies first
+    /// and filters after).
+    pub fn query_where(&self, scan: &Scan, predicate: RowPredicate<'_>) -> ScanResult {
+        self.query_with(scan, Some(predicate))
+    }
+
+    fn query_with(&self, scan: &Scan, predicate: Option<RowPredicate<'_>>) -> ScanResult {
+        let (parts, mut stats) = self.query_partitions(scan, predicate, false);
+        let mut rows: Vec<(String, RowSnapshot)> = parts.into_iter().flatten().collect();
+        if scan.limit > 0 && rows.len() > scan.limit {
+            rows.truncate(scan.limit);
+        }
+        stats.rows_returned = rows.len();
+        ScanResult { rows, stats }
+    }
+
+    /// Count the rows a [`Scan`] matches without cloning any snapshots.
+    pub fn query_count(&self, scan: &Scan) -> usize {
+        let (_, stats) = self.query_partitions(scan, None, true);
+        match scan.limit {
+            0 => stats.rows_returned,
+            l => stats.rows_returned.min(l),
+        }
+    }
+
+    /// Cumulative `(rows examined, regions visited)` across every scan-API
+    /// query this table has served — exported as the `pool.scanned_rows` /
+    /// `pool.scanned_regions` metric pair.
+    pub fn scan_counters(&self) -> (usize, usize) {
+        (self.scanned_rows.load(Ordering::Relaxed), self.scanned_regions.load(Ordering::Relaxed))
     }
 
     /// Scan with a row predicate.
@@ -431,6 +560,80 @@ mod tests {
         let open =
             t.scan_filter("", None, |_, r| r.get_str("meta", "status").as_deref() == Some("open"));
         assert_eq!(open.len(), 2);
+    }
+
+    fn seeded_table() -> HTable {
+        let t = HTable::pre_split(TableConfig::default(), &["g", "p"]);
+        for i in 0..30 {
+            let key = format!("doc/p{:02}/000000", i % 10);
+            t.put(&key, "doc", "xml", format!("<v{i}/>"));
+        }
+        for i in 0..10 {
+            t.put(
+                &format!("meta/p{i:02}"),
+                "meta",
+                "status",
+                if i < 4 { "running" } else { "complete" },
+            );
+            t.put(&format!("meta/p{i:02}"), "meta", "steps", format!("{i}"));
+        }
+        t
+    }
+
+    #[test]
+    fn query_prunes_regions_and_projects_families() {
+        let t = seeded_table();
+        let res = t.query(&Scan::prefix("meta/").family("meta"));
+        assert_eq!(res.rows.len(), 10);
+        assert_eq!(res.stats.rows_examined, 10, "only meta rows touched");
+        assert!(res.stats.regions_pruned >= 1, "doc-only regions skipped: {:?}", res.stats);
+        assert!(res.rows.iter().all(|(k, _)| k.starts_with("meta/")));
+        let full = t.row_count();
+        assert!(res.stats.rows_examined < full, "scan beats full table read ({full} rows)");
+    }
+
+    #[test]
+    fn query_deterministic_across_thread_counts() {
+        let t = seeded_table();
+        let serial = t.query(&Scan::all().threads(1));
+        let parallel = t.query(&Scan::all().threads(4));
+        assert_eq!(serial.rows, parallel.rows, "thread count must not change results");
+        let mut keys: Vec<&String> = serial.rows.iter().map(|(k, _)| k).collect();
+        let sorted = keys.clone();
+        keys.sort();
+        assert_eq!(keys, sorted, "key order preserved");
+    }
+
+    #[test]
+    fn query_where_pushes_predicate_down() {
+        let t = seeded_table();
+        let res = t.query_where(&Scan::prefix("meta/").family("meta"), &|_, row| {
+            row.get_str("meta", "status").as_deref() == Some("running")
+        });
+        assert_eq!(res.rows.len(), 4);
+        assert_eq!(res.stats.rows_examined, 10, "all meta rows examined");
+        assert_eq!(res.stats.rows_returned, 4, "only matches returned");
+    }
+
+    #[test]
+    fn query_count_and_limit() {
+        let t = seeded_table();
+        assert_eq!(t.query_count(&Scan::prefix("meta/")), 10);
+        let limited = t.query(&Scan::prefix("meta/").limit(3));
+        assert_eq!(limited.rows.len(), 3);
+        assert_eq!(limited.rows[0].0, "meta/p00");
+        let resumed = t.query(&Scan::prefix("meta/").starting_at(&limited.rows[2].0).limit(100));
+        assert_eq!(resumed.rows.len(), 8, "cursor resume overlaps by one key");
+    }
+
+    #[test]
+    fn scan_counters_accumulate() {
+        let t = seeded_table();
+        let before = t.scan_counters();
+        let res = t.query(&Scan::prefix("doc/"));
+        let after = t.scan_counters();
+        assert_eq!(after.0 - before.0, res.stats.rows_examined);
+        assert_eq!(after.1 - before.1, res.stats.regions_visited);
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   in parallel (the paper's "MapReduce computing model … can apply some
 //!   statistical analyses to workflow processes or instances stored in the
 //!   DRA4WfMS cloud system")
+//! * [`scan`] — typed bounded scans with family projection, predicate
+//!   pushdown and per-region parallel execution (the monitoring-query path
+//!   that replaces full-table reads)
+//! * [`views`] — incrementally maintained fleet views with a differential
+//!   `views ≡ scan` proof obligation
 //!
 //! Concurrency is reader-writer per region via `parking_lot`, with region
 //! fan-out via `crossbeam` scoped threads — the document pool is the
@@ -30,9 +35,13 @@ pub mod mapreduce;
 pub mod persist;
 pub mod region;
 pub mod row;
+pub mod scan;
+pub mod views;
 
 pub use cluster::{HTable, PoolStats, TableConfig};
 pub use journal::{Journal, PutOp};
-pub use mapreduce::map_reduce;
+pub use mapreduce::{map_reduce, map_reduce_scan};
 pub use persist::PersistError;
-pub use row::{Cell, RowSnapshot};
+pub use row::{Cell, Row, RowPredicate, RowSnapshot};
+pub use scan::{Scan, ScanResult, ScanStats};
+pub use views::FleetViews;

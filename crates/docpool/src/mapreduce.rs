@@ -8,6 +8,7 @@
 
 use crate::cluster::HTable;
 use crate::row::RowSnapshot;
+use crate::scan::Scan;
 use std::collections::BTreeMap;
 
 /// Run a MapReduce job over every row of `table`.
@@ -58,7 +59,71 @@ where
         emitted.extend(results);
     }
 
-    // --- shuffle -----------------------------------------------------------
+    shuffle_and_reduce(emitted, threads, reduce)
+}
+
+/// Run a MapReduce job over the rows a [`Scan`] selects instead of the whole
+/// table — the monitoring-path variant that never does a full table read.
+///
+/// The scan's regions are walked in parallel (honouring projection, limit
+/// and the scan's own thread count), producing one input split per visited
+/// region; mappers then run one task per split, and shuffle/reduce proceed
+/// exactly as in [`map_reduce`]. Results are deterministic for any thread
+/// count. Rows touched are accounted in the table's scan counters.
+pub fn map_reduce_scan<K, V, O, M, R>(
+    table: &HTable,
+    scan: &Scan,
+    threads: usize,
+    map: M,
+    reduce: R,
+) -> BTreeMap<K, O>
+where
+    K: Ord + Send,
+    V: Send,
+    O: Send,
+    M: Fn(&str, &RowSnapshot) -> Vec<(K, V)> + Sync,
+    R: Fn(&K, Vec<V>) -> O + Sync,
+{
+    let threads = threads.max(1);
+    let (splits, _stats) = table.query_partitions(scan, None, false);
+
+    let mut emitted: Vec<Vec<(K, V)>> = Vec::new();
+    for chunk in splits.chunks(threads) {
+        let results = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = chunk
+                .iter()
+                .map(|split| {
+                    let map = &map;
+                    s.spawn(move |_| {
+                        let mut out = Vec::new();
+                        for (key, row) in split {
+                            out.extend(map(key, row));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("mapper panicked")).collect::<Vec<_>>()
+        })
+        .expect("map scope");
+        emitted.extend(results);
+    }
+
+    shuffle_and_reduce(emitted, threads, reduce)
+}
+
+/// Shuffle emitted pairs by key, then reduce key groups in parallel chunks.
+fn shuffle_and_reduce<K, V, O, R>(
+    emitted: Vec<Vec<(K, V)>>,
+    threads: usize,
+    reduce: R,
+) -> BTreeMap<K, O>
+where
+    K: Ord + Send,
+    V: Send,
+    O: Send,
+    R: Fn(&K, Vec<V>) -> O + Sync,
+{
     let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
     for part in emitted {
         for (k, v) in part {
@@ -66,7 +131,6 @@ where
         }
     }
 
-    // --- reduce phase: chunk the key space ---------------------------------
     let entries: Vec<(K, Vec<V>)> = groups.into_iter().collect();
     if entries.is_empty() {
         return BTreeMap::new();
@@ -74,8 +138,6 @@ where
     let chunk_size = entries.len().div_ceil(threads);
     let reduced: Vec<Vec<(K, O)>> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = entries
-            .into_iter()
-            .collect::<Vec<_>>()
             .into_iter()
             .fold(Vec::new(), |mut acc: Vec<Vec<(K, Vec<V>)>>, item| {
                 match acc.last_mut() {
@@ -176,6 +238,49 @@ mod tests {
         let a = count_by(&t, 1, |_, row| row.get_str("meta", "status"));
         let b = count_by(&t, 8, |_, row| row.get_str("meta", "status"));
         assert_eq!(a, b, "determinism across thread counts");
+    }
+
+    #[test]
+    fn map_reduce_scan_matches_filtered_full_job() {
+        let t = table_with_statuses();
+        // scan-backed job over a key window...
+        let windowed = map_reduce_scan(
+            &t,
+            &Scan::range("proc-0050", Some("proc-0100".to_string())).threads(4),
+            4,
+            |_, row| row.get_str("meta", "status").map(|s| (s, 1usize)).into_iter().collect(),
+            |_, vs| vs.len(),
+        );
+        // ...must agree with a full-table job that filters in the mapper
+        let full = map_reduce(
+            &t,
+            4,
+            |key, row| {
+                if ("proc-0050".."proc-0100").contains(&key) {
+                    row.get_str("meta", "status").map(|s| (s, 1usize)).into_iter().collect()
+                } else {
+                    vec![]
+                }
+            },
+            |_, vs| vs.len(),
+        );
+        assert_eq!(windowed, full);
+        assert_eq!(windowed.values().sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn map_reduce_scan_deterministic_across_threads() {
+        let t = table_with_statuses();
+        let job = |threads: usize| {
+            map_reduce_scan(
+                &t,
+                &Scan::all().threads(threads),
+                threads,
+                |k, _| vec![(k.to_string(), 1usize)],
+                |_, vs| vs.len(),
+            )
+        };
+        assert_eq!(job(1), job(8));
     }
 
     #[test]

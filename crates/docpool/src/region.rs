@@ -5,7 +5,7 @@
 //! region whose `[start, end)` range contains the row key and splits regions
 //! that grow past a threshold.
 
-use crate::row::{Row, RowSnapshot};
+use crate::row::{Row, RowPredicate, RowSnapshot};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -121,6 +121,60 @@ impl Region {
             .collect()
     }
 
+    /// The scan-API primitive: walk `[from, to)` in key order, evaluate the
+    /// predicate against the **live** row under the read lock (pushdown —
+    /// non-matching rows are never snapshot-cloned), and project only the
+    /// requested column families into the snapshots that are returned.
+    ///
+    /// * `families: None` keeps every family; `Some(list)` clones only those.
+    /// * `limit: 0` means unbounded; otherwise the walk stops after `limit`
+    ///   matches (the examined count still reflects rows looked at).
+    /// * `count_only` suppresses snapshot construction entirely — callers
+    ///   that only need cardinality pay no clone cost.
+    ///
+    /// Returns `(rows, examined, matched)`; with `count_only` the row vec is
+    /// empty but `matched` still counts predicate hits.
+    pub fn scan_select(
+        &self,
+        from: &str,
+        to: Option<&str>,
+        families: Option<&[String]>,
+        predicate: Option<RowPredicate<'_>>,
+        limit: usize,
+        count_only: bool,
+    ) -> (Vec<(String, RowSnapshot)>, usize, usize) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let rows = self.rows.read();
+        let mut out = Vec::new();
+        let mut examined = 0usize;
+        let mut matched = 0usize;
+        for (key, row) in rows.range(from.to_string()..) {
+            if let Some(t) = to {
+                if key.as_str() >= t {
+                    break;
+                }
+            }
+            examined += 1;
+            if let Some(pred) = predicate {
+                if !pred(key, row) {
+                    continue;
+                }
+            }
+            matched += 1;
+            if !count_only {
+                let snap = match families {
+                    Some(fams) => row.snapshot_projected(fams),
+                    None => row.snapshot(),
+                };
+                out.push((key.clone(), snap));
+            }
+            if limit > 0 && matched >= limit {
+                break;
+            }
+        }
+        (out, examined, matched)
+    }
+
     /// Snapshot every row (for MapReduce mappers).
     pub fn snapshot_all(&self) -> Vec<(String, RowSnapshot)> {
         let rows = self.rows.read();
@@ -202,6 +256,35 @@ mod tests {
         assert_eq!(keys, vec!["b", "c"]);
         let all = r.scan("", None);
         assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn scan_select_pushdown_projection_and_limit() {
+        let r = Region::new(KeyRange::all());
+        for i in 0..6 {
+            r.put(&format!("k{i}"), "doc", "xml", b("<x/>"), 1, 1);
+            let status = if i % 2 == 0 { "running" } else { "complete" };
+            r.put(&format!("k{i}"), "meta", "status", b(status), 1, 1);
+        }
+        let fams = vec!["meta".to_string()];
+        let pred: RowPredicate<'_> =
+            &|_, row| row.get_str("meta", "status").as_deref() == Some("running");
+        let (rows, examined, matched) = r.scan_select("", None, Some(&fams), Some(pred), 0, false);
+        assert_eq!((examined, matched, rows.len()), (6, 3, 3));
+        assert!(
+            rows.iter().all(|(_, s)| s.get("doc", "xml").is_none()),
+            "doc family projected out"
+        );
+        assert!(rows
+            .iter()
+            .all(|(_, s)| s.get_str("meta", "status").as_deref() == Some("running")));
+
+        let (rows2, _, matched2) = r.scan_select("", None, None, Some(pred), 2, false);
+        assert_eq!((rows2.len(), matched2), (2, 2), "limit stops the walk early");
+
+        let (rows3, examined3, matched3) = r.scan_select("", None, None, None, 0, true);
+        assert!(rows3.is_empty(), "count_only builds no snapshots");
+        assert_eq!((examined3, matched3), (6, 6));
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct Row {
     pub(crate) families: BTreeMap<String, BTreeMap<String, Vec<Cell>>>,
 }
 
+/// A predicate pushed down to the regions: evaluated per `(key, row)` under
+/// the region read lock, before any snapshot is cloned.
+pub type RowPredicate<'a> = &'a (dyn Fn(&str, &Row) -> bool + Sync);
+
 impl Row {
     /// Insert a cell version, keeping at most `max_versions` (newest first).
     pub fn put(
@@ -49,6 +53,14 @@ impl Row {
         self.families.get(family).and_then(|f| f.get(qualifier)).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Latest value of a qualified column decoded as UTF-8 (lossless only
+    /// if it was UTF-8). The predicate-pushdown accessor: scan predicates
+    /// run against live [`Row`]s under the region read lock, *before* any
+    /// snapshot is cloned.
+    pub fn get_str(&self, family: &str, qualifier: &str) -> Option<String> {
+        self.get(family, qualifier).map(|c| String::from_utf8_lossy(&c.value).into_owned())
+    }
+
     /// Delete a qualified column; returns true if something was removed.
     pub fn delete(&mut self, family: &str, qualifier: &str) -> bool {
         if let Some(f) = self.families.get_mut(family) {
@@ -69,6 +81,21 @@ impl Row {
     /// Immutable snapshot for scans and MapReduce.
     pub fn snapshot(&self) -> RowSnapshot {
         RowSnapshot { families: self.families.clone() }
+    }
+
+    /// Snapshot only the listed column families — the projection half of
+    /// the scan API. Families the row does not hold are silently absent;
+    /// an empty `families` list means "project nothing" and yields an
+    /// empty snapshot (callers wanting everything use [`Row::snapshot`]).
+    pub fn snapshot_projected(&self, families: &[String]) -> RowSnapshot {
+        RowSnapshot {
+            families: self
+                .families
+                .iter()
+                .filter(|(f, _)| families.iter().any(|want| want == *f))
+                .map(|(f, quals)| (f.clone(), quals.clone()))
+                .collect(),
+        }
     }
 
     /// Approximate memory footprint in bytes (used by split heuristics).

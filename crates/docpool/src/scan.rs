@@ -1,0 +1,146 @@
+//! Typed pool scans: bounded key windows with column-family projection,
+//! predicate pushdown, and per-region parallel execution.
+//!
+//! A [`Scan`] describes *what* to read — a `[from, to)` key window (or a key
+//! prefix), an optional family projection, an optional match limit — and
+//! [`crate::HTable::query`] / [`crate::HTable::query_where`] decide *how*:
+//! regions wholly outside the window are pruned without being touched, the
+//! surviving regions are walked in parallel on a crossbeam scope, and the
+//! per-region results are concatenated in region (= key) order so the output
+//! is byte-deterministic regardless of thread count.
+//!
+//! This is the monitoring-path replacement for full-table MapReduce reads:
+//! a dashboard query over `meta/` rows examines only the regions and rows
+//! that can hold `meta/` keys, and [`ScanStats`] reports exactly how many
+//! rows and regions were touched so benches can prove the saving.
+
+/// Declarative description of a pool scan.
+#[derive(Clone, Debug)]
+pub struct Scan {
+    pub(crate) from: String,
+    pub(crate) to: Option<String>,
+    pub(crate) families: Option<Vec<String>>,
+    pub(crate) limit: usize,
+    pub(crate) threads: usize,
+}
+
+impl Scan {
+    /// Scan the half-open key window `[from, to)`; `None` end = unbounded.
+    pub fn range(from: impl Into<String>, to: Option<String>) -> Scan {
+        Scan { from: from.into(), to, families: None, limit: 0, threads: 1 }
+    }
+
+    /// Scan the whole keyspace.
+    pub fn all() -> Scan {
+        Scan::range("", None)
+    }
+
+    /// Scan every key starting with `prefix`.
+    pub fn prefix(prefix: &str) -> Scan {
+        Scan::range(prefix, prefix_end(prefix))
+    }
+
+    /// Project only this column family into the returned snapshots (may be
+    /// called repeatedly to keep several families). Rows are still matched
+    /// on their full live contents; projection only trims what gets cloned.
+    pub fn family(mut self, family: &str) -> Scan {
+        self.families.get_or_insert_with(Vec::new).push(family.to_string());
+        self
+    }
+
+    /// Stop after `limit` matching rows (0 = unbounded). The limit applies
+    /// per region and again globally after concatenation, so the result is
+    /// the first `limit` matches in key order.
+    pub fn limit(mut self, limit: usize) -> Scan {
+        self.limit = limit;
+        self
+    }
+
+    /// Start the window at `key` if it is later than the current start —
+    /// used by cursored readers (e.g. the audit sampler) to resume a prefix
+    /// scan mid-keyspace.
+    pub fn starting_at(mut self, key: &str) -> Scan {
+        if key > self.from.as_str() {
+            self.from = key.to_string();
+        }
+        self
+    }
+
+    /// Number of worker threads for per-region execution (default 1).
+    pub fn threads(mut self, threads: usize) -> Scan {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// How much work a scan actually did — the evidence that monitoring queries
+/// no longer read the whole table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Rows examined under region read locks (match or not).
+    pub rows_examined: usize,
+    /// Rows that matched and were returned (or counted, for count-only).
+    pub rows_returned: usize,
+    /// Regions whose key range intersected the window and were walked.
+    pub regions_visited: usize,
+    /// Regions skipped outright because their range missed the window.
+    pub regions_pruned: usize,
+}
+
+/// A scan's rows (key order) plus its work accounting.
+#[derive(Clone, Debug)]
+pub struct ScanResult {
+    /// Matching rows as `(key, snapshot)`, ascending by key.
+    pub rows: Vec<(String, crate::RowSnapshot)>,
+    /// Work accounting for this scan.
+    pub stats: ScanStats,
+}
+
+/// Exclusive upper bound for "every key starting with `prefix`": the prefix
+/// with its last byte incremented (trailing 0xff bytes are popped first).
+/// `None` means the prefix is unbounded above (empty or all-0xff).
+pub(crate) fn prefix_end(prefix: &str) -> Option<String> {
+    let mut bytes = prefix.as_bytes().to_vec();
+    while let Some(&last) = bytes.last() {
+        if last == 0xff {
+            bytes.pop();
+        } else {
+            *bytes.last_mut().expect("non-empty") = last + 1;
+            // Safety of the unwrap: we only ever increment a byte that was
+            // part of a valid UTF-8 string and below 0xff; the result can be
+            // invalid UTF-8 only for multi-byte sequences, so fall back to
+            // lossy which still sorts correctly for ASCII key schemas.
+            return Some(String::from_utf8_lossy(&bytes).into_owned());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_end_increments_last_byte() {
+        assert_eq!(prefix_end("doc/"), Some("doc0".to_string()));
+        assert_eq!(prefix_end("meta/"), Some("meta0".to_string()));
+        assert_eq!(prefix_end(""), None);
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let s = Scan::prefix("doc/").family("doc").family("meta").limit(5).threads(4);
+        assert_eq!(s.from, "doc/");
+        assert_eq!(s.to, Some("doc0".to_string()));
+        assert_eq!(s.families.as_deref(), Some(&["doc".to_string(), "meta".to_string()][..]));
+        assert_eq!((s.limit, s.threads), (5, 4));
+    }
+
+    #[test]
+    fn starting_at_only_moves_forward() {
+        let s = Scan::prefix("doc/").starting_at("doc/p/000003");
+        assert_eq!(s.from, "doc/p/000003");
+        let s = Scan::prefix("doc/").starting_at("abc");
+        assert_eq!(s.from, "doc/", "earlier cursor cannot widen the window");
+    }
+}

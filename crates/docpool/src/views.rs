@@ -1,0 +1,328 @@
+//! Incrementally maintained fleet views — materialized monitoring
+//! aggregates that replace full-table reads on dashboard paths.
+//!
+//! A [`FleetViews`] instance is fed by the cloud layer's journal-commit and
+//! activation-bus hooks: every applied pool mutation (admission, journal
+//! replay after a crash, replication commit) and every bus notification is
+//! reflected here at the moment it happens, so reading a dashboard is O(view
+//! size), not O(pool size).
+//!
+//! Every update is **idempotent**: statuses are keyed per process (a replay
+//! that re-applies a batch overwrites the same entry), document progress is
+//! max-merged, and commit watermarks are monotone. Re-feeding the same
+//! operation therefore cannot drift a view — which is exactly what makes the
+//! views crash-consistent: recovery replays the journal through the same
+//! hook that live admissions use.
+//!
+//! The differential check (`views ≡ scan`) is the proof obligation: the
+//! pool-derived views (status counts, per-process progress) must stay
+//! byte-identical to a fresh [`crate::map_reduce_scan`] recompute after any
+//! schedule of admissions, crashes and failovers. The cloud layer exposes it
+//! as `CloudSystem::views_match_scan`.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+#[derive(Default)]
+struct ViewState {
+    /// pid → latest status string (source for `status_counts`).
+    process_status: BTreeMap<String, String>,
+    /// pid → stored document versions (max seq + 1; max-merged).
+    process_progress: BTreeMap<String, u64>,
+    /// portal index → admissions served.
+    portal_admissions: BTreeMap<u64, u64>,
+    /// portal index → activation-bus notifications published.
+    portal_notifications: BTreeMap<u64, u64>,
+    /// cloud name → committed journal watermark (monotone).
+    cloud_commits: BTreeMap<String, u64>,
+}
+
+/// Materialized monitoring aggregates, maintained incrementally.
+#[derive(Default)]
+pub struct FleetViews {
+    state: Mutex<ViewState>,
+}
+
+impl FleetViews {
+    /// Fresh, empty views.
+    pub fn new() -> FleetViews {
+        FleetViews::default()
+    }
+
+    /// Record (or overwrite) a process's status. Idempotent per process.
+    pub fn record_status(&self, process_id: &str, status: &str) {
+        let mut st = self.state.lock();
+        st.process_status.insert(process_id.to_string(), status.to_string());
+    }
+
+    /// Record a stored document version `seq` for a process. Progress is
+    /// max-merged, so replays and out-of-order applies cannot double-count.
+    pub fn record_doc(&self, process_id: &str, seq: u64) {
+        let mut st = self.state.lock();
+        let slot = st.process_progress.entry(process_id.to_string()).or_insert(0);
+        *slot = (*slot).max(seq + 1);
+    }
+
+    /// Count an admission served by a portal.
+    pub fn record_admission(&self, portal: u64) {
+        *self.state.lock().portal_admissions.entry(portal).or_insert(0) += 1;
+    }
+
+    /// Count an activation-bus notification published by a portal.
+    pub fn record_notification(&self, portal: u64) {
+        *self.state.lock().portal_notifications.entry(portal).or_insert(0) += 1;
+    }
+
+    /// Record a cloud's committed journal watermark (monotone max-merge).
+    pub fn record_commit(&self, cloud: &str, committed: u64) {
+        let mut st = self.state.lock();
+        let slot = st.cloud_commits.entry(cloud.to_string()).or_insert(0);
+        *slot = (*slot).max(committed);
+    }
+
+    /// Per-status process counts, derived from the per-process status view.
+    pub fn status_counts(&self) -> BTreeMap<String, u64> {
+        let st = self.state.lock();
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+        for status in st.process_status.values() {
+            *counts.entry(status.clone()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Stored document versions per process.
+    pub fn progress(&self) -> BTreeMap<String, u64> {
+        self.state.lock().process_progress.clone()
+    }
+
+    /// Per-cloud replication lag: the distance from each cloud's committed
+    /// watermark to the furthest-ahead cloud.
+    pub fn replication_lag(&self) -> BTreeMap<String, u64> {
+        let st = self.state.lock();
+        let head = st.cloud_commits.values().copied().max().unwrap_or(0);
+        st.cloud_commits.iter().map(|(c, &w)| (c.clone(), head - w)).collect()
+    }
+
+    /// The pool-derived sections of the dashboard (status counts and
+    /// per-process progress) as canonical JSON — the byte-comparison target
+    /// for the differential check against a scan recompute.
+    pub fn pool_view_json(&self) -> String {
+        let st = self.state.lock();
+        let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+        for status in st.process_status.values() {
+            *counts.entry(status.as_str()).or_insert(0) += 1;
+        }
+        let mut out = String::from("{\"status\":{");
+        push_map(&mut out, counts.iter().map(|(k, v)| (*k, *v)));
+        out.push_str("},\"progress\":{");
+        push_map(&mut out, st.process_progress.iter().map(|(k, v)| (k.as_str(), *v)));
+        out.push_str("}}");
+        out
+    }
+
+    /// Build the pool-derived sections from externally recomputed maps —
+    /// used by the differential check to render the scan recompute in the
+    /// identical byte format as [`FleetViews::pool_view_json`].
+    pub fn render_pool_view(
+        status: &BTreeMap<String, u64>,
+        progress: &BTreeMap<String, u64>,
+    ) -> String {
+        let mut out = String::from("{\"status\":{");
+        push_map(&mut out, status.iter().map(|(k, v)| (k.as_str(), *v)));
+        out.push_str("},\"progress\":{");
+        push_map(&mut out, progress.iter().map(|(k, v)| (k.as_str(), *v)));
+        out.push_str("}}");
+        out
+    }
+
+    /// The full dashboard as byte-deterministic JSON: status counts,
+    /// per-portal admission/notification rates, per-cloud commit watermarks
+    /// with replication lag, and progress of the still-active instances.
+    pub fn dashboard_json(&self) -> String {
+        let st = self.state.lock();
+        let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+        for status in st.process_status.values() {
+            *counts.entry(status.as_str()).or_insert(0) += 1;
+        }
+        let head = st.cloud_commits.values().copied().max().unwrap_or(0);
+        let docs_total: u64 = st.process_progress.values().sum();
+
+        let mut out = String::from("{\n\"status\":{");
+        push_map(&mut out, counts.iter().map(|(k, v)| (*k, *v)));
+        out.push_str("},\n\"portals\":{");
+        let portals: Vec<u64> = st
+            .portal_admissions
+            .keys()
+            .chain(st.portal_notifications.keys())
+            .copied()
+            .collect::<std::collections::BTreeSet<u64>>()
+            .into_iter()
+            .collect();
+        for (i, p) in portals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let adm = st.portal_admissions.get(p).copied().unwrap_or(0);
+            let ntf = st.portal_notifications.get(p).copied().unwrap_or(0);
+            out.push_str(&format!("\"{p}\":{{\"admissions\":{adm},\"notifications\":{ntf}}}"));
+        }
+        out.push_str("},\n\"clouds\":{");
+        for (i, (cloud, &w)) in st.cloud_commits.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{cloud}\":{{\"committed\":{w},\"lag\":{}}}", head - w));
+        }
+        out.push_str("},\n\"active\":{");
+        let active: Vec<(&str, u64)> = st
+            .process_status
+            .iter()
+            .filter(|(_, s)| s.as_str() != "complete")
+            .filter_map(|(pid, _)| st.process_progress.get(pid).map(|&p| (pid.as_str(), p)))
+            .collect();
+        push_map(&mut out, active.into_iter());
+        out.push_str(&format!(
+            "}},\n\"totals\":{{\"processes\":{},\"docs\":{docs_total}}}\n}}\n",
+            st.process_status.len()
+        ));
+        out
+    }
+
+    /// Compare the pool-derived views against externally recomputed maps.
+    /// `Ok(())` when identical; `Err` names the first divergent cell.
+    pub fn diff_against(
+        &self,
+        status_scan: &BTreeMap<String, u64>,
+        progress_scan: &BTreeMap<String, u64>,
+    ) -> Result<(), String> {
+        let view_status = self.status_counts();
+        if &view_status != status_scan {
+            let cell = first_diff(&view_status, status_scan);
+            return Err(format!("status view diverges from scan recompute at {cell}"));
+        }
+        let view_progress = self.progress();
+        if &view_progress != progress_scan {
+            let cell = first_diff(&view_progress, progress_scan);
+            return Err(format!("progress view diverges from scan recompute at {cell}"));
+        }
+        Ok(())
+    }
+}
+
+fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a str, u64)>) {
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{k}\":{v}"));
+    }
+}
+
+fn first_diff(a: &BTreeMap<String, u64>, b: &BTreeMap<String, u64>) -> String {
+    for (k, va) in a {
+        match b.get(k) {
+            Some(vb) if vb == va => {}
+            Some(vb) => return format!("{k:?}: view={va} scan={vb}"),
+            None => return format!("{k:?}: view={va} scan=absent"),
+        }
+    }
+    for (k, vb) in b {
+        if !a.contains_key(k) {
+            return format!("{k:?}: view=absent scan={vb}");
+        }
+    }
+    "<equal>".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idempotent_replay_does_not_drift() {
+        let v = FleetViews::new();
+        for _ in 0..3 {
+            v.record_status("p1", "running");
+            v.record_doc("p1", 0);
+            v.record_doc("p1", 1);
+            v.record_commit("east", 2);
+        }
+        assert_eq!(v.status_counts()["running"], 1);
+        assert_eq!(v.progress()["p1"], 2);
+        assert_eq!(v.replication_lag()["east"], 0);
+    }
+
+    #[test]
+    fn status_transitions_move_counts() {
+        let v = FleetViews::new();
+        v.record_status("p1", "running");
+        v.record_status("p2", "running");
+        v.record_status("p1", "complete");
+        let counts = v.status_counts();
+        assert_eq!(counts["running"], 1);
+        assert_eq!(counts["complete"], 1);
+    }
+
+    #[test]
+    fn replication_lag_tracks_head() {
+        let v = FleetViews::new();
+        v.record_commit("east", 10);
+        v.record_commit("west", 7);
+        let lag = v.replication_lag();
+        assert_eq!(lag["east"], 0);
+        assert_eq!(lag["west"], 3);
+        // watermarks are monotone: a stale re-report cannot move them back
+        v.record_commit("west", 4);
+        assert_eq!(v.replication_lag()["west"], 3);
+    }
+
+    #[test]
+    fn pool_view_json_matches_rendered_maps() {
+        let v = FleetViews::new();
+        v.record_status("p1", "complete");
+        v.record_status("p2", "running");
+        v.record_doc("p1", 3);
+        v.record_doc("p2", 0);
+        let rendered = FleetViews::render_pool_view(&v.status_counts(), &v.progress());
+        assert_eq!(v.pool_view_json(), rendered);
+        assert_eq!(
+            v.pool_view_json(),
+            "{\"status\":{\"complete\":1,\"running\":1},\"progress\":{\"p1\":4,\"p2\":1}}"
+        );
+    }
+
+    #[test]
+    fn dashboard_json_is_stable() {
+        let v = FleetViews::new();
+        v.record_status("p1", "complete");
+        v.record_status("p2", "running");
+        v.record_doc("p1", 1);
+        v.record_doc("p2", 0);
+        v.record_admission(0);
+        v.record_admission(0);
+        v.record_notification(1);
+        v.record_commit("east", 3);
+        v.record_commit("west", 2);
+        let a = v.dashboard_json();
+        assert_eq!(a, v.dashboard_json(), "byte-deterministic re-render");
+        assert!(a.contains("\"status\":{\"complete\":1,\"running\":1}"));
+        assert!(a.contains("\"0\":{\"admissions\":2,\"notifications\":0}"));
+        assert!(a.contains("\"1\":{\"admissions\":0,\"notifications\":1}"));
+        assert!(a.contains("\"east\":{\"committed\":3,\"lag\":0}"));
+        assert!(a.contains("\"west\":{\"committed\":2,\"lag\":1}"));
+        assert!(a.contains("\"active\":{\"p2\":1}"), "only non-complete instances: {a}");
+        assert!(a.contains("\"totals\":{\"processes\":2,\"docs\":3}"));
+    }
+
+    #[test]
+    fn diff_against_names_divergent_cell() {
+        let v = FleetViews::new();
+        v.record_status("p1", "running");
+        v.record_doc("p1", 0);
+        assert!(v.diff_against(&v.status_counts(), &v.progress()).is_ok());
+        let mut bad = v.progress();
+        bad.insert("p1".into(), 9);
+        let err = v.diff_against(&v.status_counts(), &bad).unwrap_err();
+        assert!(err.contains("p1"), "{err}");
+    }
+}

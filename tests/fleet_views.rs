@@ -1,0 +1,412 @@
+//! Incremental fleet views and the continuous pool auditor, end to end.
+//!
+//! The claims under test, over real Fig. 9A instances:
+//!
+//! * a proptest: **random admission/crash/federation schedules** — hostile
+//!   delivery faults, a seeded AEA crash takeover, single-cloud vs
+//!   two-cloud federated deployments, varying fleet sizes — always leave
+//!   every incremental view **byte-identical** to a fresh full MapReduce
+//!   recompute over the scan API (`views ≡ scan`, cell-by-cell and as
+//!   rendered JSON);
+//! * a **torn portal store** (crash between the `seen/` row and the
+//!   document row) never desynchronises the views, journal replay repairs
+//!   the pool and the views together, and a cold restart reseeds the views
+//!   from the pool snapshot mid-fleet;
+//! * a **forged stored row** that no serve path ever touches — the serve
+//!   side stays blind to it — is caught by the [`PoolAuditor`]'s batched
+//!   spot-check with the exact key, exactly one typed alert, and zero
+//!   false positives across repeated sweeps;
+//! * on a federated deployment the same forgery, pumped through the
+//!   [`FederationController`], quarantines every portal of the tampered
+//!   cloud and fails admissions over to the honest peer.
+
+use dra4wfms::cloud::{
+    check_metric_invariants, AlertKind, AuditConfig, CloudSystem, CrashPlan, CrashPoint, Delivery,
+    DeliveryPolicy, FaultProfile, HealthMonitor, InstanceRun, MonitorConfig, NetworkSim,
+    PoolAuditor, Scheduler, Topology,
+};
+use dra4wfms::docpool::{HTable, Scan};
+use dra4wfms::obs::MetricsRegistry;
+use dra4wfms::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn fig9_def() -> WorkflowDefinition {
+    WorkflowDefinition::builder("fig9", "designer")
+        .simple_activity("A", "p_a", &["attachment"])
+        .simple_activity("B1", "p_b1", &["review1"])
+        .simple_activity("B2", "p_b2", &["review2"])
+        .activity(Activity {
+            id: "C".into(),
+            participant: "p_c".into(),
+            join: JoinKind::All,
+            requests: vec![FieldRef::new("B1", "review1"), FieldRef::new("B2", "review2")],
+            responses: vec!["decision".into()],
+        })
+        .simple_activity("D", "p_d", &["ack"])
+        .flow("A", "B1")
+        .flow("A", "B2")
+        .flow("B1", "C")
+        .flow("B2", "C")
+        .flow_if("C", "A", Condition::field_equals("C", "decision", "insufficient"))
+        .flow_if("C", "D", Condition::field_not_equals("C", "decision", "insufficient"))
+        .flow_end("D")
+        .build()
+        .unwrap()
+}
+
+fn cast() -> (Vec<Credentials>, Directory) {
+    let creds: Vec<Credentials> = ["designer", "p_a", "p_b1", "p_b2", "p_c", "p_d"]
+        .iter()
+        .map(|n| Credentials::from_seed(*n, &format!("view-{n}")))
+        .collect();
+    let dir = Directory::from_credentials(&creds);
+    (creds, dir)
+}
+
+fn respond(received: &ReceivedActivity) -> Vec<(String, String)> {
+    match received.activity.as_str() {
+        "A" => vec![("attachment".into(), "contract.pdf".into())],
+        "B1" => vec![("review1".into(), "ok".into())],
+        "B2" => vec![("review2".into(), "ok".into())],
+        "C" => vec![(
+            "decision".into(),
+            if received.iter == 0 { "insufficient" } else { "accept" }.into(),
+        )],
+        "D" => vec![("ack".into(), "done".into())],
+        other => panic!("unexpected {other}"),
+    }
+}
+
+fn initials(creds: &[Credentials], ids: std::ops::Range<usize>) -> Vec<DraDocument> {
+    let def = fig9_def();
+    let pol = SecurityPolicy::public();
+    ids.map(|i| {
+        DraDocument::new_initial_with_pid(&def, &pol, &creds[0], &format!("view-{i}")).unwrap()
+    })
+    .collect()
+}
+
+/// Drive the given instances through the event-driven scheduler (crash
+/// hooks armed on every AEA), asserting each completes in exactly 9 steps.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    sys: &CloudSystem,
+    creds: &[Credentials],
+    dir: &Directory,
+    docs: &[DraDocument],
+    plan: &Arc<CrashPlan>,
+    delivery: Option<&Delivery>,
+    monitor: Option<&Arc<HealthMonitor>>,
+    metrics: Option<&MetricsRegistry>,
+) {
+    let agents: HashMap<String, Arc<Aea>> = creds
+        .iter()
+        .map(|c| {
+            let aea = Aea::new(c.clone(), dir.clone()).with_crash_hook(plan.hook());
+            (c.name.clone(), Arc::new(aea))
+        })
+        .collect();
+    let mut sched = Scheduler::new(sys);
+    for doc in docs {
+        let mut run = InstanceRun::new(sys, doc).agents(&agents).respond(&respond).max_steps(100);
+        if let Some(d) = delivery {
+            run = run.network(d);
+        }
+        if let Some(m) = monitor {
+            run = run.monitor(m);
+        }
+        if let Some(m) = metrics {
+            run = run.metrics(m);
+        }
+        sched.admit_instance(run).unwrap();
+    }
+    for (pid, result) in sched.run_to_completion() {
+        let out = result.unwrap_or_else(|e| panic!("{pid} failed to complete: {e}"));
+        assert_eq!(out.steps, 9, "{pid}");
+    }
+}
+
+/// Every face of the `views ≡ scan` differential at once: the cell-by-cell
+/// diff and the byte-identity of the rendered pool view, at two thread
+/// counts (parallel merge must not perturb the bytes).
+fn assert_views_identical(sys: &CloudSystem) {
+    sys.views_match_scan(1).expect("views ≡ scan (1 thread)");
+    sys.views_match_scan(4).expect("views ≡ scan (4 threads)");
+    let incremental = sys.fleet_views().pool_view_json();
+    assert_eq!(incremental, sys.recompute_pool_view_json(1), "byte identity, 1 thread");
+    assert_eq!(incremental, sys.recompute_pool_view_json(4), "byte identity, 4 threads");
+}
+
+/// Flip the case of one ASCII letter deep inside stored XML — a minimal
+/// storage-layer corruption that breaks the signature cascade without
+/// touching the row's key or shape.
+fn forge(xml: &str) -> String {
+    let mut bytes = xml.as_bytes().to_vec();
+    let mid = bytes.len() / 2;
+    let idx = (mid..bytes.len())
+        .chain(0..mid)
+        .find(|&i| bytes[i].is_ascii_alphabetic())
+        .expect("xml contains a letter");
+    bytes[idx] ^= 0x20;
+    String::from_utf8(bytes).expect("an ASCII case flip preserves utf8")
+}
+
+/// A stored version of `pid` that is *not* the latest — the serve path
+/// (always the max sequence) never reads it, only the auditor will.
+fn mid_version_key(pool: &Arc<HTable>, pid: &str) -> String {
+    let rows = pool.query(&Scan::prefix(&format!("doc/{pid}/")).family("meta")).rows;
+    assert!(rows.len() > 2, "{pid} stored too few versions to pick a non-latest one");
+    rows[1].0.clone()
+}
+
+/// Run enough auditor passes to complete at least one full sweep of every
+/// pool, advancing the virtual `clock` by the configured period each pass.
+fn full_sweep(
+    auditor: &PoolAuditor,
+    sys: &CloudSystem,
+    monitor: Option<&HealthMonitor>,
+    clock: &mut u64,
+) {
+    let batch = auditor.config().batch;
+    let period = auditor.config().period_us;
+    let rows = sys
+        .audit_pools()
+        .iter()
+        .map(|(_, _, pool)| pool.query_count(&Scan::prefix("doc/")))
+        .max()
+        .unwrap_or(0);
+    for _ in 0..rows.div_ceil(batch) + 1 {
+        assert!(auditor.due(*clock), "the sampler keeps its period");
+        auditor.run_pass(sys, monitor, *clock);
+        *clock += period;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random admission/crash/federation schedules: hostile delivery
+    /// faults under a fresh seed, one seeded AEA crash takeover, a fleet
+    /// of 1–3 instances, on either a single-cloud or a two-cloud federated
+    /// deployment — after every run the incremental views are
+    /// byte-identical to a fresh full MapReduce recompute, and (single
+    /// cloud) survive a cold restart from the pool snapshot.
+    #[test]
+    fn random_schedules_keep_views_identical_to_recompute(
+        fault_seed in 0u64..1_000,
+        crash_nth in 1u64..6,
+        n in 1usize..4,
+        federated in any::<bool>(),
+    ) {
+        let (creds, dir) = cast();
+        let network = Arc::new(NetworkSim::lan());
+        let plan = CrashPlan::once(CrashPoint::AeaBeforeSign, crash_nth);
+        let sys = if federated {
+            CloudSystem::federated(
+                dir.clone(),
+                Topology::new().cloud("east", 2).cloud("west", 2),
+                Arc::clone(&network),
+            )
+            .unwrap()
+        } else {
+            CloudSystem::new(dir.clone(), 4, Arc::clone(&network))
+        }
+        .with_crash_plan(Arc::clone(&plan));
+        let delivery = Delivery::new(
+            Arc::clone(&network),
+            FaultProfile::hostile(),
+            DeliveryPolicy::default(),
+            fault_seed,
+        )
+        .unwrap();
+
+        drive(&sys, &creds, &dir, &initials(&creds, 0..n), &plan, Some(&delivery), None, None);
+        prop_assert_eq!(plan.crashes_injected(), 1, "the scheduled crash fired");
+
+        assert_views_identical(&sys);
+        let counts = sys.fleet_views().status_counts();
+        prop_assert_eq!(counts.get("complete").copied().unwrap_or(0), n as u64);
+        for i in 0..n {
+            prop_assert_eq!(sys.fleet_views().progress()[&format!("view-{i}")], 10);
+        }
+
+        // the dashboard renders the same bytes on every read
+        prop_assert_eq!(sys.fleet_dashboard_json(), sys.fleet_dashboard_json());
+
+        if !federated {
+            // cold restart: the views are memory, the pool is truth
+            let restored = CloudSystem::restore(
+                dir.clone(),
+                4,
+                Arc::new(NetworkSim::lan()),
+                &sys.snapshot_pool(),
+            )
+            .unwrap();
+            assert_views_identical(&restored);
+            prop_assert_eq!(
+                restored.fleet_views().pool_view_json(),
+                sys.fleet_views().pool_view_json(),
+                "a restart changes no view bytes"
+            );
+        }
+    }
+}
+
+/// A torn portal store (crash between the `seen/` row and the document
+/// row) leaves views ≡ scan through the crash window, journal replay
+/// repairs both together, and the fleet keeps running on the recovered
+/// deployment; a cold restart mid-fleet reseeds identical views.
+#[test]
+fn torn_store_recovery_keeps_views_and_fleet_consistent() {
+    let (creds, dir) = cast();
+    let sys = CloudSystem::new(dir.clone(), 2, Arc::new(NetworkSim::lan()))
+        .with_crash_plan(CrashPlan::once(CrashPoint::PortalBetweenSeenAndStore, 1));
+
+    // the very first admission tears mid-store
+    let torn = &initials(&creds, 7..8)[0];
+    let route = Route { targets: vec!["A".into()], ends: false };
+    assert!(sys.store_document(0, &torn.to_xml_string(), &route).is_err());
+    assert_views_identical(&sys);
+
+    assert_eq!(sys.recover_portals(), 1, "journal replay repairs the torn admission");
+    assert_views_identical(&sys);
+    assert_eq!(sys.fleet_views().status_counts()["running"], 1);
+
+    // the fleet continues on the recovered deployment (the crash plan is
+    // spent, so these run clean)
+    drive(&sys, &creds, &dir, &initials(&creds, 0..2), &CrashPlan::none(), None, None, None);
+    assert_views_identical(&sys);
+    let counts = sys.fleet_views().status_counts();
+    assert_eq!(counts["complete"], 2);
+    assert_eq!(counts["running"], 1);
+
+    // cold restart mid-fleet: reseeded views carry the same bytes
+    let restored =
+        CloudSystem::restore(dir.clone(), 2, Arc::new(NetworkSim::lan()), &sys.snapshot_pool())
+            .unwrap();
+    assert_views_identical(&restored);
+    assert_eq!(restored.fleet_views().pool_view_json(), sys.fleet_views().pool_view_json());
+    assert_eq!(restored.fleet_views().progress()["view-7"], 1);
+}
+
+/// Forge a stored mid-sequence row that no serve path ever reads: the
+/// serve side stays blind, the auditor's batched spot-check catches the
+/// exact key with exactly one typed alert and zero false positives, and
+/// the metric invariants hold with the forgery declared.
+#[test]
+fn auditor_catches_a_forged_stored_row_the_serve_path_never_sees() {
+    let (creds, dir) = cast();
+    let monitor = HealthMonitor::new(MonitorConfig::default());
+    let metrics = MetricsRegistry::new();
+    let sys = CloudSystem::new(dir.clone(), 2, Arc::new(NetworkSim::lan()));
+    drive(
+        &sys,
+        &creds,
+        &dir,
+        &initials(&creds, 0..3),
+        &CrashPlan::none(),
+        None,
+        Some(&monitor),
+        Some(&metrics),
+    );
+
+    let key = mid_version_key(&sys.pool, "view-1");
+    let honest_latest = sys.retrieve_latest(0, "view-1").expect("latest version serves");
+    let xml = sys.pool.get_str(&key, "doc", "xml").expect("target row holds xml");
+    sys.pool.put(&key, "doc", "xml", forge(&xml));
+
+    // the serve path reads only the latest version — it stays blind
+    assert_eq!(sys.retrieve_latest(0, "view-1").unwrap(), honest_latest);
+    assert!(monitor.alerts().is_empty(), "no alert before the auditor runs");
+    // and the forgery is invisible to the views: same keys, same statuses
+    assert_views_identical(&sys);
+
+    let auditor = PoolAuditor::new(AuditConfig { batch: 4, period_us: 1_000, threads: 2 });
+    let mut clock = 0u64;
+    full_sweep(&auditor, &sys, Some(&monitor), &mut clock);
+    // a second full sweep re-samples the same forged row without re-alerting
+    full_sweep(&auditor, &sys, Some(&monitor), &mut clock);
+
+    assert_eq!(
+        auditor.divergent_rows(),
+        vec![("cloud0".to_string(), key.clone())],
+        "exactly the forged row, nothing else"
+    );
+    let alerts = monitor.alerts();
+    assert_eq!(alerts.len(), 1, "one forged row, one alert, ever");
+    assert_eq!(alerts[0].process_id, "view-1");
+    match &alerts[0].kind {
+        AlertKind::AuditDivergence { cloud, key: alert_key } => {
+            assert_eq!(*cloud, 0);
+            assert_eq!(alert_key, &key);
+        }
+        other => panic!("expected an audit_divergence alert, got {other:?}"),
+    }
+
+    metrics.set_counter("audit.tampered_rows", 1);
+    sys.export_metrics(&metrics);
+    auditor.export_metrics(&metrics);
+    monitor.export_metrics(&metrics);
+    let snapshot = metrics.snapshot();
+    assert_eq!(snapshot.counter("audit.divergences"), 1);
+    assert_eq!(snapshot.counter("alerts.audit_divergence"), 1);
+    check_metric_invariants(&snapshot).expect("a declared forgery satisfies the invariants");
+}
+
+/// The same forgery on a federated deployment: the audit alert, pumped
+/// through the federation controller, quarantines every portal of the
+/// tampered cloud and fails admissions over to the honest peer — while
+/// the views, which track keys and statuses rather than bytes, stay
+/// identical to the recompute throughout.
+#[test]
+fn federated_forgery_quarantines_the_tampered_cloud_when_pumped() {
+    let (creds, dir) = cast();
+    let network = Arc::new(NetworkSim::lan());
+    let sys = CloudSystem::federated(
+        dir.clone(),
+        Topology::new().cloud("east", 2).cloud("west", 2),
+        Arc::clone(&network),
+    )
+    .unwrap();
+    let monitor = HealthMonitor::new(MonitorConfig::default());
+    let ctrl = Arc::clone(sys.federation_controller().unwrap());
+    ctrl.set_monitor(&monitor);
+    let metrics = MetricsRegistry::new();
+    drive(
+        &sys,
+        &creds,
+        &dir,
+        &initials(&creds, 0..2),
+        &CrashPlan::none(),
+        None,
+        Some(&monitor),
+        Some(&metrics),
+    );
+
+    // forge one non-latest row on the active cloud only — its replica on
+    // the honest peer keeps the true bytes
+    let (east_name, _, east_pool) = sys.audit_pools().into_iter().next().unwrap();
+    assert_eq!(east_name, "east");
+    let key = mid_version_key(&east_pool, "view-0");
+    let xml = east_pool.get_str(&key, "doc", "xml").unwrap();
+    east_pool.put(&key, "doc", "xml", forge(&xml));
+
+    let auditor = PoolAuditor::new(AuditConfig::default());
+    full_sweep(&auditor, &sys, Some(&monitor), &mut 0u64);
+    assert_eq!(auditor.divergent_rows(), vec![("east".to_string(), key)]);
+
+    sys.federation_poll();
+    let stats = ctrl.stats();
+    assert_eq!(stats.quarantines, 2, "both east portals frozen");
+    assert_eq!(stats.failovers, 1, "admissions fail over to west");
+    assert_eq!(stats.active_cloud, 1);
+    assert_views_identical(&sys);
+
+    metrics.set_counter("audit.tampered_rows", 1);
+    sys.export_metrics(&metrics);
+    auditor.export_metrics(&metrics);
+    monitor.export_metrics(&metrics);
+    check_metric_invariants(&metrics.snapshot()).unwrap();
+}

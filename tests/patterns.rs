@@ -134,11 +134,8 @@ fn or_join_does_not_wait_for_a_branch_not_taken() {
         .flow_end("J")
         .build()
         .unwrap();
-    let script: &[(&str, &[(&str, &str)])] = &[
-        ("A", &[("f", "a"), ("go", "no")]),
-        ("L", &[("f", "left")]),
-        ("J", &[("f", "merged")]),
-    ];
+    let script: &[(&str, &[(&str, &str)])] =
+        &[("A", &[("f", "a"), ("go", "no")]), ("L", &[("f", "left")]), ("J", &[("f", "merged")])];
     let (doc, snap) = run_def(def, script, "p-or-skip");
     let keys = cer_keys(&doc);
     assert!(keys.contains(&"J#0".into()), "{keys:?}");
@@ -245,8 +242,8 @@ fn multi_instance_runtime_cardinality_reads_producer_field() {
 }
 
 fn cancel_def(conditional: bool) -> WorkflowDefinition {
-    let mut b = WorkflowDefinition::builder("cancel", "designer")
-        .simple_activity("F", "p0", &["f"]);
+    let mut b =
+        WorkflowDefinition::builder("cancel", "designer").simple_activity("F", "p0", &["f"]);
     b = if conditional {
         b.simple_activity("T", "p1", &["f", "cond"])
     } else {
@@ -339,9 +336,13 @@ fn unsound_definition_rejected_at_portal_store() {
         .iter()
         .map(|c| (c.name.clone(), Arc::new(Aea::new(c.clone(), dir.clone()))))
         .collect();
-    let initial =
-        DraDocument::new_initial_with_pid(&def, &SecurityPolicy::public(), &creds[0], "p-unsound-l")
-            .unwrap();
+    let initial = DraDocument::new_initial_with_pid(
+        &def,
+        &SecurityPolicy::public(),
+        &creds[0],
+        "p-unsound-l",
+    )
+    .unwrap();
     let respond = |r: &ReceivedActivity| vec![("x".to_string(), format!("v-{}", r.activity))];
     let err = InstanceRun::new(&sys, &initial)
         .agents(&agents)

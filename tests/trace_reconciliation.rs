@@ -323,8 +323,7 @@ fn forged_cancellation_violation_detected() {
     let wire = doc.to_xml_string();
     let at = wire.find("<CER activity=\"J\"").expect("join executed");
     let phantom = "<CER activity=\"V\" iter=\"0\" participant=\"p2\" preds=\"Def\"><Result/></CER>";
-    let forged =
-        DraDocument::parse(&format!("{}{}{}", &wire[..at], phantom, &wire[at..])).unwrap();
+    let forged = DraDocument::parse(&format!("{}{}{}", &wire[..at], phantom, &wire[at..])).unwrap();
     let err = reconcile(&events, &forged).unwrap_err();
     match err {
         ReconcileError::CancelledExecution { key, trigger, .. } => {
@@ -375,13 +374,8 @@ fn phantom_branch_or_join_detected() {
     let r2 = wire[start..end].to_string();
     let without = format!("{}{}", &wire[..start], &wire[end..]);
     let tail = without.find("</ActivityResults>").unwrap();
-    let forged = DraDocument::parse(&format!(
-        "{}{}{}",
-        &without[..tail],
-        r2,
-        &without[tail..]
-    ))
-    .unwrap();
+    let forged =
+        DraDocument::parse(&format!("{}{}{}", &without[..tail], r2, &without[tail..])).unwrap();
     let err = reconcile(&events, &forged).unwrap_err();
     match err {
         ReconcileError::JoinMissingBranch { join, branch, .. } => {
